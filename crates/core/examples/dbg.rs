@@ -1,0 +1,76 @@
+use ppp_core::instrument::{instrument_module, normalize_module};
+use ppp_core::ProfilerConfig;
+use ppp_ir::{verify_module, BinOp, FuncId, FunctionBuilder, Module};
+use ppp_vm::{run, HaltReason, RunOptions};
+
+fn main() {
+    let mut m = Module::new();
+    let mut mb = FunctionBuilder::new("main", 0);
+    let n = mb.constant(200);
+    let i = mb.copy(n);
+    let (hdr, body, exit) = (mb.new_block(), mb.new_block(), mb.new_block());
+    mb.jump(hdr);
+    mb.switch_to(hdr);
+    mb.branch(i, body, exit);
+    mb.switch_to(body);
+    let b1000 = mb.constant(1000);
+    let a = mb.rand(b1000);
+    let r = mb.call(FuncId(1), vec![a]);
+    mb.emit(r);
+    let one = mb.constant(1);
+    mb.binary_to(i, BinOp::Sub, i, one);
+    mb.jump(hdr);
+    mb.switch_to(exit);
+    mb.ret(None);
+    m.add_function(mb.finish());
+
+    // A rare branch first (cold under the 5% local criterion), then 64
+    // diamonds (2^64+ paths downstream saturate NumPaths).
+    let mut b = FunctionBuilder::new("explode", 1);
+    let x = b.param(0);
+    let acc = b.copy(x);
+    let cut = b.constant(990);
+    let rare = b.binary(BinOp::Lt, cut, x); // ~1% taken
+    let (rt, join0) = (b.new_block(), b.new_block());
+    b.branch(rare, rt, join0);
+    b.switch_to(rt);
+    let k = b.constant(777);
+    b.binary_to(acc, BinOp::Add, acc, k);
+    b.jump(join0);
+    b.switch_to(join0);
+    for j in 0..66i64 {
+        let shift = b.constant(j % 9);
+        let sh = b.binary(BinOp::Shr, x, shift);
+        let one = b.constant(1);
+        let bit = b.binary(BinOp::And, sh, one);
+        let (t, e, join) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(bit, t, e);
+        b.switch_to(t);
+        let k = b.constant(j * 31 + 1);
+        b.binary_to(acc, BinOp::Add, acc, k);
+        b.jump(join);
+        b.switch_to(e);
+        let k = b.constant(j * 13 + 5);
+        b.binary_to(acc, BinOp::Xor, acc, k);
+        b.jump(join);
+        b.switch_to(join);
+    }
+    b.emit(acc);
+    b.ret(Some(acc));
+    m.add_function(b.finish());
+
+    normalize_module(&mut m);
+    assert_eq!(verify_module(&m), Ok(()));
+    let truth = run(&m, "main", &RunOptions::default().traced()).unwrap();
+    assert_eq!(truth.halt, HaltReason::Finished);
+    let edges = truth.edge_profile.as_ref().unwrap();
+    for config in [ProfilerConfig::tpp(), ProfilerConfig::ppp()] {
+        let plan = instrument_module(&m, Some(edges), &config);
+        let fp = &plan.funcs[1];
+        println!("{}: n_paths={} cold_edges={} checked={}",
+            config.label(), fp.n_paths, fp.cold.iter().filter(|&&c| c).count(), fp.checked);
+        let r = run(&plan.module, "main", &RunOptions::default()).unwrap();
+        println!("  halt={:?} checksum ok={}", r.halt, r.checksum == truth.checksum);
+    }
+    println!("done");
+}

@@ -1,0 +1,162 @@
+//! Cold-edge identification: TPP's local criterion (§3.2), PPP's global
+//! criterion (§4.2), and the self-adjusting loop (§4.3) helper.
+
+use crate::dag::{Dag, DagEdgeId, DagEdgeKind};
+
+/// Thresholds for marking edges cold.
+#[derive(Clone, Copy, Debug)]
+pub struct ColdCriteria {
+    /// Local (TPP): an edge is cold if its frequency is below this
+    /// fraction of its source block's frequency (paper: 5%).
+    pub local_ratio: f64,
+    /// Global (PPP): an edge is cold if its frequency is below this
+    /// fraction of total program unit flow (paper: 0.1%); `None` disables
+    /// the criterion.
+    pub global_ratio: Option<f64>,
+    /// Total program unit flow (dynamic path executions program-wide),
+    /// the denominator of the global criterion.
+    pub program_unit_flow: u64,
+}
+
+impl ColdCriteria {
+    /// TPP's configuration: local criterion only.
+    pub fn local_only(local_ratio: f64) -> Self {
+        Self {
+            local_ratio,
+            global_ratio: None,
+            program_unit_flow: 0,
+        }
+    }
+}
+
+/// Marks cold edges of `dag` per the criteria. The mask is indexed by
+/// [`DagEdgeId`]. Both dummies of a back edge share the back edge's
+/// classification (they have its frequency and source).
+pub fn cold_edges(dag: &Dag, criteria: &ColdCriteria) -> Vec<bool> {
+    let global_cut = criteria
+        .global_ratio
+        .map(|r| (r * criteria.program_unit_flow as f64).ceil() as u64);
+    (0..dag.edge_count() as u32)
+        .map(DagEdgeId)
+        .map(|id| {
+            let e = dag.edge(id);
+            // The CFG source block of the underlying edge: for an entry
+            // dummy, that is the *back edge's* source, not ENTRY.
+            let src_block = match e.kind {
+                DagEdgeKind::Real(r) | DagEdgeKind::ExitDummy { back: r } => r.from,
+                DagEdgeKind::EntryDummy { back } => back.from,
+            };
+            let src_freq = dag.node_freq(src_block);
+            if src_freq == 0 {
+                return true; // never-executed source: trivially cold
+            }
+            let local = (e.freq as f64) < criteria.local_ratio * src_freq as f64;
+            let global = global_cut.is_some_and(|cut| e.freq < cut);
+            local || global
+        })
+        .collect()
+}
+
+/// Merges two cold masks (an edge is cold if either marks it).
+pub fn union_cold(a: &[bool], b: &[bool]) -> Vec<bool> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x || y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::Dag;
+    use ppp_ir::{BlockId, EdgeRef, Function, FunctionBuilder, FuncEdgeProfile, Reg};
+
+    /// entry(0) -> A(1); A -> B(2) | C(3); B,C -> D(4) ret.
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("f", 1);
+        let a = b.new_block();
+        let bb = b.new_block();
+        let cc = b.new_block();
+        let dd = b.new_block();
+        b.jump(a);
+        b.switch_to(a);
+        b.branch(Reg(0), bb, cc);
+        b.switch_to(bb);
+        b.jump(dd);
+        b.switch_to(cc);
+        b.jump(dd);
+        b.switch_to(dd);
+        b.ret(None);
+        b.finish()
+    }
+
+    fn profiled_dag(hot: u64, cold: u64) -> Dag {
+        let f = diamond();
+        let mut p = FuncEdgeProfile::zeroed(&f);
+        let total = hot + cold;
+        p.set_entries(total);
+        p.set_block(BlockId(0), total);
+        p.set_block(BlockId(1), total);
+        p.set_block(BlockId(2), hot);
+        p.set_block(BlockId(3), cold);
+        p.set_block(BlockId(4), total);
+        p.set_edge(EdgeRef::new(BlockId(0), 0), total);
+        p.set_edge(EdgeRef::new(BlockId(1), 0), hot);
+        p.set_edge(EdgeRef::new(BlockId(1), 1), cold);
+        p.set_edge(EdgeRef::new(BlockId(2), 0), hot);
+        p.set_edge(EdgeRef::new(BlockId(3), 0), cold);
+        Dag::build(&f, Some(&p))
+    }
+
+    fn edge_id(dag: &Dag, from: u32, to: u32) -> DagEdgeId {
+        (0..dag.edge_count() as u32)
+            .map(DagEdgeId)
+            .find(|&e| dag.edge(e).from == BlockId(from) && dag.edge(e).to == BlockId(to))
+            .unwrap()
+    }
+
+    #[test]
+    fn local_criterion_marks_biased_edges() {
+        let dag = profiled_dag(97, 3); // 3% bias < 5%
+        let cold = cold_edges(&dag, &ColdCriteria::local_only(0.05));
+        assert!(cold[edge_id(&dag, 1, 3).index()]);
+        assert!(!cold[edge_id(&dag, 1, 2).index()]);
+        assert!(!cold[edge_id(&dag, 0, 1).index()]);
+    }
+
+    #[test]
+    fn local_criterion_spares_balanced_edges() {
+        let dag = profiled_dag(60, 40);
+        let cold = cold_edges(&dag, &ColdCriteria::local_only(0.05));
+        assert!(cold.iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn global_criterion_catches_locally_hot_edges() {
+        // A rarely-run function: 40% bias passes the local test, but the
+        // edge is negligible against program-wide flow.
+        let dag = profiled_dag(60, 40);
+        let criteria = ColdCriteria {
+            local_ratio: 0.05,
+            global_ratio: Some(0.001),
+            program_unit_flow: 1_000_000,
+        };
+        let cold = cold_edges(&dag, &criteria);
+        // Every edge in this function has freq <= 100 < 1000 = 0.1% cut.
+        assert!(cold.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn zero_frequency_sources_are_cold() {
+        let f = diamond();
+        let dag = Dag::build(&f, None); // no profile: all freqs zero
+        let cold = cold_edges(&dag, &ColdCriteria::local_only(0.05));
+        assert!(cold.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn union_combines_masks() {
+        assert_eq!(
+            union_cold(&[true, false, false], &[false, false, true]),
+            vec![true, false, true]
+        );
+    }
+}

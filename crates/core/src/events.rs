@@ -1,0 +1,288 @@
+//! Ball's event counting: move increments off hot edges (§3.1, §4.5).
+//!
+//! After numbering assigns `Val(e)` to every edge, the instrumentation
+//! could simply add `Val(e)` on each edge. Ball's event counting algorithm
+//! instead builds a **maximum spanning tree** over the DAG (plus a virtual
+//! `EXIT → ENTRY` edge, always forced into the tree) using predicted edge
+//! frequencies, reassigns zero to every tree edge, and computes a
+//! compensating increment `Inc(c)` for each non-tree edge (*chord*) as the
+//! signed sum of `Val` around the chord's fundamental cycle. Every
+//! `ENTRY → EXIT` path then satisfies
+//!
+//! ```text
+//!   Σ_{chords c on path} Inc(c)  ==  Σ_{edges e on path} Val(e)  ==  path number
+//! ```
+//!
+//! so the hottest edges — which the tree preferentially absorbs — carry no
+//! instrumentation at all. PP builds the tree from static heuristics; PPP
+//! uses the measured edge profile (§4.5).
+
+use crate::dag::{Dag, DagEdgeId};
+use crate::numbering::Numbering;
+
+/// Weight source for the spanning tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TreeWeights {
+    /// Static heuristics (PP, TPP).
+    Static,
+    /// Measured edge frequencies (PPP's SPN, §4.5).
+    Measured,
+}
+
+/// Per-edge increments: `0` on spanning-tree edges, the fundamental-cycle
+/// sum on chords.
+pub fn event_counting(
+    dag: &Dag,
+    cold: &[bool],
+    numbering: &Numbering,
+    weights: TreeWeights,
+) -> Vec<i64> {
+    let n_nodes = dag
+        .topo()
+        .iter()
+        .map(|b| b.index() + 1)
+        .max()
+        .unwrap_or(0)
+        .max(dag.exit.index().max(dag.entry.index()) + 1);
+
+    // Candidate edges: those on at least one counted path. Others (cold,
+    // or unreachable in the pruned DAG) carry no increments.
+    let mut candidates: Vec<DagEdgeId> = (0..dag.edge_count() as u32)
+        .map(DagEdgeId)
+        .filter(|&e| numbering.on_counted_path(dag, e, cold))
+        .collect();
+    match weights {
+        TreeWeights::Static => {
+            candidates.sort_by(|&a, &b| {
+                dag.edge(b)
+                    .weight
+                    .total_cmp(&dag.edge(a).weight)
+                    .then(a.cmp(&b))
+            });
+        }
+        TreeWeights::Measured => {
+            candidates.sort_by(|&a, &b| dag.edge(b).freq.cmp(&dag.edge(a).freq).then(a.cmp(&b)));
+        }
+    }
+
+    // Kruskal with union-find; the virtual EXIT -> ENTRY edge goes first.
+    let mut dsu = Dsu::new(n_nodes);
+    dsu.union(dag.exit.index(), dag.entry.index());
+    // Tree adjacency: (neighbor, edge value signed by direction).
+    // The virtual edge has Val 0 so it contributes nothing to potentials.
+    let mut tree_adj: Vec<Vec<(usize, i64)>> = vec![Vec::new(); n_nodes];
+    tree_adj[dag.exit.index()].push((dag.entry.index(), 0));
+    tree_adj[dag.entry.index()].push((dag.exit.index(), 0));
+
+    let mut in_tree = vec![false; dag.edge_count()];
+    for &e in &candidates {
+        let edge = dag.edge(e);
+        if dsu.union(edge.from.index(), edge.to.index()) {
+            in_tree[e.index()] = true;
+            let v = numbering.val[e.index()];
+            // Traversing the edge forward adds Val, backward subtracts.
+            tree_adj[edge.from.index()].push((edge.to.index(), v));
+            tree_adj[edge.to.index()].push((edge.from.index(), -v));
+        }
+    }
+
+    // Potentials: signed sum of Val along the tree path from ENTRY.
+    let mut pot = vec![0i64; n_nodes];
+    let mut seen = vec![false; n_nodes];
+    let mut stack = vec![dag.entry.index()];
+    seen[dag.entry.index()] = true;
+    while let Some(u) = stack.pop() {
+        for &(v, val) in &tree_adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                pot[v] = pot[u].wrapping_add(val);
+                stack.push(v);
+            }
+        }
+    }
+    // Components not connected to ENTRY keep pot = 0; their edges lie on
+    // no counted path, so their increments are irrelevant.
+
+    let mut inc = vec![0i64; dag.edge_count()];
+    for &e in &candidates {
+        if in_tree[e.index()] {
+            continue;
+        }
+        let edge = dag.edge(e);
+        // Chord cycle: e (forward) then the tree path to -> from, whose
+        // signed sum is pot[from] - pot[to].
+        inc[e.index()] = numbering.val[e.index()]
+            .wrapping_add(pot[edge.from.index()])
+            .wrapping_sub(pot[edge.to.index()]);
+    }
+    inc
+}
+
+/// Tiny union-find.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Returns `true` if the sets were distinct (edge joins the tree).
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            false
+        } else {
+            self.parent[ra] = rb;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::Dag;
+    use crate::numbering::{decode_path, number_paths, NumberingOrder};
+    use ppp_ir::{Function, FunctionBuilder, Reg};
+
+    fn diamond_loop() -> Function {
+        // b0(virtual entry) -> A(1); A -> B(2)|C(3); B,C -> D(4);
+        // D -> A (back) | E(5) ret.
+        let mut b = FunctionBuilder::new("f", 2);
+        let a = b.new_block();
+        let bb = b.new_block();
+        let cc = b.new_block();
+        let dd = b.new_block();
+        let ee = b.new_block();
+        b.jump(a);
+        b.switch_to(a);
+        b.branch(Reg(0), bb, cc);
+        b.switch_to(bb);
+        b.jump(dd);
+        b.switch_to(cc);
+        b.jump(dd);
+        b.switch_to(dd);
+        b.branch(Reg(1), a, ee);
+        b.switch_to(ee);
+        b.ret(None);
+        b.finish()
+    }
+
+    /// The core invariant: for every path, the sum of chord increments
+    /// equals the path number from the original numbering.
+    fn assert_increments_preserve_numbers(dag: &Dag, cold: &[bool], weights: TreeWeights) {
+        let num = number_paths(dag, cold, NumberingOrder::BallLarus);
+        let inc = event_counting(dag, cold, &num, weights);
+        for p in 0..num.n_paths {
+            let path = decode_path(dag, &num, cold, p).expect("valid path");
+            let sum: i64 = path.iter().map(|&e| inc[e.index()]).sum();
+            assert_eq!(
+                sum as u64, p,
+                "chord increments must reproduce path number {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn increments_preserve_path_numbers_static() {
+        let f = diamond_loop();
+        let dag = Dag::build(&f, None);
+        let cold = vec![false; dag.edge_count()];
+        assert_increments_preserve_numbers(&dag, &cold, TreeWeights::Static);
+    }
+
+    #[test]
+    fn increments_preserve_path_numbers_measured() {
+        let f = diamond_loop();
+        let mut dag = Dag::build(&f, None);
+        // Arbitrary synthetic frequencies.
+        for i in 0..dag.edge_count() {
+            dag.set_edge_freq(DagEdgeId(i as u32), (i as u64 * 37 + 11) % 97);
+        }
+        let cold = vec![false; dag.edge_count()];
+        assert_increments_preserve_numbers(&dag, &cold, TreeWeights::Measured);
+    }
+
+    #[test]
+    fn increments_preserve_numbers_with_cold_edges() {
+        let f = diamond_loop();
+        let dag = Dag::build(&f, None);
+        let mut cold = vec![false; dag.edge_count()];
+        // Mark A -> C cold.
+        let ac = (0..dag.edge_count() as u32)
+            .map(DagEdgeId)
+            .find(|&e| {
+                dag.edge(e).from == ppp_ir::BlockId(1) && dag.edge(e).to == ppp_ir::BlockId(3)
+            })
+            .unwrap();
+        cold[ac.index()] = true;
+        let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
+        assert!(num.n_paths > 0);
+        assert_increments_preserve_numbers(&dag, &cold, TreeWeights::Static);
+        // Cold edges never carry increments.
+        let inc = event_counting(
+            &dag,
+            &cold,
+            &number_paths(&dag, &cold, NumberingOrder::BallLarus),
+            TreeWeights::Static,
+        );
+        assert_eq!(inc[ac.index()], 0);
+    }
+
+    #[test]
+    fn hottest_edges_carry_no_increment() {
+        let f = diamond_loop();
+        let mut dag = Dag::build(&f, None);
+        // Make every edge cold except a single hot chain; the spanning
+        // tree must absorb the hot chain, leaving inc = 0 there.
+        let hot_chain: Vec<DagEdgeId> = (0..dag.edge_count() as u32)
+            .map(DagEdgeId)
+            .filter(|&e| {
+                let d = dag.edge(e);
+                // chain b0 -> A -> B -> D -> E
+                matches!(
+                    (d.from.index(), d.to.index()),
+                    (0, 1) | (1, 2) | (2, 4) | (4, 5)
+                ) && matches!(d.kind, crate::dag::DagEdgeKind::Real(_))
+            })
+            .collect();
+        assert_eq!(hot_chain.len(), 4);
+        for &e in &hot_chain {
+            dag.set_edge_freq(e, 1_000_000);
+        }
+        let cold = vec![false; dag.edge_count()];
+        let num = number_paths(&dag, &cold, NumberingOrder::SmartDecreasingFreq);
+        let inc = event_counting(&dag, &cold, &num, TreeWeights::Measured);
+        for &e in &hot_chain {
+            assert_eq!(inc[e.index()], 0, "hot edge {e:?} must carry no increment");
+        }
+    }
+
+    #[test]
+    fn tree_edges_have_zero_increment_count() {
+        let f = diamond_loop();
+        let dag = Dag::build(&f, None);
+        let cold = vec![false; dag.edge_count()];
+        let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
+        let inc = event_counting(&dag, &cold, &num, TreeWeights::Static);
+        // A spanning tree over k reachable nodes has k-1 edges, one of
+        // which is the virtual EXIT->ENTRY edge, so k-2 DAG edges are tree
+        // edges with inc 0. Chords <= edges - (k-2).
+        let nonzero = inc.iter().filter(|&&x| x != 0).count();
+        let k = dag.topo().len();
+        assert!(nonzero <= dag.edge_count() - (k - 2));
+    }
+}
+

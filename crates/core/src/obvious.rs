@@ -1,0 +1,360 @@
+//! Obvious paths and obvious loops (§3.2).
+//!
+//! A path is *obvious* when it has a **defining edge** — an edge on no
+//! other path — because then the path's frequency equals that edge's
+//! frequency and the edge profile predicts it perfectly. TPP and PPP skip
+//! instrumentation that the edge profile already answers:
+//!
+//! - a routine whose counted paths are *all* obvious needs no
+//!   instrumentation at all;
+//! - a loop whose body paths are all obvious and whose average trip count
+//!   is high gets *disconnected* — per the paper's own implementation
+//!   (§7.4), its entrances and exits are marked cold, after which pushing
+//!   and poison elision leave the body instrumentation-free.
+
+use crate::dag::{Dag, DagEdgeId, DagEdgeKind};
+use crate::numbering::Numbering;
+use ppp_ir::{Function, FuncEdgeProfile, LoopForest};
+
+/// Enumeration budget for obviousness checks; routines/loops with more
+/// counted paths than this are conservatively treated as not obvious.
+pub const OBVIOUS_ENUM_CAP: u64 = 64;
+
+/// Returns `Some(true)` if every counted path has a defining edge,
+/// `Some(false)` if some path does not, and `None` when the routine has
+/// too many paths to check within [`OBVIOUS_ENUM_CAP`].
+pub fn all_paths_obvious(dag: &Dag, cold: &[bool], numbering: &Numbering) -> Option<bool> {
+    if numbering.n_paths > OBVIOUS_ENUM_CAP {
+        return None;
+    }
+    for p in 0..numbering.n_paths {
+        let path = crate::numbering::decode_path(dag, numbering, cold, p)?;
+        // An empty path (single-block routine) is trivially obvious: its
+        // frequency is the routine's entry count.
+        let defining = path.is_empty()
+            || path
+                .iter()
+                .any(|&e| numbering.paths_through(dag, e, cold) == 1);
+        if !defining {
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+/// A loop judged obvious and hot enough to disconnect.
+#[derive(Clone, Debug)]
+pub struct DisconnectedLoop {
+    /// Index into the [`LoopForest`]'s loop list.
+    pub loop_index: usize,
+    /// Estimated average trip count.
+    pub trip_count: f64,
+    /// DAG edges to mark cold: the loop's entrances, exits, and the
+    /// dummies of its back edges.
+    pub cold_edges: Vec<DagEdgeId>,
+}
+
+/// Finds loops to disconnect: obvious bodies and trip count at least
+/// `trip_threshold` (paper: 10). `cold` is the current cold mask (cold
+/// edges do not contribute body paths).
+pub fn disconnectable_loops(
+    f: &Function,
+    dag: &Dag,
+    forest: &LoopForest,
+    profile: &FuncEdgeProfile,
+    cold: &[bool],
+    trip_threshold: f64,
+) -> Vec<DisconnectedLoop> {
+    let cfg = ppp_ir::Cfg::new(f);
+    let mut out = Vec::new();
+    for (li, lp) in forest.loops().iter().enumerate() {
+        let entries = lp.entry_edges(&cfg);
+        let exits = lp.exit_edges(f);
+        let Some(trip) = profile.loop_trip_count(&lp.back_edges, &entries) else {
+            continue;
+        };
+        if trip < trip_threshold {
+            continue;
+        }
+        if !loop_body_obvious(dag, lp, cold) {
+            continue;
+        }
+        let mut cold_ids = Vec::new();
+        for e in entries.iter().chain(&exits) {
+            if let Some(id) = dag.real_edge(*e) {
+                cold_ids.push(id);
+            }
+        }
+        for be in &lp.back_edges {
+            if let Some(id) = dag.entry_dummy(*be) {
+                cold_ids.push(id);
+            }
+            if let Some(id) = dag.exit_dummy(*be) {
+                cold_ids.push(id);
+            }
+        }
+        out.push(DisconnectedLoop {
+            loop_index: li,
+            trip_count: trip,
+            cold_edges: cold_ids,
+        });
+    }
+    out
+}
+
+/// Checks whether every header-to-latch path through the loop body (over
+/// non-cold real DAG edges between body blocks) has a defining edge.
+fn loop_body_obvious(dag: &Dag, lp: &ppp_ir::NaturalLoop, cold: &[bool]) -> bool {
+    let latches: Vec<ppp_ir::BlockId> = lp.back_edges.iter().map(|e| e.from).collect();
+    // Enumerate body paths header -> latch with a budget.
+    let mut paths: Vec<Vec<DagEdgeId>> = Vec::new();
+    let mut stack: Vec<(ppp_ir::BlockId, Vec<DagEdgeId>)> = vec![(lp.header, Vec::new())];
+    while let Some((v, path)) = stack.pop() {
+        if paths.len() as u64 > OBVIOUS_ENUM_CAP {
+            return false; // too many paths to call obvious
+        }
+        if latches.contains(&v) && (!path.is_empty() || latches.contains(&lp.header)) {
+            paths.push(path.clone());
+            // A latch may also continue inside the body (e.g. a latch that
+            // is not the sole tail); for natural loops the back edge leaves
+            // the DAG, so continuing is fine.
+        }
+        for &e in dag.out_edges(v) {
+            if cold[e.index()] {
+                continue;
+            }
+            let edge = dag.edge(e);
+            if !matches!(edge.kind, DagEdgeKind::Real(_)) {
+                continue;
+            }
+            if !lp.contains(edge.to) || edge.to == lp.header {
+                continue;
+            }
+            let mut p = path.clone();
+            p.push(e);
+            stack.push((edge.to, p));
+        }
+    }
+    if paths.is_empty() {
+        // A self-loop (header == latch, empty body path) is trivially
+        // obvious; otherwise no body path means nothing to profile.
+        return true;
+    }
+    // Edge usage counts across enumerated paths.
+    let mut usage: std::collections::HashMap<DagEdgeId, usize> = std::collections::HashMap::new();
+    for p in &paths {
+        for &e in p {
+            *usage.entry(e).or_insert(0) += 1;
+        }
+    }
+    paths.iter().all(|p| {
+        p.is_empty() || p.iter().any(|e| usage[e] == 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::Dag;
+    use crate::numbering::{number_paths, NumberingOrder};
+    use ppp_ir::{analyze_loops, BlockId, EdgeRef, FunctionBuilder, Reg};
+
+    /// The Figure 4 shape: every path has a defining edge.
+    /// entry(0) -> A(1); A -> B(2) | C(3); B -> D(4); C -> D; D ret.
+    fn figure4() -> ppp_ir::Function {
+        let mut b = FunctionBuilder::new("fig4", 1);
+        let a = b.new_block();
+        let bb = b.new_block();
+        let cc = b.new_block();
+        let dd = b.new_block();
+        b.jump(a);
+        b.switch_to(a);
+        b.branch(Reg(0), bb, cc);
+        b.switch_to(bb);
+        b.jump(dd);
+        b.switch_to(cc);
+        b.jump(dd);
+        b.switch_to(dd);
+        b.ret(None);
+        b.finish()
+    }
+
+    /// Two independent diamonds: middle paths share edges, not obvious.
+    fn two_diamonds() -> ppp_ir::Function {
+        let mut b = FunctionBuilder::new("dd", 2);
+        let a = b.new_block();
+        let x1 = b.new_block();
+        let x2 = b.new_block();
+        let m = b.new_block();
+        let y1 = b.new_block();
+        let y2 = b.new_block();
+        let z = b.new_block();
+        b.jump(a);
+        b.switch_to(a);
+        b.branch(Reg(0), x1, x2);
+        b.switch_to(x1);
+        b.jump(m);
+        b.switch_to(x2);
+        b.jump(m);
+        b.switch_to(m);
+        b.branch(Reg(1), y1, y2);
+        b.switch_to(y1);
+        b.jump(z);
+        b.switch_to(y2);
+        b.jump(z);
+        b.switch_to(z);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn single_diamond_is_all_obvious() {
+        let f = figure4();
+        let dag = Dag::build(&f, None);
+        let cold = vec![false; dag.edge_count()];
+        let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
+        assert_eq!(num.n_paths, 2);
+        assert_eq!(all_paths_obvious(&dag, &cold, &num), Some(true));
+    }
+
+    #[test]
+    fn two_diamonds_not_all_obvious() {
+        let f = two_diamonds();
+        let dag = Dag::build(&f, None);
+        let cold = vec![false; dag.edge_count()];
+        let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
+        assert_eq!(num.n_paths, 4);
+        assert_eq!(all_paths_obvious(&dag, &cold, &num), Some(false));
+    }
+
+    #[test]
+    fn cold_removal_can_make_remaining_paths_obvious() {
+        // Freezing one side of the first diamond leaves 2 paths that both
+        // have defining edges (the second diamond's arms).
+        let f = two_diamonds();
+        let dag = Dag::build(&f, None);
+        let mut cold = vec![false; dag.edge_count()];
+        let ax2 = (0..dag.edge_count() as u32)
+            .map(DagEdgeId)
+            .find(|&e| dag.edge(e).from == BlockId(1) && dag.edge(e).to == BlockId(3))
+            .unwrap();
+        cold[ax2.index()] = true;
+        let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
+        assert_eq!(num.n_paths, 2);
+        assert_eq!(all_paths_obvious(&dag, &cold, &num), Some(true));
+    }
+
+    fn counted_loop(trip: i64) -> (ppp_ir::Module, ppp_ir::FuncId) {
+        // main calls f once; f loops `trip` times with a straight body.
+        let mut m = ppp_ir::Module::new();
+        let mut mb = FunctionBuilder::new("main", 0);
+        let c = mb.constant(trip);
+        mb.call_void(ppp_ir::FuncId(1), vec![c]);
+        mb.ret(None);
+        m.add_function(mb.finish());
+        let mut fb = FunctionBuilder::new("f", 1);
+        let i = fb.param(0);
+        let (hdr, body, exit) = (fb.new_block(), fb.new_block(), fb.new_block());
+        fb.jump(hdr);
+        fb.switch_to(hdr);
+        fb.branch(i, body, exit);
+        fb.switch_to(body);
+        let one = fb.constant(1);
+        fb.binary_to(i, ppp_ir::BinOp::Sub, i, one);
+        fb.jump(hdr);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let fid = m.add_function(fb.finish());
+        (m, fid)
+    }
+
+    #[test]
+    fn hot_straight_loop_disconnects() {
+        let (m, fid) = counted_loop(50);
+        let r = ppp_vm::run(&m, "main", &ppp_vm::RunOptions::default().traced()).unwrap();
+        let prof = r.edge_profile.unwrap();
+        let f = m.function(fid);
+        let dag = Dag::build(f, Some(prof.func(fid)));
+        let (_, _, forest) = analyze_loops(f);
+        let cold = vec![false; dag.edge_count()];
+        let found = disconnectable_loops(f, &dag, &forest, prof.func(fid), &cold, 10.0);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].trip_count >= 50.0);
+        // Cold set includes the loop entrance (0->1... entry edge of the
+        // loop is hdr's outside pred edge), the exit edge, and both
+        // dummies of the back edge.
+        assert_eq!(found[0].cold_edges.len(), 4);
+        let back = EdgeRef::new(BlockId(2), 0);
+        assert!(found[0]
+            .cold_edges
+            .contains(&dag.entry_dummy(back).unwrap()));
+        assert!(found[0].cold_edges.contains(&dag.exit_dummy(back).unwrap()));
+    }
+
+    #[test]
+    fn low_trip_loop_stays_connected() {
+        let (m, fid) = counted_loop(3);
+        let r = ppp_vm::run(&m, "main", &ppp_vm::RunOptions::default().traced()).unwrap();
+        let prof = r.edge_profile.unwrap();
+        let f = m.function(fid);
+        let dag = Dag::build(f, Some(prof.func(fid)));
+        let (_, _, forest) = analyze_loops(f);
+        let cold = vec![false; dag.edge_count()];
+        let found = disconnectable_loops(f, &dag, &forest, prof.func(fid), &cold, 10.0);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn branchy_loop_body_not_obvious_is_kept() {
+        // Loop body with two merging diamonds in sequence -> body paths
+        // share edges, so the loop must not disconnect even when hot.
+        let mut m = ppp_ir::Module::new();
+        let mut mb = FunctionBuilder::new("main", 0);
+        let c = mb.constant(100);
+        mb.call_void(ppp_ir::FuncId(1), vec![c]);
+        mb.ret(None);
+        m.add_function(mb.finish());
+        let mut fb = FunctionBuilder::new("f", 1);
+        let i = fb.param(0);
+        let hdr = fb.new_block();
+        let d1a = fb.new_block();
+        let d1b = fb.new_block();
+        let mid = fb.new_block();
+        let d2a = fb.new_block();
+        let d2b = fb.new_block();
+        let latch = fb.new_block();
+        let exit = fb.new_block();
+        fb.jump(hdr);
+        fb.switch_to(hdr);
+        fb.branch(i, d1a, exit);
+        fb.switch_to(d1a);
+        let bound = fb.constant(2);
+        let v = fb.rand(bound);
+        fb.branch(v, d1b, mid);
+        fb.switch_to(d1b);
+        fb.jump(mid);
+        fb.switch_to(mid);
+        let w = fb.rand(bound);
+        fb.branch(w, d2a, d2b);
+        fb.switch_to(d2a);
+        fb.jump(latch);
+        fb.switch_to(d2b);
+        fb.jump(latch);
+        fb.switch_to(latch);
+        let one = fb.constant(1);
+        fb.binary_to(i, ppp_ir::BinOp::Sub, i, one);
+        fb.jump(hdr);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let fid = m.add_function(fb.finish());
+
+        let r = ppp_vm::run(&m, "main", &ppp_vm::RunOptions::default().traced()).unwrap();
+        let prof = r.edge_profile.unwrap();
+        let f = m.function(fid);
+        let dag = Dag::build(f, Some(prof.func(fid)));
+        let (_, _, forest) = analyze_loops(f);
+        let cold = vec![false; dag.edge_count()];
+        let found = disconnectable_loops(f, &dag, &forest, prof.func(fid), &cold, 10.0);
+        assert!(found.is_empty(), "non-obvious body must not disconnect");
+    }
+}

@@ -1,0 +1,341 @@
+//! Cold-path poisoning: TPP's checked variant and PPP's *free* variant
+//! (§3.2, §4.6), plus poison elision.
+//!
+//! A cold edge must make sure that any execution crossing it cannot be
+//! mistaken for a hot path by a later `count[r + c]`. TPP sets `r` to a
+//! large negative value and pays for a check at every path end; PPP
+//! instead chooses, per cold edge, a poison value `P = N - minΔ` where
+//! `[minΔ, maxΔ]` is the range of r-relative values any downstream count
+//! could observe — so every poisoned path lands in `[N, ...]`, beyond the
+//! hot numbers, with **no check at all**.
+//!
+//! The same reachability analysis powers *poison elision*: a cold edge
+//! from which no r-reading count is observable needs no poison op at all.
+//! This is what makes disconnected obvious loops (§3.2) genuinely free:
+//! their boundary edges are marked cold, and after pushing there is
+//! nothing left downstream for the poison to protect against.
+
+use crate::dag::{Dag, DagEdgeId};
+use crate::plan::{combine, PlanOp};
+
+/// The poison constant used in checked mode (TPP's original scheme).
+pub const CHECKED_POISON: i64 = i64::MIN / 4;
+
+/// How cold edges are poisoned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PoisonMode {
+    /// PPP free poisoning (§4.6): map cold paths into `[N, …)`.
+    Free,
+    /// TPP checked poisoning (§3.2): large negative value + runtime check.
+    Checked,
+}
+
+/// Result of the poisoning pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PoisonOutcome {
+    /// Highest counter index any execution can produce (for array sizing).
+    /// At least `n_paths - 1` when there are hot paths.
+    pub max_counter_index: u64,
+    /// Cold edges that received a poison op.
+    pub poisoned: usize,
+    /// Cold edges whose poison was elided.
+    pub elided: usize,
+    /// Whether counts must use the checked (poison-testing) IR variants.
+    pub checked: bool,
+}
+
+/// Observation interval: the r-relative deltas downstream counts may read.
+type Obs = Option<(i64, i64)>;
+
+fn union(a: Obs, b: Obs) -> Obs {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some((lo1, hi1)), Some((lo2, hi2))) => Some((lo1.min(lo2), hi1.max(hi2))),
+    }
+}
+
+/// Scans one op list: returns (observations relative to list entry,
+/// running delta, killed?).
+fn scan_list(ops: &[PlanOp]) -> (Obs, i64, bool) {
+    let mut obs: Obs = None;
+    let mut acc = 0i64;
+    for &op in ops {
+        match op {
+            PlanOp::Add(d) => acc = acc.wrapping_add(d),
+            PlanOp::Set(_) => return (obs, acc, true),
+            PlanOp::Count => obs = union(obs, Some((acc, acc))),
+            PlanOp::CountPlus(a) => {
+                let v = acc.wrapping_add(a);
+                obs = union(obs, Some((v, v)));
+            }
+            PlanOp::CountConst(_) => {}
+        }
+    }
+    (obs, acc, false)
+}
+
+/// Poisons every cold edge in `ops` (in place) and reports sizing info.
+///
+/// `n_paths` is the hot path count `N`. Cold edges with no observable
+/// downstream r-reading count are elided.
+pub fn apply_poisoning(
+    dag: &Dag,
+    cold: &[bool],
+    ops: &mut [Vec<PlanOp>],
+    n_paths: u64,
+    mode: PoisonMode,
+) -> PoisonOutcome {
+    // Per-node observation intervals, reverse topological.
+    let n_blocks = dag
+        .topo()
+        .iter()
+        .map(|b| b.index() + 1)
+        .max()
+        .unwrap_or(0)
+        .max(dag.exit.index().max(dag.entry.index()) + 1);
+    let mut node_obs: Vec<Obs> = vec![None; n_blocks];
+    for &v in dag.topo().iter().rev() {
+        if v == dag.exit {
+            continue;
+        }
+        let mut acc_obs: Obs = None;
+        for &e in dag.out_edges(v) {
+            // Cold edges kill (they are poisoned themselves, or provably
+            // observe nothing and are elided).
+            if cold[e.index()] {
+                continue;
+            }
+            let (own, delta, killed) = scan_list(&ops[e.index()]);
+            acc_obs = union(acc_obs, own);
+            if !killed {
+                if let Some((lo, hi)) = node_obs[dag.edge(e).to.index()] {
+                    acc_obs = union(
+                        acc_obs,
+                        Some((lo.wrapping_add(delta), hi.wrapping_add(delta))),
+                    );
+                }
+            }
+        }
+        node_obs[v.index()] = acc_obs;
+    }
+
+    let n = n_paths as i64;
+    let mut out = PoisonOutcome {
+        max_counter_index: n_paths.saturating_sub(1),
+        poisoned: 0,
+        elided: 0,
+        checked: mode == PoisonMode::Checked,
+    };
+
+    for i in 0..dag.edge_count() {
+        if !cold[i] {
+            continue;
+        }
+        let e = DagEdgeId(i as u32);
+        // Interval observable once this edge is crossed: its own list (the
+        // poison will be prepended before it) plus the target's interval.
+        let (own, delta, killed) = scan_list(&ops[i]);
+        let mut interval = own;
+        if !killed {
+            if let Some((lo, hi)) = node_obs[dag.edge(e).to.index()] {
+                interval = union(
+                    interval,
+                    Some((lo.wrapping_add(delta), hi.wrapping_add(delta))),
+                );
+            }
+        }
+        let Some((lo, hi)) = interval else {
+            out.elided += 1;
+            continue; // nothing downstream can observe r: elide
+        };
+        let poison = match mode {
+            PoisonMode::Free => n.wrapping_sub(lo),
+            PoisonMode::Checked => CHECKED_POISON,
+        };
+        let mut list = vec![PlanOp::Set(poison)];
+        list.extend_from_slice(&ops[i]);
+        ops[i] = combine(&list, mode == PoisonMode::Free);
+        out.poisoned += 1;
+        if mode == PoisonMode::Free {
+            let max_idx = poison.wrapping_add(hi);
+            debug_assert!(max_idx >= n, "poisoned indices must land at or above N");
+            out.max_counter_index = out.max_counter_index.max(max_idx as u64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::Dag;
+    use crate::events::{event_counting, TreeWeights};
+    use crate::numbering::{decode_path, number_paths, NumberingOrder};
+    use crate::plan::simulate;
+    use crate::push::{place_and_push, PushConfig};
+    use ppp_ir::{Function, FunctionBuilder, Reg};
+
+    fn diamond_loop() -> Function {
+        let mut b = FunctionBuilder::new("f", 2);
+        let a = b.new_block();
+        let bb = b.new_block();
+        let cc = b.new_block();
+        let dd = b.new_block();
+        let ee = b.new_block();
+        b.jump(a);
+        b.switch_to(a);
+        b.branch(Reg(0), bb, cc);
+        b.switch_to(bb);
+        b.jump(dd);
+        b.switch_to(cc);
+        b.jump(dd);
+        b.switch_to(dd);
+        b.branch(Reg(1), a, ee);
+        b.switch_to(ee);
+        b.ret(None);
+        b.finish()
+    }
+
+    struct Built {
+        dag: Dag,
+        num: crate::numbering::Numbering,
+        ops: Vec<Vec<PlanOp>>,
+        outcome: PoisonOutcome,
+        cold: Vec<bool>,
+    }
+
+    fn build(f: &Function, cold_pred: impl Fn(&Dag, DagEdgeId) -> bool, mode: PoisonMode) -> Built {
+        let dag = Dag::build(f, None);
+        let cold: Vec<bool> = (0..dag.edge_count() as u32)
+            .map(|i| cold_pred(&dag, DagEdgeId(i)))
+            .collect();
+        let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
+        let inc = event_counting(&dag, &cold, &num, TreeWeights::Static);
+        let mut ops = place_and_push(
+            &dag,
+            &cold,
+            &inc,
+            &num,
+            PushConfig {
+                ignore_cold: true,
+                merge_set_count: mode == PoisonMode::Free,
+            },
+        );
+        let outcome = apply_poisoning(&dag, &cold, &mut ops, num.n_paths, mode);
+        Built {
+            dag,
+            num,
+            ops,
+            outcome,
+            cold,
+        }
+    }
+
+    fn cold_ac(dag: &Dag, e: DagEdgeId) -> bool {
+        dag.edge(e).from == ppp_ir::BlockId(1) && dag.edge(e).to == ppp_ir::BlockId(3)
+    }
+
+    /// Enumerate *all* DAG paths (including through cold edges).
+    fn all_paths(dag: &Dag) -> Vec<Vec<DagEdgeId>> {
+        let mut out = Vec::new();
+        let mut stack = vec![(dag.entry, Vec::new())];
+        while let Some((v, path)) = stack.pop() {
+            if v == dag.exit {
+                out.push(path);
+                continue;
+            }
+            for &e in dag.out_edges(v) {
+                let mut p = path.clone();
+                p.push(e);
+                stack.push((dag.edge(e).to, p));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn free_poisoning_keeps_cold_out_of_hot_range() {
+        let f = diamond_loop();
+        let b = build(&f, cold_ac, PoisonMode::Free);
+        let n = b.num.n_paths as i64;
+        for path in all_paths(&b.dag) {
+            let crosses_cold = path.iter().any(|e| b.cold[e.index()]);
+            let lists: Vec<&[PlanOp]> =
+                path.iter().map(|&e| b.ops[e.index()].as_slice()).collect();
+            let counted = simulate(&lists, 12345);
+            assert!(counted.len() <= 1, "at most one count per path");
+            for c in counted {
+                if crosses_cold {
+                    assert!(
+                        c >= n,
+                        "cold path counted {c}, inside the hot range [0,{n})"
+                    );
+                    assert!(c as u64 <= b.outcome.max_counter_index);
+                } else {
+                    assert!((0..n).contains(&c), "hot path counted {c} outside [0,{n})");
+                }
+            }
+        }
+        assert!(!b.outcome.checked);
+        assert!(b.outcome.poisoned >= 1);
+    }
+
+    #[test]
+    fn checked_poisoning_uses_negative_values() {
+        let f = diamond_loop();
+        let b = build(&f, cold_ac, PoisonMode::Checked);
+        let n = b.num.n_paths as i64;
+        assert!(b.outcome.checked);
+        for path in all_paths(&b.dag) {
+            let crosses_cold = path.iter().any(|e| b.cold[e.index()]);
+            let lists: Vec<&[PlanOp]> =
+                path.iter().map(|&e| b.ops[e.index()].as_slice()).collect();
+            let counted = simulate(&lists, 999);
+            for c in counted {
+                if crosses_cold {
+                    assert!(c < 0, "checked poison must stay negative, got {c}");
+                } else {
+                    assert!((0..n).contains(&c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_paths_still_count_their_numbers_after_poisoning() {
+        let f = diamond_loop();
+        let b = build(&f, cold_ac, PoisonMode::Free);
+        for p in 0..b.num.n_paths {
+            let path = decode_path(&b.dag, &b.num, &b.cold, p).expect("valid");
+            let lists: Vec<&[PlanOp]> =
+                path.iter().map(|&e| b.ops[e.index()].as_slice()).collect();
+            assert_eq!(simulate(&lists, i64::MIN / 2), vec![p as i64]);
+        }
+    }
+
+    #[test]
+    fn fully_disconnected_region_elides_poison() {
+        // Mark *all* of A's outgoing edges cold: nothing downstream of the
+        // cold edges can observe r (no counted paths exist at all, N = 0),
+        // so every poison is elided.
+        let f = diamond_loop();
+        let b = build(
+            &f,
+            |dag, e| dag.edge(e).from == ppp_ir::BlockId(1),
+            PoisonMode::Free,
+        );
+        assert_eq!(b.num.n_paths, 0);
+        assert_eq!(b.outcome.poisoned, 0);
+        assert!(b.outcome.elided >= 2);
+        // No instrumentation at all.
+        assert!(b.ops.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn max_counter_index_bounds_array() {
+        let f = diamond_loop();
+        let b = build(&f, cold_ac, PoisonMode::Free);
+        // Paper bound: at most [N, 3N-1].
+        assert!(b.outcome.max_counter_index < 3 * b.num.n_paths.max(1));
+    }
+}

@@ -1,0 +1,356 @@
+//! Profiler configurations: PP, TPP, and PPP with per-technique toggles.
+//!
+//! The parameter defaults are the paper's (§7.4):
+//!
+//! - cold edge if below **5%** of its source block's frequency (local) or
+//!   **0.1%** of total program unit flow (global, PPP only);
+//! - obvious loops disconnect at average trip count ≥ **10**;
+//! - PPP skips routines with ≥ **75%** edge-profile coverage;
+//! - the self-adjusting criterion raises the global threshold by **50%**
+//!   per iteration until the path count drops below the hashing threshold;
+//! - routines with more than **4000** possible paths hash into **701**
+//!   slots with **3** probes.
+
+/// Which profiler to build (§3, §4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProfilerKind {
+    /// Ball–Larus path profiling: full instrumentation, static heuristics.
+    Pp,
+    /// Joshi et al. targeted path profiling: local cold criterion applied
+    /// when it converts hashing to an array, obvious-path/loop
+    /// elimination, PP numbering. Free poisoning per the paper's own
+    /// implementation note (§7.4).
+    Tpp,
+    /// This paper's practical path profiling: all six techniques.
+    Ppp,
+}
+
+impl ProfilerKind {
+    /// Short display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfilerKind::Pp => "PP",
+            ProfilerKind::Tpp => "TPP",
+            ProfilerKind::Ppp => "PPP",
+        }
+    }
+}
+
+/// Numeric thresholds (§7.4).
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Local cold-edge criterion: edge freq below this fraction of its
+    /// source block frequency.
+    pub cold_local_ratio: f64,
+    /// Global cold-edge criterion: edge freq below this fraction of total
+    /// program unit flow (PPP).
+    pub cold_global_ratio: f64,
+    /// Minimum average trip count to disconnect an obvious loop.
+    pub obvious_loop_trip: f64,
+    /// Skip routines whose edge-profile coverage is at least this (PPP).
+    pub lc_coverage: f64,
+    /// Multiplier applied to the global criterion per SAC iteration.
+    pub sac_multiplier: f64,
+    /// Maximum SAC iterations before giving up and hashing.
+    pub sac_max_iters: u32,
+    /// Keep-alive floor for the global criterion: when zeroing a routine,
+    /// fall back to the local criterion if the routine still carries at
+    /// least this fraction of total program flow (long-path routines can
+    /// matter at low edge frequencies). Not part of the paper's parameter
+    /// set; it guards a degenerate case the paper's benchmarks never hit.
+    pub global_keep_alive_ratio: f64,
+    /// Routines with more possible paths than this use a hash table.
+    pub hash_threshold: u64,
+    /// Hash table slots.
+    pub hash_slots: u64,
+    /// Hash probes before a path is lost.
+    pub hash_probes: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            cold_local_ratio: 0.05,
+            cold_global_ratio: 0.001,
+            obvious_loop_trip: 10.0,
+            lc_coverage: 0.75,
+            sac_multiplier: 1.5,
+            sac_max_iters: 20,
+            global_keep_alive_ratio: 0.01,
+            hash_threshold: 4000,
+            hash_slots: 701,
+            hash_probes: 3,
+        }
+    }
+}
+
+/// PPP's individually toggleable techniques, for the leave-one-out
+/// ablation (§8.3 / Figure 13).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PppToggles {
+    /// LC: only instrument routines with low edge-profile coverage (§4.1).
+    pub low_coverage: bool,
+    /// SAC: the global cold-edge criterion plus its self-adjusting loop
+    /// (§4.2–4.3; the paper evaluates them as one technique).
+    pub global_cold_and_sac: bool,
+    /// Push: ignore cold edges when pushing instrumentation (§4.4).
+    pub push_past_cold: bool,
+    /// SPN: smart path numbering and profile-driven event counting (§4.5).
+    pub smart_numbering: bool,
+    /// FP: free cold-path poisoning instead of poison checks (§4.6).
+    pub free_poisoning: bool,
+}
+
+impl PppToggles {
+    /// All techniques enabled (full PPP).
+    pub fn all() -> Self {
+        Self {
+            low_coverage: true,
+            global_cold_and_sac: true,
+            push_past_cold: true,
+            smart_numbering: true,
+            free_poisoning: true,
+        }
+    }
+}
+
+/// A named PPP technique, as abbreviated in Figure 13.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Technique {
+    /// Self-adjusting global cold edge criterion (SAC).
+    Sac,
+    /// Free cold-path poisoning (FP).
+    Fp,
+    /// Pushing instrumentation further (Push).
+    Push,
+    /// Smart path numbering (SPN).
+    Spn,
+    /// Instrument routines with low coverage only (LC).
+    Lc,
+}
+
+impl Technique {
+    /// All techniques, in Figure 13's order.
+    pub const ALL: [Technique; 5] = [
+        Technique::Sac,
+        Technique::Fp,
+        Technique::Push,
+        Technique::Spn,
+        Technique::Lc,
+    ];
+
+    /// Figure 13 abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Technique::Sac => "SAC",
+            Technique::Fp => "FP",
+            Technique::Push => "Push",
+            Technique::Spn => "SPN",
+            Technique::Lc => "LC",
+        }
+    }
+}
+
+/// Full profiler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfilerConfig {
+    /// Which base profiler.
+    pub kind: ProfilerKind,
+    /// Thresholds.
+    pub params: Params,
+    /// PPP technique toggles (ignored for PP/TPP).
+    pub toggles: PppToggles,
+}
+
+impl ProfilerConfig {
+    /// Ball–Larus PP.
+    pub fn pp() -> Self {
+        Self {
+            kind: ProfilerKind::Pp,
+            params: Params::default(),
+            toggles: PppToggles::all(),
+        }
+    }
+
+    /// Targeted path profiling.
+    pub fn tpp() -> Self {
+        Self {
+            kind: ProfilerKind::Tpp,
+            params: Params::default(),
+            toggles: PppToggles::all(),
+        }
+    }
+
+    /// Practical path profiling, all techniques on.
+    pub fn ppp() -> Self {
+        Self {
+            kind: ProfilerKind::Ppp,
+            params: Params::default(),
+            toggles: PppToggles::all(),
+        }
+    }
+
+    /// PPP with one technique disabled (Figure 13's leave-one-out).
+    pub fn ppp_without(technique: Technique) -> Self {
+        let mut c = Self::ppp();
+        match technique {
+            Technique::Sac => c.toggles.global_cold_and_sac = false,
+            Technique::Fp => c.toggles.free_poisoning = false,
+            Technique::Push => c.toggles.push_past_cold = false,
+            Technique::Spn => c.toggles.smart_numbering = false,
+            Technique::Lc => c.toggles.low_coverage = false,
+        }
+        c
+    }
+
+    /// The baseline for the *one-at-a-time* methodology (§8.3): PPP's
+    /// machinery with every §4 technique off. Free poisoning stays on
+    /// because the paper's own TPP implementation uses it too (§7.4), so
+    /// this baseline is the closest "TPP posture" expressible through the
+    /// PPP pipeline.
+    pub fn ppp_baseline() -> Self {
+        Self {
+            kind: ProfilerKind::Ppp,
+            params: Params::default(),
+            toggles: PppToggles {
+                low_coverage: false,
+                global_cold_and_sac: false,
+                push_past_cold: false,
+                smart_numbering: false,
+                free_poisoning: true,
+            },
+        }
+    }
+
+    /// One-at-a-time (§8.3): the [`ProfilerConfig::ppp_baseline`] plus
+    /// exactly one technique. The paper reports this view makes LC and
+    /// SPN visibly beneficial even though leave-one-out does not.
+    ///
+    /// `Technique::Fp` is excluded: the baseline already free-poisons
+    /// (matching the paper's TPP implementation), so there is no
+    /// "baseline + FP" distinct configuration.
+    pub fn one_at_a_time(technique: Technique) -> Option<Self> {
+        if technique == Technique::Fp {
+            return None;
+        }
+        let mut c = Self::ppp_baseline();
+        match technique {
+            Technique::Sac => c.toggles.global_cold_and_sac = true,
+            Technique::Push => c.toggles.push_past_cold = true,
+            Technique::Spn => c.toggles.smart_numbering = true,
+            Technique::Lc => c.toggles.low_coverage = true,
+            Technique::Fp => unreachable!("handled above"),
+        }
+        Some(c)
+    }
+
+    /// Display label ("PPP-FP" etc. for ablations, "TPPbase+SAC" etc. for
+    /// the one-at-a-time configurations).
+    pub fn label(&self) -> String {
+        if self.kind != ProfilerKind::Ppp {
+            return self.kind.name().to_owned();
+        }
+        let all = PppToggles::all();
+        if self.toggles == all {
+            return "PPP".to_owned();
+        }
+        // One-at-a-time family: FP on, at most one other technique on.
+        if self.toggles.free_poisoning {
+            let on: Vec<&str> = [
+                (self.toggles.global_cold_and_sac, "SAC"),
+                (self.toggles.push_past_cold, "Push"),
+                (self.toggles.smart_numbering, "SPN"),
+                (self.toggles.low_coverage, "LC"),
+            ]
+            .iter()
+            .filter_map(|&(t, n)| t.then_some(n))
+            .collect();
+            if on.is_empty() {
+                return "TPPbase".to_owned();
+            }
+            if on.len() == 1 {
+                return format!("TPPbase+{}", on[0]);
+            }
+        }
+        let mut off = Vec::new();
+        if !self.toggles.global_cold_and_sac {
+            off.push("SAC");
+        }
+        if !self.toggles.free_poisoning {
+            off.push("FP");
+        }
+        if !self.toggles.push_past_cold {
+            off.push("Push");
+        }
+        if !self.toggles.smart_numbering {
+            off.push("SPN");
+        }
+        if !self.toggles.low_coverage {
+            off.push("LC");
+        }
+        format!("PPP-{}", off.join("-"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = Params::default();
+        assert_eq!(p.cold_local_ratio, 0.05);
+        assert_eq!(p.cold_global_ratio, 0.001);
+        assert_eq!(p.obvious_loop_trip, 10.0);
+        assert_eq!(p.lc_coverage, 0.75);
+        assert_eq!(p.sac_multiplier, 1.5);
+        assert_eq!(p.hash_threshold, 4000);
+        assert_eq!(p.hash_slots, 701);
+        assert_eq!(p.hash_probes, 3);
+    }
+
+    #[test]
+    fn leave_one_out_flips_exactly_one_toggle() {
+        for t in Technique::ALL {
+            let c = ProfilerConfig::ppp_without(t);
+            let on = [
+                c.toggles.low_coverage,
+                c.toggles.global_cold_and_sac,
+                c.toggles.push_past_cold,
+                c.toggles.smart_numbering,
+                c.toggles.free_poisoning,
+            ];
+            assert_eq!(on.iter().filter(|&&x| !x).count(), 1, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ProfilerConfig::pp().label(), "PP");
+        assert_eq!(ProfilerConfig::tpp().label(), "TPP");
+        assert_eq!(ProfilerConfig::ppp().label(), "PPP");
+        assert_eq!(
+            ProfilerConfig::ppp_without(Technique::Fp).label(),
+            "PPP-FP"
+        );
+        assert_eq!(
+            ProfilerConfig::ppp_without(Technique::Sac).label(),
+            "PPP-SAC"
+        );
+        assert_eq!(Technique::Sac.abbrev(), "SAC");
+    }
+
+    #[test]
+    fn one_at_a_time_labels_and_exclusion() {
+        assert_eq!(ProfilerConfig::ppp_baseline().label(), "TPPbase");
+        assert_eq!(
+            ProfilerConfig::one_at_a_time(Technique::Lc).unwrap().label(),
+            "TPPbase+LC"
+        );
+        assert_eq!(
+            ProfilerConfig::one_at_a_time(Technique::Spn).unwrap().label(),
+            "TPPbase+SPN"
+        );
+        assert!(ProfilerConfig::one_at_a_time(Technique::Fp).is_none());
+    }
+}

@@ -1,0 +1,441 @@
+//! Base instrumentation placement and pushing (§3.1, §4.4).
+//!
+//! Base placement puts `r = 0` on every outgoing edge of `ENTRY` (dummy
+//! entry edges get theirs combined with their increment into `r = Val`),
+//! `count[r]` on every incoming edge of `EXIT` (dummy exit edges combine
+//! with their increment into `count[r + Val]`), and `r += Inc(e)` on every
+//! chord with a non-zero increment.
+//!
+//! Pushing then migrates pure initializations *down* and pure counts *up*,
+//! combining them with increments they meet — turning two dynamic ops into
+//! one, and often leaving *obvious paths* (§3.2) with a single
+//! constant-index count. A migration across a node is legal only when no
+//! other edge merges there; **PPP additionally ignores cold edges when
+//! checking for merges (§4.4)**, which removes more instrumentation at the
+//! price of letting the occasional cold execution record a hot path number
+//! (the overcount that coverage accounting later subtracts, §6.2).
+
+use crate::dag::{Dag, DagEdgeId};
+use crate::numbering::Numbering;
+use crate::plan::{combine, PlanOp};
+
+/// Pushing configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PushConfig {
+    /// PPP §4.4: ignore cold edges when deciding whether edges merge,
+    /// and never place pushed ops on cold edges.
+    pub ignore_cold: bool,
+    /// Whether `r = c; count[r]` may fold to `count[c]` (free poisoning
+    /// mode); see [`combine`].
+    pub merge_set_count: bool,
+}
+
+/// Places base instrumentation and pushes it to fixpoint.
+///
+/// Returns the per-edge op lists (indexed by [`DagEdgeId`]); cold edges are
+/// left for the poisoning pass.
+pub fn place_and_push(
+    dag: &Dag,
+    cold: &[bool],
+    inc: &[i64],
+    numbering: &Numbering,
+    config: PushConfig,
+) -> Vec<Vec<PlanOp>> {
+    let ne = dag.edge_count();
+    let counted =
+        |e: DagEdgeId| numbering.on_counted_path(dag, e, cold);
+
+    // --- Base placement -------------------------------------------------
+    let mut ops: Vec<Vec<PlanOp>> = vec![Vec::new(); ne];
+    for i in 0..ne {
+        let e = DagEdgeId(i as u32);
+        if counted(e) && inc[i] != 0 {
+            ops[i] = vec![PlanOp::Add(inc[i])];
+        }
+    }
+    for &e in dag.out_edges(dag.entry) {
+        if counted(e) {
+            let mut list = vec![PlanOp::Set(0)];
+            list.extend_from_slice(&ops[e.index()]);
+            ops[e.index()] = combine(&list, config.merge_set_count);
+        }
+    }
+    for &e in dag.in_edges(dag.exit) {
+        if counted(e) {
+            let mut list = ops[e.index()].clone();
+            list.push(PlanOp::Count);
+            ops[e.index()] = combine(&list, config.merge_set_count);
+        }
+    }
+
+    // --- Pushing to fixpoint --------------------------------------------
+    let blocking_in = |b: ppp_ir::BlockId, ops_len: usize| -> Vec<DagEdgeId> {
+        let _ = ops_len;
+        dag.in_edges(b)
+            .iter()
+            .copied()
+            .filter(|&e| !(config.ignore_cold && cold[e.index()]))
+            .collect()
+    };
+    let blocking_out = |b: ppp_ir::BlockId| -> Vec<DagEdgeId> {
+        dag.out_edges(b)
+            .iter()
+            .copied()
+            .filter(|&e| !(config.ignore_cold && cold[e.index()]))
+            .collect()
+    };
+
+    let mut changed = true;
+    let mut rounds = 0usize;
+    while changed && rounds <= 2 * ne + 2 {
+        changed = false;
+        rounds += 1;
+
+        // Initialization migration (downward).
+        for &w in dag.topo() {
+            if w == dag.entry || w == dag.exit {
+                continue;
+            }
+            let ins = blocking_in(w, ne);
+            if ins.len() != 1 {
+                continue;
+            }
+            let e = ins[0];
+            if cold[e.index()] {
+                continue;
+            }
+            let pure_set = match ops[e.index()].as_slice() {
+                [PlanOp::Set(c)] => Some(*c),
+                _ => None,
+            };
+            let Some(c) = pure_set else { continue };
+            // Only migrate if at least one eligible out-edge exists to
+            // carry the init onward.
+            let outs: Vec<DagEdgeId> = dag
+                .out_edges(w)
+                .iter()
+                .copied()
+                .filter(|&o| counted(o))
+                .collect();
+            if outs.is_empty() {
+                continue;
+            }
+            ops[e.index()].clear();
+            for o in outs {
+                let mut list = vec![PlanOp::Set(c)];
+                list.extend_from_slice(&ops[o.index()]);
+                ops[o.index()] = combine(&list, config.merge_set_count);
+            }
+            changed = true;
+        }
+
+        // Count migration (upward).
+        for &v in dag.topo().iter().rev() {
+            if v == dag.entry || v == dag.exit {
+                continue;
+            }
+            let outs = blocking_out(v);
+            if outs.len() != 1 {
+                continue;
+            }
+            let e = outs[0];
+            if cold[e.index()] {
+                continue;
+            }
+            let pure_count = matches!(ops[e.index()].as_slice(), [PlanOp::Count]);
+            if !pure_count {
+                continue;
+            }
+            let ins: Vec<DagEdgeId> = dag
+                .in_edges(v)
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    if cold[i.index()] {
+                        // TPP tallies poisoned paths where they merge; PPP
+                        // skips cold edges entirely (their executions then
+                        // either overcount downstream or go untallied).
+                        !config.ignore_cold
+                    } else {
+                        counted(i)
+                    }
+                })
+                .collect();
+            if ins.is_empty() {
+                continue;
+            }
+            ops[e.index()].clear();
+            for i in ins {
+                let mut list = ops[i.index()].clone();
+                list.push(PlanOp::Count);
+                ops[i.index()] = combine(&list, config.merge_set_count);
+            }
+            changed = true;
+        }
+    }
+
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::Dag;
+    use crate::events::{event_counting, TreeWeights};
+    use crate::numbering::{decode_path, number_paths, NumberingOrder};
+    use crate::plan::simulate;
+    use ppp_ir::{Function, FunctionBuilder, Reg};
+
+    fn full_pipeline(
+        f: &Function,
+        cold: &[bool],
+        config: PushConfig,
+    ) -> (Dag, Numbering, Vec<Vec<PlanOp>>) {
+        let dag = Dag::build(f, None);
+        let num = number_paths(&dag, cold, NumberingOrder::BallLarus);
+        let inc = event_counting(&dag, cold, &num, TreeWeights::Static);
+        let ops = place_and_push(&dag, cold, &inc, &num, config);
+        (dag, num, ops)
+    }
+
+    /// Every counted path must execute exactly one count, at its number.
+    fn assert_paths_count_correctly(dag: &Dag, num: &Numbering, cold: &[bool], ops: &[Vec<PlanOp>]) {
+        for p in 0..num.n_paths {
+            let path = decode_path(dag, num, cold, p).expect("valid path");
+            let lists: Vec<&[PlanOp]> =
+                path.iter().map(|&e| ops[e.index()].as_slice()).collect();
+            let counted = simulate(&lists, i64::MIN / 2);
+            assert_eq!(
+                counted,
+                vec![p as i64],
+                "path {p} (edges {path:?}) must count exactly its own number"
+            );
+        }
+    }
+
+    fn diamond_loop() -> Function {
+        let mut b = FunctionBuilder::new("f", 2);
+        let a = b.new_block();
+        let bb = b.new_block();
+        let cc = b.new_block();
+        let dd = b.new_block();
+        let ee = b.new_block();
+        b.jump(a);
+        b.switch_to(a);
+        b.branch(Reg(0), bb, cc);
+        b.switch_to(bb);
+        b.jump(dd);
+        b.switch_to(cc);
+        b.jump(dd);
+        b.switch_to(dd);
+        b.branch(Reg(1), a, ee);
+        b.switch_to(ee);
+        b.ret(None);
+        b.finish()
+    }
+
+    /// A straight chain entry -> x -> y -> exit: pushing should collapse
+    /// everything to one constant count.
+    #[test]
+    fn chain_collapses_to_single_const_count() {
+        let mut b = FunctionBuilder::new("chain", 0);
+        let (x, y) = (b.new_block(), b.new_block());
+        b.jump(x);
+        b.switch_to(x);
+        b.jump(y);
+        b.switch_to(y);
+        b.ret(None);
+        let f = b.finish();
+        let dag = Dag::build(&f, None);
+        let cold = vec![false; dag.edge_count()];
+        let (dag, num, ops) = full_pipeline(
+            &f,
+            &cold,
+            PushConfig {
+                ignore_cold: false,
+                merge_set_count: true,
+            },
+        );
+        assert_eq!(num.n_paths, 1);
+        let total_ops: usize = ops.iter().map(Vec::len).sum();
+        assert_eq!(total_ops, 1, "one CountConst expected, got {ops:?}");
+        assert!(ops
+            .iter()
+            .flatten()
+            .all(|o| matches!(o, PlanOp::CountConst(0))));
+        assert_paths_count_correctly(&dag, &num, &cold, &ops);
+    }
+
+    #[test]
+    fn diamond_loop_paths_count_correctly() {
+        let f = diamond_loop();
+        let cold = vec![false; Dag::build(&f, None).edge_count()];
+        let (dag, num, ops) = full_pipeline(
+            &f,
+            &cold,
+            PushConfig {
+                ignore_cold: false,
+                merge_set_count: true,
+            },
+        );
+        assert!(num.n_paths >= 4);
+        assert_paths_count_correctly(&dag, &num, &cold, &ops);
+    }
+
+    #[test]
+    fn cold_pruned_paths_count_correctly_both_modes() {
+        let f = diamond_loop();
+        let dag0 = Dag::build(&f, None);
+        // Mark A(1) -> C(3) cold.
+        let mut cold = vec![false; dag0.edge_count()];
+        let ac = (0..dag0.edge_count() as u32)
+            .map(DagEdgeId)
+            .find(|&e| {
+                dag0.edge(e).from == ppp_ir::BlockId(1) && dag0.edge(e).to == ppp_ir::BlockId(3)
+            })
+            .unwrap();
+        cold[ac.index()] = true;
+        for ignore_cold in [false, true] {
+            let (dag, num, ops) = full_pipeline(
+                &f,
+                &cold,
+                PushConfig {
+                    ignore_cold,
+                    merge_set_count: true,
+                },
+            );
+            assert_paths_count_correctly(&dag, &num, &cold, &ops);
+            // Cold edges never receive pushed instrumentation in
+            // ignore-cold mode.
+            if ignore_cold {
+                assert!(ops[ac.index()].is_empty());
+            }
+        }
+    }
+
+    /// The Figure 5 scenario: with a cold edge merging at M, TPP must stop
+    /// pushing above M while PPP pushes through, leaving strictly less
+    /// instrumentation on the hot paths.
+    #[test]
+    fn ppp_pushes_past_cold_merges() {
+        // entry -> A; A -> B | I; B..E diamondish chain to M via H;
+        // simplified: A -> B | I; B -> H; I -> H; H -> M; M -> N (hot) |
+        // O' (cold); N -> O; O and O' -> exit.
+        let mut b = FunctionBuilder::new("fig5", 2);
+        let a = b.new_block();
+        let bb = b.new_block();
+        let ii = b.new_block();
+        let hh = b.new_block();
+        let mm = b.new_block();
+        let nn = b.new_block();
+        let oo = b.new_block();
+        b.jump(a);
+        b.switch_to(a);
+        b.branch(Reg(0), bb, ii);
+        b.switch_to(bb);
+        b.jump(hh);
+        b.switch_to(ii);
+        b.jump(hh);
+        b.switch_to(hh);
+        b.jump(mm);
+        b.switch_to(mm);
+        b.branch(Reg(1), nn, oo); // M -> N hot, M -> O cold
+        b.switch_to(nn);
+        b.jump(oo);
+        b.switch_to(oo);
+        b.ret(None);
+        let f = b.finish();
+        let dag0 = Dag::build(&f, None);
+        let mut cold = vec![false; dag0.edge_count()];
+        let mo = (0..dag0.edge_count() as u32)
+            .map(DagEdgeId)
+            .find(|&e| {
+                dag0.edge(e).from == ppp_ir::BlockId(5) && dag0.edge(e).to == ppp_ir::BlockId(7)
+            })
+            .unwrap();
+        cold[mo.index()] = true;
+
+        let (dag_t, num_t, ops_tpp) = full_pipeline(
+            &f,
+            &cold,
+            PushConfig {
+                ignore_cold: false,
+                merge_set_count: true,
+            },
+        );
+        let (dag_p, num_p, ops_ppp) = full_pipeline(
+            &f,
+            &cold,
+            PushConfig {
+                ignore_cold: true,
+                merge_set_count: true,
+            },
+        );
+        assert_paths_count_correctly(&dag_t, &num_t, &cold, &ops_tpp);
+        assert_paths_count_correctly(&dag_p, &num_p, &cold, &ops_ppp);
+
+        // Dynamic cost on the hot paths: PPP must be <= TPP on every path,
+        // and strictly cheaper in total.
+        let path_cost = |dag: &Dag, num: &Numbering, ops: &[Vec<PlanOp>]| -> usize {
+            (0..num.n_paths)
+                .map(|p| {
+                    decode_path(dag, num, &cold, p)
+                        .unwrap()
+                        .iter()
+                        .map(|&e| ops[e.index()].len())
+                        .sum::<usize>()
+                })
+                .sum()
+        };
+        let t = path_cost(&dag_t, &num_t, &ops_tpp);
+        let p = path_cost(&dag_p, &num_p, &ops_ppp);
+        assert!(p <= t, "PPP pushing must not cost more (ppp={p}, tpp={t})");
+    }
+
+    /// Cold executions under PPP pushing overcount a hot path (the §4.4
+    /// trade-off) instead of corrupting other counts.
+    #[test]
+    fn cold_execution_overcounts_hot_path_under_ppp() {
+        let f = diamond_loop();
+        let dag0 = Dag::build(&f, None);
+        let mut cold = vec![false; dag0.edge_count()];
+        // Cold: the loop-exit edge D(4) -> E(5).
+        let de = (0..dag0.edge_count() as u32)
+            .map(DagEdgeId)
+            .find(|&e| {
+                dag0.edge(e).from == ppp_ir::BlockId(4)
+                    && dag0.edge(e).to == ppp_ir::BlockId(5)
+                    && matches!(dag0.edge(e).kind, crate::dag::DagEdgeKind::Real(_))
+            })
+            .unwrap();
+        cold[de.index()] = true;
+        let (dag, num, ops) = full_pipeline(
+            &f,
+            &cold,
+            PushConfig {
+                ignore_cold: true,
+                merge_set_count: true,
+            },
+        );
+        assert_paths_count_correctly(&dag, &num, &cold, &ops);
+        // Simulate a cold execution: take hot path 0's prefix but exit via
+        // the cold edge. It must count at most one index, and if it counts,
+        // the index must be a valid hot path number (an overcount), not
+        // garbage outside [0, N).
+        let hot = decode_path(&dag, &num, &cold, 0).unwrap();
+        let mut edges: Vec<DagEdgeId> = hot
+            .iter()
+            .copied()
+            .take_while(|&e| dag.edge(e).from != ppp_ir::BlockId(4))
+            .collect();
+        edges.push(de);
+        let lists: Vec<&[PlanOp]> = edges.iter().map(|&e| ops[e.index()].as_slice()).collect();
+        let counted = simulate(&lists, 0);
+        for c in counted {
+            assert!(
+                (0..num.n_paths as i64).contains(&c),
+                "cold execution counted invalid index {c}"
+            );
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Corner-case tests of the instrumentation pipeline: the self-adjusting
+//! criterion (§4.3), low-coverage routine skipping (§4.1), hash-table
+//! fallback and losses (§7.4), and obvious-routine skipping (§3.2).
+
+use ppp_core::{
+    instrument_module, measured_paths, normalize_module, ProfilerConfig, ProfilerKind,
+    SkipReason,
+};
+use ppp_ir::{BinOp, FuncId, FunctionBuilder, Module, Reg};
+use ppp_vm::{run, RunOptions};
+
+/// Builds `main` calling `work(scenario-driven diamonds)` with `diamonds`
+/// sequential two-way splits, each either biased or scenario-driven.
+fn diamond_chain_module(diamonds: usize, iters: i64, biased: bool) -> Module {
+    let mut m = Module::new();
+    let mut mb = FunctionBuilder::new("main", 0);
+    let n = mb.constant(iters);
+    let i = mb.copy(n);
+    let (hdr, body, exit) = (mb.new_block(), mb.new_block(), mb.new_block());
+    mb.jump(hdr);
+    mb.switch_to(hdr);
+    mb.branch(i, body, exit);
+    mb.switch_to(body);
+    let bound = mb.constant(64);
+    let arg = mb.rand(bound);
+    mb.call_void(FuncId(1), vec![arg]);
+    let one = mb.constant(1);
+    mb.binary_to(i, BinOp::Sub, i, one);
+    mb.jump(hdr);
+    mb.switch_to(exit);
+    mb.ret(None);
+    m.add_function(mb.finish());
+
+    let mut fb = FunctionBuilder::new("work", 1);
+    let acc = fb.copy(Reg(0));
+    let ways = fb.constant(32);
+    let scenario = fb.rand(ways);
+    for j in 0..diamonds {
+        let cond = if biased && j % 3 == 0 {
+            // ~3% arm: scenario == 31 (prunable by the 5% local criterion).
+            let k = fb.constant(31);
+            fb.binary(BinOp::Eq, scenario, k)
+        } else {
+            // 50/50 scenario bit.
+            let sh = fb.constant(j as i64 % 5);
+            let t = fb.binary(BinOp::Shr, scenario, sh);
+            let one = fb.constant(1);
+            fb.binary(BinOp::And, t, one)
+        };
+        let (a, b, join) = (fb.new_block(), fb.new_block(), fb.new_block());
+        fb.branch(cond, a, b);
+        fb.switch_to(a);
+        let k = fb.constant(j as i64 + 1);
+        fb.binary_to(acc, BinOp::Add, acc, k);
+        fb.jump(join);
+        fb.switch_to(b);
+        let k = fb.constant(2 * j as i64 + 1);
+        fb.binary_to(acc, BinOp::Xor, acc, k);
+        fb.jump(join);
+        fb.switch_to(join);
+    }
+    fb.emit(acc);
+    fb.ret(Some(acc));
+    m.add_function(fb.finish());
+    normalize_module(&mut m);
+    m
+}
+
+fn edges_of(m: &Module) -> ppp_ir::ModuleEdgeProfile {
+    run(m, "main", &RunOptions::default().traced())
+        .unwrap()
+        .edge_profile
+        .unwrap()
+}
+
+/// 13 biased diamonds: 8192 static paths. PP must hash; TPP's local
+/// criterion prunes the ~3% arms to an array; PPP too.
+#[test]
+fn hash_threshold_drives_table_choice() {
+    let m = diamond_chain_module(13, 300, true);
+    let edges = edges_of(&m);
+    let work = m.function_by_name("work").unwrap();
+
+    let pp = instrument_module(&m, Some(&edges), &ProfilerConfig::pp());
+    assert!(pp.funcs[work.index()].uses_hash, "PP must hash 8192 paths");
+    assert_eq!(pp.funcs[work.index()].n_paths, 8192);
+
+    let tpp = instrument_module(&m, Some(&edges), &ProfilerConfig::tpp());
+    let tf = &tpp.funcs[work.index()];
+    assert!(tf.instrumented);
+    assert!(
+        !tf.uses_hash,
+        "TPP's cold removal must reach an array (N = {})",
+        tf.n_paths
+    );
+    assert!(tf.n_paths <= 4000);
+
+    let ppp = instrument_module(&m, Some(&edges), &ProfilerConfig::ppp());
+    assert!(!ppp.funcs[work.index()].uses_hash);
+}
+
+/// 13 *unbiased* (50/50 scenario-bit) diamonds: nothing is locally cold,
+/// so TPP must keep hashing; PPP's SAC escalates the global criterion but
+/// must never zero the routine out — worst case it also hashes.
+#[test]
+fn unprunable_routines_hash_rather_than_vanish() {
+    let m = diamond_chain_module(13, 300, false);
+    let edges = edges_of(&m);
+    let work = m.function_by_name("work").unwrap();
+
+    let tpp = instrument_module(&m, Some(&edges), &ProfilerConfig::tpp());
+    assert!(tpp.funcs[work.index()].uses_hash, "TPP cannot prune 50/50 bits");
+
+    let ppp = instrument_module(&m, Some(&edges), &ProfilerConfig::ppp());
+    let pf = &ppp.funcs[work.index()];
+    assert!(pf.instrumented, "SAC must not destroy the routine");
+    assert!(pf.n_paths > 0);
+    // Either SAC found something to prune or it fell back to hashing.
+    assert!(pf.uses_hash || pf.n_paths <= 4000);
+    // And the instrumented module still measures real paths.
+    let r = run(&ppp.module, "main", &RunOptions::default()).unwrap();
+    let measured = measured_paths(&ppp, &m, &r.store);
+    assert!(measured.total_unit_flow() > 0);
+}
+
+/// Hash tables lose paths once distinct hot paths exceed slots × probes;
+/// the lost counter must account for every execution.
+#[test]
+fn hash_losses_are_counted_not_dropped() {
+    let m = diamond_chain_module(13, 2000, false);
+    let edges = edges_of(&m);
+    let truth = run(&m, "main", &RunOptions::default().traced())
+        .unwrap()
+        .path_profile
+        .unwrap();
+    let tpp = instrument_module(&m, Some(&edges), &ProfilerConfig::tpp());
+    let r = run(&tpp.module, "main", &RunOptions::default()).unwrap();
+    let measured = measured_paths(&tpp, &m, &r.store);
+    // Work paths are hashed; with 32 scenarios x some bits the distinct
+    // count is modest, so losses may be zero — but measured + lost must
+    // never exceed the truth, and decoded paths must be genuine.
+    for (fid, key, stats) in measured.iter() {
+        let actual = truth.func(fid).paths.get(key);
+        assert!(actual.is_some(), "decoded path {key:?} must exist");
+        assert!(stats.freq <= actual.unwrap().freq + r.store.total_lost());
+    }
+}
+
+/// A routine whose edge profile covers it well is skipped by PPP's LC
+/// criterion but still instrumented by TPP.
+#[test]
+fn high_coverage_routines_skipped_by_lc_only() {
+    // One heavily biased diamond (97/3) plus a straight tail: definite
+    // flow covers nearly everything.
+    let mut m = Module::new();
+    let mut mb = FunctionBuilder::new("main", 0);
+    let n = mb.constant(500);
+    let i = mb.copy(n);
+    let (hdr, body, exit) = (mb.new_block(), mb.new_block(), mb.new_block());
+    mb.jump(hdr);
+    mb.switch_to(hdr);
+    mb.branch(i, body, exit);
+    mb.switch_to(body);
+    mb.call_void(FuncId(1), vec![i]);
+    let one = mb.constant(1);
+    mb.binary_to(i, BinOp::Sub, i, one);
+    mb.jump(hdr);
+    mb.switch_to(exit);
+    mb.ret(None);
+    m.add_function(mb.finish());
+
+    let mut fb = FunctionBuilder::new("biased", 1);
+    let thousand = fb.constant(1000);
+    let r = fb.rand(thousand);
+    let cut = fb.constant(970);
+    let c = fb.binary(BinOp::Lt, r, cut);
+    let (a, b, j, k) = (fb.new_block(), fb.new_block(), fb.new_block(), fb.new_block());
+    fb.branch(c, a, b);
+    fb.switch_to(a);
+    fb.jump(j);
+    fb.switch_to(b);
+    fb.jump(j);
+    fb.switch_to(j);
+    // Second biased diamond, same direction bias.
+    let r2 = fb.rand(thousand);
+    let c2 = fb.binary(BinOp::Lt, r2, cut);
+    let (x, y) = (fb.new_block(), fb.new_block());
+    fb.branch(c2, x, y);
+    fb.switch_to(x);
+    fb.jump(k);
+    fb.switch_to(y);
+    fb.jump(k);
+    fb.switch_to(k);
+    fb.emit(r2);
+    fb.ret(None);
+    m.add_function(fb.finish());
+    normalize_module(&mut m);
+
+    let edges = edges_of(&m);
+    let fid = m.function_by_name("biased").unwrap();
+
+    let ppp = instrument_module(&m, Some(&edges), &ProfilerConfig::ppp());
+    let fp = &ppp.funcs[fid.index()];
+    assert!(
+        matches!(fp.skip_reason, Some(SkipReason::HighCoverage(_)))
+            || fp.lc_coverage < 0.75,
+        "a 97/3-biased routine should be LC-skipped (coverage {:.2})",
+        fp.lc_coverage
+    );
+    if let Some(SkipReason::HighCoverage(c)) = fp.skip_reason {
+        assert!(c >= 0.75);
+        assert!(!fp.instrumented);
+        // TPP has no LC: it instruments (or finds it all-obvious).
+        let tpp = instrument_module(&m, Some(&edges), &ProfilerConfig::tpp());
+        let tf = &tpp.funcs[fid.index()];
+        assert!(
+            tf.instrumented || tf.skip_reason == Some(SkipReason::AllObvious),
+            "TPP must not LC-skip: {:?}",
+            tf.skip_reason
+        );
+    }
+    assert_eq!(ppp.config.kind, ProfilerKind::Ppp);
+}
+
+/// 70 sequential diamonds: 2^70 static paths saturate the 64-bit path
+/// counters. Instrumentation must stay well-defined (hash table, clamped
+/// values) and never panic or corrupt execution — the paper's "path
+/// truncation" regime (§7.4).
+#[test]
+fn saturated_path_counts_do_not_panic() {
+    let m = diamond_chain_module(70, 50, false);
+    let edges = edges_of(&m);
+    let traced = run(&m, "main", &RunOptions::default().traced()).unwrap();
+    for config in [
+        ProfilerConfig::pp(),
+        ProfilerConfig::tpp(),
+        ProfilerConfig::ppp(),
+    ] {
+        let plan = instrument_module(&m, Some(&edges), &config);
+        let work = m.function_by_name("work").unwrap();
+        let fp = &plan.funcs[work.index()];
+        if fp.instrumented {
+            assert!(fp.uses_hash, "{}: saturated routine must hash", config.label());
+        }
+        let r = run(&plan.module, "main", &RunOptions::default()).unwrap();
+        assert_eq!(r.checksum, traced.checksum, "{}", config.label());
+        // Decoding must not panic either (most counts are lost/unmapped).
+        let _ = measured_paths(&plan, &m, &r.store);
+    }
+}
+
+/// Straight-line routines (one path) are all-obvious for guided
+/// profilers and get a single constant count under PP.
+#[test]
+fn single_path_routines() {
+    let mut m = Module::new();
+    let mut mb = FunctionBuilder::new("main", 0);
+    let v = mb.call(FuncId(1), vec![]);
+    mb.emit(v);
+    mb.ret(None);
+    m.add_function(mb.finish());
+    let mut fb = FunctionBuilder::new("straight", 0);
+    let c = fb.constant(5);
+    let (next, last) = (fb.new_block(), fb.new_block());
+    fb.jump(next);
+    fb.switch_to(next);
+    fb.jump(last);
+    fb.switch_to(last);
+    fb.ret(Some(c));
+    m.add_function(fb.finish());
+    normalize_module(&mut m);
+    let edges = edges_of(&m);
+
+    let ppp = instrument_module(&m, Some(&edges), &ProfilerConfig::ppp());
+    let sid = m.function_by_name("straight").unwrap();
+    // Either skipped as obvious/high-coverage, or instrumented trivially.
+    let fp = &ppp.funcs[sid.index()];
+    assert!(
+        !fp.instrumented,
+        "single-path routine must not be instrumented by PPP: {:?}",
+        fp.skip_reason
+    );
+
+    let pp = instrument_module(&m, Some(&edges), &ProfilerConfig::pp());
+    assert!(pp.funcs[sid.index()].instrumented);
+    let r = run(&pp.module, "main", &RunOptions::default()).unwrap();
+    let measured = measured_paths(&pp, &m, &r.store);
+    assert_eq!(measured.func(sid).total_unit_flow(), 1);
+}

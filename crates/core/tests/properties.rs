@@ -1,0 +1,296 @@
+//! Property-based invariants over randomly generated CFGs.
+//!
+//! The generator produces arbitrary single-exit functions (random forward
+//! jumps/branches/switches plus occasional retreating edges, i.e. loops —
+//! possibly irreducible), then checks the invariants the whole profiling
+//! stack rests on:
+//!
+//! 1. path numbering is a bijection `paths ↔ [0, N)`;
+//! 2. event counting preserves every path's number;
+//! 3. after placement, pushing, and poisoning, every counted path
+//!    executes **exactly one** count, at its own number, from any initial
+//!    register value;
+//! 4. cold executions never land in the hot index range under TPP-style
+//!    pushing, and never exceed the declared maximum index under
+//!    PPP-style pushing;
+//! 5. the checked-poisoning mode keeps cold executions negative.
+
+use ppp_core::dag::{Dag, DagEdgeId};
+use ppp_core::events::{event_counting, TreeWeights};
+use ppp_core::numbering::{decode_path, number_paths, NumberingOrder};
+use ppp_core::plan::{simulate, PlanOp};
+use ppp_core::poison::{apply_poisoning, PoisonMode};
+use ppp_core::push::{place_and_push, PushConfig};
+use ppp_ir::{Block, BlockId, Function, Reg, Terminator};
+use proptest::prelude::*;
+
+/// Compact spec for one generated block's terminator.
+#[derive(Clone, Debug)]
+enum TermSpec {
+    Jump(u8),
+    Branch(u8, u8),
+    Switch(u8, u8, u8),
+    /// Branch with one retreating target (a loop).
+    Loop(u8, u8),
+}
+
+fn term_spec() -> impl Strategy<Value = TermSpec> {
+    prop_oneof![
+        4 => any::<u8>().prop_map(TermSpec::Jump),
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| TermSpec::Branch(a, b)),
+        1 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| TermSpec::Switch(a, b, c)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| TermSpec::Loop(a, b)),
+    ]
+}
+
+/// Builds a structurally valid single-exit function from the spec: block
+/// `i`'s forward targets map into `i+1..=last`, retreating targets into
+/// `1..=i` (never the entry), and the last block returns.
+fn build_function(specs: &[TermSpec]) -> Function {
+    let n = specs.len() + 2; // entry + body blocks + exit
+    let exit = BlockId::new(n - 1);
+    let mut f = Function::new("gen", 1);
+    f.reg_count = 1;
+    f.blocks.clear();
+    let fwd = |i: usize, pick: u8| -> BlockId {
+        let lo = i + 1;
+        let hi = n - 1;
+        BlockId::new(lo + (pick as usize) % (hi - lo + 1))
+    };
+    let back = |i: usize, pick: u8| -> BlockId {
+        // Retreating target in 1..=i (bodies only; never the entry).
+        BlockId::new(1 + (pick as usize) % i.max(1))
+    };
+    for i in 0..n - 1 {
+        let term = if i == 0 {
+            // Entry always jumps forward so it keeps zero predecessors.
+            Terminator::Jump { target: fwd(0, 0) }
+        } else {
+            match specs[i - 1].clone() {
+                TermSpec::Jump(a) => Terminator::Jump { target: fwd(i, a) },
+                TermSpec::Branch(a, b) => Terminator::Branch {
+                    cond: Reg(0),
+                    then_target: fwd(i, a),
+                    else_target: fwd(i, b),
+                },
+                TermSpec::Switch(a, b, c) => Terminator::Switch {
+                    disc: Reg(0),
+                    targets: vec![fwd(i, a), fwd(i, b)],
+                    default: fwd(i, c),
+                },
+                TermSpec::Loop(a, b) => Terminator::Branch {
+                    cond: Reg(0),
+                    then_target: back(i, a),
+                    else_target: fwd(i, b),
+                },
+            }
+        };
+        f.blocks.push(Block::new(term));
+    }
+    f.blocks.push(Block::new(Terminator::Return { value: None }));
+    let _ = exit;
+    f
+}
+
+/// Enumerates every DAG path (through cold edges too), up to a cap.
+fn all_dag_paths(dag: &Dag, cap: usize) -> Vec<Vec<DagEdgeId>> {
+    let mut out = Vec::new();
+    let mut stack = vec![(dag.entry, Vec::new())];
+    while let Some((v, path)) = stack.pop() {
+        if out.len() >= cap {
+            break;
+        }
+        if v == dag.exit {
+            out.push(path);
+            continue;
+        }
+        for &e in dag.out_edges(v) {
+            let mut p = path.clone();
+            p.push(e);
+            stack.push((dag.edge(e).to, p));
+        }
+    }
+    out
+}
+
+const PATH_CAP: usize = 512;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn numbering_is_a_bijection(specs in prop::collection::vec(term_spec(), 1..9)) {
+        let f = build_function(&specs);
+        let dag = Dag::build(&f, None);
+        let cold = vec![false; dag.edge_count()];
+        let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
+        prop_assume!(num.n_paths <= PATH_CAP as u64);
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..num.n_paths {
+            let path = decode_path(&dag, &num, &cold, p).expect("decodable");
+            let sum: i64 = path.iter().map(|&e| num.val[e.index()]).sum();
+            prop_assert_eq!(sum as u64, p);
+            prop_assert!(seen.insert(path));
+        }
+    }
+
+    #[test]
+    fn event_counting_preserves_numbers(
+        specs in prop::collection::vec(term_spec(), 1..9),
+        smart in any::<bool>(),
+        freq_seed in any::<u64>(),
+    ) {
+        let f = build_function(&specs);
+        let mut dag = Dag::build(&f, None);
+        // Synthetic frequencies.
+        let mut x = freq_seed | 1;
+        for i in 0..dag.edge_count() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            dag.set_edge_freq(DagEdgeId(i as u32), x % 1000);
+        }
+        let cold = vec![false; dag.edge_count()];
+        let order = if smart { NumberingOrder::SmartDecreasingFreq } else { NumberingOrder::BallLarus };
+        let num = number_paths(&dag, &cold, order);
+        prop_assume!(num.n_paths <= PATH_CAP as u64);
+        let weights = if smart { TreeWeights::Measured } else { TreeWeights::Static };
+        let inc = event_counting(&dag, &cold, &num, weights);
+        for p in 0..num.n_paths {
+            let path = decode_path(&dag, &num, &cold, p).expect("decodable");
+            let sum: i64 = path.iter().map(|&e| inc[e.index()]).sum();
+            prop_assert_eq!(sum as u64, p);
+        }
+    }
+
+    #[test]
+    fn full_pipeline_counts_every_path_once(
+        specs in prop::collection::vec(term_spec(), 1..8),
+        cold_seed in any::<u64>(),
+        ignore_cold in any::<bool>(),
+        r_in in any::<i64>(),
+    ) {
+        let f = build_function(&specs);
+        let dag = Dag::build(&f, None);
+        // Random cold mask (~20% of edges).
+        let mut x = cold_seed | 1;
+        let cold: Vec<bool> = (0..dag.edge_count()).map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            x % 5 == 0
+        }).collect();
+        let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
+        prop_assume!(num.n_paths > 0 && num.n_paths <= PATH_CAP as u64);
+        let inc = event_counting(&dag, &cold, &num, TreeWeights::Static);
+        let mut ops = place_and_push(&dag, &cold, &inc, &num, PushConfig {
+            ignore_cold,
+            merge_set_count: true,
+        });
+        let outcome = apply_poisoning(&dag, &cold, &mut ops, num.n_paths, PoisonMode::Free);
+
+        // (3) every counted path counts exactly its own number.
+        for p in 0..num.n_paths {
+            let path = decode_path(&dag, &num, &cold, p).expect("decodable");
+            let lists: Vec<&[PlanOp]> = path.iter().map(|&e| ops[e.index()].as_slice()).collect();
+            let counted = simulate(&lists, r_in);
+            prop_assert_eq!(counted, vec![p as i64], "path {} miscounted", p);
+        }
+
+        // (4) arbitrary executions (including cold ones) stay in bounds.
+        // A cold execution may tally the cold region more than once (it
+        // meets the poisoned-merge count and then a downstream counting
+        // edge — real TPP double-bumps its cold counter the same way),
+        // but at most one count may ever land in the hot range, and every
+        // index stays inside the declared table.
+        for path in all_dag_paths(&dag, PATH_CAP) {
+            let crosses_cold = path.iter().any(|e| cold[e.index()]);
+            let lists: Vec<&[PlanOp]> = path.iter().map(|&e| ops[e.index()].as_slice()).collect();
+            let counted = simulate(&lists, r_in);
+            if !crosses_cold {
+                prop_assert!(counted.len() <= 1, "multiple counts on a counted path");
+            }
+            let mut hot_counts = 0usize;
+            for c in counted {
+                prop_assert!(c >= 0);
+                prop_assert!(c as u64 <= outcome.max_counter_index,
+                    "index {} exceeds table bound {}", c, outcome.max_counter_index);
+                if (c as u64) < num.n_paths {
+                    hot_counts += 1;
+                }
+                if crosses_cold && !ignore_cold {
+                    // TPP-style pushing never lets cold executions count
+                    // hot numbers.
+                    prop_assert!(c as u64 >= num.n_paths,
+                        "cold execution counted hot index {}", c);
+                }
+                if !crosses_cold {
+                    prop_assert!((c as u64) < num.n_paths);
+                }
+            }
+            // PPP's push-past-cold can let one cold execution be adopted
+            // by *several* counted-path families in sequence (it crosses
+            // one family's pushed init, counts, then crosses another's):
+            // each hot count is an overcount the coverage penalty (§6.2)
+            // subtracts in aggregate. Only executions that never touch a
+            // cold edge — real counted paths — are limited to one count.
+            if !(ignore_cold && crosses_cold) {
+                prop_assert!(hot_counts <= 1, "multiple hot counts on one execution");
+            }
+        }
+    }
+
+    #[test]
+    fn checked_poisoning_keeps_cold_negative(
+        specs in prop::collection::vec(term_spec(), 1..8),
+        cold_seed in any::<u64>(),
+    ) {
+        let f = build_function(&specs);
+        let dag = Dag::build(&f, None);
+        let mut x = cold_seed | 1;
+        let cold: Vec<bool> = (0..dag.edge_count()).map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            x % 4 == 0
+        }).collect();
+        let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
+        prop_assume!(num.n_paths > 0 && num.n_paths <= PATH_CAP as u64);
+        let inc = event_counting(&dag, &cold, &num, TreeWeights::Static);
+        let mut ops = place_and_push(&dag, &cold, &inc, &num, PushConfig {
+            ignore_cold: false,
+            merge_set_count: false,
+        });
+        apply_poisoning(&dag, &cold, &mut ops, num.n_paths, PoisonMode::Checked);
+        for path in all_dag_paths(&dag, PATH_CAP) {
+            let crosses_cold = path.iter().any(|e| cold[e.index()]);
+            let lists: Vec<&[PlanOp]> = path.iter().map(|&e| ops[e.index()].as_slice()).collect();
+            for c in simulate(&lists, 0) {
+                if crosses_cold {
+                    prop_assert!(c < 0, "checked poison must stay negative, got {}", c);
+                } else {
+                    prop_assert!((0..num.n_paths as i64).contains(&c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pushing_never_increases_dynamic_cost(
+        specs in prop::collection::vec(term_spec(), 1..8),
+    ) {
+        let f = build_function(&specs);
+        let dag = Dag::build(&f, None);
+        let cold = vec![false; dag.edge_count()];
+        let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
+        prop_assume!(num.n_paths > 0 && num.n_paths <= PATH_CAP as u64);
+        let inc = event_counting(&dag, &cold, &num, TreeWeights::Static);
+        let ops = place_and_push(&dag, &cold, &inc, &num, PushConfig {
+            ignore_cold: false,
+            merge_set_count: true,
+        });
+        // Baseline (no pushing): init + per-edge increments + final count
+        // = at most 2 + #nonzero-inc-edges ops per path.
+        for p in 0..num.n_paths {
+            let path = decode_path(&dag, &num, &cold, p).expect("decodable");
+            let pushed: usize = path.iter().map(|&e| ops[e.index()].len()).sum();
+            let baseline = 2 + path.iter().filter(|&&e| inc[e.index()] != 0).count();
+            prop_assert!(pushed <= baseline,
+                "pushing made path {} cost {} > baseline {}", p, pushed, baseline);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Quantitative check of §4.5's intent: smart path numbering and
+//! profile-driven event counting place *fewer dynamic increments on hot
+//! edges* than the static-heuristic versions.
+
+use ppp_core::dag::{Dag, DagEdgeId};
+use ppp_core::events::{event_counting, TreeWeights};
+use ppp_core::numbering::{number_paths, NumberingOrder};
+use ppp_ir::{FuncId, FunctionBuilder, Module, Reg};
+use ppp_vm::{run, RunOptions};
+
+/// A function whose hot/cold arms contradict the static heuristics: the
+/// *second* arm of each branch is the hot one (static assumes 50/50 and
+/// prefers small-NumPaths ordering), inside a loop the heuristics weigh
+/// generically.
+fn build() -> Module {
+    let mut m = Module::new();
+    let mut mb = FunctionBuilder::new("main", 0);
+    let n = mb.constant(400);
+    let i = mb.copy(n);
+    let (hdr, body, exit) = (mb.new_block(), mb.new_block(), mb.new_block());
+    mb.jump(hdr);
+    mb.switch_to(hdr);
+    mb.branch(i, body, exit);
+    mb.switch_to(body);
+    mb.call_void(FuncId(1), vec![i]);
+    let one = mb.constant(1);
+    mb.binary_to(i, ppp_ir::BinOp::Sub, i, one);
+    mb.jump(hdr);
+    mb.switch_to(exit);
+    mb.ret(None);
+    m.add_function(mb.finish());
+
+    let mut fb = FunctionBuilder::new("skewed", 1);
+    let thousand = fb.constant(1000);
+    let ninety = fb.constant(900);
+    for _ in 0..4 {
+        let r = fb.rand(thousand);
+        // cond true 10% of the time: the *else* arm is hot.
+        let c = fb.binary(ppp_ir::BinOp::Lt, ninety, r);
+        let (t, e, j) = (fb.new_block(), fb.new_block(), fb.new_block());
+        fb.branch(c, t, e);
+        fb.switch_to(t);
+        fb.jump(j);
+        fb.switch_to(e);
+        fb.jump(j);
+        fb.switch_to(j);
+    }
+    let z = fb.param(0);
+    fb.emit(z);
+    fb.ret(Some(z));
+    m.add_function(fb.finish());
+    ppp_core::normalize_module(&mut m);
+    m
+}
+
+/// Dynamic increments executed = Σ over edges with inc != 0 of edge freq.
+fn dynamic_increments(dag: &Dag, inc: &[i64]) -> u64 {
+    (0..dag.edge_count() as u32)
+        .map(DagEdgeId)
+        .filter(|e| inc[e.index()] != 0)
+        .map(|e| dag.edge(e).freq)
+        .sum()
+}
+
+#[test]
+fn profile_driven_event_counting_moves_increments_off_hot_edges() {
+    let m = build();
+    let traced = run(&m, "main", &RunOptions::default().traced()).unwrap();
+    let edges = traced.edge_profile.unwrap();
+    let fid = m.function_by_name("skewed").unwrap();
+    let dag = Dag::build(m.function(fid), Some(edges.func(fid)));
+    let cold = vec![false; dag.edge_count()];
+
+    // Static posture: Ball-Larus order + heuristic spanning tree.
+    let num_static = number_paths(&dag, &cold, NumberingOrder::BallLarus);
+    let inc_static = event_counting(&dag, &cold, &num_static, TreeWeights::Static);
+    let cost_static = dynamic_increments(&dag, &inc_static);
+
+    // SPN posture: frequency order + measured spanning tree (§4.5).
+    let num_spn = number_paths(&dag, &cold, NumberingOrder::SmartDecreasingFreq);
+    let inc_spn = event_counting(&dag, &cold, &num_spn, TreeWeights::Measured);
+    let cost_spn = dynamic_increments(&dag, &inc_spn);
+
+    assert!(
+        cost_spn <= cost_static,
+        "SPN must not execute more increments: spn={cost_spn} static={cost_static}"
+    );
+    // On this adversarially-skewed routine it should be strictly better.
+    assert!(
+        cost_spn < cost_static,
+        "SPN should strictly win here: spn={cost_spn} static={cost_static}"
+    );
+
+    // And SPP's inverted order (§2) is the worst of the three.
+    let num_spp = number_paths(&dag, &cold, NumberingOrder::SppIncreasingFreq);
+    let inc_spp = event_counting(&dag, &cold, &num_spp, TreeWeights::Measured);
+    let cost_spp = dynamic_increments(&dag, &inc_spp);
+    assert!(
+        cost_spp >= cost_spn,
+        "SPP numbering loads hot paths: spp={cost_spp} spn={cost_spn}"
+    );
+    let _ = Reg(0);
+}

@@ -1,0 +1,224 @@
+//! Control-flow-graph utilities: successor/predecessor views, depth-first
+//! orders, and reachability.
+
+use crate::function::Function;
+use crate::ids::{BlockId, EdgeRef};
+
+/// Precomputed CFG adjacency for one function.
+///
+/// Holds successor and predecessor lists plus a reverse postorder, so
+/// analyses can traverse without re-walking terminators.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<EdgeRef>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<Option<u32>>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Builds the CFG view of `f`.
+    pub fn new(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (id, b) in f.iter_blocks() {
+            for s in 0..b.term.successor_count() {
+                let tgt = b.term.successor(s).expect("in-range successor");
+                succs[id.index()].push(tgt);
+                preds[tgt.index()].push(EdgeRef::new(id, s));
+            }
+        }
+        let po = postorder_from(f.entry, &succs);
+        let mut rpo = po;
+        rpo.reverse();
+        let mut rpo_index = vec![None; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = Some(i as u32);
+        }
+        Self {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+            entry: f.entry,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn block_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Successors of `b` in successor-index order.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor edges of `b` (each names the source block and the
+    /// successor slot in that source's terminator).
+    pub fn preds(&self, b: BlockId) -> &[EdgeRef] {
+        &self.preds[b.index()]
+    }
+
+    /// Reverse postorder over blocks reachable from entry.
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in reverse postorder, or `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<u32> {
+        self.rpo_index[b.index()]
+    }
+
+    /// Returns `true` if `b` is reachable from entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+
+    /// Returns `true` if edge `from -> to` is *retreating* with respect to
+    /// reverse postorder (target does not come after source). On reducible
+    /// graphs these are exactly the natural-loop back edges; on irreducible
+    /// graphs they still give a valid set of edges whose removal makes the
+    /// graph acyclic, which is all Ball–Larus DAG conversion needs (§3.1).
+    pub fn is_retreating(&self, from: BlockId, to: BlockId) -> bool {
+        match (self.rpo_index(from), self.rpo_index(to)) {
+            (Some(f), Some(t)) => t <= f,
+            _ => false,
+        }
+    }
+}
+
+/// Computes a postorder of blocks reachable from `entry` using an explicit
+/// stack (no recursion, so deep CFGs cannot overflow the call stack).
+fn postorder_from(entry: BlockId, succs: &[Vec<BlockId>]) -> Vec<BlockId> {
+    let n = succs.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    // (block, next successor index to visit)
+    let mut stack: Vec<(BlockId, usize)> = Vec::new();
+    visited[entry.index()] = true;
+    stack.push((entry, 0));
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let ss = &succs[b.index()];
+        if *next < ss.len() {
+            let s = ss[*next];
+            *next += 1;
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            order.push(b);
+            stack.pop();
+        }
+    }
+    order
+}
+
+/// Returns the blocks reachable from the function entry, in reverse
+/// postorder, without building a full [`Cfg`].
+pub fn reachable_blocks(f: &Function) -> Vec<BlockId> {
+    Cfg::new(f).reverse_postorder().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+    use crate::ids::Reg;
+
+    /// entry -> (b1 | b2) -> b3 -> ret, plus unreachable b4.
+    fn diamond_with_orphan() -> Function {
+        let mut b = FunctionBuilder::new("f", 1);
+        let (t, e, j, orphan) = (b.new_block(), b.new_block(), b.new_block(), b.new_block());
+        b.branch(Reg(0), t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.switch_to(orphan);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let f = diamond_with_orphan();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)).len(), 2);
+        assert_eq!(cfg.preds(BlockId(0)).len(), 0);
+        assert_eq!(cfg.block_count(), 5);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_skips_unreachable() {
+        let f = diamond_with_orphan();
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        assert!(!cfg.is_reachable(BlockId(4)));
+        assert!(cfg.is_reachable(BlockId(3)));
+        // Topological property on this acyclic graph: every edge goes
+        // forward in RPO.
+        for (id, b) in f.iter_blocks() {
+            if !cfg.is_reachable(id) {
+                continue;
+            }
+            for s in b.term.successors() {
+                assert!(cfg.rpo_index(id).unwrap() < cfg.rpo_index(s).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn retreating_edges_detect_loops() {
+        // entry -> header -> body -> header (back edge), header -> exit
+        let mut b = FunctionBuilder::new("loopy", 1);
+        let (header, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+        b.jump(header);
+        b.switch_to(header);
+        b.branch(Reg(0), body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.is_retreating(body, header));
+        assert!(!cfg.is_retreating(header, body));
+        assert!(!cfg.is_retreating(BlockId(0), header));
+    }
+
+    #[test]
+    fn self_loop_is_retreating() {
+        let mut b = FunctionBuilder::new("selfloop", 1);
+        let (l, exit) = (b.new_block(), b.new_block());
+        b.jump(l);
+        b.switch_to(l);
+        b.branch(Reg(0), l, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.is_retreating(l, l));
+    }
+
+    #[test]
+    fn reachable_blocks_helper() {
+        let f = diamond_with_orphan();
+        let r = reachable_blocks(&f);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], BlockId(0));
+    }
+}

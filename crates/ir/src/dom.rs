@@ -1,0 +1,172 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy).
+
+use crate::cfg::Cfg;
+use crate::ids::BlockId;
+
+/// Immediate-dominator tree for the reachable portion of a CFG.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// `idom[b] == Some(d)` means `d` immediately dominates `b`; the entry
+    /// block is its own idom. Unreachable blocks have `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators with the Cooper–Harvey–Kennedy iterative
+    /// algorithm over reverse postorder.
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.block_count();
+        let entry = cfg.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let rpo = cfg.reverse_postorder();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor with a known idom.
+                let mut new_idom: Option<BlockId> = None;
+                for p in cfg.preds(b) {
+                    let p = p.from;
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cfg, cur, p),
+                    });
+                }
+                let new_idom = new_idom.expect("reachable non-entry block has a processed pred");
+                if idom[b.index()] != Some(new_idom) {
+                    idom[b.index()] = Some(new_idom);
+                    changed = true;
+                }
+            }
+        }
+        Self { idom, entry }
+    }
+
+    /// Returns the immediate dominator of `b`, or `None` if `b` is the
+    /// entry block or unreachable.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    ///
+    /// Unreachable blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() || self.idom[a.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[cur.index()].expect("reachable block chain");
+        }
+    }
+}
+
+fn intersect(idom: &[Option<BlockId>], cfg: &Cfg, mut a: BlockId, mut b: BlockId) -> BlockId {
+    let rpo = |x: BlockId| cfg.rpo_index(x).expect("block in dominator walk is reachable");
+    while a != b {
+        while rpo(a) > rpo(b) {
+            a = idom[a.index()].expect("processed block has idom");
+        }
+        while rpo(b) > rpo(a) {
+            b = idom[b.index()].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{Function, FunctionBuilder};
+    use crate::ids::Reg;
+
+    /// Classic example:
+    /// entry(0) -> 1; 1 -> 2,3; 2 -> 4; 3 -> 4; 4 -> 1 (back), 4 -> 5(ret)
+    fn looped() -> Function {
+        let mut b = FunctionBuilder::new("f", 1);
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        let b3 = b.new_block();
+        let b4 = b.new_block();
+        let b5 = b.new_block();
+        b.jump(b1);
+        b.switch_to(b1);
+        b.branch(Reg(0), b2, b3);
+        b.switch_to(b2);
+        b.jump(b4);
+        b.switch_to(b3);
+        b.jump(b4);
+        b.switch_to(b4);
+        b.branch(Reg(0), b1, b5);
+        b.switch_to(b5);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn idoms_of_loop_diamond() {
+        let f = looped();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom(BlockId(0)), None);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(4)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(5)), Some(BlockId(4)));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let f = looped();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert!(dom.dominates(BlockId(1), BlockId(1)));
+        assert!(dom.dominates(BlockId(0), BlockId(5)));
+        assert!(dom.dominates(BlockId(1), BlockId(4)));
+        assert!(!dom.dominates(BlockId(2), BlockId(4)));
+        assert!(!dom.dominates(BlockId(5), BlockId(0)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let orphan = b.new_block();
+        b.ret(None);
+        b.switch_to(orphan);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom(orphan), None);
+        assert!(!dom.dominates(BlockId(0), orphan));
+        assert!(!dom.dominates(orphan, BlockId(0)));
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let f = looped();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        for b in cfg.reverse_postorder() {
+            assert!(dom.dominates(BlockId(0), *b));
+        }
+    }
+}

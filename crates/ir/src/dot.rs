@@ -1,0 +1,133 @@
+//! Graphviz (DOT) export of CFGs, optionally annotated with an edge
+//! profile — handy for inspecting generated workloads and instrumented
+//! functions (`dot -Tsvg`).
+
+use crate::function::Function;
+use crate::module::Module;
+use crate::profile::FuncEdgeProfile;
+use std::fmt::Write as _;
+
+/// Renders one function as a DOT digraph.
+///
+/// With a `profile`, edges are labeled with their frequencies and scaled
+/// in pen width by relative hotness; blocks show their instruction count
+/// and execution count.
+///
+/// # Examples
+///
+/// ```
+/// use ppp_ir::{FunctionBuilder, to_dot};
+/// let mut b = FunctionBuilder::new("f", 1);
+/// let x = b.param(0);
+/// b.ret(Some(x));
+/// let dot = to_dot(&b.finish(), None);
+/// assert!(dot.starts_with("digraph"));
+/// ```
+pub fn to_dot(f: &Function, profile: Option<&FuncEdgeProfile>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", f.name);
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    let max_freq = profile
+        .map(|p| {
+            f.edges()
+                .iter()
+                .map(|&e| p.edge(e))
+                .max()
+                .unwrap_or(0)
+                .max(1)
+        })
+        .unwrap_or(1);
+    for (id, b) in f.iter_blocks() {
+        let mut label = format!("{id}");
+        if id == f.entry {
+            label.push_str(" (entry)");
+        }
+        let _ = write!(label, "\\n{} insts", b.insts.len());
+        if let Some(p) = profile {
+            let _ = write!(label, "\\nexec {}", p.block(id));
+        }
+        let _ = writeln!(out, "  {} [label=\"{}\"];", id.index(), label);
+    }
+    for e in f.edges() {
+        let tgt = f.edge_target(e);
+        let mut attrs = String::new();
+        if let Some(p) = profile {
+            let freq = p.edge(e);
+            let width = 1.0 + 4.0 * freq as f64 / max_freq as f64;
+            let _ = write!(attrs, " [label=\"{freq}\", penwidth={width:.2}]");
+        }
+        let _ = writeln!(out, "  {} -> {}{};", e.from.index(), tgt.index(), attrs);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders every function of a module, concatenated.
+pub fn module_to_dot(m: &Module, profile: Option<&crate::profile::ModuleEdgeProfile>) -> String {
+    m.functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            to_dot(
+                f,
+                profile.map(|p| p.func(crate::ids::FuncId::new(i))),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+    use crate::ids::{BlockId, EdgeRef, Reg};
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("dot_test", 1);
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(Reg(0), t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn renders_all_blocks_and_edges() {
+        let f = diamond();
+        let dot = to_dot(&f, None);
+        assert!(dot.starts_with("digraph \"dot_test\""));
+        assert_eq!(dot.matches("label=\"b").count(), 4);
+        assert_eq!(dot.matches(" -> ").count(), 4);
+        assert!(dot.contains("(entry)"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn profile_annotations_included() {
+        let f = diamond();
+        let mut p = FuncEdgeProfile::zeroed(&f);
+        p.set_edge(EdgeRef::new(BlockId(0), 0), 90);
+        p.set_edge(EdgeRef::new(BlockId(0), 1), 10);
+        p.set_block(BlockId(0), 100);
+        let dot = to_dot(&f, Some(&p));
+        assert!(dot.contains("label=\"90\""));
+        assert!(dot.contains("exec 100"));
+        assert!(dot.contains("penwidth=5.00"), "hottest edge at max width");
+    }
+
+    #[test]
+    fn module_export_concatenates() {
+        let mut m = Module::new();
+        m.add_function(diamond());
+        let mut b2 = FunctionBuilder::new("other", 0);
+        b2.ret(None);
+        m.add_function(b2.finish());
+        let dot = module_to_dot(&m, None);
+        assert_eq!(dot.matches("digraph").count(), 2);
+    }
+}

@@ -1,0 +1,465 @@
+//! Functions, blocks, and the [`FunctionBuilder`].
+
+use crate::ids::{BlockId, EdgeRef, FuncId, Reg};
+use crate::inst::{BinOp, Inst, Terminator, UnOp};
+
+/// A basic block: straight-line instructions followed by one terminator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    /// Non-terminator instructions, executed in order.
+    pub insts: Vec<Inst>,
+    /// The block terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates a block with the given terminator and no instructions.
+    pub fn new(term: Terminator) -> Self {
+        Self {
+            insts: Vec::new(),
+            term,
+        }
+    }
+
+    /// Returns the number of instructions including the terminator.
+    pub fn len_with_term(&self) -> usize {
+        self.insts.len() + 1
+    }
+}
+
+/// A function: a CFG of [`Block`]s over a flat register file.
+///
+/// Registers `r0..r{param_count}` hold the arguments on entry; all other
+/// registers start at `0`. Functions may have multiple `return` blocks;
+/// passes that need a unique exit use
+/// [`single_exit`](crate::transform::single_exit) first.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    /// Function name, unique within a module.
+    pub name: String,
+    /// Number of parameters (stored in `r0..param_count`).
+    pub param_count: u32,
+    /// Total number of virtual registers.
+    pub reg_count: u32,
+    /// Blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// The entry block.
+    pub entry: BlockId,
+}
+
+impl Function {
+    /// Creates an empty function with a single `return` block as entry.
+    pub fn new(name: impl Into<String>, param_count: u32) -> Self {
+        Self {
+            name: name.into(),
+            param_count,
+            reg_count: param_count,
+            blocks: vec![Block::new(Terminator::Return { value: None })],
+            entry: BlockId(0),
+        }
+    }
+
+    /// Returns the block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Returns the block with the given id, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Returns an iterator over `(BlockId, &Block)` pairs in index order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::new(i), b))
+    }
+
+    /// Returns all block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + 'static {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Allocates a fresh register.
+    pub fn new_reg(&mut self) -> Reg {
+        let r = Reg(self.reg_count);
+        self.reg_count += 1;
+        r
+    }
+
+    /// Appends a new block and returns its id.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId::new(self.blocks.len());
+        self.blocks.push(block);
+        id
+    }
+
+    /// Returns the target block of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge does not exist.
+    pub fn edge_target(&self, edge: EdgeRef) -> BlockId {
+        self.block(edge.from)
+            .term
+            .successor(edge.succ_index())
+            .expect("edge successor index out of range")
+    }
+
+    /// Returns every CFG edge in deterministic (block, successor) order.
+    pub fn edges(&self) -> Vec<EdgeRef> {
+        let mut out = Vec::new();
+        for (id, b) in self.iter_blocks() {
+            for s in 0..b.term.successor_count() {
+                out.push(EdgeRef::new(id, s));
+            }
+        }
+        out
+    }
+
+    /// Returns the ids of all blocks whose terminator is `return`.
+    pub fn return_blocks(&self) -> Vec<BlockId> {
+        self.iter_blocks()
+            .filter(|(_, b)| b.term.is_return())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Returns the total static instruction count (instructions plus
+    /// terminators), the "IR statements" size measure used for the
+    /// inlining and unrolling limits (§7.3).
+    pub fn size(&self) -> usize {
+        self.blocks.iter().map(Block::len_with_term).sum()
+    }
+
+    /// Returns the number of instrumentation instructions.
+    pub fn prof_inst_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.insts.iter().filter(|i| i.is_prof()).count())
+            .sum()
+    }
+}
+
+/// Incrementally constructs a [`Function`].
+///
+/// The builder keeps a *current block*; instruction-emitting methods append
+/// to it. Blocks are created unterminated and must each be sealed with one
+/// of the terminator methods before [`FunctionBuilder::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use ppp_ir::{FunctionBuilder, BinOp};
+///
+/// let mut b = FunctionBuilder::new("abs_diff", 2);
+/// let (x, y) = (b.param(0), b.param(1));
+/// let lt = b.binary(BinOp::Lt, x, y);
+/// let (then_, else_, join) = (b.new_block(), b.new_block(), b.new_block());
+/// b.branch(lt, then_, else_);
+/// b.switch_to(then_);
+/// let a = b.binary(BinOp::Sub, y, x);
+/// b.jump(join);
+/// b.switch_to(else_);
+/// let c = b.binary(BinOp::Sub, x, y);
+/// b.jump(join);
+/// b.switch_to(join);
+/// let m = b.binary(BinOp::Max, a, c);
+/// b.ret(Some(m));
+/// let f = b.finish();
+/// assert_eq!(f.blocks.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+    sealed: Vec<bool>,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with `param_count` parameters. The entry
+    /// block is current.
+    pub fn new(name: impl Into<String>, param_count: u32) -> Self {
+        let func = Function::new(name, param_count);
+        Self {
+            func,
+            current: BlockId(0),
+            sealed: vec![false],
+        }
+    }
+
+    /// Returns the `i`-th parameter register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= param_count`.
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.func.param_count, "parameter index out of range");
+        Reg(i)
+    }
+
+    /// Returns the block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Creates a new, empty, unterminated block (not yet current).
+    pub fn new_block(&mut self) -> BlockId {
+        let id = self
+            .func
+            .add_block(Block::new(Terminator::Return { value: None }));
+        self.sealed.push(false);
+        id
+    }
+
+    /// Makes `block` the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was already terminated.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(
+            !self.sealed[block.index()],
+            "block {block} is already terminated"
+        );
+        self.current = block;
+    }
+
+    fn push(&mut self, inst: Inst) {
+        assert!(
+            !self.sealed[self.current.index()],
+            "current block is already terminated"
+        );
+        let cur = self.current;
+        self.func.block_mut(cur).insts.push(inst);
+    }
+
+    /// Emits `dst = value` into a fresh register and returns it.
+    pub fn constant(&mut self, value: i64) -> Reg {
+        let dst = self.func.new_reg();
+        self.push(Inst::Const { dst, value });
+        dst
+    }
+
+    /// Emits `dst = src` into a fresh register and returns it.
+    pub fn copy(&mut self, src: Reg) -> Reg {
+        let dst = self.func.new_reg();
+        self.push(Inst::Copy { dst, src });
+        dst
+    }
+
+    /// Emits a copy into an *existing* register (for loop-carried values).
+    pub fn copy_to(&mut self, dst: Reg, src: Reg) {
+        self.push(Inst::Copy { dst, src });
+    }
+
+    /// Emits `dst = op src` into a fresh register and returns it.
+    pub fn unary(&mut self, op: UnOp, src: Reg) -> Reg {
+        let dst = self.func.new_reg();
+        self.push(Inst::Unary { dst, op, src });
+        dst
+    }
+
+    /// Emits `dst = lhs op rhs` into a fresh register and returns it.
+    pub fn binary(&mut self, op: BinOp, lhs: Reg, rhs: Reg) -> Reg {
+        let dst = self.func.new_reg();
+        self.push(Inst::Binary { dst, op, lhs, rhs });
+        dst
+    }
+
+    /// Emits a binary op writing to an *existing* register.
+    pub fn binary_to(&mut self, dst: Reg, op: BinOp, lhs: Reg, rhs: Reg) {
+        self.push(Inst::Binary { dst, op, lhs, rhs });
+    }
+
+    /// Emits a load from global memory.
+    pub fn load(&mut self, addr: Reg) -> Reg {
+        let dst = self.func.new_reg();
+        self.push(Inst::Load { dst, addr });
+        dst
+    }
+
+    /// Emits a store to global memory.
+    pub fn store(&mut self, addr: Reg, src: Reg) {
+        self.push(Inst::Store { addr, src });
+    }
+
+    /// Emits the synthetic-input intrinsic `dst = rand(bound)`.
+    pub fn rand(&mut self, bound: Reg) -> Reg {
+        let dst = self.func.new_reg();
+        self.push(Inst::Rand { dst, bound });
+        dst
+    }
+
+    /// Emits a call with a result.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Reg>) -> Reg {
+        let dst = self.func.new_reg();
+        self.push(Inst::Call {
+            dst: Some(dst),
+            callee,
+            args,
+        });
+        dst
+    }
+
+    /// Emits a call discarding the result.
+    pub fn call_void(&mut self, callee: FuncId, args: Vec<Reg>) {
+        self.push(Inst::Call {
+            dst: None,
+            callee,
+            args,
+        });
+    }
+
+    /// Emits `emit src` (folds `src` into the VM checksum).
+    pub fn emit(&mut self, src: Reg) {
+        self.push(Inst::Emit { src });
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        assert!(
+            !self.sealed[self.current.index()],
+            "current block is already terminated"
+        );
+        let cur = self.current;
+        self.func.block_mut(cur).term = term;
+        self.sealed[cur.index()] = true;
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump { target });
+    }
+
+    /// Terminates the current block with a two-way branch.
+    pub fn branch(&mut self, cond: Reg, then_target: BlockId, else_target: BlockId) {
+        self.terminate(Terminator::Branch {
+            cond,
+            then_target,
+            else_target,
+        });
+    }
+
+    /// Terminates the current block with a multi-way switch.
+    pub fn switch(&mut self, disc: Reg, targets: Vec<BlockId>, default: BlockId) {
+        self.terminate(Terminator::Switch {
+            disc,
+            targets,
+            default,
+        });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Reg>) {
+        self.terminate(Terminator::Return { value });
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any created block was never terminated.
+    pub fn finish(self) -> Function {
+        for (i, sealed) in self.sealed.iter().enumerate() {
+            assert!(sealed, "block b{i} was never terminated");
+        }
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("diamond", 1);
+        let p = b.param(0);
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(p, t, e);
+        b.switch_to(t);
+        let c1 = b.constant(1);
+        b.emit(c1);
+        b.jump(j);
+        b.switch_to(e);
+        let c2 = b.constant(2);
+        b.emit(c2);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(p));
+        b.finish()
+    }
+
+    #[test]
+    fn builder_constructs_diamond() {
+        let f = diamond();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.entry, BlockId(0));
+        assert_eq!(f.block(BlockId(0)).term.successor_count(), 2);
+        assert_eq!(f.return_blocks(), vec![BlockId(3)]);
+        assert_eq!(f.edges().len(), 4);
+        assert_eq!(f.size(), 4 + 4); // 4 insts + 4 terminators
+    }
+
+    #[test]
+    fn edge_target_resolves() {
+        let f = diamond();
+        let e = EdgeRef::new(BlockId(0), 1);
+        assert_eq!(f.edge_target(e), BlockId(2));
+    }
+
+    #[test]
+    fn new_reg_allocates_after_params() {
+        let mut f = Function::new("f", 3);
+        assert_eq!(f.new_reg(), Reg(3));
+        assert_eq!(f.new_reg(), Reg(4));
+        assert_eq!(f.reg_count, 5);
+    }
+
+    #[test]
+    fn prof_inst_count_counts_only_prof() {
+        use crate::inst::ProfOp;
+        let mut f = diamond();
+        assert_eq!(f.prof_inst_count(), 0);
+        f.block_mut(BlockId(1))
+            .insts
+            .push(Inst::Prof(ProfOp::SetR { value: 0 }));
+        assert_eq!(f.prof_inst_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn switching_to_sealed_block_panics() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let entry = b.current_block();
+        b.ret(None);
+        b.switch_to(entry);
+    }
+
+    #[test]
+    #[should_panic(expected = "never terminated")]
+    fn finish_requires_all_terminated() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let _orphan = b.new_block();
+        b.ret(None);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter index out of range")]
+    fn param_out_of_range_panics() {
+        let b = FunctionBuilder::new("f", 1);
+        let _ = b.param(1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Small index newtypes used throughout the IR.
+//!
+//! All of these are plain `u32` indices wrapped in newtypes so the type
+//! system distinguishes a block index from a register index
+//! ([C-NEWTYPE]). They are `Copy` and cheap to pass by value.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflowed u32"))
+            }
+
+            /// Returns the raw index as `usize`, for container indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a [`Function`](crate::Function) within a
+    /// [`Module`](crate::Module) by position.
+    FuncId,
+    "@f"
+);
+id_type!(
+    /// Identifies a [`Block`](crate::Block) within a function by position.
+    BlockId,
+    "b"
+);
+id_type!(
+    /// Identifies a virtual register within a function.
+    ///
+    /// Registers `r0..r{params}` hold the function arguments on entry.
+    Reg,
+    "r"
+);
+id_type!(
+    /// Identifies a profile counter table declared in a
+    /// [`Module`](crate::Module).
+    TableId,
+    "t"
+);
+
+/// A CFG edge, identified by its source block and the index of the target
+/// in the source block's successor list.
+///
+/// Identifying edges by `(from, successor position)` rather than
+/// `(from, to)` keeps edges distinct even when a two-way branch sends both
+/// arms to the same block, and keeps the identity stable while other parts
+/// of the CFG change.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeRef {
+    /// Source block.
+    pub from: BlockId,
+    /// Index into the source block's successor list.
+    pub succ: u32,
+}
+
+impl EdgeRef {
+    /// Creates an edge reference.
+    #[inline]
+    pub fn new(from: BlockId, succ: usize) -> Self {
+        Self {
+            from,
+            succ: u32::try_from(succ).expect("successor index overflowed u32"),
+        }
+    }
+
+    /// Returns the successor index as `usize`.
+    #[inline]
+    pub fn succ_index(self) -> usize {
+        self.succ as usize
+    }
+}
+
+impl fmt::Display for EdgeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.from, self.succ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_usize() {
+        let b = BlockId::new(7);
+        assert_eq!(b.index(), 7);
+        assert_eq!(usize::from(b), 7);
+        assert_eq!(format!("{b}"), "b7");
+        assert_eq!(format!("{b:?}"), "b7");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(Reg::new(1) < Reg::new(2));
+        assert_eq!(FuncId::new(3), FuncId(3));
+    }
+
+    #[test]
+    fn edge_ref_display_and_identity() {
+        let e1 = EdgeRef::new(BlockId::new(4), 0);
+        let e2 = EdgeRef::new(BlockId::new(4), 1);
+        assert_ne!(e1, e2);
+        assert_eq!(format!("{e1}"), "b4#0");
+        assert_eq!(e2.succ_index(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflowed u32")]
+    fn id_overflow_panics() {
+        let _ = BlockId::new(usize::MAX);
+    }
+}

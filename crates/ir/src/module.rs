@@ -1,0 +1,174 @@
+//! Modules: collections of functions plus profile-table declarations.
+
+use crate::function::Function;
+use crate::ids::{FuncId, TableId};
+
+/// Storage strategy for a path-frequency counter table.
+///
+/// Routines with at most the hashing threshold of possible paths use a
+/// dense array; larger routines fall back to a hash table with a fixed
+/// number of slots and a bounded number of probes, after which paths are
+/// *lost* (counted in a lost-path counter), exactly as in §7.4 of the
+/// paper. Joshi et al. estimate a hash probe costs about five times an
+/// array access, which the VM cost model reflects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TableKind {
+    /// Dense array of `size` 64-bit counters, indexed directly.
+    Array {
+        /// Number of counter slots.
+        size: u64,
+    },
+    /// Open-addressed hash table.
+    Hash {
+        /// Number of hash slots (the paper uses 701).
+        slots: u64,
+        /// Maximum probes before the path is counted as lost (paper: 3).
+        max_probes: u32,
+    },
+}
+
+impl TableKind {
+    /// Returns `true` for hash-backed tables.
+    pub fn is_hash(self) -> bool {
+        matches!(self, TableKind::Hash { .. })
+    }
+}
+
+/// Declaration of a counter table owned by an instrumented function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TableDecl {
+    /// The function whose paths this table counts.
+    pub func: FuncId,
+    /// Storage strategy.
+    pub kind: TableKind,
+    /// Number of *hot* path numbers (`N` in the paper): measured indices in
+    /// `0..hot_paths` are genuine path counts; with free poisoning (§4.6),
+    /// indices in `hot_paths..` are poisoned (cold) paths.
+    pub hot_paths: u64,
+}
+
+/// A module: the unit of compilation and execution.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Module {
+    /// Functions, indexed by [`FuncId`].
+    pub functions: Vec<Function>,
+    /// Profile counter tables declared by instrumenters.
+    pub tables: Vec<TableDecl>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a function and returns its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId::new(self.functions.len());
+        self.functions.push(f);
+        id
+    }
+
+    /// Returns the function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Returns the function with the given id, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::new)
+    }
+
+    /// Returns all function ids in index order.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> + 'static {
+        (0..self.functions.len() as u32).map(FuncId)
+    }
+
+    /// Declares a counter table and returns its id.
+    pub fn add_table(&mut self, decl: TableDecl) -> TableId {
+        let id = TableId::new(self.tables.len());
+        self.tables.push(decl);
+        id
+    }
+
+    /// Returns the table declaration with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn table(&self, id: TableId) -> &TableDecl {
+        &self.tables[id.index()]
+    }
+
+    /// Total static size (IR statements) of all functions.
+    pub fn size(&self) -> usize {
+        self.functions.iter().map(Function::size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup_functions() {
+        let mut m = Module::new();
+        let a = m.add_function(Function::new("alpha", 0));
+        let b = m.add_function(Function::new("beta", 2));
+        assert_eq!(a, FuncId(0));
+        assert_eq!(b, FuncId(1));
+        assert_eq!(m.function_by_name("beta"), Some(b));
+        assert_eq!(m.function_by_name("gamma"), None);
+        assert_eq!(m.function(b).param_count, 2);
+        assert_eq!(m.func_ids().collect::<Vec<_>>(), vec![a, b]);
+    }
+
+    #[test]
+    fn tables_declare_and_lookup() {
+        let mut m = Module::new();
+        let f = m.add_function(Function::new("f", 0));
+        let t = m.add_table(TableDecl {
+            func: f,
+            kind: TableKind::Array { size: 24 },
+            hot_paths: 8,
+        });
+        assert_eq!(t, TableId(0));
+        assert!(!m.table(t).kind.is_hash());
+        let h = m.add_table(TableDecl {
+            func: f,
+            kind: TableKind::Hash {
+                slots: 701,
+                max_probes: 3,
+            },
+            hot_paths: 5000,
+        });
+        assert!(m.table(h).kind.is_hash());
+    }
+
+    #[test]
+    fn module_size_sums_functions() {
+        let mut m = Module::new();
+        m.add_function(Function::new("f", 0)); // 1 block, 1 terminator
+        m.add_function(Function::new("g", 0));
+        assert_eq!(m.size(), 2);
+    }
+}

@@ -1,0 +1,340 @@
+//! Profile persistence: a stable text format for edge and path profiles.
+//!
+//! Staged optimizers collect a profile in one run and consume it in a
+//! later compile (§1, §7.2's *self advice* is the same-run special case).
+//! This module serializes [`ModuleEdgeProfile`]s and
+//! [`ModulePathProfile`]s to a line-oriented format and parses them back,
+//! validating shape against the module they describe.
+//!
+//! Format:
+//!
+//! ```text
+//! edge-profile v1
+//! func 0 entries 120
+//! edge 0 b0 0 120        ; func, block, successor index, count
+//! block 0 b0 120
+//! path-profile v1
+//! path 0 b3 17 : b3#0 b5#1   ; func, start, freq, then the edge list
+//! ```
+
+use crate::function::Function;
+use crate::ids::{BlockId, EdgeRef, FuncId};
+use crate::module::Module;
+use crate::path::{ModulePathProfile, PathKey};
+use crate::profile::ModuleEdgeProfile;
+use std::fmt::Write as _;
+
+/// Errors from parsing persisted profiles.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProfileParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProfileParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ProfileParseError {}
+
+/// Serializes an edge profile.
+pub fn write_edge_profile(module: &Module, profile: &ModuleEdgeProfile) -> String {
+    let mut out = String::from("edge-profile v1\n");
+    for (fi, f) in module.functions.iter().enumerate() {
+        let fid = FuncId::new(fi);
+        let p = profile.func(fid);
+        let _ = writeln!(out, "func {fi} entries {}", p.entries());
+        for (bid, b) in f.iter_blocks() {
+            if p.block(bid) > 0 {
+                let _ = writeln!(out, "block {fi} {bid} {}", p.block(bid));
+            }
+            for s in 0..b.term.successor_count() {
+                let e = EdgeRef::new(bid, s);
+                if p.edge(e) > 0 {
+                    let _ = writeln!(out, "edge {fi} {bid} {s} {}", p.edge(e));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses an edge profile written by [`write_edge_profile`].
+///
+/// # Errors
+///
+/// Fails on malformed lines or references outside `module`'s shape.
+pub fn read_edge_profile(
+    module: &Module,
+    text: &str,
+) -> Result<ModuleEdgeProfile, ProfileParseError> {
+    let mut profile = ModuleEdgeProfile::zeroed(module);
+    let mut lines = text.lines().enumerate();
+    let err = |line: usize, m: &str| ProfileParseError {
+        line: line + 1,
+        message: m.to_owned(),
+    };
+    match lines.next() {
+        Some((_, "edge-profile v1")) => {}
+        _ => return Err(err(0, "expected 'edge-profile v1' header")),
+    }
+    for (ln, raw) in lines {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut w = line.split_whitespace();
+        let kind = w.next().unwrap_or("");
+        let func: usize = w
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(ln, "missing function index"))?;
+        if func >= module.functions.len() {
+            return Err(err(ln, "function index out of range"));
+        }
+        let fid = FuncId::new(func);
+        match kind {
+            "func" => {
+                if w.next() != Some("entries") {
+                    return Err(err(ln, "expected 'entries'"));
+                }
+                let n = w
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln, "bad entry count"))?;
+                profile.func_mut(fid).set_entries(n);
+            }
+            "block" => {
+                let b = parse_block(w.next(), ln, module.function(fid))?;
+                let n = w
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln, "bad block count"))?;
+                profile.func_mut(fid).set_block(b, n);
+            }
+            "edge" => {
+                let b = parse_block(w.next(), ln, module.function(fid))?;
+                let s: usize = w
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err(ln, "bad successor index"))?;
+                if module.function(fid).block(b).term.successor(s).is_none() {
+                    return Err(err(ln, "successor index out of range"));
+                }
+                let n = w
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err(ln, "bad edge count"))?;
+                profile.func_mut(fid).set_edge(EdgeRef::new(b, s), n);
+            }
+            other => return Err(err(ln, &format!("unknown record {other:?}"))),
+        }
+    }
+    Ok(profile)
+}
+
+/// Serializes a path profile.
+pub fn write_path_profile(profile: &ModulePathProfile) -> String {
+    let mut out = String::from("path-profile v1\n");
+    // Deterministic order: function, then start block, then edge list.
+    let mut entries: Vec<(FuncId, &PathKey, u64)> = profile
+        .iter()
+        .map(|(f, k, s)| (f, k, s.freq))
+        .collect();
+    entries.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.start.cmp(&b.1.start))
+            .then(a.1.edges.cmp(&b.1.edges))
+    });
+    for (f, key, freq) in entries {
+        let _ = write!(out, "path {} {} {} :", f.index(), key.start, freq);
+        for e in &key.edges {
+            let _ = write!(out, " {e}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a path profile written by [`write_path_profile`].
+///
+/// # Errors
+///
+/// Fails on malformed lines or paths that do not fit `module`'s CFGs.
+pub fn read_path_profile(
+    module: &Module,
+    text: &str,
+) -> Result<ModulePathProfile, ProfileParseError> {
+    let mut profile = ModulePathProfile::with_capacity(module.functions.len());
+    let err = |line: usize, m: &str| ProfileParseError {
+        line: line + 1,
+        message: m.to_owned(),
+    };
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "path-profile v1")) => {}
+        _ => return Err(err(0, "expected 'path-profile v1' header")),
+    }
+    for (ln, raw) in lines {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (head, edges_txt) = line
+            .split_once(':')
+            .ok_or_else(|| err(ln, "missing ':' separator"))?;
+        let mut w = head.split_whitespace();
+        if w.next() != Some("path") {
+            return Err(err(ln, "expected 'path'"));
+        }
+        let func: usize = w
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(ln, "bad function index"))?;
+        if func >= module.functions.len() {
+            return Err(err(ln, "function index out of range"));
+        }
+        let fid = FuncId::new(func);
+        let f = module.function(fid);
+        let start = parse_block(w.next(), ln, f)?;
+        let freq: u64 = w
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(ln, "bad frequency"))?;
+        let mut edges = Vec::new();
+        for tok in edges_txt.split_whitespace() {
+            let (b, s) = tok
+                .split_once('#')
+                .ok_or_else(|| err(ln, "bad edge token"))?;
+            let b = parse_block(Some(b), ln, f)?;
+            let s: usize = s.parse().map_err(|_| err(ln, "bad successor index"))?;
+            if f.block(b).term.successor(s).is_none() {
+                return Err(err(ln, "edge does not exist"));
+            }
+            edges.push(EdgeRef::new(b, s));
+        }
+        profile
+            .func_mut(fid)
+            .record(f, PathKey { start, edges }, freq);
+    }
+    Ok(profile)
+}
+
+fn parse_block(
+    tok: Option<&str>,
+    ln: usize,
+    f: &Function,
+) -> Result<BlockId, ProfileParseError> {
+    let err = |m: &str| ProfileParseError {
+        line: ln + 1,
+        message: m.to_owned(),
+    };
+    let t = tok.ok_or_else(|| err("missing block"))?;
+    let n: u32 = t
+        .strip_prefix('b')
+        .and_then(|x| x.parse().ok())
+        .ok_or_else(|| err("bad block token"))?;
+    if (n as usize) < f.blocks.len() {
+        Ok(BlockId(n))
+    } else {
+        Err(err("block out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+    use crate::ids::Reg;
+    use crate::path::PathStats;
+
+    fn sample() -> Module {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", 0);
+        let c = b.constant(1);
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        m.add_function(b.finish());
+        let mut g = FunctionBuilder::new("g", 1);
+        let p = g.param(0);
+        g.ret(Some(p));
+        m.add_function(g.finish());
+        let _ = Reg(0);
+        m
+    }
+
+    #[test]
+    fn edge_profile_roundtrips() {
+        let m = sample();
+        let mut p = ModuleEdgeProfile::zeroed(&m);
+        p.func_mut(FuncId(0)).set_entries(10);
+        p.func_mut(FuncId(0)).set_block(BlockId(0), 10);
+        p.func_mut(FuncId(0))
+            .set_edge(EdgeRef::new(BlockId(0), 0), 7);
+        p.func_mut(FuncId(0))
+            .set_edge(EdgeRef::new(BlockId(0), 1), 3);
+        p.func_mut(FuncId(1)).set_entries(4);
+        let text = write_edge_profile(&m, &p);
+        let back = read_edge_profile(&m, &text).expect("parses");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn path_profile_roundtrips() {
+        let m = sample();
+        let mut p = ModulePathProfile::with_capacity(2);
+        let f = m.function(FuncId(0));
+        p.func_mut(FuncId(0)).record(
+            f,
+            PathKey {
+                start: BlockId(0),
+                edges: vec![EdgeRef::new(BlockId(0), 0), EdgeRef::new(BlockId(1), 0)],
+            },
+            7,
+        );
+        p.func_mut(FuncId(0)).record(
+            f,
+            PathKey {
+                start: BlockId(0),
+                edges: vec![EdgeRef::new(BlockId(0), 1), EdgeRef::new(BlockId(2), 0)],
+            },
+            3,
+        );
+        let text = write_path_profile(&p);
+        let back = read_path_profile(&m, &text).expect("parses");
+        assert_eq!(p.total_unit_flow(), back.total_unit_flow());
+        assert_eq!(p.distinct_paths(), back.distinct_paths());
+        for (fid, k, s) in p.iter() {
+            assert_eq!(back.func(fid).paths.get(k), Some(&PathStats { ..*s }));
+        }
+    }
+
+    #[test]
+    fn bad_references_rejected() {
+        let m = sample();
+        assert!(read_edge_profile(&m, "edge-profile v1\nedge 9 b0 0 1\n").is_err());
+        assert!(read_edge_profile(&m, "edge-profile v1\nedge 0 b9 0 1\n").is_err());
+        assert!(read_edge_profile(&m, "edge-profile v1\nedge 0 b0 5 1\n").is_err());
+        assert!(read_edge_profile(&m, "nope\n").is_err());
+        assert!(read_path_profile(&m, "path-profile v1\npath 0 b0 3 : b0#7\n").is_err());
+        assert!(read_path_profile(&m, "wrong header\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let m = sample();
+        let text = "edge-profile v1\n\n; a comment\nfunc 0 entries 2 ; trailing\n";
+        let p = read_edge_profile(&m, text).expect("parses");
+        assert_eq!(p.func(FuncId(0)).entries(), 2);
+    }
+}

@@ -1,0 +1,286 @@
+//! Edge profiles: execution frequencies for CFG edges and blocks.
+//!
+//! Edge profiles are the cheap profile the paper assumes a dynamic
+//! optimizer already has (overheads of 0.5–3% via sampling or hardware,
+//! §2). Here they are produced exactly by the VM tracer and consumed by
+//! the inliner, the unroller, and the TPP/PPP instrumenters.
+
+use crate::function::Function;
+use crate::ids::{BlockId, EdgeRef, FuncId};
+
+/// Edge and block frequencies for one function.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FuncEdgeProfile {
+    /// `edge_freq[b][s]` = executions of edge `(b, s)`.
+    edge_freq: Vec<Vec<u64>>,
+    /// `block_freq[b]` = executions of block `b`.
+    block_freq: Vec<u64>,
+    /// Number of times the function was entered.
+    entries: u64,
+}
+
+impl FuncEdgeProfile {
+    /// Creates an all-zero profile shaped like `f`.
+    pub fn zeroed(f: &Function) -> Self {
+        Self {
+            edge_freq: f
+                .blocks
+                .iter()
+                .map(|b| vec![0; b.term.successor_count()])
+                .collect(),
+            block_freq: vec![0; f.blocks.len()],
+            entries: 0,
+        }
+    }
+
+    /// Frequency of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is out of range for the profiled function.
+    #[inline]
+    pub fn edge(&self, edge: EdgeRef) -> u64 {
+        self.edge_freq[edge.from.index()][edge.succ_index()]
+    }
+
+    /// Frequency of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range for the profiled function.
+    #[inline]
+    pub fn block(&self, b: BlockId) -> u64 {
+        self.block_freq[b.index()]
+    }
+
+    /// Number of invocations of the function.
+    #[inline]
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Records one execution of `edge` (used by the tracer).
+    #[inline]
+    pub fn bump_edge(&mut self, edge: EdgeRef) {
+        self.edge_freq[edge.from.index()][edge.succ_index()] += 1;
+    }
+
+    /// Records one execution of block `b` (used by the tracer).
+    #[inline]
+    pub fn bump_block(&mut self, b: BlockId) {
+        self.block_freq[b.index()] += 1;
+    }
+
+    /// Records one function entry (used by the tracer).
+    #[inline]
+    pub fn bump_entry(&mut self) {
+        self.entries += 1;
+    }
+
+    /// Sets the frequency of `edge` (used when synthesizing profiles).
+    pub fn set_edge(&mut self, edge: EdgeRef, freq: u64) {
+        self.edge_freq[edge.from.index()][edge.succ_index()] = freq;
+    }
+
+    /// Sets the frequency of block `b` (used when synthesizing profiles).
+    pub fn set_block(&mut self, b: BlockId, freq: u64) {
+        self.block_freq[b.index()] = freq;
+    }
+
+    /// Sets the entry count (used when synthesizing profiles).
+    pub fn set_entries(&mut self, entries: u64) {
+        self.entries = entries;
+    }
+
+    /// Sum of all edge frequencies.
+    pub fn total_edge_flow(&self) -> u64 {
+        self.edge_freq.iter().flatten().sum()
+    }
+
+    /// Sum of frequencies of *branch* edges: edges whose source block has
+    /// at least two successors (the paper's definition of a branch, §5.1).
+    pub fn total_branch_flow(&self) -> u64 {
+        self.edge_freq
+            .iter()
+            .filter(|edges| edges.len() >= 2)
+            .flatten()
+            .sum()
+    }
+
+    /// Merges another profile of the same shape into this one
+    /// (used to combine multi-run inputs, §7.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn merge(&mut self, other: &FuncEdgeProfile) {
+        assert_eq!(
+            self.edge_freq.len(),
+            other.edge_freq.len(),
+            "profiles must have the same shape"
+        );
+        for (a, b) in self.edge_freq.iter_mut().zip(&other.edge_freq) {
+            assert_eq!(a.len(), b.len(), "profiles must have the same shape");
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        }
+        for (x, y) in self.block_freq.iter_mut().zip(&other.block_freq) {
+            *x += *y;
+        }
+        self.entries += other.entries;
+    }
+
+    /// Average trip count of a loop, estimated from the profile as
+    /// `(back-edge flow + entry flow) / entry flow` — i.e. body executions
+    /// per loop entry. Returns `None` when the loop never runs.
+    pub fn loop_trip_count(&self, back_edges: &[EdgeRef], entry_edges: &[EdgeRef]) -> Option<f64> {
+        let back: u64 = back_edges.iter().map(|&e| self.edge(e)).sum();
+        let entry: u64 = entry_edges.iter().map(|&e| self.edge(e)).sum();
+        if entry == 0 {
+            None
+        } else {
+            Some((back + entry) as f64 / entry as f64)
+        }
+    }
+}
+
+/// Edge profiles for every function in a module.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModuleEdgeProfile {
+    /// Per-function profiles, indexed by [`FuncId`].
+    pub funcs: Vec<FuncEdgeProfile>,
+}
+
+impl ModuleEdgeProfile {
+    /// Creates an all-zero profile shaped like `module`.
+    pub fn zeroed(module: &crate::Module) -> Self {
+        Self {
+            funcs: module.functions.iter().map(FuncEdgeProfile::zeroed).collect(),
+        }
+    }
+
+    /// Profile for function `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    #[inline]
+    pub fn func(&self, f: FuncId) -> &FuncEdgeProfile {
+        &self.funcs[f.index()]
+    }
+
+    /// Profile for function `f`, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    #[inline]
+    pub fn func_mut(&mut self, f: FuncId) -> &mut FuncEdgeProfile {
+        &mut self.funcs[f.index()]
+    }
+
+    /// Program-wide branch flow (the denominator of branch-flow ratios).
+    pub fn total_branch_flow(&self) -> u64 {
+        self.funcs.iter().map(FuncEdgeProfile::total_branch_flow).sum()
+    }
+
+    /// Merges another module profile of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn merge(&mut self, other: &ModuleEdgeProfile) {
+        assert_eq!(self.funcs.len(), other.funcs.len());
+        for (a, b) in self.funcs.iter_mut().zip(&other.funcs) {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+    use crate::ids::Reg;
+
+    fn branchy() -> Function {
+        let mut b = FunctionBuilder::new("f", 1);
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(Reg(0), t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn bump_and_read() {
+        let f = branchy();
+        let mut p = FuncEdgeProfile::zeroed(&f);
+        let e0 = EdgeRef::new(BlockId(0), 0);
+        p.bump_entry();
+        p.bump_block(BlockId(0));
+        p.bump_edge(e0);
+        p.bump_edge(e0);
+        assert_eq!(p.edge(e0), 2);
+        assert_eq!(p.block(BlockId(0)), 1);
+        assert_eq!(p.entries(), 1);
+    }
+
+    #[test]
+    fn branch_flow_counts_only_multi_successor_sources() {
+        let f = branchy();
+        let mut p = FuncEdgeProfile::zeroed(&f);
+        // Branch edges from b0 (2 successors) count; jump edges do not.
+        p.set_edge(EdgeRef::new(BlockId(0), 0), 7);
+        p.set_edge(EdgeRef::new(BlockId(0), 1), 3);
+        p.set_edge(EdgeRef::new(BlockId(1), 0), 7);
+        p.set_edge(EdgeRef::new(BlockId(2), 0), 3);
+        assert_eq!(p.total_branch_flow(), 10);
+        assert_eq!(p.total_edge_flow(), 20);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let f = branchy();
+        let mut a = FuncEdgeProfile::zeroed(&f);
+        let mut b = FuncEdgeProfile::zeroed(&f);
+        let e = EdgeRef::new(BlockId(0), 1);
+        a.bump_edge(e);
+        b.bump_edge(e);
+        b.bump_entry();
+        a.merge(&b);
+        assert_eq!(a.edge(e), 2);
+        assert_eq!(a.entries(), 1);
+    }
+
+    #[test]
+    fn trip_count_estimation() {
+        let f = branchy();
+        let mut p = FuncEdgeProfile::zeroed(&f);
+        let back = EdgeRef::new(BlockId(1), 0);
+        let entry = EdgeRef::new(BlockId(0), 0);
+        p.set_edge(back, 90);
+        p.set_edge(entry, 10);
+        assert_eq!(p.loop_trip_count(&[back], &[entry]), Some(10.0));
+        let cold = FuncEdgeProfile::zeroed(&f);
+        assert_eq!(cold.loop_trip_count(&[back], &[entry]), None);
+    }
+
+    #[test]
+    fn module_profile_totals() {
+        let mut m = crate::Module::new();
+        m.add_function(branchy());
+        m.add_function(branchy());
+        let mut p = ModuleEdgeProfile::zeroed(&m);
+        p.func_mut(FuncId(0))
+            .set_edge(EdgeRef::new(BlockId(0), 0), 5);
+        p.func_mut(FuncId(1))
+            .set_edge(EdgeRef::new(BlockId(0), 1), 6);
+        assert_eq!(p.total_branch_flow(), 11);
+    }
+}

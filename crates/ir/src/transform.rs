@@ -1,0 +1,255 @@
+//! Structural CFG transforms: single-exit normalization, edge splitting,
+//! and unreachable-block removal.
+
+use crate::cfg::Cfg;
+use crate::function::{Block, Function};
+use crate::ids::{BlockId, EdgeRef};
+use crate::inst::{Inst, Terminator};
+
+/// Ensures `f` has exactly one `return` block and returns its id.
+///
+/// If the function already has a unique return block it is returned
+/// unchanged. Otherwise every return is rewritten to copy its value into a
+/// fresh register and jump to a new common exit block, which returns that
+/// register. Path-profiling DAG construction requires a unique EXIT (§3.1).
+pub fn single_exit(f: &mut Function) -> BlockId {
+    let returns = f.return_blocks();
+    if returns.len() == 1 {
+        return returns[0];
+    }
+    assert!(
+        !returns.is_empty(),
+        "function {} has no return block",
+        f.name
+    );
+    let unified = f.new_reg();
+    let exit = f.add_block(Block::new(Terminator::Return {
+        value: Some(unified),
+    }));
+    for r in returns {
+        let block = f.block_mut(r);
+        let value = match block.term {
+            Terminator::Return { value } => value,
+            _ => unreachable!("return_blocks returned a non-return block"),
+        };
+        match value {
+            Some(src) => block.insts.push(Inst::Copy { dst: unified, src }),
+            None => block.insts.push(Inst::Const {
+                dst: unified,
+                value: 0,
+            }),
+        }
+        block.term = Terminator::Jump { target: exit };
+    }
+    exit
+}
+
+/// Normalizes every function of a module for path profiling: a unique
+/// `return` block and a predecessor-free entry, the shape Ball–Larus DAG
+/// conversion requires (§3.1). Idempotent. Both the traced copy and the
+/// instrumented copy of a program must be normalized identically so their
+/// block ids agree.
+pub fn normalize_for_profiling(module: &mut crate::Module) {
+    for f in &mut module.functions {
+        ensure_virtual_entry(f);
+        single_exit(f);
+    }
+}
+
+/// Ensures the entry block has no predecessors, inserting a fresh entry
+/// block that jumps to the old one if necessary. Returns the entry block.
+///
+/// Ball–Larus DAG conversion adds dummy edges *from* ENTRY (§3.1), which
+/// requires ENTRY itself to never be a branch target (in particular, never
+/// a loop header).
+pub fn ensure_virtual_entry(f: &mut Function) -> BlockId {
+    let has_pred = f
+        .iter_blocks()
+        .any(|(_, b)| b.term.successors().contains(&f.entry));
+    if !has_pred {
+        return f.entry;
+    }
+    let old = f.entry;
+    let new_entry = f.add_block(Block::new(Terminator::Jump { target: old }));
+    f.entry = new_entry;
+    new_entry
+}
+
+/// Splits `edge` by inserting a fresh block containing only a jump, and
+/// returns the new block's id.
+///
+/// The edge keeps its identity `(from, succ)` but now targets the new
+/// block. Instrumenters use this to place edge instrumentation when
+/// neither endpoint can hold it (critical edges).
+pub fn split_edge(f: &mut Function, edge: EdgeRef) -> BlockId {
+    let old_target = f.edge_target(edge);
+    let mid = f.add_block(Block::new(Terminator::Jump { target: old_target }));
+    f.block_mut(edge.from)
+        .term
+        .set_successor(edge.succ_index(), mid);
+    mid
+}
+
+/// Removes blocks unreachable from entry, compacting ids.
+///
+/// Returns the mapping `old BlockId -> new BlockId` (unreachable blocks map
+/// to `None`). Instruction contents are preserved; terminator targets are
+/// remapped.
+pub fn remove_unreachable(f: &mut Function) -> Vec<Option<BlockId>> {
+    let cfg = Cfg::new(f);
+    let n = f.blocks.len();
+    let mut mapping: Vec<Option<BlockId>> = vec![None; n];
+    let mut next = 0u32;
+    for (i, slot) in mapping.iter_mut().enumerate() {
+        if cfg.is_reachable(BlockId::new(i)) {
+            *slot = Some(BlockId(next));
+            next += 1;
+        }
+    }
+    if next as usize == n {
+        return mapping; // nothing to do
+    }
+    let mut new_blocks = Vec::with_capacity(next as usize);
+    for (i, block) in std::mem::take(&mut f.blocks).into_iter().enumerate() {
+        if mapping[i].is_none() {
+            continue;
+        }
+        let mut block = block;
+        let succ_count = block.term.successor_count();
+        for s in 0..succ_count {
+            let tgt = block.term.successor(s).expect("in-range successor");
+            let new_tgt = mapping[tgt.index()]
+                .expect("successor of a reachable block is reachable");
+            block.term.set_successor(s, new_tgt);
+        }
+        new_blocks.push(block);
+    }
+    f.blocks = new_blocks;
+    f.entry = mapping[f.entry.index()].expect("entry is reachable");
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+    use crate::ids::Reg;
+
+    fn two_returns() -> Function {
+        let mut b = FunctionBuilder::new("f", 1);
+        let (t, e) = (b.new_block(), b.new_block());
+        b.branch(Reg(0), t, e);
+        b.switch_to(t);
+        let c = b.constant(1);
+        b.ret(Some(c));
+        b.switch_to(e);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn single_exit_unifies_returns() {
+        let mut f = two_returns();
+        let exit = single_exit(&mut f);
+        assert_eq!(f.return_blocks(), vec![exit]);
+        // Both former returns now jump to the exit.
+        assert_eq!(
+            f.block(BlockId(1)).term,
+            Terminator::Jump { target: exit }
+        );
+        assert_eq!(
+            f.block(BlockId(2)).term,
+            Terminator::Jump { target: exit }
+        );
+        // The void return feeds 0 into the unified register.
+        assert!(matches!(
+            f.block(BlockId(2)).insts.last(),
+            Some(Inst::Const { value: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn single_exit_is_idempotent() {
+        let mut f = two_returns();
+        let e1 = single_exit(&mut f);
+        let blocks_before = f.blocks.len();
+        let e2 = single_exit(&mut f);
+        assert_eq!(e1, e2);
+        assert_eq!(f.blocks.len(), blocks_before);
+    }
+
+    #[test]
+    fn virtual_entry_added_when_entry_is_loop_header() {
+        // entry is its own loop header: entry -> entry | exit
+        let mut b = FunctionBuilder::new("f", 1);
+        let exit = b.new_block();
+        let entry = b.current_block();
+        b.branch(Reg(0), entry, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        let new_entry = ensure_virtual_entry(&mut f);
+        assert_ne!(new_entry, entry);
+        assert_eq!(f.entry, new_entry);
+        assert_eq!(
+            f.block(new_entry).term,
+            Terminator::Jump { target: entry }
+        );
+        // Idempotent.
+        assert_eq!(ensure_virtual_entry(&mut f), new_entry);
+    }
+
+    #[test]
+    fn virtual_entry_noop_without_preds() {
+        let mut f = two_returns();
+        let entry = f.entry;
+        assert_eq!(ensure_virtual_entry(&mut f), entry);
+    }
+
+    #[test]
+    fn split_edge_preserves_identity_and_flow() {
+        let mut f = two_returns();
+        let edge = EdgeRef::new(BlockId(0), 1);
+        let old_target = f.edge_target(edge);
+        let mid = split_edge(&mut f, edge);
+        assert_eq!(f.edge_target(edge), mid);
+        assert_eq!(
+            f.block(mid).term,
+            Terminator::Jump { target: old_target }
+        );
+        assert!(f.block(mid).insts.is_empty());
+    }
+
+    #[test]
+    fn remove_unreachable_compacts_and_remaps() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let dead = b.new_block();
+        let live = b.new_block();
+        b.jump(live);
+        b.switch_to(dead);
+        b.ret(None);
+        b.switch_to(live);
+        b.ret(None);
+        let mut f = b.finish();
+        let mapping = remove_unreachable(&mut f);
+        assert_eq!(f.blocks.len(), 2);
+        assert_eq!(mapping[dead.index()], None);
+        assert_eq!(mapping[live.index()], Some(BlockId(1)));
+        assert_eq!(
+            f.block(BlockId(0)).term,
+            Terminator::Jump {
+                target: BlockId(1)
+            }
+        );
+        assert_eq!(f.entry, BlockId(0));
+    }
+
+    #[test]
+    fn remove_unreachable_noop_when_all_reachable() {
+        let mut f = two_returns();
+        let before = f.clone();
+        let mapping = remove_unreachable(&mut f);
+        assert_eq!(f, before);
+        assert!(mapping.iter().all(Option::is_some));
+    }
+}

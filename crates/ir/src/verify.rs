@@ -1,0 +1,332 @@
+//! Module and function validation.
+//!
+//! The verifier catches malformed IR early: dangling block targets,
+//! out-of-range registers, arity-mismatched calls, and dangling profile
+//! table references. Generators, instrumenters, and optimizers all verify
+//! their output in tests.
+
+use crate::ids::{BlockId, FuncId, Reg, TableId};
+use crate::inst::{Inst, Terminator};
+use crate::module::Module;
+use std::fmt;
+
+/// A single verification failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// A terminator names a block that does not exist.
+    BadBlockTarget {
+        /// Function containing the bad reference.
+        func: FuncId,
+        /// Block whose terminator is bad.
+        block: BlockId,
+        /// The out-of-range target.
+        target: BlockId,
+    },
+    /// An instruction or terminator uses a register `>= reg_count`.
+    BadRegister {
+        /// Function containing the bad reference.
+        func: FuncId,
+        /// Block containing the bad instruction.
+        block: BlockId,
+        /// The out-of-range register.
+        reg: Reg,
+    },
+    /// The function declares more parameters than registers.
+    ParamsExceedRegs {
+        /// Offending function.
+        func: FuncId,
+    },
+    /// The entry block id is out of range.
+    BadEntry {
+        /// Offending function.
+        func: FuncId,
+    },
+    /// A call names a function that does not exist.
+    BadCallee {
+        /// Function containing the call.
+        func: FuncId,
+        /// Block containing the call.
+        block: BlockId,
+        /// The out-of-range callee.
+        callee: FuncId,
+    },
+    /// A call passes the wrong number of arguments.
+    CallArity {
+        /// Function containing the call.
+        func: FuncId,
+        /// Block containing the call.
+        block: BlockId,
+        /// The callee.
+        callee: FuncId,
+        /// Arguments passed.
+        got: usize,
+        /// Parameters expected.
+        want: usize,
+    },
+    /// A profiling op names a table that does not exist.
+    BadTable {
+        /// Function containing the op.
+        func: FuncId,
+        /// Block containing the op.
+        block: BlockId,
+        /// The out-of-range table.
+        table: TableId,
+    },
+    /// Two functions share a name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadBlockTarget {
+                func,
+                block,
+                target,
+            } => write!(f, "{func}/{block}: terminator targets missing {target}"),
+            VerifyError::BadRegister { func, block, reg } => {
+                write!(f, "{func}/{block}: register {reg} out of range")
+            }
+            VerifyError::ParamsExceedRegs { func } => {
+                write!(f, "{func}: param_count exceeds reg_count")
+            }
+            VerifyError::BadEntry { func } => write!(f, "{func}: entry block out of range"),
+            VerifyError::BadCallee {
+                func,
+                block,
+                callee,
+            } => write!(f, "{func}/{block}: call to missing function {callee}"),
+            VerifyError::CallArity {
+                func,
+                block,
+                callee,
+                got,
+                want,
+            } => write!(
+                f,
+                "{func}/{block}: call to {callee} passes {got} args, expects {want}"
+            ),
+            VerifyError::BadTable { func, block, table } => {
+                write!(f, "{func}/{block}: reference to missing table {table}")
+            }
+            VerifyError::DuplicateName { name } => {
+                write!(f, "duplicate function name {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function in `module`.
+///
+/// # Errors
+///
+/// Returns all problems found (never an empty vector on `Err`).
+pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+
+    let mut seen = std::collections::HashSet::new();
+    for f in &module.functions {
+        if !seen.insert(f.name.as_str()) {
+            errs.push(VerifyError::DuplicateName {
+                name: f.name.clone(),
+            });
+        }
+    }
+
+    for (fi, f) in module.functions.iter().enumerate() {
+        let func = FuncId::new(fi);
+        if f.param_count > f.reg_count {
+            errs.push(VerifyError::ParamsExceedRegs { func });
+        }
+        if f.entry.index() >= f.blocks.len() {
+            errs.push(VerifyError::BadEntry { func });
+            continue;
+        }
+        let check_reg = |errs: &mut Vec<VerifyError>, block: BlockId, reg: Reg| {
+            if reg.0 >= f.reg_count {
+                errs.push(VerifyError::BadRegister { func, block, reg });
+            }
+        };
+        let mut uses = Vec::new();
+        for (bi, b) in f.iter_blocks() {
+            for inst in &b.insts {
+                uses.clear();
+                inst.uses(&mut uses);
+                for &r in &uses {
+                    check_reg(&mut errs, bi, r);
+                }
+                if let Some(d) = inst.def() {
+                    check_reg(&mut errs, bi, d);
+                }
+                match inst {
+                    Inst::Call { callee, args, .. } => {
+                        if callee.index() >= module.functions.len() {
+                            errs.push(VerifyError::BadCallee {
+                                func,
+                                block: bi,
+                                callee: *callee,
+                            });
+                        } else {
+                            let want = module.function(*callee).param_count as usize;
+                            if args.len() != want {
+                                errs.push(VerifyError::CallArity {
+                                    func,
+                                    block: bi,
+                                    callee: *callee,
+                                    got: args.len(),
+                                    want,
+                                });
+                            }
+                        }
+                    }
+                    Inst::Prof(op) => {
+                        if let Some(t) = op.table() {
+                            if t.index() >= module.tables.len() {
+                                errs.push(VerifyError::BadTable {
+                                    func,
+                                    block: bi,
+                                    table: t,
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            match &b.term {
+                Terminator::Return { value } => {
+                    if let Some(r) = value {
+                        check_reg(&mut errs, bi, *r);
+                    }
+                }
+                t => {
+                    if let Some(r) = t.use_reg() {
+                        check_reg(&mut errs, bi, r);
+                    }
+                    for s in 0..t.successor_count() {
+                        let tgt = t.successor(s).expect("in-range successor");
+                        if tgt.index() >= f.blocks.len() {
+                            errs.push(VerifyError::BadBlockTarget {
+                                func,
+                                block: bi,
+                                target: tgt,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{Block, Function, FunctionBuilder};
+    use crate::inst::ProfOp;
+
+    fn ok_module() -> Module {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", 0);
+        let c = b.constant(3);
+        b.emit(c);
+        b.ret(Some(c));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn valid_module_verifies() {
+        assert_eq!(verify_module(&ok_module()), Ok(()));
+    }
+
+    #[test]
+    fn dangling_block_target_detected() {
+        let mut m = ok_module();
+        m.function_mut(FuncId(0)).blocks[0].term = Terminator::Jump {
+            target: BlockId(99),
+        };
+        let errs = verify_module(&m).unwrap_err();
+        assert!(matches!(errs[0], VerifyError::BadBlockTarget { .. }));
+        assert!(errs[0].to_string().contains("b99"));
+    }
+
+    #[test]
+    fn out_of_range_register_detected() {
+        let mut m = ok_module();
+        m.function_mut(FuncId(0)).blocks[0].insts.push(Inst::Emit {
+            src: Reg(1000),
+        });
+        let errs = verify_module(&m).unwrap_err();
+        assert!(matches!(errs[0], VerifyError::BadRegister { .. }));
+    }
+
+    #[test]
+    fn bad_callee_and_arity_detected() {
+        let mut m = ok_module();
+        let mut b = FunctionBuilder::new("callee", 2);
+        b.ret(None);
+        let callee = m.add_function(b.finish());
+        let f0 = m.function_mut(FuncId(0));
+        f0.blocks[0].insts.push(Inst::Call {
+            dst: None,
+            callee: FuncId(42),
+            args: vec![],
+        });
+        f0.blocks[0].insts.push(Inst::Call {
+            dst: None,
+            callee,
+            args: vec![Reg(0)], // expects 2
+        });
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::BadCallee { .. })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            VerifyError::CallArity { got: 1, want: 2, .. }
+        )));
+    }
+
+    #[test]
+    fn dangling_table_detected() {
+        let mut m = ok_module();
+        m.function_mut(FuncId(0)).blocks[0].insts.push(Inst::Prof(
+            ProfOp::CountR {
+                table: TableId(9),
+            },
+        ));
+        let errs = verify_module(&m).unwrap_err();
+        assert!(matches!(errs[0], VerifyError::BadTable { .. }));
+    }
+
+    #[test]
+    fn duplicate_names_detected() {
+        let mut m = ok_module();
+        let mut b = FunctionBuilder::new("main", 0);
+        b.ret(None);
+        m.add_function(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(matches!(errs[0], VerifyError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn bad_entry_detected() {
+        let mut m = Module::new();
+        let mut f = Function::new("f", 0);
+        f.entry = BlockId(5);
+        f.blocks = vec![Block::new(Terminator::Return { value: None })];
+        m.add_function(f);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(matches!(errs[0], VerifyError::BadEntry { .. }));
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based printer ↔ parser round-trip over random modules.
+
+use ppp_ir::{
+    parse_module, print_module, verify_module, BinOp, Block, Function, FuncId, Inst, Module,
+    ProfOp, Reg, TableDecl, TableId, TableKind, Terminator, UnOp,
+};
+use proptest::prelude::*;
+
+const REGS: u32 = 6;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0..REGS).prop_map(Reg)
+}
+
+fn arb_prof(tables: u32) -> impl Strategy<Value = ProfOp> {
+    let t = move || (0..tables).prop_map(TableId);
+    prop_oneof![
+        any::<i32>().prop_map(|v| ProfOp::SetR { value: v.into() }),
+        any::<i32>().prop_map(|v| ProfOp::AddR { value: v.into() }),
+        t().prop_map(|table| ProfOp::CountR { table }),
+        (t(), any::<i32>()).prop_map(|(table, a)| ProfOp::CountRPlus {
+            table,
+            addend: a.into()
+        }),
+        (t(), 0..1000i64).prop_map(|(table, index)| ProfOp::CountConst { table, index }),
+        t().prop_map(|table| ProfOp::CountRChecked { table }),
+        (t(), any::<i32>()).prop_map(|(table, a)| ProfOp::CountRPlusChecked {
+            table,
+            addend: a.into()
+        }),
+    ]
+}
+
+fn arb_inst(funcs: u32, tables: u32) -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_reg(), any::<i64>()).prop_map(|(dst, value)| Inst::Const { dst, value }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::Copy { dst, src }),
+        (arb_reg(), prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], arb_reg())
+            .prop_map(|(dst, op, src)| Inst::Unary { dst, op, src }),
+        (
+            arb_reg(),
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Mul),
+                Just(BinOp::Xor),
+                Just(BinOp::Lt),
+                Just(BinOp::Shr),
+                Just(BinOp::Min),
+            ],
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(dst, op, lhs, rhs)| Inst::Binary { dst, op, lhs, rhs }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, addr)| Inst::Load { dst, addr }),
+        (arb_reg(), arb_reg()).prop_map(|(addr, src)| Inst::Store { addr, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, bound)| Inst::Rand { dst, bound }),
+        arb_reg().prop_map(|src| Inst::Emit { src }),
+        (proptest::option::of(arb_reg()), 0..funcs).prop_map(move |(dst, callee)| Inst::Call {
+            dst,
+            callee: FuncId(callee),
+            args: vec![], // all generated functions take zero params
+        }),
+        arb_prof(tables).prop_map(Inst::Prof),
+    ]
+}
+
+fn arb_function(funcs: u32, tables: u32) -> impl Strategy<Value = (Vec<Vec<Inst>>, Vec<u8>)> {
+    // (per-block instruction lists, per-block terminator selector)
+    let blocks = 1..5usize;
+    blocks.prop_flat_map(move |n| {
+        (
+            prop::collection::vec(prop::collection::vec(arb_inst(funcs, tables), 0..5), n..=n),
+            prop::collection::vec(any::<u8>(), n..=n),
+        )
+    })
+}
+
+fn build_function(name: String, blocks: Vec<Vec<Inst>>, terms: Vec<u8>) -> Function {
+    let n = blocks.len();
+    let mut f = Function::new(name, 0);
+    f.reg_count = REGS;
+    f.blocks.clear();
+    for (i, (insts, sel)) in blocks.into_iter().zip(terms).enumerate() {
+        // Last block returns; others jump or branch forward (valid CFG).
+        let term = if i + 1 == n {
+            Terminator::Return {
+                value: (sel % 2 == 0).then_some(Reg(0)),
+            }
+        } else {
+            let fwd = |k: u8| ppp_ir::BlockId(((i + 1) + (k as usize) % (n - i - 1)) as u32);
+            match sel % 3 {
+                0 => Terminator::Jump { target: fwd(sel) },
+                1 => Terminator::Branch {
+                    cond: Reg(u32::from(sel) % REGS),
+                    then_target: fwd(sel),
+                    else_target: fwd(sel.wrapping_add(7)),
+                },
+                _ => Terminator::Switch {
+                    disc: Reg(u32::from(sel) % REGS),
+                    targets: vec![fwd(sel), fwd(sel.wrapping_add(3))],
+                    default: fwd(sel.wrapping_add(5)),
+                },
+            }
+        };
+        f.blocks.push(Block { insts, term });
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_roundtrip(
+        specs in prop::collection::vec(arb_function(3, 2), 1..=3),
+        n_tables in 0u32..=2,
+    ) {
+        let n_funcs = specs.len() as u32;
+        let mut m = Module::new();
+        for (i, (blocks, terms)) in specs.into_iter().enumerate() {
+            // Call targets must exist: clamp callee ids into range by
+            // rewriting out-of-range calls to self-less targets.
+            let blocks: Vec<Vec<Inst>> = blocks
+                .into_iter()
+                .map(|insts| {
+                    insts
+                        .into_iter()
+                        .map(|inst| match inst {
+                            Inst::Call { dst, callee, args } => Inst::Call {
+                                dst,
+                                callee: FuncId(callee.0 % n_funcs),
+                                args,
+                            },
+                            Inst::Prof(op) if n_tables == 0 && op.table().is_some() => {
+                                // No tables declared: replace with a reg op.
+                                Inst::Prof(ProfOp::SetR { value: 0 })
+                            }
+                            Inst::Prof(op) => {
+                                let fixed = match op {
+                                    ProfOp::CountR { table } => ProfOp::CountR {
+                                        table: TableId(table.0 % n_tables.max(1)),
+                                    },
+                                    ProfOp::CountRPlus { table, addend } => ProfOp::CountRPlus {
+                                        table: TableId(table.0 % n_tables.max(1)),
+                                        addend,
+                                    },
+                                    ProfOp::CountConst { table, index } => ProfOp::CountConst {
+                                        table: TableId(table.0 % n_tables.max(1)),
+                                        index,
+                                    },
+                                    ProfOp::CountRChecked { table } => ProfOp::CountRChecked {
+                                        table: TableId(table.0 % n_tables.max(1)),
+                                    },
+                                    ProfOp::CountRPlusChecked { table, addend } => {
+                                        ProfOp::CountRPlusChecked {
+                                            table: TableId(table.0 % n_tables.max(1)),
+                                            addend,
+                                        }
+                                    }
+                                    other => other,
+                                };
+                                Inst::Prof(fixed)
+                            }
+                            other => other,
+                        })
+                        .collect()
+                })
+                .collect();
+            m.add_function(build_function(format!("fn_{i}"), blocks, terms));
+        }
+        for t in 0..n_tables {
+            m.add_table(TableDecl {
+                func: FuncId(0),
+                kind: if t % 2 == 0 {
+                    TableKind::Array { size: 16 }
+                } else {
+                    TableKind::Hash { slots: 701, max_probes: 3 }
+                },
+                hot_paths: 8,
+            });
+        }
+        prop_assert_eq!(verify_module(&m), Ok(()));
+
+        let text = print_module(&m);
+        let parsed = parse_module(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}\n{text}")))?;
+        prop_assert_eq!(&m, &parsed);
+        // Idempotence: printing the parse gives identical text.
+        prop_assert_eq!(print_module(&parsed), text);
+    }
+}

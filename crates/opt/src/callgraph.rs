@@ -1,0 +1,127 @@
+//! Call graph construction and recursion detection.
+
+use ppp_ir::{BlockId, FuncId, Inst, Module};
+
+/// One call site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CallSite {
+    /// Calling function.
+    pub caller: FuncId,
+    /// Block containing the call.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub inst: usize,
+    /// Called function.
+    pub callee: FuncId,
+}
+
+/// The module's call graph.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    sites: Vec<CallSite>,
+    /// `recursive[f]` is `true` when `f` participates in a call cycle
+    /// (including self-recursion).
+    recursive: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `module`.
+    pub fn build(module: &Module) -> Self {
+        let n = module.functions.len();
+        let mut sites = Vec::new();
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (fi, f) in module.functions.iter().enumerate() {
+            for (bi, b) in f.iter_blocks() {
+                for (ii, inst) in b.insts.iter().enumerate() {
+                    if let Inst::Call { callee, .. } = inst {
+                        sites.push(CallSite {
+                            caller: FuncId::new(fi),
+                            block: bi,
+                            inst: ii,
+                            callee: *callee,
+                        });
+                        callees[fi].push(callee.index());
+                    }
+                }
+            }
+        }
+        // Tarjan-free cycle detection: iterative DFS computing whether a
+        // function can reach itself.
+        let mut recursive = vec![false; n];
+        for start in 0..n {
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = callees[start].clone();
+            while let Some(x) = stack.pop() {
+                if x == start {
+                    recursive[start] = true;
+                    break;
+                }
+                if !seen[x] {
+                    seen[x] = true;
+                    stack.extend(callees[x].iter().copied());
+                }
+            }
+        }
+        Self { sites, recursive }
+    }
+
+    /// All call sites, in deterministic (caller, block, inst) order.
+    pub fn sites(&self) -> &[CallSite] {
+        &self.sites
+    }
+
+    /// Returns `true` if `f` participates in any call cycle.
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        self.recursive[f.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_ir::FunctionBuilder;
+
+    fn module_with_calls() -> Module {
+        let mut m = Module::new();
+        // f0 calls f1 twice; f1 calls f2; f2 calls f1 (cycle f1<->f2);
+        // f3 calls itself.
+        let mut b0 = FunctionBuilder::new("a", 0);
+        b0.call_void(FuncId(1), vec![]);
+        b0.call_void(FuncId(1), vec![]);
+        b0.ret(None);
+        m.add_function(b0.finish());
+        let mut b1 = FunctionBuilder::new("b", 0);
+        b1.call_void(FuncId(2), vec![]);
+        b1.ret(None);
+        m.add_function(b1.finish());
+        let mut b2 = FunctionBuilder::new("c", 0);
+        b2.call_void(FuncId(1), vec![]);
+        b2.ret(None);
+        m.add_function(b2.finish());
+        let mut b3 = FunctionBuilder::new("d", 0);
+        b3.call_void(FuncId(3), vec![]);
+        b3.ret(None);
+        m.add_function(b3.finish());
+        m
+    }
+
+    #[test]
+    fn sites_enumerated_in_order() {
+        let m = module_with_calls();
+        let cg = CallGraph::build(&m);
+        assert_eq!(cg.sites().len(), 5);
+        assert_eq!(cg.sites()[0].caller, FuncId(0));
+        assert_eq!(cg.sites()[0].inst, 0);
+        assert_eq!(cg.sites()[1].inst, 1);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let m = module_with_calls();
+        let cg = CallGraph::build(&m);
+        assert!(!cg.is_recursive(FuncId(0)));
+        assert!(cg.is_recursive(FuncId(1)));
+        assert!(cg.is_recursive(FuncId(2)));
+        assert!(cg.is_recursive(FuncId(3)));
+    }
+}

@@ -1,0 +1,548 @@
+//! Edge-profile-guided inlining (§7.3).
+//!
+//! Follows the paper's description of Scale's inliner (after Arnold et
+//! al.): each call site gets a priority of *expected benefit over cost* —
+//! call-site hotness divided by callee size — and sites are inlined in
+//! decreasing priority until total program size grows by the *code bloat*
+//! budget (the paper uses 5%). Callees above 200 IR statements and
+//! recursive callees are never inlined.
+
+use crate::callgraph::{CallGraph, CallSite};
+use ppp_ir::{BlockId, Block, Inst, Module, ModuleEdgeProfile, Reg, Terminator};
+
+/// Inliner thresholds (§7.3 defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct InlineOptions {
+    /// Allowed total program growth (0.05 = 5%).
+    pub code_bloat: f64,
+    /// Callees larger than this many IR statements are never inlined.
+    pub max_callee_size: usize,
+}
+
+impl Default for InlineOptions {
+    fn default() -> Self {
+        Self {
+            code_bloat: 0.05,
+            max_callee_size: 200,
+        }
+    }
+}
+
+/// What the inliner did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InlineReport {
+    /// Call sites inlined.
+    pub inlined_sites: usize,
+    /// Call sites considered.
+    pub total_sites: usize,
+    /// Dynamic calls removed (sum of inlined sites' frequencies).
+    pub inlined_dynamic_calls: u64,
+    /// Total dynamic calls in the profile.
+    pub total_dynamic_calls: u64,
+    /// Program size before, in IR statements.
+    pub size_before: usize,
+    /// Program size after.
+    pub size_after: usize,
+}
+
+impl InlineReport {
+    /// Fraction of dynamic calls inlined (Table 1's "% calls inlined").
+    pub fn dynamic_fraction(&self) -> f64 {
+        if self.total_dynamic_calls == 0 {
+            0.0
+        } else {
+            self.inlined_dynamic_calls as f64 / self.total_dynamic_calls as f64
+        }
+    }
+}
+
+/// Inlines hot call sites into `module` under the bloat budget.
+///
+/// `profile` must describe `module`'s current shape (collect it from a
+/// traced run of this exact module). The profile is *not* updated: per the
+/// paper's staged methodology, re-profile after optimizing.
+pub fn inline_module(
+    module: &mut Module,
+    profile: &ModuleEdgeProfile,
+    options: &InlineOptions,
+) -> InlineReport {
+    let cg = CallGraph::build(module);
+    let size_before = module.size();
+    let budget = size_before + (size_before as f64 * options.code_bloat).floor() as usize;
+
+    // Score sites: hotness = frequency of the containing block.
+    let mut scored: Vec<(CallSite, u64, usize)> = cg
+        .sites()
+        .iter()
+        .map(|&s| {
+            let freq = profile.func(s.caller).block(s.block);
+            let size = module.function(s.callee).size();
+            (s, freq, size)
+        })
+        .collect();
+    let mut report = InlineReport {
+        total_sites: scored.len(),
+        total_dynamic_calls: scored.iter().map(|&(_, f, _)| f).sum(),
+        size_before,
+        size_after: size_before,
+        ..InlineReport::default()
+    };
+    // Decreasing priority = freq / size; deterministic tie-break.
+    scored.sort_by(|a, b| {
+        let pa = a.1 as f64 / a.2.max(1) as f64;
+        let pb = b.1 as f64 / b.2.max(1) as f64;
+        pb.total_cmp(&pa)
+            .then(a.0.caller.cmp(&b.0.caller))
+            .then(a.0.block.cmp(&b.0.block))
+            .then(a.0.inst.cmp(&b.0.inst))
+    });
+
+    // Greedy selection under the budget.
+    let mut selected: Vec<CallSite> = Vec::new();
+    let mut projected = size_before;
+    for &(site, freq, callee_size) in &scored {
+        if freq == 0
+            || callee_size > options.max_callee_size
+            || cg.is_recursive(site.callee)
+            || site.caller == site.callee
+        {
+            continue;
+        }
+        // Inlining replaces 1 call with callee_size statements (minus the
+        // removed call, plus argument copies — approximate by size).
+        if projected + callee_size > budget {
+            continue;
+        }
+        projected += callee_size;
+        selected.push(site);
+        report.inlined_sites += 1;
+        report.inlined_dynamic_calls += freq;
+    }
+
+    // Apply per caller, later instructions first so earlier site
+    // coordinates stay valid (splicing appends blocks and splits the
+    // containing block's tail off).
+    selected.sort_by(|a, b| {
+        a.caller
+            .cmp(&b.caller)
+            .then(b.block.cmp(&a.block))
+            .then(b.inst.cmp(&a.inst))
+    });
+    for site in selected {
+        inline_one(module, site);
+    }
+    report.size_after = module.size();
+    report
+}
+
+/// Splices `site.callee` into `site.caller` at the call instruction.
+fn inline_one(module: &mut Module, site: CallSite) {
+    let callee = module.function(site.callee).clone();
+    let caller = module.function_mut(site.caller);
+
+    // Detach the call instruction and the block tail.
+    let call_block = site.block;
+    let mut tail_insts = caller.block_mut(call_block).insts.split_off(site.inst);
+    let call = tail_insts.remove(0);
+    let Inst::Call { dst, args, callee: callee_id } = call else {
+        panic!("call site does not point at a call instruction");
+    };
+    debug_assert_eq!(callee_id, site.callee);
+
+    // Continuation block receives the tail and the original terminator.
+    let cont_term = std::mem::replace(
+        &mut caller.block_mut(call_block).term,
+        Terminator::Return { value: None }, // placeholder
+    );
+    let cont = caller.add_block(Block {
+        insts: tail_insts,
+        term: cont_term,
+    });
+
+    // Copy callee blocks, remapping registers and block ids.
+    let reg_base = caller.reg_count;
+    caller.reg_count += callee.reg_count;
+    let block_base = caller.blocks.len() as u32;
+    let remap_reg = |r: Reg| Reg(r.0 + reg_base);
+    let remap_block = |b: BlockId| BlockId(b.0 + block_base);
+    for cb in &callee.blocks {
+        let insts = cb
+            .insts
+            .iter()
+            .map(|i| remap_inst_regs(i, &remap_reg))
+            .collect();
+        let term = match &cb.term {
+            Terminator::Jump { target } => Terminator::Jump {
+                target: remap_block(*target),
+            },
+            Terminator::Branch {
+                cond,
+                then_target,
+                else_target,
+            } => Terminator::Branch {
+                cond: remap_reg(*cond),
+                then_target: remap_block(*then_target),
+                else_target: remap_block(*else_target),
+            },
+            Terminator::Switch {
+                disc,
+                targets,
+                default,
+            } => Terminator::Switch {
+                disc: remap_reg(*disc),
+                targets: targets.iter().copied().map(remap_block).collect(),
+                default: remap_block(*default),
+            },
+            // Returns become jumps to the continuation, materializing the
+            // return value into the call's destination.
+            Terminator::Return { .. } => Terminator::Jump { target: cont },
+        };
+        let mut block = Block { insts, term };
+        if let Terminator::Jump { target } = block.term {
+            if target == cont {
+                if let Some(d) = dst {
+                    match &cb.term {
+                        Terminator::Return { value: Some(v) } => {
+                            block.insts.push(Inst::Copy {
+                                dst: d,
+                                src: remap_reg(*v),
+                            });
+                        }
+                        Terminator::Return { value: None } => {
+                            block.insts.push(Inst::Const { dst: d, value: 0 });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        caller.blocks.push(block);
+    }
+
+    // The VM zeroes a callee's registers on every activation; the inlined
+    // body must see the same, or a register the callee reads before
+    // writing would observe a stale value from the previous execution of
+    // the inlined code. Zero every non-parameter register the callee
+    // reads anywhere (a cheap, conservative stand-in for read-before-
+    // write analysis), then copy the arguments, then enter the body.
+    let mut read_regs = vec![false; callee.reg_count as usize];
+    let mut uses = Vec::new();
+    for b in &callee.blocks {
+        for inst in &b.insts {
+            uses.clear();
+            inst.uses(&mut uses);
+            for &u in &uses {
+                read_regs[u.index()] = true;
+            }
+        }
+        if let Some(u) = b.term.use_reg() {
+            read_regs[u.index()] = true;
+        }
+    }
+    let zero_inits: Vec<Inst> = read_regs
+        .iter()
+        .enumerate()
+        .skip(callee.param_count as usize)
+        .filter(|&(_, &read)| read)
+        .map(|(i, _)| Inst::Const {
+            dst: Reg(reg_base + i as u32),
+            value: 0,
+        })
+        .collect();
+    let arg_copies: Vec<Inst> = args
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| Inst::Copy {
+            dst: Reg(reg_base + i as u32),
+            src: a,
+        })
+        .collect();
+    let call_blk = caller.block_mut(call_block);
+    call_blk.insts.extend(zero_inits);
+    call_blk.insts.extend(arg_copies);
+    call_blk.term = Terminator::Jump {
+        target: remap_block(callee.entry),
+    };
+}
+
+fn remap_inst_regs(inst: &Inst, remap: &impl Fn(Reg) -> Reg) -> Inst {
+    match inst {
+        Inst::Const { dst, value } => Inst::Const {
+            dst: remap(*dst),
+            value: *value,
+        },
+        Inst::Copy { dst, src } => Inst::Copy {
+            dst: remap(*dst),
+            src: remap(*src),
+        },
+        Inst::Unary { dst, op, src } => Inst::Unary {
+            dst: remap(*dst),
+            op: *op,
+            src: remap(*src),
+        },
+        Inst::Binary { dst, op, lhs, rhs } => Inst::Binary {
+            dst: remap(*dst),
+            op: *op,
+            lhs: remap(*lhs),
+            rhs: remap(*rhs),
+        },
+        Inst::Load { dst, addr } => Inst::Load {
+            dst: remap(*dst),
+            addr: remap(*addr),
+        },
+        Inst::Store { addr, src } => Inst::Store {
+            addr: remap(*addr),
+            src: remap(*src),
+        },
+        Inst::Rand { dst, bound } => Inst::Rand {
+            dst: remap(*dst),
+            bound: remap(*bound),
+        },
+        Inst::Call { dst, callee, args } => Inst::Call {
+            dst: dst.map(remap),
+            callee: *callee,
+            args: args.iter().copied().map(remap).collect(),
+        },
+        Inst::Emit { src } => Inst::Emit { src: remap(*src) },
+        Inst::Prof(op) => Inst::Prof(*op),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_ir::{verify_module, BinOp, FuncId, FunctionBuilder};
+    use ppp_vm::{run, RunOptions};
+
+    /// main loops calling `double(i)` and emitting results.
+    fn sample() -> Module {
+        let mut m = Module::new();
+        let mut mb = FunctionBuilder::new("main", 0);
+        let n = mb.constant(50);
+        let i = mb.copy(n);
+        let (hdr, body, exit) = (mb.new_block(), mb.new_block(), mb.new_block());
+        mb.jump(hdr);
+        mb.switch_to(hdr);
+        mb.branch(i, body, exit);
+        mb.switch_to(body);
+        let d = mb.call(FuncId(1), vec![i]);
+        mb.emit(d);
+        let one = mb.constant(1);
+        mb.binary_to(i, BinOp::Sub, i, one);
+        mb.jump(hdr);
+        mb.switch_to(exit);
+        mb.ret(None);
+        m.add_function(mb.finish());
+
+        let mut db = FunctionBuilder::new("double", 1);
+        let x = db.param(0);
+        let two = db.constant(2);
+        let y = db.binary(BinOp::Mul, x, two);
+        db.ret(Some(y));
+        m.add_function(db.finish());
+        m
+    }
+
+    fn traced_profile(m: &Module) -> (ModuleEdgeProfile, u64) {
+        let r = run(m, "main", &RunOptions::default().traced()).unwrap();
+        (r.edge_profile.unwrap(), r.checksum)
+    }
+
+    #[test]
+    fn inlining_preserves_semantics() {
+        let mut m = sample();
+        let (profile, checksum) = traced_profile(&m);
+        let report = inline_module(
+            &mut m,
+            &profile,
+            &InlineOptions {
+                code_bloat: 1.0, // generous budget for the test
+                max_callee_size: 200,
+            },
+        );
+        assert_eq!(report.inlined_sites, 1);
+        assert_eq!(verify_module(&m), Ok(()));
+        let r = run(&m, "main", &RunOptions::default()).unwrap();
+        assert_eq!(r.checksum, checksum, "inlining changed semantics");
+        // The call is gone.
+        assert_eq!(CallGraph::build(&m).sites().len(), 0);
+        assert!(report.dynamic_fraction() > 0.99);
+    }
+
+    #[test]
+    fn bloat_budget_limits_inlining() {
+        let mut m = sample();
+        let (profile, _) = traced_profile(&m);
+        // Zero budget: nothing fits.
+        let report = inline_module(
+            &mut m,
+            &profile,
+            &InlineOptions {
+                code_bloat: 0.0,
+                max_callee_size: 200,
+            },
+        );
+        assert_eq!(report.inlined_sites, 0);
+        assert_eq!(report.size_after, report.size_before);
+    }
+
+    #[test]
+    fn oversized_callees_are_skipped() {
+        let mut m = sample();
+        let (profile, _) = traced_profile(&m);
+        let report = inline_module(
+            &mut m,
+            &profile,
+            &InlineOptions {
+                code_bloat: 1.0,
+                max_callee_size: 2, // double() is bigger than this
+            },
+        );
+        assert_eq!(report.inlined_sites, 0);
+    }
+
+    #[test]
+    fn recursive_callees_are_skipped() {
+        let mut m = Module::new();
+        let mut mb = FunctionBuilder::new("main", 0);
+        let z = mb.constant(3);
+        let r = mb.call(FuncId(1), vec![z]);
+        mb.emit(r);
+        mb.ret(None);
+        m.add_function(mb.finish());
+        // fact(n): n == 0 ? 1 : n * fact(n-1)
+        let mut fb = FunctionBuilder::new("fact", 1);
+        let n = fb.param(0);
+        let (base, rec) = (fb.new_block(), fb.new_block());
+        fb.branch(n, rec, base);
+        fb.switch_to(base);
+        let one = fb.constant(1);
+        fb.ret(Some(one));
+        fb.switch_to(rec);
+        let one2 = fb.constant(1);
+        let nm1 = fb.binary(BinOp::Sub, n, one2);
+        let sub = fb.call(FuncId(1), vec![nm1]);
+        let prod = fb.binary(BinOp::Mul, n, sub);
+        fb.ret(Some(prod));
+        m.add_function(fb.finish());
+
+        let (profile, checksum) = traced_profile(&m);
+        let report = inline_module(&mut m, &profile, &InlineOptions::default());
+        assert_eq!(report.inlined_sites, 0, "recursive callee must be skipped");
+        let r2 = run(&m, "main", &RunOptions::default()).unwrap();
+        assert_eq!(r2.checksum, checksum);
+    }
+
+    #[test]
+    fn void_and_valued_returns_handled() {
+        let mut m = Module::new();
+        let mut mb = FunctionBuilder::new("main", 0);
+        mb.call_void(FuncId(1), vec![]);
+        let v = mb.call(FuncId(2), vec![]);
+        mb.emit(v);
+        mb.ret(None);
+        m.add_function(mb.finish());
+        let mut s = FunctionBuilder::new("side", 0);
+        let c = s.constant(11);
+        s.emit(c);
+        s.ret(None);
+        m.add_function(s.finish());
+        let mut g = FunctionBuilder::new("get", 0);
+        let c = g.constant(5);
+        g.ret(Some(c));
+        m.add_function(g.finish());
+
+        let (profile, checksum) = traced_profile(&m);
+        let report = inline_module(
+            &mut m,
+            &profile,
+            &InlineOptions {
+                code_bloat: 2.0,
+                max_callee_size: 200,
+            },
+        );
+        assert_eq!(report.inlined_sites, 2);
+        assert_eq!(verify_module(&m), Ok(()));
+        let r = run(&m, "main", &RunOptions::default()).unwrap();
+        assert_eq!(r.checksum, checksum);
+    }
+
+    /// Regression: an inlined callee that reads a register before writing
+    /// it must observe zero (fresh-activation semantics), not a stale
+    /// value from the previous execution of the inlined body.
+    #[test]
+    fn inlined_callee_registers_are_zeroed_per_activation() {
+        let mut m = Module::new();
+        let mut mb = FunctionBuilder::new("main", 0);
+        let n = mb.constant(5);
+        let i = mb.copy(n);
+        let (hdr, body, exit) = (mb.new_block(), mb.new_block(), mb.new_block());
+        mb.jump(hdr);
+        mb.switch_to(hdr);
+        mb.branch(i, body, exit);
+        mb.switch_to(body);
+        let v = mb.call(FuncId(1), vec![]);
+        mb.emit(v);
+        let one = mb.constant(1);
+        mb.binary_to(i, BinOp::Sub, i, one);
+        mb.jump(hdr);
+        mb.switch_to(exit);
+        mb.ret(None);
+        m.add_function(mb.finish());
+        // g(): acc starts 0 per activation (never written before the add),
+        // so every call returns 1.
+        let mut g = ppp_ir::Function::new("g", 0);
+        g.reg_count = 2;
+        g.blocks[0].insts = vec![
+            Inst::Const { dst: Reg(1), value: 1 },
+            Inst::Binary { dst: Reg(0), op: BinOp::Add, lhs: Reg(0), rhs: Reg(1) },
+        ];
+        g.blocks[0].term = Terminator::Return { value: Some(Reg(0)) };
+        m.add_function(g);
+
+        let (profile, checksum) = traced_profile(&m);
+        let report = inline_module(
+            &mut m,
+            &profile,
+            &InlineOptions { code_bloat: 2.0, max_callee_size: 200 },
+        );
+        assert_eq!(report.inlined_sites, 1);
+        assert_eq!(verify_module(&m), Ok(()));
+        let r = run(&m, "main", &RunOptions::default()).unwrap();
+        assert_eq!(
+            r.checksum, checksum,
+            "inlined read-before-write register observed a stale value"
+        );
+    }
+
+    #[test]
+    fn multiple_sites_in_one_block() {
+        let mut m = Module::new();
+        let mut mb = FunctionBuilder::new("main", 0);
+        let a = mb.call(FuncId(1), vec![]);
+        let b = mb.call(FuncId(1), vec![]);
+        let s = mb.binary(BinOp::Add, a, b);
+        mb.emit(s);
+        mb.ret(None);
+        m.add_function(mb.finish());
+        let mut g = FunctionBuilder::new("get", 0);
+        let bound = g.constant(100);
+        let v = g.rand(bound);
+        g.ret(Some(v));
+        m.add_function(g.finish());
+
+        let (profile, checksum) = traced_profile(&m);
+        let report = inline_module(
+            &mut m,
+            &profile,
+            &InlineOptions {
+                code_bloat: 2.0,
+                max_callee_size: 200,
+            },
+        );
+        assert_eq!(report.inlined_sites, 2);
+        assert_eq!(verify_module(&m), Ok(()));
+        let r = run(&m, "main", &RunOptions::default()).unwrap();
+        assert_eq!(r.checksum, checksum, "rand stream order must be preserved");
+    }
+}

@@ -1,0 +1,32 @@
+//! # ppp-opt: edge-profile-guided inlining and unrolling
+//!
+//! The paper's evaluation first performs *edge profile-guided inlining
+//! and unrolling* (§7.3) to approximate the optimized code of a staged
+//! dynamic optimizer: these transformations make dynamic paths longer and
+//! harder to predict from an edge profile (Table 1), which is the
+//! challenging setting PPP is evaluated in.
+//!
+//! - [`inline_module`]: priority = call-site hotness / callee size, a 5%
+//!   code-bloat budget, a 200-statement callee cap, and no recursion;
+//! - [`unroll_module`]: hot inner loops, factor 4 for canonical counted
+//!   loops (tests elided, remainder loop preserved), factor 2 with tests
+//!   retained otherwise; skips trips below 8 and bodies above 256
+//!   statements.
+//!
+//! Both run on a module plus an edge profile of that exact module, and
+//! both preserve semantics bit-for-bit (the VM checksum is the oracle in
+//! this workspace's tests). Re-profile after optimizing, as a staged
+//! system would.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod callgraph;
+pub mod inline;
+pub mod scalar;
+pub mod unroll;
+
+pub use callgraph::{CallGraph, CallSite};
+pub use inline::{inline_module, InlineOptions, InlineReport};
+pub use scalar::{optimize_function, optimize_module, ScalarReport};
+pub use unroll::{unroll_module, UnrollOptions, UnrollReport};

@@ -1,0 +1,508 @@
+//! Standard scalar optimizations (§7.3: "we perform standard scalar
+//! optimizations" before measuring path characteristics).
+//!
+//! Three classic passes, run to a fixpoint by [`optimize_function`]:
+//!
+//! - **local constant & copy propagation**: within each block, registers
+//!   holding known constants or copies are folded into their uses;
+//! - **branch folding**: branches and switches on known constants become
+//!   jumps, after which unreachable blocks are removed;
+//! - **dead code elimination**: pure instructions (`const`, `copy`,
+//!   arithmetic, `load`) whose results are never used are deleted, driven
+//!   by a global backward liveness analysis.
+//!
+//! `rand` is deliberately treated as side-effecting even though its
+//! result may be dead: removing a draw would shift the deterministic
+//! input stream and change program behaviour. `store`, `emit`, calls,
+//! and profiling ops are always kept.
+
+use ppp_ir::{BinOp, Cfg, Function, Inst, Module, Reg, Terminator};
+use std::collections::HashMap;
+
+/// What the scalar pipeline did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScalarReport {
+    /// Instructions folded to constants or rewritten by propagation.
+    pub folded: usize,
+    /// Branches/switches converted to jumps.
+    pub branches_folded: usize,
+    /// Pure instructions removed as dead.
+    pub dead_removed: usize,
+    /// Unreachable blocks removed.
+    pub blocks_removed: usize,
+}
+
+impl ScalarReport {
+    fn merge(&mut self, other: ScalarReport) {
+        self.folded += other.folded;
+        self.branches_folded += other.branches_folded;
+        self.dead_removed += other.dead_removed;
+        self.blocks_removed += other.blocks_removed;
+    }
+
+    /// Total changes (0 means a fixpoint was reached).
+    pub fn changes(&self) -> usize {
+        self.folded + self.branches_folded + self.dead_removed + self.blocks_removed
+    }
+}
+
+/// Runs the scalar pipeline on every function.
+pub fn optimize_module(module: &mut Module) -> ScalarReport {
+    let mut total = ScalarReport::default();
+    for f in &mut module.functions {
+        total.merge(optimize_function(f));
+    }
+    total
+}
+
+/// Runs constant/copy propagation, branch folding, and DCE to a fixpoint
+/// (bounded, in practice 2–3 rounds).
+pub fn optimize_function(f: &mut Function) -> ScalarReport {
+    let mut total = ScalarReport::default();
+    for _ in 0..8 {
+        let mut round = ScalarReport::default();
+        round.merge(propagate_locally(f));
+        round.merge(fold_branches(f));
+        let removed = ppp_ir::transform::remove_unreachable(f)
+            .iter()
+            .filter(|m| m.is_none())
+            .count();
+        round.blocks_removed += removed;
+        round.merge(eliminate_dead(f));
+        if round.changes() == 0 {
+            break;
+        }
+        total.merge(round);
+    }
+    total
+}
+
+/// Per-block abstract value of a register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Value {
+    Const(i64),
+    CopyOf(Reg),
+}
+
+fn propagate_locally(f: &mut Function) -> ScalarReport {
+    let mut report = ScalarReport::default();
+    for block in &mut f.blocks {
+        let mut env: HashMap<Reg, Value> = HashMap::new();
+        // Resolve a register through the copy chain to a root or constant.
+        let resolve = |env: &HashMap<Reg, Value>, mut r: Reg| -> (Reg, Option<i64>) {
+            for _ in 0..env.len() + 1 {
+                match env.get(&r) {
+                    Some(Value::Const(c)) => return (r, Some(*c)),
+                    Some(Value::CopyOf(s)) => r = *s,
+                    None => break,
+                }
+            }
+            (r, None)
+        };
+        for inst in &mut block.insts {
+            // First rewrite uses through the environment.
+            let before = inst.clone();
+            rewrite_uses(inst, |r| resolve(&env, r).0);
+            // Then fold if all inputs are known.
+            let folded = fold_inst(inst, |r| resolve(&env, r).1);
+            if folded || *inst != before {
+                report.folded += 1;
+            }
+            // Update the environment with this instruction's effect.
+            match inst {
+                Inst::Const { dst, value } => {
+                    let (dst, value) = (*dst, *value);
+                    kill_copies_of(&mut env, dst);
+                    env.insert(dst, Value::Const(value));
+                }
+                Inst::Copy { dst, src } => {
+                    let (dst, src) = (*dst, *src);
+                    kill_copies_of(&mut env, dst);
+                    if dst != src {
+                        let entry = match env.get(&src) {
+                            Some(v) => *v,
+                            None => Value::CopyOf(src),
+                        };
+                        env.insert(dst, entry);
+                    }
+                }
+                other => {
+                    if let Some(d) = other.def() {
+                        kill_copies_of(&mut env, d);
+                        env.remove(&d);
+                    }
+                }
+            }
+        }
+        // Rewrite terminator uses too.
+        let resolve_term = |r: Reg| resolve(&env, r).0;
+        match &mut block.term {
+            Terminator::Branch { cond, .. } => *cond = resolve_term(*cond),
+            Terminator::Switch { disc, .. } => *disc = resolve_term(*disc),
+            Terminator::Return { value: Some(v) } => *v = resolve_term(*v),
+            _ => {}
+        }
+    }
+    report
+}
+
+/// Forgets every mapping that refers to `dst` (it is being redefined).
+fn kill_copies_of(env: &mut HashMap<Reg, Value>, dst: Reg) {
+    env.retain(|_, v| !matches!(v, Value::CopyOf(s) if *s == dst));
+}
+
+/// Rewrites an instruction's register uses (not its def).
+fn rewrite_uses(inst: &mut Inst, map: impl Fn(Reg) -> Reg) {
+    match inst {
+        Inst::Const { .. } | Inst::Prof(_) => {}
+        Inst::Copy { src, .. } | Inst::Unary { src, .. } | Inst::Emit { src } => *src = map(*src),
+        Inst::Binary { lhs, rhs, .. } => {
+            *lhs = map(*lhs);
+            *rhs = map(*rhs);
+        }
+        Inst::Load { addr, .. } => *addr = map(*addr),
+        Inst::Store { addr, src } => {
+            *addr = map(*addr);
+            *src = map(*src);
+        }
+        Inst::Rand { bound, .. } => *bound = map(*bound),
+        Inst::Call { args, .. } => {
+            for a in args {
+                *a = map(*a);
+            }
+        }
+    }
+}
+
+/// Replaces an instruction with `const` when its inputs are known.
+/// Returns true if folded.
+fn fold_inst(inst: &mut Inst, known: impl Fn(Reg) -> Option<i64>) -> bool {
+    let replacement = match inst {
+        Inst::Copy { dst, src } => known(*src).map(|v| Inst::Const { dst: *dst, value: v }),
+        Inst::Unary { dst, op, src } => known(*src).map(|v| Inst::Const {
+            dst: *dst,
+            value: op.eval(v),
+        }),
+        Inst::Binary { dst, op, lhs, rhs } => match (known(*lhs), known(*rhs)) {
+            (Some(a), Some(b)) => Some(Inst::Const {
+                dst: *dst,
+                value: op.eval(a, b),
+            }),
+            // Algebraic identities with one known side.
+            (Some(0), _) if *op == BinOp::Add => Some(Inst::Copy {
+                dst: *dst,
+                src: *rhs,
+            }),
+            (_, Some(0)) if matches!(*op, BinOp::Add | BinOp::Sub | BinOp::Xor | BinOp::Shl | BinOp::Shr) => {
+                Some(Inst::Copy {
+                    dst: *dst,
+                    src: *lhs,
+                })
+            }
+            (_, Some(1)) if *op == BinOp::Mul => Some(Inst::Copy {
+                dst: *dst,
+                src: *lhs,
+            }),
+            (Some(1), _) if *op == BinOp::Mul => Some(Inst::Copy {
+                dst: *dst,
+                src: *rhs,
+            }),
+            _ => None,
+        },
+        _ => None,
+    };
+    match replacement {
+        Some(r) if r != *inst => {
+            *inst = r;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Folds branches/switches whose discriminant is a block-local constant.
+fn fold_branches(f: &mut Function) -> ScalarReport {
+    let mut report = ScalarReport::default();
+    for block in &mut f.blocks {
+        // Recompute local constants (cheap; blocks are small).
+        let mut consts: HashMap<Reg, i64> = HashMap::new();
+        for inst in &block.insts {
+            match inst {
+                Inst::Const { dst, value } => {
+                    consts.insert(*dst, *value);
+                }
+                other => {
+                    if let Some(d) = other.def() {
+                        consts.remove(&d);
+                    }
+                }
+            }
+        }
+        let new_target = match &block.term {
+            Terminator::Branch {
+                cond,
+                then_target,
+                else_target,
+            } => consts
+                .get(cond)
+                .map(|&c| if c != 0 { *then_target } else { *else_target }),
+            Terminator::Switch {
+                disc,
+                targets,
+                default,
+            } => consts.get(disc).map(|&v| {
+                if v >= 0 && (v as usize) < targets.len() {
+                    targets[v as usize]
+                } else {
+                    *default
+                }
+            }),
+            _ => None,
+        };
+        if let Some(target) = new_target {
+            block.term = Terminator::Jump { target };
+            report.branches_folded += 1;
+        }
+    }
+    report
+}
+
+/// Global backward liveness; removes pure dead instructions.
+fn eliminate_dead(f: &mut Function) -> ScalarReport {
+    let cfg = Cfg::new(f);
+    let n = f.blocks.len();
+    let mut live_out: Vec<Vec<bool>> = vec![vec![false; f.reg_count as usize]; n];
+    let mut live_in: Vec<Vec<bool>> = vec![vec![false; f.reg_count as usize]; n];
+
+    let mut changed = true;
+    let mut uses_buf = Vec::new();
+    while changed {
+        changed = false;
+        for &b in cfg.reverse_postorder().iter().rev() {
+            let bi = b.index();
+            // live_out = union of successors' live_in.
+            let mut out = vec![false; f.reg_count as usize];
+            for &s in cfg.succs(b) {
+                for (o, &i) in out.iter_mut().zip(&live_in[s.index()]) {
+                    *o |= i;
+                }
+            }
+            // Transfer backward through the block.
+            let mut live = out.clone();
+            let block = f.block(b);
+            if let Some(r) = block.term.use_reg() {
+                live[r.index()] = true;
+            }
+            for inst in block.insts.iter().rev() {
+                if let Some(d) = inst.def() {
+                    live[d.index()] = false;
+                }
+                uses_buf.clear();
+                inst.uses(&mut uses_buf);
+                for &u in &uses_buf {
+                    live[u.index()] = true;
+                }
+            }
+            if live != live_in[bi] || out != live_out[bi] {
+                live_in[bi] = live;
+                live_out[bi] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Remove pure instructions whose def is dead at their program point.
+    let mut report = ScalarReport::default();
+    for (bi, block) in f.blocks.iter_mut().enumerate() {
+        let mut live = live_out[bi].clone();
+        if let Some(r) = block.term.use_reg() {
+            live[r.index()] = true;
+        }
+        let mut keep: Vec<bool> = vec![true; block.insts.len()];
+        for (i, inst) in block.insts.iter().enumerate().rev() {
+            let pure = matches!(
+                inst,
+                Inst::Const { .. }
+                    | Inst::Copy { .. }
+                    | Inst::Unary { .. }
+                    | Inst::Binary { .. }
+                    | Inst::Load { .. }
+            );
+            let dead_def = inst.def().is_some_and(|d| !live[d.index()]);
+            if pure && dead_def {
+                keep[i] = false;
+                report.dead_removed += 1;
+                continue; // does not execute: no effect on liveness
+            }
+            if let Some(d) = inst.def() {
+                live[d.index()] = false;
+            }
+            uses_buf.clear();
+            inst.uses(&mut uses_buf);
+            for &u in &uses_buf {
+                live[u.index()] = true;
+            }
+        }
+        let mut it = keep.iter();
+        block.insts.retain(|_| *it.next().expect("keep mask aligned"));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_ir::{verify_module, FunctionBuilder, Module};
+    use ppp_vm::{run, RunOptions};
+
+    fn checksum(m: &Module) -> u64 {
+        run(m, "main", &RunOptions::default()).unwrap().checksum
+    }
+
+    #[test]
+    fn constants_fold_through_arithmetic() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let x = b.constant(6);
+        let y = b.constant(7);
+        let p = b.binary(BinOp::Mul, x, y);
+        b.emit(p);
+        b.ret(None);
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let before = checksum(&m);
+        let report = optimize_module(&mut m);
+        assert!(report.folded >= 1);
+        assert_eq!(verify_module(&m), Ok(()));
+        assert_eq!(checksum(&m), before);
+        // The multiply became a constant 42.
+        let f = &m.functions[0];
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Const { value: 42, .. })));
+    }
+
+    #[test]
+    fn constant_branches_fold_and_dead_arm_disappears() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let c = b.constant(1);
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, t, e);
+        b.switch_to(t);
+        let v = b.constant(10);
+        b.emit(v);
+        b.jump(j);
+        b.switch_to(e);
+        let w = b.constant(20);
+        b.emit(w);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let before = checksum(&m);
+        let report = optimize_module(&mut m);
+        assert!(report.branches_folded >= 1);
+        assert!(report.blocks_removed >= 1);
+        assert_eq!(checksum(&m), before);
+        assert_eq!(verify_module(&m), Ok(()));
+    }
+
+    #[test]
+    fn dead_code_removed_but_rand_kept() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let bound = b.constant(100);
+        let dead = b.constant(5);
+        let _dead2 = b.binary(BinOp::Add, dead, dead);
+        let r1 = b.rand(bound); // dead result, but the draw must stay
+        let r2 = b.rand(bound);
+        b.emit(r2);
+        b.ret(None);
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let before = checksum(&m);
+        let report = optimize_module(&mut m);
+        assert!(report.dead_removed >= 1);
+        assert_eq!(checksum(&m), before, "removing rand would shift the stream");
+        let f = &m.functions[0];
+        let rands = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Rand { .. }))
+            .count();
+        assert_eq!(rands, 2, "both draws preserved");
+        let _ = r1;
+    }
+
+    #[test]
+    fn copy_chains_collapse() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let x = b.constant(3);
+        let a = b.copy(x);
+        let c = b.copy(a);
+        let d = b.copy(c);
+        b.emit(d);
+        b.ret(None);
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let before = checksum(&m);
+        optimize_module(&mut m);
+        assert_eq!(checksum(&m), before);
+        // Everything collapses to: emit a constant.
+        let f = &m.functions[0];
+        assert!(f.blocks[0].insts.len() <= 2, "{:?}", f.blocks[0].insts);
+    }
+
+    #[test]
+    fn redefinition_invalidates_copies() {
+        // a = copy x; x = const 9; emit a  — a must keep x's OLD value.
+        let mut b = FunctionBuilder::new("main", 0);
+        let x = b.constant(3);
+        let a = b.copy(x);
+        let bound = b.constant(50);
+        let fresh = b.rand(bound);
+        b.copy_to(x, fresh); // redefine x with an unknown
+        b.emit(a);
+        b.emit(x);
+        b.ret(None);
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let before = checksum(&m);
+        optimize_module(&mut m);
+        assert_eq!(checksum(&m), before);
+    }
+
+    #[test]
+    fn generated_workloads_survive_scalar_opts() {
+        use ppp_workloads::{generate, BenchmarkSpec};
+        for name in ["scalar-a", "scalar-b"] {
+            let mut m = generate(&BenchmarkSpec::named(name).scaled(0.05));
+            let before = checksum(&m);
+            let size_before = m.size();
+            let report = optimize_module(&mut m);
+            assert_eq!(verify_module(&m), Ok(()), "{name}");
+            assert_eq!(checksum(&m), before, "{name}: semantics changed");
+            assert!(
+                m.size() <= size_before,
+                "{name}: scalar opts must not grow code"
+            );
+            assert!(report.changes() > 0, "{name}: expected some cleanup");
+        }
+    }
+
+    #[test]
+    fn fixpoint_is_reached() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let x = b.constant(1);
+        let y = b.binary(BinOp::Add, x, x);
+        b.emit(y);
+        b.ret(None);
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        optimize_module(&mut m);
+        let after_once = m.clone();
+        let second = optimize_module(&mut m);
+        assert_eq!(second.changes(), 0, "second run must be a no-op");
+        assert_eq!(m, after_once);
+    }
+}

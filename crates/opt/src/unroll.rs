@@ -1,0 +1,602 @@
+//! Edge-profile-guided loop unrolling (§7.3).
+//!
+//! Scale unrolls hot inner loops by a factor of four, skipping loops with
+//! average trip counts under eight or bodies that would exceed 256 IR
+//! statements, and "unrolls less or not at all" otherwise. Two modes are
+//! implemented:
+//!
+//! - **counted unrolling** for canonical counted loops (`br i, body,
+//!   exit` with a straight-line body decrementing `i` by one): the body
+//!   is replicated `factor` times with the intermediate tests *elided*,
+//!   guarded by an `i < factor` check, with the original loop as the
+//!   remainder — this lengthens paths without multiplying branches,
+//!   matching the paper's FP benchmarks;
+//! - **generic unrolling** for other loops: the body is replicated with
+//!   exit tests retained (factor 2), which lengthens paths *and* adds
+//!   branches — the paper's integer-benchmark behaviour, where most
+//!   while-loops "unroll less or not at all".
+
+use ppp_ir::{
+    analyze_loops, BinOp, Block, BlockId, Function, Inst, Module, ModuleEdgeProfile, Reg,
+    Terminator,
+};
+
+/// Unroller thresholds (§7.3 defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct UnrollOptions {
+    /// Replication factor for counted loops (paper: 4).
+    pub factor: u32,
+    /// Replication factor for generic (test-retained) unrolling.
+    pub generic_factor: u32,
+    /// Minimum average trip count (paper: 8).
+    pub min_trip: f64,
+    /// Maximum unrolled body size in IR statements (paper: 256).
+    pub max_body: usize,
+}
+
+impl Default for UnrollOptions {
+    fn default() -> Self {
+        Self {
+            factor: 4,
+            generic_factor: 2,
+            min_trip: 8.0,
+            max_body: 256,
+        }
+    }
+}
+
+/// What the unroller did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnrollReport {
+    /// Innermost loops examined.
+    pub candidates: usize,
+    /// Loops unrolled in counted (test-elided) mode.
+    pub counted_unrolled: usize,
+    /// Loops unrolled in generic (test-retained) mode.
+    pub generic_unrolled: usize,
+    /// Σ factor × iterations, for the dynamic average factor.
+    pub weighted_factor: u64,
+    /// Σ iterations over all candidate loops.
+    pub total_iterations: u64,
+}
+
+impl UnrollReport {
+    /// Average unroll factor over dynamic loop iterations (Table 1).
+    pub fn dynamic_avg_factor(&self) -> f64 {
+        if self.total_iterations == 0 {
+            1.0
+        } else {
+            self.weighted_factor as f64 / self.total_iterations as f64
+        }
+    }
+}
+
+/// Unrolls hot innermost loops of every function in `module`.
+///
+/// `profile` must describe `module`'s current shape.
+pub fn unroll_module(
+    module: &mut Module,
+    profile: &ModuleEdgeProfile,
+    options: &UnrollOptions,
+) -> UnrollReport {
+    let mut report = UnrollReport::default();
+    for fid in module.func_ids().collect::<Vec<_>>() {
+        let f = module.function_mut(fid);
+        let fp = profile.func(fid);
+        unroll_function(f, fp, options, &mut report);
+    }
+    report
+}
+
+struct LoopInfo {
+    header: BlockId,
+    body: Vec<BlockId>,
+    back_edges: Vec<ppp_ir::EdgeRef>,
+    iterations: u64,
+    trip: f64,
+}
+
+fn unroll_function(
+    f: &mut Function,
+    profile: &ppp_ir::FuncEdgeProfile,
+    options: &UnrollOptions,
+    report: &mut UnrollReport,
+) {
+    // Collect innermost loops up front; transforms append blocks, so the
+    // collected ids stay valid as long as each loop is disjoint. Nested
+    // or shared-header situations are excluded by the innermost filter.
+    let loops: Vec<LoopInfo> = {
+        let (cfg, _dom, forest) = analyze_loops(f);
+        forest
+            .loops()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| forest.is_innermost_loop(*i))
+            .filter_map(|(_, l)| {
+                let entries = l.entry_edges(&cfg);
+                let trip = profile.loop_trip_count(&l.back_edges, &entries)?;
+                let iterations: u64 = l.back_edges.iter().map(|&e| profile.edge(e)).sum();
+                Some(LoopInfo {
+                    header: l.header,
+                    body: l.body.clone(),
+                    back_edges: l.back_edges.clone(),
+                    iterations,
+                    trip,
+                })
+            })
+            .collect()
+    };
+
+    for info in loops {
+        report.candidates += 1;
+        report.total_iterations += info.iterations;
+        let body_size: usize = info.body.iter().map(|&b| f.block(b).len_with_term()).sum();
+        if info.trip < options.min_trip {
+            report.weighted_factor += info.iterations;
+            continue;
+        }
+        if let Some(counted) = recognize_counted(f, &info) {
+            if body_size * options.factor as usize <= options.max_body {
+                unroll_counted(f, &info, &counted, options.factor);
+                report.counted_unrolled += 1;
+                report.weighted_factor += info.iterations * u64::from(options.factor);
+                continue;
+            }
+        }
+        if body_size * options.generic_factor as usize <= options.max_body
+            && options.generic_factor >= 2
+            && info.back_edges.len() == 1
+        {
+            unroll_generic(f, &info, options.generic_factor);
+            report.generic_unrolled += 1;
+            report.weighted_factor += info.iterations * u64::from(options.generic_factor);
+        } else {
+            report.weighted_factor += info.iterations;
+        }
+    }
+}
+
+/// A recognized canonical counted loop.
+struct CountedLoop {
+    /// The induction register tested by the header.
+    induction: Reg,
+    /// Header's in-loop successor index (the body side).
+    body_succ: usize,
+    /// Header's exit successor index.
+    exit_succ: usize,
+}
+
+/// Recognizes `header: br i, body, exit` with a straight-line body chain
+/// back to the header that decrements `i` exactly once by a constant 1
+/// and never otherwise writes `i` (and contains no calls, whose callees
+/// could not alias `i` but keep recognition conservative anyway).
+fn recognize_counted(f: &Function, info: &LoopInfo) -> Option<CountedLoop> {
+    if info.back_edges.len() != 1 {
+        return None;
+    }
+    let header = f.block(info.header);
+    if !header.insts.is_empty() {
+        return None;
+    }
+    let Terminator::Branch {
+        cond,
+        then_target,
+        else_target,
+    } = header.term
+    else {
+        return None;
+    };
+    let in_body = |b: BlockId| info.body.binary_search(&b).is_ok();
+    // The elided-test unrolling assumes "non-zero means keep looping", so
+    // only the then-successor may be the body: an inverted loop
+    // (continue-on-zero) decrements past zero in the wide body.
+    let (body_succ, exit_succ, first) = if in_body(then_target) && !in_body(else_target) {
+        (0usize, 1usize, then_target)
+    } else {
+        return None;
+    };
+    // Walk the straight-line chain from `first` back to the header,
+    // tracking which registers *currently* hold the constant 1 (a later
+    // redefinition revokes the certificate — otherwise a body like
+    // `one = const 1; one = add one, one; i = sub i, one` would pass as a
+    // decrement-by-1).
+    let mut decrements = 0usize;
+    let mut cur = first;
+    let mut ones: Vec<Reg> = Vec::new();
+    for _ in 0..info.body.len() + 1 {
+        let b = f.block(cur);
+        for inst in &b.insts {
+            if let Inst::Binary {
+                dst,
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+            } = inst
+            {
+                if *dst == cond && *lhs == cond {
+                    if !ones.contains(rhs) {
+                        return None;
+                    }
+                    decrements += 1;
+                    continue;
+                }
+            }
+            if matches!(inst, Inst::Call { .. }) {
+                return None;
+            }
+            if inst.def() == Some(cond) {
+                return None; // other writes to the induction reg
+            }
+            if let Some(d) = inst.def() {
+                ones.retain(|&r| r != d); // redefinition revokes const-1
+                if matches!(inst, Inst::Const { value: 1, .. }) {
+                    ones.push(d);
+                }
+            }
+        }
+        match b.term {
+            Terminator::Jump { target } if target == info.header => break,
+            Terminator::Jump { target } if in_body(target) => cur = target,
+            _ => return None,
+        }
+    }
+    (decrements == 1).then_some(CountedLoop {
+        induction: cond,
+        body_succ,
+        exit_succ,
+    })
+}
+
+/// Clones the loop body blocks, remapping in-body targets through `map`.
+/// Back-edge targets (the header) are redirected to `back_to`.
+fn clone_body(
+    f: &mut Function,
+    info: &LoopInfo,
+    skip_header: bool,
+    back_to: BlockId,
+) -> std::collections::HashMap<BlockId, BlockId> {
+    let mut map = std::collections::HashMap::new();
+    for &b in &info.body {
+        if skip_header && b == info.header {
+            continue;
+        }
+        let copy = f.add_block(f.block(b).clone());
+        map.insert(b, copy);
+    }
+    let targets: Vec<BlockId> = map.values().copied().collect();
+    for &copy in &targets {
+        let term = &mut f.block_mut(copy).term;
+        for s in 0..term.successor_count() {
+            let tgt = term.successor(s).expect("in-range");
+            if tgt == info.header {
+                term.set_successor(s, back_to);
+            } else if let Some(&m) = map.get(&tgt) {
+                term.set_successor(s, m);
+            }
+        }
+    }
+    map
+}
+
+/// Counted unrolling: `while (i >= factor) { body × factor }` then the
+/// original loop as remainder. Intermediate tests are elided.
+fn unroll_counted(f: &mut Function, info: &LoopInfo, counted: &CountedLoop, factor: u32) {
+    let header = info.header;
+    let body_first = f
+        .block(header)
+        .term
+        .successor(counted.body_succ)
+        .expect("body successor");
+    let exit_target = f
+        .block(header)
+        .term
+        .successor(counted.exit_succ)
+        .expect("exit successor");
+
+    // New main header: t = i < factor ? remainder-header : big body.
+    let t = f.new_reg();
+    let k = f.new_reg();
+    let main_header = f.add_block(Block::new(Terminator::Return { value: None }));
+    // Chain `factor` copies of the body; copy j's back edge goes to copy
+    // j+1's first block, the last copy's to the main header.
+    let mut entries: Vec<BlockId> = Vec::new();
+    let mut hops: Vec<std::collections::HashMap<BlockId, BlockId>> = Vec::new();
+    for _ in 0..factor {
+        // Temporarily point back edges at main_header; fixed below.
+        let map = clone_body(f, info, true, main_header);
+        entries.push(map[&body_first]);
+        hops.push(map);
+    }
+    for j in 0..factor as usize - 1 {
+        // Re-point copy j's back edge to copy j+1's entry.
+        let targets: Vec<BlockId> = hops[j].values().copied().collect();
+        for &copy in &targets {
+            let term = &mut f.block_mut(copy).term;
+            for s in 0..term.successor_count() {
+                if term.successor(s) == Some(main_header) {
+                    term.set_successor(s, entries[j + 1]);
+                }
+            }
+        }
+    }
+
+    // Fill in the main header: const k = factor; t = lt i, k; br t ?
+    // original header (remainder) : first copy.
+    let mh = f.block_mut(main_header);
+    mh.insts.push(Inst::Const {
+        dst: k,
+        value: i64::from(factor),
+    });
+    mh.insts.push(Inst::Binary {
+        dst: t,
+        op: BinOp::Lt,
+        lhs: counted.induction,
+        rhs: k,
+    });
+    mh.term = Terminator::Branch {
+        cond: t,
+        then_target: header,
+        else_target: entries[0],
+    };
+
+    // Redirect every entry edge of the loop (edges into the header from
+    // outside the body) to the main header.
+    let body_set: std::collections::HashSet<BlockId> = info.body.iter().copied().collect();
+    let all_copies: std::collections::HashSet<BlockId> =
+        hops.iter().flat_map(|m| m.values().copied()).collect();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if body_set.contains(&b) || all_copies.contains(&b) || b == main_header {
+            continue;
+        }
+        let term = &mut f.block_mut(b).term;
+        for s in 0..term.successor_count() {
+            if term.successor(s) == Some(header) {
+                term.set_successor(s, main_header);
+            }
+        }
+    }
+    let _ = exit_target;
+}
+
+/// Generic unrolling with tests retained: replicate the body `factor - 1`
+/// extra times; copy `j`'s back edge targets copy `j+1`'s header, the
+/// last copy's targets the original header.
+fn unroll_generic(f: &mut Function, info: &LoopInfo, factor: u32) {
+    let mut prev_maps: Vec<std::collections::HashMap<BlockId, BlockId>> = Vec::new();
+    for _ in 0..factor - 1 {
+        let map = clone_body(f, info, false, info.header);
+        prev_maps.push(map);
+    }
+    // Chain: original body's back edges -> copy 0's header; copy j's back
+    // edges -> copy j+1's header; last copy keeps the original header.
+    let redirect = |blocks: Vec<BlockId>, from: BlockId, to: BlockId, f: &mut Function| {
+        for b in blocks {
+            let term = &mut f.block_mut(b).term;
+            for s in 0..term.successor_count() {
+                if term.successor(s) == Some(from) {
+                    // Only rewrite genuine back edges (sources inside the
+                    // copy/body); entry edges are excluded by the caller's
+                    // block list.
+                    term.set_successor(s, to);
+                }
+            }
+        }
+    };
+    // All latches (original and copies) currently point at the original
+    // header: clone_body's `back_to` keeps header-targets unchanged.
+    // Re-chain them: original latches -> copy 0's header, copy j's
+    // latches -> copy j+1's header; the last copy's latches keep the
+    // original header, closing the (factor-times longer) loop.
+    let latches: Vec<BlockId> = info.back_edges.iter().map(|e| e.from).collect();
+    redirect(latches, info.header, prev_maps[0][&info.header], f);
+    for j in 0..prev_maps.len() - 1 {
+        let copy_latches: Vec<BlockId> = info
+            .back_edges
+            .iter()
+            .map(|e| prev_maps[j][&e.from])
+            .collect();
+        redirect(
+            copy_latches,
+            info.header,
+            prev_maps[j + 1][&info.header],
+            f,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_ir::{verify_module, FuncId, FunctionBuilder};
+    use ppp_vm::{run, RunOptions};
+
+    /// main: i = n; while (i) { emit i; i -= 1 }
+    fn counted_module(n: i64) -> Module {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", 0);
+        let c = b.constant(n);
+        let i = b.copy(c);
+        let (hdr, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+        b.jump(hdr);
+        b.switch_to(hdr);
+        b.branch(i, body, exit);
+        b.switch_to(body);
+        b.emit(i);
+        let one = b.constant(1);
+        b.binary_to(i, BinOp::Sub, i, one);
+        b.jump(hdr);
+        b.switch_to(exit);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    /// A while-style loop the recognizer must reject: the condition is
+    /// recomputed from rand each iteration.
+    fn while_module() -> Module {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", 0);
+        let bound = b.constant(40);
+        let cond = b.rand(bound);
+        let (hdr, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+        b.jump(hdr);
+        b.switch_to(hdr);
+        b.branch(cond, body, exit);
+        b.switch_to(body);
+        b.emit(cond);
+        let v = b.rand(bound);
+        b.copy_to(cond, v);
+        b.jump(hdr);
+        b.switch_to(exit);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    fn traced(m: &Module) -> (ModuleEdgeProfile, u64) {
+        let r = run(m, "main", &RunOptions::default().traced()).unwrap();
+        (r.edge_profile.unwrap(), r.checksum)
+    }
+
+    #[test]
+    fn counted_loop_unrolls_and_preserves_semantics() {
+        for n in [0, 1, 3, 4, 7, 8, 100, 101, 102, 103] {
+            let mut m = counted_module(n.max(20)); // trip >= 8 required
+            let (profile, checksum) = traced(&m);
+            let report = unroll_module(&mut m, &profile, &UnrollOptions::default());
+            assert_eq!(report.counted_unrolled, 1, "n={n}");
+            assert_eq!(verify_module(&m), Ok(()));
+            let r = run(&m, "main", &RunOptions::default()).unwrap();
+            assert_eq!(r.checksum, checksum, "unrolling changed semantics, n={n}");
+        }
+    }
+
+    #[test]
+    fn counted_unrolling_exact_for_various_trip_counts() {
+        // Build with trip 20, then verify semantics across remainders by
+        // changing the constant *after* unrolling decisions were profiled.
+        for n in [8, 9, 10, 11, 20, 41] {
+            let mut m = counted_module(n);
+            let (profile, checksum) = traced(&m);
+            unroll_module(&mut m, &profile, &UnrollOptions::default());
+            let r = run(&m, "main", &RunOptions::default()).unwrap();
+            assert_eq!(r.checksum, checksum, "n={n}");
+        }
+    }
+
+    #[test]
+    fn low_trip_loops_stay() {
+        let mut m = counted_module(3);
+        let (profile, _) = traced(&m);
+        let report = unroll_module(&mut m, &profile, &UnrollOptions::default());
+        assert_eq!(report.counted_unrolled + report.generic_unrolled, 0);
+        assert!((report.dynamic_avg_factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn while_loops_use_generic_mode() {
+        let mut m = while_module();
+        let (profile, checksum) = traced(&m);
+        let report = unroll_module(&mut m, &profile, &UnrollOptions::default());
+        // rand(40) != 0 with p=0.975: expected trip ~40, above threshold.
+        assert_eq!(report.counted_unrolled, 0);
+        assert_eq!(report.generic_unrolled, 1);
+        assert_eq!(verify_module(&m), Ok(()));
+        let r = run(&m, "main", &RunOptions::default()).unwrap();
+        assert_eq!(r.checksum, checksum, "generic unrolling changed semantics");
+    }
+
+    #[test]
+    fn unrolled_loops_have_longer_paths() {
+        let mut m = counted_module(400);
+        let (profile, _) = traced(&m);
+        let before = run(&m, "main", &RunOptions::default().traced()).unwrap();
+        let before_paths = before.path_profile.unwrap();
+        let before_avg = avg_len(&before_paths);
+        unroll_module(&mut m, &profile, &UnrollOptions::default());
+        let after = run(&m, "main", &RunOptions::default().traced()).unwrap();
+        let after_paths = after.path_profile.unwrap();
+        let after_avg = avg_len(&after_paths);
+        assert!(
+            after_avg > before_avg * 1.5,
+            "paths should lengthen: {before_avg} -> {after_avg}"
+        );
+        // And there are fewer dynamic paths (4 iterations merged into 1).
+        assert!(after_paths.total_unit_flow() < before_paths.total_unit_flow());
+    }
+
+    fn avg_len(p: &ppp_ir::ModulePathProfile) -> f64 {
+        let (mut edges, mut count) = (0u64, 0u64);
+        for (_, k, s) in p.iter() {
+            edges += (k.edges.len() as u64) * s.freq;
+            count += s.freq;
+        }
+        edges as f64 / count.max(1) as f64
+    }
+
+    /// Regression: a body that launders a non-1 value through a register
+    /// that once held `const 1` must not be recognized as a counted loop
+    /// (test-elided unrolling would decrement past zero and diverge).
+    #[test]
+    fn forged_decrement_is_rejected() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", 0);
+        let c = b.constant(100);
+        let i = b.copy(c);
+        let (hdr, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+        b.jump(hdr);
+        b.switch_to(hdr);
+        b.branch(i, body, exit);
+        b.switch_to(body);
+        b.emit(i);
+        let one = b.constant(1);
+        b.binary_to(one, BinOp::Add, one, one); // one now holds 2
+        b.binary_to(i, BinOp::Sub, i, one); // decrement by 2!
+        b.jump(hdr);
+        b.switch_to(exit);
+        b.ret(None);
+        m.add_function(b.finish());
+        let (profile, checksum) = traced(&m);
+        let report = unroll_module(&mut m, &profile, &UnrollOptions::default());
+        assert_eq!(report.counted_unrolled, 0, "forged decrement must not qualify");
+        let r = run(&m, "main", &RunOptions::default()).unwrap();
+        assert_eq!(r.halt, ppp_vm::HaltReason::Finished);
+        assert_eq!(r.checksum, checksum);
+    }
+
+    /// Regression: inverted loops (continue on zero) must never be
+    /// counted-unrolled — the wide body assumes non-zero-means-continue.
+    #[test]
+    fn inverted_polarity_is_rejected() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", 0);
+        let c = b.constant(0);
+        let i = b.copy(c);
+        let (hdr, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+        b.jump(hdr);
+        b.switch_to(hdr);
+        b.branch(i, exit, body); // continue while i == 0
+        b.switch_to(body);
+        let one = b.constant(1);
+        b.binary_to(i, BinOp::Sub, i, one);
+        b.jump(hdr);
+        b.switch_to(exit);
+        b.ret(None);
+        m.add_function(b.finish());
+        let (profile, checksum) = traced(&m);
+        let opts = UnrollOptions { min_trip: 0.0, ..UnrollOptions::default() };
+        let report = unroll_module(&mut m, &profile, &opts);
+        assert_eq!(report.counted_unrolled, 0, "inverted loop must not qualify");
+        let r = run(&m, "main", &RunOptions::default()).unwrap();
+        assert_eq!(r.checksum, checksum);
+    }
+
+    #[test]
+    fn report_weights_by_iterations() {
+        let mut m = counted_module(100);
+        let (profile, _) = traced(&m);
+        let report = unroll_module(&mut m, &profile, &UnrollOptions::default());
+        assert!(report.dynamic_avg_factor() > 3.9, "counted loop dominates");
+        let _ = FuncId(0);
+    }
+}

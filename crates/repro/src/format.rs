@@ -1,0 +1,140 @@
+//! Minimal fixed-width table rendering for the paper-style reports.
+
+/// A simple text table with right-aligned numeric columns.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    separators: Vec<usize>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            separators: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Inserts a horizontal separator before the next row.
+    pub fn separator(&mut self) -> &mut Self {
+        self.separators.push(self.rows.len());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        let mut out = String::new();
+        line(&mut out);
+        for (i, h) in self.headers.iter().enumerate() {
+            out.push_str("| ");
+            out.push_str(h);
+            out.push_str(&" ".repeat(widths[i] - h.len() + 1));
+        }
+        out.push_str("|\n");
+        line(&mut out);
+        for (r, row) in self.rows.iter().enumerate() {
+            if self.separators.contains(&r) {
+                line(&mut out);
+            }
+            for i in 0..cols {
+                let c = &row[i];
+                out.push_str("| ");
+                // Right-align numbers, left-align text.
+                let numeric = c
+                    .chars()
+                    .all(|ch| ch.is_ascii_digit() || "+-.%eE".contains(ch))
+                    && !c.is_empty();
+                if numeric {
+                    out.push_str(&" ".repeat(widths[i] - c.len()));
+                    out.push_str(c);
+                    out.push(' ');
+                } else {
+                    out.push_str(c);
+                    out.push_str(&" ".repeat(widths[i] - c.len() + 1));
+                }
+            }
+            out.push_str("|\n");
+        }
+        line(&mut out);
+        out
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a signed ratio as a percentage (for overheads).
+pub fn pct_signed(x: f64) -> String {
+    format!("{:+.1}%", 100.0 * x)
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1.00"]);
+        t.separator();
+        t.row(["longer-name", "123.45"]);
+        let s = t.render();
+        assert!(s.contains("| name "));
+        assert!(s.contains("| alpha "));
+        assert!(s.contains("123.45"));
+        // All lines same width.
+        let lens: Vec<usize> = s.lines().map(str::len).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(pct_signed(-0.03), "-3.0%");
+        assert_eq!(pct_signed(0.05), "+5.0%");
+        assert_eq!(f2(1.005), "1.00");
+    }
+}

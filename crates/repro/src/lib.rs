@@ -1,0 +1,25 @@
+//! # ppp-repro: regenerating the paper's evaluation
+//!
+//! End-to-end reproduction harness for Bond & McKinley (CGO 2005): runs
+//! the 18 synthetic SPEC2000 personalities through the full pipeline
+//! (profile → inline+unroll → re-profile → instrument with PP/TPP/PPP →
+//! run → evaluate) and renders every table and figure of the paper's
+//! evaluation section.
+//!
+//! Use the `ppp-repro` binary:
+//!
+//! ```text
+//! ppp-repro [--scale X] [--quick] table1|table2|fig9|fig10|fig11|fig12|fig13|all
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod format;
+pub mod inspect;
+pub mod pipeline;
+pub mod reports;
+
+pub use inspect::inspect_benchmark;
+pub use pipeline::{run_benchmark, BenchmarkRun, PipelineOptions, ProfilerResult};
+pub use reports::{all_reports, fig10, fig11, fig12, fig13, fig9, run_suite, table1, table2};

@@ -1,0 +1,98 @@
+//! CLI entry: regenerate the paper's tables and figures.
+
+use ppp_repro::{
+    all_reports, fig10, fig11, fig12, fig13, fig9, inspect_benchmark, run_suite, table1, table2,
+};
+use ppp_repro::PipelineOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = PipelineOptions {
+        ablations: true,
+        ..PipelineOptions::default()
+    };
+    let mut wanted: Vec<String> = Vec::new();
+    let mut inspect: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "inspect" => {
+                i += 1;
+                inspect = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("inspect needs a benchmark name")),
+                );
+            }
+            "--scale" => {
+                i += 1;
+                options.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a number"));
+            }
+            "--quick" => options.scale = 0.1,
+            "--no-ablations" => options.ablations = false,
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            report => wanted.push(report.to_owned()),
+        }
+        i += 1;
+    }
+    if let Some(name) = inspect {
+        let suite = ppp_workloads::spec2000_suite();
+        let entry = suite
+            .iter()
+            .find(|e| e.spec.name == name)
+            .unwrap_or_else(|| usage(&format!("unknown benchmark {name:?}")));
+        for config in [
+            ppp_core::ProfilerConfig::pp(),
+            ppp_core::ProfilerConfig::tpp(),
+            ppp_core::ProfilerConfig::ppp(),
+        ] {
+            println!("{}", inspect_benchmark(entry, &config, &options));
+        }
+        return;
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_owned());
+    }
+    const REPORTS: [&str; 8] = [
+        "table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "all",
+    ];
+    for w in &wanted {
+        if !REPORTS.contains(&w.as_str()) {
+            usage(&format!("unknown report {w}"));
+        }
+    }
+    if !wanted.iter().any(|w| w == "fig13" || w == "all") {
+        options.ablations = false; // fig13 is the only consumer
+    }
+
+    let runs = run_suite(&options);
+    for w in &wanted {
+        let out = match w.as_str() {
+            "table1" => table1(&runs),
+            "table2" => table2(&runs),
+            "fig9" => fig9(&runs),
+            "fig10" => fig10(&runs),
+            "fig11" => fig11(&runs),
+            "fig12" => fig12(&runs),
+            "fig13" => fig13(&runs),
+            "all" => all_reports(&runs),
+            other => unreachable!("validated above: {other}"),
+        };
+        println!("{out}");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: ppp-repro [--scale X] [--quick] [--no-ablations] \
+         [table1|table2|fig9|fig10|fig11|fig12|fig13|all] | inspect <benchmark>"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,365 @@
+//! The end-to-end experiment pipeline (§7): generate → profile →
+//! inline+unroll → re-profile → instrument (PP/TPP/PPP and ablations) →
+//! run → evaluate.
+
+use ppp_core::{
+    accuracy, edge_profile_coverage, edge_profile_estimate, hot_flow_fraction,
+    instrument_module, instrumented_fraction, profiler_coverage, profiler_estimate,
+    actual_hot_paths, EstimateOptions, FlowKind, FlowMetric, InstrumentedFraction, ModulePlan,
+    ProfilerConfig, Technique,
+};
+use ppp_ir::{Module, ModuleEdgeProfile, ModulePathProfile};
+use ppp_opt::{inline_module, unroll_module, InlineOptions, InlineReport, UnrollOptions, UnrollReport};
+use ppp_vm::{run, RunOptions, RunResult};
+use ppp_workloads::{generate, BenchClass, SuiteEntry};
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineOptions {
+    /// Workload scale factor (1.0 = suite default).
+    pub scale: f64,
+    /// Hot-path threshold as a fraction of total flow (paper: 0.125%).
+    pub hot_ratio: f64,
+    /// Flow metric for accuracy/coverage (paper: branch flow).
+    pub metric: FlowMetric,
+    /// Also run the five leave-one-out PPP ablations (Figure 13).
+    pub ablations: bool,
+    /// VM seed (kept fixed across the whole pipeline: the paper's *self*
+    /// advice setting, §7.2).
+    pub seed: u64,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            hot_ratio: 0.00125,
+            metric: FlowMetric::Branch,
+            ablations: false,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Dynamic path statistics of one program phase (Table 1 rows).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseStats {
+    /// Total dynamic paths (unit flow).
+    pub dynamic_paths: u64,
+    /// Average branches per dynamic path.
+    pub avg_branches: f64,
+    /// Average (non-instrumentation) instructions per dynamic path.
+    pub avg_insts: f64,
+    /// Uninstrumented execution cost (cost-model units).
+    pub cost: u64,
+    /// Distinct paths observed.
+    pub distinct_paths: usize,
+}
+
+fn phase_stats(result: &RunResult, truth: &ModulePathProfile) -> PhaseStats {
+    let paths = truth.total_unit_flow().max(1);
+    PhaseStats {
+        dynamic_paths: truth.total_unit_flow(),
+        avg_branches: truth.total_branch_flow() as f64 / paths as f64,
+        avg_insts: result.steps as f64 / paths as f64,
+        cost: result.cost,
+        distinct_paths: truth.distinct_paths(),
+    }
+}
+
+/// Evaluation of one profiler on one benchmark.
+#[derive(Clone, Debug)]
+pub struct ProfilerResult {
+    /// Display label ("PP", "TPP", "PPP", "PPP-FP", ...).
+    pub label: String,
+    /// Runtime overhead vs. the uninstrumented baseline (0.05 = 5%).
+    pub overhead: f64,
+    /// Accuracy (§6.1) of the estimated profile.
+    pub accuracy: f64,
+    /// Coverage (§6.2).
+    pub coverage: f64,
+    /// Fraction of dynamic paths measured / hashed (Figure 11).
+    pub fraction: InstrumentedFraction,
+    /// Routines instrumented.
+    pub instrumented_routines: usize,
+    /// Routines using hash tables.
+    pub hashed_routines: usize,
+    /// Static instrumentation instructions inserted.
+    pub static_prof_insts: usize,
+    /// Paths lost to hash-probe exhaustion.
+    pub lost_paths: u64,
+}
+
+/// Accuracy/coverage of plain edge profiling (its overhead is negligible,
+/// §2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EdgeResult {
+    /// Accuracy via potential-flow reconstruction.
+    pub accuracy: f64,
+    /// Coverage (attribution of definite flow).
+    pub coverage: f64,
+}
+
+/// Table 2 data: hot-path structure of the exact profile.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HotPathSummary {
+    /// Distinct dynamic paths.
+    pub distinct_paths: usize,
+    /// Hot paths at the 0.125% threshold and their flow share.
+    pub hot_0125: (usize, f64),
+    /// Hot paths at the 1% threshold and their flow share.
+    pub hot_1: (usize, f64),
+}
+
+/// Everything measured for one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkRun {
+    /// Benchmark name.
+    pub name: String,
+    /// INT or FP.
+    pub class: BenchClass,
+    /// Stats before inlining/unrolling.
+    pub orig: PhaseStats,
+    /// Stats after inlining/unrolling (all profiling runs use this code).
+    pub opt: PhaseStats,
+    /// Inliner report.
+    pub inline: InlineReport,
+    /// Unroller report.
+    pub unroll: UnrollReport,
+    /// Edge-profiling estimator quality.
+    pub edge: EdgeResult,
+    /// PP, TPP, PPP (and ablations when enabled), in that order.
+    pub profilers: Vec<ProfilerResult>,
+    /// Table 2 summary of the optimized code's exact profile.
+    pub hot_paths: HotPathSummary,
+}
+
+impl BenchmarkRun {
+    /// Finds a profiler result by label.
+    pub fn profiler(&self, label: &str) -> Option<&ProfilerResult> {
+        self.profilers.iter().find(|p| p.label == label)
+    }
+}
+
+fn traced(module: &Module, seed: u64) -> (RunResult, ModuleEdgeProfile, ModulePathProfile) {
+    let r = run(module, "main", &RunOptions::default().with_seed(seed).traced())
+        .expect("benchmark modules have a main");
+    let edges = r.edge_profile.clone().expect("traced");
+    let paths = r.path_profile.clone().expect("traced");
+    (r, edges, paths)
+}
+
+/// Runs the full pipeline for one suite entry.
+pub fn run_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> BenchmarkRun {
+    let spec = entry.spec.clone().scaled(options.scale);
+    let mut module0 = generate(&spec);
+    // "We perform standard scalar optimizations" on the original code
+    // (§7.3) before measuring its path characteristics.
+    ppp_opt::optimize_module(&mut module0);
+    ppp_core::normalize_module(&mut module0);
+
+    // Phase 1: profile the original code.
+    let (r0, edges0, truth0) = traced(&module0, options.seed);
+    let orig = phase_stats(&r0, &truth0);
+
+    // Phase 2: inline and unroll, re-profiling between stages (§7.3), and
+    // the same scalar optimizations on the expanded code.
+    let mut module = module0;
+    let inline = inline_module(&mut module, &edges0, &InlineOptions::default());
+    let (_r1, edges1, _t1) = traced(&module, options.seed);
+    let unroll = unroll_module(&mut module, &edges1, &UnrollOptions::default());
+    ppp_opt::optimize_module(&mut module);
+    ppp_core::normalize_module(&mut module);
+
+    // Phase 3: the evaluation profile of the optimized code.
+    let (r2, edges, truth) = traced(&module, options.seed);
+    let opt = phase_stats(&r2, &truth);
+    let baseline_cost = r2.cost;
+
+    // Edge-profiling estimator (accuracy from potential flow, §6.1;
+    // coverage = attribution of definite flow, §6.2).
+    let est_opts = estimate_options(&truth, options);
+    let edge_est = edge_profile_estimate(
+        &module,
+        &edges,
+        FlowKind::Potential,
+        options.metric,
+        &est_opts,
+    );
+    let edge = EdgeResult {
+        accuracy: accuracy(&truth, &edge_est, options.metric, options.hot_ratio),
+        coverage: edge_profile_coverage(&module, &edges, &truth, options.metric).ratio(),
+    };
+
+    // Profilers.
+    let mut configs = vec![
+        ProfilerConfig::pp(),
+        ProfilerConfig::tpp(),
+        ProfilerConfig::ppp(),
+    ];
+    if options.ablations {
+        configs.extend(Technique::ALL.map(ProfilerConfig::ppp_without));
+        // One-at-a-time methodology (§8.3): baseline plus each technique.
+        configs.push(ProfilerConfig::ppp_baseline());
+        configs.extend(Technique::ALL.iter().filter_map(|&t| ProfilerConfig::one_at_a_time(t)));
+    }
+    let profilers = configs
+        .iter()
+        .map(|c| run_profiler(&module, &edges, &truth, baseline_cost, c, options, &est_opts))
+        .collect();
+
+    // Table 2 summary.
+    let hot_paths = HotPathSummary {
+        distinct_paths: truth.distinct_paths(),
+        hot_0125: (
+            actual_hot_paths(&truth, options.metric, 0.00125).len(),
+            hot_flow_fraction(&truth, options.metric, 0.00125),
+        ),
+        hot_1: (
+            actual_hot_paths(&truth, options.metric, 0.01).len(),
+            hot_flow_fraction(&truth, options.metric, 0.01),
+        ),
+    };
+
+    BenchmarkRun {
+        name: spec.name.clone(),
+        class: entry.class,
+        orig,
+        opt,
+        inline,
+        unroll,
+        edge,
+        profilers,
+        hot_paths,
+    }
+}
+
+fn estimate_options(truth: &ModulePathProfile, options: &PipelineOptions) -> EstimateOptions {
+    // Potential-flow reconstruction needs a cutoff to avoid exponential
+    // enumeration; half the hot threshold keeps every candidate that
+    // could enter the hot set while pruning the tail.
+    let total = truth
+        .iter()
+        .map(|(_, _, s)| options.metric.flow(s.freq, s.branches))
+        .sum::<u64>();
+    EstimateOptions {
+        potential_cutoff: ((options.hot_ratio * 0.5) * total as f64) as u64,
+        max_paths_per_func: 50_000,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_profiler(
+    module: &Module,
+    edges: &ModuleEdgeProfile,
+    truth: &ModulePathProfile,
+    baseline_cost: u64,
+    config: &ProfilerConfig,
+    options: &PipelineOptions,
+    est_opts: &EstimateOptions,
+) -> ProfilerResult {
+    let plan = instrument_module(module, Some(edges), config);
+    let r = run(
+        &plan.module,
+        "main",
+        &RunOptions::default().with_seed(options.seed),
+    )
+    .expect("instrumented module runs");
+    let est = profiler_estimate(module, &plan, edges, &r.store, options.metric, est_opts);
+    let acc = accuracy(truth, &est, options.metric, options.hot_ratio);
+    let cov = profiler_coverage(module, &plan, &r.store, truth, options.metric, est_opts);
+    let fraction = instrumented_fraction(module, &plan, &r.store, truth);
+    ProfilerResult {
+        label: config.label(),
+        overhead: r.overhead_vs(baseline_cost),
+        accuracy: acc,
+        coverage: cov.ratio(),
+        fraction,
+        instrumented_routines: plan.instrumented_count(),
+        hashed_routines: plan.funcs.iter().filter(|f| f.uses_hash).count(),
+        static_prof_insts: plan.static_prof_insts(),
+        lost_paths: r.store.total_lost(),
+    }
+}
+
+/// Convenience wrapper: plan + instrumented run for one config (used by
+/// examples and benches that need the raw artifacts).
+pub fn instrument_and_run(
+    module: &Module,
+    edges: &ModuleEdgeProfile,
+    config: &ProfilerConfig,
+    seed: u64,
+) -> (ModulePlan, RunResult) {
+    let plan = instrument_module(module, Some(edges), config);
+    let r = run(&plan.module, "main", &RunOptions::default().with_seed(seed))
+        .expect("instrumented module runs");
+    (plan, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_workloads::spec2000_suite;
+
+    fn tiny() -> PipelineOptions {
+        PipelineOptions {
+            scale: 0.02,
+            ..PipelineOptions::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_one_int_benchmark() {
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == "mcf").unwrap();
+        let run = run_benchmark(entry, &tiny());
+        assert_eq!(run.name, "mcf");
+        assert_eq!(run.profilers.len(), 3);
+        for p in &run.profilers {
+            assert!(p.overhead >= 0.0, "{}: overhead {}", p.label, p.overhead);
+            assert!(
+                (0.0..=1.0).contains(&p.accuracy),
+                "{}: accuracy {}",
+                p.label,
+                p.accuracy
+            );
+            assert!((0.0..=1.0).contains(&p.coverage));
+        }
+        // PP measures everything; TPP/PPP should be cheaper than PP.
+        let pp = run.profiler("PP").unwrap();
+        let ppp = run.profiler("PPP").unwrap();
+        assert!((pp.fraction.measured - 1.0).abs() < 0.02 || pp.lost_paths > 0);
+        assert!(ppp.overhead <= pp.overhead + 1e-9);
+    }
+
+    #[test]
+    fn pipeline_runs_one_fp_benchmark_with_ablations() {
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == "swim").unwrap();
+        let opts = PipelineOptions {
+            ablations: true,
+            ..tiny()
+        };
+        let run = run_benchmark(entry, &opts);
+        // PP, TPP, PPP + 5 leave-one-out + baseline + 4 one-at-a-time.
+        assert_eq!(run.profilers.len(), 13);
+        assert!(run.profiler("PPP-FP").is_some());
+        assert!(run.profiler("TPPbase").is_some());
+        assert!(run.profiler("TPPbase+LC").is_some());
+        // FP code: unrolling should have kicked in.
+        assert!(run.unroll.dynamic_avg_factor() > 1.0, "swim unrolls");
+    }
+
+    #[test]
+    fn optimization_lengthens_paths() {
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == "mgrid").unwrap();
+        let run = run_benchmark(entry, &tiny());
+        assert!(
+            run.opt.avg_insts > run.orig.avg_insts,
+            "unrolling should lengthen paths: {} -> {}",
+            run.orig.avg_insts,
+            run.opt.avg_insts
+        );
+    }
+}

@@ -1,0 +1,476 @@
+//! Paper-style reports: one generator per table and figure of the
+//! evaluation section (Tables 1–2, Figures 9–13).
+//!
+//! Every generator consumes the same `Vec<BenchmarkRun>` (produced once by
+//! [`run_suite`]) and renders the rows/series the paper reports, so
+//! `ppp-repro all` regenerates the entire evaluation in one pass.
+
+use crate::format::{f2, pct, pct_signed, Table};
+use crate::pipeline::{run_benchmark, BenchmarkRun, PipelineOptions};
+use ppp_workloads::{spec2000_suite, BenchClass};
+
+/// Runs the whole 18-benchmark suite.
+///
+/// Progress goes to stderr (runs take seconds each at full scale).
+pub fn run_suite(options: &PipelineOptions) -> Vec<BenchmarkRun> {
+    let suite = spec2000_suite();
+    suite
+        .iter()
+        .map(|e| {
+            eprintln!("[ppp-repro] running {} ...", e.spec.name);
+            run_benchmark(e, options)
+        })
+        .collect()
+}
+
+fn class_rows(
+    runs: &[BenchmarkRun],
+    class: BenchClass,
+) -> impl Iterator<Item = &BenchmarkRun> {
+    runs.iter().filter(move |r| r.class == class)
+}
+
+fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Table 1: dynamic path characteristics with and without inlining and
+/// unrolling.
+pub fn table1(runs: &[BenchmarkRun]) -> String {
+    let mut t = Table::new([
+        "Benchmark",
+        "Dyn.paths(K)",
+        "Avg branches",
+        "Avg instrs",
+        "Dyn.paths'(K)",
+        "Avg branches'",
+        "Avg instrs'",
+        "% calls inlined",
+        "Avg unroll",
+        "Speedup",
+    ]);
+    let row = |t: &mut Table, r: &BenchmarkRun| {
+        t.row([
+            r.name.clone(),
+            format!("{:.1}", r.orig.dynamic_paths as f64 / 1e3),
+            f2(r.orig.avg_branches),
+            f2(r.orig.avg_insts),
+            format!("{:.1}", r.opt.dynamic_paths as f64 / 1e3),
+            f2(r.opt.avg_branches),
+            f2(r.opt.avg_insts),
+            pct(r.inline.dynamic_fraction()),
+            f2(r.unroll.dynamic_avg_factor()),
+            f2(r.orig.cost as f64 / r.opt.cost as f64),
+        ]);
+    };
+    let avg_row = |t: &mut Table, label: &str, rs: Vec<&BenchmarkRun>| {
+        t.row([
+            label.to_owned(),
+            format!(
+                "{:.1}",
+                mean(rs.iter().map(|r| r.orig.dynamic_paths as f64 / 1e3))
+            ),
+            f2(mean(rs.iter().map(|r| r.orig.avg_branches))),
+            f2(mean(rs.iter().map(|r| r.orig.avg_insts))),
+            format!(
+                "{:.1}",
+                mean(rs.iter().map(|r| r.opt.dynamic_paths as f64 / 1e3))
+            ),
+            f2(mean(rs.iter().map(|r| r.opt.avg_branches))),
+            f2(mean(rs.iter().map(|r| r.opt.avg_insts))),
+            pct(mean(rs.iter().map(|r| r.inline.dynamic_fraction()))),
+            f2(mean(rs.iter().map(|r| r.unroll.dynamic_avg_factor()))),
+            f2(mean(rs.iter().map(|r| r.orig.cost as f64 / r.opt.cost as f64))),
+        ]);
+    };
+    for r in class_rows(runs, BenchClass::Int) {
+        row(&mut t, r);
+    }
+    t.separator();
+    avg_row(&mut t, "INT Avg", class_rows(runs, BenchClass::Int).collect());
+    t.separator();
+    for r in class_rows(runs, BenchClass::Fp) {
+        row(&mut t, r);
+    }
+    t.separator();
+    avg_row(&mut t, "FP Avg", class_rows(runs, BenchClass::Fp).collect());
+    avg_row(&mut t, "Overall Avg", runs.iter().collect());
+    format!(
+        "Table 1: dynamic path characteristics with and without inlining and unrolling\n\
+         (primed columns are after inlining+unrolling; paper: 45% calls inlined,\n\
+         avg unroll 2.28, speedup 1.03 overall)\n{}",
+        t.render()
+    )
+}
+
+/// Table 2: hot paths and their share of program flow.
+pub fn table2(runs: &[BenchmarkRun]) -> String {
+    let mut t = Table::new([
+        "Benchmark",
+        "Distinct paths",
+        "Hot(>=0.125%)",
+        "% flow",
+        "Hot(>=1%)",
+        "% flow ",
+    ]);
+    let row = |t: &mut Table, r: &BenchmarkRun| {
+        t.row([
+            r.name.clone(),
+            r.hot_paths.distinct_paths.to_string(),
+            r.hot_paths.hot_0125.0.to_string(),
+            pct(r.hot_paths.hot_0125.1),
+            r.hot_paths.hot_1.0.to_string(),
+            pct(r.hot_paths.hot_1.1),
+        ]);
+    };
+    for r in class_rows(runs, BenchClass::Int) {
+        row(&mut t, r);
+    }
+    t.separator();
+    t.row([
+        "INT Avg".to_owned(),
+        String::new(),
+        String::new(),
+        pct(mean(
+            class_rows(runs, BenchClass::Int).map(|r| r.hot_paths.hot_0125.1),
+        )),
+        String::new(),
+        pct(mean(
+            class_rows(runs, BenchClass::Int).map(|r| r.hot_paths.hot_1.1),
+        )),
+    ]);
+    t.separator();
+    for r in class_rows(runs, BenchClass::Fp) {
+        row(&mut t, r);
+    }
+    t.separator();
+    t.row([
+        "FP Avg".to_owned(),
+        String::new(),
+        String::new(),
+        pct(mean(
+            class_rows(runs, BenchClass::Fp).map(|r| r.hot_paths.hot_0125.1),
+        )),
+        String::new(),
+        pct(mean(
+            class_rows(runs, BenchClass::Fp).map(|r| r.hot_paths.hot_1.1),
+        )),
+    ]);
+    t.row([
+        "Overall Avg".to_owned(),
+        String::new(),
+        String::new(),
+        pct(mean(runs.iter().map(|r| r.hot_paths.hot_0125.1))),
+        String::new(),
+        pct(mean(runs.iter().map(|r| r.hot_paths.hot_1.1))),
+    ]);
+    format!(
+        "Table 2: hot paths in the (inlined+unrolled) benchmarks\n\
+         (paper overall: 92.7% flow at >=0.125%, 74.1% at >=1%)\n{}",
+        t.render()
+    )
+}
+
+fn per_profiler_figure(
+    runs: &[BenchmarkRun],
+    title: &str,
+    note: &str,
+    with_edge: bool,
+    get: impl Fn(&BenchmarkRun, &str) -> f64,
+    get_edge: impl Fn(&BenchmarkRun) -> f64,
+    fmt: impl Fn(f64) -> String,
+) -> String {
+    let mut headers = vec!["Benchmark".to_owned()];
+    if with_edge {
+        headers.push("Edge".to_owned());
+    }
+    headers.extend(["PP", "TPP", "PPP"].map(String::from));
+    let mut t = Table::new(headers);
+    let row = |t: &mut Table, label: String, r: Option<&BenchmarkRun>, rs: Vec<&BenchmarkRun>| {
+        let mut cells = vec![label];
+        let vals = |f: &dyn Fn(&BenchmarkRun) -> f64| -> f64 {
+            match r {
+                Some(one) => f(one),
+                None => mean(rs.iter().map(|x| f(x))),
+            }
+        };
+        if with_edge {
+            cells.push(fmt(vals(&|x| get_edge(x))));
+        }
+        for p in ["PP", "TPP", "PPP"] {
+            cells.push(fmt(vals(&|x| get(x, p))));
+        }
+        t.row(cells);
+    };
+    for r in runs.iter() {
+        row(&mut t, r.name.clone(), Some(r), vec![]);
+    }
+    t.separator();
+    row(
+        &mut t,
+        "INT Avg".to_owned(),
+        None,
+        class_rows(runs, BenchClass::Int).collect(),
+    );
+    row(
+        &mut t,
+        "FP Avg".to_owned(),
+        None,
+        class_rows(runs, BenchClass::Fp).collect(),
+    );
+    row(&mut t, "Overall Avg".to_owned(), None, runs.iter().collect());
+    format!("{title}\n{note}\n{}", t.render())
+}
+
+/// Figure 9: accuracy of edge profiling, TPP, and PPP (PP shown as the
+/// measurement reference).
+pub fn fig9(runs: &[BenchmarkRun]) -> String {
+    per_profiler_figure(
+        runs,
+        "Figure 9: accuracy (fraction of hot path flow predicted)",
+        "(paper: edge profiles average 73% and fall to 26%; PPP averages 96%, within 1% of TPP)",
+        true,
+        |r, p| r.profiler(p).map_or(0.0, |x| x.accuracy),
+        |r| r.edge.accuracy,
+        pct,
+    )
+}
+
+/// Figure 10: coverage of edge profiling, TPP, and PPP.
+pub fn fig10(runs: &[BenchmarkRun]) -> String {
+    per_profiler_figure(
+        runs,
+        "Figure 10: coverage (fraction of actual path profile measured)",
+        "(paper: edge profiles capture about half; TPP slightly above PPP)",
+        true,
+        |r, p| r.profiler(p).map_or(0.0, |x| x.coverage),
+        |r| r.edge.coverage,
+        pct,
+    )
+}
+
+/// Figure 11: fraction of dynamic paths instrumented (hashed portion in
+/// parentheses, the paper's stripes).
+pub fn fig11(runs: &[BenchmarkRun]) -> String {
+    let mut t = Table::new(["Benchmark", "PP", "TPP", "PPP"]);
+    let cell = |r: &BenchmarkRun, p: &str| {
+        let pr = r.profiler(p).expect("profiler present");
+        if pr.fraction.hashed > 0.0005 {
+            format!(
+                "{} ({} hashed)",
+                pct(pr.fraction.measured),
+                pct(pr.fraction.hashed)
+            )
+        } else {
+            pct(pr.fraction.measured)
+        }
+    };
+    for r in runs {
+        t.row([
+            r.name.clone(),
+            cell(r, "PP"),
+            cell(r, "TPP"),
+            cell(r, "PPP"),
+        ]);
+    }
+    t.separator();
+    for (label, class) in [("INT Avg", Some(BenchClass::Int)), ("FP Avg", Some(BenchClass::Fp)), ("Overall Avg", None)] {
+        let rs: Vec<&BenchmarkRun> = match class {
+            Some(c) => class_rows(runs, c).collect(),
+            None => runs.iter().collect(),
+        };
+        let avg = |p: &str| {
+            pct(mean(rs.iter().map(|r| {
+                r.profiler(p).map_or(0.0, |x| x.fraction.measured)
+            })))
+        };
+        t.row([label.to_owned(), avg("PP"), avg("TPP"), avg("PPP")]);
+    }
+    format!(
+        "Figure 11: fraction of dynamic paths instrumented (hashed share in parens)\n\
+         (paper: TPP and PPP instrument about half of dynamic paths)\n{}",
+        t.render()
+    )
+}
+
+/// Figure 12: runtime overheads of PP, TPP, and PPP.
+pub fn fig12(runs: &[BenchmarkRun]) -> String {
+    per_profiler_figure(
+        runs,
+        "Figure 12: runtime overhead of path profiling",
+        "(paper averages: PP 31%, TPP 12%, PPP 5%)",
+        false,
+        |r, p| r.profiler(p).map_or(0.0, |x| x.overhead),
+        |_| 0.0,
+        pct_signed,
+    )
+}
+
+/// Figure 13: leave-one-out ablation of PPP's techniques, normalized to
+/// TPP's overhead, for benchmarks where PPP improves on TPP by more than
+/// 5% (the paper's selection rule).
+pub fn fig13(runs: &[BenchmarkRun]) -> String {
+    let labels = ["PPP", "PPP-SAC", "PPP-FP", "PPP-Push", "PPP-SPN", "PPP-LC"];
+    let mut t = Table::new(
+        std::iter::once("Benchmark".to_owned())
+            .chain(labels.iter().map(|s| s.to_string()))
+            .collect::<Vec<_>>(),
+    );
+    let mut qualifying = 0;
+    for r in runs {
+        let (Some(tpp), Some(ppp)) = (r.profiler("TPP"), r.profiler("PPP")) else {
+            continue;
+        };
+        // Selection rule: PPP improves runtime by > 5% over TPP (i.e. the
+        // overhead gap exceeds 5 percentage points of runtime... the
+        // paper's phrasing "more than 5% over TPP" — use overhead gap).
+        if tpp.overhead - ppp.overhead <= 0.005 {
+            continue;
+        }
+        if r.profiler("PPP-FP").is_none() {
+            continue; // ablations were not run
+        }
+        qualifying += 1;
+        let mut cells = vec![r.name.clone()];
+        for l in labels {
+            let v = r.profiler(l).map_or(f64::NAN, |x| x.overhead);
+            let norm = if tpp.overhead.abs() < 1e-9 {
+                f64::NAN
+            } else {
+                v / tpp.overhead
+            };
+            cells.push(if norm.is_nan() {
+                "-".to_owned()
+            } else {
+                f2(norm)
+            });
+        }
+        t.row(cells);
+    }
+    let body = if qualifying == 0 {
+        "(no benchmark met the selection rule at this scale, or ablations were disabled)\n"
+            .to_owned()
+    } else {
+        t.render()
+    };
+
+    // One-at-a-time methodology (§8.3): the paper reports it only in
+    // prose ("LC and SPN are beneficial, lowering TPP's overhead by 27%
+    // and 16%"); we render the full table.
+    let oat_labels = ["TPPbase", "TPPbase+SAC", "TPPbase+Push", "TPPbase+SPN", "TPPbase+LC"];
+    let have_oat = runs.iter().any(|r| r.profiler("TPPbase").is_some());
+    let oat = if have_oat {
+        let mut t2 = Table::new(
+            std::iter::once("Benchmark".to_owned())
+                .chain(oat_labels.iter().map(|s| s.to_string()))
+                .collect::<Vec<_>>(),
+        );
+        for r in runs {
+            let Some(base) = r.profiler("TPPbase") else { continue };
+            if base.overhead.abs() < 1e-9 {
+                continue;
+            }
+            let mut cells = vec![r.name.clone()];
+            for l in oat_labels {
+                let v = r.profiler(l).map_or(f64::NAN, |x| x.overhead);
+                cells.push(if v.is_nan() {
+                    "-".to_owned()
+                } else {
+                    f2(v / base.overhead)
+                });
+            }
+            t2.row(cells);
+        }
+        let mut avg = vec!["Avg".to_owned()];
+        for l in oat_labels {
+            let vals: Vec<f64> = runs
+                .iter()
+                .filter_map(|r| {
+                    let base = r.profiler("TPPbase")?;
+                    if base.overhead.abs() < 1e-9 {
+                        return None;
+                    }
+                    Some(r.profiler(l)?.overhead / base.overhead)
+                })
+                .collect();
+            avg.push(f2(mean(vals)));
+        }
+        t2.separator();
+        t2.row(avg);
+        format!(
+            "\nOne-at-a-time (§8.3): baseline + one technique, normalized to the baseline\n\
+             (paper prose: LC and SPN lower the baseline's overhead by 27% and 16%)\n{}",
+            t2.render()
+        )
+    } else {
+        String::new()
+    };
+
+    format!(
+        "Figure 13: PPP leave-one-out overhead, normalized to TPP (1.00 = TPP's overhead)\n\
+         (lower is better; paper: FP and SAC matter most, Push next; removing a\n\
+         technique sometimes helps on specific benchmarks — performance anomalies)\n{body}{oat}"
+    )
+}
+
+/// Renders every table and figure.
+pub fn all_reports(runs: &[BenchmarkRun]) -> String {
+    [
+        table1(runs),
+        table2(runs),
+        fig9(runs),
+        fig10(runs),
+        fig11(runs),
+        fig12(runs),
+        fig13(runs),
+    ]
+    .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_runs() -> Vec<BenchmarkRun> {
+        let suite = spec2000_suite();
+        let opts = PipelineOptions {
+            scale: 0.02,
+            ablations: true,
+            ..PipelineOptions::default()
+        };
+        // Two benchmarks, one of each class, keep tests fast.
+        ["mcf", "mgrid"]
+            .iter()
+            .map(|n| {
+                let e = suite.iter().find(|e| e.spec.name == *n).unwrap();
+                run_benchmark(e, &opts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reports_render_for_small_suite() {
+        let runs = tiny_runs();
+        let t1 = table1(&runs);
+        assert!(t1.contains("mcf"));
+        assert!(t1.contains("INT Avg"));
+        let t2 = table2(&runs);
+        assert!(t2.contains("Distinct paths"));
+        let f9 = fig9(&runs);
+        assert!(f9.contains("Edge"));
+        assert!(f9.contains("Overall Avg"));
+        let f12 = fig12(&runs);
+        assert!(f12.contains("PPP"));
+        let f11 = fig11(&runs);
+        assert!(f11.contains("mgrid"));
+        let f13 = fig13(&runs);
+        assert!(f13.contains("Figure 13"));
+        let all = all_reports(&runs);
+        assert!(all.len() > 1000);
+    }
+}

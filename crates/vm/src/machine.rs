@@ -1,0 +1,734 @@
+//! The interpreter.
+//!
+//! A small register-machine interpreter over [`ppp_ir`] modules with an
+//! explicit frame stack (no host recursion), a deterministic input stream,
+//! a cost model, optional exact tracing, and profile counter storage for
+//! instrumented code.
+
+use crate::cost::CostModel;
+use crate::rng::SplitMix64;
+use crate::storage::ProfileStore;
+use crate::trace::{PathCursor, Tracer};
+use ppp_ir::{
+    BlockId, EdgeRef, FuncId, Inst, Module, ModuleEdgeProfile, ModulePathProfile, ProfOp, Reg,
+    Terminator,
+};
+use std::fmt;
+
+/// Why a run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HaltReason {
+    /// The entry function returned.
+    Finished,
+    /// The dynamic step budget was exhausted.
+    StepLimit,
+    /// The call stack exceeded the configured depth.
+    CallDepthLimit,
+}
+
+/// Errors preventing a run from starting.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VmError {
+    /// The named entry function does not exist.
+    NoSuchFunction {
+        /// The missing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::NoSuchFunction { name } => write!(f, "no function named {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Seed for the synthetic input stream ([`ppp_ir::Inst::Rand`]).
+    pub seed: u64,
+    /// Dynamic step budget (instructions + terminators, including
+    /// instrumentation); the run halts with [`HaltReason::StepLimit`] when
+    /// exhausted.
+    pub max_steps: u64,
+    /// Global memory size in 64-bit words; addresses wrap.
+    pub mem_words: usize,
+    /// Collect edge and exact path profiles.
+    pub trace: bool,
+    /// Additionally record the *ordered* stream of completed paths
+    /// (implies nothing unless `trace` is set; memory: one entry per
+    /// dynamic path). Consumed by online predictors such as NET.
+    pub trace_sequence: bool,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Maximum call-stack depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0x5EED,
+            max_steps: 200_000_000,
+            mem_words: 1 << 16,
+            trace: false,
+            trace_sequence: false,
+            cost: CostModel::default(),
+            max_call_depth: 512,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Returns options with tracing enabled.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Returns options with tracing and path-sequence recording enabled.
+    pub fn traced_with_sequence(mut self) -> Self {
+        self.trace = true;
+        self.trace_sequence = true;
+        self
+    }
+
+    /// Returns options with the given seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The outcome of one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Why the run stopped.
+    pub halt: HaltReason,
+    /// Order-sensitive checksum of all `emit`ted values; instrumentation
+    /// and semantics-preserving optimizations must not change it.
+    pub checksum: u64,
+    /// Total cost units, including instrumentation.
+    pub cost: u64,
+    /// Cost units spent on profiling instrumentation only.
+    pub prof_cost: u64,
+    /// Dynamic step count (instructions + terminators, incl. prof ops).
+    pub steps: u64,
+    /// Dynamic profiling ops executed.
+    pub prof_steps: u64,
+    /// Number of calls executed (including the entry invocation).
+    pub calls: u64,
+    /// Runtime path-counter tables (instrumented runs).
+    pub store: ProfileStore,
+    /// Exact edge profile (when tracing).
+    pub edge_profile: Option<ModuleEdgeProfile>,
+    /// Exact path profile (when tracing).
+    pub path_profile: Option<ModulePathProfile>,
+    /// Ordered stream of completed paths (when `trace_sequence` was set).
+    pub path_sequence: Vec<(FuncId, ppp_ir::PathKey)>,
+}
+
+impl RunResult {
+    /// Cost units spent on the program itself (excluding instrumentation).
+    pub fn program_cost(&self) -> u64 {
+        self.cost - self.prof_cost
+    }
+
+    /// Runtime overhead of instrumentation relative to `baseline` cost:
+    /// `cost / baseline - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is zero.
+    pub fn overhead_vs(&self, baseline: u64) -> f64 {
+        assert!(baseline > 0, "baseline cost must be non-zero");
+        self.cost as f64 / baseline as f64 - 1.0
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    inst: usize,
+    regs: Vec<i64>,
+    path_r: i64,
+    ret_dst: Option<Reg>,
+    cursor: Option<PathCursor>,
+}
+
+/// Runs `module` starting at its function named `entry`.
+///
+/// # Errors
+///
+/// Returns [`VmError::NoSuchFunction`] if `entry` does not name a function.
+///
+/// # Examples
+///
+/// ```
+/// use ppp_ir::{FunctionBuilder, Module};
+/// use ppp_vm::{run, RunOptions};
+///
+/// let mut b = FunctionBuilder::new("main", 0);
+/// let c = b.constant(41);
+/// b.emit(c);
+/// b.ret(Some(c));
+/// let mut m = Module::new();
+/// m.add_function(b.finish());
+///
+/// let result = run(&m, "main", &RunOptions::default())?;
+/// assert_eq!(result.halt, ppp_vm::HaltReason::Finished);
+/// # Ok::<(), ppp_vm::VmError>(())
+/// ```
+pub fn run(module: &Module, entry: &str, options: &RunOptions) -> Result<RunResult, VmError> {
+    let entry_id = module
+        .function_by_name(entry)
+        .ok_or_else(|| VmError::NoSuchFunction {
+            name: entry.to_owned(),
+        })?;
+    Ok(run_func(module, entry_id, options))
+}
+
+/// Runs `module` starting at `entry` (which receives zeroed arguments).
+pub fn run_func(module: &Module, entry: FuncId, options: &RunOptions) -> RunResult {
+    Interp::new(module, options).run(entry)
+}
+
+struct Interp<'m> {
+    module: &'m Module,
+    opts: &'m RunOptions,
+    mem: Vec<i64>,
+    rng: SplitMix64,
+    checksum: u64,
+    cost: u64,
+    prof_cost: u64,
+    steps: u64,
+    prof_steps: u64,
+    calls: u64,
+    store: ProfileStore,
+    tracer: Option<Tracer>,
+    stack: Vec<Frame>,
+}
+
+impl<'m> Interp<'m> {
+    fn new(module: &'m Module, opts: &'m RunOptions) -> Self {
+        Self {
+            module,
+            opts,
+            mem: vec![0; opts.mem_words.max(1)],
+            rng: SplitMix64::new(opts.seed),
+            checksum: 0,
+            cost: 0,
+            prof_cost: 0,
+            steps: 0,
+            prof_steps: 0,
+            calls: 0,
+            store: ProfileStore::for_module(module),
+            tracer: opts.trace.then(|| {
+                let mut t = Tracer::new(module);
+                if opts.trace_sequence {
+                    t.record_sequence();
+                }
+                t
+            }),
+            stack: Vec::new(),
+        }
+    }
+
+    fn push_frame(&mut self, func: FuncId, args: &[i64], ret_dst: Option<Reg>) {
+        let f = self.module.function(func);
+        let mut regs = vec![0i64; f.reg_count as usize];
+        let n = args.len().min(regs.len());
+        regs[..n].copy_from_slice(&args[..n]);
+        let cursor = self
+            .tracer
+            .as_mut()
+            .map(|t| t.enter_function(func, f.entry));
+        self.calls += 1;
+        self.stack.push(Frame {
+            func,
+            block: f.entry,
+            inst: 0,
+            regs,
+            path_r: 0,
+            ret_dst,
+            cursor,
+        });
+    }
+
+    fn run(mut self, entry: FuncId) -> RunResult {
+        self.push_frame(entry, &[], None);
+        let halt = self.exec_loop();
+        let (edge_profile, path_profile, path_sequence) = match self.tracer {
+            Some(t) => {
+                let (e, p, s) = t.finish_with_sequence(self.module);
+                (Some(e), Some(p), s)
+            }
+            None => (None, None, Vec::new()),
+        };
+        RunResult {
+            halt,
+            checksum: self.checksum,
+            cost: self.cost,
+            prof_cost: self.prof_cost,
+            steps: self.steps,
+            prof_steps: self.prof_steps,
+            calls: self.calls,
+            store: self.store,
+            edge_profile,
+            path_profile,
+            path_sequence,
+        }
+    }
+
+    fn exec_loop(&mut self) -> HaltReason {
+        loop {
+            if self.steps >= self.opts.max_steps {
+                return HaltReason::StepLimit;
+            }
+            let frame = self.stack.last_mut().expect("non-empty stack in loop");
+            let func = frame.func;
+            let f = self.module.function(func);
+            let block = f.block(frame.block);
+            if frame.inst < block.insts.len() {
+                let idx = frame.inst;
+                frame.inst += 1;
+                // Clone-free access: instructions are small; `Call` carries
+                // a Vec but is read-only here.
+                let inst = &block.insts[idx];
+                self.steps += 1;
+                match inst {
+                    Inst::Prof(op) => {
+                        self.prof_steps += 1;
+                        let c = self
+                            .opts
+                            .cost
+                            .prof_cost(*op, self.table_is_hash(*op));
+                        self.cost += c;
+                        self.prof_cost += c;
+                        self.exec_prof(*op);
+                    }
+                    Inst::Call { dst, callee, args } => {
+                        self.cost += self.opts.cost.call;
+                        if self.stack.len() >= self.opts.max_call_depth {
+                            return HaltReason::CallDepthLimit;
+                        }
+                        let frame = self.stack.last().expect("frame");
+                        let argv: Vec<i64> =
+                            args.iter().map(|r| frame.regs[r.index()]).collect();
+                        let (dst, callee) = (*dst, *callee);
+                        self.push_frame(callee, &argv, dst);
+                    }
+                    other => {
+                        self.cost += self.opts.cost.inst_cost(other);
+                        self.exec_simple(other);
+                    }
+                }
+            } else {
+                self.steps += 1;
+                self.cost += self.opts.cost.term_cost(&block.term);
+                match &block.term {
+                    Terminator::Return { value } => {
+                        let frame = self.stack.last().expect("frame");
+                        let v = value.map_or(0, |r| frame.regs[r.index()]);
+                        let frame = self.stack.pop().expect("frame");
+                        if let (Some(t), Some(c)) = (self.tracer.as_mut(), frame.cursor) {
+                            t.exit_function(frame.func, c);
+                        }
+                        match self.stack.last_mut() {
+                            None => return HaltReason::Finished,
+                            Some(parent) => {
+                                if let Some(dst) = frame.ret_dst {
+                                    parent.regs[dst.index()] = v;
+                                }
+                            }
+                        }
+                    }
+                    term => {
+                        let frame = self.stack.last().expect("frame");
+                        let s = match term {
+                            Terminator::Jump { .. } => 0,
+                            Terminator::Branch { cond, .. } => {
+                                usize::from(frame.regs[cond.index()] == 0)
+                            }
+                            Terminator::Switch { disc, targets, .. } => {
+                                let v = frame.regs[disc.index()];
+                                if v >= 0 && (v as usize) < targets.len() {
+                                    v as usize
+                                } else {
+                                    targets.len()
+                                }
+                            }
+                            Terminator::Return { .. } => unreachable!("handled above"),
+                        };
+                        let target = term.successor(s).expect("selected successor exists");
+                        let edge = EdgeRef::new(frame.block, s);
+                        let frame = self.stack.last_mut().expect("frame");
+                        frame.block = target;
+                        frame.inst = 0;
+                        if let (Some(t), Some(c)) = (self.tracer.as_mut(), frame.cursor.as_mut()) {
+                            t.take_edge(func, c, edge, target);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn table_is_hash(&self, op: ProfOp) -> bool {
+        op.table()
+            .map(|t| self.module.table(t).kind.is_hash())
+            .unwrap_or(false)
+    }
+
+    fn exec_prof(&mut self, op: ProfOp) {
+        let frame = self.stack.last_mut().expect("frame");
+        match op {
+            ProfOp::SetR { value } => frame.path_r = value,
+            ProfOp::AddR { value } => frame.path_r = frame.path_r.wrapping_add(value),
+            ProfOp::CountR { table } => {
+                let r = frame.path_r;
+                self.store.table_mut(table).bump(r);
+            }
+            ProfOp::CountRPlus { table, addend } => {
+                let r = frame.path_r.wrapping_add(addend);
+                self.store.table_mut(table).bump(r);
+            }
+            ProfOp::CountConst { table, index } => {
+                self.store.table_mut(table).bump(index);
+            }
+            ProfOp::CountRChecked { table } => {
+                let r = frame.path_r;
+                let t = self.store.table_mut(table);
+                if r < 0 {
+                    t.bump_cold();
+                } else {
+                    t.bump(r);
+                }
+            }
+            ProfOp::CountRPlusChecked { table, addend } => {
+                let r = frame.path_r;
+                let t = self.store.table_mut(table);
+                if r < 0 {
+                    t.bump_cold();
+                } else {
+                    t.bump(r.wrapping_add(addend));
+                }
+            }
+        }
+    }
+
+    fn exec_simple(&mut self, inst: &Inst) {
+        let mem_len = self.mem.len() as i64;
+        let frame = self.stack.last_mut().expect("frame");
+        match inst {
+            Inst::Const { dst, value } => frame.regs[dst.index()] = *value,
+            Inst::Copy { dst, src } => frame.regs[dst.index()] = frame.regs[src.index()],
+            Inst::Unary { dst, op, src } => {
+                frame.regs[dst.index()] = op.eval(frame.regs[src.index()]);
+            }
+            Inst::Binary { dst, op, lhs, rhs } => {
+                frame.regs[dst.index()] =
+                    op.eval(frame.regs[lhs.index()], frame.regs[rhs.index()]);
+            }
+            Inst::Load { dst, addr } => {
+                let a = frame.regs[addr.index()].rem_euclid(mem_len) as usize;
+                frame.regs[dst.index()] = self.mem[a];
+            }
+            Inst::Store { addr, src } => {
+                let a = frame.regs[addr.index()].rem_euclid(mem_len) as usize;
+                self.mem[a] = frame.regs[src.index()];
+            }
+            Inst::Rand { dst, bound } => {
+                let b = frame.regs[bound.index()];
+                frame.regs[dst.index()] = self.rng.below(b);
+            }
+            Inst::Emit { src } => {
+                let v = frame.regs[src.index()] as u64;
+                self.checksum = self
+                    .checksum
+                    .rotate_left(13)
+                    .wrapping_add(v ^ 0x9E37_79B9_7F4A_7C15);
+            }
+            Inst::Call { .. } | Inst::Prof(_) => unreachable!("handled by exec_loop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_ir::{BinOp, FunctionBuilder, TableDecl, TableKind};
+
+    fn module_one(f: ppp_ir::Function) -> Module {
+        let mut m = Module::new();
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let x = b.constant(20);
+        let y = b.constant(22);
+        let s = b.binary(BinOp::Add, x, y);
+        b.emit(s);
+        b.ret(Some(s));
+        let m = module_one(b.finish());
+        let r = run(&m, "main", &RunOptions::default()).unwrap();
+        assert_eq!(r.halt, HaltReason::Finished);
+        assert_eq!(r.calls, 1);
+        // const + const + add + emit = 4 basic, ret = 1 terminator.
+        assert_eq!(r.steps, 5);
+        assert_eq!(r.cost, 5);
+        assert_eq!(r.prof_cost, 0);
+    }
+
+    #[test]
+    fn missing_entry_errors() {
+        let mut b = FunctionBuilder::new("main", 0);
+        b.ret(None);
+        let m = module_one(b.finish());
+        assert!(matches!(
+            run(&m, "nope", &RunOptions::default()),
+            Err(VmError::NoSuchFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn branch_selects_successor() {
+        // if 1 != 0 then emit 7 else emit 9
+        let mut b = FunctionBuilder::new("main", 0);
+        let c = b.constant(1);
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, t, e);
+        b.switch_to(t);
+        let v7 = b.constant(7);
+        b.emit(v7);
+        b.jump(j);
+        b.switch_to(e);
+        let v9 = b.constant(9);
+        b.emit(v9);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let m = module_one(b.finish());
+        let r1 = run(&m, "main", &RunOptions::default()).unwrap();
+
+        // Flip the condition to 0: different checksum (else arm).
+        let mut m2 = m.clone();
+        m2.function_mut(FuncId(0)).blocks[0].insts[0] = Inst::Const {
+            dst: Reg(0),
+            value: 0,
+        };
+        let r2 = run(&m2, "main", &RunOptions::default()).unwrap();
+        assert_ne!(r1.checksum, r2.checksum);
+    }
+
+    #[test]
+    fn switch_in_and_out_of_range() {
+        let mut b = FunctionBuilder::new("main", 1);
+        let (a, c, d) = (b.new_block(), b.new_block(), b.new_block());
+        let disc = b.constant(1);
+        b.switch(disc, vec![a, c], d);
+        b.switch_to(a);
+        b.ret(None);
+        b.switch_to(c);
+        let v = b.constant(5);
+        b.emit(v);
+        b.ret(None);
+        b.switch_to(d);
+        b.ret(None);
+        let m = module_one(b.finish());
+        let r = run(&m, "main", &RunOptions::default()).unwrap();
+        // disc = 1 selects targets[1] = c, which emits.
+        assert_ne!(r.checksum, 0);
+    }
+
+    #[test]
+    fn calls_pass_args_and_return_values() {
+        let mut m = Module::new();
+        let mut g = FunctionBuilder::new("inc", 1);
+        let p = g.param(0);
+        let one = g.constant(1);
+        let s = g.binary(BinOp::Add, p, one);
+        g.ret(Some(s));
+        let gid = m.add_function(g.finish());
+
+        let mut b = FunctionBuilder::new("main", 0);
+        let x = b.constant(41);
+        let y = b.call(gid, vec![x]);
+        b.emit(y);
+        b.ret(Some(y));
+        m.add_function(b.finish());
+
+        let r = run(&m, "main", &RunOptions::default()).unwrap();
+        assert_eq!(r.halt, HaltReason::Finished);
+        assert_eq!(r.calls, 2);
+    }
+
+    #[test]
+    fn loops_and_step_limit() {
+        // Infinite loop halts at the step budget.
+        let mut b = FunctionBuilder::new("main", 0);
+        let l = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.jump(l);
+        let m = module_one(b.finish());
+        let opts = RunOptions {
+            max_steps: 1000,
+            ..RunOptions::default()
+        };
+        let r = run(&m, "main", &opts).unwrap();
+        assert_eq!(r.halt, HaltReason::StepLimit);
+        assert_eq!(r.steps, 1000);
+    }
+
+    #[test]
+    fn recursion_depth_limit() {
+        let mut m = Module::new();
+        // f() calls f() forever.
+        let mut b = FunctionBuilder::new("main", 0);
+        b.call_void(FuncId(0), vec![]);
+        b.ret(None);
+        m.add_function(b.finish());
+        let opts = RunOptions {
+            max_call_depth: 16,
+            ..RunOptions::default()
+        };
+        let r = run(&m, "main", &opts).unwrap();
+        assert_eq!(r.halt, HaltReason::CallDepthLimit);
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_seed() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let bound = b.constant(1000);
+        let v = b.rand(bound);
+        b.emit(v);
+        b.ret(None);
+        let m = module_one(b.finish());
+        let r1 = run(&m, "main", &RunOptions::default().with_seed(9)).unwrap();
+        let r2 = run(&m, "main", &RunOptions::default().with_seed(9)).unwrap();
+        let r3 = run(&m, "main", &RunOptions::default().with_seed(10)).unwrap();
+        assert_eq!(r1.checksum, r2.checksum);
+        assert_ne!(r1.checksum, r3.checksum);
+    }
+
+    #[test]
+    fn memory_wraps_addresses() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let addr = b.constant(-3);
+        let v = b.constant(77);
+        b.store(addr, v);
+        let l = b.load(addr);
+        b.emit(l);
+        b.ret(None);
+        let m = module_one(b.finish());
+        let opts = RunOptions {
+            mem_words: 8,
+            ..RunOptions::default()
+        };
+        let r = run(&m, "main", &opts).unwrap();
+        assert_eq!(r.halt, HaltReason::Finished);
+        // Load observes the stored value through the same wrapped address.
+        let mut b2 = FunctionBuilder::new("main", 0);
+        let v2 = b2.constant(77);
+        b2.emit(v2);
+        b2.ret(None);
+        let m2 = module_one(b2.finish());
+        let r2 = run(&m2, "main", &opts).unwrap();
+        assert_eq!(r.checksum, r2.checksum);
+    }
+
+    #[test]
+    fn prof_ops_update_store_and_costs() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", 0);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let t = m.add_table(TableDecl {
+            func: fid,
+            kind: TableKind::Array { size: 8 },
+            hot_paths: 8,
+        });
+        let f = m.function_mut(fid);
+        f.blocks[0].insts.extend([
+            Inst::Prof(ProfOp::SetR { value: 2 }),
+            Inst::Prof(ProfOp::AddR { value: 3 }),
+            Inst::Prof(ProfOp::CountR { table: t }),
+            Inst::Prof(ProfOp::CountRPlus { table: t, addend: -5 }),
+            Inst::Prof(ProfOp::CountConst { table: t, index: 7 }),
+        ]);
+        let r = run(&m, "main", &RunOptions::default()).unwrap();
+        let counts: Vec<_> = r.store.table(t).iter_counts().collect();
+        assert_eq!(counts, vec![(0, 1), (5, 1), (7, 1)]);
+        assert_eq!(r.prof_steps, 5);
+        // 2 reg ops + 3 array counts = 2*1 + 3*2 = 8 cost units.
+        assert_eq!(r.prof_cost, 8);
+        assert_eq!(r.program_cost(), 1); // just the ret
+    }
+
+    #[test]
+    fn checked_counts_report_cold() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", 0);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let t = m.add_table(TableDecl {
+            func: fid,
+            kind: TableKind::Array { size: 8 },
+            hot_paths: 8,
+        });
+        let f = m.function_mut(fid);
+        f.blocks[0].insts.extend([
+            Inst::Prof(ProfOp::SetR { value: -1_000_000 }),
+            Inst::Prof(ProfOp::CountRChecked { table: t }),
+            Inst::Prof(ProfOp::SetR { value: 3 }),
+            Inst::Prof(ProfOp::CountRPlusChecked { table: t, addend: 1 }),
+        ]);
+        let r = run(&m, "main", &RunOptions::default()).unwrap();
+        assert_eq!(r.store.table(t).cold(), 1);
+        assert_eq!(
+            r.store.table(t).iter_counts().collect::<Vec<_>>(),
+            vec![(4, 1)]
+        );
+    }
+
+    #[test]
+    fn tracing_produces_profiles_and_costs_match_untraced() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let ten = b.constant(10);
+        let i = b.copy(ten); // countdown register
+        let (hdr, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+        b.jump(hdr);
+        b.switch_to(hdr);
+        b.branch(i, body, exit);
+        b.switch_to(body);
+        let one = b.constant(1);
+        b.binary_to(i, BinOp::Sub, i, one);
+        b.jump(hdr);
+        b.switch_to(exit);
+        b.ret(None);
+        let m = module_one(b.finish());
+
+        let plain = run(&m, "main", &RunOptions::default()).unwrap();
+        let traced = run(&m, "main", &RunOptions::default().traced()).unwrap();
+        assert_eq!(plain.cost, traced.cost, "tracing must not perturb cost");
+        assert_eq!(plain.checksum, traced.checksum);
+
+        let edges = traced.edge_profile.unwrap();
+        let paths = traced.path_profile.unwrap();
+        let f0 = FuncId(0);
+        assert_eq!(edges.func(f0).entries(), 1);
+        // Loop body executes 10 times.
+        assert_eq!(edges.func(f0).edge(EdgeRef::new(BlockId(1), 0)), 10);
+        // Paths: entry..back (1), header-iteration..back (9), header->exit (1).
+        assert_eq!(paths.func(f0).total_unit_flow(), 11);
+        assert_eq!(paths.func(f0).distinct_paths(), 3);
+    }
+}

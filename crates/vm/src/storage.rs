@@ -1,0 +1,296 @@
+//! Runtime path-frequency counter storage: dense arrays and the paper's
+//! 701-slot hash table with three probes and a lost-path counter (§7.4).
+
+use ppp_ir::{Module, TableId, TableKind};
+
+/// One counter table at runtime.
+#[derive(Clone, Debug)]
+pub enum CounterTable {
+    /// Dense array of counters, indexed directly by path number.
+    Array {
+        /// Counter slots.
+        counts: Vec<u64>,
+        /// Paths whose index fell outside the array (should not happen for
+        /// well-formed instrumentation; kept as a safety valve).
+        lost: u64,
+        /// Poisoned (negative-register) paths observed by checked counts.
+        cold: u64,
+    },
+    /// Open-addressed hash table with bounded probing.
+    Hash {
+        /// `slots[i] = Some((key, count))` for occupied slots.
+        slots: Vec<Option<(u64, u64)>>,
+        /// Maximum probes before a path is recorded as lost.
+        max_probes: u32,
+        /// Paths lost to probe exhaustion.
+        lost: u64,
+        /// Poisoned (negative-register) paths observed by checked counts.
+        cold: u64,
+    },
+}
+
+impl CounterTable {
+    /// Creates an empty table for the given declaration kind.
+    pub fn new(kind: TableKind) -> Self {
+        match kind {
+            TableKind::Array { size } => CounterTable::Array {
+                counts: vec![0; usize::try_from(size).expect("array size fits usize")],
+                lost: 0,
+                cold: 0,
+            },
+            TableKind::Hash { slots, max_probes } => CounterTable::Hash {
+                slots: vec![None; usize::try_from(slots).expect("slot count fits usize")],
+                max_probes,
+                lost: 0,
+                cold: 0,
+            },
+        }
+    }
+
+    /// Returns `true` for hash-backed tables.
+    pub fn is_hash(&self) -> bool {
+        matches!(self, CounterTable::Hash { .. })
+    }
+
+    /// Increments the counter for path number `key`.
+    ///
+    /// Negative keys are treated as poisoned and recorded in the cold
+    /// counter (this is how the *checked* counting ops report poison; the
+    /// unchecked ops never pass negative keys for well-formed free-poisoned
+    /// instrumentation, but the behaviour is safe either way).
+    pub fn bump(&mut self, key: i64) {
+        if key < 0 {
+            match self {
+                CounterTable::Array { cold, .. } | CounterTable::Hash { cold, .. } => *cold += 1,
+            }
+            return;
+        }
+        let key = key as u64;
+        match self {
+            CounterTable::Array { counts, lost, .. } => {
+                match counts.get_mut(key as usize) {
+                    Some(c) => *c += 1,
+                    None => *lost += 1,
+                }
+            }
+            CounterTable::Hash {
+                slots,
+                max_probes,
+                lost,
+                ..
+            } => {
+                let n = slots.len() as u64;
+                debug_assert!(n >= 3, "hash table needs at least 3 slots");
+                // Double hashing as in CLRS ch. 11 (the paper's citation
+                // [15]): h(k, i) = (h1 + i * h2) mod n, h2 coprime-ish.
+                let h1 = key % n;
+                let h2 = 1 + key % (n - 2);
+                for i in 0..u64::from(*max_probes) {
+                    let idx = ((h1 + i * h2) % n) as usize;
+                    match &mut slots[idx] {
+                        Some((k, c)) if *k == key => {
+                            *c += 1;
+                            return;
+                        }
+                        Some(_) => continue,
+                        empty @ None => {
+                            *empty = Some((key, 1));
+                            return;
+                        }
+                    }
+                }
+                *lost += 1;
+            }
+        }
+    }
+
+    /// Records a poisoned path (explicitly, for checked counting ops).
+    pub fn bump_cold(&mut self) {
+        match self {
+            CounterTable::Array { cold, .. } | CounterTable::Hash { cold, .. } => *cold += 1,
+        }
+    }
+
+    /// Iterates `(path number, count)` over all non-zero counters.
+    pub fn iter_counts(&self) -> Box<dyn Iterator<Item = (u64, u64)> + '_> {
+        match self {
+            CounterTable::Array { counts, .. } => Box::new(
+                counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| (i as u64, c)),
+            ),
+            CounterTable::Hash { slots, .. } => {
+                Box::new(slots.iter().flatten().copied())
+            }
+        }
+    }
+
+    /// Paths lost to probe exhaustion or out-of-range indices.
+    pub fn lost(&self) -> u64 {
+        match self {
+            CounterTable::Array { lost, .. } | CounterTable::Hash { lost, .. } => *lost,
+        }
+    }
+
+    /// Poisoned paths observed.
+    pub fn cold(&self) -> u64 {
+        match self {
+            CounterTable::Array { cold, .. } | CounterTable::Hash { cold, .. } => *cold,
+        }
+    }
+
+    /// Total counted flow (sum of all counters, excluding lost/cold).
+    pub fn total(&self) -> u64 {
+        self.iter_counts().map(|(_, c)| c).sum()
+    }
+}
+
+/// All counter tables of a module, indexed by [`TableId`].
+#[derive(Clone, Debug, Default)]
+pub struct ProfileStore {
+    tables: Vec<CounterTable>,
+}
+
+impl ProfileStore {
+    /// Allocates empty tables matching the module's declarations.
+    pub fn for_module(module: &Module) -> Self {
+        Self {
+            tables: module.tables.iter().map(|d| CounterTable::new(d.kind)).collect(),
+        }
+    }
+
+    /// Returns the table with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn table(&self, id: TableId) -> &CounterTable {
+        &self.tables[id.index()]
+    }
+
+    /// Returns the table with the given id, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn table_mut(&mut self, id: TableId) -> &mut CounterTable {
+        &mut self.tables[id.index()]
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Returns `true` if there are no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total lost paths across all tables.
+    pub fn total_lost(&self) -> u64 {
+        self.tables.iter().map(CounterTable::lost).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_counts_and_loses_out_of_range() {
+        let mut t = CounterTable::new(TableKind::Array { size: 4 });
+        t.bump(0);
+        t.bump(3);
+        t.bump(3);
+        t.bump(4); // out of range
+        assert_eq!(t.lost(), 1);
+        assert_eq!(t.total(), 3);
+        let counts: Vec<_> = t.iter_counts().collect();
+        assert_eq!(counts, vec![(0, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn negative_keys_are_cold() {
+        let mut t = CounterTable::new(TableKind::Array { size: 4 });
+        t.bump(-100);
+        t.bump_cold();
+        assert_eq!(t.cold(), 2);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn hash_counts_distinct_keys() {
+        let mut t = CounterTable::new(TableKind::Hash {
+            slots: 701,
+            max_probes: 3,
+        });
+        for k in 0..500 {
+            t.bump(k);
+            t.bump(k);
+        }
+        assert_eq!(t.total() + t.lost() * 2, 1000);
+        // With 500 keys in 701 slots and 3 probes, losses are rare.
+        assert!(t.lost() < 50, "too many lost: {}", t.lost());
+    }
+
+    #[test]
+    fn hash_exhaustion_counts_lost() {
+        let mut t = CounterTable::new(TableKind::Hash {
+            slots: 5,
+            max_probes: 3,
+        });
+        // Saturate a tiny table.
+        for k in 0..100 {
+            t.bump(k);
+        }
+        assert!(t.lost() > 0);
+        assert_eq!(t.total() + t.lost(), 100);
+    }
+
+    #[test]
+    fn hash_same_key_accumulates() {
+        let mut t = CounterTable::new(TableKind::Hash {
+            slots: 701,
+            max_probes: 3,
+        });
+        for _ in 0..10 {
+            t.bump(12345);
+        }
+        assert_eq!(t.iter_counts().collect::<Vec<_>>(), vec![(12345, 10)]);
+    }
+
+    #[test]
+    fn store_builds_from_module() {
+        use ppp_ir::{FunctionBuilder, TableDecl};
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", 0);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        let a = m.add_table(TableDecl {
+            func: f,
+            kind: TableKind::Array { size: 8 },
+            hot_paths: 8,
+        });
+        let h = m.add_table(TableDecl {
+            func: f,
+            kind: TableKind::Hash {
+                slots: 701,
+                max_probes: 3,
+            },
+            hot_paths: 5000,
+        });
+        let mut s = ProfileStore::for_module(&m);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(!s.table(a).is_hash());
+        assert!(s.table(h).is_hash());
+        s.table_mut(a).bump(1);
+        assert_eq!(s.table(a).total(), 1);
+        assert_eq!(s.total_lost(), 0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Exact execution tracing: edge profiles and ground-truth path profiles.
+//!
+//! The tracer observes every taken CFG edge and maintains, per activation,
+//! the current Ball–Larus path (started at function entry or a loop
+//! header, ended at a `return` or a taken back edge — §3.1). Paths are
+//! interned in a per-function trie so the per-edge cost is one hash lookup,
+//! and the full [`ModulePathProfile`] is reconstructed on demand.
+//!
+//! This is the reproduction's *reference* profile: unlike PP
+//! instrumentation it has no hash-table losses and no truncation, so
+//! accuracy/coverage are measured against exact data (§6).
+
+use ppp_ir::{
+    BlockId, Cfg, EdgeRef, FuncId, Function, ModuleEdgeProfile, ModulePathProfile, Module,
+    PathKey,
+};
+use std::collections::HashMap;
+
+/// Whether a taken edge is a back edge (ends the current path).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeKind {
+    /// Forward edge: extends the current path.
+    Forward,
+    /// Back edge: terminates the current path and starts a new one at the
+    /// edge's target (a loop header).
+    Back,
+}
+
+/// Precomputed per-function edge classification for the tracer.
+#[derive(Clone, Debug)]
+pub struct EdgeClassifier {
+    /// `kinds[block][succ]` mirrors the function's successor lists.
+    kinds: Vec<Vec<EdgeKind>>,
+}
+
+impl EdgeClassifier {
+    /// Classifies every edge of `f` as forward or back (retreating with
+    /// respect to reverse postorder; on reducible CFGs these are exactly
+    /// the natural-loop back edges).
+    pub fn new(f: &Function) -> Self {
+        let cfg = Cfg::new(f);
+        let kinds = f
+            .iter_blocks()
+            .map(|(id, b)| {
+                (0..b.term.successor_count())
+                    .map(|s| {
+                        let tgt = b.term.successor(s).expect("in-range successor");
+                        if cfg.is_retreating(id, tgt) {
+                            EdgeKind::Back
+                        } else {
+                            EdgeKind::Forward
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { kinds }
+    }
+
+    /// Kind of edge `(b, s)`.
+    #[inline]
+    pub fn kind(&self, e: EdgeRef) -> EdgeKind {
+        self.kinds[e.from.index()][e.succ_index()]
+    }
+}
+
+/// Path-interning trie for one function.
+///
+/// Each node is a distinct path prefix; the per-edge transition is one
+/// `HashMap` lookup. Node 0 is unused; roots are created per start block.
+#[derive(Clone, Debug, Default)]
+struct PathTrie {
+    /// Root state per start block.
+    roots: HashMap<BlockId, u32>,
+    /// `(state, edge) -> state` transitions.
+    trans: HashMap<(u32, EdgeRef), u32>,
+    /// Per-state data: parent state, incoming edge, start block, count of
+    /// paths *ending* at this state.
+    nodes: Vec<TrieNode>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TrieNode {
+    parent: u32,
+    via: EdgeRef,
+    start: BlockId,
+    count: u64,
+}
+
+impl PathTrie {
+    fn root(&mut self, start: BlockId) -> u32 {
+        if let Some(&s) = self.roots.get(&start) {
+            return s;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(TrieNode {
+            parent: u32::MAX,
+            via: EdgeRef::new(start, 0), // unused for roots
+            start,
+            count: 0,
+        });
+        self.roots.insert(start, id);
+        id
+    }
+
+    fn step(&mut self, state: u32, edge: EdgeRef) -> u32 {
+        if let Some(&s) = self.trans.get(&(state, edge)) {
+            return s;
+        }
+        let id = self.nodes.len() as u32;
+        let start = self.nodes[state as usize].start;
+        self.nodes.push(TrieNode {
+            parent: state,
+            via: edge,
+            start,
+            count: 0,
+        });
+        self.trans.insert((state, edge), id);
+        id
+    }
+
+    fn end_path(&mut self, state: u32) {
+        self.nodes[state as usize].count += 1;
+    }
+
+    fn key_of(&self, state: u32) -> PathKey {
+        let mut edges = Vec::new();
+        let mut cur = state;
+        while self.nodes[cur as usize].parent != u32::MAX {
+            let n = &self.nodes[cur as usize];
+            edges.push(n.via);
+            cur = n.parent;
+        }
+        edges.reverse();
+        PathKey {
+            start: self.nodes[state as usize].start,
+            edges,
+        }
+    }
+
+    fn reconstruct(&self, f: &Function, out: &mut ppp_ir::FuncPathProfile) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.count == 0 {
+                continue;
+            }
+            out.record(f, self.key_of(i as u32), node.count);
+        }
+    }
+}
+
+/// Live per-activation path state, owned by the interpreter's frames.
+#[derive(Clone, Copy, Debug)]
+pub struct PathCursor {
+    state: u32,
+}
+
+/// Collects edge and path profiles during a run.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    edges: ModuleEdgeProfile,
+    classifiers: Vec<EdgeClassifier>,
+    tries: Vec<PathTrie>,
+    /// When enabled, the ordered stream of completed paths as
+    /// `(function, trie state)` pairs — resolvable to [`PathKey`]s at the
+    /// end. Online predictors (e.g. Dynamo's NET) consume this.
+    sequence: Option<Vec<(FuncId, u32)>>,
+}
+
+impl Tracer {
+    /// Creates a tracer shaped for `module`.
+    pub fn new(module: &Module) -> Self {
+        Self {
+            edges: ModuleEdgeProfile::zeroed(module),
+            classifiers: module.functions.iter().map(EdgeClassifier::new).collect(),
+            tries: vec![PathTrie::default(); module.functions.len()],
+            sequence: None,
+        }
+    }
+
+    /// Enables recording of the ordered path-completion stream
+    /// (memory: one entry per dynamic path).
+    pub fn record_sequence(&mut self) {
+        self.sequence = Some(Vec::new());
+    }
+
+    /// Called when `func` is entered; returns the cursor for its first path.
+    pub fn enter_function(&mut self, func: FuncId, entry: BlockId) -> PathCursor {
+        let p = self.edges.func_mut(func);
+        p.bump_entry();
+        p.bump_block(entry);
+        PathCursor {
+            state: self.tries[func.index()].root(entry),
+        }
+    }
+
+    /// Called when edge `e` of `func` is taken; `target` is the block the
+    /// edge leads to. Updates the edge profile and advances (or ends and
+    /// restarts) the current path.
+    pub fn take_edge(
+        &mut self,
+        func: FuncId,
+        cursor: &mut PathCursor,
+        e: EdgeRef,
+        target: BlockId,
+    ) {
+        let prof = self.edges.func_mut(func);
+        prof.bump_edge(e);
+        prof.bump_block(target);
+        let trie = &mut self.tries[func.index()];
+        match self.classifiers[func.index()].kind(e) {
+            EdgeKind::Forward => {
+                cursor.state = trie.step(cursor.state, e);
+            }
+            EdgeKind::Back => {
+                // The back edge belongs to the ending path (it is its
+                // terminating branch), then a fresh path starts at the
+                // header.
+                let end_state = trie.step(cursor.state, e);
+                trie.end_path(end_state);
+                if let Some(seq) = &mut self.sequence {
+                    seq.push((func, end_state));
+                }
+                cursor.state = trie.root(target);
+            }
+        }
+    }
+
+    /// Called when the current activation of `func` returns.
+    pub fn exit_function(&mut self, func: FuncId, cursor: PathCursor) {
+        self.tries[func.index()].end_path(cursor.state);
+        if let Some(seq) = &mut self.sequence {
+            seq.push((func, cursor.state));
+        }
+    }
+
+    /// Finishes tracing, producing the edge profile and the exact path
+    /// profile.
+    pub fn finish(self, module: &Module) -> (ModuleEdgeProfile, ModulePathProfile) {
+        let (edges, paths, _) = self.finish_with_sequence(module);
+        (edges, paths)
+    }
+
+    /// Like [`Tracer::finish`], also resolving the recorded path stream
+    /// (empty unless [`Tracer::record_sequence`] was called).
+    pub fn finish_with_sequence(
+        self,
+        module: &Module,
+    ) -> (ModuleEdgeProfile, ModulePathProfile, Vec<(FuncId, PathKey)>) {
+        let mut paths = ModulePathProfile::with_capacity(module.functions.len());
+        for (i, trie) in self.tries.iter().enumerate() {
+            let func = FuncId::new(i);
+            trie.reconstruct(module.function(func), paths.func_mut(func));
+        }
+        let mut resolved = Vec::new();
+        if let Some(seq) = self.sequence {
+            // Cache state -> key resolution per function.
+            let mut cache: Vec<std::collections::HashMap<u32, PathKey>> =
+                vec![std::collections::HashMap::new(); self.tries.len()];
+            for (func, state) in seq {
+                let key = cache[func.index()]
+                    .entry(state)
+                    .or_insert_with(|| self.tries[func.index()].key_of(state))
+                    .clone();
+                resolved.push((func, key));
+            }
+        }
+        (self.edges, paths, resolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_ir::FunctionBuilder;
+    use ppp_ir::Reg;
+
+    /// 0 -> 1(hdr); 1 -> 2 | 3; 2 -> 1 (back); 3: ret
+    fn looped() -> Module {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", 1);
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        let b3 = b.new_block();
+        b.jump(b1);
+        b.switch_to(b1);
+        b.branch(Reg(0), b2, b3);
+        b.switch_to(b2);
+        b.jump(b1);
+        b.switch_to(b3);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn classifier_marks_back_edges() {
+        let m = looped();
+        let c = EdgeClassifier::new(m.function(FuncId(0)));
+        assert_eq!(c.kind(EdgeRef::new(BlockId(0), 0)), EdgeKind::Forward);
+        assert_eq!(c.kind(EdgeRef::new(BlockId(2), 0)), EdgeKind::Back);
+    }
+
+    #[test]
+    fn tracer_records_loop_iteration_paths() {
+        let m = looped();
+        let f = FuncId(0);
+        let mut t = Tracer::new(&m);
+        // Simulate: enter, 0->1, 1->2, 2->1 (back), 1->3, return.
+        let mut cur = t.enter_function(f, BlockId(0));
+        t.take_edge(f, &mut cur, EdgeRef::new(BlockId(0), 0), BlockId(1));
+        t.take_edge(f, &mut cur, EdgeRef::new(BlockId(1), 0), BlockId(2));
+        t.take_edge(f, &mut cur, EdgeRef::new(BlockId(2), 0), BlockId(1));
+        t.take_edge(f, &mut cur, EdgeRef::new(BlockId(1), 1), BlockId(3));
+        t.exit_function(f, cur);
+        let (edges, paths) = t.finish(&m);
+
+        assert_eq!(edges.func(f).entries(), 1);
+        assert_eq!(edges.func(f).edge(EdgeRef::new(BlockId(2), 0)), 1);
+        assert_eq!(edges.func(f).block(BlockId(1)), 2);
+
+        let fp = paths.func(f);
+        assert_eq!(fp.distinct_paths(), 2);
+        // Path A: entry -> 1 -> 2 -> (back to 1), one branch (1->2) plus no
+        // branch on jump edges; the back edge 2->1 has a single-successor
+        // source so it is not a branch.
+        let a = PathKey {
+            start: BlockId(0),
+            edges: vec![
+                EdgeRef::new(BlockId(0), 0),
+                EdgeRef::new(BlockId(1), 0),
+                EdgeRef::new(BlockId(2), 0),
+            ],
+        };
+        // Path B: 1 -> 3 return, one branch.
+        let b = PathKey {
+            start: BlockId(1),
+            edges: vec![EdgeRef::new(BlockId(1), 1)],
+        };
+        assert_eq!(fp.paths[&a].freq, 1);
+        assert_eq!(fp.paths[&a].branches, 1);
+        assert_eq!(fp.paths[&b].freq, 1);
+        assert_eq!(fp.paths[&b].branches, 1);
+    }
+
+    #[test]
+    fn repeated_paths_accumulate() {
+        let m = looped();
+        let f = FuncId(0);
+        let mut t = Tracer::new(&m);
+        for _ in 0..3 {
+            let mut cur = t.enter_function(f, BlockId(0));
+            t.take_edge(f, &mut cur, EdgeRef::new(BlockId(0), 0), BlockId(1));
+            t.take_edge(f, &mut cur, EdgeRef::new(BlockId(1), 1), BlockId(3));
+            t.exit_function(f, cur);
+        }
+        let (_, paths) = t.finish(&m);
+        let fp = paths.func(f);
+        assert_eq!(fp.distinct_paths(), 1);
+        assert_eq!(fp.total_unit_flow(), 3);
+    }
+}

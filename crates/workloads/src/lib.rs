@@ -1,0 +1,33 @@
+//! # ppp-workloads: synthetic SPEC2000-style benchmarks
+//!
+//! The paper evaluates on SPEC2000 with ref inputs — neither of which can
+//! ship with a reproduction. This crate substitutes a seeded program
+//! generator whose knobs control exactly the properties the profilers
+//! care about: branchiness, branch *correlation* (hidden per-invocation
+//! scenarios that edge profiles cannot see), branch bias, loop style and
+//! trip counts, call density, and per-routine static path counts
+//! (including above-hash-threshold "explosive" routines).
+//!
+//! [`suite::spec2000_suite`] provides 18 personalities named after the
+//! paper's benchmarks, tuned to their Table 1/Table 2 characteristics.
+//!
+//! ```
+//! use ppp_workloads::{generate, BenchmarkSpec};
+//! use ppp_vm::{run, RunOptions};
+//!
+//! let module = generate(&BenchmarkSpec::named("demo").scaled(0.05));
+//! let result = run(&module, "main", &RunOptions::default())?;
+//! assert_eq!(result.halt, ppp_vm::HaltReason::Finished);
+//! # Ok::<(), ppp_vm::VmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gen;
+pub mod spec;
+pub mod suite;
+
+pub use gen::generate;
+pub use spec::BenchmarkSpec;
+pub use suite::{spec2000_suite, BenchClass, SuiteEntry};

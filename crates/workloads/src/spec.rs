@@ -1,0 +1,129 @@
+//! Benchmark specifications: the tunable knobs that give each synthetic
+//! benchmark its personality.
+
+/// Parameters controlling one generated benchmark.
+///
+/// The defaults produce a mid-sized, moderately branchy integer-style
+/// program; the SPEC2000 personalities in [`crate::suite`] override them
+/// per benchmark to imitate the path characteristics the paper reports in
+/// Tables 1–2 (path counts, branches per path, loop trip counts,
+/// predictability).
+#[derive(Clone, Debug)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (e.g. `"vpr"`).
+    pub name: String,
+    /// Master seed: fixes both the generated code and its input stream.
+    pub seed: u64,
+    /// Number of work functions (besides `main`).
+    pub funcs: usize,
+    /// Segments per function body (min, max).
+    pub segments: (usize, usize),
+    /// Maximum control-flow nesting depth.
+    pub max_depth: u32,
+    /// Probability a segment is a two-way `if`.
+    pub if_prob: f64,
+    /// Probability a segment is a multi-way `switch`.
+    pub switch_prob: f64,
+    /// Probability a segment is a loop.
+    pub loop_prob: f64,
+    /// Probability a segment is a call (to a later function).
+    pub call_prob: f64,
+    /// Fraction of conditions driven by the per-invocation *scenario*
+    /// value rather than fresh randomness — this is what makes paths
+    /// correlated and edge profiles poor predictors (§8.1).
+    pub correlation: f64,
+    /// Bias of uncorrelated branches (probability of the hot arm);
+    /// 0.5 = unpredictable, 0.95 = strongly biased.
+    pub bias: f64,
+    /// Cardinality of the scenario value.
+    pub scenario_ways: i64,
+    /// Average loop trip count.
+    pub avg_trip: i64,
+    /// Probability a loop is a canonical counted loop (recognizable by
+    /// the unroller's test-elided mode) rather than a while-style loop.
+    pub counted_loop_prob: f64,
+    /// Straight-line arithmetic instructions per basic segment.
+    pub block_len: usize,
+    /// Iterations of `main`'s driver loop (controls total work).
+    pub outer_iters: i64,
+    /// Number of "path explosion" functions: long diamond chains whose
+    /// static path count exceeds the hashing threshold (these are what
+    /// force PP/TPP into hash tables on crafty/parser-like benchmarks).
+    pub explosive_funcs: usize,
+    /// Diamonds chained inside each explosive function.
+    pub explosive_diamonds: usize,
+    /// Number of small leaf helper functions (5–20 statements, called
+    /// from hot loop bodies). These are what profile-guided inlining
+    /// actually inlines under the paper's 5% code-bloat budget.
+    pub leaf_funcs: usize,
+}
+
+impl Default for BenchmarkSpec {
+    fn default() -> Self {
+        Self {
+            name: "default".to_owned(),
+            seed: 0xC60_2005,
+            funcs: 6,
+            segments: (3, 6),
+            max_depth: 3,
+            if_prob: 0.35,
+            switch_prob: 0.08,
+            loop_prob: 0.22,
+            call_prob: 0.15,
+            correlation: 0.5,
+            bias: 0.8,
+            scenario_ways: 32,
+            avg_trip: 6,
+            counted_loop_prob: 0.5,
+            block_len: 3,
+            outer_iters: 2_000,
+            explosive_funcs: 0,
+            explosive_diamonds: 13,
+            leaf_funcs: 3,
+        }
+    }
+}
+
+impl BenchmarkSpec {
+    /// Creates a spec with the given name and seed derived from it.
+    pub fn named(name: &str) -> Self {
+        let seed = name
+            .bytes()
+            .fold(0xC60_2005u64, |h, b| h.wrapping_mul(31).wrapping_add(u64::from(b)));
+        Self {
+            name: name.to_owned(),
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Scales the dynamic work (driver iterations) by `factor` — used to
+    /// shrink benchmarks for unit tests or grow them for benchmarking.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.outer_iters = ((self.outer_iters as f64 * factor).round() as i64).max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_specs_have_stable_seeds() {
+        let a = BenchmarkSpec::named("vpr");
+        let b = BenchmarkSpec::named("vpr");
+        let c = BenchmarkSpec::named("mcf");
+        assert_eq!(a.seed, b.seed);
+        assert_ne!(a.seed, c.seed);
+        assert_eq!(a.name, "vpr");
+    }
+
+    #[test]
+    fn scaling_adjusts_iterations() {
+        let s = BenchmarkSpec::default().scaled(0.5);
+        assert_eq!(s.outer_iters, 1_000);
+        let tiny = BenchmarkSpec::default().scaled(0.0);
+        assert_eq!(tiny.outer_iters, 1);
+    }
+}

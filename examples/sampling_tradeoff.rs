@@ -1,0 +1,129 @@
+//! Sampling versus cheaper instrumentation (§2).
+//!
+//! Prior work lowered path-profiling overhead by running instrumented
+//! code only part of the time (code sampling / bursty tracing). The paper
+//! argues PPP is *orthogonal*: it makes the instrumentation itself cheap,
+//! collects every path, and its overhead is "comparable to that of code
+//! sampling frameworks alone".
+//!
+//! This example sweeps the sampling rate for PP-with-sampling and puts
+//! always-on PPP on the same axis: overhead vs. fraction of dynamic paths
+//! actually observed.
+//!
+//! Run with: `cargo run --release --example sampling_tradeoff`
+
+use ppp::core::{
+    accuracy, instrument_module, measured_paths, normalize_module, profiler_estimate,
+    sampled_module, EstimateOptions, EstimatedPath, EstimatedProfile, FlowMetric,
+    ProfilerConfig,
+};
+use ppp::vm::{run, RunOptions};
+use ppp::workloads::{generate, BenchmarkSpec};
+
+fn main() {
+    let mut spec = BenchmarkSpec::named("sampling-demo");
+    // A suite-like personality: biased branches and hot loops give both
+    // TPP-style pruning and loop disconnection something to work with.
+    spec.bias = 0.85;
+    spec.correlation = 0.65;
+    spec.avg_trip = 7; // below the disconnection threshold: loops stay profiled
+    spec.counted_loop_prob = 0.4;
+    spec.loop_prob = 0.3;
+    // A short profiling window: the regime where sampling's "extends the
+    // time it takes to collect a given number of samples" (§2) bites.
+    spec.outer_iters = 250;
+    let mut module = generate(&spec);
+    normalize_module(&mut module);
+    let traced = run(&module, "main", &RunOptions::default().traced()).expect("runs");
+    let baseline = traced.cost;
+    let edges = traced.edge_profile.expect("traced");
+    let truth = traced.path_profile.expect("traced");
+    let total_paths = truth.total_unit_flow();
+
+    println!(
+        "{:24} {:>9} {:>16} {:>9}",
+        "configuration", "overhead", "paths observed", "accuracy"
+    );
+    let pp = instrument_module(&module, Some(&edges), &ProfilerConfig::pp());
+    let report = |label: &str, cost: u64, observed: u64, acc: f64| {
+        println!(
+            "{:24} {:>+8.1}% {:>15.1}% {:>8.1}%",
+            label,
+            100.0 * (cost as f64 / baseline as f64 - 1.0),
+            100.0 * observed as f64 / total_paths as f64,
+            100.0 * acc
+        );
+    };
+    // A sampled profile's estimate is just its (rescaled) counts; scaling
+    // does not change the ranking accuracy is computed from.
+    let counts_accuracy = |measured: &ppp::ir::ModulePathProfile| {
+        let est = EstimatedProfile {
+            funcs: measured
+                .funcs
+                .iter()
+                .map(|fp| {
+                    fp.paths
+                        .iter()
+                        .map(|(k, s)| {
+                            (
+                                k.clone(),
+                                EstimatedPath {
+                                    freq: s.freq,
+                                    branches: s.branches,
+                                    measured: true,
+                                },
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
+        };
+        accuracy(&truth, &est, FlowMetric::Branch, 0.00125)
+    };
+
+    let full = run(&pp.module, "main", &RunOptions::default()).expect("runs");
+    let m_full = measured_paths(&pp, &module, &full.store);
+    report(
+        "PP always-on",
+        full.cost,
+        m_full.total_unit_flow(),
+        counts_accuracy(&m_full),
+    );
+    for rate in [5, 10, 25, 100] {
+        let sampled = sampled_module(&pp, &module, rate);
+        let r = run(&sampled, "main", &RunOptions::default()).expect("runs");
+        let m = measured_paths(&pp, &module, &r.store);
+        report(
+            &format!("PP sampled 1/{rate}"),
+            r.cost,
+            m.total_unit_flow(),
+            counts_accuracy(&m),
+        );
+    }
+
+    let ppp = instrument_module(&module, Some(&edges), &ProfilerConfig::ppp());
+    let r = run(&ppp.module, "main", &RunOptions::default()).expect("runs");
+    let m = measured_paths(&ppp, &module, &r.store);
+    let est = profiler_estimate(
+        &module,
+        &ppp,
+        &edges,
+        &r.store,
+        FlowMetric::Branch,
+        &EstimateOptions::default(),
+    );
+    report(
+        "PPP always-on",
+        r.cost,
+        m.total_unit_flow(),
+        accuracy(&truth, &est, FlowMetric::Branch, 0.00125),
+    );
+
+    println!(
+        "\nSampling rides a single curve: less overhead means fewer samples and a\n\
+         noisier ranking. PPP sits at sampling-class overhead (the paper's §2\n\
+         claim) while its unmeasured remainder is *estimated* from the edge\n\
+         profile rather than lost — and the approaches compose: PPP's cheap\n\
+         instrumentation can itself be sampled."
+    );
+}

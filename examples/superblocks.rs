@@ -1,0 +1,118 @@
+//! A downstream client: superblock selection from a path profile.
+//!
+//! The paper motivates path profiles with path-based optimizations such
+//! as superblock formation (§1). This example uses PPP's measured paths
+//! to pick *superblocks* — straight-line block sequences along hot paths
+//! — and compares how much dynamic flow they cover when chosen from
+//! (a) PPP's path profile versus (b) greedy edge-following on the edge
+//! profile, on a workload with correlated branches. The path profile wins
+//! because hot paths are not simply chains of hottest edges.
+//!
+//! Run with: `cargo run --release --example superblocks`
+
+use ppp::core::{
+    actual_hot_paths, instrument_module, measured_paths, normalize_module, FlowMetric,
+    ProfilerConfig,
+};
+use ppp::ir::{BlockId, FuncId};
+use ppp::vm::{run, RunOptions};
+use ppp::workloads::{generate, BenchmarkSpec};
+
+fn main() {
+    let mut spec = BenchmarkSpec::named("superblock-demo");
+    spec.correlation = 0.85; // strongly correlated branches
+    spec.bias = 0.55; // nearly unbiased edges: edge profiles look flat
+    spec.outer_iters = 1500;
+    let mut module = generate(&spec);
+    normalize_module(&mut module);
+
+    let traced = run(&module, "main", &RunOptions::default().traced()).expect("runs");
+    let edges = traced.edge_profile.expect("traced");
+    let truth = traced.path_profile.expect("traced");
+
+    // Instrument with PPP and measure.
+    let plan = instrument_module(&module, Some(&edges), &ProfilerConfig::ppp());
+    let result = run(&plan.module, "main", &RunOptions::default()).expect("runs");
+    let measured = measured_paths(&plan, &module, &result.store);
+
+    // (a) Superblocks from the measured path profile: the top paths.
+    let mut by_flow: Vec<(FuncId, Vec<BlockId>, u64)> = measured
+        .iter()
+        .map(|(f, k, s)| (f, k.blocks(module.function(f)), s.branch_flow()))
+        .collect();
+    by_flow.sort_by_key(|t| std::cmp::Reverse(t.2));
+    let k = 10;
+    let path_blocks: Vec<(FuncId, Vec<BlockId>)> = by_flow
+        .iter()
+        .take(k)
+        .map(|(f, bs, _)| (*f, bs.clone()))
+        .collect();
+
+    // (b) Superblocks by greedy edge-following: from each hot seed block,
+    // repeatedly take the hottest outgoing edge.
+    let mut greedy_blocks: Vec<(FuncId, Vec<BlockId>)> = Vec::new();
+    for (f, path, _) in by_flow.iter().take(k) {
+        let fid = *f;
+        let func = module.function(fid);
+        let prof = edges.func(fid);
+        let mut cur = path[0]; // same seed as the path-profile superblock
+        let mut blocks = vec![cur];
+        for _ in 0..path.len().saturating_sub(1) {
+            let term = &func.block(cur).term;
+            let mut best: Option<(u64, BlockId)> = None;
+            for s in 0..term.successor_count() {
+                let e = ppp::ir::EdgeRef::new(cur, s);
+                let freq = prof.edge(e);
+                if best.is_none_or(|(bf, _)| freq > bf) {
+                    best = Some((freq, term.successor(s).unwrap()));
+                }
+            }
+            let Some((_, nxt)) = best else { break };
+            cur = nxt;
+            blocks.push(cur);
+        }
+        greedy_blocks.push((fid, blocks));
+    }
+
+    // Score: how much actual hot-path flow does each selection cover?
+    // A superblock "covers" a path when the path's blocks are a prefix of
+    // the superblock (the path executes entirely inside it).
+    let hot = actual_hot_paths(&truth, FlowMetric::Branch, 0.00125);
+    let total: u64 = hot.iter().map(|h| h.flow).sum();
+    let covered = |selection: &[(FuncId, Vec<BlockId>)]| -> u64 {
+        hot.iter()
+            .filter(|h| {
+                let blocks = h.key.blocks(module.function(h.func));
+                selection
+                    .iter()
+                    .any(|(f, sb)| *f == h.func && sb.starts_with(&blocks))
+            })
+            .map(|h| h.flow)
+            .sum()
+    };
+    let from_paths = covered(&path_blocks);
+    let from_edges = covered(&greedy_blocks);
+
+    println!(
+        "hot paths: {} carrying {} branch-flow units",
+        hot.len(),
+        total
+    );
+    println!(
+        "top-{k} superblocks from the PATH profile cover {:.1}% of hot flow",
+        100.0 * from_paths as f64 / total as f64
+    );
+    println!(
+        "top-{k} superblocks from greedy EDGE following cover {:.1}% of hot flow",
+        100.0 * from_edges as f64 / total as f64
+    );
+    assert!(
+        from_paths >= from_edges,
+        "path-guided selection should never lose to greedy edges here"
+    );
+    println!(
+        "\nWith correlated, weakly-biased branches the hottest *edges* chain into\n\
+         paths that rarely execute as a whole — the situation Ball et al. call\n\
+         unpredictable — while the path profile names the real traces."
+    );
+}

@@ -1,0 +1,24 @@
+//! # ppp: practical path profiling for dynamic optimizers
+//!
+//! An umbrella crate re-exporting the whole PPP reproduction workspace
+//! (Bond & McKinley, *Practical Path Profiling for Dynamic Optimizers*,
+//! CGO 2005):
+//!
+//! - [`ir`] — the compiler IR, CFG analyses, edge/path profile types;
+//! - [`vm`] — the deterministic interpreter, cost model, and exact tracer;
+//! - [`opt`] — edge-profile-guided inlining and unrolling (§7.3);
+//! - [`core`] — PP, TPP, and PPP instrumentation plus flow estimation and
+//!   the accuracy/coverage metrics (§3–6 and the appendix);
+//! - [`workloads`] — the synthetic SPEC2000-style benchmark generator;
+//! - [`repro`] — the experiment pipeline regenerating Tables 1–2 and
+//!   Figures 9–13.
+//!
+//! See the `examples/` directory for runnable walkthroughs, and the
+//! `ppp-repro` binary for the full evaluation.
+
+pub use ppp_core as core;
+pub use ppp_ir as ir;
+pub use ppp_opt as opt;
+pub use ppp_repro as repro;
+pub use ppp_vm as vm;
+pub use ppp_workloads as workloads;

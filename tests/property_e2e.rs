@@ -1,0 +1,107 @@
+//! End-to-end property tests: random workload knobs → generate → trace →
+//! instrument (each profiler) → run → decode, checking the global
+//! correctness contracts.
+
+use ppp::core::{instrument_module, measured_paths, ProfilerConfig};
+use ppp::ir::verify_module;
+use ppp::vm::{run, RunOptions};
+use ppp::workloads::{generate, BenchmarkSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = BenchmarkSpec> {
+    (
+        any::<u64>(),
+        0.0f64..1.0,
+        0.5f64..0.99,
+        2i64..40,
+        0.0f64..1.0,
+        1usize..6,
+        0usize..2,
+    )
+        .prop_map(
+            |(seed, correlation, bias, avg_trip, counted, funcs, explosive)| {
+                let mut s = BenchmarkSpec::named("prop");
+                s.seed = seed;
+                s.correlation = correlation;
+                s.bias = bias;
+                s.avg_trip = avg_trip;
+                s.counted_loop_prob = counted;
+                s.funcs = funcs;
+                s.explosive_funcs = explosive;
+                s.explosive_diamonds = 8; // keep path counts manageable
+                s.outer_iters = 40;
+                s
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_profiler_is_transparent_and_decodes_real_paths(spec in arb_spec()) {
+        let m = generate(&spec);
+        prop_assert_eq!(verify_module(&m), Ok(()));
+        let traced = run(&m, "main", &RunOptions::default().traced()).unwrap();
+        prop_assert_eq!(traced.halt, ppp::vm::HaltReason::Finished);
+        let edges = traced.edge_profile.unwrap();
+        let truth = traced.path_profile.unwrap();
+
+        for config in [ProfilerConfig::pp(), ProfilerConfig::tpp(), ProfilerConfig::ppp()] {
+            let plan = instrument_module(&m, Some(&edges), &config);
+            prop_assert_eq!(verify_module(&plan.module), Ok(()));
+            let r = run(&plan.module, "main", &RunOptions::default()).unwrap();
+            // Contract 1: semantic transparency.
+            prop_assert_eq!(r.checksum, traced.checksum, "{} broke semantics", config.label());
+            // Contract 2: instrumentation only adds cost.
+            prop_assert!(r.cost >= traced.cost);
+            // Contract 3: PP and TPP only record paths that actually ran.
+            // PPP's pushing may let a cold execution record a *hot* path
+            // number whose own path never ran (§4.4) — for PPP we require
+            // the branch count to match whenever the path did run, and
+            // that the total measured unit flow never exceeds the real
+            // dynamic path count (each execution counts at most once).
+            let measured = measured_paths(&plan, &m, &r.store);
+            for (fid, key, stats) in measured.iter() {
+                let actual = truth.func(fid).paths.get(key);
+                if config.kind != ppp::core::ProfilerKind::Ppp {
+                    prop_assert!(
+                        actual.is_some(),
+                        "{}: decoded a path that never ran: {:?}",
+                        config.label(),
+                        key
+                    );
+                }
+                if let Some(actual) = actual {
+                    prop_assert_eq!(stats.branches, actual.branches);
+                }
+            }
+            // PP/TPP: at most one count per execution. PPP's push-past-
+            // cold can in principle count one cold execution more than
+            // once (multiple adopted overcounts), so it only gets a loose
+            // sanity bound.
+            if config.kind == ppp::core::ProfilerKind::Ppp {
+                prop_assert!(
+                    measured.total_unit_flow() <= 2 * truth.total_unit_flow(),
+                    "PPP: implausible overcount volume"
+                );
+            } else {
+                prop_assert!(
+                    measured.total_unit_flow() <= truth.total_unit_flow(),
+                    "{}: counted more paths than executed",
+                    config.label()
+                );
+            }
+            // Contract 4: PP with arrays is exact.
+            if config.kind == ppp::core::ProfilerKind::Pp
+                && plan.funcs.iter().all(|f| !f.uses_hash)
+            {
+                prop_assert_eq!(
+                    measured.total_unit_flow(),
+                    truth.total_unit_flow(),
+                    "PP/array must count every dynamic path"
+                );
+            }
+        }
+    }
+}
