@@ -1,16 +1,15 @@
-//! Criterion micro-benchmarks for the flow-estimation algorithms
-//! (appendix Figs. 14–16): definite flow, potential flow, and hot-path
+//! Micro-benchmarks for the flow-estimation algorithms (appendix
+//! Figs. 14–16): definite flow, potential flow, and hot-path
 //! reconstruction over a profiled module.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ppp_bench::harness::bench;
 use ppp_core::{
     definite_flow, normalize_module, potential_flow, reconstruct, Dag, FlowKind, FlowMetric,
 };
-use ppp_ir::FuncId;
 use ppp_vm::{run, RunOptions};
 use ppp_workloads::{generate, BenchmarkSpec};
 
-fn flow_algorithms(c: &mut Criterion) {
+fn main() {
     let mut spec = BenchmarkSpec::named("bench-flow").scaled(0.1);
     spec.explosive_funcs = 1;
     let mut module = generate(&spec);
@@ -24,51 +23,50 @@ fn flow_algorithms(c: &mut Criterion) {
     let total_flow: u64 = dags.iter().map(Dag::total_branch_flow).sum();
     let cutoff = total_flow / 2000;
 
-    let mut g = c.benchmark_group("flow");
-    g.bench_function("dag-construction", |b| {
-        b.iter(|| {
-            module
-                .func_ids()
-                .map(|f| Dag::build(module.function(f), Some(edges.func(f))).edge_count())
-                .sum::<usize>()
-        })
+    bench("flow", "dag-construction", || {
+        module
+            .func_ids()
+            .map(|f| Dag::build(module.function(f), Some(edges.func(f))).edge_count())
+            .sum::<usize>()
     });
-    g.bench_function("definite-flow", |b| {
-        b.iter(|| dags.iter().map(|d| definite_flow(d).entry_map(d).total_paths()).sum::<u64>())
+    bench("flow", "definite-flow", || {
+        dags.iter()
+            .map(|d| definite_flow(d).entry_map(d).total_paths())
+            .sum::<u64>()
     });
-    g.bench_function("potential-flow", |b| {
-        b.iter(|| dags.iter().map(|d| potential_flow(d).entry_map(d).total_paths()).sum::<u64>())
+    bench("flow", "potential-flow", || {
+        dags.iter()
+            .map(|d| potential_flow(d).entry_map(d).total_paths())
+            .sum::<u64>()
     });
-    g.bench_function("reconstruct-definite", |b| {
+    {
         let analyses: Vec<_> = dags.iter().map(definite_flow).collect();
-        b.iter(|| {
+        bench("flow", "reconstruct-definite", || {
             dags.iter()
                 .zip(&analyses)
                 .map(|(d, a)| {
                     reconstruct(d, a, FlowKind::Definite, FlowMetric::Branch, 0, 10_000).len()
                 })
                 .sum::<usize>()
-        })
-    });
-    g.bench_function("reconstruct-potential", |b| {
+        });
+    }
+    {
         let analyses: Vec<_> = dags.iter().map(potential_flow).collect();
-        b.iter(|| {
+        bench("flow", "reconstruct-potential", || {
             dags.iter()
                 .zip(&analyses)
                 .map(|(d, a)| {
-                    reconstruct(d, a, FlowKind::Potential, FlowMetric::Branch, cutoff, 10_000)
-                        .len()
+                    reconstruct(
+                        d,
+                        a,
+                        FlowKind::Potential,
+                        FlowMetric::Branch,
+                        cutoff,
+                        10_000,
+                    )
+                    .len()
                 })
                 .sum::<usize>()
-        })
-    });
-    g.finish();
-    let _ = FuncId(0);
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = flow_algorithms
-}
-criterion_main!(benches);

@@ -1,14 +1,14 @@
-//! Criterion micro-benchmarks: instrumentation *analysis* cost per
-//! profiler (the compile-time side the paper discusses in §4.7) and the
-//! wall-clock execution overhead of instrumented code (the real-time
-//! counterpart of Figure 12's cost-model numbers).
+//! Micro-benchmarks: instrumentation *analysis* cost per profiler (the
+//! compile-time side the paper discusses in §4.7) and the wall-clock
+//! execution overhead of instrumented code (the real-time counterpart of
+//! Figure 12's cost-model numbers).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppp_bench::harness::bench;
 use ppp_core::{instrument_module, normalize_module, ProfilerConfig};
 use ppp_vm::{run, RunOptions};
 use ppp_workloads::{generate, BenchmarkSpec};
 
-fn profiler_analysis(c: &mut Criterion) {
+fn profiler_analysis() {
     let mut spec = BenchmarkSpec::named("bench-analysis").scaled(0.2);
     spec.explosive_funcs = 1;
     let mut module = generate(&spec);
@@ -16,29 +16,26 @@ fn profiler_analysis(c: &mut Criterion) {
     let traced = run(&module, "main", &RunOptions::default().traced()).unwrap();
     let edges = traced.edge_profile.unwrap();
 
-    let mut g = c.benchmark_group("instrumentation-analysis");
     for (label, config) in [
         ("pp", ProfilerConfig::pp()),
         ("tpp", ProfilerConfig::tpp()),
         ("ppp", ProfilerConfig::ppp()),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
-            b.iter(|| instrument_module(&module, Some(&edges), cfg));
+        bench("instrumentation-analysis", label, || {
+            instrument_module(&module, Some(&edges), &config)
         });
     }
-    g.finish();
 }
 
-fn instrumented_execution(c: &mut Criterion) {
+fn instrumented_execution() {
     let spec = BenchmarkSpec::named("bench-exec").scaled(0.1);
     let mut module = generate(&spec);
     normalize_module(&mut module);
     let traced = run(&module, "main", &RunOptions::default().traced()).unwrap();
     let edges = traced.edge_profile.unwrap();
 
-    let mut g = c.benchmark_group("instrumented-execution");
-    g.bench_function("baseline", |b| {
-        b.iter(|| run(&module, "main", &RunOptions::default()).unwrap())
+    bench("instrumented-execution", "baseline", || {
+        run(&module, "main", &RunOptions::default()).unwrap()
     });
     for (label, config) in [
         ("pp", ProfilerConfig::pp()),
@@ -46,16 +43,13 @@ fn instrumented_execution(c: &mut Criterion) {
         ("ppp", ProfilerConfig::ppp()),
     ] {
         let plan = instrument_module(&module, Some(&edges), &config);
-        g.bench_function(label, move |b| {
-            b.iter(|| run(&plan.module, "main", &RunOptions::default()).unwrap())
+        bench("instrumented-execution", label, || {
+            run(&plan.module, "main", &RunOptions::default()).unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = profiler_analysis, instrumented_execution
+fn main() {
+    profiler_analysis();
+    instrumented_execution();
 }
-criterion_main!(benches);

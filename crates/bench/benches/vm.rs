@@ -1,55 +1,49 @@
-//! Criterion micro-benchmarks for the execution substrate: raw
-//! interpretation speed, tracing cost, and counter-table operations.
+//! Micro-benchmarks for the execution substrate: raw interpretation
+//! speed, tracing cost, and counter-table operations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ppp_bench::harness::bench;
 use ppp_core::normalize_module;
 use ppp_ir::TableKind;
 use ppp_vm::{run, CounterTable, RunOptions};
 use ppp_workloads::{generate, BenchmarkSpec};
 
-fn interpreter(c: &mut Criterion) {
+fn interpreter() {
     let mut module = generate(&BenchmarkSpec::named("bench-vm").scaled(0.1));
     normalize_module(&mut module);
 
-    let mut g = c.benchmark_group("vm");
     let steps = run(&module, "main", &RunOptions::default()).unwrap().steps;
-    g.throughput(criterion::Throughput::Elements(steps));
-    g.bench_function("interpret", |b| {
-        b.iter(|| run(&module, "main", &RunOptions::default()).unwrap())
+    println!("vm: {steps} interpreted steps per run");
+    bench("vm", "interpret", || {
+        run(&module, "main", &RunOptions::default()).unwrap()
     });
-    g.bench_function("interpret-traced", |b| {
-        b.iter(|| run(&module, "main", &RunOptions::default().traced()).unwrap())
+    bench("vm", "interpret-traced", || {
+        run(&module, "main", &RunOptions::default().traced()).unwrap()
     });
-    g.finish();
 }
 
-fn counter_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("counters");
-    g.bench_function("array-bump", |b| {
+fn counter_tables() {
+    {
         let mut t = CounterTable::new(TableKind::Array { size: 4096 });
         let mut k = 0i64;
-        b.iter(|| {
+        bench("counters", "array-bump", || {
             k = (k + 257) % 4096;
             t.bump(k);
-        })
-    });
-    g.bench_function("hash-bump-701x3", |b| {
+        });
+    }
+    {
         let mut t = CounterTable::new(TableKind::Hash {
             slots: 701,
             max_probes: 3,
         });
         let mut k = 0i64;
-        b.iter(|| {
+        bench("counters", "hash-bump-701x3", || {
             k = (k + 257) % 600;
             t.bump(k);
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = interpreter, counter_tables
+fn main() {
+    interpreter();
+    counter_tables();
 }
-criterion_main!(benches);

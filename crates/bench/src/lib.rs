@@ -1,10 +1,14 @@
 //! # ppp-bench: benchmark harness for the PPP reproduction
 //!
-//! Criterion micro-benchmarks (`profilers`, `flow`, `vm`) measure the
-//! real wall-clock cost of instrumentation analysis, flow estimation, and
-//! instrumented execution. The `tables` bench target (harness = false)
-//! regenerates every table and figure of the paper in one `cargo bench`
-//! pass — see `EXPERIMENTS.md` for the recorded outputs.
+//! Micro-benchmarks (`profilers`, `flow`, `vm`) measure the real
+//! wall-clock cost of instrumentation analysis, flow estimation, and
+//! instrumented execution using the in-tree [`harness`] (no external
+//! benchmarking crates, so the workspace builds offline). The `tables`
+//! bench target (harness = false) regenerates every table and figure of
+//! the paper in one `cargo bench` pass — see `EXPERIMENTS.md` for the
+//! recorded outputs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod harness;

@@ -67,10 +67,19 @@ fn main() {
     for config in [ProfilerConfig::tpp(), ProfilerConfig::ppp()] {
         let plan = instrument_module(&m, Some(edges), &config);
         let fp = &plan.funcs[1];
-        println!("{}: n_paths={} cold_edges={} checked={}",
-            config.label(), fp.n_paths, fp.cold.iter().filter(|&&c| c).count(), fp.checked);
+        println!(
+            "{}: n_paths={} cold_edges={} checked={}",
+            config.label(),
+            fp.n_paths,
+            fp.cold.iter().filter(|&&c| c).count(),
+            fp.checked
+        );
         let r = run(&plan.module, "main", &RunOptions::default()).unwrap();
-        println!("  halt={:?} checksum ok={}", r.halt, r.checksum == truth.checksum);
+        println!(
+            "  halt={:?} checksum ok={}",
+            r.halt,
+            r.checksum == truth.checksum
+        );
     }
     println!("done");
 }

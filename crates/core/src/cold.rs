@@ -67,7 +67,7 @@ pub fn union_cold(a: &[bool], b: &[bool]) -> Vec<bool> {
 mod tests {
     use super::*;
     use crate::dag::Dag;
-    use ppp_ir::{BlockId, EdgeRef, Function, FunctionBuilder, FuncEdgeProfile, Reg};
+    use ppp_ir::{BlockId, EdgeRef, FuncEdgeProfile, Function, FunctionBuilder, Reg};
 
     /// entry(0) -> A(1); A -> B(2) | C(3); B,C -> D(4) ret.
     fn diamond() -> Function {

@@ -39,8 +39,8 @@ impl Coverage {
         if self.total == 0 {
             return 1.0;
         }
-        let covered = (self.measured_actual + self.definite_uninstrumented)
-            .saturating_sub(self.overcount);
+        let covered =
+            (self.measured_actual + self.definite_uninstrumented).saturating_sub(self.overcount);
         (covered as f64 / self.total as f64).clamp(0.0, 1.0)
     }
 }
@@ -241,7 +241,11 @@ mod tests {
         let truth = r.path_profile.unwrap();
         let edges = r.edge_profile.unwrap();
         let edge_cov = edge_profile_coverage(&m, &edges, &truth, FlowMetric::Branch).ratio();
-        for config in [ProfilerConfig::pp(), ProfilerConfig::tpp(), ProfilerConfig::ppp()] {
+        for config in [
+            ProfilerConfig::pp(),
+            ProfilerConfig::tpp(),
+            ProfilerConfig::ppp(),
+        ] {
             let plan = instrument_module(&m, Some(&edges), &config);
             let ir = run(&plan.module, "main", &RunOptions::default()).unwrap();
             let cov = profiler_coverage(

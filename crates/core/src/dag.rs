@@ -125,9 +125,9 @@ impl Dag {
         let mut inn: Vec<Vec<DagEdgeId>> = vec![Vec::new(); n];
 
         let push = |edges: &mut Vec<DagEdge>,
-                        out: &mut Vec<Vec<DagEdgeId>>,
-                        inn: &mut Vec<Vec<DagEdgeId>>,
-                        e: DagEdge| {
+                    out: &mut Vec<Vec<DagEdgeId>>,
+                    inn: &mut Vec<Vec<DagEdgeId>>,
+                    e: DagEdge| {
             let id = DagEdgeId(edges.len() as u32);
             out[e.from.index()].push(id);
             inn[e.to.index()].push(id);
@@ -198,8 +198,7 @@ impl Dag {
         node_freq[f.entry.index()] = entries;
         for &b in &topo {
             if b != f.entry {
-                node_freq[b.index()] =
-                    inn[b.index()].iter().map(|&i| edges[i.index()].freq).sum();
+                node_freq[b.index()] = inn[b.index()].iter().map(|&i| edges[i.index()].freq).sum();
             }
         }
 
@@ -343,8 +342,7 @@ impl Dag {
         for i in 0..self.node_freq.len() {
             let b = BlockId::new(i);
             if b != self.entry {
-                self.node_freq[i] = self
-                    .inn[i]
+                self.node_freq[i] = self.inn[i]
                     .iter()
                     .map(|&e| self.edges[e.index()].freq)
                     .sum();
@@ -353,12 +351,7 @@ impl Dag {
     }
 }
 
-fn topo_order(
-    entry: BlockId,
-    n: usize,
-    edges: &[DagEdge],
-    out: &[Vec<DagEdgeId>],
-) -> Vec<BlockId> {
+fn topo_order(entry: BlockId, n: usize, edges: &[DagEdge], out: &[Vec<DagEdgeId>]) -> Vec<BlockId> {
     // Iterative DFS postorder, reversed.
     let mut visited = vec![false; n];
     let mut order = Vec::new();
@@ -528,8 +521,7 @@ mod tests {
             dag.edges()
                 .iter()
                 .find(|e| {
-                    e.from == BlockId(from)
-                        && matches!(e.kind, DagEdgeKind::Real(_)) == kind_real
+                    e.from == BlockId(from) && matches!(e.kind, DagEdgeKind::Real(_)) == kind_real
                 })
                 .unwrap()
                 .weight

@@ -108,12 +108,7 @@ impl EdgeInstrumentation {
                 } else {
                     cfg.preds(b)
                         .iter()
-                        .map(|&pe| {
-                            edges
-                                .iter()
-                                .position(|&x| x == pe)
-                                .map_or(0, |i| counts[i])
-                        })
+                        .map(|&pe| edges.iter().position(|&x| x == pe).map_or(0, |i| counts[i]))
                         .sum()
                 };
                 p.set_block(b, freq);

@@ -118,7 +118,14 @@ fn reconstruct_into(
         FlowKind::Definite => 0,
         FlowKind::Potential => opts.potential_cutoff,
     };
-    for p in reconstruct(dag, &analysis, kind, metric, cutoff, opts.max_paths_per_func) {
+    for p in reconstruct(
+        dag,
+        &analysis,
+        kind,
+        metric,
+        cutoff,
+        opts.max_paths_per_func,
+    ) {
         let key = dag.path_key(&p.edges);
         out.entry(key).or_insert(EstimatedPath {
             freq: p.freq,
@@ -166,8 +173,7 @@ pub fn profiler_estimate(
     };
     for fp in &plan.funcs {
         let fid = fp.func;
-        let dag = if fp.dag.entries() > 0 || plan.config.kind == crate::profiler::ProfilerKind::Pp
-        {
+        let dag = if fp.dag.entries() > 0 || plan.config.kind == crate::profiler::ProfilerKind::Pp {
             &fp.dag
         } else {
             continue; // never ran: nothing to estimate

@@ -285,4 +285,3 @@ mod tests {
         assert!(nonzero <= dag.edge_count() - (k - 2));
     }
 }
-

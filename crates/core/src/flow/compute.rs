@@ -175,8 +175,7 @@ mod tests {
         assert_eq!(entry.get(10, 2), 1);
         assert_eq!(entry.total_flow(FlowMetric::Branch), 80);
         // Coverage of the edge profile: 80 / 160 = 50% (§6.2).
-        let coverage = entry.total_flow(FlowMetric::Branch) as f64
-            / dag.total_branch_flow() as f64;
+        let coverage = entry.total_flow(FlowMetric::Branch) as f64 / dag.total_branch_flow() as f64;
         assert!((coverage - 0.5).abs() < 1e-12);
     }
 

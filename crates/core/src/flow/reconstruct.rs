@@ -147,9 +147,7 @@ impl Reconstructor<'_> {
                     // every f_t >= f.
                     let candidates: Vec<(u64, u64)> = tgt_map
                         .iter()
-                        .filter(|&(f_t, cc, _)| {
-                            cc == c && f_t.min(e.freq) == f
-                        })
+                        .filter(|&(f_t, cc, _)| cc == c && f_t.min(e.freq) == f)
                         .map(|(f_t, _, d)| (f_t, d))
                         .collect();
                     for (f_t, avail) in candidates {
@@ -244,8 +242,7 @@ mod tests {
         let (f, p) = figure8();
         let dag = Dag::build(&f, Some(&p));
         let pf = potential_flow(&dag);
-        let mut paths =
-            reconstruct(&dag, &pf, FlowKind::Potential, FlowMetric::Branch, 0, 100);
+        let mut paths = reconstruct(&dag, &pf, FlowKind::Potential, FlowMetric::Branch, 0, 100);
         assert_eq!(paths.len(), 4);
         paths.sort_by_key(|p| std::cmp::Reverse(p.freq));
         // ABDEG: min(50,60) = 50; ACDEG: 30; ABDFG & ACDFG: 20.

@@ -45,6 +45,31 @@ pub enum SkipReason {
     NoCountedPaths,
 }
 
+/// Whether a lowered op list was inserted at the start or the end of its
+/// block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlacePos {
+    /// Ops were prepended at the block start (sole-incoming-edge target).
+    Prepend,
+    /// Ops were appended at the block end (sole-outgoing-edge source, a
+    /// freshly split edge block, or the single-block count).
+    Append,
+}
+
+/// One physical instrumentation insertion: which block received a lowered
+/// op list and where. Recorded so `ppp-lint`'s plan-conformance analysis
+/// can re-derive the expected `Prof` layout of every block and compare it
+/// against the instrumented code.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Placement {
+    /// Block that received the ops (possibly created by edge splitting).
+    pub block: ppp_ir::BlockId,
+    /// Start-of-block or end-of-block insertion.
+    pub pos: PlacePos,
+    /// The lowered profiling ops, in block order.
+    pub ops: Vec<ppp_ir::ProfOp>,
+}
+
 /// Per-routine instrumentation outcome.
 #[derive(Clone, Debug)]
 pub struct FuncPlan {
@@ -72,6 +97,9 @@ pub struct FuncPlan {
     pub disconnected_loops: usize,
     /// Final per-DAG-edge op lists (for inspection and tests).
     pub edge_ops: Vec<Vec<PlanOp>>,
+    /// Where each lowered op list physically landed (empty when not
+    /// instrumented).
+    pub placements: Vec<Placement>,
     /// Whether counts use the checked (poison-testing) variants.
     pub checked: bool,
     /// Edge-profile coverage estimate used by LC (branch metric).
@@ -97,7 +125,11 @@ impl ModulePlan {
 
     /// Total static instrumentation instructions inserted.
     pub fn static_prof_insts(&self) -> usize {
-        self.module.functions.iter().map(Function::prof_inst_count).sum()
+        self.module
+            .functions
+            .iter()
+            .map(Function::prof_inst_count)
+            .sum()
     }
 }
 
@@ -184,6 +216,7 @@ fn plan_function(
         sac_iterations: 0,
         disconnected_loops: 0,
         edge_ops: vec![Vec::new(); ne],
+        placements: Vec::new(),
         checked: false,
         lc_coverage: 0.0,
         dag,
@@ -296,8 +329,7 @@ fn plan_function(
                     // threshold all at once), revert to the last useful
                     // mask and accept hashing instead.
                     loop {
-                        let n =
-                            number_paths(dag, &current, NumberingOrder::BallLarus).n_paths;
+                        let n = number_paths(dag, &current, NumberingOrder::BallLarus).n_paths;
                         if n <= p.hash_threshold || sac_iterations >= p.sac_max_iters {
                             break;
                         }
@@ -392,17 +424,30 @@ fn plan_function(
     });
 
     // Lower onto the cloned function.
-    apply_ops(out_module.function_mut(fid), &plan.dag, &ops, table, checked);
+    let mut placements = apply_ops(
+        out_module.function_mut(fid),
+        &plan.dag,
+        &ops,
+        table,
+        checked,
+    );
     if plan.dag.entry == plan.dag.exit {
         // Single-block routine: its one (empty) path has no edge to carry
         // a count, so count it in the block body.
         let entry = plan.dag.entry;
+        let count = ppp_ir::ProfOp::CountConst { table, index: 0 };
         out_module
             .function_mut(fid)
             .block_mut(entry)
             .insts
-            .push(Inst::Prof(ppp_ir::ProfOp::CountConst { table, index: 0 }));
+            .push(Inst::Prof(count));
+        placements.push(Placement {
+            block: entry,
+            pos: PlacePos::Append,
+            ops: vec![count],
+        });
     }
+    plan.placements = placements;
 
     plan.instrumented = true;
     plan.numbering = Some(numbering);
@@ -412,14 +457,15 @@ fn plan_function(
     plan
 }
 
-/// Physically places per-DAG-edge op lists onto the function's CFG.
+/// Physically places per-DAG-edge op lists onto the function's CFG and
+/// records where each lowered list landed.
 fn apply_ops(
     f: &mut Function,
     dag: &Dag,
     ops: &[Vec<PlanOp>],
     table: TableId,
     checked: bool,
-) {
+) -> Vec<Placement> {
     // Group by physical CFG edge: both dummies of a back edge land on the
     // back edge, exit-side ops first (they finish the old path before the
     // entry-side ops start the new one).
@@ -458,26 +504,34 @@ fn apply_ops(
 
     // Pre-instrumentation CFG facts guide placement.
     let cfg = Cfg::new(f);
+    let mut placements = Vec::new();
     for (edge, list) in physical {
-        let ir_ops: Vec<Inst> = lower(&list, table, checked)
-            .into_iter()
-            .map(Inst::Prof)
-            .collect();
+        let lowered = lower(&list, table, checked);
+        let ir_ops: Vec<Inst> = lowered.iter().copied().map(Inst::Prof).collect();
         let src_succs = f.block(edge.from).term.successor_count();
         let target = f.edge_target(edge);
-        if src_succs == 1 {
+        let (block, pos) = if src_succs == 1 {
             // Sole outgoing edge: append at the source block's end.
             f.block_mut(edge.from).insts.extend(ir_ops);
+            (edge.from, PlacePos::Append)
         } else if cfg.preds(target).len() == 1 {
             // Sole incoming edge: prepend at the target block's start.
             let insts = &mut f.block_mut(target).insts;
             insts.splice(0..0, ir_ops);
+            (target, PlacePos::Prepend)
         } else {
             // Critical edge: split it.
             let mid = ppp_ir::transform::split_edge(f, edge);
             f.block_mut(mid).insts.extend(ir_ops);
-        }
+            (mid, PlacePos::Append)
+        };
+        placements.push(Placement {
+            block,
+            pos,
+            ops: lowered,
+        });
     }
+    placements
 }
 
 /// Decodes runtime counters back into a measured path profile.
@@ -592,16 +646,21 @@ mod tests {
         let plan = instrument_module(&m, Some(&edges), &config);
         assert_eq!(verify_module(&plan.module), Ok(()), "instrumented IR valid");
         let r = run(&plan.module, "main", &RunOptions::default()).unwrap();
-        assert_eq!(r.checksum, checksum, "instrumentation must not change semantics");
+        assert_eq!(
+            r.checksum, checksum,
+            "instrumentation must not change semantics"
+        );
         assert!(r.cost >= base_cost);
         let measured = measured_paths(&plan, &m, &r.store);
         // Every measured hot path must exist in the ground truth, with a
         // plausible frequency (PPP may overcount via cold executions).
         let mut measured_flow = 0u64;
         for (fid, key, stats) in measured.iter() {
-            let actual = truth.func(fid).paths.get(key).unwrap_or_else(|| {
-                panic!("measured path {key:?} not in ground truth")
-            });
+            let actual = truth
+                .func(fid)
+                .paths
+                .get(key)
+                .unwrap_or_else(|| panic!("measured path {key:?} not in ground truth"));
             assert!(stats.branches == actual.branches);
             measured_flow += stats.freq.min(actual.freq) * u64::from(stats.branches);
         }
@@ -618,9 +677,12 @@ mod tests {
         let measured = measured_paths(&plan, &m, &r.store);
         // PP with array tables is exact: identical path profiles.
         for (fid, key, stats) in truth.iter() {
-            let got = measured.func(fid).paths.get(key).copied().unwrap_or_else(|| {
-                panic!("path {key:?} missing from PP measurement")
-            });
+            let got = measured
+                .func(fid)
+                .paths
+                .get(key)
+                .copied()
+                .unwrap_or_else(|| panic!("path {key:?} missing from PP measurement"));
             assert_eq!(got.freq, stats.freq, "PP must count {key:?} exactly");
         }
         assert_eq!(measured.total_unit_flow(), truth.total_unit_flow());

@@ -78,8 +78,7 @@ pub mod sampling;
 
 pub use accuracy::{accuracy, actual_hot_paths, hot_flow_fraction, HotPath};
 pub use coverage::{
-    edge_profile_coverage, instrumented_fraction, profiler_coverage, Coverage,
-    InstrumentedFraction,
+    edge_profile_coverage, instrumented_fraction, profiler_coverage, Coverage, InstrumentedFraction,
 };
 pub use dag::{Dag, DagEdge, DagEdgeId, DagEdgeKind};
 pub use edge_profile::{edge_instrument, EdgeInstrumentation};
@@ -90,9 +89,10 @@ pub use flow::{
     definite_flow, potential_flow, reconstruct, FlowAnalysis, FlowKind, FlowMap, FlowMetric,
     ReconstructedPath,
 };
-pub use net::{net_hot_flow_coverage, NetConfig, NetPredictor};
 pub use instrument::{
-    instrument_module, measured_paths, normalize_module, FuncPlan, ModulePlan, SkipReason,
+    instrument_module, measured_paths, normalize_module, FuncPlan, ModulePlan, PlacePos, Placement,
+    SkipReason,
 };
-pub use sampling::{sampled_module, SAMPLE_COUNTER_BASE};
+pub use net::{net_hot_flow_coverage, NetConfig, NetPredictor};
 pub use profiler::{Params, PppToggles, ProfilerConfig, ProfilerKind, Technique};
+pub use sampling::{sampled_module, SAMPLE_COUNTER_BASE};

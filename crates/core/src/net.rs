@@ -95,8 +95,7 @@ pub fn net_hot_flow_coverage(
     if hot.is_empty() {
         return 1.0;
     }
-    let selected: std::collections::HashSet<(FuncId, &PathKey)> =
-        predictor.traces().collect();
+    let selected: std::collections::HashSet<(FuncId, &PathKey)> = predictor.traces().collect();
     let denom: u64 = hot.iter().map(|h| h.flow).sum();
     let num: u64 = hot
         .iter()
@@ -198,10 +197,7 @@ mod tests {
             &f,
             PathKey {
                 start: BlockId(1),
-                edges: vec![
-                    EdgeRef::new(BlockId(1), 0),
-                    EdgeRef::new(BlockId(2), 0),
-                ],
+                edges: vec![EdgeRef::new(BlockId(1), 0), EdgeRef::new(BlockId(2), 0)],
             },
             500,
         );

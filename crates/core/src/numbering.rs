@@ -64,8 +64,7 @@ impl Numbering {
             return 0;
         }
         let edge = dag.edge(e);
-        self.paths_to[edge.from.index()]
-            .saturating_mul(self.paths_from[edge.to.index()])
+        self.paths_to[edge.from.index()].saturating_mul(self.paths_from[edge.to.index()])
     }
 }
 
@@ -74,7 +73,11 @@ impl Numbering {
 /// `cold[e]` excludes edge `e` (its `Val` stays `0` and no path through it
 /// is counted).
 pub fn number_paths(dag: &Dag, cold: &[bool], order: NumberingOrder) -> Numbering {
-    assert_eq!(cold.len(), dag.edge_count(), "cold mask must cover all edges");
+    assert_eq!(
+        cold.len(),
+        dag.edge_count(),
+        "cold mask must cover all edges"
+    );
     let n_blocks = dag
         .topo()
         .iter()

@@ -14,7 +14,7 @@
 
 use crate::dag::{Dag, DagEdgeId, DagEdgeKind};
 use crate::numbering::Numbering;
-use ppp_ir::{Function, FuncEdgeProfile, LoopForest};
+use ppp_ir::{FuncEdgeProfile, Function, LoopForest};
 
 /// Enumeration budget for obviousness checks; routines/loops with more
 /// counted paths than this are conservatively treated as not obvious.
@@ -147,9 +147,9 @@ fn loop_body_obvious(dag: &Dag, lp: &ppp_ir::NaturalLoop, cold: &[bool]) -> bool
             *usage.entry(e).or_insert(0) += 1;
         }
     }
-    paths.iter().all(|p| {
-        p.is_empty() || p.iter().any(|e| usage[e] == 1)
-    })
+    paths
+        .iter()
+        .all(|p| p.is_empty() || p.iter().any(|e| usage[e] == 1))
 }
 
 #[cfg(test)]

@@ -67,7 +67,7 @@ pub fn combine(ops: &[PlanOp], merge_set_count: bool) -> Vec<PlanOp> {
     // Does the machine register currently hold the symbolic value (because
     // we materialized a Set for a checked count)?
     let mut machine_synced = true; // trivially: r == r_in + 0
-    // Any register op since the last count (or since the start)?
+                                   // Any register op since the last count (or since the start)?
     let mut dirty = false;
     let mut saw_count = false;
 
@@ -276,14 +276,21 @@ mod tests {
     fn lower_maps_ops() {
         use ppp_ir::ProfOp;
         let t = TableId(0);
-        let ir = lower(&[Set(1), Add(2), Count, CountPlus(3), CountConst(4)], t, false);
+        let ir = lower(
+            &[Set(1), Add(2), Count, CountPlus(3), CountConst(4)],
+            t,
+            false,
+        );
         assert_eq!(
             ir,
             vec![
                 ProfOp::SetR { value: 1 },
                 ProfOp::AddR { value: 2 },
                 ProfOp::CountR { table: t },
-                ProfOp::CountRPlus { table: t, addend: 3 },
+                ProfOp::CountRPlus {
+                    table: t,
+                    addend: 3
+                },
                 ProfOp::CountConst { table: t, index: 4 },
             ]
         );
@@ -292,7 +299,10 @@ mod tests {
             checked,
             vec![
                 ProfOp::CountRChecked { table: t },
-                ProfOp::CountRPlusChecked { table: t, addend: 1 },
+                ProfOp::CountRPlusChecked {
+                    table: t,
+                    addend: 1
+                },
             ]
         );
     }

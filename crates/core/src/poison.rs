@@ -260,8 +260,7 @@ mod tests {
         let n = b.num.n_paths as i64;
         for path in all_paths(&b.dag) {
             let crosses_cold = path.iter().any(|e| b.cold[e.index()]);
-            let lists: Vec<&[PlanOp]> =
-                path.iter().map(|&e| b.ops[e.index()].as_slice()).collect();
+            let lists: Vec<&[PlanOp]> = path.iter().map(|&e| b.ops[e.index()].as_slice()).collect();
             let counted = simulate(&lists, 12345);
             assert!(counted.len() <= 1, "at most one count per path");
             for c in counted {
@@ -288,8 +287,7 @@ mod tests {
         assert!(b.outcome.checked);
         for path in all_paths(&b.dag) {
             let crosses_cold = path.iter().any(|e| b.cold[e.index()]);
-            let lists: Vec<&[PlanOp]> =
-                path.iter().map(|&e| b.ops[e.index()].as_slice()).collect();
+            let lists: Vec<&[PlanOp]> = path.iter().map(|&e| b.ops[e.index()].as_slice()).collect();
             let counted = simulate(&lists, 999);
             for c in counted {
                 if crosses_cold {
@@ -307,8 +305,7 @@ mod tests {
         let b = build(&f, cold_ac, PoisonMode::Free);
         for p in 0..b.num.n_paths {
             let path = decode_path(&b.dag, &b.num, &b.cold, p).expect("valid");
-            let lists: Vec<&[PlanOp]> =
-                path.iter().map(|&e| b.ops[e.index()].as_slice()).collect();
+            let lists: Vec<&[PlanOp]> = path.iter().map(|&e| b.ops[e.index()].as_slice()).collect();
             assert_eq!(simulate(&lists, i64::MIN / 2), vec![p as i64]);
         }
     }

@@ -329,10 +329,7 @@ mod tests {
         assert_eq!(ProfilerConfig::pp().label(), "PP");
         assert_eq!(ProfilerConfig::tpp().label(), "TPP");
         assert_eq!(ProfilerConfig::ppp().label(), "PPP");
-        assert_eq!(
-            ProfilerConfig::ppp_without(Technique::Fp).label(),
-            "PPP-FP"
-        );
+        assert_eq!(ProfilerConfig::ppp_without(Technique::Fp).label(), "PPP-FP");
         assert_eq!(
             ProfilerConfig::ppp_without(Technique::Sac).label(),
             "PPP-SAC"
@@ -344,11 +341,15 @@ mod tests {
     fn one_at_a_time_labels_and_exclusion() {
         assert_eq!(ProfilerConfig::ppp_baseline().label(), "TPPbase");
         assert_eq!(
-            ProfilerConfig::one_at_a_time(Technique::Lc).unwrap().label(),
+            ProfilerConfig::one_at_a_time(Technique::Lc)
+                .unwrap()
+                .label(),
             "TPPbase+LC"
         );
         assert_eq!(
-            ProfilerConfig::one_at_a_time(Technique::Spn).unwrap().label(),
+            ProfilerConfig::one_at_a_time(Technique::Spn)
+                .unwrap()
+                .label(),
             "TPPbase+SPN"
         );
         assert!(ProfilerConfig::one_at_a_time(Technique::Fp).is_none());

@@ -42,8 +42,7 @@ pub fn place_and_push(
     config: PushConfig,
 ) -> Vec<Vec<PlanOp>> {
     let ne = dag.edge_count();
-    let counted =
-        |e: DagEdgeId| numbering.on_counted_path(dag, e, cold);
+    let counted = |e: DagEdgeId| numbering.on_counted_path(dag, e, cold);
 
     // --- Base placement -------------------------------------------------
     let mut ops: Vec<Vec<PlanOp>> = vec![Vec::new(); ne];
@@ -199,11 +198,15 @@ mod tests {
     }
 
     /// Every counted path must execute exactly one count, at its number.
-    fn assert_paths_count_correctly(dag: &Dag, num: &Numbering, cold: &[bool], ops: &[Vec<PlanOp>]) {
+    fn assert_paths_count_correctly(
+        dag: &Dag,
+        num: &Numbering,
+        cold: &[bool],
+        ops: &[Vec<PlanOp>],
+    ) {
         for p in 0..num.n_paths {
             let path = decode_path(dag, num, cold, p).expect("valid path");
-            let lists: Vec<&[PlanOp]> =
-                path.iter().map(|&e| ops[e.index()].as_slice()).collect();
+            let lists: Vec<&[PlanOp]> = path.iter().map(|&e| ops[e.index()].as_slice()).collect();
             let counted = simulate(&lists, i64::MIN / 2);
             assert_eq!(
                 counted,

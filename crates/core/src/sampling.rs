@@ -57,7 +57,12 @@ pub fn sampled_module(plan: &ModulePlan, original: &Module, rate: i64) -> Module
 
 /// Lays out: dispatcher entry block, then the checking copy, then the
 /// instrumented copy.
-fn combine_versions(checking: &Function, instrumented: &Function, func_index: usize, rate: i64) -> Function {
+fn combine_versions(
+    checking: &Function,
+    instrumented: &Function,
+    func_index: usize,
+    rate: i64,
+) -> Function {
     let mut f = Function::new(checking.name.clone(), checking.param_count);
     f.reg_count = checking.reg_count.max(instrumented.reg_count);
     f.blocks.clear();
@@ -88,7 +93,10 @@ fn combine_versions(checking: &Function, instrumented: &Function, func_index: us
             lhs: cnt,
             rhs: one,
         },
-        Inst::Const { dst: zero, value: 0 },
+        Inst::Const {
+            dst: zero,
+            value: 0,
+        },
         Inst::Binary {
             dst: cond,
             op: BinOp::Le,
@@ -155,12 +163,7 @@ mod tests {
         let mut m = generate(&BenchmarkSpec::named("sampling-test").scaled(0.1));
         normalize_module(&mut m);
         let r = run(&m, "main", &RunOptions::default().traced()).unwrap();
-        (
-            m,
-            r.edge_profile.unwrap(),
-            r.checksum,
-            r.cost,
-        )
+        (m, r.edge_profile.unwrap(), r.checksum, r.cost)
     }
 
     #[test]
@@ -190,7 +193,10 @@ mod tests {
             // At low rates the dispatch check can cost more than it saves
             // (the framework's fixed price); by rate 10 sampling must win.
             if rate >= 10 {
-                assert!(r.cost < full.cost, "sampling must beat always-on at rate {rate}");
+                assert!(
+                    r.cost < full.cost,
+                    "sampling must beat always-on at rate {rate}"
+                );
             }
             assert!(r.cost >= baseline, "instrumentation cannot be free");
             assert!(

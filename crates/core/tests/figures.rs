@@ -106,8 +106,10 @@ fn figure3_cold_edge_removal_and_free_poisoning() {
         dag.real_edge(EdgeRef::new(BlockId(5), 0)).unwrap(),
         dag.real_edge(EdgeRef::new(BlockId(6), 1)).unwrap(),
     ];
-    let lists: Vec<&[ppp_core::plan::PlanOp]> =
-        cold_path.iter().map(|e| ops[e.index()].as_slice()).collect();
+    let lists: Vec<&[ppp_core::plan::PlanOp]> = cold_path
+        .iter()
+        .map(|e| ops[e.index()].as_slice())
+        .collect();
     for idx in simulate(&lists, 7777) {
         assert!(
             idx >= num.n_paths as i64,

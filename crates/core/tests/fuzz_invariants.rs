@@ -4,10 +4,10 @@
 //! semantics, produce valid IR, keep array tables lossless, and satisfy
 //! the per-path counting invariants on generated workloads.
 
+use ppp_core::dag::{Dag, DagEdgeId};
 use ppp_core::instrument::{instrument_module, measured_paths, normalize_module};
 use ppp_core::plan::{simulate, PlanOp};
 use ppp_core::{ProfilerConfig, ProfilerKind, Technique};
-use ppp_core::dag::{Dag, DagEdgeId};
 use ppp_ir::{verify_module, Module};
 use ppp_vm::{run, RunOptions};
 use ppp_workloads::{generate, BenchmarkSpec};
@@ -78,16 +78,41 @@ fn check_prepared(name: &str, m: &Module) {
     let spec_name = name;
     let m = m.clone();
     let truth = run(&m, "main", &RunOptions::default().traced()).unwrap();
-    assert_eq!(truth.halt, ppp_vm::HaltReason::Finished, "{spec_name}: baseline did not finish");
+    assert_eq!(
+        truth.halt,
+        ppp_vm::HaltReason::Finished,
+        "{spec_name}: baseline did not finish"
+    );
     let edges = truth.edge_profile.as_ref().unwrap();
     let truth_paths = truth.path_profile.as_ref().unwrap();
 
     for config in all_configs() {
         let plan = instrument_module(&m, Some(edges), &config);
         let label = config.label();
-        assert_eq!(verify_module(&plan.module), Ok(()), "{} {}: IR invalid", spec_name, label);
+        assert_eq!(
+            verify_module(&plan.module),
+            Ok(()),
+            "{} {}: IR invalid",
+            spec_name,
+            label
+        );
+        // ppp-lint: a fresh plan must lint clean — no soundness or
+        // conformance errors, no dataflow warnings (info is advisory).
+        let report = ppp_lint::lint_plan(&plan);
+        assert!(
+            report.is_clean(),
+            "{} {}: lint reported problems:\n{}",
+            spec_name,
+            label,
+            report
+        );
+
         let r = run(&plan.module, "main", &RunOptions::default()).unwrap();
-        assert_eq!(r.halt, ppp_vm::HaltReason::Finished, "{spec_name} {label}: instrumented run did not finish");
+        assert_eq!(
+            r.halt,
+            ppp_vm::HaltReason::Finished,
+            "{spec_name} {label}: instrumented run did not finish"
+        );
         assert_eq!(
             r.checksum, truth.checksum,
             "{} {}: instrumentation changed semantics",
@@ -117,7 +142,9 @@ fn check_prepared(name: &str, m: &Module) {
             if !fp.instrumented {
                 continue;
             }
-            let Some(paths) = all_paths(&fp.dag, 4000) else { continue };
+            let Some(paths) = all_paths(&fp.dag, 4000) else {
+                continue;
+            };
             let n = fp.n_paths as i64;
             let num = fp.numbering.as_ref().unwrap();
             for path in &paths {
@@ -125,8 +152,10 @@ fn check_prepared(name: &str, m: &Module) {
                     continue; // single-block routine: counted in block body
                 }
                 let crosses_cold = path.iter().any(|e| fp.cold[e.index()]);
-                let lists: Vec<&[PlanOp]> =
-                    path.iter().map(|&e| fp.edge_ops[e.index()].as_slice()).collect();
+                let lists: Vec<&[PlanOp]> = path
+                    .iter()
+                    .map(|&e| fp.edge_ops[e.index()].as_slice())
+                    .collect();
                 for r_in in [0i64, 987_654_321, -7, i64::MIN / 4 + 3] {
                     let counted = simulate(&lists, r_in);
                     if !crosses_cold {
@@ -137,7 +166,15 @@ fn check_prepared(name: &str, m: &Module) {
                             "{} {} func {:?}: hot path {:?} must count exactly its number {} (r_in={})",
                             spec_name, label, fp.func, path, p, r_in
                         );
-                        assert!((0..n).contains(&p), "{} {} func {:?}: hot number {} out of [0,{})", spec_name, label, fp.func, p, n);
+                        assert!(
+                            (0..n).contains(&p),
+                            "{} {} func {:?}: hot number {} out of [0,{})",
+                            spec_name,
+                            label,
+                            fp.func,
+                            p,
+                            n
+                        );
                     } else {
                         for &c in &counted {
                             if (0..n).contains(&c) {

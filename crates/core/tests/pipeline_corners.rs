@@ -3,8 +3,7 @@
 //! fallback and losses (§7.4), and obvious-routine skipping (§3.2).
 
 use ppp_core::{
-    instrument_module, measured_paths, normalize_module, ProfilerConfig, ProfilerKind,
-    SkipReason,
+    instrument_module, measured_paths, normalize_module, ProfilerConfig, ProfilerKind, SkipReason,
 };
 use ppp_ir::{BinOp, FuncId, FunctionBuilder, Module, Reg};
 use ppp_vm::{run, RunOptions};
@@ -109,7 +108,10 @@ fn unprunable_routines_hash_rather_than_vanish() {
     let work = m.function_by_name("work").unwrap();
 
     let tpp = instrument_module(&m, Some(&edges), &ProfilerConfig::tpp());
-    assert!(tpp.funcs[work.index()].uses_hash, "TPP cannot prune 50/50 bits");
+    assert!(
+        tpp.funcs[work.index()].uses_hash,
+        "TPP cannot prune 50/50 bits"
+    );
 
     let ppp = instrument_module(&m, Some(&edges), &ProfilerConfig::ppp());
     let pf = &ppp.funcs[work.index()];
@@ -174,7 +176,12 @@ fn high_coverage_routines_skipped_by_lc_only() {
     let r = fb.rand(thousand);
     let cut = fb.constant(970);
     let c = fb.binary(BinOp::Lt, r, cut);
-    let (a, b, j, k) = (fb.new_block(), fb.new_block(), fb.new_block(), fb.new_block());
+    let (a, b, j, k) = (
+        fb.new_block(),
+        fb.new_block(),
+        fb.new_block(),
+        fb.new_block(),
+    );
     fb.branch(c, a, b);
     fb.switch_to(a);
     fb.jump(j);
@@ -202,8 +209,7 @@ fn high_coverage_routines_skipped_by_lc_only() {
     let ppp = instrument_module(&m, Some(&edges), &ProfilerConfig::ppp());
     let fp = &ppp.funcs[fid.index()];
     assert!(
-        matches!(fp.skip_reason, Some(SkipReason::HighCoverage(_)))
-            || fp.lc_coverage < 0.75,
+        matches!(fp.skip_reason, Some(SkipReason::HighCoverage(_))) || fp.lc_coverage < 0.75,
         "a 97/3-biased routine should be LC-skipped (coverage {:.2})",
         fp.lc_coverage
     );
@@ -240,7 +246,11 @@ fn saturated_path_counts_do_not_panic() {
         let work = m.function_by_name("work").unwrap();
         let fp = &plan.funcs[work.index()];
         if fp.instrumented {
-            assert!(fp.uses_hash, "{}: saturated routine must hash", config.label());
+            assert!(
+                fp.uses_hash,
+                "{}: saturated routine must hash",
+                config.label()
+            );
         }
         let r = run(&plan.module, "main", &RunOptions::default()).unwrap();
         assert_eq!(r.checksum, traced.checksum, "{}", config.label());

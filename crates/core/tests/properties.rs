@@ -1,4 +1,4 @@
-//! Property-based invariants over randomly generated CFGs.
+//! Randomized invariants over generated CFGs.
 //!
 //! The generator produces arbitrary single-exit functions (random forward
 //! jumps/branches/switches plus occasional retreating edges, i.e. loops —
@@ -14,6 +14,10 @@
 //!    pushing, and never exceed the declared maximum index under
 //!    PPP-style pushing;
 //! 5. the checked-poisoning mode keeps cold executions negative.
+//!
+//! Deterministic seed-loop version of what used to be a property test:
+//! every case derives from a SplitMix64 stream seeded with the case
+//! index, so failures reproduce exactly.
 
 use ppp_core::dag::{Dag, DagEdgeId};
 use ppp_core::events::{event_counting, TreeWeights};
@@ -22,7 +26,7 @@ use ppp_core::plan::{simulate, PlanOp};
 use ppp_core::poison::{apply_poisoning, PoisonMode};
 use ppp_core::push::{place_and_push, PushConfig};
 use ppp_ir::{Block, BlockId, Function, Reg, Terminator};
-use proptest::prelude::*;
+use ppp_vm::SplitMix64;
 
 /// Compact spec for one generated block's terminator.
 #[derive(Clone, Debug)]
@@ -34,13 +38,25 @@ enum TermSpec {
     Loop(u8, u8),
 }
 
-fn term_spec() -> impl Strategy<Value = TermSpec> {
-    prop_oneof![
-        4 => any::<u8>().prop_map(TermSpec::Jump),
-        4 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| TermSpec::Branch(a, b)),
-        1 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| TermSpec::Switch(a, b, c)),
-        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| TermSpec::Loop(a, b)),
-    ]
+fn byte(rng: &mut SplitMix64) -> u8 {
+    rng.next_u64() as u8
+}
+
+/// Draws one terminator spec with the same 4:4:1:2 weighting the old
+/// property-test strategy used.
+fn term_spec(rng: &mut SplitMix64) -> TermSpec {
+    match rng.below(11) {
+        0..=3 => TermSpec::Jump(byte(rng)),
+        4..=7 => TermSpec::Branch(byte(rng), byte(rng)),
+        8 => TermSpec::Switch(byte(rng), byte(rng), byte(rng)),
+        _ => TermSpec::Loop(byte(rng), byte(rng)),
+    }
+}
+
+/// Draws `lo..hi` terminator specs.
+fn term_specs(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<TermSpec> {
+    let n = lo + rng.below((hi - lo) as i64) as usize;
+    (0..n).map(|_| term_spec(rng)).collect()
 }
 
 /// Builds a structurally valid single-exit function from the spec: block
@@ -48,7 +64,6 @@ fn term_spec() -> impl Strategy<Value = TermSpec> {
 /// `1..=i` (never the entry), and the last block returns.
 fn build_function(specs: &[TermSpec]) -> Function {
     let n = specs.len() + 2; // entry + body blocks + exit
-    let exit = BlockId::new(n - 1);
     let mut f = Function::new("gen", 1);
     f.reg_count = 1;
     f.blocks.clear();
@@ -87,8 +102,8 @@ fn build_function(specs: &[TermSpec]) -> Function {
         };
         f.blocks.push(Block::new(term));
     }
-    f.blocks.push(Block::new(Terminator::Return { value: None }));
-    let _ = exit;
+    f.blocks
+        .push(Block::new(Terminator::Return { value: None }));
     f
 }
 
@@ -114,75 +129,104 @@ fn all_dag_paths(dag: &Dag, cap: usize) -> Vec<Vec<DagEdgeId>> {
 }
 
 const PATH_CAP: usize = 512;
+const CASES: u64 = 96;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn numbering_is_a_bijection(specs in prop::collection::vec(term_spec(), 1..9)) {
+#[test]
+fn numbering_is_a_bijection() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xA1_0000 + case);
+        let specs = term_specs(&mut rng, 1, 9);
         let f = build_function(&specs);
         let dag = Dag::build(&f, None);
         let cold = vec![false; dag.edge_count()];
         let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
-        prop_assume!(num.n_paths <= PATH_CAP as u64);
+        if num.n_paths > PATH_CAP as u64 {
+            continue;
+        }
         let mut seen = std::collections::HashSet::new();
         for p in 0..num.n_paths {
             let path = decode_path(&dag, &num, &cold, p).expect("decodable");
             let sum: i64 = path.iter().map(|&e| num.val[e.index()]).sum();
-            prop_assert_eq!(sum as u64, p);
-            prop_assert!(seen.insert(path));
+            assert_eq!(sum as u64, p, "case {case}");
+            assert!(seen.insert(path), "case {case}: duplicate path for {p}");
         }
     }
+}
 
-    #[test]
-    fn event_counting_preserves_numbers(
-        specs in prop::collection::vec(term_spec(), 1..9),
-        smart in any::<bool>(),
-        freq_seed in any::<u64>(),
-    ) {
+#[test]
+fn event_counting_preserves_numbers() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xA2_0000 + case);
+        let specs = term_specs(&mut rng, 1, 9);
+        let smart = rng.below(2) == 0;
+        let freq_seed = rng.next_u64();
         let f = build_function(&specs);
         let mut dag = Dag::build(&f, None);
         // Synthetic frequencies.
         let mut x = freq_seed | 1;
         for i in 0..dag.edge_count() {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             dag.set_edge_freq(DagEdgeId(i as u32), x % 1000);
         }
         let cold = vec![false; dag.edge_count()];
-        let order = if smart { NumberingOrder::SmartDecreasingFreq } else { NumberingOrder::BallLarus };
+        let order = if smart {
+            NumberingOrder::SmartDecreasingFreq
+        } else {
+            NumberingOrder::BallLarus
+        };
         let num = number_paths(&dag, &cold, order);
-        prop_assume!(num.n_paths <= PATH_CAP as u64);
-        let weights = if smart { TreeWeights::Measured } else { TreeWeights::Static };
+        if num.n_paths > PATH_CAP as u64 {
+            continue;
+        }
+        let weights = if smart {
+            TreeWeights::Measured
+        } else {
+            TreeWeights::Static
+        };
         let inc = event_counting(&dag, &cold, &num, weights);
         for p in 0..num.n_paths {
             let path = decode_path(&dag, &num, &cold, p).expect("decodable");
             let sum: i64 = path.iter().map(|&e| inc[e.index()]).sum();
-            prop_assert_eq!(sum as u64, p);
+            assert_eq!(sum as u64, p, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn full_pipeline_counts_every_path_once(
-        specs in prop::collection::vec(term_spec(), 1..8),
-        cold_seed in any::<u64>(),
-        ignore_cold in any::<bool>(),
-        r_in in any::<i64>(),
-    ) {
+#[test]
+fn full_pipeline_counts_every_path_once() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xA3_0000 + case);
+        let specs = term_specs(&mut rng, 1, 8);
+        let cold_seed = rng.next_u64();
+        let ignore_cold = rng.below(2) == 0;
+        let r_in = rng.next_u64() as i64;
         let f = build_function(&specs);
         let dag = Dag::build(&f, None);
         // Random cold mask (~20% of edges).
         let mut x = cold_seed | 1;
-        let cold: Vec<bool> = (0..dag.edge_count()).map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
-            x % 5 == 0
-        }).collect();
+        let cold: Vec<bool> = (0..dag.edge_count())
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+                x.is_multiple_of(5)
+            })
+            .collect();
         let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
-        prop_assume!(num.n_paths > 0 && num.n_paths <= PATH_CAP as u64);
+        if num.n_paths == 0 || num.n_paths > PATH_CAP as u64 {
+            continue;
+        }
         let inc = event_counting(&dag, &cold, &num, TreeWeights::Static);
-        let mut ops = place_and_push(&dag, &cold, &inc, &num, PushConfig {
-            ignore_cold,
-            merge_set_count: true,
-        });
+        let mut ops = place_and_push(
+            &dag,
+            &cold,
+            &inc,
+            &num,
+            PushConfig {
+                ignore_cold,
+                merge_set_count: true,
+            },
+        );
         let outcome = apply_poisoning(&dag, &cold, &mut ops, num.n_paths, PoisonMode::Free);
 
         // (3) every counted path counts exactly its own number.
@@ -190,7 +234,7 @@ proptest! {
             let path = decode_path(&dag, &num, &cold, p).expect("decodable");
             let lists: Vec<&[PlanOp]> = path.iter().map(|&e| ops[e.index()].as_slice()).collect();
             let counted = simulate(&lists, r_in);
-            prop_assert_eq!(counted, vec![p as i64], "path {} miscounted", p);
+            assert_eq!(counted, vec![p as i64], "case {case}: path {p} miscounted");
         }
 
         // (4) arbitrary executions (including cold ones) stay in bounds.
@@ -204,24 +248,32 @@ proptest! {
             let lists: Vec<&[PlanOp]> = path.iter().map(|&e| ops[e.index()].as_slice()).collect();
             let counted = simulate(&lists, r_in);
             if !crosses_cold {
-                prop_assert!(counted.len() <= 1, "multiple counts on a counted path");
+                assert!(
+                    counted.len() <= 1,
+                    "case {case}: multiple counts on a counted path"
+                );
             }
             let mut hot_counts = 0usize;
             for c in counted {
-                prop_assert!(c >= 0);
-                prop_assert!(c as u64 <= outcome.max_counter_index,
-                    "index {} exceeds table bound {}", c, outcome.max_counter_index);
+                assert!(c >= 0, "case {case}");
+                assert!(
+                    c as u64 <= outcome.max_counter_index,
+                    "case {case}: index {c} exceeds table bound {}",
+                    outcome.max_counter_index
+                );
                 if (c as u64) < num.n_paths {
                     hot_counts += 1;
                 }
                 if crosses_cold && !ignore_cold {
                     // TPP-style pushing never lets cold executions count
                     // hot numbers.
-                    prop_assert!(c as u64 >= num.n_paths,
-                        "cold execution counted hot index {}", c);
+                    assert!(
+                        c as u64 >= num.n_paths,
+                        "case {case}: cold execution counted hot index {c}"
+                    );
                 }
                 if !crosses_cold {
-                    prop_assert!((c as u64) < num.n_paths);
+                    assert!((c as u64) < num.n_paths, "case {case}");
                 }
             }
             // PPP's push-past-cold can let one cold execution be adopted
@@ -231,66 +283,96 @@ proptest! {
             // subtracts in aggregate. Only executions that never touch a
             // cold edge — real counted paths — are limited to one count.
             if !(ignore_cold && crosses_cold) {
-                prop_assert!(hot_counts <= 1, "multiple hot counts on one execution");
+                assert!(
+                    hot_counts <= 1,
+                    "case {case}: multiple hot counts on one execution"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn checked_poisoning_keeps_cold_negative(
-        specs in prop::collection::vec(term_spec(), 1..8),
-        cold_seed in any::<u64>(),
-    ) {
+#[test]
+fn checked_poisoning_keeps_cold_negative() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xA4_0000 + case);
+        let specs = term_specs(&mut rng, 1, 8);
+        let cold_seed = rng.next_u64();
         let f = build_function(&specs);
         let dag = Dag::build(&f, None);
         let mut x = cold_seed | 1;
-        let cold: Vec<bool> = (0..dag.edge_count()).map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
-            x % 4 == 0
-        }).collect();
+        let cold: Vec<bool> = (0..dag.edge_count())
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+                x.is_multiple_of(4)
+            })
+            .collect();
         let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
-        prop_assume!(num.n_paths > 0 && num.n_paths <= PATH_CAP as u64);
+        if num.n_paths == 0 || num.n_paths > PATH_CAP as u64 {
+            continue;
+        }
         let inc = event_counting(&dag, &cold, &num, TreeWeights::Static);
-        let mut ops = place_and_push(&dag, &cold, &inc, &num, PushConfig {
-            ignore_cold: false,
-            merge_set_count: false,
-        });
+        let mut ops = place_and_push(
+            &dag,
+            &cold,
+            &inc,
+            &num,
+            PushConfig {
+                ignore_cold: false,
+                merge_set_count: false,
+            },
+        );
         apply_poisoning(&dag, &cold, &mut ops, num.n_paths, PoisonMode::Checked);
         for path in all_dag_paths(&dag, PATH_CAP) {
             let crosses_cold = path.iter().any(|e| cold[e.index()]);
             let lists: Vec<&[PlanOp]> = path.iter().map(|&e| ops[e.index()].as_slice()).collect();
             for c in simulate(&lists, 0) {
                 if crosses_cold {
-                    prop_assert!(c < 0, "checked poison must stay negative, got {}", c);
+                    assert!(
+                        c < 0,
+                        "case {case}: checked poison must stay negative, got {c}"
+                    );
                 } else {
-                    prop_assert!((0..num.n_paths as i64).contains(&c));
+                    assert!((0..num.n_paths as i64).contains(&c), "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn pushing_never_increases_dynamic_cost(
-        specs in prop::collection::vec(term_spec(), 1..8),
-    ) {
+#[test]
+fn pushing_never_increases_dynamic_cost() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xA5_0000 + case);
+        let specs = term_specs(&mut rng, 1, 8);
         let f = build_function(&specs);
         let dag = Dag::build(&f, None);
         let cold = vec![false; dag.edge_count()];
         let num = number_paths(&dag, &cold, NumberingOrder::BallLarus);
-        prop_assume!(num.n_paths > 0 && num.n_paths <= PATH_CAP as u64);
+        if num.n_paths == 0 || num.n_paths > PATH_CAP as u64 {
+            continue;
+        }
         let inc = event_counting(&dag, &cold, &num, TreeWeights::Static);
-        let ops = place_and_push(&dag, &cold, &inc, &num, PushConfig {
-            ignore_cold: false,
-            merge_set_count: true,
-        });
+        let ops = place_and_push(
+            &dag,
+            &cold,
+            &inc,
+            &num,
+            PushConfig {
+                ignore_cold: false,
+                merge_set_count: true,
+            },
+        );
         // Baseline (no pushing): init + per-edge increments + final count
         // = at most 2 + #nonzero-inc-edges ops per path.
         for p in 0..num.n_paths {
             let path = decode_path(&dag, &num, &cold, p).expect("decodable");
             let pushed: usize = path.iter().map(|&e| ops[e.index()].len()).sum();
             let baseline = 2 + path.iter().filter(|&&e| inc[e.index()] != 0).count();
-            prop_assert!(pushed <= baseline,
-                "pushing made path {} cost {} > baseline {}", p, pushed, baseline);
+            assert!(
+                pushed <= baseline,
+                "case {case}: pushing made path {p} cost {pushed} > baseline {baseline}"
+            );
         }
     }
 }

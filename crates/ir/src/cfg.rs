@@ -72,6 +72,20 @@ impl Cfg {
         &self.rpo
     }
 
+    /// Postorder over blocks reachable from entry (the reverse of
+    /// [`Cfg::reverse_postorder`]) — the natural seeding order for
+    /// backward dataflow analyses.
+    pub fn postorder(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.rpo.iter().rev().copied()
+    }
+
+    /// Predecessor *blocks* of `b`, one entry per incoming edge (a block
+    /// with two edges into `b` appears twice). Convenience view of
+    /// [`Cfg::preds`] for dataflow analyses that join over blocks.
+    pub fn pred_blocks(&self, b: BlockId) -> impl Iterator<Item = BlockId> + '_ {
+        self.preds[b.index()].iter().map(|e| e.from)
+    }
+
     /// Position of `b` in reverse postorder, or `None` if unreachable.
     pub fn rpo_index(&self, b: BlockId) -> Option<u32> {
         self.rpo_index[b.index()]
@@ -212,6 +226,19 @@ mod tests {
         let f = b.finish();
         let cfg = Cfg::new(&f);
         assert!(cfg.is_retreating(l, l));
+    }
+
+    #[test]
+    fn postorder_reverses_rpo_and_pred_blocks_match_edges() {
+        let f = diamond_with_orphan();
+        let cfg = Cfg::new(&f);
+        let po: Vec<BlockId> = cfg.postorder().collect();
+        let mut rpo = cfg.reverse_postorder().to_vec();
+        rpo.reverse();
+        assert_eq!(po, rpo);
+        let preds: Vec<BlockId> = cfg.pred_blocks(BlockId(3)).collect();
+        assert_eq!(preds, vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.pred_blocks(BlockId(0)).count(), 0);
     }
 
     #[test]

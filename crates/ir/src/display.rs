@@ -28,7 +28,11 @@ pub fn print_module(m: &Module) -> String {
         let fname = &m.function(t.func).name;
         match t.kind {
             TableKind::Array { size } => {
-                let _ = writeln!(out, "table t{i} func=@{fname} array[{size}] hot={}", t.hot_paths);
+                let _ = writeln!(
+                    out,
+                    "table t{i} func=@{fname} array[{size}] hot={}",
+                    t.hot_paths
+                );
             }
             TableKind::Hash { slots, max_probes } => {
                 let _ = writeln!(
@@ -70,7 +74,11 @@ fn print_function_into(out: &mut String, f: &Function, module: Option<&Module>) 
         f.name, f.param_count, f.reg_count
     );
     for (id, b) in f.iter_blocks() {
-        let entry_mark = if id == f.entry && id.index() != 0 { "  ; entry" } else { "" };
+        let entry_mark = if id == f.entry && id.index() != 0 {
+            "  ; entry"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "{id}:{entry_mark}");
         for inst in &b.insts {
             let _ = writeln!(out, "  {}", InstDisplay { inst, module });
@@ -230,7 +238,10 @@ mod tests {
         let t = TableId(0);
         m.function_mut(FuncId(0)).blocks[0]
             .insts
-            .push(Inst::Prof(ProfOp::CountRPlus { table: t, addend: 3 }));
+            .push(Inst::Prof(ProfOp::CountRPlus {
+                table: t,
+                addend: 3,
+            }));
         let text = print_module(&m);
         assert!(text.contains("prof count t0[r + 3]"));
     }

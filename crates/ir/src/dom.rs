@@ -79,7 +79,10 @@ impl Dominators {
 }
 
 fn intersect(idom: &[Option<BlockId>], cfg: &Cfg, mut a: BlockId, mut b: BlockId) -> BlockId {
-    let rpo = |x: BlockId| cfg.rpo_index(x).expect("block in dominator walk is reachable");
+    let rpo = |x: BlockId| {
+        cfg.rpo_index(x)
+            .expect("block in dominator walk is reachable")
+    };
     while a != b {
         while rpo(a) > rpo(b) {
             a = idom[a.index()].expect("processed block has idom");

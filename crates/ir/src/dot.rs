@@ -67,12 +67,7 @@ pub fn module_to_dot(m: &Module, profile: Option<&crate::profile::ModuleEdgeProf
     m.functions
         .iter()
         .enumerate()
-        .map(|(i, f)| {
-            to_dot(
-                f,
-                profile.map(|p| p.func(crate::ids::FuncId::new(i))),
-            )
-        })
+        .map(|(i, f)| to_dot(f, profile.map(|p| p.func(crate::ids::FuncId::new(i)))))
         .collect::<Vec<_>>()
         .join("\n")
 }

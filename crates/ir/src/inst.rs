@@ -387,9 +387,7 @@ impl Inst {
     pub fn uses(&self, out: &mut Vec<Reg>) {
         match self {
             Inst::Const { .. } | Inst::Prof(_) => {}
-            Inst::Copy { src, .. } | Inst::Unary { src, .. } | Inst::Emit { src } => {
-                out.push(*src)
-            }
+            Inst::Copy { src, .. } | Inst::Unary { src, .. } | Inst::Emit { src } => out.push(*src),
             Inst::Binary { lhs, rhs, .. } => {
                 out.push(*lhs);
                 out.push(*rhs);
@@ -631,7 +629,14 @@ mod tests {
         assert!(ProfOp::SetR { value: 0 }.is_register_only());
         assert!(ProfOp::AddR { value: 3 }.is_register_only());
         assert!(ProfOp::CountR { table: t }.is_count());
-        assert_eq!(ProfOp::CountRPlus { table: t, addend: 2 }.table(), Some(t));
+        assert_eq!(
+            ProfOp::CountRPlus {
+                table: t,
+                addend: 2
+            }
+            .table(),
+            Some(t)
+        );
         assert_eq!(ProfOp::SetR { value: 4 }.table(), None);
     }
 
@@ -642,7 +647,11 @@ mod tests {
         assert_eq!(ProfOp::AddR { value: -2 }.to_string(), "prof r += -2");
         assert_eq!(ProfOp::CountR { table: t }.to_string(), "prof count t1[r]");
         assert_eq!(
-            ProfOp::CountRPlus { table: t, addend: 2 }.to_string(),
+            ProfOp::CountRPlus {
+                table: t,
+                addend: 2
+            }
+            .to_string(),
             "prof count t1[r + 2]"
         );
         assert_eq!(

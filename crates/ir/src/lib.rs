@@ -73,8 +73,7 @@ pub use module::{Module, TableDecl, TableKind};
 pub use parse::{parse_module, ParseError};
 pub use path::{FuncPathProfile, ModulePathProfile, PathKey, PathStats};
 pub use persist::{
-    read_edge_profile, read_path_profile, write_edge_profile, write_path_profile,
-    ProfileParseError,
+    read_edge_profile, read_path_profile, write_edge_profile, write_path_profile, ProfileParseError,
 };
 pub use profile::{FuncEdgeProfile, ModuleEdgeProfile};
 pub use verify::{verify_module, VerifyError};

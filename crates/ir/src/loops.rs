@@ -115,10 +115,7 @@ impl LoopForest {
                     }
                 }
             }
-            let body: Vec<BlockId> = (0..n)
-                .filter(|&i| in_body[i])
-                .map(BlockId::new)
-                .collect();
+            let body: Vec<BlockId> = (0..n).filter(|&i| in_body[i]).map(BlockId::new).collect();
             loops.push(NaturalLoop {
                 header,
                 back_edges: edges,

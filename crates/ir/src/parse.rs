@@ -121,7 +121,10 @@ impl Parser<'_> {
         c.expect_word("table")?;
         let t = c.table_id()?;
         if t.index() != self.module.tables.len() {
-            return Err(err(ln, format!("table ids must be declared in order; got {t}")));
+            return Err(err(
+                ln,
+                format!("table ids must be declared in order; got {t}"),
+            ));
         }
         c.expect_word("func")?;
         c.expect_char('=')?;
@@ -444,7 +447,11 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(line0: usize, text: &'a str) -> Self {
-        Self { line0, text, pos: 0 }
+        Self {
+            line0,
+            text,
+            pos: 0,
+        }
     }
 
     fn skip_ws(&mut self) {

@@ -94,7 +94,10 @@ impl FuncPathProfile {
     /// `f` if the path is new).
     pub fn record(&mut self, f: &Function, key: PathKey, freq: u64) {
         let branches = key.branch_count(f);
-        let e = self.paths.entry(key).or_insert(PathStats { freq: 0, branches });
+        let e = self
+            .paths
+            .entry(key)
+            .or_insert(PathStats { freq: 0, branches });
         e.freq += freq;
     }
 
@@ -151,12 +154,18 @@ impl ModulePathProfile {
 
     /// Program-wide branch flow.
     pub fn total_branch_flow(&self) -> u64 {
-        self.funcs.iter().map(FuncPathProfile::total_branch_flow).sum()
+        self.funcs
+            .iter()
+            .map(FuncPathProfile::total_branch_flow)
+            .sum()
     }
 
     /// Program-wide unit flow (total dynamic paths).
     pub fn total_unit_flow(&self) -> u64 {
-        self.funcs.iter().map(FuncPathProfile::total_unit_flow).sum()
+        self.funcs
+            .iter()
+            .map(FuncPathProfile::total_unit_flow)
+            .sum()
     }
 
     /// Total distinct paths across all functions.
@@ -166,11 +175,10 @@ impl ModulePathProfile {
 
     /// Iterates `(function, key, stats)` over all recorded paths.
     pub fn iter(&self) -> impl Iterator<Item = (FuncId, &PathKey, &PathStats)> {
-        self.funcs.iter().enumerate().flat_map(|(i, fp)| {
-            fp.paths
-                .iter()
-                .map(move |(k, s)| (FuncId::new(i), k, s))
-        })
+        self.funcs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, fp)| fp.paths.iter().map(move |(k, s)| (FuncId::new(i), k, s)))
     }
 }
 
@@ -226,10 +234,7 @@ mod tests {
                 EdgeRef::new(BlockId(3), 0), // back edge to b3 itself
             ],
         };
-        assert_eq!(
-            key.blocks(&f),
-            vec![BlockId(0), BlockId(1), BlockId(3)]
-        );
+        assert_eq!(key.blocks(&f), vec![BlockId(0), BlockId(1), BlockId(3)]);
         // A path ending at return includes the final block.
         let ret = PathKey {
             start: BlockId(3),

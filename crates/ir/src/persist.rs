@@ -141,10 +141,8 @@ pub fn read_edge_profile(
 pub fn write_path_profile(profile: &ModulePathProfile) -> String {
     let mut out = String::from("path-profile v1\n");
     // Deterministic order: function, then start block, then edge list.
-    let mut entries: Vec<(FuncId, &PathKey, u64)> = profile
-        .iter()
-        .map(|(f, k, s)| (f, k, s.freq))
-        .collect();
+    let mut entries: Vec<(FuncId, &PathKey, u64)> =
+        profile.iter().map(|(f, k, s)| (f, k, s.freq)).collect();
     entries.sort_by(|a, b| {
         a.0.cmp(&b.0)
             .then(a.1.start.cmp(&b.1.start))
@@ -224,11 +222,7 @@ pub fn read_path_profile(
     Ok(profile)
 }
 
-fn parse_block(
-    tok: Option<&str>,
-    ln: usize,
-    f: &Function,
-) -> Result<BlockId, ProfileParseError> {
+fn parse_block(tok: Option<&str>, ln: usize, f: &Function) -> Result<BlockId, ProfileParseError> {
     let err = |m: &str| ProfileParseError {
         line: ln + 1,
         message: m.to_owned(),

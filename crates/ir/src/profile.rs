@@ -156,7 +156,11 @@ impl ModuleEdgeProfile {
     /// Creates an all-zero profile shaped like `module`.
     pub fn zeroed(module: &crate::Module) -> Self {
         Self {
-            funcs: module.functions.iter().map(FuncEdgeProfile::zeroed).collect(),
+            funcs: module
+                .functions
+                .iter()
+                .map(FuncEdgeProfile::zeroed)
+                .collect(),
         }
     }
 
@@ -182,7 +186,10 @@ impl ModuleEdgeProfile {
 
     /// Program-wide branch flow (the denominator of branch-flow ratios).
     pub fn total_branch_flow(&self) -> u64 {
-        self.funcs.iter().map(FuncEdgeProfile::total_branch_flow).sum()
+        self.funcs
+            .iter()
+            .map(FuncEdgeProfile::total_branch_flow)
+            .sum()
     }
 
     /// Merges another module profile of the same shape.

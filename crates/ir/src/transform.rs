@@ -118,8 +118,8 @@ pub fn remove_unreachable(f: &mut Function) -> Vec<Option<BlockId>> {
         let succ_count = block.term.successor_count();
         for s in 0..succ_count {
             let tgt = block.term.successor(s).expect("in-range successor");
-            let new_tgt = mapping[tgt.index()]
-                .expect("successor of a reachable block is reachable");
+            let new_tgt =
+                mapping[tgt.index()].expect("successor of a reachable block is reachable");
             block.term.set_successor(s, new_tgt);
         }
         new_blocks.push(block);
@@ -153,14 +153,8 @@ mod tests {
         let exit = single_exit(&mut f);
         assert_eq!(f.return_blocks(), vec![exit]);
         // Both former returns now jump to the exit.
-        assert_eq!(
-            f.block(BlockId(1)).term,
-            Terminator::Jump { target: exit }
-        );
-        assert_eq!(
-            f.block(BlockId(2)).term,
-            Terminator::Jump { target: exit }
-        );
+        assert_eq!(f.block(BlockId(1)).term, Terminator::Jump { target: exit });
+        assert_eq!(f.block(BlockId(2)).term, Terminator::Jump { target: exit });
         // The void return feeds 0 into the unified register.
         assert!(matches!(
             f.block(BlockId(2)).insts.last(),
@@ -191,10 +185,7 @@ mod tests {
         let new_entry = ensure_virtual_entry(&mut f);
         assert_ne!(new_entry, entry);
         assert_eq!(f.entry, new_entry);
-        assert_eq!(
-            f.block(new_entry).term,
-            Terminator::Jump { target: entry }
-        );
+        assert_eq!(f.block(new_entry).term, Terminator::Jump { target: entry });
         // Idempotent.
         assert_eq!(ensure_virtual_entry(&mut f), new_entry);
     }
@@ -213,10 +204,7 @@ mod tests {
         let old_target = f.edge_target(edge);
         let mid = split_edge(&mut f, edge);
         assert_eq!(f.edge_target(edge), mid);
-        assert_eq!(
-            f.block(mid).term,
-            Terminator::Jump { target: old_target }
-        );
+        assert_eq!(f.block(mid).term, Terminator::Jump { target: old_target });
         assert!(f.block(mid).insts.is_empty());
     }
 
@@ -237,9 +225,7 @@ mod tests {
         assert_eq!(mapping[live.index()], Some(BlockId(1)));
         assert_eq!(
             f.block(BlockId(0)).term,
-            Terminator::Jump {
-                target: BlockId(1)
-            }
+            Terminator::Jump { target: BlockId(1) }
         );
         assert_eq!(f.entry, BlockId(0));
     }

@@ -265,9 +265,9 @@ mod tests {
     #[test]
     fn out_of_range_register_detected() {
         let mut m = ok_module();
-        m.function_mut(FuncId(0)).blocks[0].insts.push(Inst::Emit {
-            src: Reg(1000),
-        });
+        m.function_mut(FuncId(0)).blocks[0]
+            .insts
+            .push(Inst::Emit { src: Reg(1000) });
         let errs = verify_module(&m).unwrap_err();
         assert!(matches!(errs[0], VerifyError::BadRegister { .. }));
     }
@@ -290,21 +290,25 @@ mod tests {
             args: vec![Reg(0)], // expects 2
         });
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, VerifyError::BadCallee { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::BadCallee { .. })));
         assert!(errs.iter().any(|e| matches!(
             e,
-            VerifyError::CallArity { got: 1, want: 2, .. }
+            VerifyError::CallArity {
+                got: 1,
+                want: 2,
+                ..
+            }
         )));
     }
 
     #[test]
     fn dangling_table_detected() {
         let mut m = ok_module();
-        m.function_mut(FuncId(0)).blocks[0].insts.push(Inst::Prof(
-            ProfOp::CountR {
-                table: TableId(9),
-            },
-        ));
+        m.function_mut(FuncId(0)).blocks[0]
+            .insts
+            .push(Inst::Prof(ProfOp::CountR { table: TableId(9) }));
         let errs = verify_module(&m).unwrap_err();
         assert!(matches!(errs[0], VerifyError::BadTable { .. }));
     }

@@ -1,90 +1,140 @@
-//! Property-based printer ↔ parser round-trip over random modules.
+//! Printer ↔ parser round-trip over randomized modules.
+//!
+//! Deterministic seed-loop version of what used to be a property test:
+//! a small inline SplitMix64 drives the module generator, so the cases
+//! are reproducible from the loop index with no external dependencies.
 
 use ppp_ir::{
-    parse_module, print_module, verify_module, BinOp, Block, Function, FuncId, Inst, Module,
+    parse_module, print_module, verify_module, BinOp, Block, FuncId, Function, Inst, Module,
     ProfOp, Reg, TableDecl, TableId, TableKind, Terminator, UnOp,
 };
-use proptest::prelude::*;
 
 const REGS: u32 = 6;
+const CASES: u64 = 64;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0..REGS).prop_map(Reg)
+/// SplitMix64, inlined because `ppp-ir` depends on nothing.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn reg(&mut self) -> Reg {
+        Reg(self.below(u64::from(REGS)) as u32)
+    }
+
+    fn i64(&mut self) -> i64 {
+        self.next() as i64
+    }
+
+    /// A signed value that fits in 32 bits (mirrors the old `i32` draws).
+    fn small(&mut self) -> i64 {
+        self.next() as i32 as i64
+    }
 }
 
-fn arb_prof(tables: u32) -> impl Strategy<Value = ProfOp> {
-    let t = move || (0..tables).prop_map(TableId);
-    prop_oneof![
-        any::<i32>().prop_map(|v| ProfOp::SetR { value: v.into() }),
-        any::<i32>().prop_map(|v| ProfOp::AddR { value: v.into() }),
-        t().prop_map(|table| ProfOp::CountR { table }),
-        (t(), any::<i32>()).prop_map(|(table, a)| ProfOp::CountRPlus {
-            table,
-            addend: a.into()
-        }),
-        (t(), 0..1000i64).prop_map(|(table, index)| ProfOp::CountConst { table, index }),
-        t().prop_map(|table| ProfOp::CountRChecked { table }),
-        (t(), any::<i32>()).prop_map(|(table, a)| ProfOp::CountRPlusChecked {
-            table,
-            addend: a.into()
-        }),
-    ]
+fn random_prof(rng: &mut Rng, tables: u32) -> ProfOp {
+    let t = |rng: &mut Rng| TableId(rng.below(u64::from(tables.max(1))) as u32);
+    match rng.below(if tables == 0 { 2 } else { 7 }) {
+        0 => ProfOp::SetR { value: rng.small() },
+        1 => ProfOp::AddR { value: rng.small() },
+        2 => ProfOp::CountR { table: t(rng) },
+        3 => ProfOp::CountRPlus {
+            table: t(rng),
+            addend: rng.small(),
+        },
+        4 => ProfOp::CountConst {
+            table: t(rng),
+            index: rng.below(1000) as i64,
+        },
+        5 => ProfOp::CountRChecked { table: t(rng) },
+        _ => ProfOp::CountRPlusChecked {
+            table: t(rng),
+            addend: rng.small(),
+        },
+    }
 }
 
-fn arb_inst(funcs: u32, tables: u32) -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (arb_reg(), any::<i64>()).prop_map(|(dst, value)| Inst::Const { dst, value }),
-        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::Copy { dst, src }),
-        (arb_reg(), prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], arb_reg())
-            .prop_map(|(dst, op, src)| Inst::Unary { dst, op, src }),
-        (
-            arb_reg(),
-            prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Mul),
-                Just(BinOp::Xor),
-                Just(BinOp::Lt),
-                Just(BinOp::Shr),
-                Just(BinOp::Min),
-            ],
-            arb_reg(),
-            arb_reg()
-        )
-            .prop_map(|(dst, op, lhs, rhs)| Inst::Binary { dst, op, lhs, rhs }),
-        (arb_reg(), arb_reg()).prop_map(|(dst, addr)| Inst::Load { dst, addr }),
-        (arb_reg(), arb_reg()).prop_map(|(addr, src)| Inst::Store { addr, src }),
-        (arb_reg(), arb_reg()).prop_map(|(dst, bound)| Inst::Rand { dst, bound }),
-        arb_reg().prop_map(|src| Inst::Emit { src }),
-        (proptest::option::of(arb_reg()), 0..funcs).prop_map(move |(dst, callee)| Inst::Call {
-            dst,
-            callee: FuncId(callee),
+fn random_inst(rng: &mut Rng, funcs: u32, tables: u32) -> Inst {
+    match rng.below(10) {
+        0 => Inst::Const {
+            dst: rng.reg(),
+            value: rng.i64(),
+        },
+        1 => Inst::Copy {
+            dst: rng.reg(),
+            src: rng.reg(),
+        },
+        2 => Inst::Unary {
+            dst: rng.reg(),
+            op: if rng.below(2) == 0 {
+                UnOp::Neg
+            } else {
+                UnOp::Not
+            },
+            src: rng.reg(),
+        },
+        3 => {
+            let op = [
+                BinOp::Add,
+                BinOp::Mul,
+                BinOp::Xor,
+                BinOp::Lt,
+                BinOp::Shr,
+                BinOp::Min,
+            ][rng.below(6) as usize];
+            Inst::Binary {
+                dst: rng.reg(),
+                op,
+                lhs: rng.reg(),
+                rhs: rng.reg(),
+            }
+        }
+        4 => Inst::Load {
+            dst: rng.reg(),
+            addr: rng.reg(),
+        },
+        5 => Inst::Store {
+            addr: rng.reg(),
+            src: rng.reg(),
+        },
+        6 => Inst::Rand {
+            dst: rng.reg(),
+            bound: rng.reg(),
+        },
+        7 => Inst::Emit { src: rng.reg() },
+        8 => Inst::Call {
+            dst: (rng.below(2) == 0).then(|| rng.reg()),
+            callee: FuncId(rng.below(u64::from(funcs)) as u32),
             args: vec![], // all generated functions take zero params
-        }),
-        arb_prof(tables).prop_map(Inst::Prof),
-    ]
+        },
+        _ => Inst::Prof(random_prof(rng, tables)),
+    }
 }
 
-fn arb_function(funcs: u32, tables: u32) -> impl Strategy<Value = (Vec<Vec<Inst>>, Vec<u8>)> {
-    // (per-block instruction lists, per-block terminator selector)
-    let blocks = 1..5usize;
-    blocks.prop_flat_map(move |n| {
-        (
-            prop::collection::vec(prop::collection::vec(arb_inst(funcs, tables), 0..5), n..=n),
-            prop::collection::vec(any::<u8>(), n..=n),
-        )
-    })
-}
-
-fn build_function(name: String, blocks: Vec<Vec<Inst>>, terms: Vec<u8>) -> Function {
-    let n = blocks.len();
+fn random_function(rng: &mut Rng, name: String, funcs: u32, tables: u32) -> Function {
+    let n = 1 + rng.below(4) as usize;
     let mut f = Function::new(name, 0);
     f.reg_count = REGS;
     f.blocks.clear();
-    for (i, (insts, sel)) in blocks.into_iter().zip(terms).enumerate() {
+    for i in 0..n {
+        let insts: Vec<Inst> = (0..rng.below(5))
+            .map(|_| random_inst(rng, funcs, tables))
+            .collect();
+        let sel = rng.below(256) as u8;
         // Last block returns; others jump or branch forward (valid CFG).
         let term = if i + 1 == n {
             Terminator::Return {
-                value: (sel % 2 == 0).then_some(Reg(0)),
+                value: sel.is_multiple_of(2).then_some(Reg(0)),
             }
         } else {
             let fwd = |k: u8| ppp_ir::BlockId(((i + 1) + (k as usize) % (n - i - 1)) as u32);
@@ -107,85 +157,42 @@ fn build_function(name: String, blocks: Vec<Vec<Inst>>, terms: Vec<u8>) -> Funct
     f
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_module(rng: &mut Rng) -> Module {
+    let n_funcs = 1 + rng.below(3) as u32;
+    let n_tables = rng.below(3) as u32;
+    let mut m = Module::new();
+    for i in 0..n_funcs {
+        m.add_function(random_function(rng, format!("fn_{i}"), n_funcs, n_tables));
+    }
+    for t in 0..n_tables {
+        m.add_table(TableDecl {
+            func: FuncId(0),
+            kind: if t % 2 == 0 {
+                TableKind::Array { size: 16 }
+            } else {
+                TableKind::Hash {
+                    slots: 701,
+                    max_probes: 3,
+                }
+            },
+            hot_paths: 8,
+        });
+    }
+    m
+}
 
-    #[test]
-    fn print_parse_roundtrip(
-        specs in prop::collection::vec(arb_function(3, 2), 1..=3),
-        n_tables in 0u32..=2,
-    ) {
-        let n_funcs = specs.len() as u32;
-        let mut m = Module::new();
-        for (i, (blocks, terms)) in specs.into_iter().enumerate() {
-            // Call targets must exist: clamp callee ids into range by
-            // rewriting out-of-range calls to self-less targets.
-            let blocks: Vec<Vec<Inst>> = blocks
-                .into_iter()
-                .map(|insts| {
-                    insts
-                        .into_iter()
-                        .map(|inst| match inst {
-                            Inst::Call { dst, callee, args } => Inst::Call {
-                                dst,
-                                callee: FuncId(callee.0 % n_funcs),
-                                args,
-                            },
-                            Inst::Prof(op) if n_tables == 0 && op.table().is_some() => {
-                                // No tables declared: replace with a reg op.
-                                Inst::Prof(ProfOp::SetR { value: 0 })
-                            }
-                            Inst::Prof(op) => {
-                                let fixed = match op {
-                                    ProfOp::CountR { table } => ProfOp::CountR {
-                                        table: TableId(table.0 % n_tables.max(1)),
-                                    },
-                                    ProfOp::CountRPlus { table, addend } => ProfOp::CountRPlus {
-                                        table: TableId(table.0 % n_tables.max(1)),
-                                        addend,
-                                    },
-                                    ProfOp::CountConst { table, index } => ProfOp::CountConst {
-                                        table: TableId(table.0 % n_tables.max(1)),
-                                        index,
-                                    },
-                                    ProfOp::CountRChecked { table } => ProfOp::CountRChecked {
-                                        table: TableId(table.0 % n_tables.max(1)),
-                                    },
-                                    ProfOp::CountRPlusChecked { table, addend } => {
-                                        ProfOp::CountRPlusChecked {
-                                            table: TableId(table.0 % n_tables.max(1)),
-                                            addend,
-                                        }
-                                    }
-                                    other => other,
-                                };
-                                Inst::Prof(fixed)
-                            }
-                            other => other,
-                        })
-                        .collect()
-                })
-                .collect();
-            m.add_function(build_function(format!("fn_{i}"), blocks, terms));
-        }
-        for t in 0..n_tables {
-            m.add_table(TableDecl {
-                func: FuncId(0),
-                kind: if t % 2 == 0 {
-                    TableKind::Array { size: 16 }
-                } else {
-                    TableKind::Hash { slots: 701, max_probes: 3 }
-                },
-                hot_paths: 8,
-            });
-        }
-        prop_assert_eq!(verify_module(&m), Ok(()));
+#[test]
+fn print_parse_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng(0xB10C_0000 + case);
+        let m = random_module(&mut rng);
+        assert_eq!(verify_module(&m), Ok(()), "case {case} failed verification");
 
         let text = print_module(&m);
         let parsed = parse_module(&text)
-            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}\n{text}")))?;
-        prop_assert_eq!(&m, &parsed);
+            .unwrap_or_else(|e| panic!("case {case}: parse failed: {e}\n{text}"));
+        assert_eq!(m, parsed, "case {case}: reparse differs");
         // Idempotence: printing the parse gives identical text.
-        prop_assert_eq!(print_module(&parsed), text);
+        assert_eq!(print_module(&parsed), text, "case {case}: print not stable");
     }
 }

@@ -1,0 +1,299 @@
+//! A generic worklist dataflow engine over [`ppp_ir::Cfg`]s.
+//!
+//! Analyses implement [`Analysis`]: a direction, a join-semilattice of
+//! facts (via [`Analysis::join`], whose identity is [`Analysis::init`]),
+//! and a block transfer function. [`solve`] iterates a worklist seeded in
+//! reverse postorder (forward) or postorder (backward) until the facts
+//! reach a fixed point, which termination-wise only requires the lattice
+//! to have finite ascending chains — true for the bitset facts used here.
+//!
+//! Conventions: `input[b]` is the fact at the block's flow input (block
+//! start for forward analyses, block end for backward ones) and
+//! `output[b]` the fact after transferring through the block. Unreachable
+//! blocks keep the optimistic [`Analysis::init`] fact.
+
+use ppp_ir::{BlockId, Cfg};
+use std::collections::VecDeque;
+
+/// Flow direction of an analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow from entry toward returns.
+    Forward,
+    /// Facts flow from returns toward entry.
+    Backward,
+}
+
+/// A dataflow analysis: lattice plus transfer function.
+///
+/// Implementors usually hold a reference to the function they analyze so
+/// [`Analysis::transfer`] can walk block instructions.
+pub trait Analysis {
+    /// The lattice element attached to each program point.
+    type Fact: Clone + PartialEq;
+
+    /// Flow direction.
+    fn direction(&self) -> Direction;
+
+    /// The fact at the flow boundary: function entry for forward
+    /// analyses, every `return` block's end for backward ones.
+    fn boundary(&self) -> Self::Fact;
+
+    /// The optimistic initial fact — the identity of [`Analysis::join`].
+    fn init(&self) -> Self::Fact;
+
+    /// Merges `other` into `into`, returning `true` if `into` changed.
+    fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool;
+
+    /// Transfers `fact` through block `b` (in flow direction) and returns
+    /// the fact at the block's flow output.
+    fn transfer(&self, b: BlockId, fact: Self::Fact) -> Self::Fact;
+}
+
+/// Fixed-point facts per block.
+#[derive(Clone, Debug)]
+pub struct Solution<F> {
+    /// Fact at each block's flow input (start for forward, end for
+    /// backward).
+    pub input: Vec<F>,
+    /// Fact at each block's flow output.
+    pub output: Vec<F>,
+}
+
+/// Runs `analysis` to a fixed point over `cfg`.
+pub fn solve<A: Analysis>(cfg: &Cfg, analysis: &A) -> Solution<A::Fact> {
+    let n = cfg.block_count();
+    let mut input: Vec<A::Fact> = (0..n).map(|_| analysis.init()).collect();
+    let mut output: Vec<A::Fact> = (0..n).map(|_| analysis.init()).collect();
+
+    let forward = analysis.direction() == Direction::Forward;
+    let order: Vec<BlockId> = if forward {
+        cfg.reverse_postorder().to_vec()
+    } else {
+        cfg.postorder().collect()
+    };
+
+    let mut queued = vec![false; n];
+    let mut work: VecDeque<BlockId> = VecDeque::with_capacity(order.len());
+    for &b in &order {
+        queued[b.index()] = true;
+        work.push_back(b);
+    }
+
+    while let Some(b) = work.pop_front() {
+        queued[b.index()] = false;
+
+        // Join the flow predecessors' outputs into this block's input.
+        let boundary = if forward {
+            b == cfg.entry()
+        } else {
+            cfg.succs(b).is_empty()
+        };
+        let mut fact = if boundary {
+            analysis.boundary()
+        } else {
+            analysis.init()
+        };
+        if forward {
+            for p in cfg.pred_blocks(b) {
+                analysis.join(&mut fact, &output[p.index()]);
+            }
+        } else {
+            for &s in cfg.succs(b) {
+                analysis.join(&mut fact, &output[s.index()]);
+            }
+        }
+        input[b.index()] = fact.clone();
+
+        let new_out = analysis.transfer(b, fact);
+        if new_out != output[b.index()] {
+            output[b.index()] = new_out;
+            // Requeue flow successors.
+            let push = |work: &mut VecDeque<BlockId>, queued: &mut Vec<bool>, s: BlockId| {
+                if cfg.is_reachable(s) && !queued[s.index()] {
+                    queued[s.index()] = true;
+                    work.push_back(s);
+                }
+            };
+            if forward {
+                for &s in cfg.succs(b) {
+                    push(&mut work, &mut queued, s);
+                }
+            } else {
+                for p in cfg.pred_blocks(b) {
+                    push(&mut work, &mut queued, p);
+                }
+            }
+        }
+    }
+
+    Solution { input, output }
+}
+
+/// A dense bitset over `0..len` — the fact representation shared by the
+/// register analyses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `len` elements.
+    pub fn empty(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set `{0, .., len-1}`.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        // Clear the bits beyond `len` so equality stays canonical.
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = s.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        s
+    }
+
+    /// Inserts element `i`.
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes element `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &Self) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self &= other`; returns `true` if `self` changed.
+    pub fn intersect_with(&mut self, other: &Self) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_ir::{Function, FunctionBuilder, Reg};
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::empty(70);
+        assert!(!s.contains(69));
+        s.insert(69);
+        s.insert(0);
+        assert!(s.contains(69) && s.contains(0) && !s.contains(1));
+        s.remove(69);
+        assert!(!s.contains(69));
+
+        let full = BitSet::full(70);
+        assert!(full.contains(69));
+        let mut u = BitSet::empty(70);
+        assert!(u.union_with(&full));
+        assert_eq!(u, full);
+        assert!(!u.union_with(&full), "idempotent union reports no change");
+        let mut i = BitSet::full(70);
+        assert!(i.intersect_with(&BitSet::empty(70)));
+        assert_eq!(i, BitSet::empty(70));
+    }
+
+    #[test]
+    fn full_is_canonical_at_word_boundary() {
+        assert_eq!(BitSet::full(64), {
+            let mut s = BitSet::empty(64);
+            for i in 0..64 {
+                s.insert(i);
+            }
+            s
+        });
+    }
+
+    /// A forward "reaches" analysis: fact = set of blocks flowed through.
+    struct Reaches {
+        n: usize,
+    }
+
+    impl Analysis for Reaches {
+        type Fact = BitSet;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self) -> BitSet {
+            BitSet::empty(self.n)
+        }
+        fn init(&self) -> BitSet {
+            BitSet::empty(self.n)
+        }
+        fn join(&self, into: &mut BitSet, other: &BitSet) -> bool {
+            into.union_with(other)
+        }
+        fn transfer(&self, b: ppp_ir::BlockId, mut fact: BitSet) -> BitSet {
+            fact.insert(b.index());
+            fact
+        }
+    }
+
+    fn diamond_loop() -> Function {
+        // entry -> hdr; hdr -> (body | exit); body -> hdr (back edge)
+        let mut b = FunctionBuilder::new("f", 1);
+        let (hdr, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+        b.jump(hdr);
+        b.switch_to(hdr);
+        b.branch(Reg(0), body, exit);
+        b.switch_to(body);
+        b.jump(hdr);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn forward_fixed_point_on_a_loop() {
+        let f = diamond_loop();
+        let cfg = ppp_ir::Cfg::new(&f);
+        let a = Reaches { n: f.blocks.len() };
+        let sol = solve(&cfg, &a);
+        // The exit's input flows through entry, hdr, and (via the loop)
+        // body.
+        let at_exit = &sol.input[3];
+        assert!(at_exit.contains(0) && at_exit.contains(1) && at_exit.contains(2));
+        // Entry's input is the boundary fact.
+        assert!(!sol.input[0].contains(0));
+        assert!(sol.output[0].contains(0));
+    }
+}

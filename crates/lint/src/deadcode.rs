@@ -1,0 +1,204 @@
+//! Dead-code analysis (`PPP001`, `PPP003`).
+//!
+//! Unreachable blocks fall straight out of the CFG (`PPP001`). Dead
+//! register writes come from a backward liveness analysis: a *pure* write
+//! (constant, copy, unary, binary, or load — no store, emit, call, or
+//! random draw, whose effects or stream position must be preserved) whose
+//! destination is not live immediately after it can be deleted without
+//! changing the program (`PPP003`).
+
+use crate::dataflow::{solve, Analysis, BitSet, Direction};
+use crate::diag::{Code, Diagnostic};
+use ppp_ir::{BlockId, Cfg, FuncId, Function, Inst};
+
+struct Liveness<'a> {
+    f: &'a Function,
+}
+
+impl Analysis for Liveness<'_> {
+    type Fact = BitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> BitSet {
+        BitSet::empty(self.f.reg_count as usize)
+    }
+
+    fn init(&self) -> BitSet {
+        BitSet::empty(self.f.reg_count as usize)
+    }
+
+    fn join(&self, into: &mut BitSet, other: &BitSet) -> bool {
+        into.union_with(other)
+    }
+
+    fn transfer(&self, b: BlockId, mut live: BitSet) -> BitSet {
+        let block = self.f.block(b);
+        if let Some(r) = block.term.use_reg() {
+            live.insert(r.index());
+        }
+        let mut uses = Vec::new();
+        for inst in block.insts.iter().rev() {
+            if let Some(d) = inst.def() {
+                live.remove(d.index());
+            }
+            uses.clear();
+            inst.uses(&mut uses);
+            for &r in &uses {
+                live.insert(r.index());
+            }
+        }
+        live
+    }
+}
+
+/// `true` for instructions that only compute a register value (no side
+/// effect beyond the write, and no consumption of the random stream).
+fn is_pure_write(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Const { .. }
+            | Inst::Copy { .. }
+            | Inst::Unary { .. }
+            | Inst::Binary { .. }
+            | Inst::Load { .. }
+    )
+}
+
+/// Reports unreachable blocks (`PPP001`) and dead pure writes (`PPP003`).
+pub fn check_function(f: &Function, fid: FuncId, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for b in f.block_ids() {
+        if !cfg.is_reachable(b) {
+            out.push(Diagnostic {
+                code: Code::UnreachableBlock,
+                func: fid,
+                func_name: f.name.clone(),
+                block: Some(b),
+                message: "block is unreachable from the function entry".into(),
+            });
+        }
+    }
+
+    let analysis = Liveness { f };
+    let sol = solve(cfg, &analysis);
+    let mut uses = Vec::new();
+    for &b in cfg.reverse_postorder() {
+        let block = f.block(b);
+        // `input` of a backward analysis is the fact at the block end;
+        // replay the transfer to get per-instruction liveness.
+        let mut live = sol.input[b.index()].clone();
+        if let Some(r) = block.term.use_reg() {
+            live.insert(r.index());
+        }
+        for inst in block.insts.iter().rev() {
+            if let Some(d) = inst.def() {
+                if !live.contains(d.index()) && is_pure_write(inst) {
+                    out.push(Diagnostic {
+                        code: Code::DeadWrite,
+                        func: fid,
+                        func_name: f.name.clone(),
+                        block: Some(b),
+                        message: format!("write to {d} is never read"),
+                    });
+                }
+                live.remove(d.index());
+            }
+            uses.clear();
+            inst.uses(&mut uses);
+            for &r in &uses {
+                live.insert(r.index());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_ir::{FunctionBuilder, Terminator};
+
+    fn lint(f: &Function) -> Vec<Diagnostic> {
+        check_function(f, FuncId(0), &Cfg::new(f))
+    }
+
+    #[test]
+    fn live_chain_is_clean() {
+        let mut b = FunctionBuilder::new("ok", 1);
+        let p = b.param(0);
+        let c = b.constant(2);
+        let s = b.binary(ppp_ir::BinOp::Mul, p, c);
+        b.emit(s);
+        b.ret(None);
+        assert!(lint(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn unused_constant_is_ppp003() {
+        let mut b = FunctionBuilder::new("dead", 0);
+        let _unused = b.constant(42);
+        b.ret(None);
+        let ds = lint(&b.finish());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::DeadWrite);
+    }
+
+    #[test]
+    fn overwritten_before_read_is_ppp003() {
+        let mut f = Function::new("shadow", 0);
+        let r = f.new_reg();
+        f.blocks[0].insts = vec![
+            Inst::Const { dst: r, value: 1 }, // dead: overwritten below
+            Inst::Const { dst: r, value: 2 },
+            Inst::Emit { src: r },
+        ];
+        f.blocks[0].term = Terminator::Return { value: None };
+        let ds = lint(&f);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::DeadWrite);
+    }
+
+    #[test]
+    fn effectful_writes_are_not_dead() {
+        // rand advances the VM's input stream: never report it.
+        let mut b = FunctionBuilder::new("fx", 0);
+        let bound = b.constant(4);
+        let _ignored = b.rand(bound);
+        b.ret(None);
+        assert!(lint(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_value_is_live() {
+        let mut b = FunctionBuilder::new("loop", 1);
+        let p = b.param(0);
+        let acc = b.constant(0);
+        let (hdr, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+        b.jump(hdr);
+        b.switch_to(hdr);
+        b.branch(p, body, exit);
+        b.switch_to(body);
+        b.binary_to(acc, ppp_ir::BinOp::Add, acc, p);
+        b.jump(hdr);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        assert!(lint(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn orphan_block_is_ppp001() {
+        let mut b = FunctionBuilder::new("orphan", 1);
+        let dead = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let ds = lint(&f);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::UnreachableBlock);
+        assert_eq!(ds[0].block, Some(dead));
+    }
+}

@@ -1,0 +1,213 @@
+//! Use-before-initialization analysis (`PPP002`, `PPP004`).
+//!
+//! A forward must/may assigned-registers analysis: `must` is the set of
+//! registers written on *every* path to a point (join = intersection) and
+//! `may` the set written on *some* path (join = union). Parameters
+//! `r0..param_count` are assigned on entry. A use outside `may` is a
+//! definite read of a never-written register (`PPP002`, warning — the VM
+//! zero-initializes registers, so the program is still well-defined); a
+//! use inside `may` but outside `must` is only initialized on some paths
+//! (`PPP004`, info).
+
+use crate::dataflow::{solve, Analysis, BitSet, Direction};
+use crate::diag::{Code, Diagnostic};
+use ppp_ir::{BlockId, Cfg, FuncId, Function, Reg};
+
+/// The must/may assigned-register fact.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InitFact {
+    /// Registers assigned on every path.
+    pub must: BitSet,
+    /// Registers assigned on at least one path.
+    pub may: BitSet,
+}
+
+struct InitAnalysis<'a> {
+    f: &'a Function,
+}
+
+impl InitAnalysis<'_> {
+    fn regs(&self) -> usize {
+        self.f.reg_count as usize
+    }
+}
+
+impl Analysis for InitAnalysis<'_> {
+    type Fact = InitFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> InitFact {
+        let mut must = BitSet::empty(self.regs());
+        for p in 0..self.f.param_count as usize {
+            must.insert(p);
+        }
+        InitFact {
+            may: must.clone(),
+            must,
+        }
+    }
+
+    fn init(&self) -> InitFact {
+        // The join identity: `must` intersects (identity: full set), `may`
+        // unions (identity: empty set).
+        InitFact {
+            must: BitSet::full(self.regs()),
+            may: BitSet::empty(self.regs()),
+        }
+    }
+
+    fn join(&self, into: &mut InitFact, other: &InitFact) -> bool {
+        let a = into.must.intersect_with(&other.must);
+        let b = into.may.union_with(&other.may);
+        a || b
+    }
+
+    fn transfer(&self, b: BlockId, mut fact: InitFact) -> InitFact {
+        for inst in &self.f.block(b).insts {
+            if let Some(d) = inst.def() {
+                fact.must.insert(d.index());
+                fact.may.insert(d.index());
+            }
+        }
+        fact
+    }
+}
+
+/// Runs the analysis on `f` and reports `PPP002`/`PPP004` diagnostics.
+pub fn check_function(f: &Function, fid: FuncId, cfg: &Cfg) -> Vec<Diagnostic> {
+    let analysis = InitAnalysis { f };
+    let sol = solve(cfg, &analysis);
+
+    let mut out = Vec::new();
+    let mut uses: Vec<Reg> = Vec::new();
+    for &b in cfg.reverse_postorder() {
+        let mut fact = sol.input[b.index()].clone();
+        // Report each (register, code) once per block.
+        let mut seen = Vec::new();
+        let check_use =
+            |fact: &InitFact, r: Reg, out: &mut Vec<Diagnostic>, seen: &mut Vec<(Reg, Code)>| {
+                let code = if !fact.may.contains(r.index()) {
+                    Code::UseBeforeInit
+                } else if !fact.must.contains(r.index()) {
+                    Code::MaybeUninit
+                } else {
+                    return;
+                };
+                if seen.contains(&(r, code)) {
+                    return;
+                }
+                seen.push((r, code));
+                let what = if code == Code::UseBeforeInit {
+                    "never assigned before this use"
+                } else {
+                    "assigned on only some paths to this use"
+                };
+                out.push(Diagnostic {
+                    code,
+                    func: fid,
+                    func_name: f.name.clone(),
+                    block: Some(b),
+                    message: format!("register {r} is {what}"),
+                });
+            };
+        for inst in &f.block(b).insts {
+            uses.clear();
+            inst.uses(&mut uses);
+            for &r in &uses {
+                check_use(&fact, r, &mut out, &mut seen);
+            }
+            if let Some(d) = inst.def() {
+                fact.must.insert(d.index());
+                fact.may.insert(d.index());
+            }
+        }
+        if let Some(r) = f.block(b).term.use_reg() {
+            check_use(&fact, r, &mut out, &mut seen);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_ir::{Block, FunctionBuilder, Inst, Terminator};
+
+    fn lint(f: &Function) -> Vec<Diagnostic> {
+        check_function(f, FuncId(0), &Cfg::new(f))
+    }
+
+    #[test]
+    fn straight_line_defs_are_clean() {
+        let mut b = FunctionBuilder::new("ok", 1);
+        let p = b.param(0);
+        let c = b.constant(3);
+        let s = b.binary(ppp_ir::BinOp::Add, p, c);
+        b.emit(s);
+        b.ret(Some(s));
+        assert!(lint(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn never_assigned_use_is_ppp002() {
+        // Hand-build: read a register no instruction ever writes.
+        let mut f = Function::new("bad", 0);
+        let ghost = f.new_reg();
+        f.blocks[0] = Block {
+            insts: vec![Inst::Emit { src: ghost }],
+            term: Terminator::Return { value: None },
+        };
+        let ds = lint(&f);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::UseBeforeInit);
+    }
+
+    #[test]
+    fn one_armed_def_is_ppp004() {
+        let mut b = FunctionBuilder::new("maybe", 1);
+        let p = b.param(0);
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(p, t, e);
+        b.switch_to(t);
+        let v = b.constant(1); // defined only on the then-arm
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.emit(v);
+        b.ret(None);
+        let ds = lint(&b.finish());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::MaybeUninit);
+        assert_eq!(ds[0].block, Some(BlockId(3)));
+    }
+
+    #[test]
+    fn loop_carried_def_before_use_is_clean() {
+        // acc initialized before the loop, updated in the body, read after.
+        let mut b = FunctionBuilder::new("loop", 1);
+        let p = b.param(0);
+        let acc = b.constant(0);
+        let (hdr, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+        b.jump(hdr);
+        b.switch_to(hdr);
+        b.branch(p, body, exit);
+        b.switch_to(body);
+        b.binary_to(acc, ppp_ir::BinOp::Add, acc, p);
+        b.jump(hdr);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        assert!(lint(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn params_count_as_assigned() {
+        let mut b = FunctionBuilder::new("p", 2);
+        let x = b.param(1);
+        b.ret(Some(x));
+        assert!(lint(&b.finish()).is_empty());
+    }
+}

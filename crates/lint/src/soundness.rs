@@ -1,0 +1,196 @@
+//! Instrumentation-soundness checking (`PPP101`–`PPP105`).
+//!
+//! Abstract-interprets the path register over every counted acyclic DAG
+//! path of an instrumented routine (capped by
+//! [`LintOptions::max_paths_per_func`](crate::LintOptions)): the plan's
+//! per-edge op lists are concatenated along the path and executed
+//! symbolically via [`ppp_core::plan::simulate`]. Soundness requires, per
+//! counted path `p`:
+//!
+//! - exactly one counting op executes (`PPP103`);
+//! - it counts at index `p` — so increment sums form a bijection onto
+//!   `[0, num_paths)` and collisions are impossible (`PPP101`);
+//! - every counter access stays inside the routine's table (`PPP102`);
+//! - for *iteration* paths (those starting at an `ENTRY → header` dummy),
+//!   the counted index must not depend on the stale path-register value
+//!   left behind by the previous path (`PPP104`) — the VM only guarantees
+//!   `r = 0` at activation entry, not at back edges.
+//!
+//! Routines the plan leaves uninstrumented must contain no profiling
+//! instructions at all (`PPP105`).
+
+use crate::diag::{Code, Diagnostic};
+use crate::LintOptions;
+use ppp_core::dag::DagEdgeKind;
+use ppp_core::numbering::decode_path;
+use ppp_core::plan::simulate;
+use ppp_core::FuncPlan;
+use ppp_ir::{Inst, Module, ProfOp, TableKind};
+
+/// Arbitrary distinct stale path-register values used to probe whether an
+/// iteration path's count depends on its incoming register state.
+const STALE_PROBES: [i64; 2] = [0x5CA1E, -0x7EAF];
+
+/// Checks one routine's plan against the instrumentation semantics.
+pub fn check_function(module: &Module, fp: &FuncPlan, options: &LintOptions) -> Vec<Diagnostic> {
+    let f = module.function(fp.func);
+    let mut out = Vec::new();
+    let diag = |code: Code, message: String| Diagnostic {
+        code,
+        func: fp.func,
+        func_name: f.name.clone(),
+        block: None,
+        message,
+    };
+
+    if !fp.instrumented {
+        let profs = f.prof_inst_count();
+        if profs > 0 {
+            out.push(diag(
+                Code::StrayInstrumentation,
+                format!("routine is planned uninstrumented but contains {profs} profiling op(s)"),
+            ));
+        }
+        return out;
+    }
+
+    let table = fp.table.expect("instrumented plans have a table");
+    let array_size = match module.table(table).kind {
+        TableKind::Array { size } => Some(size),
+        TableKind::Hash { .. } => None,
+    };
+
+    // Static bound check on constant-index counts (other counting forms
+    // are covered by the per-path simulation below).
+    if let Some(size) = array_size {
+        for (b, block) in f.iter_blocks() {
+            for inst in &block.insts {
+                if let Inst::Prof(ProfOp::CountConst { table: t, index }) = *inst {
+                    if t == table && (index < 0 || index as u64 >= size) {
+                        out.push(Diagnostic {
+                            block: Some(b),
+                            ..diag(
+                                Code::CounterBounds,
+                                format!(
+                                    "constant count index {index} outside table of size {size}"
+                                ),
+                            )
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Single-block routine: one empty path, counted by a constant op in
+    // the body; there are no edges to simulate.
+    if fp.dag.entry == fp.dag.exit {
+        let counts: Vec<ProfOp> = f
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter_map(|i| match i {
+                Inst::Prof(op) if op.is_count() => Some(*op),
+                _ => None,
+            })
+            .collect();
+        if counts != [ProfOp::CountConst { table, index: 0 }] {
+            out.push(diag(
+                Code::CountMultiplicity,
+                format!(
+                    "single-block routine must count its one path exactly once at index 0, \
+                     found {counts:?}"
+                ),
+            ));
+        }
+        return out;
+    }
+
+    let numbering = fp
+        .numbering
+        .as_ref()
+        .expect("instrumented plans have a numbering");
+    let checked_paths = fp.n_paths.min(options.max_paths_per_func);
+    let mut budget = [options.max_diags_per_code; 4]; // 101, 102, 103, 104
+    for p in 0..checked_paths {
+        let Some(edges) = decode_path(&fp.dag, numbering, &fp.cold, p) else {
+            if budget[0] > 0 {
+                budget[0] -= 1;
+                out.push(diag(
+                    Code::PathNumbering,
+                    format!("path id {p} < N = {} does not decode to a path", fp.n_paths),
+                ));
+            }
+            continue;
+        };
+        let lists: Vec<&[ppp_core::plan::PlanOp]> = edges
+            .iter()
+            .map(|&e| fp.edge_ops[e.index()].as_slice())
+            .collect();
+        let iteration_path = edges
+            .first()
+            .is_some_and(|&e| matches!(fp.dag.edge(e).kind, DagEdgeKind::EntryDummy { .. }));
+
+        // Activation-entry paths run with the VM's guaranteed r = 0;
+        // iteration paths run with whatever the previous path left.
+        let r_ins: &[i64] = if iteration_path { &STALE_PROBES } else { &[0] };
+        let mut results = Vec::with_capacity(r_ins.len());
+        for &r_in in r_ins {
+            results.push(simulate(&lists, r_in));
+        }
+        if iteration_path && results.windows(2).any(|w| w[0] != w[1]) {
+            if budget[3] > 0 {
+                budget[3] -= 1;
+                out.push(diag(
+                    Code::RegisterLeak,
+                    format!(
+                        "iteration path {p} counts {:?} or {:?} depending on the stale \
+                         path register",
+                        results[0], results[1]
+                    ),
+                ));
+            }
+            continue;
+        }
+        let counted = &results[0];
+        if counted.len() != 1 {
+            if budget[2] > 0 {
+                budget[2] -= 1;
+                out.push(diag(
+                    Code::CountMultiplicity,
+                    format!(
+                        "path {p} executes {} counting ops, expected 1",
+                        counted.len()
+                    ),
+                ));
+            }
+            continue;
+        }
+        let idx = counted[0];
+        if idx != p as i64 && budget[0] > 0 {
+            budget[0] -= 1;
+            out.push(diag(
+                Code::PathNumbering,
+                format!("path {p} counts at index {idx} instead of its own id"),
+            ));
+        }
+        if let Some(size) = array_size {
+            if (idx < 0 || idx as u64 >= size) && budget[1] > 0 {
+                budget[1] -= 1;
+                out.push(diag(
+                    Code::CounterBounds,
+                    format!("path {p} counts at index {idx}, outside table of size {size}"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Checks every routine of a plan.
+pub fn check_plan(plan: &ppp_core::ModulePlan, options: &LintOptions) -> Vec<Diagnostic> {
+    plan.funcs
+        .iter()
+        .flat_map(|fp| check_function(&plan.module, fp, options))
+        .collect()
+}

@@ -8,7 +8,7 @@
 //! recursive callees are never inlined.
 
 use crate::callgraph::{CallGraph, CallSite};
-use ppp_ir::{BlockId, Block, Inst, Module, ModuleEdgeProfile, Reg, Terminator};
+use ppp_ir::{Block, BlockId, Inst, Module, ModuleEdgeProfile, Reg, Terminator};
 
 /// Inliner thresholds (§7.3 defaults).
 #[derive(Clone, Copy, Debug)]
@@ -144,7 +144,12 @@ fn inline_one(module: &mut Module, site: CallSite) {
     let call_block = site.block;
     let mut tail_insts = caller.block_mut(call_block).insts.split_off(site.inst);
     let call = tail_insts.remove(0);
-    let Inst::Call { dst, args, callee: callee_id } = call else {
+    let Inst::Call {
+        dst,
+        args,
+        callee: callee_id,
+    } = call
+    else {
         panic!("call site does not point at a call instruction");
     };
     debug_assert_eq!(callee_id, site.callee);
@@ -494,17 +499,30 @@ mod tests {
         let mut g = ppp_ir::Function::new("g", 0);
         g.reg_count = 2;
         g.blocks[0].insts = vec![
-            Inst::Const { dst: Reg(1), value: 1 },
-            Inst::Binary { dst: Reg(0), op: BinOp::Add, lhs: Reg(0), rhs: Reg(1) },
+            Inst::Const {
+                dst: Reg(1),
+                value: 1,
+            },
+            Inst::Binary {
+                dst: Reg(0),
+                op: BinOp::Add,
+                lhs: Reg(0),
+                rhs: Reg(1),
+            },
         ];
-        g.blocks[0].term = Terminator::Return { value: Some(Reg(0)) };
+        g.blocks[0].term = Terminator::Return {
+            value: Some(Reg(0)),
+        };
         m.add_function(g);
 
         let (profile, checksum) = traced_profile(&m);
         let report = inline_module(
             &mut m,
             &profile,
-            &InlineOptions { code_bloat: 2.0, max_callee_size: 200 },
+            &InlineOptions {
+                code_bloat: 2.0,
+                max_callee_size: 200,
+            },
         );
         assert_eq!(report.inlined_sites, 1);
         assert_eq!(verify_module(&m), Ok(()));

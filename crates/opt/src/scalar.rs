@@ -178,7 +178,10 @@ fn rewrite_uses(inst: &mut Inst, map: impl Fn(Reg) -> Reg) {
 /// Returns true if folded.
 fn fold_inst(inst: &mut Inst, known: impl Fn(Reg) -> Option<i64>) -> bool {
     let replacement = match inst {
-        Inst::Copy { dst, src } => known(*src).map(|v| Inst::Const { dst: *dst, value: v }),
+        Inst::Copy { dst, src } => known(*src).map(|v| Inst::Const {
+            dst: *dst,
+            value: v,
+        }),
         Inst::Unary { dst, op, src } => known(*src).map(|v| Inst::Const {
             dst: *dst,
             value: op.eval(v),
@@ -193,7 +196,12 @@ fn fold_inst(inst: &mut Inst, known: impl Fn(Reg) -> Option<i64>) -> bool {
                 dst: *dst,
                 src: *rhs,
             }),
-            (_, Some(0)) if matches!(*op, BinOp::Add | BinOp::Sub | BinOp::Xor | BinOp::Shl | BinOp::Shr) => {
+            (_, Some(0))
+                if matches!(
+                    *op,
+                    BinOp::Add | BinOp::Sub | BinOp::Xor | BinOp::Shl | BinOp::Shr
+                ) =>
+            {
                 Some(Inst::Copy {
                     dst: *dst,
                     src: *lhs,
@@ -344,7 +352,9 @@ fn eliminate_dead(f: &mut Function) -> ScalarReport {
             }
         }
         let mut it = keep.iter();
-        block.insts.retain(|_| *it.next().expect("keep mask aligned"));
+        block
+            .insts
+            .retain(|_| *it.next().expect("keep mask aligned"));
     }
     report
 }

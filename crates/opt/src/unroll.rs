@@ -395,12 +395,7 @@ fn unroll_generic(f: &mut Function, info: &LoopInfo, factor: u32) {
             .iter()
             .map(|e| prev_maps[j][&e.from])
             .collect();
-        redirect(
-            copy_latches,
-            info.header,
-            prev_maps[j + 1][&info.header],
-            f,
-        );
+        redirect(copy_latches, info.header, prev_maps[j + 1][&info.header], f);
     }
 }
 
@@ -558,7 +553,10 @@ mod tests {
         m.add_function(b.finish());
         let (profile, checksum) = traced(&m);
         let report = unroll_module(&mut m, &profile, &UnrollOptions::default());
-        assert_eq!(report.counted_unrolled, 0, "forged decrement must not qualify");
+        assert_eq!(
+            report.counted_unrolled, 0,
+            "forged decrement must not qualify"
+        );
         let r = run(&m, "main", &RunOptions::default()).unwrap();
         assert_eq!(r.halt, ppp_vm::HaltReason::Finished);
         assert_eq!(r.checksum, checksum);
@@ -584,7 +582,10 @@ mod tests {
         b.ret(None);
         m.add_function(b.finish());
         let (profile, checksum) = traced(&m);
-        let opts = UnrollOptions { min_trip: 0.0, ..UnrollOptions::default() };
+        let opts = UnrollOptions {
+            min_trip: 0.0,
+            ..UnrollOptions::default()
+        };
         let report = unroll_module(&mut m, &profile, &opts);
         assert_eq!(report.counted_unrolled, 0, "inverted loop must not qualify");
         let r = run(&m, "main", &RunOptions::default()).unwrap();

@@ -96,7 +96,11 @@ mod tests {
             scale: 0.02,
             ..PipelineOptions::default()
         };
-        for config in [ProfilerConfig::pp(), ProfilerConfig::tpp(), ProfilerConfig::ppp()] {
+        for config in [
+            ProfilerConfig::pp(),
+            ProfilerConfig::tpp(),
+            ProfilerConfig::ppp(),
+        ] {
             let out = inspect_benchmark(entry, &config, &opts);
             assert!(out.contains("main"));
             assert!(out.contains("Routine"));

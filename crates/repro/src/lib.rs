@@ -21,5 +21,8 @@ pub mod pipeline;
 pub mod reports;
 
 pub use inspect::inspect_benchmark;
-pub use pipeline::{run_benchmark, BenchmarkRun, PipelineOptions, ProfilerResult};
+pub use pipeline::{
+    lint_benchmark, pipeline_configs, prepare_benchmark, run_benchmark, BenchmarkRun,
+    PipelineOptions, PreparedBenchmark, ProfilerResult,
+};
 pub use reports::{all_reports, fig10, fig11, fig12, fig13, fig9, run_suite, table1, table2};

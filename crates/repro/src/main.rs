@@ -1,9 +1,10 @@
 //! CLI entry: regenerate the paper's tables and figures.
 
-use ppp_repro::{
-    all_reports, fig10, fig11, fig12, fig13, fig9, inspect_benchmark, run_suite, table1, table2,
-};
 use ppp_repro::PipelineOptions;
+use ppp_repro::{
+    all_reports, fig10, fig11, fig12, fig13, fig9, inspect_benchmark, lint_benchmark, run_suite,
+    table1, table2,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,6 +14,8 @@ fn main() {
     };
     let mut wanted: Vec<String> = Vec::new();
     let mut inspect: Option<String> = None;
+    let mut lint: Option<Option<String>> = None;
+    let mut format = "text".to_owned();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -23,6 +26,24 @@ fn main() {
                         .cloned()
                         .unwrap_or_else(|| usage("inspect needs a benchmark name")),
                 );
+            }
+            "lint" => {
+                // Optional trailing benchmark name; default is the suite.
+                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
+                if next.is_some() {
+                    i += 1;
+                }
+                lint = Some(next);
+            }
+            "--format" => {
+                i += 1;
+                format = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--format needs text or json"));
+                if format != "text" && format != "json" {
+                    usage(&format!("unknown format {format:?}"));
+                }
             }
             "--scale" => {
                 i += 1;
@@ -38,6 +59,9 @@ fn main() {
             report => wanted.push(report.to_owned()),
         }
         i += 1;
+    }
+    if let Some(only) = lint {
+        std::process::exit(run_lint(only.as_deref(), &format, &options));
     }
     if let Some(name) = inspect {
         let suite = ppp_workloads::spec2000_suite();
@@ -86,13 +110,60 @@ fn main() {
     }
 }
 
+/// Lints every pipeline-produced instrumentation plan; returns the exit
+/// code (0 = all clean).
+fn run_lint(only: Option<&str>, format: &str, options: &PipelineOptions) -> i32 {
+    let suite = ppp_workloads::spec2000_suite();
+    let entries: Vec<_> = match only {
+        Some(name) => vec![suite
+            .iter()
+            .find(|e| e.spec.name == name)
+            .unwrap_or_else(|| usage(&format!("unknown benchmark {name:?}")))],
+        None => suite.iter().collect(),
+    };
+    let mut dirty = false;
+    let mut json_benches = Vec::new();
+    for entry in entries {
+        let reports = lint_benchmark(entry, options);
+        let mut json_configs = Vec::new();
+        for (label, report) in &reports {
+            dirty |= !report.is_clean();
+            match format {
+                "json" => json_configs.push(format!(
+                    "{{\"config\":\"{label}\",\"report\":{}}}",
+                    report.to_json()
+                )),
+                _ => {
+                    if report.is_empty() {
+                        println!("{}/{label}: clean", entry.spec.name);
+                    } else {
+                        println!("{}/{label}:\n{report}", entry.spec.name);
+                    }
+                }
+            }
+        }
+        if format == "json" {
+            json_benches.push(format!(
+                "{{\"benchmark\":\"{}\",\"configs\":[{}]}}",
+                entry.spec.name,
+                json_configs.join(",")
+            ));
+        }
+    }
+    if format == "json" {
+        println!("[{}]", json_benches.join(","));
+    }
+    i32::from(dirty)
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
     eprintln!(
         "usage: ppp-repro [--scale X] [--quick] [--no-ablations] \
-         [table1|table2|fig9|fig10|fig11|fig12|fig13|all] | inspect <benchmark>"
+         [table1|table2|fig9|fig10|fig11|fig12|fig13|all] \
+         | inspect <benchmark> | lint [benchmark] [--format text|json]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -3,13 +3,15 @@
 //! run → evaluate.
 
 use ppp_core::{
-    accuracy, edge_profile_coverage, edge_profile_estimate, hot_flow_fraction,
+    accuracy, actual_hot_paths, edge_profile_coverage, edge_profile_estimate, hot_flow_fraction,
     instrument_module, instrumented_fraction, profiler_coverage, profiler_estimate,
-    actual_hot_paths, EstimateOptions, FlowKind, FlowMetric, InstrumentedFraction, ModulePlan,
-    ProfilerConfig, Technique,
+    EstimateOptions, FlowKind, FlowMetric, InstrumentedFraction, ModulePlan, ProfilerConfig,
+    Technique,
 };
 use ppp_ir::{Module, ModuleEdgeProfile, ModulePathProfile};
-use ppp_opt::{inline_module, unroll_module, InlineOptions, InlineReport, UnrollOptions, UnrollReport};
+use ppp_opt::{
+    inline_module, unroll_module, InlineOptions, InlineReport, UnrollOptions, UnrollReport,
+};
 use ppp_vm::{run, RunOptions, RunResult};
 use ppp_workloads::{generate, BenchClass, SuiteEntry};
 
@@ -142,15 +144,49 @@ impl BenchmarkRun {
 }
 
 fn traced(module: &Module, seed: u64) -> (RunResult, ModuleEdgeProfile, ModulePathProfile) {
-    let r = run(module, "main", &RunOptions::default().with_seed(seed).traced())
-        .expect("benchmark modules have a main");
+    let r = run(
+        module,
+        "main",
+        &RunOptions::default().with_seed(seed).traced(),
+    )
+    .expect("benchmark modules have a main");
     let edges = r.edge_profile.clone().expect("traced");
     let paths = r.path_profile.clone().expect("traced");
     (r, edges, paths)
 }
 
-/// Runs the full pipeline for one suite entry.
-pub fn run_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> BenchmarkRun {
+/// The profiling-ready artifact of the pipeline front half: the workload
+/// after scalar optimization, inlining, and unrolling, together with the
+/// evaluation profiles of the optimized code.
+#[derive(Clone, Debug)]
+pub struct PreparedBenchmark {
+    /// Benchmark name.
+    pub name: String,
+    /// INT or FP.
+    pub class: BenchClass,
+    /// The optimized module every profiler instruments.
+    pub module: Module,
+    /// Edge profile of the optimized code (instrumentation guidance).
+    pub edges: ModuleEdgeProfile,
+    /// Exact path profile of the optimized code (ground truth).
+    pub truth: ModulePathProfile,
+    /// Stats before inlining/unrolling.
+    pub orig: PhaseStats,
+    /// Stats after inlining/unrolling.
+    pub opt: PhaseStats,
+    /// Inliner report.
+    pub inline: InlineReport,
+    /// Unroller report.
+    pub unroll: UnrollReport,
+    /// Uninstrumented execution cost of the optimized code.
+    pub baseline_cost: u64,
+}
+
+/// Runs the pipeline front half for one suite entry: generate → optimize
+/// → profile → inline+unroll (re-profiling between stages, §7.3) →
+/// optimize → profile. The result is what every profiler configuration
+/// (and `repro lint`) consumes.
+pub fn prepare_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> PreparedBenchmark {
     let spec = entry.spec.clone().scaled(options.scale);
     let mut module0 = generate(&spec);
     // "We perform standard scalar optimizations" on the original code
@@ -176,22 +212,23 @@ pub fn run_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> Benchmark
     let opt = phase_stats(&r2, &truth);
     let baseline_cost = r2.cost;
 
-    // Edge-profiling estimator (accuracy from potential flow, §6.1;
-    // coverage = attribution of definite flow, §6.2).
-    let est_opts = estimate_options(&truth, options);
-    let edge_est = edge_profile_estimate(
-        &module,
-        &edges,
-        FlowKind::Potential,
-        options.metric,
-        &est_opts,
-    );
-    let edge = EdgeResult {
-        accuracy: accuracy(&truth, &edge_est, options.metric, options.hot_ratio),
-        coverage: edge_profile_coverage(&module, &edges, &truth, options.metric).ratio(),
-    };
+    PreparedBenchmark {
+        name: spec.name,
+        class: entry.class,
+        module,
+        edges,
+        truth,
+        orig,
+        opt,
+        inline,
+        unroll,
+        baseline_cost,
+    }
+}
 
-    // Profilers.
+/// The profiler configurations the pipeline evaluates: PP, TPP, PPP, plus
+/// the ablations when enabled.
+pub fn pipeline_configs(options: &PipelineOptions) -> Vec<ProfilerConfig> {
     let mut configs = vec![
         ProfilerConfig::pp(),
         ProfilerConfig::tpp(),
@@ -201,37 +238,80 @@ pub fn run_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> Benchmark
         configs.extend(Technique::ALL.map(ProfilerConfig::ppp_without));
         // One-at-a-time methodology (§8.3): baseline plus each technique.
         configs.push(ProfilerConfig::ppp_baseline());
-        configs.extend(Technique::ALL.iter().filter_map(|&t| ProfilerConfig::one_at_a_time(t)));
+        configs.extend(
+            Technique::ALL
+                .iter()
+                .filter_map(|&t| ProfilerConfig::one_at_a_time(t)),
+        );
     }
-    let profilers = configs
+    configs
+}
+
+/// Runs the full pipeline for one suite entry.
+pub fn run_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> BenchmarkRun {
+    let prep = prepare_benchmark(entry, options);
+
+    // Edge-profiling estimator (accuracy from potential flow, §6.1;
+    // coverage = attribution of definite flow, §6.2).
+    let est_opts = estimate_options(&prep.truth, options);
+    let edge_est = edge_profile_estimate(
+        &prep.module,
+        &prep.edges,
+        FlowKind::Potential,
+        options.metric,
+        &est_opts,
+    );
+    let edge = EdgeResult {
+        accuracy: accuracy(&prep.truth, &edge_est, options.metric, options.hot_ratio),
+        coverage: edge_profile_coverage(&prep.module, &prep.edges, &prep.truth, options.metric)
+            .ratio(),
+    };
+
+    let profilers = pipeline_configs(options)
         .iter()
-        .map(|c| run_profiler(&module, &edges, &truth, baseline_cost, c, options, &est_opts))
+        .map(|c| run_profiler(&prep, c, options, &est_opts))
         .collect();
 
     // Table 2 summary.
     let hot_paths = HotPathSummary {
-        distinct_paths: truth.distinct_paths(),
+        distinct_paths: prep.truth.distinct_paths(),
         hot_0125: (
-            actual_hot_paths(&truth, options.metric, 0.00125).len(),
-            hot_flow_fraction(&truth, options.metric, 0.00125),
+            actual_hot_paths(&prep.truth, options.metric, 0.00125).len(),
+            hot_flow_fraction(&prep.truth, options.metric, 0.00125),
         ),
         hot_1: (
-            actual_hot_paths(&truth, options.metric, 0.01).len(),
-            hot_flow_fraction(&truth, options.metric, 0.01),
+            actual_hot_paths(&prep.truth, options.metric, 0.01).len(),
+            hot_flow_fraction(&prep.truth, options.metric, 0.01),
         ),
     };
 
     BenchmarkRun {
-        name: spec.name.clone(),
-        class: entry.class,
-        orig,
-        opt,
-        inline,
-        unroll,
+        name: prep.name,
+        class: prep.class,
+        orig: prep.orig,
+        opt: prep.opt,
+        inline: prep.inline,
+        unroll: prep.unroll,
         edge,
         profilers,
         hot_paths,
     }
+}
+
+/// Instruments a prepared suite entry under every pipeline configuration
+/// and lints each plan (backs the `repro lint` subcommand).
+pub fn lint_benchmark(
+    entry: &SuiteEntry,
+    options: &PipelineOptions,
+) -> Vec<(String, ppp_lint::LintReport)> {
+    let prep = prepare_benchmark(entry, options);
+    pipeline_configs(options)
+        .iter()
+        .map(|c| {
+            let plan = instrument_module(&prep.module, Some(&prep.edges), c);
+            (c.label(), ppp_lint::lint_plan(&plan))
+        })
+        .collect()
 }
 
 fn estimate_options(truth: &ModulePathProfile, options: &PipelineOptions) -> EstimateOptions {
@@ -248,17 +328,24 @@ fn estimate_options(truth: &ModulePathProfile, options: &PipelineOptions) -> Est
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_profiler(
-    module: &Module,
-    edges: &ModuleEdgeProfile,
-    truth: &ModulePathProfile,
-    baseline_cost: u64,
+    prep: &PreparedBenchmark,
     config: &ProfilerConfig,
     options: &PipelineOptions,
     est_opts: &EstimateOptions,
 ) -> ProfilerResult {
+    let (module, edges, truth) = (&prep.module, &prep.edges, &prep.truth);
     let plan = instrument_module(module, Some(edges), config);
+    // Soundness gate: a plan that fails the lint would silently corrupt
+    // the measured profile, so surface it loudly before running.
+    let lint = ppp_lint::lint_plan(&plan);
+    if !lint.is_clean() {
+        eprintln!(
+            "warning: {} plan for {} failed instrumentation lint:\n{lint}",
+            config.label(),
+            prep.name
+        );
+    }
     let r = run(
         &plan.module,
         "main",
@@ -271,7 +358,7 @@ fn run_profiler(
     let fraction = instrumented_fraction(module, &plan, &r.store, truth);
     ProfilerResult {
         label: config.label(),
-        overhead: r.overhead_vs(baseline_cost),
+        overhead: r.overhead_vs(prep.baseline_cost),
         accuracy: acc,
         coverage: cov.ratio(),
         fraction,

@@ -23,10 +23,7 @@ pub fn run_suite(options: &PipelineOptions) -> Vec<BenchmarkRun> {
         .collect()
 }
 
-fn class_rows(
-    runs: &[BenchmarkRun],
-    class: BenchClass,
-) -> impl Iterator<Item = &BenchmarkRun> {
+fn class_rows(runs: &[BenchmarkRun], class: BenchClass) -> impl Iterator<Item = &BenchmarkRun> {
     runs.iter().filter(move |r| r.class == class)
 }
 
@@ -85,14 +82,20 @@ pub fn table1(runs: &[BenchmarkRun]) -> String {
             f2(mean(rs.iter().map(|r| r.opt.avg_insts))),
             pct(mean(rs.iter().map(|r| r.inline.dynamic_fraction()))),
             f2(mean(rs.iter().map(|r| r.unroll.dynamic_avg_factor()))),
-            f2(mean(rs.iter().map(|r| r.orig.cost as f64 / r.opt.cost as f64))),
+            f2(mean(
+                rs.iter().map(|r| r.orig.cost as f64 / r.opt.cost as f64),
+            )),
         ]);
     };
     for r in class_rows(runs, BenchClass::Int) {
         row(&mut t, r);
     }
     t.separator();
-    avg_row(&mut t, "INT Avg", class_rows(runs, BenchClass::Int).collect());
+    avg_row(
+        &mut t,
+        "INT Avg",
+        class_rows(runs, BenchClass::Int).collect(),
+    );
     t.separator();
     for r in class_rows(runs, BenchClass::Fp) {
         row(&mut t, r);
@@ -223,7 +226,12 @@ fn per_profiler_figure(
         None,
         class_rows(runs, BenchClass::Fp).collect(),
     );
-    row(&mut t, "Overall Avg".to_owned(), None, runs.iter().collect());
+    row(
+        &mut t,
+        "Overall Avg".to_owned(),
+        None,
+        runs.iter().collect(),
+    );
     format!("{title}\n{note}\n{}", t.render())
 }
 
@@ -279,7 +287,11 @@ pub fn fig11(runs: &[BenchmarkRun]) -> String {
         ]);
     }
     t.separator();
-    for (label, class) in [("INT Avg", Some(BenchClass::Int)), ("FP Avg", Some(BenchClass::Fp)), ("Overall Avg", None)] {
+    for (label, class) in [
+        ("INT Avg", Some(BenchClass::Int)),
+        ("FP Avg", Some(BenchClass::Fp)),
+        ("Overall Avg", None),
+    ] {
         let rs: Vec<&BenchmarkRun> = match class {
             Some(c) => class_rows(runs, c).collect(),
             None => runs.iter().collect(),
@@ -362,7 +374,13 @@ pub fn fig13(runs: &[BenchmarkRun]) -> String {
     // One-at-a-time methodology (§8.3): the paper reports it only in
     // prose ("LC and SPN are beneficial, lowering TPP's overhead by 27%
     // and 16%"); we render the full table.
-    let oat_labels = ["TPPbase", "TPPbase+SAC", "TPPbase+Push", "TPPbase+SPN", "TPPbase+LC"];
+    let oat_labels = [
+        "TPPbase",
+        "TPPbase+SAC",
+        "TPPbase+Push",
+        "TPPbase+SPN",
+        "TPPbase+LC",
+    ];
     let have_oat = runs.iter().any(|r| r.profiler("TPPbase").is_some());
     let oat = if have_oat {
         let mut t2 = Table::new(
@@ -371,7 +389,9 @@ pub fn fig13(runs: &[BenchmarkRun]) -> String {
                 .collect::<Vec<_>>(),
         );
         for r in runs {
-            let Some(base) = r.profiler("TPPbase") else { continue };
+            let Some(base) = r.profiler("TPPbase") else {
+                continue;
+            };
             if base.overhead.abs() < 1e-9 {
                 continue;
             }

@@ -110,14 +110,23 @@ mod tests {
         let c = CostModel::default();
         let t = TableId::new(0);
         assert_eq!(c.prof_cost(ProfOp::SetR { value: 0 }, false), c.prof_reg);
-        assert_eq!(c.prof_cost(ProfOp::CountR { table: t }, false), c.count_array);
+        assert_eq!(
+            c.prof_cost(ProfOp::CountR { table: t }, false),
+            c.count_array
+        );
         assert_eq!(c.prof_cost(ProfOp::CountR { table: t }, true), c.count_hash);
         assert_eq!(
             c.prof_cost(ProfOp::CountRChecked { table: t }, false),
             c.count_array + c.poison_check
         );
         assert_eq!(
-            c.prof_cost(ProfOp::CountRPlusChecked { table: t, addend: 1 }, true),
+            c.prof_cost(
+                ProfOp::CountRPlusChecked {
+                    table: t,
+                    addend: 1
+                },
+                true
+            ),
             c.count_hash + c.poison_check
         );
     }

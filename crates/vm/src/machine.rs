@@ -303,10 +303,7 @@ impl<'m> Interp<'m> {
                 match inst {
                     Inst::Prof(op) => {
                         self.prof_steps += 1;
-                        let c = self
-                            .opts
-                            .cost
-                            .prof_cost(*op, self.table_is_hash(*op));
+                        let c = self.opts.cost.prof_cost(*op, self.table_is_hash(*op));
                         self.cost += c;
                         self.prof_cost += c;
                         self.exec_prof(*op);
@@ -317,8 +314,7 @@ impl<'m> Interp<'m> {
                             return HaltReason::CallDepthLimit;
                         }
                         let frame = self.stack.last().expect("frame");
-                        let argv: Vec<i64> =
-                            args.iter().map(|r| frame.regs[r.index()]).collect();
+                        let argv: Vec<i64> = args.iter().map(|r| frame.regs[r.index()]).collect();
                         let (dst, callee) = (*dst, *callee);
                         self.push_frame(callee, &argv, dst);
                     }
@@ -431,8 +427,7 @@ impl<'m> Interp<'m> {
                 frame.regs[dst.index()] = op.eval(frame.regs[src.index()]);
             }
             Inst::Binary { dst, op, lhs, rhs } => {
-                frame.regs[dst.index()] =
-                    op.eval(frame.regs[lhs.index()], frame.regs[rhs.index()]);
+                frame.regs[dst.index()] = op.eval(frame.regs[lhs.index()], frame.regs[rhs.index()]);
             }
             Inst::Load { dst, addr } => {
                 let a = frame.regs[addr.index()].rem_euclid(mem_len) as usize;
@@ -661,7 +656,10 @@ mod tests {
             Inst::Prof(ProfOp::SetR { value: 2 }),
             Inst::Prof(ProfOp::AddR { value: 3 }),
             Inst::Prof(ProfOp::CountR { table: t }),
-            Inst::Prof(ProfOp::CountRPlus { table: t, addend: -5 }),
+            Inst::Prof(ProfOp::CountRPlus {
+                table: t,
+                addend: -5,
+            }),
             Inst::Prof(ProfOp::CountConst { table: t, index: 7 }),
         ]);
         let r = run(&m, "main", &RunOptions::default()).unwrap();
@@ -689,7 +687,10 @@ mod tests {
             Inst::Prof(ProfOp::SetR { value: -1_000_000 }),
             Inst::Prof(ProfOp::CountRChecked { table: t }),
             Inst::Prof(ProfOp::SetR { value: 3 }),
-            Inst::Prof(ProfOp::CountRPlusChecked { table: t, addend: 1 }),
+            Inst::Prof(ProfOp::CountRPlusChecked {
+                table: t,
+                addend: 1,
+            }),
         ]);
         let r = run(&m, "main", &RunOptions::default()).unwrap();
         assert_eq!(r.store.table(t).cold(), 1);

@@ -67,12 +67,10 @@ impl CounterTable {
         }
         let key = key as u64;
         match self {
-            CounterTable::Array { counts, lost, .. } => {
-                match counts.get_mut(key as usize) {
-                    Some(c) => *c += 1,
-                    None => *lost += 1,
-                }
-            }
+            CounterTable::Array { counts, lost, .. } => match counts.get_mut(key as usize) {
+                Some(c) => *c += 1,
+                None => *lost += 1,
+            },
             CounterTable::Hash {
                 slots,
                 max_probes,
@@ -121,9 +119,7 @@ impl CounterTable {
                     .filter(|(_, &c)| c > 0)
                     .map(|(i, &c)| (i as u64, c)),
             ),
-            CounterTable::Hash { slots, .. } => {
-                Box::new(slots.iter().flatten().copied())
-            }
+            CounterTable::Hash { slots, .. } => Box::new(slots.iter().flatten().copied()),
         }
     }
 
@@ -157,7 +153,11 @@ impl ProfileStore {
     /// Allocates empty tables matching the module's declarations.
     pub fn for_module(module: &Module) -> Self {
         Self {
-            tables: module.tables.iter().map(|d| CounterTable::new(d.kind)).collect(),
+            tables: module
+                .tables
+                .iter()
+                .map(|d| CounterTable::new(d.kind))
+                .collect(),
         }
     }
 

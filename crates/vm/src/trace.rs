@@ -11,8 +11,7 @@
 //! accuracy/coverage are measured against exact data (§6).
 
 use ppp_ir::{
-    BlockId, Cfg, EdgeRef, FuncId, Function, ModuleEdgeProfile, ModulePathProfile, Module,
-    PathKey,
+    BlockId, Cfg, EdgeRef, FuncId, Function, Module, ModuleEdgeProfile, ModulePathProfile, PathKey,
 };
 use std::collections::HashMap;
 

@@ -15,17 +15,16 @@
 //! threshold — model gcc/crafty-style routines that force PP and TPP into
 //! hash tables.
 
+use crate::prng::GenRng;
 use crate::spec::BenchmarkSpec;
 use ppp_ir::{BinOp, FuncId, Function, FunctionBuilder, Module, Reg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates the benchmark module described by `spec`.
 ///
 /// The module is already normalized (virtual entry, single exit) and
 /// verifier-clean; its entry point is `main`.
 pub fn generate(spec: &BenchmarkSpec) -> Module {
-    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut rng = GenRng::new(spec.seed);
     let n_work = spec.funcs.max(1);
     let n_expl = spec.explosive_funcs;
     let n_leaf = spec.leaf_funcs;
@@ -61,16 +60,16 @@ pub fn generate(spec: &BenchmarkSpec) -> Module {
 /// A small pure helper: the inlining fodder real programs have. Short
 /// arithmetic on the argument, at most one biased diamond, 5–20 IR
 /// statements total.
-fn gen_leaf(spec: &BenchmarkSpec, rng: &mut SmallRng, id: FuncId) -> Function {
+fn gen_leaf(spec: &BenchmarkSpec, rng: &mut GenRng, id: FuncId) -> Function {
     let mut b = FunctionBuilder::new(format!("leaf_{}", id.index()), 1);
     let x = b.param(0);
     let acc = b.copy(x);
-    for _ in 0..rng.gen_range(2..5) {
-        let k = b.constant(rng.gen_range(1..500));
-        let op = [BinOp::Add, BinOp::Xor, BinOp::Mul][rng.gen_range(0..3)];
+    for _ in 0..rng.usize_in(2, 5) {
+        let k = b.constant(rng.i64_in(1, 500));
+        let op = [BinOp::Add, BinOp::Xor, BinOp::Mul][rng.index(3)];
         b.binary_to(acc, op, acc, k);
     }
-    if rng.gen_bool(0.5) {
+    if rng.chance(0.5) {
         let cut = b.constant((spec.bias.clamp(0.01, 0.99) * 1000.0) as i64);
         let thousand = b.constant(1000);
         let r = b.rand(thousand);
@@ -78,7 +77,7 @@ fn gen_leaf(spec: &BenchmarkSpec, rng: &mut SmallRng, id: FuncId) -> Function {
         let (t, j) = (b.new_block(), b.new_block());
         b.branch(c, t, j);
         b.switch_to(t);
-        let k = b.constant(rng.gen_range(1..99));
+        let k = b.constant(rng.i64_in(1, 99));
         b.binary_to(acc, BinOp::Add, acc, k);
         b.jump(j);
         b.switch_to(j);
@@ -91,7 +90,7 @@ fn gen_leaf(spec: &BenchmarkSpec, rng: &mut SmallRng, id: FuncId) -> Function {
 /// a skewed distribution (low-numbered functions are hot).
 fn gen_main(
     spec: &BenchmarkSpec,
-    rng: &mut SmallRng,
+    rng: &mut GenRng,
     work_ids: &[FuncId],
     expl_ids: &[FuncId],
 ) -> Function {
@@ -167,7 +166,7 @@ const MAX_MULT: i64 = 400;
 
 fn gen_work(
     spec: &BenchmarkSpec,
-    rng: &mut SmallRng,
+    rng: &mut GenRng,
     id: FuncId,
     callable: &[FuncId],
     leaves: &[FuncId],
@@ -186,7 +185,7 @@ fn gen_work(
         callable,
         leaves,
     };
-    let n = rng.gen_range(spec.segments.0..=spec.segments.1.max(spec.segments.0));
+    let n = rng.usize_incl(spec.segments.0, spec.segments.1.max(spec.segments.0));
     gen_seq(&mut ctx, rng, n, 0);
     let Ctx { mut b, acc, .. } = ctx;
     b.emit(acc);
@@ -194,15 +193,15 @@ fn gen_work(
     b.finish()
 }
 
-fn gen_seq(ctx: &mut Ctx<'_>, rng: &mut SmallRng, n: usize, depth: u32) {
+fn gen_seq(ctx: &mut Ctx<'_>, rng: &mut GenRng, n: usize, depth: u32) {
     for _ in 0..n {
         gen_segment(ctx, rng, depth);
     }
 }
 
-fn gen_segment(ctx: &mut Ctx<'_>, rng: &mut SmallRng, depth: u32) {
+fn gen_segment(ctx: &mut Ctx<'_>, rng: &mut GenRng, depth: u32) {
     let spec = ctx.spec;
-    let roll: f64 = rng.gen();
+    let roll = rng.unit_f64();
     let deep = depth >= spec.max_depth;
     let loop_ok = !deep && ctx.mult.saturating_mul(spec.avg_trip.max(2)) <= MAX_MULT;
     // Calls to big work functions only outside deep loop nests (they
@@ -217,8 +216,7 @@ fn gen_segment(ctx: &mut Ctx<'_>, rng: &mut SmallRng, depth: u32) {
         gen_switch(ctx, rng);
     } else if loop_ok && roll < spec.if_prob + spec.switch_prob + spec.loop_prob {
         gen_loop(ctx, rng, depth);
-    } else if call_ok && roll < spec.if_prob + spec.switch_prob + spec.loop_prob + spec.call_prob
-    {
+    } else if call_ok && roll < spec.if_prob + spec.switch_prob + spec.loop_prob + spec.call_prob {
         gen_call(ctx, rng);
     } else {
         gen_straight(ctx, rng);
@@ -227,20 +225,20 @@ fn gen_segment(ctx: &mut Ctx<'_>, rng: &mut SmallRng, depth: u32) {
 
 /// A few arithmetic instructions mutating the accumulator; occasionally a
 /// memory access or an emit (checksum observability).
-fn gen_straight(ctx: &mut Ctx<'_>, rng: &mut SmallRng) {
+fn gen_straight(ctx: &mut Ctx<'_>, rng: &mut GenRng) {
     let b = &mut ctx.b;
     for _ in 0..ctx.spec.block_len.max(1) {
-        match rng.gen_range(0..8) {
+        match rng.index(8) {
             0 => {
-                let k = b.constant(rng.gen_range(1..1000));
+                let k = b.constant(rng.i64_in(1, 1000));
                 b.binary_to(ctx.acc, BinOp::Add, ctx.acc, k);
             }
             1 => {
-                let k = b.constant(rng.gen_range(3..64));
+                let k = b.constant(rng.i64_in(3, 64));
                 b.binary_to(ctx.acc, BinOp::Mul, ctx.acc, k);
             }
             2 => {
-                let k = b.constant(rng.gen_range(1..31));
+                let k = b.constant(rng.i64_in(1, 31));
                 b.binary_to(ctx.acc, BinOp::Xor, ctx.acc, k);
             }
             3 => {
@@ -255,7 +253,7 @@ fn gen_straight(ctx: &mut Ctx<'_>, rng: &mut SmallRng) {
                 b.binary_to(ctx.acc, BinOp::Add, ctx.acc, v);
             }
             5 => {
-                let k = b.constant(rng.gen_range(1..7));
+                let k = b.constant(rng.i64_in(1, 7));
                 b.binary_to(ctx.acc, BinOp::Shr, ctx.acc, k);
                 b.binary_to(ctx.acc, BinOp::Add, ctx.acc, ctx.scenario);
             }
@@ -263,9 +261,9 @@ fn gen_straight(ctx: &mut Ctx<'_>, rng: &mut SmallRng) {
                 b.emit(ctx.acc);
             }
             _ => {
-                let k = b.constant(rng.gen_range(2..12));
+                let k = b.constant(rng.i64_in(2, 12));
                 b.binary_to(ctx.acc, BinOp::Rem, ctx.acc, k);
-                let base = b.constant(rng.gen_range(100..10_000));
+                let base = b.constant(rng.i64_in(100, 10_000));
                 b.binary_to(ctx.acc, BinOp::Add, ctx.acc, base);
             }
         }
@@ -275,12 +273,18 @@ fn gen_straight(ctx: &mut Ctx<'_>, rng: &mut SmallRng) {
 /// Emits a condition register: correlated conditions compare the scenario
 /// against a threshold; independent ones draw fresh randomness at the
 /// configured bias.
-fn gen_cond(ctx: &mut Ctx<'_>, rng: &mut SmallRng) -> Reg {
-    let correlated = rng.gen_bool(ctx.spec.correlation.clamp(0.0, 1.0));
+fn gen_cond(ctx: &mut Ctx<'_>, rng: &mut GenRng) -> Reg {
+    let correlated = rng.chance(ctx.spec.correlation);
+    // Draw the scenario threshold unconditionally so both arms consume
+    // the same number of generator draws: specs that differ only in
+    // `correlation` then produce structurally identical CFGs (the
+    // correlation knob changes which *condition* is emitted, never the
+    // downstream shape), which the correlation tests rely on.
+    let ways = ctx.spec.scenario_ways.max(2);
+    let threshold = rng.i64_in(1, ways);
     let b = &mut ctx.b;
     if correlated {
-        let ways = ctx.spec.scenario_ways.max(2);
-        let t = b.constant(rng.gen_range(1..ways));
+        let t = b.constant(threshold);
         b.binary(BinOp::Lt, ctx.scenario, t)
     } else {
         let thousand = b.constant(1000);
@@ -290,25 +294,25 @@ fn gen_cond(ctx: &mut Ctx<'_>, rng: &mut SmallRng) -> Reg {
     }
 }
 
-fn gen_if(ctx: &mut Ctx<'_>, rng: &mut SmallRng, depth: u32) {
+fn gen_if(ctx: &mut Ctx<'_>, rng: &mut GenRng, depth: u32) {
     let c = gen_cond(ctx, rng);
     let (then_b, else_b, join) = (ctx.b.new_block(), ctx.b.new_block(), ctx.b.new_block());
     ctx.b.branch(c, then_b, else_b);
     ctx.b.switch_to(then_b);
-    let n_then = rng.gen_range(1..=2);
+    let n_then = rng.usize_incl(1, 2);
     gen_seq(ctx, rng, n_then, depth + 1);
     ctx.b.jump(join);
     ctx.b.switch_to(else_b);
-    if rng.gen_bool(0.7) {
+    if rng.chance(0.7) {
         gen_seq(ctx, rng, 1, depth + 1);
     }
     ctx.b.jump(join);
     ctx.b.switch_to(join);
 }
 
-fn gen_switch(ctx: &mut Ctx<'_>, rng: &mut SmallRng) {
-    let ways = rng.gen_range(3..=4usize);
-    let correlated = rng.gen_bool(ctx.spec.correlation.clamp(0.0, 1.0));
+fn gen_switch(ctx: &mut Ctx<'_>, rng: &mut GenRng) {
+    let ways = rng.usize_incl(3, 4);
+    let correlated = rng.chance(ctx.spec.correlation);
     let b = &mut ctx.b;
     let w = b.constant(ways as i64);
     let disc = if correlated {
@@ -328,8 +332,8 @@ fn gen_switch(ctx: &mut Ctx<'_>, rng: &mut SmallRng) {
     ctx.b.switch_to(join);
 }
 
-fn gen_loop(ctx: &mut Ctx<'_>, rng: &mut SmallRng, depth: u32) {
-    let counted = rng.gen_bool(ctx.spec.counted_loop_prob.clamp(0.0, 1.0));
+fn gen_loop(ctx: &mut Ctx<'_>, rng: &mut GenRng, depth: u32) {
+    let counted = rng.chance(ctx.spec.counted_loop_prob);
     let trip = ctx.spec.avg_trip.max(2);
     if counted {
         // Canonical counted loop: empty header testing the induction
@@ -363,7 +367,7 @@ fn gen_loop(ctx: &mut Ctx<'_>, rng: &mut SmallRng, depth: u32) {
         b.switch_to(body);
         let saved_mult = ctx.mult;
         ctx.mult = ctx.mult.saturating_mul(trip);
-        let n_body = rng.gen_range(1..=2);
+        let n_body = rng.usize_incl(1, 2);
         gen_seq(ctx, rng, n_body, depth + 1);
         ctx.mult = saved_mult;
         let b = &mut ctx.b;
@@ -374,14 +378,14 @@ fn gen_loop(ctx: &mut Ctx<'_>, rng: &mut SmallRng, depth: u32) {
     }
 }
 
-fn gen_call(ctx: &mut Ctx<'_>, rng: &mut SmallRng) {
+fn gen_call(ctx: &mut Ctx<'_>, rng: &mut GenRng) {
     // Inside loops (or by a coin flip) call a cheap leaf helper; big work
     // functions are only called from shallow contexts.
     let deep = ctx.mult > 8 || ctx.callable.is_empty();
-    let callee = if !ctx.leaves.is_empty() && (deep || rng.gen_bool(0.6)) {
-        ctx.leaves[rng.gen_range(0..ctx.leaves.len())]
+    let callee = if !ctx.leaves.is_empty() && (deep || rng.chance(0.6)) {
+        ctx.leaves[rng.index(ctx.leaves.len())]
     } else {
-        ctx.callable[rng.gen_range(0..ctx.callable.len())]
+        ctx.callable[rng.index(ctx.callable.len())]
     };
     let r = ctx.b.call(callee, vec![ctx.acc]);
     ctx.b.binary_to(ctx.acc, BinOp::Xor, ctx.acc, r);
@@ -390,7 +394,7 @@ fn gen_call(ctx: &mut Ctx<'_>, rng: &mut SmallRng) {
 /// A long diamond chain: `2^diamonds` static paths (hashing pressure for
 /// PP/TPP), with mostly scenario-driven conditions so the *dynamic*
 /// distinct-path count stays moderate.
-fn gen_explosive(spec: &BenchmarkSpec, rng: &mut SmallRng, id: FuncId) -> Function {
+fn gen_explosive(spec: &BenchmarkSpec, rng: &mut GenRng, id: FuncId) -> Function {
     let mut b = FunctionBuilder::new(format!("explosive_{}", id.index()), 1);
     let x = b.param(0);
     let acc = b.copy(x);
@@ -407,13 +411,13 @@ fn gen_explosive(spec: &BenchmarkSpec, rng: &mut SmallRng, id: FuncId) -> Functi
         // This is what leaves TPP hashing on the larger routines while
         // PPP's SAC drops them under the threshold, as in the paper's
         // integer benchmarks (Figure 11).
-        let roll: f64 = rng.gen();
+        let roll = rng.unit_f64();
         let cond = if roll < 0.15 {
             // Rare arm: scenario == ways-1 (probability 1/ways).
             let rare = b.constant(ways - 1);
             b.binary(BinOp::Eq, scenario, rare)
         } else if roll < 0.6 {
-            let t = b.constant(rng.gen_range(2..=ways / 3));
+            let t = b.constant(rng.i64_incl(2, ways / 3));
             b.binary(BinOp::Lt, scenario, t)
         } else {
             let shift = b.constant(j as i64 % bits.max(1));
@@ -502,8 +506,11 @@ mod tests {
         // 13 diamonds = 8192 paths, above the 4000 hashing threshold.
         let dag = ppp_core::Dag::build(name_match, None);
         let cold = vec![false; dag.edge_count()];
-        let num =
-            ppp_core::numbering::number_paths(&dag, &cold, ppp_core::numbering::NumberingOrder::BallLarus);
+        let num = ppp_core::numbering::number_paths(
+            &dag,
+            &cold,
+            ppp_core::numbering::NumberingOrder::BallLarus,
+        );
         assert!(num.n_paths > 4000, "N = {}", num.n_paths);
     }
 

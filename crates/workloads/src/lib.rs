@@ -25,6 +25,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod gen;
+pub mod prng;
 pub mod spec;
 pub mod suite;
 

@@ -1,0 +1,111 @@
+//! Generator-side PRNG: a thin convenience layer over the in-tree
+//! [`SplitMix64`](ppp_vm::SplitMix64).
+//!
+//! The workload generator used to draw from an external PRNG crate; this
+//! adapter replaces it so the workspace builds with no registry access and
+//! so *both* random streams in the system (codegen randomness here, the
+//! VM's `Rand` intrinsic inside `ppp-vm`) are pinned to the same fully
+//! specified algorithm. Every draw consumes exactly one `next_u64`, which
+//! keeps generated programs stable under refactors that do not reorder
+//! draw sites.
+
+use ppp_vm::SplitMix64;
+
+/// Seeded generator handed through the workload builders.
+#[derive(Clone, Debug)]
+pub struct GenRng {
+    inner: SplitMix64,
+}
+
+impl GenRng {
+    /// Creates a generator from the spec's master seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: SplitMix64::new(seed),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform float in `[0, 1)` (53 mantissa bits of the raw draw).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform index in `[0, bound)`; a zero bound yields 0.
+    pub fn index(&mut self, bound: usize) -> usize {
+        (self.inner.below(bound.min(i64::MAX as usize) as i64)) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi)`; empty ranges collapse to `lo`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.index(hi.saturating_sub(lo))
+    }
+
+    /// Uniform `usize` in `[lo, hi]`; inverted ranges collapse to `lo`.
+    pub fn usize_incl(&mut self, lo: usize, hi: usize) -> usize {
+        self.usize_in(lo, hi.max(lo).saturating_add(1))
+    }
+
+    /// Uniform `i64` in `[lo, hi)`; empty ranges collapse to `lo`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.inner.below(hi.saturating_sub(lo))
+    }
+
+    /// Uniform `i64` in `[lo, hi]`; inverted ranges collapse to `lo`.
+    pub fn i64_incl(&mut self, lo: i64, hi: i64) -> i64 {
+        self.i64_in(lo, hi.max(lo).saturating_add(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = GenRng::new(99);
+        let mut b = GenRng::new(99);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = GenRng::new(5);
+        for _ in 0..500 {
+            let v = r.usize_in(2, 5);
+            assert!((2..5).contains(&v));
+            let w = r.i64_incl(1, 3);
+            assert!((1..=3).contains(&w));
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_collapse() {
+        let mut r = GenRng::new(5);
+        assert_eq!(r.usize_in(4, 4), 4);
+        assert_eq!(r.usize_in(4, 2), 4);
+        assert_eq!(r.i64_in(7, 7), 7);
+        assert_eq!(r.i64_incl(3, 1), 3);
+        assert_eq!(r.index(0), 0);
+    }
+
+    #[test]
+    fn chance_is_calibrated() {
+        let mut r = GenRng::new(2024);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2600..3400).contains(&hits), "hits = {hits}");
+    }
+}

@@ -87,9 +87,9 @@ impl Default for BenchmarkSpec {
 impl BenchmarkSpec {
     /// Creates a spec with the given name and seed derived from it.
     pub fn named(name: &str) -> Self {
-        let seed = name
-            .bytes()
-            .fold(0xC60_2005u64, |h, b| h.wrapping_mul(31).wrapping_add(u64::from(b)));
+        let seed = name.bytes().fold(0xC60_2005u64, |h, b| {
+            h.wrapping_mul(31).wrapping_add(u64::from(b))
+        });
         Self {
             name: name.to_owned(),
             seed,

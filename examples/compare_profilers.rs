@@ -51,7 +51,12 @@ fn main() {
     );
     println!(
         "{:8} {:>9} {:>8.1}% {:>8.1}% {:>11} {:>7}",
-        "edge", "~0%", 100.0 * run.edge.accuracy, 100.0 * run.edge.coverage, "none", "-"
+        "edge",
+        "~0%",
+        100.0 * run.edge.accuracy,
+        100.0 * run.edge.coverage,
+        "none",
+        "-"
     );
     for p in &run.profilers {
         println!(

@@ -66,7 +66,10 @@ fn scenario(name: &str, correlation: f64, bias: f64) -> (f64, f64) {
 }
 
 fn main() {
-    println!("{:12} {:>14} {:>14}", "scenario", "NET coverage", "PPP accuracy");
+    println!(
+        "{:12} {:>14} {:>14}",
+        "scenario", "NET coverage", "PPP accuracy"
+    );
     let (net_dom, ppp_dom) = scenario("net-dominant", 0.0, 0.97);
     println!(
         "{:12} {:>13.1}% {:>13.1}%   (one dominant path per head)",

@@ -71,7 +71,10 @@ fn main() {
     // 2. Instrument with PPP and run the instrumented module.
     let plan = instrument_module(&module, Some(&edges), &ProfilerConfig::ppp());
     let result = run(&plan.module, "main", &RunOptions::default()).expect("instrumented runs");
-    assert_eq!(result.checksum, traced.checksum, "instrumentation is transparent");
+    assert_eq!(
+        result.checksum, traced.checksum,
+        "instrumentation is transparent"
+    );
     println!(
         "PPP overhead: {:+.1}% ({} instrumentation ops executed)",
         100.0 * result.overhead_vs(traced.cost),

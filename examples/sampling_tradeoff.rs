@@ -14,8 +14,7 @@
 
 use ppp::core::{
     accuracy, instrument_module, measured_paths, normalize_module, profiler_estimate,
-    sampled_module, EstimateOptions, EstimatedPath, EstimatedProfile, FlowMetric,
-    ProfilerConfig,
+    sampled_module, EstimateOptions, EstimatedPath, EstimatedProfile, FlowMetric, ProfilerConfig,
 };
 use ppp::vm::{run, RunOptions};
 use ppp::workloads::{generate, BenchmarkSpec};

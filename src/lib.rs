@@ -10,6 +10,8 @@
 //! - [`core`] — PP, TPP, and PPP instrumentation plus flow estimation and
 //!   the accuracy/coverage metrics (§3–6 and the appendix);
 //! - [`workloads`] — the synthetic SPEC2000-style benchmark generator;
+//! - [`lint`] — dataflow-based static analysis and the
+//!   instrumentation-soundness checker (`repro lint`);
 //! - [`repro`] — the experiment pipeline regenerating Tables 1–2 and
 //!   Figures 9–13.
 //!
@@ -18,6 +20,7 @@
 
 pub use ppp_core as core;
 pub use ppp_ir as ir;
+pub use ppp_lint as lint;
 pub use ppp_opt as opt;
 pub use ppp_repro as repro;
 pub use ppp_vm as vm;

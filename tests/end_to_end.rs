@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the whole stack, end to end, on
 //! generated workloads.
 
-use ppp::core::{
-    instrument_module, measured_paths, normalize_module, ProfilerConfig, Technique,
-};
+use ppp::core::{instrument_module, measured_paths, normalize_module, ProfilerConfig, Technique};
 use ppp::ir::verify_module;
 use ppp::opt::{inline_module, unroll_module, InlineOptions, UnrollOptions};
 use ppp::vm::{run, RunOptions};
@@ -34,7 +32,8 @@ fn instrumentation_is_semantically_transparent_across_suite() {
             assert_eq!(verify_module(&plan.module), Ok(()), "{}", entry.spec.name);
             let r = run(&plan.module, "main", &RunOptions::default()).unwrap();
             assert_eq!(
-                r.checksum, traced.checksum,
+                r.checksum,
+                traced.checksum,
                 "{} under {}",
                 entry.spec.name,
                 config.label()
@@ -68,7 +67,10 @@ fn optimization_pipeline_preserves_semantics() {
     let edges2 = r2.edge_profile.unwrap();
     let plan = instrument_module(&m, Some(&edges2), &ProfilerConfig::ppp());
     let r3 = run(&plan.module, "main", &RunOptions::default()).unwrap();
-    assert_eq!(r3.checksum, checksum, "instrumenting optimized code broke semantics");
+    assert_eq!(
+        r3.checksum, checksum,
+        "instrumenting optimized code broke semantics"
+    );
 }
 
 /// PP's measured profile equals the tracer's exact profile whenever no

@@ -1,60 +1,63 @@
-//! End-to-end property tests: random workload knobs → generate → trace →
+//! End-to-end randomized tests: random workload knobs → generate → trace →
 //! instrument (each profiler) → run → decode, checking the global
-//! correctness contracts.
+//! correctness contracts. Deterministic seed-loop version of what used to
+//! be a property test: each case derives its knobs from a SplitMix64
+//! stream, so failures reproduce from the case index alone.
 
 use ppp::core::{instrument_module, measured_paths, ProfilerConfig};
 use ppp::ir::verify_module;
-use ppp::vm::{run, RunOptions};
+use ppp::vm::{run, RunOptions, SplitMix64};
 use ppp::workloads::{generate, BenchmarkSpec};
-use proptest::prelude::*;
 
-fn arb_spec() -> impl Strategy<Value = BenchmarkSpec> {
-    (
-        any::<u64>(),
-        0.0f64..1.0,
-        0.5f64..0.99,
-        2i64..40,
-        0.0f64..1.0,
-        1usize..6,
-        0usize..2,
-    )
-        .prop_map(
-            |(seed, correlation, bias, avg_trip, counted, funcs, explosive)| {
-                let mut s = BenchmarkSpec::named("prop");
-                s.seed = seed;
-                s.correlation = correlation;
-                s.bias = bias;
-                s.avg_trip = avg_trip;
-                s.counted_loop_prob = counted;
-                s.funcs = funcs;
-                s.explosive_funcs = explosive;
-                s.explosive_diamonds = 8; // keep path counts manageable
-                s.outer_iters = 40;
-                s
-            },
-        )
+const CASES: u64 = 12;
+
+fn unit(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn case_spec(case: u64) -> BenchmarkSpec {
+    let mut rng = SplitMix64::new(0xE2E_0000 + case);
+    let mut s = BenchmarkSpec::named("prop");
+    s.seed = rng.next_u64();
+    s.correlation = unit(&mut rng);
+    s.bias = 0.5 + 0.49 * unit(&mut rng);
+    s.avg_trip = 2 + rng.below(38);
+    s.counted_loop_prob = unit(&mut rng);
+    s.funcs = 1 + rng.below(5) as usize;
+    s.explosive_funcs = rng.below(2) as usize;
+    s.explosive_diamonds = 8; // keep path counts manageable
+    s.outer_iters = 40;
+    s
+}
 
-    #[test]
-    fn every_profiler_is_transparent_and_decodes_real_paths(spec in arb_spec()) {
+#[test]
+fn every_profiler_is_transparent_and_decodes_real_paths() {
+    for case in 0..CASES {
+        let spec = case_spec(case);
         let m = generate(&spec);
-        prop_assert_eq!(verify_module(&m), Ok(()));
+        assert_eq!(verify_module(&m), Ok(()), "case {case}");
         let traced = run(&m, "main", &RunOptions::default().traced()).unwrap();
-        prop_assert_eq!(traced.halt, ppp::vm::HaltReason::Finished);
+        assert_eq!(traced.halt, ppp::vm::HaltReason::Finished, "case {case}");
         let edges = traced.edge_profile.unwrap();
         let truth = traced.path_profile.unwrap();
 
-        for config in [ProfilerConfig::pp(), ProfilerConfig::tpp(), ProfilerConfig::ppp()] {
+        for config in [
+            ProfilerConfig::pp(),
+            ProfilerConfig::tpp(),
+            ProfilerConfig::ppp(),
+        ] {
             let plan = instrument_module(&m, Some(&edges), &config);
-            prop_assert_eq!(verify_module(&plan.module), Ok(()));
+            assert_eq!(verify_module(&plan.module), Ok(()), "case {case}");
             let r = run(&plan.module, "main", &RunOptions::default()).unwrap();
             // Contract 1: semantic transparency.
-            prop_assert_eq!(r.checksum, traced.checksum, "{} broke semantics", config.label());
+            assert_eq!(
+                r.checksum,
+                traced.checksum,
+                "case {case}: {} broke semantics",
+                config.label()
+            );
             // Contract 2: instrumentation only adds cost.
-            prop_assert!(r.cost >= traced.cost);
+            assert!(r.cost >= traced.cost, "case {case}");
             // Contract 3: PP and TPP only record paths that actually ran.
             // PPP's pushing may let a cold execution record a *hot* path
             // number whose own path never ran (§4.4) — for PPP we require
@@ -65,15 +68,14 @@ proptest! {
             for (fid, key, stats) in measured.iter() {
                 let actual = truth.func(fid).paths.get(key);
                 if config.kind != ppp::core::ProfilerKind::Ppp {
-                    prop_assert!(
+                    assert!(
                         actual.is_some(),
-                        "{}: decoded a path that never ran: {:?}",
+                        "case {case}: {}: decoded a path that never ran: {key:?}",
                         config.label(),
-                        key
                     );
                 }
                 if let Some(actual) = actual {
-                    prop_assert_eq!(stats.branches, actual.branches);
+                    assert_eq!(stats.branches, actual.branches, "case {case}");
                 }
             }
             // PP/TPP: at most one count per execution. PPP's push-past-
@@ -81,25 +83,24 @@ proptest! {
             // once (multiple adopted overcounts), so it only gets a loose
             // sanity bound.
             if config.kind == ppp::core::ProfilerKind::Ppp {
-                prop_assert!(
+                assert!(
                     measured.total_unit_flow() <= 2 * truth.total_unit_flow(),
-                    "PPP: implausible overcount volume"
+                    "case {case}: PPP: implausible overcount volume"
                 );
             } else {
-                prop_assert!(
+                assert!(
                     measured.total_unit_flow() <= truth.total_unit_flow(),
-                    "{}: counted more paths than executed",
+                    "case {case}: {}: counted more paths than executed",
                     config.label()
                 );
             }
             // Contract 4: PP with arrays is exact.
-            if config.kind == ppp::core::ProfilerKind::Pp
-                && plan.funcs.iter().all(|f| !f.uses_hash)
+            if config.kind == ppp::core::ProfilerKind::Pp && plan.funcs.iter().all(|f| !f.uses_hash)
             {
-                prop_assert_eq!(
+                assert_eq!(
                     measured.total_unit_flow(),
                     truth.total_unit_flow(),
-                    "PP/array must count every dynamic path"
+                    "case {case}: PP/array must count every dynamic path"
                 );
             }
         }
