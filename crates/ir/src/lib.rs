@@ -60,6 +60,7 @@ mod persist;
 mod profile;
 pub mod transform;
 mod verify;
+mod witness;
 
 pub use cfg::{reachable_blocks, Cfg};
 pub use display::{print_function, print_module};
@@ -75,5 +76,9 @@ pub use path::{FuncPathProfile, ModulePathProfile, PathKey, PathStats};
 pub use persist::{
     read_edge_profile, read_path_profile, write_edge_profile, write_path_profile, ProfileParseError,
 };
-pub use profile::{FuncEdgeProfile, ModuleEdgeProfile};
+pub use profile::{FlowViolation, FlowViolationKind, FuncEdgeProfile, ModuleEdgeProfile};
 pub use verify::{verify_module, VerifyError};
+pub use witness::{
+    InlineStep, InlineWitness, ScalarFuncWitness, ScalarWitness, TransformWitness, UnrollMode,
+    UnrollWitness, UnrolledLoop,
+};

@@ -7,6 +7,44 @@
 
 use crate::function::Function;
 use crate::ids::{BlockId, EdgeRef, FuncId};
+use std::fmt;
+
+/// Which side of Kirchhoff's law a [`FlowViolation`] breaks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowViolationKind {
+    /// Incoming edge flow (plus entries, for the entry block) does not
+    /// equal the block's frequency.
+    In,
+    /// Outgoing edge flow does not equal the block's frequency
+    /// (non-return blocks only; return blocks exit instead).
+    Out,
+    /// The total frequency of return blocks does not equal the entry
+    /// count (flow must leave the function exactly once per activation).
+    Exit,
+}
+
+impl fmt::Display for FlowViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlowViolationKind::In => "in-flow",
+            FlowViolationKind::Out => "out-flow",
+            FlowViolationKind::Exit => "exit-flow",
+        })
+    }
+}
+
+/// One violation of per-block flow conservation (Kirchhoff's law).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlowViolation {
+    /// The block at fault ([`None`] for the function-wide exit check).
+    pub block: Option<BlockId>,
+    /// Which conservation equation failed.
+    pub kind: FlowViolationKind,
+    /// The value the equation requires.
+    pub expected: u64,
+    /// The value the profile records.
+    pub actual: u64,
+}
 
 /// Edge and block frequencies for one function.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -131,6 +169,92 @@ impl FuncEdgeProfile {
         self.entries += other.entries;
     }
 
+    /// `true` when the profile's shape matches `f`: one block-frequency
+    /// slot per block and one edge-frequency slot per successor.
+    pub fn shape_matches(&self, f: &Function) -> bool {
+        self.block_freq.len() == f.blocks.len()
+            && self.edge_freq.len() == f.blocks.len()
+            && self
+                .edge_freq
+                .iter()
+                .zip(&f.blocks)
+                .all(|(row, b)| row.len() == b.term.successor_count())
+    }
+
+    /// Checks per-block flow conservation (Kirchhoff's law) against `f`:
+    /// for every block, incoming edge flow (plus the entry count, for the
+    /// entry block) must equal the block frequency; for every non-return
+    /// block, outgoing edge flow must equal the block frequency; and the
+    /// total frequency of return blocks must equal the entry count. Exact
+    /// tracing of any run that terminates normally satisfies all three.
+    ///
+    /// Returns every violation, in block order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's shape does not match `f` (check
+    /// [`FuncEdgeProfile::shape_matches`] first).
+    pub fn flow_violations(&self, f: &Function) -> Vec<FlowViolation> {
+        assert!(
+            self.shape_matches(f),
+            "profile shape does not match function {}",
+            f.name
+        );
+        let n = f.blocks.len();
+        let mut inflow = vec![0u64; n];
+        inflow[f.entry.index()] = self.entries;
+        for (bi, row) in self.edge_freq.iter().enumerate() {
+            for (s, &freq) in row.iter().enumerate() {
+                let tgt = f.blocks[bi]
+                    .term
+                    .successor(s)
+                    .expect("shape-matched successor");
+                inflow[tgt.index()] += freq;
+            }
+        }
+        let mut violations = Vec::new();
+        let mut exit_flow = 0u64;
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let freq = self.block_freq[bi];
+            if inflow[bi] != freq {
+                violations.push(FlowViolation {
+                    block: Some(BlockId::new(bi)),
+                    kind: FlowViolationKind::In,
+                    expected: freq,
+                    actual: inflow[bi],
+                });
+            }
+            if block.term.is_return() {
+                exit_flow += freq;
+            } else {
+                let out: u64 = self.edge_freq[bi].iter().sum();
+                if out != freq {
+                    violations.push(FlowViolation {
+                        block: Some(BlockId::new(bi)),
+                        kind: FlowViolationKind::Out,
+                        expected: freq,
+                        actual: out,
+                    });
+                }
+            }
+        }
+        if exit_flow != self.entries {
+            violations.push(FlowViolation {
+                block: None,
+                kind: FlowViolationKind::Exit,
+                expected: self.entries,
+                actual: exit_flow,
+            });
+        }
+        violations
+    }
+
+    /// `true` when the profile both matches `f`'s shape and satisfies
+    /// flow conservation everywhere.
+    pub fn is_flow_conservative(&self, f: &Function) -> bool {
+        self.shape_matches(f) && self.flow_violations(f).is_empty()
+    }
+
     /// Average trip count of a loop, estimated from the profile as
     /// `(back-edge flow + entry flow) / entry flow` — i.e. body executions
     /// per loop entry. Returns `None` when the loop never runs.
@@ -190,6 +314,29 @@ impl ModuleEdgeProfile {
             .iter()
             .map(FuncEdgeProfile::total_branch_flow)
             .sum()
+    }
+
+    /// `true` when the profile has one entry per function and each
+    /// matches that function's shape.
+    pub fn shape_matches(&self, module: &crate::Module) -> bool {
+        self.funcs.len() == module.functions.len()
+            && self
+                .funcs
+                .iter()
+                .zip(&module.functions)
+                .all(|(p, f)| p.shape_matches(f))
+    }
+
+    /// `true` when the profile matches `module`'s shape and every
+    /// function's counts satisfy flow conservation
+    /// (see [`FuncEdgeProfile::flow_violations`]).
+    pub fn is_flow_conservative(&self, module: &crate::Module) -> bool {
+        self.shape_matches(module)
+            && self
+                .funcs
+                .iter()
+                .zip(&module.functions)
+                .all(|(p, f)| p.flow_violations(f).is_empty())
     }
 
     /// Merges another module profile of the same shape.
@@ -276,6 +423,78 @@ mod tests {
         assert_eq!(p.loop_trip_count(&[back], &[entry]), Some(10.0));
         let cold = FuncEdgeProfile::zeroed(&f);
         assert_eq!(cold.loop_trip_count(&[back], &[entry]), None);
+    }
+
+    #[test]
+    fn shape_match_detects_mismatches() {
+        let f = branchy();
+        let p = FuncEdgeProfile::zeroed(&f);
+        assert!(p.shape_matches(&f));
+        let mut g = FunctionBuilder::new("g", 0);
+        g.ret(None);
+        let g = g.finish();
+        assert!(!p.shape_matches(&g));
+    }
+
+    #[test]
+    fn conservative_profile_has_no_violations() {
+        // branchy: b0 -> b1 | b2, b1 -> b3, b2 -> b3, b3 ret.
+        let f = branchy();
+        let mut p = FuncEdgeProfile::zeroed(&f);
+        p.set_entries(10);
+        p.set_block(BlockId(0), 10);
+        p.set_edge(EdgeRef::new(BlockId(0), 0), 7);
+        p.set_edge(EdgeRef::new(BlockId(0), 1), 3);
+        p.set_block(BlockId(1), 7);
+        p.set_edge(EdgeRef::new(BlockId(1), 0), 7);
+        p.set_block(BlockId(2), 3);
+        p.set_edge(EdgeRef::new(BlockId(2), 0), 3);
+        p.set_block(BlockId(3), 10);
+        assert_eq!(p.flow_violations(&f), vec![]);
+        assert!(p.is_flow_conservative(&f));
+    }
+
+    #[test]
+    fn each_kirchhoff_side_is_detected() {
+        let f = branchy();
+        let mut p = FuncEdgeProfile::zeroed(&f);
+        p.set_entries(1);
+        // Entry block frequency missing: in-flow 1 vs freq 0, and the
+        // exit check (returns total 0 vs 1 entry) also fires.
+        let v = p.flow_violations(&f);
+        assert!(v
+            .iter()
+            .any(|x| x.kind == FlowViolationKind::In && x.block == Some(BlockId(0))));
+        assert!(v.iter().any(|x| x.kind == FlowViolationKind::Exit));
+        assert!(!p.is_flow_conservative(&f));
+
+        // Out-flow: block executed but no edge leaves it.
+        let mut q = FuncEdgeProfile::zeroed(&f);
+        q.set_block(BlockId(1), 5);
+        let v = q.flow_violations(&f);
+        assert!(v
+            .iter()
+            .any(|x| x.kind == FlowViolationKind::Out && x.block == Some(BlockId(1))));
+    }
+
+    #[test]
+    fn zero_profile_is_conservative() {
+        let f = branchy();
+        let p = FuncEdgeProfile::zeroed(&f);
+        assert!(p.is_flow_conservative(&f));
+    }
+
+    #[test]
+    fn module_conservation_covers_all_functions() {
+        let mut m = crate::Module::new();
+        m.add_function(branchy());
+        m.add_function(branchy());
+        let mut p = ModuleEdgeProfile::zeroed(&m);
+        assert!(p.shape_matches(&m) && p.is_flow_conservative(&m));
+        p.func_mut(FuncId(1)).set_block(BlockId(2), 1);
+        assert!(!p.is_flow_conservative(&m));
+        p.funcs.pop();
+        assert!(!p.shape_matches(&m));
     }
 
     #[test]

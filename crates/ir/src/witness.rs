@@ -1,0 +1,171 @@
+//! Transformation witnesses: correspondence maps emitted by optimizer
+//! transforms for translation validation.
+//!
+//! Every structural transform over a [`crate::Module`] (inlining,
+//! unrolling, the scalar pipeline) can emit a [`TransformWitness`]
+//! alongside its report: a compact record of *what it claims to have
+//! done* — which call site was spliced where, which blocks are the `j`-th
+//! unroll replica of which source block, which source block each
+//! surviving block descends from. A witness says nothing by itself; the
+//! `ppp-lint` translation-validation pass replays and checks it against
+//! the source and optimized modules (PPP3xx diagnostics).
+//!
+//! Witnesses deliberately record ids the transform *allocated* (fresh
+//! registers, appended block ids) rather than re-deriving them, so the
+//! checker can cross-validate the transform's bookkeeping instead of
+//! trusting it.
+
+use crate::ids::{BlockId, EdgeRef, FuncId, Reg};
+
+/// The witness emitted by one optimizer transform invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformWitness {
+    /// Emitted by profile-guided inlining.
+    Inline(InlineWitness),
+    /// Emitted by profile-guided loop unrolling.
+    Unroll(UnrollWitness),
+    /// Emitted by the scalar optimization pipeline.
+    Scalar(ScalarWitness),
+}
+
+/// Witness for one `inline_module` invocation: every splice performed, in
+/// application order. Replaying the steps on the source module must
+/// reproduce the optimized module exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InlineWitness {
+    /// Splices in the order they were applied (module-global order
+    /// matters: a callee inlined after being modified by an earlier
+    /// splice is cloned in its *modified* form).
+    pub steps: Vec<InlineStep>,
+}
+
+/// One call-site splice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InlineStep {
+    /// Function the callee was spliced into.
+    pub caller: FuncId,
+    /// Function that was cloned.
+    pub callee: FuncId,
+    /// Block holding the call, at application time.
+    pub block: BlockId,
+    /// Instruction index of the call within `block`, at application time.
+    pub inst: usize,
+    /// Continuation block that received the call block's tail.
+    pub cont: BlockId,
+    /// First register id assigned to the cloned callee body
+    /// (caller `reg_count` at application time).
+    pub reg_base: u32,
+    /// First block id assigned to the cloned callee body.
+    pub block_base: u32,
+}
+
+/// Witness for one `unroll_module` invocation: every loop that was
+/// replicated, in application order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UnrollWitness {
+    /// Unrolled loops in the order they were transformed.
+    pub loops: Vec<UnrolledLoop>,
+}
+
+/// One unrolled loop: the source blocks that were replicated and the ids
+/// of every replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnrolledLoop {
+    /// Function containing the loop.
+    pub func: FuncId,
+    /// Source loop header.
+    pub header: BlockId,
+    /// Source blocks that were replicated, sorted ascending. Excludes the
+    /// header in counted mode (its test is elided), includes it in
+    /// generic mode (its test is retained).
+    pub cloned: Vec<BlockId>,
+    /// `copies[j][k]` is the `j`-th replica of `cloned[k]`.
+    pub copies: Vec<Vec<BlockId>>,
+    /// How the replicas were wired up.
+    pub mode: UnrollMode,
+}
+
+/// The two unrolling strategies (see `ppp-opt`'s unroller).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnrollMode {
+    /// Counted unrolling: `factor` test-elided copies guarded by an
+    /// `induction < factor` check, original loop kept as the remainder.
+    Counted {
+        /// Replication factor (and the guard constant).
+        factor: u32,
+        /// The loop's induction register (the header's branch condition).
+        induction: Reg,
+        /// The synthesized guard block dispatching between the remainder
+        /// loop and the wide body.
+        main_header: BlockId,
+        /// Fresh register holding the guard comparison result.
+        guard_cond: Reg,
+        /// Fresh register holding the constant `factor`.
+        guard_bound: Reg,
+    },
+    /// Generic unrolling: `factor - 1` extra copies with tests retained,
+    /// latches re-chained through the copies.
+    Generic {
+        /// Replication factor (copies made = `factor - 1`).
+        factor: u32,
+        /// The loop's back edges in the source function (their latches
+        /// are the blocks whose header-successors were re-chained).
+        back_edges: Vec<EdgeRef>,
+    },
+}
+
+/// Witness for one scalar-pipeline invocation over a whole module.
+///
+/// The scalar passes never clone blocks, so the witness is just the
+/// per-function descent map from surviving blocks to source blocks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScalarWitness {
+    /// One entry per function, indexed by [`FuncId`].
+    pub funcs: Vec<ScalarFuncWitness>,
+}
+
+/// Block descent map for one function after the scalar pipeline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScalarFuncWitness {
+    /// `origin[b]` is the source block that optimized block `b` descends
+    /// from (an injective map: unreachable source blocks have no image).
+    pub origin: Vec<BlockId>,
+}
+
+impl ScalarFuncWitness {
+    /// The identity witness for an untouched function with `n` blocks.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            origin: (0..n).map(BlockId::new).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_witness_maps_each_block_to_itself() {
+        let w = ScalarFuncWitness::identity(3);
+        assert_eq!(w.origin, vec![BlockId(0), BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn witness_variants_compare_structurally() {
+        let a = TransformWitness::Inline(InlineWitness::default());
+        let b = TransformWitness::Inline(InlineWitness {
+            steps: vec![InlineStep {
+                caller: FuncId(0),
+                callee: FuncId(1),
+                block: BlockId(2),
+                inst: 3,
+                cont: BlockId(4),
+                reg_base: 5,
+                block_base: 6,
+            }],
+        });
+        assert_ne!(a, b);
+        assert_eq!(a.clone(), a);
+    }
+}

@@ -10,6 +10,7 @@
 //! | `PPP0xx`  | generic dataflow lints (init, dead code)     |
 //! | `PPP1xx`  | instrumentation soundness (path semantics)   |
 //! | `PPP2xx`  | plan conformance (placement bookkeeping)     |
+//! | `PPP3xx`  | translation validation & profile consistency |
 
 use ppp_ir::{BlockId, FuncId};
 use std::fmt;
@@ -72,11 +73,39 @@ pub enum Code {
     /// `PPP203` — a profiling op references a counter table other than
     /// the plan's own.
     TableBinding,
+    /// `PPP301` — a transform witness is malformed: not total, not
+    /// injective, or shape-inconsistent with the source or optimized
+    /// module.
+    WitnessShape,
+    /// `PPP302` — the CFG simulation relation is broken: the optimized
+    /// function has an edge, entry, or return the witness cannot map to a
+    /// legal counterpart in the source.
+    SimulationBroken,
+    /// `PPP303` — a cloned block's instructions differ from the source
+    /// block the witness claims it descends from.
+    CloneMismatch,
+    /// `PPP304` — the abstract side-effect sequence (stores, calls,
+    /// emits, rand draws) of a region differs from its source region.
+    EffectMismatch,
+    /// `PPP305` — counted unrolling's elided tests are not justified by
+    /// the `i < factor` guard (symbolic execution of the wide body cannot
+    /// prove every elided test true).
+    UnrollGuard,
+    /// `PPP306` — an inline splice violates the call protocol: bad call
+    /// site, wrong glue (zero-inits/argument copies), or a continuation
+    /// that does not receive the call block's tail.
+    InlineProtocol,
+    /// `PPP307` — an edge profile's shape (function count, block count,
+    /// or per-block successor counts) does not match the module.
+    ProfileShape,
+    /// `PPP308` — an edge profile violates Kirchhoff flow conservation
+    /// (Σ in-edges = block frequency = Σ out-edges, modulo entry/exit).
+    FlowConservation,
 }
 
 impl Code {
     /// Every registered code, in code order.
-    pub const ALL: [Code; 12] = [
+    pub const ALL: [Code; 20] = [
         Code::UnreachableBlock,
         Code::UseBeforeInit,
         Code::DeadWrite,
@@ -89,6 +118,14 @@ impl Code {
         Code::PlacementMismatch,
         Code::OpMultisetMismatch,
         Code::TableBinding,
+        Code::WitnessShape,
+        Code::SimulationBroken,
+        Code::CloneMismatch,
+        Code::EffectMismatch,
+        Code::UnrollGuard,
+        Code::InlineProtocol,
+        Code::ProfileShape,
+        Code::FlowConservation,
     ];
 
     /// The stable code string (`"PPP001"`, ...).
@@ -106,6 +143,14 @@ impl Code {
             Code::PlacementMismatch => "PPP201",
             Code::OpMultisetMismatch => "PPP202",
             Code::TableBinding => "PPP203",
+            Code::WitnessShape => "PPP301",
+            Code::SimulationBroken => "PPP302",
+            Code::CloneMismatch => "PPP303",
+            Code::EffectMismatch => "PPP304",
+            Code::UnrollGuard => "PPP305",
+            Code::InlineProtocol => "PPP306",
+            Code::ProfileShape => "PPP307",
+            Code::FlowConservation => "PPP308",
         }
     }
 
@@ -121,7 +166,15 @@ impl Code {
             | Code::StrayInstrumentation
             | Code::PlacementMismatch
             | Code::OpMultisetMismatch
-            | Code::TableBinding => Severity::Error,
+            | Code::TableBinding
+            | Code::WitnessShape
+            | Code::SimulationBroken
+            | Code::CloneMismatch
+            | Code::EffectMismatch
+            | Code::UnrollGuard
+            | Code::InlineProtocol
+            | Code::ProfileShape
+            | Code::FlowConservation => Severity::Error,
         }
     }
 
@@ -140,6 +193,14 @@ impl Code {
             Code::PlacementMismatch => "block Prof layout differs from recorded placements",
             Code::OpMultisetMismatch => "Prof op multiset differs from the plan",
             Code::TableBinding => "profiling op bound to a foreign counter table",
+            Code::WitnessShape => "transform witness malformed or shape-inconsistent",
+            Code::SimulationBroken => "optimized CFG has no simulating source path",
+            Code::CloneMismatch => "cloned block differs from its witnessed source",
+            Code::EffectMismatch => "side-effect sequence differs from the source region",
+            Code::UnrollGuard => "elided unroll test not justified by the guard",
+            Code::InlineProtocol => "inline splice violates the call protocol",
+            Code::ProfileShape => "edge profile shape does not match the module",
+            Code::FlowConservation => "edge profile violates flow conservation",
         }
     }
 }

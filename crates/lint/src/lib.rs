@@ -18,6 +18,12 @@
 //! 4. **Plan conformance** ([`conformance`]) — compares the `Prof`
 //!    instructions physically present in the instrumented code against
 //!    the placements the planner recorded (`PPP201`–`PPP203`).
+//! 5. **Translation validation** ([`transval`]) — replays the
+//!    [`ppp_ir::TransformWitness`] each optimizer transform emits and
+//!    checks it against the source and optimized modules (CFG simulation,
+//!    clone fidelity, side-effect preservation, unroll-guard
+//!    justification), and checks edge profiles for shape agreement and
+//!    Kirchhoff flow conservation (`PPP301`–`PPP308`).
 //!
 //! Diagnostics carry stable codes and render as text or JSON — see
 //! [`diag`]. A report is *clean* when it contains no errors and no
@@ -47,9 +53,11 @@ pub mod deadcode;
 pub mod diag;
 pub mod init;
 pub mod soundness;
+pub mod transval;
 
 pub use dataflow::{solve, Analysis, BitSet, Direction, Solution};
 pub use diag::{Code, Diagnostic, LintReport, Severity};
+pub use transval::{check_profile, check_transform};
 
 use ppp_core::ModulePlan;
 use ppp_ir::{Cfg, FuncId, Module};

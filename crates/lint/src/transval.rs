@@ -1,0 +1,1336 @@
+//! Translation validation for the optimizer (`PPP3xx`).
+//!
+//! The optimizer's transforms (`ppp-opt`'s inliner, unroller, and scalar
+//! pipeline) each emit a [`TransformWitness`] describing what they claim
+//! to have done. This module *checks* those claims against the source and
+//! optimized modules, so a miscompile surfaces as a stable diagnostic
+//! instead of a silently-wrong downstream measurement:
+//!
+//! - **inlining and unrolling** are validated by *witness replay*: an
+//!   independent reimplementation of the splice/clone machinery applies
+//!   the witness to the source module and the result is compared with the
+//!   optimized module block by block. Every witnessed id (fresh register
+//!   bases, appended block ids) must equal the id the replay allocates,
+//!   so the transform's bookkeeping is cross-validated rather than
+//!   trusted. Mismatches are classified by what the diverging block *is*:
+//!   transform glue ([`Code::InlineProtocol`]), an unroll guard
+//!   ([`Code::UnrollGuard`]), a clone whose side effects changed
+//!   ([`Code::EffectMismatch`]) or whose pure code changed
+//!   ([`Code::CloneMismatch`]), or an edge the witness cannot explain
+//!   ([`Code::SimulationBroken`]);
+//! - **counted unrolling's elided tests** are additionally justified by
+//!   symbolic execution of the optimized wide body: walking the
+//!   straight-line copies from the `i < factor` guard's else-branch
+//!   (where `i >= factor >= 1`), every certified `i -= 1` decrement is
+//!   counted, and each elided junction must occur with fewer than
+//!   `factor` decrements executed — i.e. where the elided source test
+//!   would provably have been true ([`Code::UnrollGuard`] otherwise);
+//! - **the scalar pipeline** is validated directly through its block
+//!   descent map: the map must be injective into the source blocks
+//!   ([`Code::WitnessShape`]), every optimized edge must descend from a
+//!   source edge and returns from returns ([`Code::SimulationBroken`]),
+//!   and each block's abstract side-effect sequence (stores, calls,
+//!   emits, rand draws, profiling ops) must match its source block's,
+//!   modulo dead loads ([`Code::EffectMismatch`]);
+//! - **edge profiles** are checked for shape agreement
+//!   ([`Code::ProfileShape`]) and per-block Kirchhoff flow conservation
+//!   ([`Code::FlowConservation`]) — the invariant exact tracing
+//!   guarantees and every profile consumer assumes.
+
+use crate::diag::{Code, Diagnostic, LintReport};
+use ppp_ir::{
+    BinOp, Block, BlockId, FuncId, Function, InlineStep, Inst, Module, ModuleEdgeProfile, Reg,
+    ScalarFuncWitness, Terminator, TransformWitness, UnrollMode, UnrolledLoop,
+};
+use std::collections::HashSet;
+
+/// Checks that `optimized` is the result `witness` claims of transforming
+/// `source`. Returns every `PPP3xx` finding (empty report = validated).
+pub fn check_transform(
+    source: &Module,
+    witness: &TransformWitness,
+    optimized: &Module,
+) -> LintReport {
+    let mut report = LintReport::new();
+    match witness {
+        TransformWitness::Inline(w) => check_inline(source, &w.steps, optimized, &mut report),
+        TransformWitness::Unroll(w) => check_unroll(source, &w.loops, optimized, &mut report),
+        TransformWitness::Scalar(w) => check_scalar(source, &w.funcs, optimized, &mut report),
+    }
+    report.sort();
+    report
+}
+
+/// Checks `profile` against `module`: shape agreement (`PPP307`) and
+/// per-block flow conservation (`PPP308`).
+pub fn check_profile(module: &Module, profile: &ModuleEdgeProfile) -> LintReport {
+    let mut report = LintReport::new();
+    if profile.funcs.len() != module.functions.len() {
+        report.push(module_diag(
+            Code::ProfileShape,
+            format!(
+                "profile covers {} function(s) but the module has {}",
+                profile.funcs.len(),
+                module.functions.len()
+            ),
+        ));
+        return report;
+    }
+    for (i, (fp, f)) in profile.funcs.iter().zip(&module.functions).enumerate() {
+        let fid = FuncId(i as u32);
+        if !fp.shape_matches(f) {
+            report.push(diag(
+                Code::ProfileShape,
+                fid,
+                &f.name,
+                None,
+                "profile shape (block or successor counts) does not match the function".into(),
+            ));
+            continue;
+        }
+        for v in fp.flow_violations(f) {
+            report.push(diag(
+                Code::FlowConservation,
+                fid,
+                &f.name,
+                v.block,
+                format!(
+                    "{} must equal {} but the profile records {}",
+                    v.kind, v.expected, v.actual
+                ),
+            ));
+        }
+    }
+    report.sort();
+    report
+}
+
+fn diag(
+    code: Code,
+    func: FuncId,
+    name: &str,
+    block: Option<BlockId>,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        code,
+        func,
+        func_name: name.to_string(),
+        block,
+        message,
+    }
+}
+
+/// A module-level finding not attributable to one routine.
+fn module_diag(code: Code, message: String) -> Diagnostic {
+    diag(code, FuncId(0), "<module>", None, message)
+}
+
+/// What role a block plays in the replayed module, used to classify
+/// divergences between the replay and the optimized module.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BlockClass {
+    /// Untouched by the transform.
+    Plain,
+    /// Transform glue: a rewritten call block or a spliced continuation.
+    Glue,
+    /// A clone of a source block (inlined callee body, unroll replica).
+    Clone,
+    /// A synthesized unroll guard block.
+    Guard,
+}
+
+/// Per-function block classes, kept in sync with the replay module.
+type ClassMap = Vec<Vec<BlockClass>>;
+
+fn plain_classes(module: &Module) -> ClassMap {
+    module
+        .functions
+        .iter()
+        .map(|f| vec![BlockClass::Plain; f.blocks.len()])
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Inline validation: replay every witnessed splice, then compare.
+// ---------------------------------------------------------------------------
+
+fn check_inline(
+    source: &Module,
+    steps: &[InlineStep],
+    optimized: &Module,
+    report: &mut LintReport,
+) {
+    let mut replay = source.clone();
+    let mut classes = plain_classes(source);
+    for step in steps {
+        if let Err(d) = replay_inline_step(&mut replay, step, &mut classes) {
+            // The replay state no longer tracks the transform; comparing
+            // the modules would only produce noise on top of the cause.
+            report.push(d);
+            return;
+        }
+    }
+    compare_modules(&replay, optimized, &classes, report);
+}
+
+/// Replays one splice, mirroring the inliner's protocol, or reports why
+/// the witness cannot be replayed.
+fn replay_inline_step(
+    replay: &mut Module,
+    step: &InlineStep,
+    classes: &mut ClassMap,
+) -> Result<(), Diagnostic> {
+    if step.caller.index() >= replay.functions.len()
+        || step.callee.index() >= replay.functions.len()
+    {
+        return Err(module_diag(
+            Code::WitnessShape,
+            format!(
+                "inline step references function {:?}/{:?} outside the module",
+                step.caller, step.callee
+            ),
+        ));
+    }
+    // Clone the callee in its *current* state: an earlier splice may have
+    // already rewritten it, and application order is part of the witness.
+    let callee = replay.function(step.callee).clone();
+    let caller = replay.function_mut(step.caller);
+    let name = caller.name.clone();
+    if step.block.index() >= caller.blocks.len()
+        || step.inst >= caller.block(step.block).insts.len()
+    {
+        return Err(diag(
+            Code::InlineProtocol,
+            step.caller,
+            &name,
+            Some(step.block),
+            format!(
+                "witnessed call site b{}:{} does not exist in the caller",
+                step.block.index(),
+                step.inst
+            ),
+        ));
+    }
+    match &caller.block(step.block).insts[step.inst] {
+        Inst::Call { callee: c, .. } if *c == step.callee => {}
+        other => {
+            return Err(diag(
+                Code::InlineProtocol,
+                step.caller,
+                &name,
+                Some(step.block),
+                format!(
+                    "witnessed call site holds {other:?}, not a call to {:?}",
+                    step.callee
+                ),
+            ));
+        }
+    }
+    // The witnessed ids must be exactly the ids this replay allocates.
+    let expect_cont = BlockId::new(caller.blocks.len());
+    let expect_block_base = caller.blocks.len() as u32 + 1;
+    let expect_reg_base = caller.reg_count;
+    if step.cont != expect_cont
+        || step.block_base != expect_block_base
+        || step.reg_base != expect_reg_base
+    {
+        return Err(diag(
+            Code::WitnessShape,
+            step.caller,
+            &name,
+            Some(step.block),
+            format!(
+                "witnessed allocation bases (cont {:?}, blocks {}, regs {}) disagree with the \
+                 replay ({:?}, {}, {})",
+                step.cont,
+                step.block_base,
+                step.reg_base,
+                expect_cont,
+                expect_block_base,
+                expect_reg_base,
+            ),
+        ));
+    }
+
+    // --- the splice itself, mirroring the inliner ---
+    let mut tail_insts = caller.block_mut(step.block).insts.split_off(step.inst);
+    let call = tail_insts.remove(0);
+    let Inst::Call { dst, args, .. } = call else {
+        unreachable!("checked above");
+    };
+    let cont_term = std::mem::replace(
+        &mut caller.block_mut(step.block).term,
+        Terminator::Return { value: None },
+    );
+    let cont = caller.add_block(Block {
+        insts: tail_insts,
+        term: cont_term,
+    });
+    let reg_base = caller.reg_count;
+    caller.reg_count += callee.reg_count;
+    let block_base = caller.blocks.len() as u32;
+    let remap_reg = |r: Reg| Reg(r.0 + reg_base);
+    let remap_block = |b: BlockId| BlockId(b.0 + block_base);
+    for cb in &callee.blocks {
+        let insts = cb.insts.iter().map(|i| remap_regs(i, &remap_reg)).collect();
+        let term = match &cb.term {
+            Terminator::Jump { target } => Terminator::Jump {
+                target: remap_block(*target),
+            },
+            Terminator::Branch {
+                cond,
+                then_target,
+                else_target,
+            } => Terminator::Branch {
+                cond: remap_reg(*cond),
+                then_target: remap_block(*then_target),
+                else_target: remap_block(*else_target),
+            },
+            Terminator::Switch {
+                disc,
+                targets,
+                default,
+            } => Terminator::Switch {
+                disc: remap_reg(*disc),
+                targets: targets.iter().copied().map(remap_block).collect(),
+                default: remap_block(*default),
+            },
+            Terminator::Return { .. } => Terminator::Jump { target: cont },
+        };
+        let mut block = Block { insts, term };
+        if matches!(block.term, Terminator::Jump { target } if target == cont) {
+            if let Some(d) = dst {
+                match &cb.term {
+                    Terminator::Return { value: Some(v) } => block.insts.push(Inst::Copy {
+                        dst: d,
+                        src: remap_reg(*v),
+                    }),
+                    Terminator::Return { value: None } => {
+                        block.insts.push(Inst::Const { dst: d, value: 0 })
+                    }
+                    _ => {}
+                }
+            }
+        }
+        caller.blocks.push(block);
+    }
+    // Glue: zero every non-parameter register the callee reads anywhere,
+    // then copy the arguments, then enter the body.
+    let mut read_regs = vec![false; callee.reg_count as usize];
+    let mut uses = Vec::new();
+    for b in &callee.blocks {
+        for inst in &b.insts {
+            uses.clear();
+            inst.uses(&mut uses);
+            for &u in &uses {
+                read_regs[u.index()] = true;
+            }
+        }
+        if let Some(u) = b.term.use_reg() {
+            read_regs[u.index()] = true;
+        }
+    }
+    let zero_inits: Vec<Inst> = read_regs
+        .iter()
+        .enumerate()
+        .skip(callee.param_count as usize)
+        .filter(|&(_, &read)| read)
+        .map(|(i, _)| Inst::Const {
+            dst: Reg(reg_base + i as u32),
+            value: 0,
+        })
+        .collect();
+    let arg_copies: Vec<Inst> = args
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| Inst::Copy {
+            dst: Reg(reg_base + i as u32),
+            src: a,
+        })
+        .collect();
+    let call_blk = caller.block_mut(step.block);
+    call_blk.insts.extend(zero_inits);
+    call_blk.insts.extend(arg_copies);
+    call_blk.term = Terminator::Jump {
+        target: remap_block(callee.entry),
+    };
+
+    let fc = &mut classes[step.caller.index()];
+    fc[step.block.index()] = BlockClass::Glue;
+    fc.push(BlockClass::Glue); // cont
+    fc.resize(fc.len() + callee.blocks.len(), BlockClass::Clone);
+    Ok(())
+}
+
+fn remap_regs(inst: &Inst, remap: &impl Fn(Reg) -> Reg) -> Inst {
+    match inst {
+        Inst::Const { dst, value } => Inst::Const {
+            dst: remap(*dst),
+            value: *value,
+        },
+        Inst::Copy { dst, src } => Inst::Copy {
+            dst: remap(*dst),
+            src: remap(*src),
+        },
+        Inst::Unary { dst, op, src } => Inst::Unary {
+            dst: remap(*dst),
+            op: *op,
+            src: remap(*src),
+        },
+        Inst::Binary { dst, op, lhs, rhs } => Inst::Binary {
+            dst: remap(*dst),
+            op: *op,
+            lhs: remap(*lhs),
+            rhs: remap(*rhs),
+        },
+        Inst::Load { dst, addr } => Inst::Load {
+            dst: remap(*dst),
+            addr: remap(*addr),
+        },
+        Inst::Store { addr, src } => Inst::Store {
+            addr: remap(*addr),
+            src: remap(*src),
+        },
+        Inst::Rand { dst, bound } => Inst::Rand {
+            dst: remap(*dst),
+            bound: remap(*bound),
+        },
+        Inst::Call { dst, callee, args } => Inst::Call {
+            dst: dst.map(remap),
+            callee: *callee,
+            args: args.iter().copied().map(remap).collect(),
+        },
+        Inst::Emit { src } => Inst::Emit { src: remap(*src) },
+        Inst::Prof(op) => Inst::Prof(*op),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unroll validation: replay every witnessed loop, compare, then justify
+// counted elision symbolically.
+// ---------------------------------------------------------------------------
+
+fn check_unroll(
+    source: &Module,
+    loops: &[UnrolledLoop],
+    optimized: &Module,
+    report: &mut LintReport,
+) {
+    let mut replay = source.clone();
+    let mut classes = plain_classes(source);
+    for l in loops {
+        if let Err(d) = replay_unroll_loop(&mut replay, l, &mut classes) {
+            report.push(d);
+            return;
+        }
+    }
+    compare_modules(&replay, optimized, &classes, report);
+    for l in loops {
+        if matches!(l.mode, UnrollMode::Counted { .. }) {
+            justify_counted(source, optimized, l, report);
+        }
+    }
+}
+
+/// Checks a witnessed loop's structural invariants shared by both modes.
+fn check_loop_shape(f: &Function, l: &UnrolledLoop, name: &str) -> Result<(), Diagnostic> {
+    let in_range = |b: BlockId| b.index() < f.blocks.len();
+    if !in_range(l.header) || !l.cloned.iter().all(|&b| in_range(b)) || l.cloned.is_empty() {
+        return Err(diag(
+            Code::WitnessShape,
+            l.func,
+            name,
+            Some(l.header),
+            "witnessed loop references blocks outside the function or clones nothing".into(),
+        ));
+    }
+    if !l.cloned.windows(2).all(|w| w[0] < w[1]) {
+        return Err(diag(
+            Code::WitnessShape,
+            l.func,
+            name,
+            Some(l.header),
+            "witnessed clone list is not sorted and duplicate-free".into(),
+        ));
+    }
+    if l.copies.iter().any(|c| c.len() != l.cloned.len()) {
+        return Err(diag(
+            Code::WitnessShape,
+            l.func,
+            name,
+            Some(l.header),
+            "a replica set's length differs from the clone list".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn replay_unroll_loop(
+    replay: &mut Module,
+    l: &UnrolledLoop,
+    classes: &mut ClassMap,
+) -> Result<(), Diagnostic> {
+    if l.func.index() >= replay.functions.len() {
+        return Err(module_diag(
+            Code::WitnessShape,
+            format!(
+                "unroll witness references function {:?} outside the module",
+                l.func
+            ),
+        ));
+    }
+    let f = replay.function_mut(l.func);
+    let name = f.name.clone();
+    check_loop_shape(f, l, &name)?;
+    match &l.mode {
+        UnrollMode::Counted {
+            factor,
+            induction,
+            main_header,
+            guard_cond,
+            guard_bound,
+        } => {
+            if l.cloned.contains(&l.header) {
+                return Err(diag(
+                    Code::WitnessShape,
+                    l.func,
+                    &name,
+                    Some(l.header),
+                    "counted mode must elide the header from the clone list".into(),
+                ));
+            }
+            if *factor == 0 || l.copies.len() != *factor as usize {
+                return Err(diag(
+                    Code::WitnessShape,
+                    l.func,
+                    &name,
+                    Some(l.header),
+                    format!(
+                        "counted factor {} disagrees with {} replica set(s)",
+                        factor,
+                        l.copies.len()
+                    ),
+                ));
+            }
+            // The source header must actually be a counted-loop test on
+            // the witnessed induction register, or eliding it is bogus.
+            let header_blk = f.block(l.header);
+            let Terminator::Branch {
+                cond, then_target, ..
+            } = header_blk.term
+            else {
+                return Err(diag(
+                    Code::UnrollGuard,
+                    l.func,
+                    &name,
+                    Some(l.header),
+                    "counted unroll witnessed on a header that is not a two-way test".into(),
+                ));
+            };
+            if !header_blk.insts.is_empty() || cond != *induction {
+                return Err(diag(
+                    Code::UnrollGuard,
+                    l.func,
+                    &name,
+                    Some(l.header),
+                    "header computes more than the witnessed induction test".into(),
+                ));
+            }
+            let Ok(first_idx) = l.cloned.binary_search(&then_target) else {
+                return Err(diag(
+                    Code::UnrollGuard,
+                    l.func,
+                    &name,
+                    Some(l.header),
+                    "the header's loop successor is not among the cloned blocks".into(),
+                ));
+            };
+            // The source body must decrement the induction register by a
+            // certified constant 1 exactly once, with no calls and no
+            // other writes — the precondition for eliding its test.
+            walk_certified_chain(f, then_target, &l.cloned, l.header, *induction).map_err(
+                |why| {
+                    diag(
+                        Code::UnrollGuard,
+                        l.func,
+                        &name,
+                        Some(l.header),
+                        format!("source loop does not qualify for test elision: {why}"),
+                    )
+                },
+            )?;
+
+            // --- replay, mirroring the unroller's allocation order ---
+            let expect_t = Reg(f.reg_count);
+            let expect_k = Reg(f.reg_count + 1);
+            let expect_mh = BlockId::new(f.blocks.len());
+            if *guard_cond != expect_t || *guard_bound != expect_k || *main_header != expect_mh {
+                return Err(diag(
+                    Code::WitnessShape,
+                    l.func,
+                    &name,
+                    Some(l.header),
+                    format!(
+                        "witnessed guard ids ({guard_cond:?}, {guard_bound:?}, {main_header:?}) \
+                         disagree with the replay ({expect_t:?}, {expect_k:?}, {expect_mh:?})"
+                    ),
+                ));
+            }
+            let t = f.new_reg();
+            let k = f.new_reg();
+            let mh = f.add_block(Block::new(Terminator::Return { value: None }));
+            let mut entries = Vec::new();
+            for copy in &l.copies {
+                let map = replay_clone(f, l, copy, mh, &name)?;
+                entries.push(map[first_idx]);
+            }
+            // Re-chain copy j's back edge to copy j+1's entry.
+            for j in 0..l.copies.len() - 1 {
+                for &cb in &l.copies[j] {
+                    let term = &mut f.block_mut(cb).term;
+                    for s in 0..term.successor_count() {
+                        if term.successor(s) == Some(mh) {
+                            term.set_successor(s, entries[j + 1]);
+                        }
+                    }
+                }
+            }
+            let guard = f.block_mut(mh);
+            guard.insts.push(Inst::Const {
+                dst: k,
+                value: i64::from(*factor),
+            });
+            guard.insts.push(Inst::Binary {
+                dst: t,
+                op: BinOp::Lt,
+                lhs: *induction,
+                rhs: k,
+            });
+            guard.term = Terminator::Branch {
+                cond: t,
+                then_target: l.header,
+                else_target: entries[0],
+            };
+            // Redirect entry edges (header-targets outside the loop and
+            // its replicas) to the guard.
+            let inside: HashSet<BlockId> = l
+                .cloned
+                .iter()
+                .chain(std::iter::once(&l.header))
+                .copied()
+                .chain(l.copies.iter().flatten().copied())
+                .chain(std::iter::once(mh))
+                .collect();
+            for b in f.block_ids().collect::<Vec<_>>() {
+                if inside.contains(&b) {
+                    continue;
+                }
+                let term = &mut f.block_mut(b).term;
+                for s in 0..term.successor_count() {
+                    if term.successor(s) == Some(l.header) {
+                        term.set_successor(s, mh);
+                    }
+                }
+            }
+            let fc = &mut classes[l.func.index()];
+            fc.push(BlockClass::Guard);
+            fc.resize(
+                fc.len() + l.copies.len() * l.cloned.len(),
+                BlockClass::Clone,
+            );
+        }
+        UnrollMode::Generic { factor, back_edges } => {
+            if *factor < 2 || l.copies.len() != *factor as usize - 1 {
+                return Err(diag(
+                    Code::WitnessShape,
+                    l.func,
+                    &name,
+                    Some(l.header),
+                    format!(
+                        "generic factor {} disagrees with {} replica set(s)",
+                        factor,
+                        l.copies.len()
+                    ),
+                ));
+            }
+            let header_idx = l.cloned.binary_search(&l.header).map_err(|_| {
+                diag(
+                    Code::WitnessShape,
+                    l.func,
+                    &name,
+                    Some(l.header),
+                    "generic mode must include the header in the clone list".into(),
+                )
+            })?;
+            for e in back_edges {
+                let valid = l.cloned.contains(&e.from)
+                    && f.block(e.from).term.successor(e.succ_index()) == Some(l.header);
+                if !valid {
+                    return Err(diag(
+                        Code::WitnessShape,
+                        l.func,
+                        &name,
+                        Some(e.from),
+                        "a witnessed back edge does not target the loop header".into(),
+                    ));
+                }
+            }
+            let mut maps = Vec::new();
+            for copy in &l.copies {
+                maps.push(replay_clone(f, l, copy, l.header, &name)?);
+            }
+            // Re-chain latches through the copies, as the unroller does.
+            let lookup = |map: &Vec<BlockId>, b: BlockId| map[l.cloned.binary_search(&b).unwrap()];
+            let redirect = |blocks: Vec<BlockId>, to: BlockId, f: &mut Function| {
+                for b in blocks {
+                    let term = &mut f.block_mut(b).term;
+                    for s in 0..term.successor_count() {
+                        if term.successor(s) == Some(l.header) {
+                            term.set_successor(s, to);
+                        }
+                    }
+                }
+            };
+            let latches: Vec<BlockId> = back_edges.iter().map(|e| e.from).collect();
+            redirect(latches, l.copies[0][header_idx], f);
+            for (j, map) in maps.iter().enumerate().take(maps.len() - 1) {
+                let copy_latches: Vec<BlockId> =
+                    back_edges.iter().map(|e| lookup(map, e.from)).collect();
+                redirect(copy_latches, l.copies[j + 1][header_idx], f);
+            }
+            let fc = &mut classes[l.func.index()];
+            fc.resize(
+                fc.len() + l.copies.len() * l.cloned.len(),
+                BlockClass::Clone,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Clones the witnessed loop body once, checking each appended block gets
+/// exactly the witnessed id; in-body targets are remapped and header
+/// targets are redirected to `back_to`. Returns the replica ids aligned
+/// with `l.cloned`.
+fn replay_clone(
+    f: &mut Function,
+    l: &UnrolledLoop,
+    copy: &[BlockId],
+    back_to: BlockId,
+    name: &str,
+) -> Result<Vec<BlockId>, Diagnostic> {
+    let mut ids = Vec::with_capacity(copy.len());
+    for (&src, &witnessed) in l.cloned.iter().zip(copy) {
+        let id = f.add_block(f.block(src).clone());
+        if id != witnessed {
+            return Err(diag(
+                Code::WitnessShape,
+                l.func,
+                name,
+                Some(src),
+                format!(
+                    "witnessed replica {witnessed:?} of {src:?} disagrees with the replayed {id:?}"
+                ),
+            ));
+        }
+        ids.push(id);
+    }
+    for &id in &ids {
+        let term = &mut f.block_mut(id).term;
+        for s in 0..term.successor_count() {
+            let tgt = term.successor(s).expect("in-range successor");
+            if tgt == l.header {
+                term.set_successor(s, back_to);
+            } else if let Ok(i) = l.cloned.binary_search(&tgt) {
+                term.set_successor(s, ids[i]);
+            }
+        }
+    }
+    Ok(ids)
+}
+
+/// Walks the straight-line chain from `start` through `body` back to
+/// `stop`, requiring exactly one decrement of `induction` by a certified
+/// constant 1 and nothing else that writes it (or could: calls are
+/// rejected outright). Errors describe why elision would be unsound.
+fn walk_certified_chain(
+    f: &Function,
+    start: BlockId,
+    body: &[BlockId],
+    stop: BlockId,
+    induction: Reg,
+) -> Result<(), String> {
+    let mut decrements = 0usize;
+    let mut ones: Vec<Reg> = Vec::new();
+    let mut cur = start;
+    for _ in 0..body.len() + 1 {
+        for inst in &f.block(cur).insts {
+            if let Inst::Binary {
+                dst,
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+            } = inst
+            {
+                if *dst == induction && *lhs == induction {
+                    if !ones.contains(rhs) {
+                        return Err("decrement amount is not a certified constant 1".into());
+                    }
+                    decrements += 1;
+                    continue;
+                }
+            }
+            if matches!(inst, Inst::Call { .. }) {
+                return Err("the body calls another routine".into());
+            }
+            if inst.def() == Some(induction) {
+                return Err("the body writes the induction register".into());
+            }
+            if let Some(d) = inst.def() {
+                ones.retain(|&r| r != d);
+                if matches!(inst, Inst::Const { value: 1, .. }) {
+                    ones.push(d);
+                }
+            }
+        }
+        match f.block(cur).term {
+            Terminator::Jump { target } if target == stop => {
+                return if decrements == 1 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "the body decrements {decrements} time(s), not exactly once"
+                    ))
+                };
+            }
+            Terminator::Jump { target } if body.binary_search(&target).is_ok() => cur = target,
+            _ => return Err("the body is not a straight-line chain".into()),
+        }
+    }
+    Err("the body chain never returns to the header".into())
+}
+
+/// Justifies counted unrolling's elided tests on the *optimized* module:
+/// symbolically executes the wide body from the guard's else-branch
+/// (where `induction >= bound >= 1`) and checks that each elided junction
+/// is reached with fewer than `bound` certified decrements — exactly when
+/// the elided source test would have been true.
+fn justify_counted(source: &Module, optimized: &Module, l: &UnrolledLoop, report: &mut LintReport) {
+    let UnrollMode::Counted {
+        induction,
+        main_header,
+        guard_cond,
+        guard_bound,
+        ..
+    } = &l.mode
+    else {
+        return;
+    };
+    if l.func.index() >= optimized.functions.len() || l.func.index() >= source.functions.len() {
+        return; // already reported as PPP301 by the replay/compare
+    }
+    let f = optimized.function(l.func);
+    let in_range = |b: BlockId| b.index() < f.blocks.len();
+    if !in_range(*main_header)
+        || !l.copies.iter().flatten().all(|&b| in_range(b))
+        || l.copies.is_empty()
+    {
+        return; // shape already reported
+    }
+    let mut fail = |block: BlockId, why: String| {
+        report.push(diag(Code::UnrollGuard, l.func, &f.name, Some(block), why));
+    };
+    // The guard must establish `induction >= bound` on the wide-body edge.
+    let guard = f.block(*main_header);
+    let bound = match guard.insts.as_slice() {
+        [Inst::Const { dst: kd, value }, Inst::Binary {
+            dst: td,
+            op: BinOp::Lt,
+            lhs,
+            rhs,
+        }] if kd == guard_bound
+            && td == guard_cond
+            && lhs == induction
+            && rhs == guard_bound
+            && *value >= 1 =>
+        {
+            *value
+        }
+        _ => {
+            fail(
+                *main_header,
+                "guard block does not establish `induction >= bound >= 1`".into(),
+            );
+            return;
+        }
+    };
+    let (entries, sf) = (&l.copies, source.function(l.func));
+    let Terminator::Branch { then_target, .. } = sf.block(l.header).term else {
+        return; // source shape already reported by the replay
+    };
+    let Ok(first_idx) = l.cloned.binary_search(&then_target) else {
+        return;
+    };
+    let Terminator::Branch {
+        cond,
+        then_target: g_then,
+        else_target: g_else,
+    } = guard.term
+    else {
+        fail(
+            *main_header,
+            "guard block does not branch on its test".into(),
+        );
+        return;
+    };
+    if cond != *guard_cond || g_then != l.header || g_else != entries[0][first_idx] {
+        fail(
+            *main_header,
+            "guard branch does not dispatch remainder-vs-wide-body on its test".into(),
+        );
+        return;
+    }
+
+    // Symbolic walk of the chained copies: `induction >= bound` holds on
+    // entry; after d certified decrements, `induction >= bound - d`, so
+    // an elided junction is sound iff d < bound there.
+    let mut decrements: i64 = 0;
+    let mut ones: Vec<Reg> = Vec::new();
+    for (j, copy) in l.copies.iter().enumerate() {
+        let copy_set: HashSet<BlockId> = copy.iter().copied().collect();
+        let junction = if j + 1 < l.copies.len() {
+            l.copies[j + 1][first_idx]
+        } else {
+            *main_header
+        };
+        let mut cur = copy[first_idx];
+        let mut steps = 0usize;
+        loop {
+            if steps > copy.len() {
+                fail(cur, "wide-body copy is not a straight-line chain".into());
+                return;
+            }
+            steps += 1;
+            for inst in &f.block(cur).insts {
+                if let Inst::Binary {
+                    dst,
+                    op: BinOp::Sub,
+                    lhs,
+                    rhs,
+                } = inst
+                {
+                    if *dst == *induction && *lhs == *induction {
+                        if !ones.contains(rhs) {
+                            fail(cur, "uncertified write to the induction register".into());
+                            return;
+                        }
+                        decrements += 1;
+                        continue;
+                    }
+                }
+                if matches!(inst, Inst::Call { .. }) || inst.def() == Some(*induction) {
+                    fail(cur, "wide body may clobber the induction register".into());
+                    return;
+                }
+                if let Some(d) = inst.def() {
+                    ones.retain(|&r| r != d);
+                    if matches!(inst, Inst::Const { value: 1, .. }) {
+                        ones.push(d);
+                    }
+                }
+            }
+            match f.block(cur).term {
+                Terminator::Jump { target } if target == junction => break,
+                Terminator::Jump { target } if copy_set.contains(&target) => cur = target,
+                _ => {
+                    fail(cur, "wide-body copy does not chain to the next copy".into());
+                    return;
+                }
+            }
+        }
+        // The junction into copy j+1 elides a source test; the final
+        // junction re-enters the guard, which re-tests.
+        if j + 1 < l.copies.len() && decrements >= bound {
+            fail(
+                junction,
+                format!(
+                    "elided test unjustified: {decrements} decrement(s) may exhaust the \
+                     guard bound {bound}"
+                ),
+            );
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay-vs-optimized comparison with class-based mismatch triage.
+// ---------------------------------------------------------------------------
+
+fn compare_modules(
+    replay: &Module,
+    optimized: &Module,
+    classes: &ClassMap,
+    report: &mut LintReport,
+) {
+    if replay.functions.len() != optimized.functions.len() {
+        report.push(module_diag(
+            Code::WitnessShape,
+            format!(
+                "replayed module has {} function(s) but the optimized module has {}",
+                replay.functions.len(),
+                optimized.functions.len()
+            ),
+        ));
+        return;
+    }
+    for (i, (rf, of)) in replay
+        .functions
+        .iter()
+        .zip(&optimized.functions)
+        .enumerate()
+    {
+        let fid = FuncId(i as u32);
+        if rf.blocks.len() != of.blocks.len()
+            || rf.reg_count != of.reg_count
+            || rf.param_count != of.param_count
+        {
+            report.push(diag(
+                Code::WitnessShape,
+                fid,
+                &of.name,
+                None,
+                format!(
+                    "replay predicts {} block(s)/{} register(s), the optimized function has \
+                     {}/{}",
+                    rf.blocks.len(),
+                    rf.reg_count,
+                    of.blocks.len(),
+                    of.reg_count
+                ),
+            ));
+            continue;
+        }
+        if rf.entry != of.entry {
+            report.push(diag(
+                Code::SimulationBroken,
+                fid,
+                &of.name,
+                None,
+                format!(
+                    "entry moved to {:?}; the replay predicts {:?}",
+                    of.entry, rf.entry
+                ),
+            ));
+        }
+        for (bi, (rb, ob)) in rf.blocks.iter().zip(&of.blocks).enumerate() {
+            let block = BlockId::new(bi);
+            let class = classes[i].get(bi).copied().unwrap_or(BlockClass::Plain);
+            if rb.term != ob.term {
+                let code = match class {
+                    BlockClass::Guard => Code::UnrollGuard,
+                    _ => Code::SimulationBroken,
+                };
+                report.push(diag(
+                    code,
+                    fid,
+                    &of.name,
+                    Some(block),
+                    format!(
+                        "terminator {:?} differs from the replayed {:?}",
+                        ob.term, rb.term
+                    ),
+                ));
+            }
+            if rb.insts != ob.insts {
+                let code = match class {
+                    BlockClass::Glue => Code::InlineProtocol,
+                    BlockClass::Guard => Code::UnrollGuard,
+                    BlockClass::Clone | BlockClass::Plain => {
+                        if effect_kinds(ob) != effect_kinds(rb) {
+                            Code::EffectMismatch
+                        } else {
+                            Code::CloneMismatch
+                        }
+                    }
+                };
+                report.push(diag(
+                    code,
+                    fid,
+                    &of.name,
+                    Some(block),
+                    format!(
+                        "instructions differ from the witnessed replay ({} vs {} op(s))",
+                        ob.insts.len(),
+                        rb.insts.len()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The abstract side-effect alphabet: what an optimized region must
+/// preserve about a source region, ignoring register renaming.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EffectKind {
+    Load,
+    Store,
+    Call(FuncId),
+    Emit,
+    Rand,
+    Prof,
+}
+
+fn effect_kinds(block: &Block) -> Vec<EffectKind> {
+    block
+        .insts
+        .iter()
+        .filter_map(|inst| match inst {
+            Inst::Load { .. } => Some(EffectKind::Load),
+            Inst::Store { .. } => Some(EffectKind::Store),
+            Inst::Call { callee, .. } => Some(EffectKind::Call(*callee)),
+            Inst::Emit { .. } => Some(EffectKind::Emit),
+            Inst::Rand { .. } => Some(EffectKind::Rand),
+            Inst::Prof(_) => Some(EffectKind::Prof),
+            _ => None,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Scalar validation: direct simulation checks through the descent map.
+// ---------------------------------------------------------------------------
+
+fn check_scalar(
+    source: &Module,
+    funcs: &[ScalarFuncWitness],
+    optimized: &Module,
+    report: &mut LintReport,
+) {
+    if funcs.len() != source.functions.len() || optimized.functions.len() != source.functions.len()
+    {
+        report.push(module_diag(
+            Code::WitnessShape,
+            format!(
+                "scalar witness covers {} function(s); source has {}, optimized has {}",
+                funcs.len(),
+                source.functions.len(),
+                optimized.functions.len()
+            ),
+        ));
+        return;
+    }
+    for (i, w) in funcs.iter().enumerate() {
+        let fid = FuncId(i as u32);
+        check_scalar_func(
+            &source.functions[i],
+            w,
+            &optimized.functions[i],
+            fid,
+            report,
+        );
+    }
+}
+
+fn check_scalar_func(
+    sf: &Function,
+    w: &ScalarFuncWitness,
+    of: &Function,
+    fid: FuncId,
+    report: &mut LintReport,
+) {
+    let origin = &w.origin;
+    if origin.len() != of.blocks.len() {
+        report.push(diag(
+            Code::WitnessShape,
+            fid,
+            &of.name,
+            None,
+            format!(
+                "descent map covers {} block(s) but the optimized function has {}",
+                origin.len(),
+                of.blocks.len()
+            ),
+        ));
+        return;
+    }
+    let mut seen = HashSet::new();
+    for &o in origin {
+        if o.index() >= sf.blocks.len() || !seen.insert(o) {
+            report.push(diag(
+                Code::WitnessShape,
+                fid,
+                &of.name,
+                Some(o),
+                "descent map is not an injection into the source blocks".into(),
+            ));
+            return;
+        }
+    }
+    if origin[of.entry.index()] != sf.entry {
+        report.push(diag(
+            Code::SimulationBroken,
+            fid,
+            &of.name,
+            Some(of.entry),
+            format!(
+                "optimized entry descends from {:?}, not the source entry {:?}",
+                origin[of.entry.index()],
+                sf.entry
+            ),
+        ));
+    }
+    for (bi, ob) in of.blocks.iter().enumerate() {
+        let block = BlockId::new(bi);
+        let sb = sf.block(origin[bi]);
+        // Edge legality: every optimized edge must descend from a source
+        // edge out of the same origin block (branch folding may *drop*
+        // successors, never invent them), and returns from returns.
+        let src_succs: Vec<BlockId> = sb.term.successors();
+        match (&ob.term, &sb.term) {
+            (Terminator::Return { value: ov }, Terminator::Return { value: sv }) => {
+                if ov.is_some() != sv.is_some() {
+                    report.push(diag(
+                        Code::SimulationBroken,
+                        fid,
+                        &of.name,
+                        Some(block),
+                        "return value presence differs from the source block".into(),
+                    ));
+                }
+            }
+            (Terminator::Return { .. }, _) | (_, Terminator::Return { .. }) => {
+                report.push(diag(
+                    Code::SimulationBroken,
+                    fid,
+                    &of.name,
+                    Some(block),
+                    "block exchanges a return for a branch against its source".into(),
+                ));
+            }
+            (ot, _) => {
+                let legal = ot.successors().iter().all(|&s| {
+                    origin
+                        .get(s.index())
+                        .is_some_and(|&so| src_succs.contains(&so))
+                });
+                if !legal {
+                    report.push(diag(
+                        Code::SimulationBroken,
+                        fid,
+                        &of.name,
+                        Some(block),
+                        "an optimized edge has no corresponding source edge".into(),
+                    ));
+                }
+            }
+        }
+        // Side effects: the optimized sequence must be the source
+        // sequence with (dead) loads elided — the only effectful-looking
+        // op the scalar pipeline is allowed to delete.
+        if !effects_match_with_load_elision(&effect_kinds(sb), &effect_kinds(ob)) {
+            report.push(diag(
+                Code::EffectMismatch,
+                fid,
+                &of.name,
+                Some(block),
+                "side-effect sequence is not the source's modulo dead loads".into(),
+            ));
+        }
+    }
+}
+
+/// `true` when `optimized` can be obtained from `source` by deleting only
+/// `Load` entries.
+fn effects_match_with_load_elision(source: &[EffectKind], optimized: &[EffectKind]) -> bool {
+    let mut oi = 0;
+    for s in source {
+        if oi < optimized.len() && optimized[oi] == *s {
+            oi += 1;
+        } else if *s != EffectKind::Load {
+            return false;
+        }
+    }
+    oi == optimized.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_ir::{FunctionBuilder, ScalarWitness};
+
+    fn emit_module() -> Module {
+        let mut b = FunctionBuilder::new("main", 0);
+        let c = b.constant(7);
+        b.emit(c);
+        b.ret(None);
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn identity_scalar_witness_validates() {
+        let m = emit_module();
+        let w = TransformWitness::Scalar(ScalarWitness {
+            funcs: vec![ScalarFuncWitness::identity(m.functions[0].blocks.len())],
+        });
+        assert!(check_transform(&m, &w, &m).is_empty());
+    }
+
+    #[test]
+    fn truncated_scalar_witness_is_ppp301() {
+        let m = emit_module();
+        let w = TransformWitness::Scalar(ScalarWitness {
+            funcs: vec![ScalarFuncWitness { origin: vec![] }],
+        });
+        let r = check_transform(&m, &w, &m);
+        assert!(r.has(Code::WitnessShape));
+    }
+
+    #[test]
+    fn dropped_emit_is_ppp304() {
+        let m = emit_module();
+        let mut opt = m.clone();
+        opt.functions[0].blocks[0]
+            .insts
+            .retain(|i| !matches!(i, Inst::Emit { .. }));
+        let w = TransformWitness::Scalar(ScalarWitness {
+            funcs: vec![ScalarFuncWitness::identity(m.functions[0].blocks.len())],
+        });
+        let r = check_transform(&m, &w, &opt);
+        assert!(r.has(Code::EffectMismatch));
+    }
+
+    #[test]
+    fn load_elision_subsequence_rules() {
+        use EffectKind::*;
+        assert!(effects_match_with_load_elision(&[Load, Emit], &[Emit]));
+        assert!(effects_match_with_load_elision(
+            &[Load, Emit],
+            &[Load, Emit]
+        ));
+        assert!(!effects_match_with_load_elision(&[Store, Emit], &[Emit]));
+        assert!(!effects_match_with_load_elision(&[Emit], &[Emit, Emit]));
+        assert!(!effects_match_with_load_elision(
+            &[Emit, Store],
+            &[Store, Emit]
+        ));
+    }
+
+    #[test]
+    fn profile_shape_and_flow_codes() {
+        let m = emit_module();
+        let good = ModuleEdgeProfile::zeroed(&m);
+        assert!(check_profile(&m, &good).is_empty());
+        let empty = ModuleEdgeProfile::default();
+        assert!(check_profile(&m, &empty).has(Code::ProfileShape));
+        let mut bad = ModuleEdgeProfile::zeroed(&m);
+        bad.func_mut(FuncId(0)).set_block(BlockId(0), 3);
+        let r = check_profile(&m, &bad);
+        assert!(r.has(Code::FlowConservation));
+        assert!(!r.is_clean());
+    }
+}

@@ -1,0 +1,433 @@
+//! Translation-validation fixtures: every `PPP3xx` code has a targeted
+//! tampering that provably trips it, untampered transform witnesses
+//! validate clean, and — as a fuzz invariant — the full optimizer
+//! pipeline over all 18 suite benchmarks validates clean end to end.
+
+use ppp_ir::{
+    BinOp, BlockId, EdgeRef, FuncId, FunctionBuilder, Inst, Module, ModuleEdgeProfile,
+    ScalarFuncWitness, ScalarWitness, Terminator, TransformWitness,
+};
+use ppp_lint::{check_profile, check_transform, Code};
+use ppp_opt::{
+    inline_module_witnessed, optimize_module_witnessed, unroll_module_witnessed, InlineOptions,
+    UnrollOptions,
+};
+use ppp_vm::{run, HaltReason, RunOptions};
+
+/// `main`: `i = n; while (i) { emit i; i -= 1 }` — a canonical counted
+/// loop the unroller test-elides.
+fn counted_module(n: i64) -> Module {
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("main", 0);
+    let c = b.constant(n);
+    let i = b.copy(c);
+    let (hdr, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+    b.jump(hdr);
+    b.switch_to(hdr);
+    b.branch(i, body, exit);
+    b.switch_to(body);
+    b.emit(i);
+    let one = b.constant(1);
+    b.binary_to(i, BinOp::Sub, i, one);
+    b.jump(hdr);
+    b.switch_to(exit);
+    b.ret(None);
+    m.add_function(b.finish());
+    m
+}
+
+/// `main` loops calling `double(i)`; the callee is hot and tiny, so the
+/// inliner always splices it.
+fn call_module() -> Module {
+    let mut m = Module::new();
+    let mut mb = FunctionBuilder::new("main", 0);
+    let n = mb.constant(50);
+    let i = mb.copy(n);
+    let (hdr, body, exit) = (mb.new_block(), mb.new_block(), mb.new_block());
+    mb.jump(hdr);
+    mb.switch_to(hdr);
+    mb.branch(i, body, exit);
+    mb.switch_to(body);
+    let d = mb.call(FuncId(1), vec![i]);
+    mb.emit(d);
+    let one = mb.constant(1);
+    mb.binary_to(i, BinOp::Sub, i, one);
+    mb.jump(hdr);
+    mb.switch_to(exit);
+    mb.ret(None);
+    m.add_function(mb.finish());
+
+    let mut db = FunctionBuilder::new("double", 1);
+    let x = db.param(0);
+    let two = db.constant(2);
+    let y = db.binary(BinOp::Mul, x, two);
+    db.ret(Some(y));
+    m.add_function(db.finish());
+    m
+}
+
+fn traced(m: &Module) -> ModuleEdgeProfile {
+    let r = run(m, "main", &RunOptions::default().traced()).unwrap();
+    assert_eq!(r.halt, HaltReason::Finished);
+    r.edge_profile.unwrap()
+}
+
+/// Unrolls `counted_module` and returns (source, witness, optimized).
+fn unrolled_counted() -> (Module, TransformWitness, Module) {
+    let mut m = counted_module(100);
+    let profile = traced(&m);
+    let source = m.clone();
+    let (report, witness) = unroll_module_witnessed(&mut m, &profile, &UnrollOptions::default());
+    assert_eq!(report.counted_unrolled, 1);
+    (source, witness, m)
+}
+
+/// Inlines `call_module` and returns (source, witness, optimized).
+fn inlined() -> (Module, TransformWitness, Module) {
+    let mut m = call_module();
+    let profile = traced(&m);
+    let source = m.clone();
+    let opts = InlineOptions {
+        code_bloat: 1.0,
+        max_callee_size: 200,
+    };
+    let (report, witness) = inline_module_witnessed(&mut m, &profile, &opts);
+    assert_eq!(report.inlined_sites, 1);
+    (source, witness, m)
+}
+
+// --- clean runs -----------------------------------------------------------
+
+#[test]
+fn untampered_inline_witness_validates_clean() {
+    let (source, witness, optimized) = inlined();
+    let r = check_transform(&source, &witness, &optimized);
+    assert!(r.is_empty(), "expected clean, got:\n{r}");
+}
+
+#[test]
+fn untampered_counted_unroll_validates_clean() {
+    let (source, witness, optimized) = unrolled_counted();
+    let r = check_transform(&source, &witness, &optimized);
+    assert!(r.is_empty(), "expected clean, got:\n{r}");
+}
+
+#[test]
+fn untampered_generic_unroll_validates_clean() {
+    // A while-style loop (condition re-drawn each iteration) takes the
+    // generic, test-retained mode.
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("main", 0);
+    let bound = b.constant(40);
+    let cond = b.rand(bound);
+    let (hdr, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+    b.jump(hdr);
+    b.switch_to(hdr);
+    b.branch(cond, body, exit);
+    b.switch_to(body);
+    b.emit(cond);
+    let v = b.rand(bound);
+    b.copy_to(cond, v);
+    b.jump(hdr);
+    b.switch_to(exit);
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let profile = traced(&m);
+    let source = m.clone();
+    let (report, witness) = unroll_module_witnessed(&mut m, &profile, &UnrollOptions::default());
+    assert_eq!(report.generic_unrolled, 1);
+    let r = check_transform(&source, &witness, &m);
+    assert!(r.is_empty(), "expected clean, got:\n{r}");
+}
+
+#[test]
+fn untampered_scalar_witness_validates_clean() {
+    let mut m = call_module();
+    let source = m.clone();
+    let (_, witness) = optimize_module_witnessed(&mut m);
+    let r = check_transform(&source, &witness, &m);
+    assert!(r.is_empty(), "expected clean, got:\n{r}");
+}
+
+#[test]
+fn traced_profile_checks_clean() {
+    let m = counted_module(40);
+    let profile = traced(&m);
+    assert!(check_profile(&m, &profile).is_empty());
+}
+
+// --- PPP301: witness shape ------------------------------------------------
+
+#[test]
+fn truncated_scalar_origin_trips_ppp301() {
+    let m = counted_module(10);
+    let witness = TransformWitness::Scalar(ScalarWitness {
+        funcs: vec![ScalarFuncWitness {
+            origin: vec![BlockId(0)], // function has 4 blocks
+        }],
+    });
+    let r = check_transform(&m, &witness, &m);
+    assert!(r.has(Code::WitnessShape), "got:\n{r}");
+}
+
+#[test]
+fn corrupted_unroll_replica_id_trips_ppp301() {
+    let (source, mut witness, optimized) = unrolled_counted();
+    let TransformWitness::Unroll(w) = &mut witness else {
+        unreachable!()
+    };
+    // Claim a replica landed at a block id the replay never allocates.
+    w.loops[0].copies[0][0] = BlockId(0);
+    let r = check_transform(&source, &witness, &optimized);
+    assert!(r.has(Code::WitnessShape), "got:\n{r}");
+}
+
+// --- PPP302: simulation relation ------------------------------------------
+
+#[test]
+fn retargeted_edge_trips_ppp302() {
+    let m = counted_module(10);
+    let mut opt = m.clone();
+    // b0 jumps to the loop header in the source; send it into the body
+    // instead — an edge with no source counterpart under the identity map.
+    opt.functions[0].blocks[0].term = Terminator::Jump { target: BlockId(2) };
+    let witness = TransformWitness::Scalar(ScalarWitness {
+        funcs: vec![ScalarFuncWitness::identity(m.functions[0].blocks.len())],
+    });
+    let r = check_transform(&m, &witness, &opt);
+    assert!(r.has(Code::SimulationBroken), "got:\n{r}");
+}
+
+// --- PPP303: clone fidelity -----------------------------------------------
+
+#[test]
+fn tampered_clone_constant_trips_ppp303() {
+    let (source, witness, mut optimized) = unrolled_counted();
+    let TransformWitness::Unroll(w) = &witness else {
+        unreachable!()
+    };
+    // Change the decrement constant inside one replica: pure code drift,
+    // same side-effect sequence.
+    let replica = w.loops[0].copies[1][0];
+    let tampered = optimized.functions[0].blocks[replica.index()]
+        .insts
+        .iter_mut()
+        .find_map(|i| match i {
+            Inst::Const { value, .. } => {
+                *value = 2;
+                Some(())
+            }
+            _ => None,
+        });
+    assert!(tampered.is_some());
+    let r = check_transform(&source, &witness, &optimized);
+    assert!(r.has(Code::CloneMismatch), "got:\n{r}");
+}
+
+// --- PPP304: side-effect preservation -------------------------------------
+
+#[test]
+fn dropped_emit_in_clone_trips_ppp304() {
+    let (source, witness, mut optimized) = unrolled_counted();
+    let TransformWitness::Unroll(w) = &witness else {
+        unreachable!()
+    };
+    let replica = w.loops[0].copies[2][0];
+    let insts = &mut optimized.functions[0].blocks[replica.index()].insts;
+    let before = insts.len();
+    insts.retain(|i| !matches!(i, Inst::Emit { .. }));
+    assert!(insts.len() < before);
+    let r = check_transform(&source, &witness, &optimized);
+    assert!(r.has(Code::EffectMismatch), "got:\n{r}");
+}
+
+#[test]
+fn dropped_store_under_scalar_witness_trips_ppp304() {
+    let mut b = FunctionBuilder::new("main", 0);
+    let addr = b.constant(3);
+    let val = b.constant(9);
+    b.store(addr, val);
+    b.ret(None);
+    let mut m = Module::new();
+    m.add_function(b.finish());
+    let mut opt = m.clone();
+    opt.functions[0].blocks[0]
+        .insts
+        .retain(|i| !matches!(i, Inst::Store { .. }));
+    let witness = TransformWitness::Scalar(ScalarWitness {
+        funcs: vec![ScalarFuncWitness::identity(1)],
+    });
+    let r = check_transform(&m, &witness, &opt);
+    assert!(r.has(Code::EffectMismatch), "got:\n{r}");
+}
+
+// --- PPP305: unroll-guard justification -----------------------------------
+
+#[test]
+fn weakened_guard_bound_trips_ppp305() {
+    let (source, witness, mut optimized) = unrolled_counted();
+    let TransformWitness::Unroll(w) = &witness else {
+        unreachable!()
+    };
+    let ppp_ir::UnrollMode::Counted { main_header, .. } = w.loops[0].mode else {
+        unreachable!()
+    };
+    // Weaken `i < 4` to `i < 3`: the wide body still decrements 4 times,
+    // so the last elided junction may see i == 0 — the elision is no
+    // longer justified (and the program would loop past zero).
+    let guard = &mut optimized.functions[0].blocks[main_header.index()];
+    let tampered = guard.insts.iter_mut().find_map(|i| match i {
+        Inst::Const { value: v @ 4, .. } => {
+            *v = 3;
+            Some(())
+        }
+        _ => None,
+    });
+    assert!(tampered.is_some());
+    let r = check_transform(&source, &witness, &optimized);
+    assert!(r.has(Code::UnrollGuard), "got:\n{r}");
+}
+
+#[test]
+fn counted_witness_on_unqualified_loop_trips_ppp305() {
+    // A loop whose body decrements twice per iteration must never have
+    // its tests elided; forge a counted witness claiming it was.
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("main", 0);
+    let c = b.constant(100);
+    let i = b.copy(c);
+    let (hdr, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+    b.jump(hdr);
+    b.switch_to(hdr);
+    b.branch(i, body, exit);
+    b.switch_to(body);
+    let one = b.constant(1);
+    b.binary_to(i, BinOp::Sub, i, one);
+    b.binary_to(i, BinOp::Sub, i, one);
+    b.jump(hdr);
+    b.switch_to(exit);
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let f = &m.functions[0];
+    let witness = TransformWitness::Unroll(ppp_ir::UnrollWitness {
+        loops: vec![ppp_ir::UnrolledLoop {
+            func: FuncId(0),
+            header: BlockId(1),
+            cloned: vec![BlockId(2)],
+            copies: vec![vec![BlockId(5)], vec![BlockId(6)]],
+            mode: ppp_ir::UnrollMode::Counted {
+                factor: 2,
+                induction: i,
+                main_header: BlockId(4),
+                guard_cond: ppp_ir::Reg(f.reg_count),
+                guard_bound: ppp_ir::Reg(f.reg_count + 1),
+            },
+        }],
+    });
+    let r = check_transform(&m, &witness, &m);
+    assert!(r.has(Code::UnrollGuard), "got:\n{r}");
+}
+
+// --- PPP306: inline call protocol -----------------------------------------
+
+#[test]
+fn dropped_glue_init_trips_ppp306() {
+    let (source, witness, mut optimized) = inlined();
+    let TransformWitness::Inline(w) = &witness else {
+        unreachable!()
+    };
+    let step = w.steps[0];
+    // Drop the last glue op (an argument copy) from the rewritten call
+    // block: the inlined body now reads a garbage parameter.
+    let call_blk = &mut optimized.functions[step.caller.index()].blocks[step.block.index()];
+    call_blk.insts.pop();
+    let r = check_transform(&source, &witness, &optimized);
+    assert!(r.has(Code::InlineProtocol), "got:\n{r}");
+}
+
+#[test]
+fn misrecorded_call_site_trips_ppp306() {
+    let (source, mut witness, optimized) = inlined();
+    let TransformWitness::Inline(w) = &mut witness else {
+        unreachable!()
+    };
+    w.steps[0].inst += 1; // points past the call now
+    let r = check_transform(&source, &witness, &optimized);
+    assert!(r.has(Code::InlineProtocol), "got:\n{r}");
+}
+
+// --- PPP307 / PPP308: profile shape and flow conservation ------------------
+
+#[test]
+fn mismatched_profile_shape_trips_ppp307() {
+    let m = counted_module(10);
+    let other = call_module();
+    let r = check_profile(&m, &ModuleEdgeProfile::default());
+    assert!(r.has(Code::ProfileShape), "got:\n{r}");
+    let r = check_profile(&m, &ModuleEdgeProfile::zeroed(&other));
+    assert!(r.has(Code::ProfileShape), "got:\n{r}");
+}
+
+#[test]
+fn inflated_edge_count_trips_ppp308() {
+    let m = counted_module(10);
+    let mut profile = traced(&m);
+    profile
+        .func_mut(FuncId(0))
+        .bump_edge(EdgeRef::new(BlockId(1), 0));
+    let r = check_profile(&m, &profile);
+    assert!(r.has(Code::FlowConservation), "got:\n{r}");
+    assert!(!r.is_clean());
+}
+
+// --- fuzz invariant: the whole pipeline validates clean --------------------
+
+/// Every suite benchmark, through scalar → inline → unroll → scalar with
+/// a fresh traced profile between stages, must validate clean at every
+/// step — and every traced profile must conserve flow.
+#[test]
+fn suite_pipeline_validates_clean_end_to_end() {
+    let suite = ppp_workloads::spec2000_suite();
+    assert_eq!(suite.len(), 18);
+    for entry in suite {
+        let name = entry.spec.name.clone();
+        let mut module = ppp_workloads::generate(&entry.spec.scaled(0.02));
+
+        let source = module.clone();
+        let (_, w) = optimize_module_witnessed(&mut module);
+        let r = check_transform(&source, &w, &module);
+        assert!(r.is_empty(), "{name}: scalar@gen dirty:\n{r}");
+        ppp_core::normalize_module(&mut module);
+
+        let edges0 = traced(&module);
+        assert!(
+            check_profile(&module, &edges0).is_empty(),
+            "{name}: profile@orig dirty"
+        );
+
+        let source = module.clone();
+        let (_, w) = inline_module_witnessed(&mut module, &edges0, &InlineOptions::default());
+        let r = check_transform(&source, &w, &module);
+        assert!(r.is_empty(), "{name}: inline dirty:\n{r}");
+
+        let edges1 = traced(&module);
+        assert!(
+            check_profile(&module, &edges1).is_empty(),
+            "{name}: profile@inline dirty"
+        );
+
+        let source = module.clone();
+        let (_, w) = unroll_module_witnessed(&mut module, &edges1, &UnrollOptions::default());
+        let r = check_transform(&source, &w, &module);
+        assert!(r.is_empty(), "{name}: unroll dirty:\n{r}");
+
+        let source = module.clone();
+        let (_, w) = optimize_module_witnessed(&mut module);
+        let r = check_transform(&source, &w, &module);
+        assert!(r.is_empty(), "{name}: scalar@opt dirty:\n{r}");
+
+        assert_eq!(ppp_ir::verify_module(&module), Ok(()), "{name}");
+    }
+}

@@ -8,7 +8,10 @@
 //! recursive callees are never inlined.
 
 use crate::callgraph::{CallGraph, CallSite};
-use ppp_ir::{Block, BlockId, Inst, Module, ModuleEdgeProfile, Reg, Terminator};
+use ppp_ir::{
+    Block, BlockId, InlineStep, InlineWitness, Inst, Module, ModuleEdgeProfile, Reg, Terminator,
+    TransformWitness,
+};
 
 /// Inliner thresholds (§7.3 defaults).
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +69,25 @@ pub fn inline_module(
     profile: &ModuleEdgeProfile,
     options: &InlineOptions,
 ) -> InlineReport {
+    inline_module_witnessed(module, profile, options).0
+}
+
+/// Like [`inline_module`], additionally emitting a [`TransformWitness`]
+/// recording every splice for translation validation (`ppp-lint`'s
+/// transval pass replays the witness against both modules).
+pub fn inline_module_witnessed(
+    module: &mut Module,
+    profile: &ModuleEdgeProfile,
+    options: &InlineOptions,
+) -> (InlineReport, TransformWitness) {
+    debug_assert!(
+        profile.shape_matches(module),
+        "edge profile shape does not match the module being inlined"
+    );
+    debug_assert!(
+        profile.is_flow_conservative(module),
+        "edge profile violates flow conservation; re-profile this exact module"
+    );
     let cg = CallGraph::build(module);
     let size_before = module.size();
     let budget = size_before + (size_before as f64 * options.code_bloat).floor() as usize;
@@ -128,15 +150,17 @@ pub fn inline_module(
             .then(b.block.cmp(&a.block))
             .then(b.inst.cmp(&a.inst))
     });
+    let mut steps = Vec::with_capacity(selected.len());
     for site in selected {
-        inline_one(module, site);
+        steps.push(inline_one(module, site));
     }
     report.size_after = module.size();
-    report
+    (report, TransformWitness::Inline(InlineWitness { steps }))
 }
 
-/// Splices `site.callee` into `site.caller` at the call instruction.
-fn inline_one(module: &mut Module, site: CallSite) {
+/// Splices `site.callee` into `site.caller` at the call instruction and
+/// records the splice for the witness.
+fn inline_one(module: &mut Module, site: CallSite) -> InlineStep {
     let callee = module.function(site.callee).clone();
     let caller = module.function_mut(site.caller);
 
@@ -268,6 +292,16 @@ fn inline_one(module: &mut Module, site: CallSite) {
     call_blk.term = Terminator::Jump {
         target: remap_block(callee.entry),
     };
+
+    InlineStep {
+        caller: site.caller,
+        callee: site.callee,
+        block: call_block,
+        inst: site.inst,
+        cont,
+        reg_base,
+        block_base,
+    }
 }
 
 fn remap_inst_regs(inst: &Inst, remap: &impl Fn(Reg) -> Reg) -> Inst {
@@ -531,6 +565,33 @@ mod tests {
             r.checksum, checksum,
             "inlined read-before-write register observed a stale value"
         );
+    }
+
+    #[test]
+    fn witness_records_each_splice() {
+        let mut m = sample();
+        let (profile, _) = traced_profile(&m);
+        let caller_blocks_before = m.function(FuncId(0)).blocks.len() as u32;
+        let caller_regs_before = m.function(FuncId(0)).reg_count;
+        let (report, witness) = inline_module_witnessed(
+            &mut m,
+            &profile,
+            &InlineOptions {
+                code_bloat: 1.0,
+                max_callee_size: 200,
+            },
+        );
+        let TransformWitness::Inline(w) = witness else {
+            panic!("inliner must emit an inline witness");
+        };
+        assert_eq!(w.steps.len(), report.inlined_sites);
+        let step = w.steps[0];
+        assert_eq!(step.caller, FuncId(0));
+        assert_eq!(step.callee, FuncId(1));
+        // cont is appended first, then the cloned callee blocks.
+        assert_eq!(step.cont, BlockId(caller_blocks_before));
+        assert_eq!(step.block_base, caller_blocks_before + 1);
+        assert_eq!(step.reg_base, caller_regs_before);
     }
 
     #[test]

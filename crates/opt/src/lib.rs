@@ -17,6 +17,11 @@
 //! both preserve semantics bit-for-bit (the VM checksum is the oracle in
 //! this workspace's tests). Re-profile after optimizing, as a staged
 //! system would.
+//!
+//! Every transform has a `*_witnessed` variant that additionally emits a
+//! [`ppp_ir::TransformWitness`] — the block/register correspondence map
+//! that `ppp-lint`'s translation-validation pass (PPP3xx) replays and
+//! checks against the source and optimized modules.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,6 +32,9 @@ pub mod scalar;
 pub mod unroll;
 
 pub use callgraph::{CallGraph, CallSite};
-pub use inline::{inline_module, InlineOptions, InlineReport};
-pub use scalar::{optimize_function, optimize_module, ScalarReport};
-pub use unroll::{unroll_module, UnrollOptions, UnrollReport};
+pub use inline::{inline_module, inline_module_witnessed, InlineOptions, InlineReport};
+pub use scalar::{
+    optimize_function, optimize_function_witnessed, optimize_module, optimize_module_witnessed,
+    ScalarReport,
+};
+pub use unroll::{unroll_module, unroll_module_witnessed, UnrollOptions, UnrollReport};

@@ -16,7 +16,10 @@
 //! input stream and change program behaviour. `store`, `emit`, calls,
 //! and profiling ops are always kept.
 
-use ppp_ir::{BinOp, Cfg, Function, Inst, Module, Reg, Terminator};
+use ppp_ir::{
+    BinOp, BlockId, Cfg, Function, Inst, Module, Reg, ScalarFuncWitness, ScalarWitness, Terminator,
+    TransformWitness,
+};
 use std::collections::HashMap;
 
 /// What the scalar pipeline did.
@@ -48,33 +51,54 @@ impl ScalarReport {
 
 /// Runs the scalar pipeline on every function.
 pub fn optimize_module(module: &mut Module) -> ScalarReport {
+    optimize_module_witnessed(module).0
+}
+
+/// Like [`optimize_module`], additionally emitting a [`TransformWitness`]
+/// with each function's block descent map for translation validation.
+pub fn optimize_module_witnessed(module: &mut Module) -> (ScalarReport, TransformWitness) {
     let mut total = ScalarReport::default();
+    let mut funcs = Vec::with_capacity(module.functions.len());
     for f in &mut module.functions {
-        total.merge(optimize_function(f));
+        let (report, w) = optimize_function_witnessed(f);
+        total.merge(report);
+        funcs.push(w);
     }
-    total
+    (total, TransformWitness::Scalar(ScalarWitness { funcs }))
 }
 
 /// Runs constant/copy propagation, branch folding, and DCE to a fixpoint
 /// (bounded, in practice 2–3 rounds).
 pub fn optimize_function(f: &mut Function) -> ScalarReport {
+    optimize_function_witnessed(f).0
+}
+
+/// Like [`optimize_function`], additionally emitting the block descent
+/// map (surviving block → source block it descends from).
+pub fn optimize_function_witnessed(f: &mut Function) -> (ScalarReport, ScalarFuncWitness) {
     let mut total = ScalarReport::default();
+    let mut witness = ScalarFuncWitness::identity(f.blocks.len());
     for _ in 0..8 {
         let mut round = ScalarReport::default();
         round.merge(propagate_locally(f));
         round.merge(fold_branches(f));
-        let removed = ppp_ir::transform::remove_unreachable(f)
-            .iter()
-            .filter(|m| m.is_none())
-            .count();
-        round.blocks_removed += removed;
+        let mapping = ppp_ir::transform::remove_unreachable(f);
+        round.blocks_removed += mapping.iter().filter(|m| m.is_none()).count();
+        // Compose this round's old→new renumbering into the descent map.
+        let mut origin = vec![BlockId::new(0); f.blocks.len()];
+        for (old, new) in mapping.iter().enumerate() {
+            if let Some(new) = new {
+                origin[new.index()] = witness.origin[old];
+            }
+        }
+        witness.origin = origin;
         round.merge(eliminate_dead(f));
         if round.changes() == 0 {
             break;
         }
         total.merge(round);
     }
-    total
+    (total, witness)
 }
 
 /// Per-block abstract value of a register.
@@ -497,6 +521,43 @@ mod tests {
                 "{name}: scalar opts must not grow code"
             );
             assert!(report.changes() > 0, "{name}: expected some cleanup");
+        }
+    }
+
+    #[test]
+    fn witness_tracks_block_descent_through_removal() {
+        // Constant branch: the dead arm disappears, and the witness must
+        // map each surviving block back to its pre-optimization id.
+        let mut b = FunctionBuilder::new("main", 0);
+        let c = b.constant(1);
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, t, e);
+        b.switch_to(t);
+        let v = b.constant(10);
+        b.emit(v);
+        b.jump(j);
+        b.switch_to(e);
+        let w = b.constant(20);
+        b.emit(w);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let blocks_before = m.functions[0].blocks.len();
+        let (report, witness) = optimize_module_witnessed(&mut m);
+        assert!(report.blocks_removed >= 1);
+        let TransformWitness::Scalar(sw) = witness else {
+            panic!("scalar pipeline must emit a scalar witness");
+        };
+        let origin = &sw.funcs[0].origin;
+        assert_eq!(origin.len(), m.functions[0].blocks.len());
+        // Injective into the source block space, never hitting the dead arm.
+        let mut seen = std::collections::HashSet::new();
+        for &o in origin {
+            assert!(o.index() < blocks_before);
+            assert!(seen.insert(o), "descent map must be injective");
+            assert_ne!(o, e, "the folded-away arm has no descendant");
         }
     }
 

@@ -17,8 +17,8 @@
 //!   while-loops "unroll less or not at all".
 
 use ppp_ir::{
-    analyze_loops, BinOp, Block, BlockId, Function, Inst, Module, ModuleEdgeProfile, Reg,
-    Terminator,
+    analyze_loops, BinOp, Block, BlockId, FuncId, Function, Inst, Module, ModuleEdgeProfile, Reg,
+    Terminator, TransformWitness, UnrollMode, UnrollWitness, UnrolledLoop,
 };
 
 /// Unroller thresholds (§7.3 defaults).
@@ -79,13 +79,32 @@ pub fn unroll_module(
     profile: &ModuleEdgeProfile,
     options: &UnrollOptions,
 ) -> UnrollReport {
+    unroll_module_witnessed(module, profile, options).0
+}
+
+/// Like [`unroll_module`], additionally emitting a [`TransformWitness`]
+/// recording every replicated loop for translation validation.
+pub fn unroll_module_witnessed(
+    module: &mut Module,
+    profile: &ModuleEdgeProfile,
+    options: &UnrollOptions,
+) -> (UnrollReport, TransformWitness) {
+    debug_assert!(
+        profile.shape_matches(module),
+        "edge profile shape does not match the module being unrolled"
+    );
+    debug_assert!(
+        profile.is_flow_conservative(module),
+        "edge profile violates flow conservation; re-profile this exact module"
+    );
     let mut report = UnrollReport::default();
+    let mut loops = Vec::new();
     for fid in module.func_ids().collect::<Vec<_>>() {
         let f = module.function_mut(fid);
         let fp = profile.func(fid);
-        unroll_function(f, fp, options, &mut report);
+        unroll_function(f, fid, fp, options, &mut report, &mut loops);
     }
-    report
+    (report, TransformWitness::Unroll(UnrollWitness { loops }))
 }
 
 struct LoopInfo {
@@ -98,9 +117,11 @@ struct LoopInfo {
 
 fn unroll_function(
     f: &mut Function,
+    fid: FuncId,
     profile: &ppp_ir::FuncEdgeProfile,
     options: &UnrollOptions,
     report: &mut UnrollReport,
+    witness: &mut Vec<UnrolledLoop>,
 ) {
     // Collect innermost loops up front; transforms append blocks, so the
     // collected ids stay valid as long as each loop is disjoint. Nested
@@ -137,7 +158,7 @@ fn unroll_function(
         }
         if let Some(counted) = recognize_counted(f, &info) {
             if body_size * options.factor as usize <= options.max_body {
-                unroll_counted(f, &info, &counted, options.factor);
+                witness.push(unroll_counted(f, fid, &info, &counted, options.factor));
                 report.counted_unrolled += 1;
                 report.weighted_factor += info.iterations * u64::from(options.factor);
                 continue;
@@ -147,7 +168,7 @@ fn unroll_function(
             && options.generic_factor >= 2
             && info.back_edges.len() == 1
         {
-            unroll_generic(f, &info, options.generic_factor);
+            witness.push(unroll_generic(f, fid, &info, options.generic_factor));
             report.generic_unrolled += 1;
             report.weighted_factor += info.iterations * u64::from(options.generic_factor);
         } else {
@@ -280,7 +301,13 @@ fn clone_body(
 
 /// Counted unrolling: `while (i >= factor) { body × factor }` then the
 /// original loop as remainder. Intermediate tests are elided.
-fn unroll_counted(f: &mut Function, info: &LoopInfo, counted: &CountedLoop, factor: u32) {
+fn unroll_counted(
+    f: &mut Function,
+    fid: FuncId,
+    info: &LoopInfo,
+    counted: &CountedLoop,
+    factor: u32,
+) -> UnrolledLoop {
     let header = info.header;
     let body_first = f
         .block(header)
@@ -356,12 +383,33 @@ fn unroll_counted(f: &mut Function, info: &LoopInfo, counted: &CountedLoop, fact
         }
     }
     let _ = exit_target;
+
+    // Witness: the cloned source blocks (header excluded — its test is
+    // elided) and each replica's id, aligned per source block.
+    let cloned: Vec<BlockId> = info.body.iter().copied().filter(|&b| b != header).collect();
+    let copies: Vec<Vec<BlockId>> = hops
+        .iter()
+        .map(|map| cloned.iter().map(|b| map[b]).collect())
+        .collect();
+    UnrolledLoop {
+        func: fid,
+        header,
+        cloned,
+        copies,
+        mode: UnrollMode::Counted {
+            factor,
+            induction: counted.induction,
+            main_header,
+            guard_cond: t,
+            guard_bound: k,
+        },
+    }
 }
 
 /// Generic unrolling with tests retained: replicate the body `factor - 1`
 /// extra times; copy `j`'s back edge targets copy `j+1`'s header, the
 /// last copy's targets the original header.
-fn unroll_generic(f: &mut Function, info: &LoopInfo, factor: u32) {
+fn unroll_generic(f: &mut Function, fid: FuncId, info: &LoopInfo, factor: u32) -> UnrolledLoop {
     let mut prev_maps: Vec<std::collections::HashMap<BlockId, BlockId>> = Vec::new();
     for _ in 0..factor - 1 {
         let map = clone_body(f, info, false, info.header);
@@ -396,6 +444,23 @@ fn unroll_generic(f: &mut Function, info: &LoopInfo, factor: u32) {
             .map(|e| prev_maps[j][&e.from])
             .collect();
         redirect(copy_latches, info.header, prev_maps[j + 1][&info.header], f);
+    }
+
+    // Witness: every body block (header included — its test is retained)
+    // and each replica's id, aligned per source block.
+    let copies: Vec<Vec<BlockId>> = prev_maps
+        .iter()
+        .map(|map| info.body.iter().map(|b| map[b]).collect())
+        .collect();
+    UnrolledLoop {
+        func: fid,
+        header: info.header,
+        cloned: info.body.clone(),
+        copies,
+        mode: UnrollMode::Generic {
+            factor,
+            back_edges: info.back_edges.clone(),
+        },
     }
 }
 
@@ -590,6 +655,46 @@ mod tests {
         assert_eq!(report.counted_unrolled, 0, "inverted loop must not qualify");
         let r = run(&m, "main", &RunOptions::default()).unwrap();
         assert_eq!(r.checksum, checksum);
+    }
+
+    #[test]
+    fn witness_records_each_unrolled_loop() {
+        let mut m = counted_module(100);
+        let (profile, _) = traced(&m);
+        let (report, witness) =
+            unroll_module_witnessed(&mut m, &profile, &UnrollOptions::default());
+        assert_eq!(report.counted_unrolled, 1);
+        let TransformWitness::Unroll(w) = witness else {
+            panic!("unroller must emit an unroll witness");
+        };
+        assert_eq!(w.loops.len(), 1);
+        let l = &w.loops[0];
+        assert_eq!(l.func, FuncId(0));
+        assert!(
+            matches!(l.mode, UnrollMode::Counted { factor: 4, .. }),
+            "counted mode expected"
+        );
+        assert_eq!(l.copies.len(), 4, "one replica set per factor step");
+        assert!(
+            !l.cloned.contains(&l.header),
+            "counted mode elides the header test"
+        );
+
+        let mut m2 = while_module();
+        let (profile2, _) = traced(&m2);
+        let (report2, witness2) =
+            unroll_module_witnessed(&mut m2, &profile2, &UnrollOptions::default());
+        assert_eq!(report2.generic_unrolled, 1);
+        let TransformWitness::Unroll(w2) = witness2 else {
+            panic!("unroller must emit an unroll witness");
+        };
+        let l2 = &w2.loops[0];
+        assert!(matches!(l2.mode, UnrollMode::Generic { factor: 2, .. }));
+        assert_eq!(l2.copies.len(), 1, "generic factor 2 clones once");
+        assert!(
+            l2.cloned.contains(&l2.header),
+            "generic mode retains the header test"
+        );
     }
 
     #[test]

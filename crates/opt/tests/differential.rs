@@ -1,0 +1,61 @@
+//! Differential testing of the optimizer: every suite benchmark must
+//! behave identically on the ppp-vm before and after the full
+//! inline → unroll → scalar pipeline, across multiple RNG seeds.
+//!
+//! Observables are the VM halt reason and the emit-stream checksum; the
+//! RNG seed is part of the input, so agreement across seeds also pins
+//! down the number and order of `Rand` draws through every transform.
+
+use ppp_opt::{inline_module, optimize_module, unroll_module, InlineOptions, UnrollOptions};
+use ppp_vm::{run, HaltReason, RunOptions};
+
+const SEEDS: [u64; 2] = [7, 0x5EED];
+
+fn observe(module: &ppp_ir::Module, seed: u64) -> (HaltReason, u64) {
+    let r = run(module, "main", &RunOptions::default().with_seed(seed)).unwrap();
+    (r.halt, r.checksum)
+}
+
+#[test]
+fn suite_observables_survive_full_pipeline() {
+    for entry in ppp_workloads::spec2000_suite() {
+        let name = entry.spec.name.clone();
+        let mut module = ppp_workloads::generate(&entry.spec.scaled(0.02));
+
+        let before: Vec<_> = SEEDS.iter().map(|&s| observe(&module, s)).collect();
+        for (halt, _) in &before {
+            assert_eq!(
+                *halt,
+                HaltReason::Finished,
+                "{name}: baseline did not finish"
+            );
+        }
+
+        let traced = run(
+            &module,
+            "main",
+            &RunOptions::default().traced().with_seed(SEEDS[0]),
+        )
+        .unwrap();
+        let edges = traced.edge_profile.unwrap();
+        inline_module(&mut module, &edges, &InlineOptions::default());
+
+        let traced = run(
+            &module,
+            "main",
+            &RunOptions::default().traced().with_seed(SEEDS[0]),
+        )
+        .unwrap();
+        let edges = traced.edge_profile.unwrap();
+        unroll_module(&mut module, &edges, &UnrollOptions::default());
+
+        optimize_module(&mut module);
+        assert_eq!(ppp_ir::verify_module(&module), Ok(()), "{name}");
+
+        let after: Vec<_> = SEEDS.iter().map(|&s| observe(&module, s)).collect();
+        assert_eq!(
+            before, after,
+            "{name}: observables diverged after optimization"
+        );
+    }
+}

@@ -11,6 +11,12 @@
 //! ```text
 //! ppp-repro [--scale X] [--quick] table1|table2|fig9|fig10|fig11|fig12|fig13|all
 //! ```
+//!
+//! Besides the reports, `ppp-repro lint` checks every instrumentation
+//! plan the pipeline produces, and `ppp-repro validate` replays each
+//! optimizer transform's witness through the `ppp-lint` translation
+//! validator (`PPP3xx`) and checks every traced edge profile for flow
+//! conservation.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,7 +28,7 @@ pub mod reports;
 
 pub use inspect::inspect_benchmark;
 pub use pipeline::{
-    lint_benchmark, pipeline_configs, prepare_benchmark, run_benchmark, BenchmarkRun,
-    PipelineOptions, PreparedBenchmark, ProfilerResult,
+    lint_benchmark, pipeline_configs, prepare_benchmark, run_benchmark, validate_benchmark,
+    BenchmarkRun, PipelineOptions, PreparedBenchmark, ProfilerResult,
 };
 pub use reports::{all_reports, fig10, fig11, fig12, fig13, fig9, run_suite, table1, table2};

@@ -3,7 +3,7 @@
 use ppp_repro::PipelineOptions;
 use ppp_repro::{
     all_reports, fig10, fig11, fig12, fig13, fig9, inspect_benchmark, lint_benchmark, run_suite,
-    table1, table2,
+    table1, table2, validate_benchmark,
 };
 
 fn main() {
@@ -15,6 +15,7 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut inspect: Option<String> = None;
     let mut lint: Option<Option<String>> = None;
+    let mut validate: Option<Option<String>> = None;
     let mut format = "text".to_owned();
     let mut i = 0;
     while i < args.len() {
@@ -34,6 +35,13 @@ fn main() {
                     i += 1;
                 }
                 lint = Some(next);
+            }
+            "validate" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
+                if next.is_some() {
+                    i += 1;
+                }
+                validate = Some(next);
             }
             "--format" => {
                 i += 1;
@@ -62,6 +70,9 @@ fn main() {
     }
     if let Some(only) = lint {
         std::process::exit(run_lint(only.as_deref(), &format, &options));
+    }
+    if let Some(only) = validate {
+        std::process::exit(run_validate(only.as_deref(), &format, &options));
     }
     if let Some(name) = inspect {
         let suite = ppp_workloads::spec2000_suite();
@@ -156,6 +167,52 @@ fn run_lint(only: Option<&str>, format: &str, options: &PipelineOptions) -> i32 
     i32::from(dirty)
 }
 
+/// Translation-validates the witnessed pipeline stages of each benchmark;
+/// returns the exit code (0 = every stage clean).
+fn run_validate(only: Option<&str>, format: &str, options: &PipelineOptions) -> i32 {
+    let suite = ppp_workloads::spec2000_suite();
+    let entries: Vec<_> = match only {
+        Some(name) => vec![suite
+            .iter()
+            .find(|e| e.spec.name == name)
+            .unwrap_or_else(|| usage(&format!("unknown benchmark {name:?}")))],
+        None => suite.iter().collect(),
+    };
+    let mut dirty = false;
+    let mut json_benches = Vec::new();
+    for entry in entries {
+        let stages = validate_benchmark(entry, options);
+        let mut json_stages = Vec::new();
+        for (stage, report) in &stages {
+            dirty |= !report.is_empty();
+            match format {
+                "json" => json_stages.push(format!(
+                    "{{\"stage\":\"{stage}\",\"report\":{}}}",
+                    report.to_json()
+                )),
+                _ => {
+                    if report.is_empty() {
+                        println!("{}/{stage}: clean", entry.spec.name);
+                    } else {
+                        println!("{}/{stage}:\n{report}", entry.spec.name);
+                    }
+                }
+            }
+        }
+        if format == "json" {
+            json_benches.push(format!(
+                "{{\"benchmark\":\"{}\",\"stages\":[{}]}}",
+                entry.spec.name,
+                json_stages.join(",")
+            ));
+        }
+    }
+    if format == "json" {
+        println!("[{}]", json_benches.join(","));
+    }
+    i32::from(dirty)
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
@@ -163,7 +220,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: ppp-repro [--scale X] [--quick] [--no-ablations] \
          [table1|table2|fig9|fig10|fig11|fig12|fig13|all] \
-         | inspect <benchmark> | lint [benchmark] [--format text|json]"
+         | inspect <benchmark> | lint [benchmark] [--format text|json] \
+         | validate [benchmark] [--format text|json]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -10,7 +10,8 @@ use ppp_core::{
 };
 use ppp_ir::{Module, ModuleEdgeProfile, ModulePathProfile};
 use ppp_opt::{
-    inline_module, unroll_module, InlineOptions, InlineReport, UnrollOptions, UnrollReport,
+    inline_module_witnessed, optimize_module_witnessed, unroll_module_witnessed, InlineOptions,
+    InlineReport, UnrollOptions, UnrollReport,
 };
 use ppp_vm::{run, RunOptions, RunResult};
 use ppp_workloads::{generate, BenchClass, SuiteEntry};
@@ -182,37 +183,74 @@ pub struct PreparedBenchmark {
     pub baseline_cost: u64,
 }
 
-/// Runs the pipeline front half for one suite entry: generate → optimize
-/// → profile → inline+unroll (re-profiling between stages, §7.3) →
-/// optimize → profile. The result is what every profiler configuration
-/// (and `repro lint`) consumes.
-pub fn prepare_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> PreparedBenchmark {
+/// Runs the pipeline front half with every transform emitting a
+/// [`ppp_ir::TransformWitness`] that is immediately replayed and checked
+/// (translation validation), and every traced profile checked for shape
+/// agreement and flow conservation. Returns the artifact plus the named
+/// per-stage lint reports, in pipeline order.
+fn prepare_validated(
+    entry: &SuiteEntry,
+    options: &PipelineOptions,
+) -> (PreparedBenchmark, Vec<(String, ppp_lint::LintReport)>) {
     let spec = entry.spec.clone().scaled(options.scale);
     let mut module0 = generate(&spec);
+    let mut stages: Vec<(String, ppp_lint::LintReport)> = Vec::new();
     // "We perform standard scalar optimizations" on the original code
     // (§7.3) before measuring its path characteristics.
-    ppp_opt::optimize_module(&mut module0);
+    let src = module0.clone();
+    let (_, w) = optimize_module_witnessed(&mut module0);
+    stages.push((
+        "scalar@gen".into(),
+        ppp_lint::check_transform(&src, &w, &module0),
+    ));
     ppp_core::normalize_module(&mut module0);
 
     // Phase 1: profile the original code.
     let (r0, edges0, truth0) = traced(&module0, options.seed);
+    stages.push((
+        "profile@orig".into(),
+        ppp_lint::check_profile(&module0, &edges0),
+    ));
     let orig = phase_stats(&r0, &truth0);
 
     // Phase 2: inline and unroll, re-profiling between stages (§7.3), and
     // the same scalar optimizations on the expanded code.
     let mut module = module0;
-    let inline = inline_module(&mut module, &edges0, &InlineOptions::default());
+    let src = module.clone();
+    let (inline, w) = inline_module_witnessed(&mut module, &edges0, &InlineOptions::default());
+    stages.push((
+        "inline".into(),
+        ppp_lint::check_transform(&src, &w, &module),
+    ));
     let (_r1, edges1, _t1) = traced(&module, options.seed);
-    let unroll = unroll_module(&mut module, &edges1, &UnrollOptions::default());
-    ppp_opt::optimize_module(&mut module);
+    stages.push((
+        "profile@inline".into(),
+        ppp_lint::check_profile(&module, &edges1),
+    ));
+    let src = module.clone();
+    let (unroll, w) = unroll_module_witnessed(&mut module, &edges1, &UnrollOptions::default());
+    stages.push((
+        "unroll".into(),
+        ppp_lint::check_transform(&src, &w, &module),
+    ));
+    let src = module.clone();
+    let (_, w) = optimize_module_witnessed(&mut module);
+    stages.push((
+        "scalar@opt".into(),
+        ppp_lint::check_transform(&src, &w, &module),
+    ));
     ppp_core::normalize_module(&mut module);
 
     // Phase 3: the evaluation profile of the optimized code.
     let (r2, edges, truth) = traced(&module, options.seed);
+    stages.push((
+        "profile@opt".into(),
+        ppp_lint::check_profile(&module, &edges),
+    ));
     let opt = phase_stats(&r2, &truth);
     let baseline_cost = r2.cost;
 
-    PreparedBenchmark {
+    let prep = PreparedBenchmark {
         name: spec.name,
         class: entry.class,
         module,
@@ -223,7 +261,40 @@ pub fn prepare_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> Prepa
         inline,
         unroll,
         baseline_cost,
+    };
+    (prep, stages)
+}
+
+/// Runs the pipeline front half for one suite entry: generate → optimize
+/// → profile → inline+unroll (re-profiling between stages, §7.3) →
+/// optimize → profile. Every transform is translation-validated as it
+/// runs; a failed stage is reported loudly on stderr but does not abort,
+/// so experiments still complete while the defect is investigated. The
+/// result is what every profiler configuration (and `repro lint`)
+/// consumes.
+pub fn prepare_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> PreparedBenchmark {
+    let (prep, stages) = prepare_validated(entry, options);
+    for (stage, report) in &stages {
+        if !report.is_empty() {
+            eprintln!(
+                "warning: {} failed translation validation at stage {stage}:\n{report}",
+                prep.name
+            );
+        }
     }
+    prep
+}
+
+/// Runs the witnessed pipeline front half for one suite entry and returns
+/// the per-stage translation-validation and profile-consistency reports
+/// in pipeline order (backs the `repro validate` subcommand). Stage names
+/// are `scalar@gen`, `profile@orig`, `inline`, `profile@inline`,
+/// `unroll`, `scalar@opt`, and `profile@opt`.
+pub fn validate_benchmark(
+    entry: &SuiteEntry,
+    options: &PipelineOptions,
+) -> Vec<(String, ppp_lint::LintReport)> {
+    prepare_validated(entry, options).1
 }
 
 /// The profiler configurations the pipeline evaluates: PP, TPP, PPP, plus
@@ -335,6 +406,14 @@ fn run_profiler(
     est_opts: &EstimateOptions,
 ) -> ProfilerResult {
     let (module, edges, truth) = (&prep.module, &prep.edges, &prep.truth);
+    // A guidance profile that violates Kirchhoff's law would silently
+    // misdirect instrumentation placement; refuse it outright.
+    assert!(
+        edges.shape_matches(module) && edges.is_flow_conservative(module),
+        "{}: refusing to instrument {} from a flow-inconsistent edge profile",
+        prep.name,
+        config.label(),
+    );
     let plan = instrument_module(module, Some(edges), config);
     // Soundness gate: a plan that fails the lint would silently corrupt
     // the measured profile, so surface it loudly before running.
@@ -435,6 +514,48 @@ mod tests {
         assert!(run.profiler("TPPbase+LC").is_some());
         // FP code: unrolling should have kicked in.
         assert!(run.unroll.dynamic_avg_factor() > 1.0, "swim unrolls");
+    }
+
+    #[test]
+    fn witnessed_pipeline_validates_clean() {
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == "bzip2").unwrap();
+        let stages = validate_benchmark(entry, &tiny());
+        let names: Vec<_> = stages.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "scalar@gen",
+                "profile@orig",
+                "inline",
+                "profile@inline",
+                "unroll",
+                "scalar@opt",
+                "profile@opt"
+            ]
+        );
+        for (stage, report) in &stages {
+            assert!(report.is_empty(), "gzip {stage} dirty:\n{report}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flow-inconsistent edge profile")]
+    fn run_profiler_refuses_inconsistent_profile() {
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == "mcf").unwrap();
+        let options = tiny();
+        let mut prep = prepare_benchmark(entry, &options);
+        let f0 = &prep.module.functions[0];
+        let b = f0
+            .block_ids()
+            .find(|&b| f0.block(b).term.successor_count() > 0)
+            .expect("mcf main has a branch");
+        prep.edges
+            .func_mut(ppp_ir::FuncId(0))
+            .bump_edge(ppp_ir::EdgeRef::new(b, 0));
+        let est_opts = estimate_options(&prep.truth, &options);
+        run_profiler(&prep, &ProfilerConfig::ppp(), &options, &est_opts);
     }
 
     #[test]

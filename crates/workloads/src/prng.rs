@@ -1,5 +1,5 @@
 //! Generator-side PRNG: a thin convenience layer over the in-tree
-//! [`SplitMix64`](ppp_vm::SplitMix64).
+//! [`SplitMix64`].
 //!
 //! The workload generator used to draw from an external PRNG crate; this
 //! adapter replaces it so the workspace builds with no registry access and
