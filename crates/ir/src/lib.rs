@@ -57,6 +57,7 @@ mod module;
 mod parse;
 mod path;
 mod persist;
+mod persist_v2;
 mod profile;
 pub mod transform;
 mod verify;
@@ -75,6 +76,11 @@ pub use parse::{parse_module, ParseError};
 pub use path::{FuncPathProfile, ModulePathProfile, PathKey, PathStats};
 pub use persist::{
     read_edge_profile, read_path_profile, write_edge_profile, write_path_profile, ProfileParseError,
+};
+pub use persist_v2::{
+    crc32, read_edge_profile_stale, read_edge_profile_v2, read_path_profile_stale,
+    read_path_profile_v2, salvage_edge_profile, salvage_path_profile, write_edge_profile_v2,
+    write_path_profile_v2, ProfileLoadError, Salvaged, SectionFault, StaleReport, PROFILE_MAGIC,
 };
 pub use profile::{FlowViolation, FlowViolationKind, FuncEdgeProfile, ModuleEdgeProfile};
 pub use verify::{verify_module, VerifyError};

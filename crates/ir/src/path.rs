@@ -66,9 +66,11 @@ pub struct PathStats {
 }
 
 impl PathStats {
-    /// Branch flow of this path: `freq * branches` (§5.1).
+    /// Branch flow of this path: `freq * branches` (§5.1). Saturating, so
+    /// a saturated frequency degrades to [`u64::MAX`] instead of a
+    /// debug-build overflow panic.
     pub fn branch_flow(&self) -> u64 {
-        self.freq * u64::from(self.branches)
+        self.freq.saturating_mul(u64::from(self.branches))
     }
 
     /// Unit flow of this path: just `freq` (§5.1).
@@ -91,24 +93,40 @@ impl FuncPathProfile {
     }
 
     /// Adds `freq` executions of `key` (computing the branch count from
-    /// `f` if the path is new).
+    /// `f` if the path is new). Counts saturate at [`u64::MAX`] instead
+    /// of overflowing.
     pub fn record(&mut self, f: &Function, key: PathKey, freq: u64) {
         let branches = key.branch_count(f);
         let e = self
             .paths
             .entry(key)
             .or_insert(PathStats { freq: 0, branches });
-        e.freq += freq;
+        e.freq = e.freq.saturating_add(freq);
     }
 
-    /// Total branch flow over all paths.
+    /// Total branch flow over all paths (saturating).
     pub fn total_branch_flow(&self) -> u64 {
-        self.paths.values().map(PathStats::branch_flow).sum()
+        self.paths
+            .values()
+            .fold(0u64, |acc, s| acc.saturating_add(s.branch_flow()))
     }
 
-    /// Total unit flow (dynamic path count) over all paths.
+    /// Total unit flow (dynamic path count) over all paths (saturating).
     pub fn total_unit_flow(&self) -> u64 {
-        self.paths.values().map(PathStats::unit_flow).sum()
+        self.paths
+            .values()
+            .fold(0u64, |acc, s| acc.saturating_add(s.unit_flow()))
+    }
+
+    /// `true` when any path's frequency has pinned at [`u64::MAX`].
+    pub fn saturated(&self) -> bool {
+        self.paths.values().any(|s| s.freq == u64::MAX)
+    }
+
+    /// Drops every recorded path (used to quarantine a function whose
+    /// path data cannot be trusted).
+    pub fn clear(&mut self) {
+        self.paths.clear();
     }
 
     /// Number of distinct paths recorded.
@@ -171,6 +189,11 @@ impl ModulePathProfile {
     /// Total distinct paths across all functions.
     pub fn distinct_paths(&self) -> usize {
         self.funcs.iter().map(FuncPathProfile::distinct_paths).sum()
+    }
+
+    /// `true` when any function's path counts have saturated.
+    pub fn saturated(&self) -> bool {
+        self.funcs.iter().any(FuncPathProfile::saturated)
     }
 
     /// Iterates `(function, key, stats)` over all recorded paths.

@@ -97,22 +97,26 @@ impl FuncEdgeProfile {
         self.entries
     }
 
-    /// Records one execution of `edge` (used by the tracer).
+    /// Records one execution of `edge` (used by the tracer). Saturates at
+    /// [`u64::MAX`] instead of overflowing; see
+    /// [`FuncEdgeProfile::saturated`].
     #[inline]
     pub fn bump_edge(&mut self, edge: EdgeRef) {
-        self.edge_freq[edge.from.index()][edge.succ_index()] += 1;
+        let c = &mut self.edge_freq[edge.from.index()][edge.succ_index()];
+        *c = c.saturating_add(1);
     }
 
-    /// Records one execution of block `b` (used by the tracer).
+    /// Records one execution of block `b` (used by the tracer). Saturating.
     #[inline]
     pub fn bump_block(&mut self, b: BlockId) {
-        self.block_freq[b.index()] += 1;
+        let c = &mut self.block_freq[b.index()];
+        *c = c.saturating_add(1);
     }
 
-    /// Records one function entry (used by the tracer).
+    /// Records one function entry (used by the tracer). Saturating.
     #[inline]
     pub fn bump_entry(&mut self) {
-        self.entries += 1;
+        self.entries = self.entries.saturating_add(1);
     }
 
     /// Sets the frequency of `edge` (used when synthesizing profiles).
@@ -146,7 +150,8 @@ impl FuncEdgeProfile {
     }
 
     /// Merges another profile of the same shape into this one
-    /// (used to combine multi-run inputs, §7.2).
+    /// (used to combine multi-run inputs, §7.2). Counter sums saturate at
+    /// [`u64::MAX`] instead of overflowing.
     ///
     /// # Panics
     ///
@@ -160,13 +165,42 @@ impl FuncEdgeProfile {
         for (a, b) in self.edge_freq.iter_mut().zip(&other.edge_freq) {
             assert_eq!(a.len(), b.len(), "profiles must have the same shape");
             for (x, y) in a.iter_mut().zip(b) {
-                *x += *y;
+                *x = x.saturating_add(*y);
             }
         }
         for (x, y) in self.block_freq.iter_mut().zip(&other.block_freq) {
-            *x += *y;
+            *x = x.saturating_add(*y);
         }
-        self.entries += other.entries;
+        self.entries = self.entries.saturating_add(other.entries);
+    }
+
+    /// `true` when any counter has pinned at [`u64::MAX`]: the profile
+    /// overflowed and degraded to saturation, so relative frequencies are
+    /// no longer trustworthy. Ingestion reports (and usually quarantines)
+    /// saturated functions instead of consuming them silently.
+    pub fn saturated(&self) -> bool {
+        self.entries == u64::MAX
+            || self.block_freq.contains(&u64::MAX)
+            || self.edge_freq.iter().flatten().any(|&c| c == u64::MAX)
+    }
+
+    /// Resets every counter to zero (used to quarantine a function whose
+    /// profile cannot be trusted: the all-zero profile is trivially flow
+    /// conservative, so downstream consumers treat the routine as
+    /// never-executed rather than mis-guided).
+    pub fn zero(&mut self) {
+        for row in &mut self.edge_freq {
+            row.iter_mut().for_each(|c| *c = 0);
+        }
+        self.block_freq.iter_mut().for_each(|c| *c = 0);
+        self.entries = 0;
+    }
+
+    /// `true` when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.entries == 0
+            && self.block_freq.iter().all(|&c| c == 0)
+            && self.edge_freq.iter().flatten().all(|&c| c == 0)
     }
 
     /// `true` when the profile's shape matches `f`: one block-frequency
@@ -316,6 +350,42 @@ impl ModuleEdgeProfile {
             .sum()
     }
 
+    /// `true` when any function's counters have pinned at [`u64::MAX`].
+    pub fn saturated(&self) -> bool {
+        self.funcs.iter().any(FuncEdgeProfile::saturated)
+    }
+
+    /// Derives an edge profile from a path profile, reversing the exact
+    /// tracer's bookkeeping: every taken edge on a path bumps that edge
+    /// and its target block, return-ending paths contribute function
+    /// entries, and the entry block is bumped once per entry. For a
+    /// complete path profile of a terminating run, the result is exactly
+    /// the edge profile the tracer would have recorded (in particular it
+    /// is flow conservative).
+    ///
+    /// Paths that do not fit `module` — dangling block/successor
+    /// references or edges that fail to chain — are skipped rather than
+    /// trusted; the second return value counts the *dynamic* flow dropped
+    /// that way. This is the degradation-ladder rung that rebuilds
+    /// instrumentation guidance from whatever paths survived a corrupted
+    /// or truncated artifact.
+    pub fn from_paths(module: &crate::Module, paths: &crate::ModulePathProfile) -> (Self, u64) {
+        let mut out = Self::zeroed(module);
+        let mut dropped = 0u64;
+        for (fid, key, stats) in paths.iter() {
+            if fid.index() >= module.functions.len() {
+                dropped = dropped.saturating_add(stats.freq);
+                continue;
+            }
+            let f = module.function(fid);
+            let p = &mut out.funcs[fid.index()];
+            if !apply_path(f, p, key, stats.freq) {
+                dropped = dropped.saturating_add(stats.freq);
+            }
+        }
+        (out, dropped)
+    }
+
     /// `true` when the profile has one entry per function and each
     /// matches that function's shape.
     pub fn shape_matches(&self, module: &crate::Module) -> bool {
@@ -350,6 +420,44 @@ impl ModuleEdgeProfile {
             a.merge(b);
         }
     }
+}
+
+/// Replays one path onto `p`, validating every reference against `f`.
+/// Returns `false` (leaving `p` untouched) when the path does not fit.
+fn apply_path(f: &Function, p: &mut FuncEdgeProfile, key: &crate::PathKey, freq: u64) -> bool {
+    if key.start.index() >= f.blocks.len() {
+        return false;
+    }
+    // Validation pass first so a half-applied malformed path cannot skew
+    // the counts it already touched.
+    let mut cur = key.start;
+    for e in &key.edges {
+        if e.from != cur || e.from.index() >= f.blocks.len() {
+            return false;
+        }
+        match f.block(e.from).term.successor(e.succ_index()) {
+            Some(tgt) => cur = tgt,
+            None => return false,
+        }
+    }
+    let final_block = cur;
+    for e in &key.edges {
+        let tgt = f.edge_target(*e);
+        let c = &mut p.edge_freq[e.from.index()][e.succ_index()];
+        *c = c.saturating_add(freq);
+        let b = &mut p.block_freq[tgt.index()];
+        *b = b.saturating_add(freq);
+    }
+    // Back edges never target a return block (a return block cannot lie on
+    // a cycle), so a path whose final block returns is a return-ending
+    // path: it accounts for one function activation, whose entry the
+    // tracer bumps on function entry.
+    if f.block(final_block).term.is_return() {
+        p.entries = p.entries.saturating_add(freq);
+        let b = &mut p.block_freq[f.entry.index()];
+        *b = b.saturating_add(freq);
+    }
+    true
 }
 
 #[cfg(test)]

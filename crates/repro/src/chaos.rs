@@ -1,0 +1,501 @@
+//! Chaos sweep: deterministic fault injection over the full pipeline.
+//!
+//! Backs the `repro chaos` subcommand. For each benchmark, every
+//! [`FaultSite`] is injected with a seeded [`FaultPlan`] and the damaged
+//! artifact is pushed through the ingestion degradation ladder
+//! ([`ingest_guidance`]). The sweep asserts the robustness contract:
+//!
+//! 1. the pipeline always completes — no fault site may panic;
+//! 2. damage is never silent — every effective injection produces a
+//!    structured [`DegradationReport`] entry (a fault that happens to be
+//!    byte-benign, e.g. truncating only a trailing newline, is recorded
+//!    as [`ChaosVerdict::Harmless`]);
+//! 3. whatever guidance survives still passes the `ppp-lint` profile
+//!    checks (shape + Kirchhoff flow conservation, PPP308).
+
+use crate::degrade::{ingest_guidance, DegradationReport, LadderRung};
+use crate::format::Table;
+use crate::pipeline::{
+    instrument_and_run, prepare_benchmark, PipelineError, PipelineOptions, PreparedBenchmark,
+};
+use ppp_core::ProfilerConfig;
+use ppp_faults::{FaultPlan, FaultSite};
+use ppp_ir::{
+    read_edge_profile_stale, salvage_edge_profile, salvage_path_profile, write_edge_profile_v2,
+    write_path_profile_v2, Module, ModuleEdgeProfile, SectionFault,
+};
+use ppp_vm::{run, HaltReason, RunOptions};
+use ppp_workloads::spec2000_suite;
+use std::fmt;
+
+/// How one injected fault played out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaosVerdict {
+    /// The injection turned out byte-benign (e.g. the truncation cut only
+    /// a trailing newline, or the run finished inside the kill budget);
+    /// the pipeline correctly stayed healthy.
+    Harmless,
+    /// The damage took effect and the pipeline completed with a reported
+    /// degradation. This is the contract holding.
+    Reported,
+    /// The damage took effect but nothing was reported — a gate failure.
+    Silent,
+}
+
+impl ChaosVerdict {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosVerdict::Harmless => "harmless",
+            ChaosVerdict::Reported => "reported",
+            ChaosVerdict::Silent => "silent",
+        }
+    }
+}
+
+impl fmt::Display for ChaosVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Outcome of one `(benchmark, fault site)` scenario.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Injected fault site.
+    pub site: FaultSite,
+    /// Injection seed.
+    pub seed: u64,
+    /// What the injection did, human-readable.
+    pub detail: String,
+    /// What the ingestion ladder reported.
+    pub report: DegradationReport,
+    /// Whether the surviving guidance passed `ppp_lint::check_profile`.
+    pub lint_clean: bool,
+    /// The gate verdict.
+    pub verdict: ChaosVerdict,
+}
+
+impl ChaosOutcome {
+    /// `true` when this scenario upholds the robustness contract.
+    pub fn ok(&self) -> bool {
+        self.verdict != ChaosVerdict::Silent && self.lint_clean
+    }
+
+    /// Renders the outcome as a JSON object (stable keys).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"benchmark\":\"{}\",\"site\":\"{}\",\"seed\":{},\"verdict\":\"{}\",\
+             \"lint_clean\":{},\"detail\":\"{}\",\"degradation\":{}}}",
+            json_escape(&self.benchmark),
+            self.site,
+            self.seed,
+            self.verdict,
+            self.lint_clean,
+            json_escape(&self.detail),
+            self.report.to_json(),
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn record_faults(report: &mut DegradationReport, faults: &[SectionFault]) {
+    for f in faults {
+        report.push(
+            "load-fault",
+            format!("section {} ({}): {}", f.func, f.name, f.error),
+        );
+    }
+}
+
+fn lint_ok(module: &Module, guidance: Option<&ModuleEdgeProfile>) -> bool {
+    guidance.is_none_or(|g| ppp_lint::check_profile(module, g).is_empty())
+}
+
+fn damage_bytes(plan: &FaultPlan, bytes: &mut Vec<u8>) -> String {
+    match plan.site {
+        FaultSite::TruncateEdgeBytes | FaultSite::TruncatePathBytes => {
+            let full = bytes.len();
+            let cut = plan.truncate_bytes(bytes);
+            format!("truncated artifact at byte {cut} of {full}")
+        }
+        _ => {
+            let hits = plan.corrupt_bytes(bytes, 4);
+            format!("flipped bytes at offsets {hits:?}")
+        }
+    }
+}
+
+/// Runs one fault scenario against a prepared benchmark.
+///
+/// Never panics: every outcome — including container-level load errors —
+/// lands on a ladder rung with a structured report.
+pub fn chaos_scenario(
+    prep: &PreparedBenchmark,
+    site: FaultSite,
+    seed: u64,
+    options: &PipelineOptions,
+) -> ChaosOutcome {
+    let plan = FaultPlan::new(site, seed);
+    let module = &prep.module;
+    // Each arm yields: what the injection did, the surviving guidance,
+    // the ladder's report, and whether the damage was byte-benign.
+    let (detail, report, harmless, lint_clean) = match site {
+        FaultSite::TruncateEdgeBytes | FaultSite::CorruptEdgeBytes => {
+            let mut bytes = write_edge_profile_v2(module, &prep.edges).into_bytes();
+            let detail = damage_bytes(&plan, &mut bytes);
+            match salvage_edge_profile(module, &bytes) {
+                Ok(s) => {
+                    let harmless = s.is_clean() && s.profile == prep.edges;
+                    let (g, mut report) =
+                        ingest_guidance(module, Some(s.profile), Some(&prep.truth));
+                    record_faults(&mut report, &s.faults);
+                    let lint = lint_ok(module, g.as_ref());
+                    (detail, report, harmless, lint)
+                }
+                Err(e) => {
+                    // Container-level damage: the whole artifact is
+                    // untrusted; rebuild everything from paths.
+                    let (g, mut report) = ingest_guidance(module, None, Some(&prep.truth));
+                    report.push("load-error", e.to_string());
+                    let lint = lint_ok(module, g.as_ref());
+                    (detail, report, false, lint)
+                }
+            }
+        }
+        FaultSite::TruncatePathBytes | FaultSite::CorruptPathBytes => {
+            // Model a crashed node that persisted only its path profile:
+            // the damaged path artifact is the sole guidance source.
+            let mut bytes = write_path_profile_v2(module, &prep.truth).into_bytes();
+            let detail = damage_bytes(&plan, &mut bytes);
+            match salvage_path_profile(module, &bytes) {
+                Ok(s) => {
+                    let harmless = s.is_clean();
+                    let (g, mut report) = ingest_guidance(module, None, Some(&s.profile));
+                    record_faults(&mut report, &s.faults);
+                    let lint = lint_ok(module, g.as_ref());
+                    (detail, report, harmless, lint)
+                }
+                Err(e) => {
+                    let (g, mut report) = ingest_guidance(module, None, None);
+                    report.push("load-error", e.to_string());
+                    let lint = lint_ok(module, g.as_ref());
+                    (detail, report, false, lint)
+                }
+            }
+        }
+        FaultSite::SaturateCounters => {
+            let mut edges = prep.edges.clone();
+            let hit = plan.saturate_edge_profile(&mut edges);
+            let detail = match hit {
+                Some(i) => format!("pinned counters of function #{i} at u64::MAX"),
+                None => "empty profile; nothing to saturate".to_owned(),
+            };
+            let (g, report) = ingest_guidance(module, Some(edges), Some(&prep.truth));
+            let lint = lint_ok(module, g.as_ref());
+            (detail, report, hit.is_none(), lint)
+        }
+        FaultSite::HashOverflow => {
+            // Shrink the paper's 701×3 table to 7×3 and force hashing
+            // everywhere; probe exhaustion must be *counted*, not silent.
+            let mut config = ProfilerConfig::ppp();
+            config.params.hash_threshold = 0;
+            config.params.hash_slots = 7;
+            let (_, r) = instrument_and_run(module, &prep.edges, &config, options.seed);
+            let lost = r.store.total_lost();
+            let mut report = DegradationReport::default();
+            if lost > 0 {
+                report.final_rung = Some(LadderRung::SalvagedFunctions);
+                report.push(
+                    "hash-overflow",
+                    format!("{lost} dynamic paths lost to probe exhaustion in a 7x3 table"),
+                );
+            }
+            let detail = "ran PPP with a 7-slot hash table (hash threshold 0)".to_owned();
+            (detail, report, lost == 0, true)
+        }
+        FaultSite::DropTraceEvents => {
+            let tf = plan.trace_faults();
+            let opts = RunOptions::default()
+                .with_seed(options.seed)
+                .traced()
+                .with_trace_faults(tf);
+            let detail = format!(
+                "dropped every {}th edge event and {}th path completion",
+                tf.drop_edge_every, tf.drop_path_every
+            );
+            match run(module, "main", &opts) {
+                Ok(r) => {
+                    let (de, dp) = r.trace_events_dropped;
+                    let (g, mut report) =
+                        ingest_guidance(module, r.edge_profile, r.path_profile.as_ref());
+                    if de + dp > 0 {
+                        report.push(
+                            "trace-drops",
+                            format!("VM dropped {de} edge event(s), {dp} path completion(s)"),
+                        );
+                    }
+                    let lint = lint_ok(module, g.as_ref());
+                    (detail, report, de + dp == 0, lint)
+                }
+                Err(e) => {
+                    let (_, mut report) = ingest_guidance(module, None, None);
+                    report.push("vm-error", e.to_string());
+                    (detail, report, false, true)
+                }
+            }
+        }
+        FaultSite::KillMidRun => {
+            // Budget well inside the run's expected step count, so the
+            // profile is cut off with paths still in flight.
+            let est = (prep.opt.avg_insts * prep.opt.dynamic_paths.max(1) as f64) as u64;
+            let budget = plan.kill_step_budget().min((est / 3).max(50));
+            let opts = RunOptions {
+                max_steps: budget,
+                ..RunOptions::default().with_seed(options.seed).traced()
+            };
+            let detail = format!("killed the profiled run after {budget} steps");
+            match run(module, "main", &opts) {
+                Ok(r) => {
+                    let killed = r.halt == HaltReason::StepLimit;
+                    let (g, mut report) =
+                        ingest_guidance(module, r.edge_profile, r.path_profile.as_ref());
+                    if killed {
+                        report.push(
+                            "killed-mid-run",
+                            format!("run halted after {budget} steps with paths in flight"),
+                        );
+                    }
+                    let lint = lint_ok(module, g.as_ref());
+                    (detail, report, !killed, lint)
+                }
+                Err(e) => {
+                    let (_, mut report) = ingest_guidance(module, None, None);
+                    report.push("vm-error", e.to_string());
+                    (detail, report, false, true)
+                }
+            }
+        }
+        FaultSite::StaleShape => {
+            // Load the old artifact against a "newer build" whose
+            // function order changed; the stale loader matches by name.
+            let bytes = write_edge_profile_v2(module, &prep.edges).into_bytes();
+            let mut stale = module.clone();
+            stale.functions.rotate_left(1);
+            let detail = format!(
+                "rotated the {}-function module under a persisted profile",
+                stale.functions.len()
+            );
+            match read_edge_profile_stale(&stale, &bytes) {
+                Ok((p, sr)) => {
+                    let harmless = sr.is_exact();
+                    let (g, mut report) = ingest_guidance(&stale, Some(p), None);
+                    if !harmless {
+                        report.push(
+                            "stale-shape",
+                            format!(
+                                "{} of {} sections matched by name ({} renumbered, {} records dropped)",
+                                sr.matched_funcs,
+                                stale.functions.len(),
+                                sr.renumbered_funcs,
+                                sr.dropped_records
+                            ),
+                        );
+                    }
+                    record_faults(&mut report, &sr.faults);
+                    let lint = lint_ok(&stale, g.as_ref());
+                    (detail, report, harmless, lint)
+                }
+                Err(e) => {
+                    let (g, mut report) = ingest_guidance(&stale, None, None);
+                    report.push("load-error", e.to_string());
+                    let lint = lint_ok(&stale, g.as_ref());
+                    (detail, report, false, lint)
+                }
+            }
+        }
+    };
+    let verdict = if harmless {
+        ChaosVerdict::Harmless
+    } else if report.degraded() {
+        ChaosVerdict::Reported
+    } else {
+        ChaosVerdict::Silent
+    };
+    ChaosOutcome {
+        benchmark: prep.name.clone(),
+        site,
+        seed,
+        detail,
+        report,
+        lint_clean,
+        verdict,
+    }
+}
+
+/// Sweeps every fault site over one prepared benchmark.
+pub fn chaos_prepared(
+    prep: &PreparedBenchmark,
+    seed: u64,
+    options: &PipelineOptions,
+) -> Vec<ChaosOutcome> {
+    FaultSite::ALL
+        .iter()
+        .map(|&site| chaos_scenario(prep, site, seed, options))
+        .collect()
+}
+
+/// Prepares one suite benchmark and sweeps every fault site over it.
+pub fn chaos_benchmark(
+    entry: &ppp_workloads::SuiteEntry,
+    seed: u64,
+    options: &PipelineOptions,
+) -> Result<Vec<ChaosOutcome>, PipelineError> {
+    let prep = prepare_benchmark(entry, options)?;
+    Ok(chaos_prepared(&prep, seed, options))
+}
+
+/// Sweeps every fault site across the suite (or one named benchmark).
+///
+/// Progress goes to stderr. Returns every scenario outcome in suite ×
+/// site order.
+pub fn chaos_suite(
+    bench: Option<&str>,
+    seed: u64,
+    options: &PipelineOptions,
+) -> Result<Vec<ChaosOutcome>, PipelineError> {
+    let suite = spec2000_suite();
+    let mut outcomes = Vec::new();
+    for entry in suite
+        .iter()
+        .filter(|e| bench.is_none_or(|b| e.spec.name == b))
+    {
+        eprintln!("[ppp-repro] chaos {} ...", entry.spec.name);
+        outcomes.extend(chaos_benchmark(entry, seed, options)?);
+    }
+    Ok(outcomes)
+}
+
+/// Renders chaos outcomes as a text table.
+pub fn chaos_table(outcomes: &[ChaosOutcome]) -> String {
+    let mut t = Table::new([
+        "Benchmark",
+        "Fault site",
+        "Verdict",
+        "Rung",
+        "Lint",
+        "Detail",
+    ]);
+    for o in outcomes {
+        t.row([
+            o.benchmark.clone(),
+            o.site.to_string(),
+            o.verdict.to_string(),
+            o.report.rung().to_string(),
+            if o.lint_clean { "clean" } else { "DIRTY" }.to_owned(),
+            o.detail.clone(),
+        ]);
+    }
+    let failures = outcomes.iter().filter(|o| !o.ok()).count();
+    format!(
+        "Chaos sweep: {} scenarios, {} reported, {} harmless, {} FAILED\n{}",
+        outcomes.len(),
+        outcomes
+            .iter()
+            .filter(|o| o.verdict == ChaosVerdict::Reported)
+            .count(),
+        outcomes
+            .iter()
+            .filter(|o| o.verdict == ChaosVerdict::Harmless)
+            .count(),
+        failures,
+        t.render()
+    )
+}
+
+/// Renders chaos outcomes as a JSON array.
+pub fn chaos_json(outcomes: &[ChaosOutcome]) -> String {
+    let body = outcomes
+        .iter()
+        .map(ChaosOutcome::to_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("[{body}]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PipelineOptions {
+        PipelineOptions {
+            scale: 0.02,
+            ..PipelineOptions::default()
+        }
+    }
+
+    #[test]
+    fn chaos_sweep_upholds_the_contract_on_one_benchmark() {
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == "mcf").unwrap();
+        let options = tiny();
+        let prep = prepare_benchmark(entry, &options).expect("pipeline completes");
+        let outcomes = chaos_prepared(&prep, 701, &options);
+        assert_eq!(outcomes.len(), FaultSite::ALL.len());
+        for o in &outcomes {
+            assert!(
+                o.ok(),
+                "{} {}: silent or lint-dirty\n{}",
+                o.benchmark,
+                o.site,
+                o.report
+            );
+        }
+        // The sweep must actually bite: most sites take effect.
+        let reported = outcomes
+            .iter()
+            .filter(|o| o.verdict == ChaosVerdict::Reported)
+            .count();
+        assert!(reported >= 5, "only {reported} scenarios took effect");
+    }
+
+    #[test]
+    fn chaos_is_deterministic() {
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == "mcf").unwrap();
+        let options = tiny();
+        let prep = prepare_benchmark(entry, &options).expect("pipeline completes");
+        let a = chaos_prepared(&prep, 42, &options);
+        let b = chaos_prepared(&prep, 42, &options);
+        assert_eq!(chaos_json(&a), chaos_json(&b));
+    }
+
+    #[test]
+    fn renderers_cover_every_scenario() {
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == "mcf").unwrap();
+        let options = tiny();
+        let prep = prepare_benchmark(entry, &options).expect("pipeline completes");
+        let outcomes = chaos_prepared(&prep, 7, &options);
+        let table = chaos_table(&outcomes);
+        let json = chaos_json(&outcomes);
+        for site in FaultSite::ALL {
+            assert!(table.contains(site.name()), "table missing {site}");
+            assert!(json.contains(site.name()), "json missing {site}");
+        }
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+}

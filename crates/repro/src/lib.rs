@@ -13,22 +13,32 @@
 //! ```
 //!
 //! Besides the reports, `ppp-repro lint` checks every instrumentation
-//! plan the pipeline produces, and `ppp-repro validate` replays each
+//! plan the pipeline produces, `ppp-repro validate` replays each
 //! optimizer transform's witness through the `ppp-lint` translation
 //! validator (`PPP3xx`) and checks every traced edge profile for flow
-//! conservation.
+//! conservation, and `ppp-repro chaos` sweeps every `ppp-faults` fault
+//! site across the suite, asserting the ingestion pipeline always
+//! completes with a *reported* (never silent) degradation.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
+pub mod degrade;
 pub mod format;
 pub mod inspect;
 pub mod pipeline;
 pub mod reports;
 
+pub use chaos::{
+    chaos_benchmark, chaos_json, chaos_prepared, chaos_scenario, chaos_suite, chaos_table,
+    ChaosOutcome, ChaosVerdict,
+};
+pub use degrade::{ingest_guidance, DegradationEvent, DegradationReport, LadderRung};
 pub use inspect::inspect_benchmark;
 pub use pipeline::{
-    lint_benchmark, pipeline_configs, prepare_benchmark, run_benchmark, validate_benchmark,
-    BenchmarkRun, PipelineOptions, PreparedBenchmark, ProfilerResult,
+    lint_benchmark, pipeline_configs, prepare_benchmark, run_benchmark, run_prepared,
+    validate_benchmark, BenchmarkRun, PipelineError, PipelineOptions, PreparedBenchmark,
+    ProfilerResult,
 };
 pub use reports::{all_reports, fig10, fig11, fig12, fig13, fig9, run_suite, table1, table2};

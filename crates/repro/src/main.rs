@@ -2,8 +2,8 @@
 
 use ppp_repro::PipelineOptions;
 use ppp_repro::{
-    all_reports, fig10, fig11, fig12, fig13, fig9, inspect_benchmark, lint_benchmark, run_suite,
-    table1, table2, validate_benchmark,
+    all_reports, chaos_json, chaos_suite, chaos_table, fig10, fig11, fig12, fig13, fig9,
+    inspect_benchmark, lint_benchmark, run_suite, table1, table2, validate_benchmark,
 };
 
 fn main() {
@@ -16,6 +16,8 @@ fn main() {
     let mut inspect: Option<String> = None;
     let mut lint: Option<Option<String>> = None;
     let mut validate: Option<Option<String>> = None;
+    let mut chaos: Option<Option<String>> = None;
+    let mut seed: u64 = 701;
     let mut format = "text".to_owned();
     let mut i = 0;
     while i < args.len() {
@@ -42,6 +44,20 @@ fn main() {
                     i += 1;
                 }
                 validate = Some(next);
+            }
+            "chaos" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
+                if next.is_some() {
+                    i += 1;
+                }
+                chaos = Some(next);
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
             }
             "--format" => {
                 i += 1;
@@ -73,6 +89,9 @@ fn main() {
     }
     if let Some(only) = validate {
         std::process::exit(run_validate(only.as_deref(), &format, &options));
+    }
+    if let Some(only) = chaos {
+        std::process::exit(run_chaos(only.as_deref(), seed, &format, &options));
     }
     if let Some(name) = inspect {
         let suite = ppp_workloads::spec2000_suite();
@@ -135,7 +154,14 @@ fn run_lint(only: Option<&str>, format: &str, options: &PipelineOptions) -> i32 
     let mut dirty = false;
     let mut json_benches = Vec::new();
     for entry in entries {
-        let reports = lint_benchmark(entry, options);
+        let reports = match lint_benchmark(entry, options) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                dirty = true;
+                continue;
+            }
+        };
         let mut json_configs = Vec::new();
         for (label, report) in &reports {
             dirty |= !report.is_clean();
@@ -181,7 +207,14 @@ fn run_validate(only: Option<&str>, format: &str, options: &PipelineOptions) -> 
     let mut dirty = false;
     let mut json_benches = Vec::new();
     for entry in entries {
-        let stages = validate_benchmark(entry, options);
+        let stages = match validate_benchmark(entry, options) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                dirty = true;
+                continue;
+            }
+        };
         let mut json_stages = Vec::new();
         for (stage, report) in &stages {
             dirty |= !report.is_empty();
@@ -213,6 +246,30 @@ fn run_validate(only: Option<&str>, format: &str, options: &PipelineOptions) -> 
     i32::from(dirty)
 }
 
+/// Sweeps every fault site across the suite (or one benchmark); returns
+/// the exit code (0 = every scenario completed with no silent
+/// degradation and lint-clean surviving guidance).
+fn run_chaos(only: Option<&str>, seed: u64, format: &str, options: &PipelineOptions) -> i32 {
+    if let Some(name) = only {
+        let suite = ppp_workloads::spec2000_suite();
+        if !suite.iter().any(|e| e.spec.name == name) {
+            usage(&format!("unknown benchmark {name:?}"));
+        }
+    }
+    let outcomes = match chaos_suite(only, seed, options) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    match format {
+        "json" => println!("{}", chaos_json(&outcomes)),
+        _ => println!("{}", chaos_table(&outcomes)),
+    }
+    i32::from(outcomes.iter().any(|o| !o.ok()))
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
@@ -221,7 +278,8 @@ fn usage(err: &str) -> ! {
         "usage: ppp-repro [--scale X] [--quick] [--no-ablations] \
          [table1|table2|fig9|fig10|fig11|fig12|fig13|all] \
          | inspect <benchmark> | lint [benchmark] [--format text|json] \
-         | validate [benchmark] [--format text|json]"
+         | validate [benchmark] [--format text|json] \
+         | chaos [benchmark] [--seed S] [--format text|json]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

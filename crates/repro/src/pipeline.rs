@@ -13,8 +13,47 @@ use ppp_opt::{
     inline_module_witnessed, optimize_module_witnessed, unroll_module_witnessed, InlineOptions,
     InlineReport, UnrollOptions, UnrollReport,
 };
-use ppp_vm::{run, RunOptions, RunResult};
+use ppp_vm::{run, RunOptions, RunResult, VmError};
 use ppp_workloads::{generate, BenchClass, SuiteEntry};
+
+use crate::degrade::{ingest_guidance, DegradationReport};
+use std::fmt;
+
+/// Typed failures of the experiment pipeline.
+///
+/// These used to be `expect`/`assert!` panics; as typed errors they feed
+/// the degradation ladder (a damaged *profile* degrades, a damaged
+/// *workload* is an error the caller sees) instead of aborting the run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PipelineError {
+    /// The benchmark module has no `main` to execute.
+    NoMain {
+        /// Benchmark name.
+        benchmark: String,
+        /// Underlying VM error.
+        error: VmError,
+    },
+    /// A traced run came back without profiles (tracing disabled).
+    NotTraced {
+        /// Benchmark name.
+        benchmark: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::NoMain { benchmark, error } => {
+                write!(f, "{benchmark}: cannot execute benchmark: {error}")
+            }
+            PipelineError::NotTraced { benchmark } => {
+                write!(f, "{benchmark}: traced run produced no profiles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Pipeline configuration.
 #[derive(Clone, Copy, Debug)]
@@ -135,6 +174,9 @@ pub struct BenchmarkRun {
     pub profilers: Vec<ProfilerResult>,
     /// Table 2 summary of the optimized code's exact profile.
     pub hot_paths: HotPathSummary,
+    /// What the ingestion ladder did to the guidance profile (rung
+    /// `full-profile` with no events in a healthy run).
+    pub degradation: DegradationReport,
 }
 
 impl BenchmarkRun {
@@ -144,16 +186,26 @@ impl BenchmarkRun {
     }
 }
 
-fn traced(module: &Module, seed: u64) -> (RunResult, ModuleEdgeProfile, ModulePathProfile) {
+fn traced(
+    module: &Module,
+    seed: u64,
+    benchmark: &str,
+) -> Result<(RunResult, ModuleEdgeProfile, ModulePathProfile), PipelineError> {
     let r = run(
         module,
         "main",
         &RunOptions::default().with_seed(seed).traced(),
     )
-    .expect("benchmark modules have a main");
-    let edges = r.edge_profile.clone().expect("traced");
-    let paths = r.path_profile.clone().expect("traced");
-    (r, edges, paths)
+    .map_err(|error| PipelineError::NoMain {
+        benchmark: benchmark.to_owned(),
+        error,
+    })?;
+    let (Some(edges), Some(paths)) = (r.edge_profile.clone(), r.path_profile.clone()) else {
+        return Err(PipelineError::NotTraced {
+            benchmark: benchmark.to_owned(),
+        });
+    };
+    Ok((r, edges, paths))
 }
 
 /// The profiling-ready artifact of the pipeline front half: the workload
@@ -191,7 +243,7 @@ pub struct PreparedBenchmark {
 fn prepare_validated(
     entry: &SuiteEntry,
     options: &PipelineOptions,
-) -> (PreparedBenchmark, Vec<(String, ppp_lint::LintReport)>) {
+) -> Result<(PreparedBenchmark, Vec<(String, ppp_lint::LintReport)>), PipelineError> {
     let spec = entry.spec.clone().scaled(options.scale);
     let mut module0 = generate(&spec);
     let mut stages: Vec<(String, ppp_lint::LintReport)> = Vec::new();
@@ -206,7 +258,7 @@ fn prepare_validated(
     ppp_core::normalize_module(&mut module0);
 
     // Phase 1: profile the original code.
-    let (r0, edges0, truth0) = traced(&module0, options.seed);
+    let (r0, edges0, truth0) = traced(&module0, options.seed, &spec.name)?;
     stages.push((
         "profile@orig".into(),
         ppp_lint::check_profile(&module0, &edges0),
@@ -222,7 +274,7 @@ fn prepare_validated(
         "inline".into(),
         ppp_lint::check_transform(&src, &w, &module),
     ));
-    let (_r1, edges1, _t1) = traced(&module, options.seed);
+    let (_r1, edges1, _t1) = traced(&module, options.seed, &spec.name)?;
     stages.push((
         "profile@inline".into(),
         ppp_lint::check_profile(&module, &edges1),
@@ -242,7 +294,7 @@ fn prepare_validated(
     ppp_core::normalize_module(&mut module);
 
     // Phase 3: the evaluation profile of the optimized code.
-    let (r2, edges, truth) = traced(&module, options.seed);
+    let (r2, edges, truth) = traced(&module, options.seed, &spec.name)?;
     stages.push((
         "profile@opt".into(),
         ppp_lint::check_profile(&module, &edges),
@@ -262,7 +314,7 @@ fn prepare_validated(
         unroll,
         baseline_cost,
     };
-    (prep, stages)
+    Ok((prep, stages))
 }
 
 /// Runs the pipeline front half for one suite entry: generate → optimize
@@ -272,8 +324,11 @@ fn prepare_validated(
 /// so experiments still complete while the defect is investigated. The
 /// result is what every profiler configuration (and `repro lint`)
 /// consumes.
-pub fn prepare_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> PreparedBenchmark {
-    let (prep, stages) = prepare_validated(entry, options);
+pub fn prepare_benchmark(
+    entry: &SuiteEntry,
+    options: &PipelineOptions,
+) -> Result<PreparedBenchmark, PipelineError> {
+    let (prep, stages) = prepare_validated(entry, options)?;
     for (stage, report) in &stages {
         if !report.is_empty() {
             eprintln!(
@@ -282,7 +337,7 @@ pub fn prepare_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> Prepa
             );
         }
     }
-    prep
+    Ok(prep)
 }
 
 /// Runs the witnessed pipeline front half for one suite entry and returns
@@ -293,8 +348,8 @@ pub fn prepare_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> Prepa
 pub fn validate_benchmark(
     entry: &SuiteEntry,
     options: &PipelineOptions,
-) -> Vec<(String, ppp_lint::LintReport)> {
-    prepare_validated(entry, options).1
+) -> Result<Vec<(String, ppp_lint::LintReport)>, PipelineError> {
+    Ok(prepare_validated(entry, options)?.1)
 }
 
 /// The profiler configurations the pipeline evaluates: PP, TPP, PPP, plus
@@ -319,28 +374,61 @@ pub fn pipeline_configs(options: &PipelineOptions) -> Vec<ProfilerConfig> {
 }
 
 /// Runs the full pipeline for one suite entry.
-pub fn run_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> BenchmarkRun {
-    let prep = prepare_benchmark(entry, options);
+///
+/// The guidance profile passes through the degradation ladder
+/// ([`ingest_guidance`]) before any profiler consumes it: a damaged
+/// profile downgrades the guidance and is recorded in
+/// [`BenchmarkRun::degradation`] instead of panicking.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] when the workload itself cannot be
+/// executed (no `main`) — profile damage is not an error.
+pub fn run_benchmark(
+    entry: &SuiteEntry,
+    options: &PipelineOptions,
+) -> Result<BenchmarkRun, PipelineError> {
+    let prep = prepare_benchmark(entry, options)?;
+    run_prepared(prep, options)
+}
+
+/// Back half of [`run_benchmark`], starting from a prepared artifact
+/// (chaos scenarios call this with deliberately damaged preparations).
+pub fn run_prepared(
+    prep: PreparedBenchmark,
+    options: &PipelineOptions,
+) -> Result<BenchmarkRun, PipelineError> {
+    // Degradation ladder: sanitize the guidance before anything trusts it.
+    let (guidance, degradation) =
+        ingest_guidance(&prep.module, Some(prep.edges.clone()), Some(&prep.truth));
+    if degradation.degraded() {
+        eprintln!(
+            "warning: {} guidance profile degraded:\n{degradation}",
+            prep.name
+        );
+    }
+    let zeroed = ModuleEdgeProfile::zeroed(&prep.module);
+    let guide_ref = guidance.as_ref().unwrap_or(&zeroed);
 
     // Edge-profiling estimator (accuracy from potential flow, §6.1;
     // coverage = attribution of definite flow, §6.2).
     let est_opts = estimate_options(&prep.truth, options);
     let edge_est = edge_profile_estimate(
         &prep.module,
-        &prep.edges,
+        guide_ref,
         FlowKind::Potential,
         options.metric,
         &est_opts,
     );
     let edge = EdgeResult {
         accuracy: accuracy(&prep.truth, &edge_est, options.metric, options.hot_ratio),
-        coverage: edge_profile_coverage(&prep.module, &prep.edges, &prep.truth, options.metric)
+        coverage: edge_profile_coverage(&prep.module, guide_ref, &prep.truth, options.metric)
             .ratio(),
     };
 
     let profilers = pipeline_configs(options)
         .iter()
-        .map(|c| run_profiler(&prep, c, options, &est_opts))
+        .map(|c| run_profiler(&prep, guidance.as_ref(), c, options, &est_opts))
         .collect();
 
     // Table 2 summary.
@@ -356,7 +444,7 @@ pub fn run_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> Benchmark
         ),
     };
 
-    BenchmarkRun {
+    Ok(BenchmarkRun {
         name: prep.name,
         class: prep.class,
         orig: prep.orig,
@@ -366,7 +454,8 @@ pub fn run_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> Benchmark
         edge,
         profilers,
         hot_paths,
-    }
+        degradation,
+    })
 }
 
 /// Instruments a prepared suite entry under every pipeline configuration
@@ -374,15 +463,15 @@ pub fn run_benchmark(entry: &SuiteEntry, options: &PipelineOptions) -> Benchmark
 pub fn lint_benchmark(
     entry: &SuiteEntry,
     options: &PipelineOptions,
-) -> Vec<(String, ppp_lint::LintReport)> {
-    let prep = prepare_benchmark(entry, options);
-    pipeline_configs(options)
+) -> Result<Vec<(String, ppp_lint::LintReport)>, PipelineError> {
+    let prep = prepare_benchmark(entry, options)?;
+    Ok(pipeline_configs(options)
         .iter()
         .map(|c| {
             let plan = instrument_module(&prep.module, Some(&prep.edges), c);
             (c.label(), ppp_lint::lint_plan(&plan))
         })
-        .collect()
+        .collect())
 }
 
 fn estimate_options(truth: &ModulePathProfile, options: &PipelineOptions) -> EstimateOptions {
@@ -401,20 +490,31 @@ fn estimate_options(truth: &ModulePathProfile, options: &PipelineOptions) -> Est
 
 fn run_profiler(
     prep: &PreparedBenchmark,
+    guidance: Option<&ModuleEdgeProfile>,
     config: &ProfilerConfig,
     options: &PipelineOptions,
     est_opts: &EstimateOptions,
 ) -> ProfilerResult {
-    let (module, edges, truth) = (&prep.module, &prep.edges, &prep.truth);
+    let (module, truth) = (&prep.module, &prep.truth);
     // A guidance profile that violates Kirchhoff's law would silently
-    // misdirect instrumentation placement; refuse it outright.
-    assert!(
-        edges.shape_matches(module) && edges.is_flow_conservative(module),
-        "{}: refusing to instrument {} from a flow-inconsistent edge profile",
+    // misdirect instrumentation placement. The degradation ladder
+    // (`ingest_guidance`) guarantees `guidance` is either None (static
+    // posture) or shape-matching and flow conservative.
+    debug_assert!(
+        guidance.is_none_or(|g| g.shape_matches(module) && g.is_flow_conservative(module)),
+        "{}: {} handed unsanitized guidance",
         prep.name,
         config.label(),
     );
-    let plan = instrument_module(module, Some(edges), config);
+    let zeroed;
+    let edges = match guidance {
+        Some(g) => g,
+        None => {
+            zeroed = ModuleEdgeProfile::zeroed(module);
+            &zeroed
+        }
+    };
+    let plan = instrument_module(module, guidance, config);
     // Soundness gate: a plan that fails the lint would silently corrupt
     // the measured profile, so surface it loudly before running.
     let lint = ppp_lint::lint_plan(&plan);
@@ -478,8 +578,9 @@ mod tests {
     fn pipeline_runs_one_int_benchmark() {
         let suite = spec2000_suite();
         let entry = suite.iter().find(|e| e.spec.name == "mcf").unwrap();
-        let run = run_benchmark(entry, &tiny());
+        let run = run_benchmark(entry, &tiny()).expect("pipeline completes");
         assert_eq!(run.name, "mcf");
+        assert!(!run.degradation.degraded(), "healthy run stays on rung 1");
         assert_eq!(run.profilers.len(), 3);
         for p in &run.profilers {
             assert!(p.overhead >= 0.0, "{}: overhead {}", p.label, p.overhead);
@@ -506,7 +607,7 @@ mod tests {
             ablations: true,
             ..tiny()
         };
-        let run = run_benchmark(entry, &opts);
+        let run = run_benchmark(entry, &opts).expect("pipeline completes");
         // PP, TPP, PPP + 5 leave-one-out + baseline + 4 one-at-a-time.
         assert_eq!(run.profilers.len(), 13);
         assert!(run.profiler("PPP-FP").is_some());
@@ -520,7 +621,7 @@ mod tests {
     fn witnessed_pipeline_validates_clean() {
         let suite = spec2000_suite();
         let entry = suite.iter().find(|e| e.spec.name == "bzip2").unwrap();
-        let stages = validate_benchmark(entry, &tiny());
+        let stages = validate_benchmark(entry, &tiny()).expect("pipeline completes");
         let names: Vec<_> = stages.iter().map(|(s, _)| s.as_str()).collect();
         assert_eq!(
             names,
@@ -540,12 +641,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "flow-inconsistent edge profile")]
-    fn run_profiler_refuses_inconsistent_profile() {
+    fn inconsistent_profile_degrades_instead_of_panicking() {
         let suite = spec2000_suite();
         let entry = suite.iter().find(|e| e.spec.name == "mcf").unwrap();
         let options = tiny();
-        let mut prep = prepare_benchmark(entry, &options);
+        let mut prep = prepare_benchmark(entry, &options).expect("pipeline completes");
         let f0 = &prep.module.functions[0];
         let b = f0
             .block_ids()
@@ -554,15 +654,24 @@ mod tests {
         prep.edges
             .func_mut(ppp_ir::FuncId(0))
             .bump_edge(ppp_ir::EdgeRef::new(b, 0));
-        let est_opts = estimate_options(&prep.truth, &options);
-        run_profiler(&prep, &ProfilerConfig::ppp(), &options, &est_opts);
+        // The damaged guidance must not panic: the ladder quarantines or
+        // rebuilds the inconsistent function and the run completes with a
+        // structured report.
+        let run = run_prepared(prep, &options).expect("pipeline completes despite damage");
+        assert!(run.degradation.degraded());
+        assert!(run
+            .degradation
+            .events
+            .iter()
+            .any(|e| e.cause == "flow-violation"));
+        assert_eq!(run.profilers.len(), 3);
     }
 
     #[test]
     fn optimization_lengthens_paths() {
         let suite = spec2000_suite();
         let entry = suite.iter().find(|e| e.spec.name == "mgrid").unwrap();
-        let run = run_benchmark(entry, &tiny());
+        let run = run_benchmark(entry, &tiny()).expect("pipeline completes");
         assert!(
             run.opt.avg_insts > run.orig.avg_insts,
             "unrolling should lengthen paths: {} -> {}",

@@ -16,9 +16,15 @@ pub fn run_suite(options: &PipelineOptions) -> Vec<BenchmarkRun> {
     let suite = spec2000_suite();
     suite
         .iter()
-        .map(|e| {
+        .filter_map(|e| {
             eprintln!("[ppp-repro] running {} ...", e.spec.name);
-            run_benchmark(e, options)
+            match run_benchmark(e, options) {
+                Ok(run) => Some(run),
+                Err(err) => {
+                    eprintln!("[ppp-repro] error: {err}; skipping benchmark");
+                    None
+                }
+            }
         })
         .collect()
 }
@@ -468,7 +474,7 @@ mod tests {
             .iter()
             .map(|n| {
                 let e = suite.iter().find(|e| e.spec.name == *n).unwrap();
-                run_benchmark(e, &opts)
+                run_benchmark(e, &opts).expect("pipeline completes")
             })
             .collect()
     }

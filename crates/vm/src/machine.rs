@@ -8,7 +8,7 @@
 use crate::cost::CostModel;
 use crate::rng::SplitMix64;
 use crate::storage::ProfileStore;
-use crate::trace::{PathCursor, Tracer};
+use crate::trace::{PathCursor, TraceFaults, Tracer};
 use ppp_ir::{
     BlockId, EdgeRef, FuncId, Inst, Module, ModuleEdgeProfile, ModulePathProfile, ProfOp, Reg,
     Terminator,
@@ -67,6 +67,9 @@ pub struct RunOptions {
     pub cost: CostModel,
     /// Maximum call-stack depth.
     pub max_call_depth: usize,
+    /// Deterministic trace-event dropping (fault injection; only
+    /// meaningful when `trace` is set).
+    pub trace_faults: Option<TraceFaults>,
 }
 
 impl Default for RunOptions {
@@ -79,6 +82,7 @@ impl Default for RunOptions {
             trace_sequence: false,
             cost: CostModel::default(),
             max_call_depth: 512,
+            trace_faults: None,
         }
     }
 }
@@ -100,6 +104,13 @@ impl RunOptions {
     /// Returns options with the given seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns options that drop trace events per `faults` (implies
+    /// nothing unless tracing is also enabled).
+    pub fn with_trace_faults(mut self, faults: TraceFaults) -> Self {
+        self.trace_faults = Some(faults);
         self
     }
 }
@@ -130,6 +141,9 @@ pub struct RunResult {
     pub path_profile: Option<ModulePathProfile>,
     /// Ordered stream of completed paths (when `trace_sequence` was set).
     pub path_sequence: Vec<(FuncId, ppp_ir::PathKey)>,
+    /// `(edge events, path completions)` dropped by injected trace faults
+    /// (always `(0, 0)` without [`RunOptions::trace_faults`]).
+    pub trace_events_dropped: (u64, u64),
 }
 
 impl RunResult {
@@ -232,6 +246,9 @@ impl<'m> Interp<'m> {
                 if opts.trace_sequence {
                     t.record_sequence();
                 }
+                if let Some(f) = opts.trace_faults {
+                    t.inject_faults(f);
+                }
                 t
             }),
             stack: Vec::new(),
@@ -262,12 +279,13 @@ impl<'m> Interp<'m> {
     fn run(mut self, entry: FuncId) -> RunResult {
         self.push_frame(entry, &[], None);
         let halt = self.exec_loop();
-        let (edge_profile, path_profile, path_sequence) = match self.tracer {
+        let (edge_profile, path_profile, path_sequence, trace_events_dropped) = match self.tracer {
             Some(t) => {
+                let dropped = t.dropped_events();
                 let (e, p, s) = t.finish_with_sequence(self.module);
-                (Some(e), Some(p), s)
+                (Some(e), Some(p), s, dropped)
             }
-            None => (None, None, Vec::new()),
+            None => (None, None, Vec::new(), (0, 0)),
         };
         RunResult {
             halt,
@@ -281,6 +299,7 @@ impl<'m> Interp<'m> {
             edge_profile,
             path_profile,
             path_sequence,
+            trace_events_dropped,
         }
     }
 

@@ -58,18 +58,32 @@ impl CounterTable {
     /// counter (this is how the *checked* counting ops report poison; the
     /// unchecked ops never pass negative keys for well-formed free-poisoned
     /// instrumentation, but the behaviour is safe either way).
+    ///
+    /// All counters saturate at [`u64::MAX`]: a long-running profiled
+    /// process degrades to a pinned (and detectable) counter rather than
+    /// a debug-build overflow panic.
     pub fn bump(&mut self, key: i64) {
         if key < 0 {
             match self {
-                CounterTable::Array { cold, .. } | CounterTable::Hash { cold, .. } => *cold += 1,
+                CounterTable::Array { cold, .. } | CounterTable::Hash { cold, .. } => {
+                    *cold = cold.saturating_add(1)
+                }
             }
             return;
         }
-        let key = key as u64;
+        self.add(key as u64, 1);
+    }
+
+    /// Adds `count` to the counter for path number `key` (saturating).
+    ///
+    /// This is the bulk form of [`CounterTable::bump`]; fault injection
+    /// uses it to preload a counter near [`u64::MAX`] so one more bump
+    /// exercises the saturation path.
+    pub fn add(&mut self, key: u64, count: u64) {
         match self {
             CounterTable::Array { counts, lost, .. } => match counts.get_mut(key as usize) {
-                Some(c) => *c += 1,
-                None => *lost += 1,
+                Some(c) => *c = c.saturating_add(count),
+                None => *lost = lost.saturating_add(count),
             },
             CounterTable::Hash {
                 slots,
@@ -87,17 +101,17 @@ impl CounterTable {
                     let idx = ((h1 + i * h2) % n) as usize;
                     match &mut slots[idx] {
                         Some((k, c)) if *k == key => {
-                            *c += 1;
+                            *c = c.saturating_add(count);
                             return;
                         }
                         Some(_) => continue,
                         empty @ None => {
-                            *empty = Some((key, 1));
+                            *empty = Some((key, count));
                             return;
                         }
                     }
                 }
-                *lost += 1;
+                *lost = lost.saturating_add(count);
             }
         }
     }
@@ -105,8 +119,15 @@ impl CounterTable {
     /// Records a poisoned path (explicitly, for checked counting ops).
     pub fn bump_cold(&mut self) {
         match self {
-            CounterTable::Array { cold, .. } | CounterTable::Hash { cold, .. } => *cold += 1,
+            CounterTable::Array { cold, .. } | CounterTable::Hash { cold, .. } => {
+                *cold = cold.saturating_add(1)
+            }
         }
+    }
+
+    /// `true` when any counter has pinned at [`u64::MAX`].
+    pub fn saturated(&self) -> bool {
+        self.iter_counts().any(|(_, c)| c == u64::MAX)
     }
 
     /// Iterates `(path number, count)` over all non-zero counters.
@@ -138,8 +159,10 @@ impl CounterTable {
     }
 
     /// Total counted flow (sum of all counters, excluding lost/cold).
+    /// Saturating, so preloaded or pinned counters cannot overflow it.
     pub fn total(&self) -> u64 {
-        self.iter_counts().map(|(_, c)| c).sum()
+        self.iter_counts()
+            .fold(0u64, |acc, (_, c)| acc.saturating_add(c))
     }
 }
 
@@ -262,6 +285,27 @@ mod tests {
             t.bump(12345);
         }
         assert_eq!(t.iter_counts().collect::<Vec<_>>(), vec![(12345, 10)]);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        let mut t = CounterTable::new(TableKind::Array { size: 2 });
+        t.add(0, u64::MAX - 1);
+        assert!(!t.saturated());
+        t.bump(0);
+        assert!(t.saturated());
+        t.bump(0); // would overflow without saturation
+        assert_eq!(t.iter_counts().next(), Some((0, u64::MAX)));
+        assert_eq!(t.total(), u64::MAX);
+
+        let mut h = CounterTable::new(TableKind::Hash {
+            slots: 7,
+            max_probes: 3,
+        });
+        h.add(5, u64::MAX);
+        h.bump(5);
+        assert!(h.saturated());
+        assert_eq!(h.iter_counts().collect::<Vec<_>>(), vec![(5, u64::MAX)]);
     }
 
     #[test]

@@ -119,7 +119,8 @@ impl PathTrie {
     }
 
     fn end_path(&mut self, state: u32) {
-        self.nodes[state as usize].count += 1;
+        let c = &mut self.nodes[state as usize].count;
+        *c = c.saturating_add(1);
     }
 
     fn key_of(&self, state: u32) -> PathKey {
@@ -153,6 +154,28 @@ pub struct PathCursor {
     state: u32,
 }
 
+/// Deterministic trace-event fault injection (testing only).
+///
+/// Real profile collectors lose events — ring buffers wrap, signals race,
+/// agents detach — so the ingestion side must cope with profiles whose
+/// flow no longer balances. These knobs drop events on a fixed cadence
+/// (seed-phased, so runs are reproducible but the first casualty moves
+/// with the seed), producing exactly the damage shapes the degradation
+/// ladder has to absorb:
+///
+/// - dropped *edge* events leave a flow-inconsistent edge profile
+///   (Kirchhoff violations at the affected blocks);
+/// - dropped *path completions* leave an undercounted path profile.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceFaults {
+    /// Drop every Nth edge-profile update (0 = never drop).
+    pub drop_edge_every: u64,
+    /// Drop every Nth path completion (0 = never drop).
+    pub drop_path_every: u64,
+    /// Phase seed: offsets which event in the cadence is the first lost.
+    pub seed: u64,
+}
+
 /// Collects edge and path profiles during a run.
 #[derive(Clone, Debug)]
 pub struct Tracer {
@@ -163,6 +186,16 @@ pub struct Tracer {
     /// `(function, trie state)` pairs — resolvable to [`PathKey`]s at the
     /// end. Online predictors (e.g. Dynamo's NET) consume this.
     sequence: Option<Vec<(FuncId, u32)>>,
+    /// Active fault-injection plan, if any.
+    faults: Option<TraceFaults>,
+    /// Edge events observed since the last edge drop.
+    edge_tick: u64,
+    /// Path completions observed since the last path drop.
+    path_tick: u64,
+    /// Edge-profile updates deliberately dropped.
+    dropped_edges: u64,
+    /// Path completions deliberately dropped.
+    dropped_paths: u64,
 }
 
 impl Tracer {
@@ -173,6 +206,11 @@ impl Tracer {
             classifiers: module.functions.iter().map(EdgeClassifier::new).collect(),
             tries: vec![PathTrie::default(); module.functions.len()],
             sequence: None,
+            faults: None,
+            edge_tick: 0,
+            path_tick: 0,
+            dropped_edges: 0,
+            dropped_paths: 0,
         }
     }
 
@@ -180,6 +218,56 @@ impl Tracer {
     /// (memory: one entry per dynamic path).
     pub fn record_sequence(&mut self) {
         self.sequence = Some(Vec::new());
+    }
+
+    /// Arms deterministic trace-event dropping (see [`TraceFaults`]).
+    pub fn inject_faults(&mut self, faults: TraceFaults) {
+        // Phase the cadences by the seed so different seeds lose
+        // different events while the same seed reproduces exactly.
+        if faults.drop_edge_every > 0 {
+            self.edge_tick = faults.seed % faults.drop_edge_every;
+        }
+        if faults.drop_path_every > 0 {
+            self.path_tick = (faults.seed >> 17) % faults.drop_path_every;
+        }
+        self.faults = Some(faults);
+    }
+
+    /// `(dropped edge events, dropped path completions)` so far.
+    pub fn dropped_events(&self) -> (u64, u64) {
+        (self.dropped_edges, self.dropped_paths)
+    }
+
+    /// Decides whether the next edge-profile update is dropped.
+    fn drop_edge_event(&mut self) -> bool {
+        let Some(f) = self.faults else { return false };
+        if f.drop_edge_every == 0 {
+            return false;
+        }
+        self.edge_tick += 1;
+        if self.edge_tick >= f.drop_edge_every {
+            self.edge_tick = 0;
+            self.dropped_edges += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decides whether the next path completion is dropped.
+    fn drop_path_event(&mut self) -> bool {
+        let Some(f) = self.faults else { return false };
+        if f.drop_path_every == 0 {
+            return false;
+        }
+        self.path_tick += 1;
+        if self.path_tick >= f.drop_path_every {
+            self.path_tick = 0;
+            self.dropped_paths += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Called when `func` is entered; returns the cursor for its first path.
@@ -202,9 +290,13 @@ impl Tracer {
         e: EdgeRef,
         target: BlockId,
     ) {
-        let prof = self.edges.func_mut(func);
-        prof.bump_edge(e);
-        prof.bump_block(target);
+        // A dropped edge event loses the *counts* only; the path cursor
+        // still advances so the trie never sees a malformed edge chain.
+        if !self.drop_edge_event() {
+            let prof = self.edges.func_mut(func);
+            prof.bump_edge(e);
+            prof.bump_block(target);
+        }
         let trie = &mut self.tries[func.index()];
         match self.classifiers[func.index()].kind(e) {
             EdgeKind::Forward => {
@@ -215,17 +307,23 @@ impl Tracer {
                 // terminating branch), then a fresh path starts at the
                 // header.
                 let end_state = trie.step(cursor.state, e);
-                trie.end_path(end_state);
-                if let Some(seq) = &mut self.sequence {
-                    seq.push((func, end_state));
+                if !self.drop_path_event() {
+                    let trie = &mut self.tries[func.index()];
+                    trie.end_path(end_state);
+                    if let Some(seq) = &mut self.sequence {
+                        seq.push((func, end_state));
+                    }
                 }
-                cursor.state = trie.root(target);
+                cursor.state = self.tries[func.index()].root(target);
             }
         }
     }
 
     /// Called when the current activation of `func` returns.
     pub fn exit_function(&mut self, func: FuncId, cursor: PathCursor) {
+        if self.drop_path_event() {
+            return;
+        }
         self.tries[func.index()].end_path(cursor.state);
         if let Some(seq) = &mut self.sequence {
             seq.push((func, cursor.state));
@@ -339,6 +437,60 @@ mod tests {
         assert_eq!(fp.paths[&a].branches, 1);
         assert_eq!(fp.paths[&b].freq, 1);
         assert_eq!(fp.paths[&b].branches, 1);
+    }
+
+    fn run_looped_iters(t: &mut Tracer, iters: usize) {
+        let f = FuncId(0);
+        let mut cur = t.enter_function(f, BlockId(0));
+        t.take_edge(f, &mut cur, EdgeRef::new(BlockId(0), 0), BlockId(1));
+        for _ in 0..iters {
+            t.take_edge(f, &mut cur, EdgeRef::new(BlockId(1), 0), BlockId(2));
+            t.take_edge(f, &mut cur, EdgeRef::new(BlockId(2), 0), BlockId(1));
+        }
+        t.take_edge(f, &mut cur, EdgeRef::new(BlockId(1), 1), BlockId(3));
+        t.exit_function(f, cur);
+    }
+
+    #[test]
+    fn dropped_edge_events_break_flow_but_not_paths() {
+        let m = looped();
+        let mut t = Tracer::new(&m);
+        t.inject_faults(TraceFaults {
+            drop_edge_every: 3,
+            drop_path_every: 0,
+            seed: 7,
+        });
+        run_looped_iters(&mut t, 10);
+        let (de, dp) = t.dropped_events();
+        assert!(de > 0);
+        assert_eq!(dp, 0);
+        let (edges, paths) = t.finish(&m);
+        // The edge profile lost flow at some blocks...
+        assert!(!edges.is_flow_conservative(&m));
+        // ...but the path profile is intact: 10 loop paths + 1 exit path.
+        assert_eq!(paths.func(FuncId(0)).total_unit_flow(), 11);
+    }
+
+    #[test]
+    fn dropped_path_events_undercount_paths_deterministically() {
+        let m = looped();
+        let collect = |seed| {
+            let mut t = Tracer::new(&m);
+            t.inject_faults(TraceFaults {
+                drop_edge_every: 0,
+                drop_path_every: 4,
+                seed,
+            });
+            run_looped_iters(&mut t, 10);
+            let dropped = t.dropped_events().1;
+            let (_, paths) = t.finish(&m);
+            (dropped, paths.func(FuncId(0)).total_unit_flow())
+        };
+        let (d1, flow1) = collect(42);
+        let (d2, flow2) = collect(42);
+        assert!(d1 > 0);
+        assert_eq!(flow1 + d1, 11, "dropped paths are exactly the missing flow");
+        assert_eq!((d1, flow1), (d2, flow2), "same seed, same losses");
     }
 
     #[test]

@@ -33,7 +33,10 @@ fn main() {
         ..PipelineOptions::default()
     };
     eprintln!("running {name} (scale {})...", options.scale);
-    let run = run_benchmark(entry, &options);
+    let run = run_benchmark(entry, &options).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
 
     println!(
         "{name}: {} dynamic paths ({} distinct), {:.2} branches and {:.1} \
