@@ -169,7 +169,9 @@ mod tests {
         let base = run(&m, "main", &RunOptions::default()).unwrap();
         let instr = edge_instrument(&m);
         let r = run(&instr.module, "main", &RunOptions::default()).unwrap();
-        let oh = r.overhead_vs(base.cost);
+        let oh = r
+            .overhead_vs(base.cost)
+            .expect("baseline retired instructions");
         assert!(oh > 0.0);
         // Naive always-on edge counting costs one array bump per edge
         // execution — well above the paper's sampled collectors but below

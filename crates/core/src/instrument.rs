@@ -709,6 +709,7 @@ mod tests {
             run(&plan.module, "main", &RunOptions::default())
                 .unwrap()
                 .overhead_vs(base)
+                .expect("baseline retired instructions")
         };
         let pp = cost(ProfilerConfig::pp());
         let tpp = cost(ProfilerConfig::tpp());

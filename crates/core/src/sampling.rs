@@ -239,8 +239,8 @@ mod tests {
         let ppp_run = run(&ppp.module, "main", &RunOptions::default()).unwrap();
         let sampled = sampled_module(&pp, &m, 10);
         let sampled_run = run(&sampled, "main", &RunOptions::default()).unwrap();
-        let ppp_oh = ppp_run.overhead_vs(baseline);
-        let sampled_oh = sampled_run.overhead_vs(baseline);
+        let ppp_oh = ppp_run.overhead_vs(baseline).expect("live baseline");
+        let sampled_oh = sampled_run.overhead_vs(baseline).expect("live baseline");
         // PPP collects ~10x the data; its overhead should be in the same
         // ballpark (within a few percentage points) as 1-in-10 sampling.
         assert!(

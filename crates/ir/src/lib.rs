@@ -82,7 +82,9 @@ pub use persist_v2::{
     read_path_profile_v2, salvage_edge_profile, salvage_path_profile, write_edge_profile_v2,
     write_path_profile_v2, ProfileLoadError, Salvaged, SectionFault, StaleReport, PROFILE_MAGIC,
 };
-pub use profile::{FlowViolation, FlowViolationKind, FuncEdgeProfile, ModuleEdgeProfile};
+pub use profile::{
+    FlowViolation, FlowViolationKind, FuncEdgeProfile, ModuleEdgeProfile, ProfileStats,
+};
 pub use verify::{verify_module, VerifyError};
 pub use witness::{
     InlineStep, InlineWitness, ScalarFuncWitness, ScalarWitness, TransformWitness, UnrollMode,

@@ -420,6 +420,46 @@ impl ModuleEdgeProfile {
             a.merge(b);
         }
     }
+
+    /// Summarizes the profile for telemetry (see [`ProfileStats`]).
+    pub fn stats(&self) -> ProfileStats {
+        ProfileStats {
+            functions: self.funcs.len() as u64,
+            entries: self
+                .funcs
+                .iter()
+                .fold(0u64, |acc, p| acc.saturating_add(p.entries())),
+            total_edge_flow: self
+                .funcs
+                .iter()
+                .fold(0u64, |acc, p| acc.saturating_add(p.total_edge_flow())),
+            total_branch_flow: self
+                .funcs
+                .iter()
+                .fold(0u64, |acc, p| acc.saturating_add(p.total_branch_flow())),
+            saturated_functions: self.funcs.iter().filter(|p| p.saturated()).count() as u64,
+            zero_functions: self.funcs.iter().filter(|p| p.is_zero()).count() as u64,
+        }
+    }
+}
+
+/// Aggregate metadata about an edge profile, cheap to compute and stable
+/// to report: the observability layer records these as gauges per
+/// pipeline stage, and `repro trace` prints them in its breakdown tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProfileStats {
+    /// Functions covered by the profile.
+    pub functions: u64,
+    /// Total function entries observed.
+    pub entries: u64,
+    /// Total edge flow (sum over all edges; saturating).
+    pub total_edge_flow: u64,
+    /// Total branch flow (the accuracy denominator; saturating).
+    pub total_branch_flow: u64,
+    /// Functions with at least one counter pinned at [`u64::MAX`].
+    pub saturated_functions: u64,
+    /// Functions with no recorded flow at all (cold or unreached).
+    pub zero_functions: u64,
 }
 
 /// Replays one path onto `p`, validating every reference against `f`.
@@ -477,6 +517,26 @@ mod tests {
         b.switch_to(j);
         b.ret(None);
         b.finish()
+    }
+
+    #[test]
+    fn stats_summarize_entries_flow_and_cold_functions() {
+        let mut m = crate::Module::new();
+        let fa = m.add_function(branchy());
+        let fb = m.add_function(branchy());
+        let mut mp = ModuleEdgeProfile::zeroed(&m);
+        mp.func_mut(fa).bump_entry();
+        mp.func_mut(fa).bump_edge(EdgeRef::new(BlockId(0), 0));
+        mp.func_mut(fa).bump_edge(EdgeRef::new(BlockId(0), 0));
+        mp.func_mut(fb)
+            .set_edge(EdgeRef::new(BlockId(0), 1), u64::MAX);
+        let s = mp.stats();
+        assert_eq!(s.functions, 2);
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.total_edge_flow, u64::MAX); // saturating sum
+        assert_eq!(s.saturated_functions, 1);
+        assert_eq!(s.zero_functions, 0);
+        assert_eq!(ModuleEdgeProfile::zeroed(&m).stats().zero_functions, 2);
     }
 
     #[test]

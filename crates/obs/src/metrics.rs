@@ -1,0 +1,558 @@
+//! A typed metrics registry: counters, gauges, and histograms with fixed
+//! log2 buckets, exposed as Prometheus-style text and as JSON.
+//!
+//! Metrics are keyed by `(name, sorted labels)`. The registry is
+//! internally synchronized (a single mutex — the pipeline records metrics
+//! at stage boundaries, not per instruction, so contention is nil) and
+//! cheap to clone-share via [`std::sync::Arc`].
+//!
+//! Semantics follow the Prometheus data model:
+//!
+//! - **counter** — monotonically non-decreasing `u64`, saturating;
+//! - **gauge** — last-write-wins `f64`;
+//! - **histogram** — `u64` observations in buckets `[2^(i-1), 2^i)`
+//!   (bucket 0 holds zeros), plus exact `sum` and `count`.
+//!
+//! A name registered as one type and used as another is a programming
+//! error; the mismatched write is dropped and counted in the registry's
+//! own `ppp_obs_type_conflicts_total` counter — observability must never
+//! panic the pipeline it observes.
+
+use crate::json::{self, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Number of log2 histogram buckets: bucket 0 holds zeros, bucket `i`
+/// (1..=64) holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A metric key: name plus sorted label pairs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct MetricKey {
+    /// Metric name (Prometheus conventions: `snake_case`, unit-suffixed).
+    pub name: String,
+    /// Label pairs, kept sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, sorting the labels.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+
+    fn prom_suffix(&self) -> String {
+        if self.labels.is_empty() {
+            return String::new();
+        }
+        let body = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{{body}}}")
+    }
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+pub fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One metric's current value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MetricValue {
+    /// Saturating monotonic counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Log2-bucketed histogram of `u64` observations.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Histogram state: fixed log2 buckets plus exact sum/count.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Histogram {
+    /// `buckets[0]` counts zero observations; `buckets[i]` counts values
+    /// in `[2^(i-1), 2^i)`.
+    pub buckets: Vec<u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index of `v`: 0 for 0, else `bit_length(v)`.
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Inclusive upper bound of bucket `i` (`None` for the zero bucket's
+    /// exact bound, which is 0).
+    pub fn upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+}
+
+/// The metrics registry.
+#[derive(Default, Debug)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<MetricKey, MetricValue>>,
+    conflicts: Mutex<u64>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the counter `name{labels}` (created at zero).
+    pub fn inc_by(&self, name: &str, labels: &[(&str, &str)], by: u64) {
+        let key = MetricKey::new(name, labels);
+        let mut m = self.inner.lock().expect("registry lock");
+        match m.entry(key).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(c) => *c = c.saturating_add(by),
+            _ => self.conflict(),
+        }
+    }
+
+    /// Increments the counter `name{labels}` by one.
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)]) {
+        self.inc_by(name, labels, 1);
+    }
+
+    /// Sets the gauge `name{labels}`.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = MetricKey::new(name, labels);
+        let mut m = self.inner.lock().expect("registry lock");
+        match m.entry(key).or_insert(MetricValue::Gauge(0.0)) {
+            MetricValue::Gauge(g) => *g = v,
+            _ => self.conflict(),
+        }
+    }
+
+    /// Records `v` into the histogram `name{labels}`.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let key = MetricKey::new(name, labels);
+        let mut m = self.inner.lock().expect("registry lock");
+        match m
+            .entry(key)
+            .or_insert_with(|| MetricValue::Histogram(Histogram::default()))
+        {
+            MetricValue::Histogram(h) => h.observe(v),
+            _ => self.conflict(),
+        }
+    }
+
+    fn conflict(&self) {
+        *self.conflicts.lock().expect("conflict lock") += 1;
+    }
+
+    /// How many writes were dropped due to a type conflict.
+    pub fn type_conflicts(&self) -> u64 {
+        *self.conflicts.lock().expect("conflict lock")
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .get(&MetricKey::new(name, labels))
+        {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of a gauge (`None` when absent).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .get(&MetricKey::new(name, labels))
+        {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of every metric, sorted by key.
+    pub fn snapshot(&self) -> Vec<(MetricKey, MetricValue)> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Sum of a counter across all label sets sharing `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| match v {
+                MetricValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    ///
+    /// Histograms render cumulative `_bucket{le="..."}` series (only the
+    /// buckets in use, plus `+Inf`), `_sum`, and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = String::new();
+        for (key, value) in self.snapshot() {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} {}", key.name, value.type_name());
+                last_name = key.name.clone();
+            }
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", key.name, key.prom_suffix(), c);
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", key.name, key.prom_suffix(), g);
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    let highest = h.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+                    for i in 0..=highest {
+                        cumulative += h.buckets[i];
+                        let mut labels = key.labels.clone();
+                        labels.push(("le".into(), Histogram::upper_bound(i).to_string()));
+                        labels.sort();
+                        let suffix = MetricKey {
+                            name: String::new(),
+                            labels,
+                        }
+                        .prom_suffix();
+                        let _ = writeln!(out, "{}_bucket{} {}", key.name, suffix, cumulative);
+                    }
+                    let mut labels = key.labels.clone();
+                    labels.push(("le".into(), "+Inf".into()));
+                    labels.sort();
+                    let suffix = MetricKey {
+                        name: String::new(),
+                        labels,
+                    }
+                    .prom_suffix();
+                    let _ = writeln!(out, "{}_bucket{} {}", key.name, suffix, h.count);
+                    let _ = writeln!(out, "{}_sum{} {}", key.name, key.prom_suffix(), h.sum);
+                    let _ = writeln!(out, "{}_count{} {}", key.name, key.prom_suffix(), h.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every metric as a JSON document (stable order, exact
+    /// integers). [`Registry::from_json`] parses it back losslessly.
+    pub fn to_json(&self) -> String {
+        let mut items = Vec::new();
+        for (key, value) in self.snapshot() {
+            let labels = key
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\":\"{}\"", json::escape(k), json::escape(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            let body = match value {
+                MetricValue::Counter(c) => format!("\"type\":\"counter\",\"value\":{c}"),
+                MetricValue::Gauge(g) => {
+                    format!("\"type\":\"gauge\",\"value\":{}", json::fmt_f64(g))
+                }
+                MetricValue::Histogram(h) => {
+                    // Sparse buckets: [index, count] pairs.
+                    let buckets = h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(i, &c)| format!("[{i},{c}]"))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    format!(
+                        "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[{buckets}]",
+                        h.count, h.sum
+                    )
+                }
+            };
+            items.push(format!(
+                "{{\"name\":\"{}\",\"labels\":{{{labels}}},{body}}}",
+                json::escape(&key.name)
+            ));
+        }
+        format!("{{\"metrics\":[{}]}}", items.join(","))
+    }
+
+    /// Parses a [`Registry::to_json`] document back into a registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the document is not valid metrics JSON.
+    pub fn from_json(doc: &str) -> Result<Self, String> {
+        let v = json::parse(doc).map_err(|e| e.to_string())?;
+        let items = v
+            .get("metrics")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"metrics\" array")?;
+        let reg = Registry::new();
+        let mut map = reg.inner.lock().expect("registry lock");
+        for item in items {
+            let name = item
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("metric missing name")?;
+            let mut labels: Vec<(String, String)> = Vec::new();
+            if let Some(obj) = item.get("labels").and_then(Json::as_obj) {
+                for (k, val) in obj {
+                    labels.push((
+                        k.clone(),
+                        val.as_str().ok_or("non-string label value")?.to_owned(),
+                    ));
+                }
+            }
+            labels.sort();
+            let key = MetricKey {
+                name: name.to_owned(),
+                labels,
+            };
+            let ty = item
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or("metric missing type")?;
+            let value = match ty {
+                "counter" => MetricValue::Counter(
+                    item.get("value")
+                        .and_then(Json::as_u64)
+                        .ok_or("counter missing integer value")?,
+                ),
+                "gauge" => MetricValue::Gauge(
+                    item.get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or("gauge missing value")?,
+                ),
+                "histogram" => {
+                    let mut h = Histogram {
+                        count: item
+                            .get("count")
+                            .and_then(Json::as_u64)
+                            .ok_or("histogram missing count")?,
+                        sum: item
+                            .get("sum")
+                            .and_then(Json::as_u64)
+                            .ok_or("histogram missing sum")?,
+                        ..Histogram::default()
+                    };
+                    for pair in item
+                        .get("buckets")
+                        .and_then(Json::as_arr)
+                        .ok_or("histogram missing buckets")?
+                    {
+                        let pair = pair.as_arr().ok_or("bucket entry not a pair")?;
+                        let (i, c) = match pair {
+                            [i, c] => (
+                                i.as_u64().ok_or("bucket index")? as usize,
+                                c.as_u64().ok_or("bucket count")?,
+                            ),
+                            _ => return Err("bucket entry not a pair".into()),
+                        };
+                        if i >= HISTOGRAM_BUCKETS {
+                            return Err(format!("bucket index {i} out of range"));
+                        }
+                        h.buckets[i] = c;
+                    }
+                    MetricValue::Histogram(h)
+                }
+                other => return Err(format!("unknown metric type {other:?}")),
+            };
+            map.insert(key, value);
+        }
+        drop(map);
+        Ok(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_semantics() {
+        let r = Registry::new();
+        r.inc("hits_total", &[]);
+        r.inc_by("hits_total", &[], 4);
+        r.inc("hits_total", &[("kind", "a")]);
+        assert_eq!(r.counter_value("hits_total", &[]), 5);
+        assert_eq!(r.counter_value("hits_total", &[("kind", "a")]), 1);
+        assert_eq!(r.counter_total("hits_total"), 6);
+        // Saturating, never wrapping.
+        r.inc_by("hits_total", &[], u64::MAX);
+        assert_eq!(r.counter_value("hits_total", &[]), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let r = Registry::new();
+        r.set_gauge("depth", &[], 2.0);
+        r.set_gauge("depth", &[], -1.5);
+        assert_eq!(r.gauge_value("depth", &[]), Some(-1.5));
+        assert_eq!(r.gauge_value("missing", &[]), None);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let r = Registry::new();
+        r.inc("x_total", &[("b", "2"), ("a", "1")]);
+        r.inc("x_total", &[("a", "1"), ("b", "2")]);
+        assert_eq!(r.counter_value("x_total", &[("b", "2"), ("a", "1")]), 2);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn histogram_log2_buckets() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+
+        let r = Registry::new();
+        for v in [0, 1, 3, 3, 900] {
+            r.observe("lat_us", &[], v);
+        }
+        let snap = r.snapshot();
+        let MetricValue::Histogram(h) = &snap[0].1 else {
+            panic!("not a histogram")
+        };
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 907);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // the two 3s
+        assert_eq!(h.buckets[10], 1); // 900 in [512,1024)
+    }
+
+    #[test]
+    fn type_conflicts_are_dropped_not_panicking() {
+        let r = Registry::new();
+        r.inc("m", &[]);
+        r.set_gauge("m", &[], 1.0);
+        r.observe("m", &[], 7);
+        assert_eq!(r.counter_value("m", &[]), 1);
+        assert_eq!(r.type_conflicts(), 2);
+    }
+
+    #[test]
+    fn prometheus_text_escapes_label_values() {
+        let r = Registry::new();
+        r.inc("odd_total", &[("path", "a\"b\\c\nd")]);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE odd_total counter"));
+        assert!(
+            text.contains(r#"odd_total{path="a\"b\\c\nd"} 1"#),
+            "bad escaping in: {text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let r = Registry::new();
+        for v in [1, 1, 2, 8] {
+            r.observe("h", &[("stage", "run")], v);
+        }
+        let text = r.render_prometheus();
+        assert!(text.contains(r#"h_bucket{le="1",stage="run"} 2"#), "{text}");
+        assert!(text.contains(r#"h_bucket{le="3",stage="run"} 3"#), "{text}");
+        assert!(
+            text.contains(r#"h_bucket{le="15",stage="run"} 4"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"h_bucket{le="+Inf",stage="run"} 4"#),
+            "{text}"
+        );
+        assert!(text.contains(r#"h_sum{stage="run"} 12"#), "{text}");
+        assert!(text.contains(r#"h_count{stage="run"} 4"#), "{text}");
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let r = Registry::new();
+        r.inc_by("c_total", &[("k", "v with \"quotes\"")], u64::MAX);
+        r.set_gauge("g", &[], 0.125);
+        for v in [0, 5, 1 << 40] {
+            r.observe("h_units", &[("b", "mcf")], v);
+        }
+        let doc = r.to_json();
+        let back = Registry::from_json(&doc).expect("parses");
+        assert_eq!(r.snapshot(), back.snapshot());
+        // And the round-tripped document is identical, too.
+        assert_eq!(doc, back.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(Registry::from_json("{}").is_err());
+        assert!(Registry::from_json(r#"{"metrics":[{"name":"x"}]}"#).is_err());
+        assert!(
+            Registry::from_json(r#"{"metrics":[{"name":"x","type":"alien","value":1}]}"#).is_err()
+        );
+    }
+}

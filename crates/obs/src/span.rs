@@ -1,0 +1,302 @@
+//! Observation contexts and spans.
+//!
+//! An [`ObsCtx`] bundles a sink, a metrics [`Registry`], a span-id
+//! allocator, and a shared epoch. It is cheap to clone (three `Arc`s) and
+//! is threaded through the pipeline explicitly; a process-global default
+//! (installed by the CLI, text-to-stderr otherwise) keeps existing
+//! public APIs signature-stable.
+//!
+//! A [`Span`] covers one pipeline stage. Dropping it emits the
+//! `span_end` record with wall-time, so normal `?`-style early returns
+//! still close their spans.
+
+use crate::metrics::Registry;
+use crate::sink::{CollectSink, Level, NoopSink, Obs, Record, RecordKind, TextSink, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A shared observation context.
+#[derive(Clone)]
+pub struct ObsCtx {
+    sink: Arc<dyn Obs>,
+    registry: Arc<Registry>,
+    next_id: Arc<AtomicU64>,
+    epoch: Instant,
+}
+
+impl ObsCtx {
+    /// A context over an arbitrary sink.
+    pub fn new(sink: Arc<dyn Obs>) -> Self {
+        Self {
+            sink,
+            registry: Arc::new(Registry::new()),
+            next_id: Arc::new(AtomicU64::new(1)),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A context that drops every record (metrics still accumulate).
+    pub fn noop() -> Self {
+        Self::new(Arc::new(NoopSink))
+    }
+
+    /// A context buffering records in the returned collector.
+    pub fn collecting() -> (Self, CollectSink) {
+        let sink = CollectSink::new();
+        (Self::new(Arc::new(sink.clone())), sink)
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// True when the sink would actually look at records.
+    pub fn enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Opens a root span.
+    pub fn span(&self, name: &str) -> Span {
+        self.span_with_parent(name, 0)
+    }
+
+    fn span_with_parent(&self, name: &str, parent: u64) -> Span {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if self.sink.enabled() {
+            self.sink.record(&Record {
+                kind: RecordKind::SpanStart,
+                level: Level::Info,
+                span: id,
+                parent,
+                name: name.to_owned(),
+                at_us: self.now_us(),
+                elapsed_us: None,
+                fields: Vec::new(),
+            });
+        }
+        Span {
+            ctx: self.clone(),
+            id,
+            parent,
+            name: name.to_owned(),
+            started: Instant::now(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Emits a free-standing event (outside any span).
+    pub fn event(&self, level: Level, name: &str, fields: &[(&str, Value)]) {
+        self.emit_event(level, name, 0, fields);
+    }
+
+    /// Shorthand for a `Warn` event.
+    pub fn warn(&self, name: &str, fields: &[(&str, Value)]) {
+        self.event(Level::Warn, name, fields);
+    }
+
+    /// Shorthand for an `Info` event.
+    pub fn info(&self, name: &str, fields: &[(&str, Value)]) {
+        self.event(Level::Info, name, fields);
+    }
+
+    fn emit_event(&self, level: Level, name: &str, span: u64, fields: &[(&str, Value)]) {
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.record(&Record {
+            kind: RecordKind::Event,
+            level,
+            span,
+            parent: 0,
+            name: name.to_owned(),
+            at_us: self.now_us(),
+            elapsed_us: None,
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        });
+    }
+}
+
+impl Default for ObsCtx {
+    /// The default context: warnings to stderr, fresh registry.
+    fn default() -> Self {
+        Self::new(Arc::new(TextSink::stderr()))
+    }
+}
+
+impl std::fmt::Debug for ObsCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsCtx")
+            .field("enabled", &self.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An open span; emits `span_end` (with accumulated fields and elapsed
+/// wall-time) when dropped.
+pub struct Span {
+    ctx: ObsCtx,
+    id: u64,
+    parent: u64,
+    name: String,
+    started: Instant,
+    fields: Vec<(String, Value)>,
+}
+
+impl Span {
+    /// This span's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Opens a child span.
+    pub fn child(&self, name: &str) -> Span {
+        self.ctx.span_with_parent(name, self.id)
+    }
+
+    /// Attaches a field, emitted with the closing record.
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) {
+        if !self.ctx.sink.enabled() {
+            return;
+        }
+        let value = value.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key.to_owned(), value));
+        }
+    }
+
+    /// Emits an event attributed to this span.
+    pub fn event(&self, level: Level, name: &str, fields: &[(&str, Value)]) {
+        self.ctx.emit_event(level, name, self.id, fields);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.ctx.sink.enabled() {
+            return;
+        }
+        self.ctx.sink.record(&Record {
+            kind: RecordKind::SpanEnd,
+            level: Level::Info,
+            span: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            at_us: self.ctx.now_us(),
+            elapsed_us: Some(self.started.elapsed().as_micros() as u64),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+static GLOBAL: OnceLock<RwLock<ObsCtx>> = OnceLock::new();
+
+fn global_cell() -> &'static RwLock<ObsCtx> {
+    GLOBAL.get_or_init(|| RwLock::new(ObsCtx::default()))
+}
+
+/// The process-global context (clone; contexts share state via `Arc`).
+pub fn global() -> ObsCtx {
+    global_cell().read().expect("obs global lock").clone()
+}
+
+/// Replaces the process-global context (typically once, at CLI startup).
+pub fn install_global(ctx: ObsCtx) {
+    *global_cell().write().expect("obs global lock") = ctx;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_nesting_and_ordering_in_records() {
+        let (ctx, collect) = ObsCtx::collecting();
+        {
+            let mut root = ctx.span("pipeline.run");
+            root.set("bench", "mcf");
+            {
+                let mut child = root.child("vm.run");
+                child.set("steps", 100u64);
+                child.event(Level::Info, "vm.milestone", &[("at", Value::U64(50))]);
+            }
+            let _second = root.child("report.render");
+        }
+        let recs = collect.records();
+        let kinds: Vec<_> = recs.iter().map(|r| (r.kind, r.name.as_str())).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (RecordKind::SpanStart, "pipeline.run"),
+                (RecordKind::SpanStart, "vm.run"),
+                (RecordKind::Event, "vm.milestone"),
+                (RecordKind::SpanEnd, "vm.run"),
+                (RecordKind::SpanStart, "report.render"),
+                (RecordKind::SpanEnd, "report.render"),
+                (RecordKind::SpanEnd, "pipeline.run"),
+            ]
+        );
+        // Parentage: children point at the root span's id.
+        let root_id = recs[0].span;
+        assert_eq!(recs[1].parent, root_id);
+        assert_eq!(recs[4].parent, root_id);
+        assert_eq!(recs[0].parent, 0);
+        // The event is attributed to the child span.
+        assert_eq!(recs[2].span, recs[1].span);
+        // Fields land on the closing record.
+        assert_eq!(recs[3].field("steps"), Some(&Value::U64(100)));
+        assert_eq!(recs[6].field("bench"), Some(&Value::Str("mcf".into())));
+        // Close times carry elapsed wall-time.
+        assert!(recs[3].elapsed_us.is_some());
+    }
+
+    #[test]
+    fn noop_ctx_skips_record_construction_but_keeps_metrics() {
+        let ctx = ObsCtx::noop();
+        assert!(!ctx.enabled());
+        let mut s = ctx.span("x");
+        s.set("k", 1u64);
+        drop(s);
+        ctx.warn("w", &[]);
+        ctx.metrics().inc("ppp_test_total", &[]);
+        assert_eq!(ctx.metrics().counter_value("ppp_test_total", &[]), 1);
+    }
+
+    #[test]
+    fn global_can_be_installed_and_shares_registry() {
+        // Note: global state is shared across tests in this module only
+        // via this single test to avoid ordering dependencies.
+        let (ctx, collect) = ObsCtx::collecting();
+        install_global(ctx);
+        let g = global();
+        g.info("hello", &[]);
+        g.metrics().inc("ppp_global_total", &[]);
+        assert_eq!(collect.records().len(), 1);
+        assert_eq!(global().metrics().counter_value("ppp_global_total", &[]), 1);
+        install_global(ObsCtx::noop());
+    }
+
+    #[test]
+    fn set_overwrites_existing_field() {
+        let (ctx, collect) = ObsCtx::collecting();
+        {
+            let mut s = ctx.span("s");
+            s.set("n", 1u64);
+            s.set("n", 2u64);
+        }
+        let recs = collect.records();
+        let end = recs.iter().find(|r| r.kind == RecordKind::SpanEnd).unwrap();
+        assert_eq!(end.fields.len(), 1);
+        assert_eq!(end.field("n"), Some(&Value::U64(2)));
+    }
+}

@@ -383,7 +383,10 @@ pub fn chaos_suite(
         .iter()
         .filter(|e| bench.is_none_or(|b| e.spec.name == b))
     {
-        eprintln!("[ppp-repro] chaos {} ...", entry.spec.name);
+        ppp_obs::global().info(
+            "chaos.progress",
+            &[("bench", ppp_obs::Value::from(entry.spec.name.as_str()))],
+        );
         outcomes.extend(chaos_benchmark(entry, seed, options)?);
     }
     Ok(outcomes)

@@ -19,17 +19,30 @@
 //! conservation, and `ppp-repro chaos` sweeps every `ppp-faults` fault
 //! site across the suite, asserting the ingestion pipeline always
 //! completes with a *reported* (never silent) degradation.
+//!
+//! The pipeline is instrumented with `ppp-obs` spans and metrics:
+//! `ppp-repro bench` emits/compares versioned perf-baseline artifacts
+//! (`BENCH_*.json`, see [`mod@bench`]), and `ppp-repro trace <bench>`
+//! replays one benchmark with span collection on and prints the
+//! per-stage time/cost breakdown tree (see [`trace`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bench;
 pub mod chaos;
 pub mod degrade;
 pub mod format;
 pub mod inspect;
 pub mod pipeline;
 pub mod reports;
+pub mod trace;
 
+pub use bench::{
+    baseline_from_json, baseline_json, baseline_table, collect_baseline, compare_baselines,
+    regressions_json, regressions_table, BenchBaseline, BenchProfilerRecord, BenchRecord,
+    Regression, BASELINE_KIND, BASELINE_SCHEMA_VERSION,
+};
 pub use chaos::{
     chaos_benchmark, chaos_json, chaos_prepared, chaos_scenario, chaos_suite, chaos_table,
     ChaosOutcome, ChaosVerdict,
@@ -42,3 +55,4 @@ pub use pipeline::{
     ProfilerResult,
 };
 pub use reports::{all_reports, fig10, fig11, fig12, fig13, fig9, run_suite, table1, table2};
+pub use trace::trace_benchmark;

@@ -2,11 +2,18 @@
 
 use ppp_repro::PipelineOptions;
 use ppp_repro::{
-    all_reports, chaos_json, chaos_suite, chaos_table, fig10, fig11, fig12, fig13, fig9,
-    inspect_benchmark, lint_benchmark, run_suite, table1, table2, validate_benchmark,
+    all_reports, baseline_from_json, baseline_json, baseline_table, chaos_json, chaos_suite,
+    chaos_table, collect_baseline, compare_baselines, fig10, fig11, fig12, fig13, fig9,
+    inspect_benchmark, lint_benchmark, regressions_json, regressions_table, run_suite, table1,
+    table2, trace_benchmark, validate_benchmark,
 };
 
 fn main() {
+    // All diagnostics flow through the observation sink to stderr, so
+    // stdout stays pure (JSON when asked) for every subcommand.
+    ppp_obs::install_global(ppp_obs::ObsCtx::new(std::sync::Arc::new(
+        ppp_obs::TextSink::stderr_verbose(),
+    )));
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut options = PipelineOptions {
         ablations: true,
@@ -17,6 +24,12 @@ fn main() {
     let mut lint: Option<Option<String>> = None;
     let mut validate: Option<Option<String>> = None;
     let mut chaos: Option<Option<String>> = None;
+    let mut bench: Option<Option<String>> = None;
+    let mut trace: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut compare: Option<String> = None;
+    let mut against: Option<String> = None;
+    let mut threshold: f64 = 0.10;
     let mut seed: u64 = 701;
     let mut format = "text".to_owned();
     let mut i = 0;
@@ -52,6 +65,52 @@ fn main() {
                 }
                 chaos = Some(next);
             }
+            "bench" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
+                if next.is_some() {
+                    i += 1;
+                }
+                bench = Some(next);
+            }
+            "trace" => {
+                i += 1;
+                trace = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("trace needs a benchmark name")),
+                );
+            }
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--out needs a file path")),
+                );
+            }
+            "--compare" => {
+                i += 1;
+                compare = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--compare needs a baseline file")),
+                );
+            }
+            "--against" => {
+                i += 1;
+                against = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--against needs a baseline file")),
+                );
+            }
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threshold needs a number"));
+            }
             "--seed" => {
                 i += 1;
                 seed = args
@@ -83,6 +142,33 @@ fn main() {
             report => wanted.push(report.to_owned()),
         }
         i += 1;
+    }
+    if let Some(only) = bench {
+        // Benchmarks run PP/TPP/PPP only (the Figure 9–13 set); the
+        // chaos-style `--seed` flag picks the VM seed recorded in the
+        // artifact.
+        let bench_options = PipelineOptions {
+            ablations: false,
+            seed,
+            ..options
+        };
+        std::process::exit(run_bench(
+            only.as_deref(),
+            &format,
+            out.as_deref(),
+            compare.as_deref(),
+            against.as_deref(),
+            threshold,
+            &bench_options,
+        ));
+    }
+    if let Some(name) = trace {
+        let trace_options = PipelineOptions {
+            ablations: false,
+            seed,
+            ..options
+        };
+        std::process::exit(run_trace(&name, &trace_options));
     }
     if let Some(only) = lint {
         std::process::exit(run_lint(only.as_deref(), &format, &options));
@@ -137,6 +223,88 @@ fn main() {
             other => unreachable!("validated above: {other}"),
         };
         println!("{out}");
+    }
+}
+
+/// Runs (or diffs) perf baselines; returns the exit code (0 = clean,
+/// 1 = regressions found, 2 = bad input).
+#[allow(clippy::too_many_arguments)]
+fn run_bench(
+    only: Option<&str>,
+    format: &str,
+    out: Option<&str>,
+    compare: Option<&str>,
+    against: Option<&str>,
+    threshold: f64,
+    options: &PipelineOptions,
+) -> i32 {
+    if let Some(name) = only {
+        let suite = ppp_workloads::spec2000_suite();
+        if !suite.iter().any(|e| e.spec.name == name) {
+            usage(&format!("unknown benchmark {name:?}"));
+        }
+    }
+    let load = |path: &str| match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|doc| baseline_from_json(&doc))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(old_path) = compare {
+        let old = load(old_path);
+        let new = match against {
+            Some(new_path) => load(new_path),
+            None => collect_baseline(only, options),
+        };
+        let regs = match compare_baselines(&old, &new, threshold) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: baselines incomparable: {e}");
+                return 2;
+            }
+        };
+        match format {
+            "json" => println!("{}", regressions_json(&regs)),
+            _ => println!("{}", regressions_table(&regs)),
+        }
+        return i32::from(!regs.is_empty());
+    }
+    let baseline = collect_baseline(only, options);
+    let doc = baseline_json(&baseline);
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("error: cannot write {path}: {e}");
+            return 2;
+        }
+    }
+    match format {
+        "json" => println!("{doc}"),
+        _ => println!("{}", baseline_table(&baseline)),
+    }
+    0
+}
+
+/// Replays one benchmark with spans on and prints the breakdown tree;
+/// returns the exit code.
+fn run_trace(name: &str, options: &PipelineOptions) -> i32 {
+    let suite = ppp_workloads::spec2000_suite();
+    let entry = suite
+        .iter()
+        .find(|e| e.spec.name == name)
+        .unwrap_or_else(|| usage(&format!("unknown benchmark {name:?}")));
+    match trace_benchmark(entry, options) {
+        Ok(text) => {
+            println!("{text}");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
     }
 }
 
@@ -279,7 +447,10 @@ fn usage(err: &str) -> ! {
          [table1|table2|fig9|fig10|fig11|fig12|fig13|all] \
          | inspect <benchmark> | lint [benchmark] [--format text|json] \
          | validate [benchmark] [--format text|json] \
-         | chaos [benchmark] [--seed S] [--format text|json]"
+         | chaos [benchmark] [--seed S] [--format text|json] \
+         | bench [benchmark] [--format text|json] [--out FILE] \
+         [--compare OLD.json [--against NEW.json]] [--threshold X] [--seed S] \
+         | trace <benchmark> [--seed S]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

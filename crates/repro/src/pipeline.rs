@@ -17,6 +17,7 @@ use ppp_vm::{run, RunOptions, RunResult, VmError};
 use ppp_workloads::{generate, BenchClass, SuiteEntry};
 
 use crate::degrade::{ingest_guidance, DegradationReport};
+use ppp_obs::Value;
 use std::fmt;
 
 /// Typed failures of the experiment pipeline.
@@ -244,63 +245,104 @@ fn prepare_validated(
     entry: &SuiteEntry,
     options: &PipelineOptions,
 ) -> Result<(PreparedBenchmark, Vec<(String, ppp_lint::LintReport)>), PipelineError> {
+    let obs = ppp_obs::global();
     let spec = entry.spec.clone().scaled(options.scale);
+    let mut span = obs.span("pipeline.prepare");
+    span.set("bench", spec.name.as_str());
     let mut module0 = generate(&spec);
     let mut stages: Vec<(String, ppp_lint::LintReport)> = Vec::new();
     // "We perform standard scalar optimizations" on the original code
     // (§7.3) before measuring its path characteristics.
-    let src = module0.clone();
-    let (_, w) = optimize_module_witnessed(&mut module0);
-    stages.push((
-        "scalar@gen".into(),
-        ppp_lint::check_transform(&src, &w, &module0),
-    ));
-    ppp_core::normalize_module(&mut module0);
+    {
+        let _s = span.child("stage.scalar@gen");
+        let src = module0.clone();
+        let (_, w) = optimize_module_witnessed(&mut module0);
+        stages.push((
+            "scalar@gen".into(),
+            ppp_lint::check_transform(&src, &w, &module0),
+        ));
+        ppp_core::normalize_module(&mut module0);
+    }
 
     // Phase 1: profile the original code.
-    let (r0, edges0, truth0) = traced(&module0, options.seed, &spec.name)?;
-    stages.push((
-        "profile@orig".into(),
-        ppp_lint::check_profile(&module0, &edges0),
-    ));
-    let orig = phase_stats(&r0, &truth0);
+    let orig;
+    let edges0;
+    {
+        let mut s = span.child("stage.profile@orig");
+        let (r0, e0, truth0) = traced(&module0, options.seed, &spec.name)?;
+        stages.push((
+            "profile@orig".into(),
+            ppp_lint::check_profile(&module0, &e0),
+        ));
+        orig = phase_stats(&r0, &truth0);
+        s.set("cost_units", r0.cost);
+        s.set("dynamic_paths", orig.dynamic_paths);
+        edges0 = e0;
+    }
 
     // Phase 2: inline and unroll, re-profiling between stages (§7.3), and
     // the same scalar optimizations on the expanded code.
     let mut module = module0;
-    let src = module.clone();
-    let (inline, w) = inline_module_witnessed(&mut module, &edges0, &InlineOptions::default());
-    stages.push((
-        "inline".into(),
-        ppp_lint::check_transform(&src, &w, &module),
-    ));
-    let (_r1, edges1, _t1) = traced(&module, options.seed, &spec.name)?;
-    stages.push((
-        "profile@inline".into(),
-        ppp_lint::check_profile(&module, &edges1),
-    ));
-    let src = module.clone();
-    let (unroll, w) = unroll_module_witnessed(&mut module, &edges1, &UnrollOptions::default());
-    stages.push((
-        "unroll".into(),
-        ppp_lint::check_transform(&src, &w, &module),
-    ));
-    let src = module.clone();
-    let (_, w) = optimize_module_witnessed(&mut module);
-    stages.push((
-        "scalar@opt".into(),
-        ppp_lint::check_transform(&src, &w, &module),
-    ));
-    ppp_core::normalize_module(&mut module);
+    let inline;
+    {
+        let _s = span.child("stage.inline");
+        let src = module.clone();
+        let (rep, w) = inline_module_witnessed(&mut module, &edges0, &InlineOptions::default());
+        stages.push((
+            "inline".into(),
+            ppp_lint::check_transform(&src, &w, &module),
+        ));
+        inline = rep;
+    }
+    let edges1;
+    {
+        let _s = span.child("stage.profile@inline");
+        let (_r1, e1, _t1) = traced(&module, options.seed, &spec.name)?;
+        stages.push((
+            "profile@inline".into(),
+            ppp_lint::check_profile(&module, &e1),
+        ));
+        edges1 = e1;
+    }
+    let unroll;
+    {
+        let _s = span.child("stage.unroll");
+        let src = module.clone();
+        let (rep, w) = unroll_module_witnessed(&mut module, &edges1, &UnrollOptions::default());
+        stages.push((
+            "unroll".into(),
+            ppp_lint::check_transform(&src, &w, &module),
+        ));
+        unroll = rep;
+    }
+    {
+        let _s = span.child("stage.scalar@opt");
+        let src = module.clone();
+        let (_, w) = optimize_module_witnessed(&mut module);
+        stages.push((
+            "scalar@opt".into(),
+            ppp_lint::check_transform(&src, &w, &module),
+        ));
+        ppp_core::normalize_module(&mut module);
+    }
 
     // Phase 3: the evaluation profile of the optimized code.
-    let (r2, edges, truth) = traced(&module, options.seed, &spec.name)?;
-    stages.push((
-        "profile@opt".into(),
-        ppp_lint::check_profile(&module, &edges),
-    ));
-    let opt = phase_stats(&r2, &truth);
-    let baseline_cost = r2.cost;
+    let (opt, edges, truth, baseline_cost);
+    {
+        let mut s = span.child("stage.profile@opt");
+        let (r2, e2, t2) = traced(&module, options.seed, &spec.name)?;
+        stages.push(("profile@opt".into(), ppp_lint::check_profile(&module, &e2)));
+        opt = phase_stats(&r2, &t2);
+        baseline_cost = r2.cost;
+        s.set("cost_units", r2.cost);
+        s.set("dynamic_paths", opt.dynamic_paths);
+        let stats = e2.stats();
+        s.set("profiled_functions", stats.functions);
+        s.set("zero_functions", stats.zero_functions);
+        edges = e2;
+        truth = t2;
+    }
+    span.set("baseline_cost", baseline_cost);
 
     let prep = PreparedBenchmark {
         name: spec.name,
@@ -329,11 +371,20 @@ pub fn prepare_benchmark(
     options: &PipelineOptions,
 ) -> Result<PreparedBenchmark, PipelineError> {
     let (prep, stages) = prepare_validated(entry, options)?;
+    let obs = ppp_obs::global();
     for (stage, report) in &stages {
         if !report.is_empty() {
-            eprintln!(
-                "warning: {} failed translation validation at stage {stage}:\n{report}",
-                prep.name
+            obs.metrics().inc(
+                "ppp_pipeline_validation_failures_total",
+                &[("bench", prep.name.as_str()), ("stage", stage.as_str())],
+            );
+            obs.warn(
+                "pipeline.validation_failed",
+                &[
+                    ("bench", Value::from(prep.name.as_str())),
+                    ("stage", Value::from(stage.as_str())),
+                    ("report", Value::from(report.to_string())),
+                ],
             );
         }
     }
@@ -398,13 +449,33 @@ pub fn run_prepared(
     prep: PreparedBenchmark,
     options: &PipelineOptions,
 ) -> Result<BenchmarkRun, PipelineError> {
+    let obs = ppp_obs::global();
+    let mut span = obs.span("pipeline.run");
+    span.set("bench", prep.name.as_str());
     // Degradation ladder: sanitize the guidance before anything trusts it.
-    let (guidance, degradation) =
-        ingest_guidance(&prep.module, Some(prep.edges.clone()), Some(&prep.truth));
+    let (guidance, degradation) = {
+        let mut s = span.child("pipeline.ingest_guidance");
+        let (g, d) = ingest_guidance(&prep.module, Some(prep.edges.clone()), Some(&prep.truth));
+        s.set("rung", d.rung().name());
+        s.set("events", d.events.len());
+        (g, d)
+    };
+    obs.metrics().inc(
+        "ppp_degrade_rung_total",
+        &[
+            ("bench", prep.name.as_str()),
+            ("rung", degradation.rung().name()),
+        ],
+    );
     if degradation.degraded() {
-        eprintln!(
-            "warning: {} guidance profile degraded:\n{degradation}",
-            prep.name
+        span.event(
+            ppp_obs::Level::Warn,
+            "degrade.rung",
+            &[
+                ("bench", Value::from(prep.name.as_str())),
+                ("rung", Value::from(degradation.rung().name())),
+                ("detail", Value::from(degradation.to_string())),
+            ],
         );
     }
     let zeroed = ModuleEdgeProfile::zeroed(&prep.module);
@@ -413,24 +484,31 @@ pub fn run_prepared(
     // Edge-profiling estimator (accuracy from potential flow, §6.1;
     // coverage = attribution of definite flow, §6.2).
     let est_opts = estimate_options(&prep.truth, options);
-    let edge_est = edge_profile_estimate(
-        &prep.module,
-        guide_ref,
-        FlowKind::Potential,
-        options.metric,
-        &est_opts,
-    );
-    let edge = EdgeResult {
-        accuracy: accuracy(&prep.truth, &edge_est, options.metric, options.hot_ratio),
-        coverage: edge_profile_coverage(&prep.module, guide_ref, &prep.truth, options.metric)
-            .ratio(),
+    let edge = {
+        let mut s = span.child("pipeline.edge_estimate");
+        let edge_est = edge_profile_estimate(
+            &prep.module,
+            guide_ref,
+            FlowKind::Potential,
+            options.metric,
+            &est_opts,
+        );
+        let edge = EdgeResult {
+            accuracy: accuracy(&prep.truth, &edge_est, options.metric, options.hot_ratio),
+            coverage: edge_profile_coverage(&prep.module, guide_ref, &prep.truth, options.metric)
+                .ratio(),
+        };
+        s.set("accuracy", edge.accuracy);
+        s.set("coverage", edge.coverage);
+        edge
     };
 
     let profilers = pipeline_configs(options)
         .iter()
-        .map(|c| run_profiler(&prep, guidance.as_ref(), c, options, &est_opts))
+        .map(|c| run_profiler(&prep, guidance.as_ref(), c, options, &est_opts, &span))
         .collect();
 
+    let _s = span.child("pipeline.summarize");
     // Table 2 summary.
     let hot_paths = HotPathSummary {
         distinct_paths: prep.truth.distinct_paths(),
@@ -494,7 +572,11 @@ fn run_profiler(
     config: &ProfilerConfig,
     options: &PipelineOptions,
     est_opts: &EstimateOptions,
+    parent: &ppp_obs::Span,
 ) -> ProfilerResult {
+    let obs = ppp_obs::global();
+    let mut span = parent.child("pipeline.profiler");
+    span.set("profiler", config.label());
     let (module, truth) = (&prep.module, &prep.truth);
     // A guidance profile that violates Kirchhoff's law would silently
     // misdirect instrumentation placement. The degradation ladder
@@ -514,30 +596,84 @@ fn run_profiler(
             &zeroed
         }
     };
-    let plan = instrument_module(module, guidance, config);
+    let label = config.label();
+    let plan = {
+        let _s = span.child("pipeline.instrument");
+        instrument_module(module, guidance, config)
+    };
     // Soundness gate: a plan that fails the lint would silently corrupt
     // the measured profile, so surface it loudly before running.
     let lint = ppp_lint::lint_plan(&plan);
     if !lint.is_clean() {
-        eprintln!(
-            "warning: {} plan for {} failed instrumentation lint:\n{lint}",
-            config.label(),
-            prep.name
+        obs.metrics().inc(
+            "ppp_plan_lint_failures_total",
+            &[("bench", prep.name.as_str()), ("profiler", label.as_str())],
+        );
+        span.event(
+            ppp_obs::Level::Warn,
+            "pipeline.lint_failed",
+            &[
+                ("bench", Value::from(prep.name.as_str())),
+                ("profiler", Value::from(label.as_str())),
+                ("report", Value::from(lint.to_string())),
+            ],
         );
     }
-    let r = run(
-        &plan.module,
-        "main",
-        &RunOptions::default().with_seed(options.seed),
-    )
-    .expect("instrumented module runs");
-    let est = profiler_estimate(module, &plan, edges, &r.store, options.metric, est_opts);
-    let acc = accuracy(truth, &est, options.metric, options.hot_ratio);
-    let cov = profiler_coverage(module, &plan, &r.store, truth, options.metric, est_opts);
-    let fraction = instrumented_fraction(module, &plan, &r.store, truth);
+    let r = {
+        let mut s = span.child("vm.run");
+        let r = run(
+            &plan.module,
+            "main",
+            &RunOptions::default().with_seed(options.seed),
+        )
+        .expect("instrumented module runs");
+        s.set("steps", r.steps);
+        s.set("cost_units", r.cost);
+        s.set("prof_cost_units", r.prof_cost);
+        s.set("paths_lost", r.store.total_lost());
+        s.set("hash_collisions", r.store.total_collisions());
+        r
+    };
+    // VM observables are read post-run from counters the interpreter
+    // already keeps; nothing here perturbed the measured execution.
+    r.record_metrics(
+        obs.metrics(),
+        &[("bench", prep.name.as_str()), ("profiler", label.as_str())],
+    );
+    let (acc, cov, fraction) = {
+        let _s = span.child("pipeline.estimate");
+        let est = profiler_estimate(module, &plan, edges, &r.store, options.metric, est_opts);
+        let acc = accuracy(truth, &est, options.metric, options.hot_ratio);
+        let cov = profiler_coverage(module, &plan, &r.store, truth, options.metric, est_opts);
+        let fraction = instrumented_fraction(module, &plan, &r.store, truth);
+        (acc, cov, fraction)
+    };
+    let overhead = match r.overhead_vs(prep.baseline_cost) {
+        Some(oh) => oh,
+        None => {
+            // A benchmark whose baseline retired zero cost units cannot
+            // express overhead as a ratio; report 0 and leave a metric
+            // trail instead of panicking (see `RunResult::overhead_vs`).
+            obs.metrics().inc(
+                "ppp_degenerate_baseline_total",
+                &[("bench", prep.name.as_str()), ("profiler", label.as_str())],
+            );
+            span.event(
+                ppp_obs::Level::Warn,
+                "pipeline.degenerate_baseline",
+                &[
+                    ("bench", Value::from(prep.name.as_str())),
+                    ("profiler", Value::from(label.as_str())),
+                ],
+            );
+            0.0
+        }
+    };
+    span.set("overhead", overhead);
+    span.set("accuracy", acc);
     ProfilerResult {
-        label: config.label(),
-        overhead: r.overhead_vs(prep.baseline_cost),
+        label,
+        overhead,
         accuracy: acc,
         coverage: cov.ratio(),
         fraction,

@@ -13,15 +13,28 @@ use ppp_workloads::{spec2000_suite, BenchClass};
 ///
 /// Progress goes to stderr (runs take seconds each at full scale).
 pub fn run_suite(options: &PipelineOptions) -> Vec<BenchmarkRun> {
+    let obs = ppp_obs::global();
     let suite = spec2000_suite();
     suite
         .iter()
         .filter_map(|e| {
-            eprintln!("[ppp-repro] running {} ...", e.spec.name);
+            obs.info(
+                "suite.progress",
+                &[("bench", ppp_obs::Value::from(e.spec.name.as_str()))],
+            );
             match run_benchmark(e, options) {
                 Ok(run) => Some(run),
                 Err(err) => {
-                    eprintln!("[ppp-repro] error: {err}; skipping benchmark");
+                    obs.metrics()
+                        .inc("ppp_suite_errors_total", &[("bench", &e.spec.name)]);
+                    obs.event(
+                        ppp_obs::Level::Error,
+                        "suite.benchmark_failed",
+                        &[
+                            ("bench", ppp_obs::Value::from(e.spec.name.as_str())),
+                            ("error", ppp_obs::Value::from(err.to_string())),
+                        ],
+                    );
                     None
                 }
             }

@@ -1,0 +1,72 @@
+//! `repro trace <bench>`: replay one benchmark with spans enabled and
+//! print the per-stage time/cost breakdown tree.
+//!
+//! The pipeline reads its observation context from the process-global
+//! slot, so tracing is a matter of temporarily installing a collecting
+//! context, replaying the run, and reconstructing the span tree from the
+//! captured records. The previous context (and its metrics) is restored
+//! afterwards.
+
+use crate::pipeline::{run_benchmark, PipelineError, PipelineOptions};
+use ppp_obs::{ObsCtx, SpanTree};
+use ppp_workloads::SuiteEntry;
+
+/// Replays `entry` with span collection enabled and renders the
+/// per-stage breakdown tree plus the run's metric dump.
+///
+/// # Errors
+///
+/// Propagates the pipeline's error when the benchmark cannot run.
+pub fn trace_benchmark(
+    entry: &SuiteEntry,
+    options: &PipelineOptions,
+) -> Result<String, PipelineError> {
+    let previous = ppp_obs::global();
+    let (ctx, collect) = ObsCtx::collecting();
+    ppp_obs::install_global(ctx.clone());
+    let outcome = run_benchmark(entry, options);
+    ppp_obs::install_global(previous);
+    let run = outcome?;
+
+    let tree = SpanTree::build(&collect.records());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {} ({} profilers, degradation rung {})\n\n",
+        run.name,
+        run.profilers.len(),
+        run.degradation.rung().name()
+    ));
+    out.push_str(&tree.render());
+    out.push_str("\nmetrics:\n");
+    out.push_str(&ctx.metrics().render_prometheus());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_workloads::spec2000_suite;
+
+    #[test]
+    fn trace_renders_stage_tree_and_metrics() {
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == "mcf").unwrap();
+        let options = PipelineOptions {
+            scale: 0.02,
+            ..PipelineOptions::default()
+        };
+        let text = trace_benchmark(entry, &options).expect("trace completes");
+        // The breakdown covers both pipeline halves and the VM runs…
+        assert!(text.contains("pipeline.prepare"), "{text}");
+        assert!(text.contains("stage.profile@opt"), "{text}");
+        assert!(text.contains("pipeline.run"), "{text}");
+        assert!(text.contains("pipeline.profiler"), "{text}");
+        assert!(text.contains("vm.run"), "{text}");
+        // …and the metric dump carries the VM observables.
+        assert!(text.contains("ppp_vm_cost_units_total"), "{text}");
+        assert!(
+            text.contains("profiler=\"PPP\""),
+            "per-profiler labels present: {text}"
+        );
+    }
+}

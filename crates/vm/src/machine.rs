@@ -153,14 +153,49 @@ impl RunResult {
     }
 
     /// Runtime overhead of instrumentation relative to `baseline` cost:
-    /// `cost / baseline - 1`.
+    /// `cost / baseline - 1`, or `None` when `baseline` is zero (a
+    /// degenerate benchmark — e.g. an entry function that halts before
+    /// retiring any costed instruction). Callers that know their baseline
+    /// is live should `expect` the value; pipeline code records a
+    /// `ppp_degenerate_baseline_total` metric instead of panicking.
+    pub fn overhead_vs(&self, baseline: u64) -> Option<f64> {
+        if baseline == 0 {
+            return None;
+        }
+        Some(self.cost as f64 / baseline as f64 - 1.0)
+    }
+
+    /// Records this run's VM-level observables into a metrics registry.
     ///
-    /// # Panics
-    ///
-    /// Panics if `baseline` is zero.
-    pub fn overhead_vs(&self, baseline: u64) -> f64 {
-        assert!(baseline > 0, "baseline cost must be non-zero");
-        self.cost as f64 / baseline as f64 - 1.0
+    /// Everything recorded here is read from counters the interpreter
+    /// already maintains — the hot loop is untouched, so calling this (or
+    /// not) cannot perturb the measured run.
+    pub fn record_metrics(&self, reg: &ppp_obs::Registry, labels: &[(&str, &str)]) {
+        reg.inc_by("ppp_vm_steps_total", labels, self.steps);
+        reg.inc_by("ppp_vm_prof_steps_total", labels, self.prof_steps);
+        reg.inc_by("ppp_vm_cost_units_total", labels, self.cost);
+        reg.inc_by("ppp_vm_prof_cost_units_total", labels, self.prof_cost);
+        reg.inc_by("ppp_vm_calls_total", labels, self.calls);
+        let (edges, paths) = self.trace_events_dropped;
+        reg.inc_by("ppp_vm_trace_edge_events_dropped_total", labels, edges);
+        reg.inc_by("ppp_vm_trace_path_events_dropped_total", labels, paths);
+        reg.inc_by("ppp_vm_paths_lost_total", labels, self.store.total_lost());
+        reg.inc_by("ppp_vm_paths_cold_total", labels, self.store.total_cold());
+        reg.inc_by(
+            "ppp_vm_hash_collisions_total",
+            labels,
+            self.store.total_collisions(),
+        );
+        reg.inc_by(
+            "ppp_vm_counters_saturated_total",
+            labels,
+            self.store.total_saturated(),
+        );
+        for table in self.store.iter() {
+            if table.is_hash() {
+                reg.observe("ppp_vm_hash_occupancy", labels, table.occupancy());
+            }
+        }
     }
 }
 

@@ -26,6 +26,10 @@ pub enum CounterTable {
         lost: u64,
         /// Poisoned (negative-register) paths observed by checked counts.
         cold: u64,
+        /// Probe attempts that hit a slot occupied by a *different* key
+        /// (each extra probe of the double-hash sequence counts once).
+        /// This is the observability signal for 701×3 table pressure.
+        collisions: u64,
     },
 }
 
@@ -43,6 +47,7 @@ impl CounterTable {
                 max_probes,
                 lost: 0,
                 cold: 0,
+                collisions: 0,
             },
         }
     }
@@ -89,6 +94,7 @@ impl CounterTable {
                 slots,
                 max_probes,
                 lost,
+                collisions,
                 ..
             } => {
                 let n = slots.len() as u64;
@@ -104,7 +110,10 @@ impl CounterTable {
                             *c = c.saturating_add(count);
                             return;
                         }
-                        Some(_) => continue,
+                        Some(_) => {
+                            *collisions = collisions.saturating_add(1);
+                            continue;
+                        }
                         empty @ None => {
                             *empty = Some((key, count));
                             return;
@@ -128,6 +137,25 @@ impl CounterTable {
     /// `true` when any counter has pinned at [`u64::MAX`].
     pub fn saturated(&self) -> bool {
         self.iter_counts().any(|(_, c)| c == u64::MAX)
+    }
+
+    /// Number of counters pinned at [`u64::MAX`].
+    pub fn saturated_count(&self) -> u64 {
+        self.iter_counts().filter(|&(_, c)| c == u64::MAX).count() as u64
+    }
+
+    /// Probe attempts that hit an occupied slot with a different key
+    /// (always 0 for array tables).
+    pub fn collisions(&self) -> u64 {
+        match self {
+            CounterTable::Array { .. } => 0,
+            CounterTable::Hash { collisions, .. } => *collisions,
+        }
+    }
+
+    /// Number of occupied slots (distinct paths actually stored).
+    pub fn occupancy(&self) -> u64 {
+        self.iter_counts().count() as u64
     }
 
     /// Iterates `(path number, count)` over all non-zero counters.
@@ -218,6 +246,26 @@ impl ProfileStore {
     pub fn total_lost(&self) -> u64 {
         self.tables.iter().map(CounterTable::lost).sum()
     }
+
+    /// Total poisoned paths across all tables.
+    pub fn total_cold(&self) -> u64 {
+        self.tables.iter().map(CounterTable::cold).sum()
+    }
+
+    /// Total hash-probe collisions across all tables.
+    pub fn total_collisions(&self) -> u64 {
+        self.tables.iter().map(CounterTable::collisions).sum()
+    }
+
+    /// Total counters pinned at [`u64::MAX`] across all tables.
+    pub fn total_saturated(&self) -> u64 {
+        self.tables.iter().map(CounterTable::saturated_count).sum()
+    }
+
+    /// Iterates over the tables.
+    pub fn iter(&self) -> impl Iterator<Item = &CounterTable> {
+        self.tables.iter()
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +321,38 @@ mod tests {
         }
         assert!(t.lost() > 0);
         assert_eq!(t.total() + t.lost(), 100);
+    }
+
+    #[test]
+    fn hash_collisions_are_counted() {
+        let mut t = CounterTable::new(TableKind::Hash {
+            slots: 701,
+            max_probes: 3,
+        });
+        // Distinct keys, no pressure yet: first insert may or may not
+        // collide, but the same key again never adds collisions.
+        t.bump(1);
+        let after_first = t.collisions();
+        t.bump(1);
+        assert_eq!(t.collisions(), after_first);
+        // Force collisions: key and key+701 share h1.
+        t.bump(2);
+        t.bump(2 + 701);
+        assert!(t.collisions() > after_first);
+        assert_eq!(
+            CounterTable::new(TableKind::Array { size: 4 }).collisions(),
+            0
+        );
+    }
+
+    #[test]
+    fn saturated_and_occupancy_counts() {
+        let mut t = CounterTable::new(TableKind::Array { size: 4 });
+        t.add(0, u64::MAX);
+        t.add(1, u64::MAX);
+        t.bump(2);
+        assert_eq!(t.saturated_count(), 2);
+        assert_eq!(t.occupancy(), 3);
     }
 
     #[test]

@@ -77,7 +77,7 @@ fn main() {
     );
     println!(
         "PPP overhead: {:+.1}% ({} instrumentation ops executed)",
-        100.0 * result.overhead_vs(traced.cost),
+        100.0 * result.overhead_vs(traced.cost).expect("live baseline"),
         result.prof_steps
     );
 

@@ -71,7 +71,7 @@ fn main() {
     hot.sort_by_key(|t| std::cmp::Reverse(t.2));
     println!(
         "stage 2: PPP path profiling at +{:.1}% overhead, {} paths measured",
-        100.0 * r.overhead_vs(base2),
+        100.0 * r.overhead_vs(base2).expect("live baseline"),
         measured.distinct_paths()
     );
     println!("\nhottest paths for the optimizer:");

@@ -109,6 +109,7 @@ fn profiler_ordering_holds_on_generated_workloads() {
             run(&plan.module, "main", &RunOptions::default())
                 .unwrap()
                 .overhead_vs(base)
+                .expect("live baseline")
         };
         let pp = cost(ProfilerConfig::pp());
         let tpp = cost(ProfilerConfig::tpp());
@@ -131,13 +132,15 @@ fn ablations_cost_no_less_than_full_ppp() {
         run(&plan.module, "main", &RunOptions::default())
             .unwrap()
             .overhead_vs(base)
+            .expect("live baseline")
     };
     for t in Technique::ALL {
         let plan = instrument_module(&m, Some(&edges), &ProfilerConfig::ppp_without(t));
         assert_eq!(verify_module(&plan.module), Ok(()), "{t:?}");
         let oh = run(&plan.module, "main", &RunOptions::default())
             .unwrap()
-            .overhead_vs(base);
+            .overhead_vs(base)
+            .expect("live baseline");
         // The paper observes occasional anomalies where removing a
         // technique helps (SPN permutes cache behaviour); under the cost
         // model only small reversals are possible (ordering effects).
