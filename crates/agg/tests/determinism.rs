@@ -1,0 +1,100 @@
+//! The aggregation determinism invariant (ISSUE 5 acceptance criterion):
+//! N-way sharded aggregation of a run's delta stream yields profiles
+//! **byte-identical** (persist_v2 serialization) to the sequential
+//! single-shot profiles, for every benchmark in the 18-benchmark suite,
+//! across seeds and shard counts — and every merged snapshot is flow
+//! conservative (the PPP308 invariant).
+
+use ppp_agg::{AggClient, AggConfig, AggService, Hello, InProcSink};
+use ppp_ir::{write_edge_profile_v2, write_path_profile_v2, Module};
+use ppp_vm::{run, RunOptions};
+use ppp_workloads::{generate, spec2000_suite};
+use std::sync::Arc;
+
+/// Small but non-trivial dynamic work per benchmark: the full suite ×
+/// 2 seeds × 3 shard counts must stay test-suite fast.
+const SCALE: f64 = 0.02;
+const DELTA_INTERVAL: u64 = 4096;
+
+#[test]
+fn sharded_aggregation_is_byte_identical_to_sequential() {
+    for entry in spec2000_suite() {
+        let module = Arc::new(generate(&entry.spec.clone().scaled(SCALE)));
+        for seed in [0x5EED_u64, 42] {
+            let options = RunOptions::default()
+                .traced()
+                .with_seed(seed)
+                .with_delta_interval(DELTA_INTERVAL);
+            let result = run(&module, "main", &options).expect("benchmark runs");
+            let edges = result.edge_profile.as_ref().expect("traced");
+            let paths = result.path_profile.as_ref().expect("traced");
+            assert!(
+                !result.deltas.is_empty(),
+                "{}: delta stream produced",
+                entry.spec.name
+            );
+
+            // Reference bytes: the sequential single-shot profile.
+            let edge_bytes = write_edge_profile_v2(&module, edges);
+            let path_bytes = write_path_profile_v2(&module, paths);
+
+            for shards in [1usize, 2, 8] {
+                let (snap_edges, snap_paths) =
+                    aggregate(&entry.spec.name, &module, &result.deltas, shards, seed);
+                assert_eq!(
+                    write_edge_profile_v2(&module, &snap_edges),
+                    edge_bytes,
+                    "{} seed {seed}: {shards}-shard edge snapshot must be byte-identical",
+                    entry.spec.name
+                );
+                assert_eq!(
+                    write_path_profile_v2(&module, &snap_paths),
+                    path_bytes,
+                    "{} seed {seed}: {shards}-shard path snapshot must be byte-identical",
+                    entry.spec.name
+                );
+                // PPP308: merged snapshots conserve flow at every block.
+                assert!(
+                    snap_edges.is_flow_conservative(&module),
+                    "{} seed {seed}: {shards}-shard snapshot flow",
+                    entry.spec.name
+                );
+            }
+        }
+    }
+}
+
+/// Streams `deltas` through the full client → wire → sharded-aggregator
+/// path and snapshots the merge.
+fn aggregate(
+    bench: &str,
+    module: &Arc<Module>,
+    deltas: &[ppp_vm::ProfileDelta],
+    shards: usize,
+    seed: u64,
+) -> (ppp_ir::ModuleEdgeProfile, ppp_ir::ModulePathProfile) {
+    let service = AggService::new(AggConfig {
+        shards,
+        queue_cap: 8,
+    });
+    let key = format!("{bench}-{seed}-{shards}");
+    let agg = service.register(&key, module).expect("register");
+    let hello = Hello {
+        bench: key.clone(),
+        funcs: module.functions.len(),
+        scale_bits: SCALE.to_bits(),
+        worker: 0,
+    };
+    let mut client = AggClient::open(
+        Arc::clone(module),
+        InProcSink::new(Arc::clone(&agg)),
+        3, // deliberately awkward batch size
+        &hello,
+    )
+    .expect("open");
+    for d in deltas {
+        client.push_delta(&d.edges, &d.paths).expect("push");
+    }
+    client.finish().expect("finish");
+    agg.snapshot()
+}

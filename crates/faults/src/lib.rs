@@ -53,11 +53,20 @@ pub enum FaultSite {
     /// Load the profile against a later build whose function order (and
     /// some shapes) changed.
     StaleShape,
+    /// Cut a streamed aggregation frame short mid-payload (a worker
+    /// dying mid-send).
+    TruncateFrame,
+    /// Flip bytes inside a streamed aggregation frame (header or
+    /// payload) — the per-frame CRC must catch it.
+    CorruptFrame,
+    /// Kill a worker's aggregation connection after a seed-chosen
+    /// number of frames: the stream simply stops, with no `Done`.
+    KillConnection,
 }
 
 impl FaultSite {
     /// Every fault site, in sweep order.
-    pub const ALL: [FaultSite; 9] = [
+    pub const ALL: [FaultSite; 12] = [
         FaultSite::TruncateEdgeBytes,
         FaultSite::CorruptEdgeBytes,
         FaultSite::TruncatePathBytes,
@@ -67,6 +76,9 @@ impl FaultSite {
         FaultSite::DropTraceEvents,
         FaultSite::KillMidRun,
         FaultSite::StaleShape,
+        FaultSite::TruncateFrame,
+        FaultSite::CorruptFrame,
+        FaultSite::KillConnection,
     ];
 
     /// Stable machine-readable name (used in chaos reports and CLI args).
@@ -81,6 +93,9 @@ impl FaultSite {
             FaultSite::DropTraceEvents => "drop-trace-events",
             FaultSite::KillMidRun => "kill-mid-run",
             FaultSite::StaleShape => "stale-shape",
+            FaultSite::TruncateFrame => "truncate-frame",
+            FaultSite::CorruptFrame => "corrupt-frame",
+            FaultSite::KillConnection => "kill-connection",
         }
     }
 
@@ -209,6 +224,17 @@ impl FaultPlan {
     pub fn kill_step_budget(&self) -> u64 {
         let mut rng = self.rng();
         2_000 + rng.next_u64() % 8_000
+    }
+
+    /// For a killed aggregation connection: how many of `total` frames
+    /// arrive before the stream stops. Always fewer than `total` (the
+    /// `Done` frame never makes it), at least zero.
+    pub fn frames_delivered(&self, total: usize) -> usize {
+        if total == 0 {
+            return 0;
+        }
+        let mut rng = self.rng();
+        (rng.next_u64() % total as u64) as usize
     }
 }
 

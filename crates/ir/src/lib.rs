@@ -61,6 +61,7 @@ mod persist_v2;
 mod profile;
 pub mod transform;
 mod verify;
+pub mod wire;
 mod witness;
 
 pub use cfg::{reachable_blocks, Cfg};
@@ -86,6 +87,10 @@ pub use profile::{
     FlowViolation, FlowViolationKind, FuncEdgeProfile, ModuleEdgeProfile, ProfileStats,
 };
 pub use verify::{verify_module, VerifyError};
+pub use wire::{
+    decode_frame, decode_stream, encode_frame, Frame, FrameKind, WireError, FRAME_HEADER_LEN,
+    FRAME_MAGIC, MAX_FRAME_PAYLOAD,
+};
 pub use witness::{
     InlineStep, InlineWitness, ScalarFuncWitness, ScalarWitness, TransformWitness, UnrollMode,
     UnrollWitness, UnrolledLoop,

@@ -118,6 +118,20 @@ impl FuncPathProfile {
             .fold(0u64, |acc, s| acc.saturating_add(s.unit_flow()))
     }
 
+    /// Merges `other` into `self`, adding frequencies path by path.
+    /// Counts saturate at [`u64::MAX`] instead of wrapping, which makes
+    /// the merge commutative *and* associative — any merge order over
+    /// any partition of deltas produces the same profile.
+    pub fn merge(&mut self, other: &FuncPathProfile) {
+        for (key, stats) in &other.paths {
+            let e = self.paths.entry(key.clone()).or_insert(PathStats {
+                freq: 0,
+                branches: stats.branches,
+            });
+            e.freq = e.freq.saturating_add(stats.freq);
+        }
+    }
+
     /// `true` when any path's frequency has pinned at [`u64::MAX`].
     pub fn saturated(&self) -> bool {
         self.paths.values().any(|s| s.freq == u64::MAX)
@@ -170,20 +184,35 @@ impl ModulePathProfile {
         &mut self.funcs[f.index()]
     }
 
-    /// Program-wide branch flow.
+    /// Merges `other` into `self` function by function (saturating; see
+    /// [`FuncPathProfile::merge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiles have different function counts.
+    pub fn merge(&mut self, other: &ModulePathProfile) {
+        assert_eq!(
+            self.funcs.len(),
+            other.funcs.len(),
+            "merging path profiles of different shapes"
+        );
+        for (a, b) in self.funcs.iter_mut().zip(&other.funcs) {
+            a.merge(b);
+        }
+    }
+
+    /// Program-wide branch flow (saturating).
     pub fn total_branch_flow(&self) -> u64 {
         self.funcs
             .iter()
-            .map(FuncPathProfile::total_branch_flow)
-            .sum()
+            .fold(0u64, |acc, f| acc.saturating_add(f.total_branch_flow()))
     }
 
-    /// Program-wide unit flow (total dynamic paths).
+    /// Program-wide unit flow (total dynamic paths, saturating).
     pub fn total_unit_flow(&self) -> u64 {
         self.funcs
             .iter()
-            .map(FuncPathProfile::total_unit_flow)
-            .sum()
+            .fold(0u64, |acc, f| acc.saturating_add(f.total_unit_flow()))
     }
 
     /// Total distinct paths across all functions.
@@ -283,6 +312,45 @@ mod tests {
         assert_eq!(p.total_branch_flow(), 8);
         assert_eq!(p.total_unit_flow(), 8);
         assert_eq!(p.distinct_paths(), 1);
+    }
+
+    #[test]
+    fn merge_saturates_and_is_order_independent() {
+        let f = looped();
+        let key = PathKey {
+            start: BlockId(3),
+            edges: vec![EdgeRef::new(BlockId(3), 0)],
+        };
+        let other = PathKey {
+            start: BlockId(3),
+            edges: vec![EdgeRef::new(BlockId(3), 1)],
+        };
+        let mut near_max = FuncPathProfile::new();
+        near_max.record(&f, key.clone(), u64::MAX - 1);
+        let mut small = FuncPathProfile::new();
+        small.record(&f, key.clone(), 7);
+        small.record(&f, other.clone(), 3);
+
+        // a ⊔ b == b ⊔ a, and the hot path pins at MAX instead of wrapping.
+        let mut ab = near_max.clone();
+        ab.merge(&small);
+        let mut ba = small.clone();
+        ba.merge(&near_max);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.paths[&key].freq, u64::MAX);
+        assert_eq!(ab.paths[&other].freq, 3);
+        assert!(ab.saturated());
+        // Totals over saturated entries stay saturating, not wrapping.
+        assert_eq!(ab.total_unit_flow(), u64::MAX);
+
+        let mut mp = ModulePathProfile::with_capacity(1);
+        mp.funcs[0] = ab;
+        assert_eq!(mp.total_unit_flow(), u64::MAX);
+        assert_eq!(mp.total_branch_flow(), u64::MAX);
+        let mut other_mp = ModulePathProfile::with_capacity(1);
+        other_mp.funcs[0] = small;
+        mp.merge(&other_mp);
+        assert_eq!(mp.funcs[0].paths[&key].freq, u64::MAX);
     }
 
     #[test]

@@ -134,19 +134,24 @@ impl FuncEdgeProfile {
         self.entries = entries;
     }
 
-    /// Sum of all edge frequencies.
+    /// Sum of all edge frequencies (saturating: two pinned counters must
+    /// total [`u64::MAX`], not wrap back to small).
     pub fn total_edge_flow(&self) -> u64 {
-        self.edge_freq.iter().flatten().sum()
+        self.edge_freq
+            .iter()
+            .flatten()
+            .fold(0u64, |acc, &c| acc.saturating_add(c))
     }
 
     /// Sum of frequencies of *branch* edges: edges whose source block has
     /// at least two successors (the paper's definition of a branch, §5.1).
+    /// Saturating.
     pub fn total_branch_flow(&self) -> u64 {
         self.edge_freq
             .iter()
             .filter(|edges| edges.len() >= 2)
             .flatten()
-            .sum()
+            .fold(0u64, |acc, &c| acc.saturating_add(c))
     }
 
     /// Merges another profile of the same shape into this one
@@ -243,7 +248,10 @@ impl FuncEdgeProfile {
                     .term
                     .successor(s)
                     .expect("shape-matched successor");
-                inflow[tgt.index()] += freq;
+                // Saturating: a profile whose counters pinned at MAX is
+                // being *checked* here, not trusted — the check must
+                // report violations, not overflow.
+                inflow[tgt.index()] = inflow[tgt.index()].saturating_add(freq);
             }
         }
         let mut violations = Vec::new();
@@ -259,9 +267,11 @@ impl FuncEdgeProfile {
                 });
             }
             if block.term.is_return() {
-                exit_flow += freq;
+                exit_flow = exit_flow.saturating_add(freq);
             } else {
-                let out: u64 = self.edge_freq[bi].iter().sum();
+                let out: u64 = self.edge_freq[bi]
+                    .iter()
+                    .fold(0u64, |acc, &c| acc.saturating_add(c));
                 if out != freq {
                     violations.push(FlowViolation {
                         block: Some(BlockId::new(bi)),
@@ -342,12 +352,12 @@ impl ModuleEdgeProfile {
         &mut self.funcs[f.index()]
     }
 
-    /// Program-wide branch flow (the denominator of branch-flow ratios).
+    /// Program-wide branch flow (the denominator of branch-flow ratios;
+    /// saturating).
     pub fn total_branch_flow(&self) -> u64 {
         self.funcs
             .iter()
-            .map(FuncEdgeProfile::total_branch_flow)
-            .sum()
+            .fold(0u64, |acc, p| acc.saturating_add(p.total_branch_flow()))
     }
 
     /// `true` when any function's counters have pinned at [`u64::MAX`].
@@ -663,6 +673,53 @@ mod tests {
         assert!(!p.is_flow_conservative(&m));
         p.funcs.pop();
         assert!(!p.shape_matches(&m));
+    }
+
+    #[test]
+    fn saturated_counters_never_wrap_totals_or_flow_checks() {
+        let f = branchy();
+        let mut p = FuncEdgeProfile::zeroed(&f);
+        // Two pinned branch edges: totals must pin at MAX, not wrap to ~MAX-1.
+        p.set_edge(EdgeRef::new(BlockId(0), 0), u64::MAX);
+        p.set_edge(EdgeRef::new(BlockId(0), 1), u64::MAX);
+        assert_eq!(p.total_edge_flow(), u64::MAX);
+        assert_eq!(p.total_branch_flow(), u64::MAX);
+        assert!(p.saturated());
+
+        // flow_violations must *report* (not overflow) on a saturated
+        // profile: b3 receives MAX from both b1 and b2.
+        p.set_edge(EdgeRef::new(BlockId(1), 0), u64::MAX);
+        p.set_edge(EdgeRef::new(BlockId(2), 0), u64::MAX);
+        p.set_block(BlockId(3), u64::MAX);
+        p.set_entries(u64::MAX);
+        let v = p.flow_violations(&f); // must not panic in debug builds
+        assert!(v.iter().any(|x| x.kind == FlowViolationKind::In));
+
+        // Module totals saturate too.
+        let mut m = crate::Module::new();
+        m.add_function(branchy());
+        m.add_function(branchy());
+        let mut mp = ModuleEdgeProfile::zeroed(&m);
+        mp.func_mut(FuncId(0))
+            .set_edge(EdgeRef::new(BlockId(0), 0), u64::MAX);
+        mp.func_mut(FuncId(1))
+            .set_edge(EdgeRef::new(BlockId(0), 1), 9);
+        assert_eq!(mp.total_branch_flow(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_saturates_at_max() {
+        let f = branchy();
+        let e = EdgeRef::new(BlockId(0), 0);
+        let mut a = FuncEdgeProfile::zeroed(&f);
+        a.set_edge(e, u64::MAX - 1);
+        a.set_entries(u64::MAX);
+        let mut b = FuncEdgeProfile::zeroed(&f);
+        b.set_edge(e, 5);
+        b.set_entries(1);
+        a.merge(&b);
+        assert_eq!(a.edge(e), u64::MAX);
+        assert_eq!(a.entries(), u64::MAX);
     }
 
     #[test]

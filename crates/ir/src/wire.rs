@@ -1,0 +1,369 @@
+//! Length-prefixed binary wire framing for streamed profile deltas.
+//!
+//! The aggregation tier (`ppp-agg`) receives profile deltas from many
+//! concurrent VM workers — over in-process channels or a localhost TCP
+//! socket. Either way the bytes cross a trust boundary: a frame can be
+//! cut short by a dying worker, damaged in a buffer, or interleaved with
+//! garbage. The frame format therefore carries the same integrity
+//! armour as the persisted v2 profile container ([`crate::PROFILE_MAGIC`]), which is
+//! exactly what frame payloads hold:
+//!
+//! ```text
+//! +------+------+----------------+----------------+-- - - - --+
+//! | PPAG | kind | payload len LE | payload CRC-32 |  payload  |
+//! | 4 B  | 1 B  |     4 B        |      4 B       |  len B    |
+//! +------+------+----------------+----------------+-- - - - --+
+//! ```
+//!
+//! - **magic** `PPAG` re-synchronizes nothing on purpose: a stream whose
+//!   framing is lost cannot be trusted past the damage, so decoding
+//!   stops with a typed error (mirroring the v2 container's policy that
+//!   a broken section header ends salvage);
+//! - **kind** selects the payload grammar ([`FrameKind`]);
+//! - **len** is a little-endian `u32`, bounded by
+//!   [`MAX_FRAME_PAYLOAD`] so a flipped length byte cannot drive an
+//!   allocation of gigabytes;
+//! - **crc** is the CRC-32 ([`crate::crc32`]) of the payload
+//!   bytes — a flipped payload byte rejects the *frame*, not the stream.
+//!
+//! [`FrameKind::EdgeDelta`] and [`FrameKind::PathDelta`] payloads are
+//! whole v2 profile containers (see [`crate::write_edge_profile_v2`]) holding the
+//! *delta* counts accumulated since the worker's previous flush; the
+//! aggregator merges them with saturating adds, which are commutative
+//! and associative, so any arrival order yields byte-identical merged
+//! profiles.
+
+use crate::persist_v2::crc32;
+use std::fmt;
+
+/// Magic bytes opening every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"PPAG";
+
+/// Fixed size of the frame header (magic + kind + len + crc).
+pub const FRAME_HEADER_LEN: usize = 13;
+
+/// Upper bound on a frame payload; larger lengths are rejected as
+/// damage before any allocation happens.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// What a frame carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameKind {
+    /// Session opener: a text payload identifying the worker and the
+    /// benchmark/module the following deltas belong to.
+    Hello = 1,
+    /// An edge-profile delta: a v2 `edge` container of counts
+    /// accumulated since the previous flush.
+    EdgeDelta = 2,
+    /// A path-profile delta: a v2 `path` container.
+    PathDelta = 3,
+    /// Orderly end of stream; the receiver acknowledges after merging
+    /// everything that came before.
+    Done = 4,
+}
+
+impl FrameKind {
+    /// All frame kinds.
+    pub const ALL: [FrameKind; 4] = [
+        FrameKind::Hello,
+        FrameKind::EdgeDelta,
+        FrameKind::PathDelta,
+        FrameKind::Done,
+    ];
+
+    /// Stable machine-readable name (metric labels, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameKind::Hello => "hello",
+            FrameKind::EdgeDelta => "edge-delta",
+            FrameKind::PathDelta => "path-delta",
+            FrameKind::Done => "done",
+        }
+    }
+
+    /// Parses a kind byte.
+    pub fn from_byte(b: u8) -> Option<FrameKind> {
+        FrameKind::ALL.into_iter().find(|k| *k as u8 == b)
+    }
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One decoded frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Frame {
+    /// Payload grammar selector.
+    pub kind: FrameKind,
+    /// Raw payload bytes (CRC already verified by the decoder).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame.
+    pub fn new(kind: FrameKind, payload: Vec<u8>) -> Self {
+        Self { kind, payload }
+    }
+
+    /// Encodes the frame into its wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_frame(self.kind, &self.payload)
+    }
+}
+
+/// Typed wire-decoding failures. Decoding never panics, whatever the
+/// input bytes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The next four bytes are not [`FRAME_MAGIC`].
+    BadMagic,
+    /// The kind byte names no [`FrameKind`].
+    UnknownKind(u8),
+    /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversize {
+        /// Declared payload length.
+        declared: usize,
+    },
+    /// The stream ends before the header or the declared payload.
+    Truncated {
+        /// Bytes the frame needs.
+        expected: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The payload does not hash to the header's CRC-32.
+    ChecksumMismatch {
+        /// CRC the header promised.
+        expected: u32,
+        /// CRC of the bytes present.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "not a PPAG frame (bad magic)"),
+            WireError::UnknownKind(b) => write!(f, "unknown frame kind {b:#04x}"),
+            WireError::Oversize { declared } => {
+                write!(
+                    f,
+                    "frame declares {declared} payload bytes (limit {MAX_FRAME_PAYLOAD})"
+                )
+            }
+            WireError::Truncated {
+                expected,
+                available,
+            } => {
+                write!(
+                    f,
+                    "truncated frame: {expected} bytes expected, {available} remain"
+                )
+            }
+            WireError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "frame checksum mismatch (recorded {expected:08x}, computed {actual:08x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// Stable machine-readable class name (used as a metric label).
+    pub fn class(&self) -> &'static str {
+        match self {
+            WireError::BadMagic => "bad-magic",
+            WireError::UnknownKind(_) => "unknown-kind",
+            WireError::Oversize { .. } => "oversize",
+            WireError::Truncated { .. } => "truncated",
+            WireError::ChecksumMismatch { .. } => "checksum",
+        }
+    }
+}
+
+/// Encodes one frame: header ([`FRAME_HEADER_LEN`] bytes) + payload.
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD, "oversize frame");
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(kind as u8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses a frame header; returns `(kind, payload_len, crc)`.
+///
+/// # Errors
+///
+/// Any malformed or truncated header yields a typed [`WireError`].
+pub fn decode_header(bytes: &[u8]) -> Result<(FrameKind, usize, u32), WireError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(WireError::Truncated {
+            expected: FRAME_HEADER_LEN,
+            available: bytes.len(),
+        });
+    }
+    if bytes[..4] != FRAME_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let kind = FrameKind::from_byte(bytes[4]).ok_or(WireError::UnknownKind(bytes[4]))?;
+    let len = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::Oversize { declared: len });
+    }
+    let crc = u32::from_le_bytes([bytes[9], bytes[10], bytes[11], bytes[12]]);
+    Ok((kind, len, crc))
+}
+
+/// Decodes the first frame of `bytes`; returns the frame and the number
+/// of bytes consumed.
+///
+/// # Errors
+///
+/// Yields a typed [`WireError`] for any damage; the caller must not
+/// trust anything past the reported failure (there is no resync).
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), WireError> {
+    let (kind, len, crc) = decode_header(bytes)?;
+    let total = FRAME_HEADER_LEN + len;
+    if bytes.len() < total {
+        return Err(WireError::Truncated {
+            expected: total,
+            available: bytes.len(),
+        });
+    }
+    let payload = &bytes[FRAME_HEADER_LEN..total];
+    let actual = crc32(payload);
+    if actual != crc {
+        return Err(WireError::ChecksumMismatch {
+            expected: crc,
+            actual,
+        });
+    }
+    Ok((
+        Frame {
+            kind,
+            payload: payload.to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Decodes a whole stream of concatenated frames. Returns every frame
+/// decoded before the first damage, plus the damage (if any) and the
+/// byte offset where it was found.
+pub fn decode_stream(bytes: &[u8]) -> (Vec<Frame>, Option<(usize, WireError)>) {
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        match decode_frame(&bytes[pos..]) {
+            Ok((frame, used)) => {
+                frames.push(frame);
+                pos += used;
+            }
+            Err(e) => return (frames, Some((pos, e))),
+        }
+    }
+    (frames, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_every_kind() {
+        for kind in FrameKind::ALL {
+            let payload = format!("payload for {kind}").into_bytes();
+            let bytes = encode_frame(kind, &payload);
+            let (frame, used) = decode_frame(&bytes).expect("decodes");
+            assert_eq!(used, bytes.len());
+            assert_eq!(frame.kind, kind);
+            assert_eq!(frame.payload, payload);
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip_and_tail_truncation() {
+        let mut stream = Vec::new();
+        stream.extend(encode_frame(FrameKind::Hello, b"hi"));
+        stream.extend(encode_frame(FrameKind::EdgeDelta, b"ppp-profile v2 ..."));
+        stream.extend(encode_frame(FrameKind::Done, b""));
+        let (frames, err) = decode_stream(&stream);
+        assert_eq!(frames.len(), 3);
+        assert!(err.is_none());
+
+        // Cut anywhere inside the stream: decoded prefix only, typed error.
+        for cut in [1, FRAME_HEADER_LEN, stream.len() - 1] {
+            let (frames, err) = decode_stream(&stream[..cut]);
+            assert!(frames.len() < 3);
+            assert!(err.is_some(), "cut at {cut} must report damage");
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_checksum_error() {
+        let mut bytes = encode_frame(FrameKind::EdgeDelta, b"entries 10");
+        let at = FRAME_HEADER_LEN + 3;
+        bytes[at] ^= 0x40;
+        match decode_frame(&bytes) {
+            Err(WireError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_damage_is_typed() {
+        let good = encode_frame(FrameKind::Hello, b"x");
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'Q';
+        assert_eq!(decode_frame(&bad_magic).unwrap_err(), WireError::BadMagic);
+
+        let mut bad_kind = good.clone();
+        bad_kind[4] = 0xEE;
+        assert_eq!(
+            decode_frame(&bad_kind).unwrap_err(),
+            WireError::UnknownKind(0xEE)
+        );
+
+        let mut oversize = good;
+        oversize[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&oversize).unwrap_err(),
+            WireError::Oversize { .. }
+        ));
+        assert!(matches!(
+            decode_frame(b"PPAG").unwrap_err(),
+            WireError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn error_classes_are_stable() {
+        assert_eq!(WireError::BadMagic.class(), "bad-magic");
+        assert_eq!(WireError::UnknownKind(9).class(), "unknown-kind");
+        assert_eq!(WireError::Oversize { declared: 1 }.class(), "oversize");
+        assert_eq!(
+            WireError::Truncated {
+                expected: 1,
+                available: 0
+            }
+            .class(),
+            "truncated"
+        );
+        assert_eq!(
+            WireError::ChecksumMismatch {
+                expected: 1,
+                actual: 2
+            }
+            .class(),
+            "checksum"
+        );
+    }
+}

@@ -118,15 +118,19 @@ fn record_from_run(run: &BenchmarkRun, wall_ms: f64) -> BenchRecord {
 /// Per-benchmark wall-time is measured here, around the whole pipeline
 /// run; everything else comes from the run itself. Failed benchmarks are
 /// reported through the observation sink and skipped, matching
-/// [`crate::run_suite`].
+/// [`crate::run_suite`]. `options.workers > 1` fans the benchmarks over
+/// that many threads; every gated quantity is seed-deterministic and
+/// records are collected in suite order, so only `wall_ms` (recorded,
+/// never gated) can differ from a sequential run.
 pub fn collect_baseline(only: Option<&str>, options: &PipelineOptions) -> BenchBaseline {
-    let obs = ppp_obs::global();
     let suite = spec2000_suite();
-    let mut benchmarks = Vec::new();
-    for entry in suite
+    let entries: Vec<_> = suite
         .iter()
         .filter(|e| only.is_none_or(|b| e.spec.name == b))
-    {
+        .collect();
+    let records = ppp_agg::run_indexed(options.workers, entries.len(), |i| {
+        let entry = entries[i];
+        let obs = ppp_obs::global();
         obs.info(
             "bench.progress",
             &[("bench", Value::from(entry.spec.name.as_str()))],
@@ -140,7 +144,7 @@ pub fn collect_baseline(only: Option<&str>, options: &PipelineOptions) -> BenchB
                     &[("bench", &entry.spec.name)],
                     wall_ms as u64,
                 );
-                benchmarks.push(record_from_run(&run, wall_ms));
+                Some(record_from_run(&run, wall_ms))
             }
             Err(err) => {
                 obs.event(
@@ -151,9 +155,11 @@ pub fn collect_baseline(only: Option<&str>, options: &PipelineOptions) -> BenchB
                         ("error", Value::from(err.to_string())),
                     ],
                 );
+                None
             }
         }
-    }
+    });
+    let benchmarks = records.into_iter().flatten().collect();
     BenchBaseline {
         schema_version: BASELINE_SCHEMA_VERSION,
         seed: options.seed,

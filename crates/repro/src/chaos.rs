@@ -18,15 +18,18 @@ use crate::format::Table;
 use crate::pipeline::{
     instrument_and_run, prepare_benchmark, PipelineError, PipelineOptions, PreparedBenchmark,
 };
+use ppp_agg::{AggConfig, Aggregator, Hello};
 use ppp_core::ProfilerConfig;
 use ppp_faults::{FaultPlan, FaultSite};
 use ppp_ir::{
-    read_edge_profile_stale, salvage_edge_profile, salvage_path_profile, write_edge_profile_v2,
-    write_path_profile_v2, Module, ModuleEdgeProfile, SectionFault,
+    encode_frame, read_edge_profile_stale, salvage_edge_profile, salvage_path_profile,
+    write_edge_profile_v2, write_path_profile_v2, FrameKind, Module, ModuleEdgeProfile,
+    SectionFault,
 };
 use ppp_vm::{run, HaltReason, RunOptions};
 use ppp_workloads::spec2000_suite;
 use std::fmt;
+use std::sync::Arc;
 
 /// How one injected fault played out.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -137,6 +140,81 @@ fn damage_bytes(plan: &FaultPlan, bytes: &mut Vec<u8>) -> String {
             format!("flipped bytes at offsets {hits:?}")
         }
     }
+}
+
+/// Encodes the frame stream one healthy worker would send for `prep`:
+/// `Hello`, one edge delta, one path delta, `Done`.
+fn worker_frames(prep: &PreparedBenchmark) -> Vec<Vec<u8>> {
+    let hello = Hello {
+        bench: prep.name.clone(),
+        funcs: prep.module.functions.len(),
+        scale_bits: 0,
+        worker: 0,
+    };
+    vec![
+        encode_frame(FrameKind::Hello, &hello.encode()),
+        encode_frame(
+            FrameKind::EdgeDelta,
+            write_edge_profile_v2(&prep.module, &prep.edges).as_bytes(),
+        ),
+        encode_frame(
+            FrameKind::PathDelta,
+            write_path_profile_v2(&prep.module, &prep.truth).as_bytes(),
+        ),
+        encode_frame(FrameKind::Done, b""),
+    ]
+}
+
+/// Feeds a (possibly damaged) frame stream through a real 2-shard
+/// aggregator, then runs whatever survived the merge through the
+/// ingestion ladder. Wire-level damage, refused frames, and a missing
+/// `Done` each land as structured report entries.
+fn wire_fault_scenario(
+    prep: &PreparedBenchmark,
+    detail: String,
+    stream: &[u8],
+) -> (String, DegradationReport, bool, bool) {
+    let module = &prep.module;
+    let agg = Aggregator::new(
+        &prep.name,
+        Arc::new(module.clone()),
+        AggConfig {
+            shards: 2,
+            queue_cap: 8,
+        },
+    );
+    let sr = agg.ingest_stream(stream);
+    let (snap_edges, snap_paths) = agg.snapshot();
+    // The contract under damage: whatever *did* merge is still a valid
+    // saturating sum of intact deltas, so it can seed the ladder.
+    let harmless = sr.clean() && snap_edges == prep.edges;
+    let have_edges = snap_edges.funcs.iter().any(|f| !f.is_zero());
+    let have_paths = snap_paths.funcs.iter().any(|fp| !fp.paths.is_empty());
+    let (g, mut report) = ingest_guidance(
+        module,
+        have_edges.then_some(snap_edges),
+        if have_paths { Some(&snap_paths) } else { None },
+    );
+    if let Some((off, e)) = &sr.wire_error {
+        report.push(
+            "wire-damage",
+            format!("stream undecodable at byte {off}: {e}"),
+        );
+    }
+    for (idx, e) in &sr.rejected {
+        report.push("frame-rejected", format!("frame #{idx} refused: {e}"));
+    }
+    if !sr.saw_done {
+        report.push(
+            "connection-lost",
+            format!(
+                "stream ended after {} accepted frame(s) without Done",
+                sr.frames_accepted()
+            ),
+        );
+    }
+    let lint = lint_ok(module, g.as_ref());
+    (detail, report, harmless, lint)
 }
 
 /// Runs one fault scenario against a prepared benchmark.
@@ -289,6 +367,35 @@ pub fn chaos_scenario(
                 }
             }
         }
+        FaultSite::TruncateFrame => {
+            // A worker dying mid-send: the frame stream is cut at a
+            // seed-chosen byte, possibly mid-header or mid-payload.
+            let mut stream: Vec<u8> = worker_frames(prep).concat();
+            let full = stream.len();
+            let cut = plan.truncate_bytes(&mut stream);
+            let detail = format!("truncated the frame stream at byte {cut} of {full}");
+            wire_fault_scenario(prep, detail, &stream)
+        }
+        FaultSite::CorruptFrame => {
+            // Bit rot on the wire: the per-frame CRC (or the header
+            // magic/kind/length checks) must refuse the damaged frame.
+            let mut stream: Vec<u8> = worker_frames(prep).concat();
+            let hits = plan.corrupt_bytes(&mut stream, 4);
+            let detail = format!("flipped frame-stream bytes at offsets {hits:?}");
+            wire_fault_scenario(prep, detail, &stream)
+        }
+        FaultSite::KillConnection => {
+            // The connection drops between frames: a seed-chosen prefix
+            // of whole frames arrives, and `Done` never does.
+            let frames = worker_frames(prep);
+            let delivered = plan.frames_delivered(frames.len());
+            let stream: Vec<u8> = frames[..delivered].concat();
+            let detail = format!(
+                "killed the worker connection after {delivered} of {} frames",
+                frames.len()
+            );
+            wire_fault_scenario(prep, detail, &stream)
+        }
         FaultSite::StaleShape => {
             // Load the old artifact against a "newer build" whose
             // function order changed; the stale loader matches by name.
@@ -371,23 +478,31 @@ pub fn chaos_benchmark(
 /// Sweeps every fault site across the suite (or one named benchmark).
 ///
 /// Progress goes to stderr. Returns every scenario outcome in suite ×
-/// site order.
+/// site order. `options.workers > 1` fans the benchmarks over that many
+/// threads; every scenario is seed-deterministic and results are
+/// collected in suite order, so the output is byte-identical to a
+/// sequential sweep.
 pub fn chaos_suite(
     bench: Option<&str>,
     seed: u64,
     options: &PipelineOptions,
 ) -> Result<Vec<ChaosOutcome>, PipelineError> {
     let suite = spec2000_suite();
-    let mut outcomes = Vec::new();
-    for entry in suite
+    let entries: Vec<_> = suite
         .iter()
         .filter(|e| bench.is_none_or(|b| e.spec.name == b))
-    {
+        .collect();
+    let per_bench = ppp_agg::run_indexed(options.workers, entries.len(), |i| {
+        let entry = entries[i];
         ppp_obs::global().info(
             "chaos.progress",
             &[("bench", ppp_obs::Value::from(entry.spec.name.as_str()))],
         );
-        outcomes.extend(chaos_benchmark(entry, seed, options)?);
+        chaos_benchmark(entry, seed, options)
+    });
+    let mut outcomes = Vec::new();
+    for r in per_bench {
+        outcomes.extend(r?);
     }
     Ok(outcomes)
 }
@@ -484,6 +599,25 @@ mod tests {
         let a = chaos_prepared(&prep, 42, &options);
         let b = chaos_prepared(&prep, 42, &options);
         assert_eq!(chaos_json(&a), chaos_json(&b));
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        // The --workers contract: fan-out changes wall-clock only.
+        let sequential = PipelineOptions {
+            scale: 0.01,
+            workers: 1,
+            ..PipelineOptions::default()
+        };
+        let parallel = PipelineOptions {
+            workers: 4,
+            ..sequential
+        };
+        let a = chaos_suite(None, 701, &sequential).expect("sequential sweep");
+        let b = chaos_suite(None, 701, &parallel).expect("parallel sweep");
+        assert_eq!(a.len(), FaultSite::ALL.len() * spec2000_suite().len());
+        assert_eq!(chaos_json(&a), chaos_json(&b));
+        assert_eq!(chaos_table(&a), chaos_table(&b));
     }
 
     #[test]

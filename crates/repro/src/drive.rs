@@ -1,0 +1,548 @@
+//! `repro drive`: a parallel load generator for the aggregation service.
+//!
+//! N worker threads each run traced benchmarks with incremental delta
+//! export enabled and stream the deltas — through the real wire encoder
+//! — into a K-way sharded [`Aggregator`](ppp_agg::Aggregator). Three
+//! transports share one code path: in-process frame delivery (the
+//! default), a self-hosted localhost TCP server (`--tcp`), and an
+//! external server started with `repro serve` (`--connect ADDR`).
+//!
+//! Besides generating load, the driver *checks* the aggregation
+//! contract on every run: each benchmark's merged snapshot must be
+//! byte-identical (persist_v2 serialization) to the saturating merge of
+//! the same runs' single-shot profiles, and must pass the PPP308
+//! flow-conservation lint. Throughput is reported as sustained VM
+//! events (dynamic steps) per second across all workers.
+
+use crate::format::Table;
+use ppp_agg::{
+    run_indexed, AggClient, AggConfig, AggService, FrameSink, Hello, InProcSink, ServeOptions,
+    Server, TcpSink,
+};
+use ppp_ir::{
+    write_edge_profile_v2, write_path_profile_v2, Module, ModuleEdgeProfile, ModulePathProfile,
+};
+use ppp_obs::json;
+use ppp_vm::{run, RunOptions};
+use ppp_workloads::{generate, spec2000_suite};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How driver workers reach the aggregation service.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Transport {
+    /// Frames are encoded and decoded in process (no socket). The wire
+    /// path — framing, CRC, persist_v2 payloads — is still exercised.
+    InProc,
+    /// The driver hosts its own server on `127.0.0.1:0` and every
+    /// worker connects over real TCP.
+    Tcp,
+    /// Workers connect to an external `repro serve` instance. The
+    /// driver cannot snapshot a remote aggregator, so the determinism
+    /// and lint verdicts are skipped.
+    Connect(SocketAddr),
+}
+
+/// Load-driver configuration (`repro drive` flags).
+#[derive(Clone, Copy, Debug)]
+pub struct DriveOptions {
+    /// Parallel VM workers streaming deltas.
+    pub workers: usize,
+    /// Aggregator shards (in-proc and self-hosted TCP modes).
+    pub shards: usize,
+    /// Traced runs per benchmark; repeat `r` uses seed `seed + r`.
+    pub repeats: usize,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Base VM seed.
+    pub seed: u64,
+    /// Trace events per delta cut ([`RunOptions::delta_interval`]).
+    pub delta_interval: u64,
+    /// Deltas merged per shipped batch ([`AggClient`]).
+    pub batch: usize,
+    /// How frames reach the service.
+    pub transport: Transport,
+}
+
+impl Default for DriveOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            shards: 4,
+            repeats: 2,
+            scale: 0.05,
+            seed: 0x5EED,
+            delta_interval: 2048,
+            batch: 4,
+            transport: Transport::InProc,
+        }
+    }
+}
+
+/// One benchmark's aggregate outcome across all its repeats.
+#[derive(Clone, Debug)]
+pub struct BenchDrive {
+    /// Benchmark name.
+    pub bench: String,
+    /// Completed runs.
+    pub runs: usize,
+    /// Wire frames shipped by this benchmark's clients.
+    pub frames: u64,
+    /// Wire payload bytes shipped.
+    pub bytes: u64,
+    /// Profile deltas cut and streamed.
+    pub deltas: u64,
+    /// Dynamic VM steps executed across the runs.
+    pub events: u64,
+    /// Snapshot byte-identical to the local reference merge
+    /// (`None` under `--connect`: no local snapshot to compare).
+    pub deterministic: Option<bool>,
+    /// Snapshot passed the PPP308 flow-conservation lint.
+    pub lint_clean: Option<bool>,
+}
+
+/// Full outcome of one `repro drive` invocation.
+#[derive(Clone, Debug)]
+pub struct DriveReport {
+    /// Per-benchmark outcomes, in suite order.
+    pub benches: Vec<BenchDrive>,
+    /// Configuration echo: worker threads.
+    pub workers: usize,
+    /// Configuration echo: shards.
+    pub shards: usize,
+    /// Configuration echo: repeats per benchmark.
+    pub repeats: usize,
+    /// Transport label ("in-proc", "tcp", or the connect address).
+    pub transport: String,
+    /// Wall-clock time of the whole drive, milliseconds.
+    pub wall_ms: f64,
+    /// Sustained VM events per second across all workers
+    /// (machine-dependent; reported, never gated).
+    pub events_per_sec: f64,
+}
+
+impl DriveReport {
+    /// Total frames shipped.
+    pub fn frames(&self) -> u64 {
+        self.benches.iter().map(|b| b.frames).sum()
+    }
+
+    /// Total wire payload bytes shipped.
+    pub fn bytes(&self) -> u64 {
+        self.benches.iter().map(|b| b.bytes).sum()
+    }
+
+    /// `true` when every checked benchmark was byte-identical and
+    /// lint-clean (vacuously true under `--connect`).
+    pub fn ok(&self) -> bool {
+        self.benches
+            .iter()
+            .all(|b| b.deterministic.unwrap_or(true) && b.lint_clean.unwrap_or(true))
+    }
+}
+
+/// One transport-agnostic frame sink handed to a worker's [`AggClient`].
+enum DriveSink {
+    InProc(InProcSink),
+    Tcp(TcpSink),
+}
+
+impl FrameSink for DriveSink {
+    fn send_frame(&mut self, bytes: &[u8]) -> Result<(), String> {
+        match self {
+            DriveSink::InProc(s) => s.send_frame(bytes),
+            DriveSink::Tcp(s) => s.send_frame(bytes),
+        }
+    }
+}
+
+/// Per-work-unit stats rolled up into [`BenchDrive`] records.
+struct UnitStats {
+    bench: usize,
+    frames: u64,
+    bytes: u64,
+    deltas: u64,
+    events: u64,
+}
+
+/// The local reference merge a benchmark's snapshot is checked against.
+type Reference = Mutex<Option<(ModuleEdgeProfile, ModulePathProfile)>>;
+
+/// Runs the load driver over the suite (or one named benchmark).
+///
+/// # Errors
+///
+/// Returns a message when a benchmark name is unknown, a connection or
+/// stream fails, or a server cannot be spawned. A failed determinism or
+/// lint check is *not* an error — it lands in the report (and flips
+/// [`DriveReport::ok`]), so the CLI can exit nonzero with the full
+/// picture printed.
+pub fn drive(only: Option<&str>, options: &DriveOptions) -> Result<DriveReport, String> {
+    let suite = spec2000_suite();
+    let entries: Vec<_> = suite
+        .iter()
+        .filter(|e| only.is_none_or(|b| e.spec.name == b))
+        .collect();
+    if entries.is_empty() {
+        return Err(format!("unknown benchmark {:?}", only.unwrap_or("")));
+    }
+    let modules: Vec<(String, Arc<Module>)> = entries
+        .iter()
+        .map(|e| {
+            let spec = e.spec.clone().scaled(options.scale);
+            (spec.name.clone(), Arc::new(generate(&spec)))
+        })
+        .collect();
+
+    // Local service + optional self-hosted server.
+    let config = AggConfig {
+        shards: options.shards,
+        ..AggConfig::default()
+    };
+    let service = AggService::new(config);
+    let server = match options.transport {
+        Transport::Tcp => {
+            let resolve_map: Vec<(String, Arc<Module>)> = modules.clone();
+            let resolver: Arc<ppp_agg::ModuleResolver> = Arc::new(move |hello: &Hello| {
+                resolve_map
+                    .iter()
+                    .find(|(name, _)| *name == hello.bench)
+                    .map(|(_, m)| Arc::clone(m))
+            });
+            let listener = TcpListener::bind(("127.0.0.1", 0))
+                .map_err(|e| format!("cannot bind loopback listener: {e}"))?;
+            Some(
+                Server::spawn(
+                    listener,
+                    Arc::clone(&service),
+                    resolver,
+                    ServeOptions::default(),
+                )
+                .map_err(|e| format!("cannot spawn server: {e}"))?,
+            )
+        }
+        _ => None,
+    };
+    let references: Vec<Reference> = modules.iter().map(|_| Mutex::new(None)).collect();
+
+    // Fan the work units over the workers. Unit `u` is repeat `u / B`
+    // of benchmark `u % B`, so every benchmark gets traffic early.
+    let nbench = modules.len();
+    let units = nbench * options.repeats.max(1);
+    let started = Instant::now();
+    let stats = run_indexed(options.workers, units, |u| -> Result<UnitStats, String> {
+        let bench = u % nbench;
+        let repeat = u / nbench;
+        let (name, module) = &modules[bench];
+        let run_options = RunOptions::default()
+            .traced()
+            .with_seed(options.seed.wrapping_add(repeat as u64))
+            .with_delta_interval(options.delta_interval.max(1));
+        let result = run(module, "main", &run_options).map_err(|e| format!("{name}: {e}"))?;
+        let edges = result.edge_profile.as_ref().expect("traced run");
+        let paths = result.path_profile.as_ref().expect("traced run");
+
+        // Fold this run into the benchmark's local reference merge
+        // (pointless under --connect: there is no snapshot to compare).
+        if !matches!(options.transport, Transport::Connect(_)) {
+            let mut r = references[bench].lock().expect("reference lock");
+            match r.as_mut() {
+                Some((re, rp)) => {
+                    re.merge(edges);
+                    rp.merge(paths);
+                }
+                None => *r = Some((edges.clone(), paths.clone())),
+            }
+        }
+
+        // Stream the deltas through the configured transport.
+        let sink = match options.transport {
+            Transport::InProc => {
+                let agg = service.register(name, module)?;
+                DriveSink::InProc(InProcSink::new(agg))
+            }
+            Transport::Tcp => {
+                let addr = server.as_ref().expect("self-hosted server").addr();
+                DriveSink::Tcp(TcpSink::connect(addr).map_err(|e| format!("{name}: connect: {e}"))?)
+            }
+            Transport::Connect(addr) => DriveSink::Tcp(
+                TcpSink::connect(addr).map_err(|e| format!("{name}: connect {addr}: {e}"))?,
+            ),
+        };
+        let hello = Hello {
+            bench: name.clone(),
+            funcs: module.functions.len(),
+            scale_bits: options.scale.to_bits(),
+            worker: u as u64,
+        };
+        let mut client = AggClient::open(Arc::clone(module), sink, options.batch.max(1), &hello)
+            .map_err(|e| format!("{name}: hello: {e}"))?;
+        for d in &result.deltas {
+            client
+                .push_delta(&d.edges, &d.paths)
+                .map_err(|e| format!("{name}: stream: {e}"))?;
+        }
+        client
+            .finish()
+            .map_err(|e| format!("{name}: finish: {e}"))?;
+        let (frames, bytes) = client.sent();
+        if let DriveSink::Tcp(mut s) = client.into_sink() {
+            s.wait_ack().map_err(|e| format!("{name}: ack: {e}"))?;
+        }
+        Ok(UnitStats {
+            bench,
+            frames,
+            bytes,
+            deltas: result.deltas.len() as u64,
+            events: result.steps,
+        })
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Roll up per benchmark, then verify each snapshot where we can.
+    let mut benches: Vec<BenchDrive> = modules
+        .iter()
+        .map(|(name, _)| BenchDrive {
+            bench: name.clone(),
+            runs: 0,
+            frames: 0,
+            bytes: 0,
+            deltas: 0,
+            events: 0,
+            deterministic: None,
+            lint_clean: None,
+        })
+        .collect();
+    for s in stats {
+        let s = s?;
+        let b = &mut benches[s.bench];
+        b.runs += 1;
+        b.frames += s.frames;
+        b.bytes += s.bytes;
+        b.deltas += s.deltas;
+        b.events += s.events;
+    }
+    if !matches!(options.transport, Transport::Connect(_)) {
+        for (i, (name, module)) in modules.iter().enumerate() {
+            let agg = service
+                .get(name)
+                .ok_or_else(|| format!("{name}: never registered"))?;
+            let (snap_edges, snap_paths) = agg.snapshot();
+            let guard = references[i].lock().expect("reference lock");
+            let (re, rp) = guard.as_ref().expect("at least one run per benchmark");
+            let identical = write_edge_profile_v2(module, &snap_edges)
+                == write_edge_profile_v2(module, re)
+                && write_path_profile_v2(module, &snap_paths) == write_path_profile_v2(module, rp);
+            benches[i].deterministic = Some(identical);
+            benches[i].lint_clean = Some(ppp_lint::check_profile(module, &snap_edges).is_empty());
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
+    let events: u64 = benches.iter().map(|b| b.events).sum();
+    let events_per_sec = if wall_ms > 0.0 {
+        events as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    ppp_obs::global().metrics().set_gauge(
+        "ppp_drive_events_per_sec",
+        &[("transport", transport_label(&options.transport).as_str())],
+        events_per_sec,
+    );
+    Ok(DriveReport {
+        benches,
+        workers: options.workers.max(1),
+        shards: options.shards.max(1),
+        repeats: options.repeats.max(1),
+        transport: transport_label(&options.transport),
+        wall_ms,
+        events_per_sec,
+    })
+}
+
+fn transport_label(t: &Transport) -> String {
+    match t {
+        Transport::InProc => "in-proc".to_owned(),
+        Transport::Tcp => "tcp".to_owned(),
+        Transport::Connect(addr) => addr.to_string(),
+    }
+}
+
+/// Renders a drive report as a text table plus a throughput summary.
+pub fn drive_table(r: &DriveReport) -> String {
+    let mut t = Table::new([
+        "Benchmark",
+        "Runs",
+        "Deltas",
+        "Frames",
+        "Bytes",
+        "Events",
+        "Identical",
+        "Lint",
+    ]);
+    let verdict = |v: Option<bool>, yes: &str, no: &str| match v {
+        Some(true) => yes.to_owned(),
+        Some(false) => no.to_owned(),
+        None => "-".to_owned(),
+    };
+    for b in &r.benches {
+        t.row([
+            b.bench.clone(),
+            b.runs.to_string(),
+            b.deltas.to_string(),
+            b.frames.to_string(),
+            b.bytes.to_string(),
+            b.events.to_string(),
+            verdict(b.deterministic, "yes", "NO"),
+            verdict(b.lint_clean, "clean", "DIRTY"),
+        ]);
+    }
+    format!(
+        "drive: {} worker(s) x {} repeat(s) over {} benchmark(s), {} shard(s), {} transport\n\
+         {} frames, {} bytes in {:.0} ms -> {:.0} events/sec\n{}",
+        r.workers,
+        r.repeats,
+        r.benches.len(),
+        r.shards,
+        r.transport,
+        r.frames(),
+        r.bytes(),
+        r.wall_ms,
+        r.events_per_sec,
+        t.render()
+    )
+}
+
+/// Renders a drive report as JSON (stable keys).
+pub fn drive_json(r: &DriveReport) -> String {
+    let verdict = |v: Option<bool>| match v {
+        Some(b) => b.to_string(),
+        None => "null".to_owned(),
+    };
+    let benches = r
+        .benches
+        .iter()
+        .map(|b| {
+            format!(
+                "{{\"bench\":\"{}\",\"runs\":{},\"deltas\":{},\"frames\":{},\"bytes\":{},\
+                 \"events\":{},\"deterministic\":{},\"lint_clean\":{}}}",
+                json::escape(&b.bench),
+                b.runs,
+                b.deltas,
+                b.frames,
+                b.bytes,
+                b.events,
+                verdict(b.deterministic),
+                verdict(b.lint_clean),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"workers\":{},\"shards\":{},\"repeats\":{},\"transport\":\"{}\",\
+         \"wall_ms\":{},\"events_per_sec\":{},\"frames\":{},\"bytes\":{},\"ok\":{},\
+         \"benchmarks\":[{benches}]}}",
+        r.workers,
+        r.shards,
+        r.repeats,
+        json::escape(&r.transport),
+        json::fmt_f64(r.wall_ms),
+        json::fmt_f64(r.events_per_sec),
+        r.frames(),
+        r.bytes(),
+        r.ok(),
+    )
+}
+
+/// Hosts a standalone aggregation server (`repro serve`).
+///
+/// The resolver regenerates workload modules on demand from the
+/// benchmark name and the scale carried in each client's `Hello`, so
+/// any `repro drive --connect` at a matching scale can stream to it.
+///
+/// # Errors
+///
+/// Returns a message when the listener cannot bind.
+pub fn serve(addr: &str, shards: usize, max_conns: usize) -> Result<Server, String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let service = AggService::new(AggConfig {
+        shards,
+        ..AggConfig::default()
+    });
+    let resolver: Arc<ppp_agg::ModuleResolver> = Arc::new(|hello: &Hello| {
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == hello.bench)?;
+        let scale = f64::from_bits(hello.scale_bits);
+        let spec = if scale > 0.0 && scale.is_finite() {
+            entry.spec.clone().scaled(scale)
+        } else {
+            entry.spec.clone()
+        };
+        Some(Arc::new(generate(&spec)))
+    });
+    Server::spawn(listener, service, resolver, ServeOptions { max_conns })
+        .map_err(|e| format!("cannot spawn server: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(transport: Transport) -> DriveOptions {
+        DriveOptions {
+            workers: 2,
+            shards: 2,
+            repeats: 2,
+            scale: 0.02,
+            delta_interval: 1024,
+            transport,
+            ..DriveOptions::default()
+        }
+    }
+
+    #[test]
+    fn in_proc_drive_is_deterministic_and_lint_clean() {
+        let r = drive(Some("mcf"), &tiny(Transport::InProc)).expect("drive completes");
+        assert!(r.ok(), "{}", drive_table(&r));
+        assert_eq!(r.benches.len(), 1);
+        let b = &r.benches[0];
+        assert_eq!(b.runs, 2);
+        assert!(b.frames > 0 && b.bytes > 0 && b.deltas > 0 && b.events > 0);
+        assert_eq!(b.deterministic, Some(true));
+        assert_eq!(b.lint_clean, Some(true));
+    }
+
+    #[test]
+    fn self_hosted_tcp_drive_matches_the_reference() {
+        let r = drive(Some("vpr"), &tiny(Transport::Tcp)).expect("drive completes");
+        assert!(r.ok(), "{}", drive_table(&r));
+        assert_eq!(r.benches[0].deterministic, Some(true));
+        assert!(r.transport == "tcp");
+    }
+
+    #[test]
+    fn connect_mode_streams_to_an_external_server() {
+        let server = serve("127.0.0.1:0", 2, 8).expect("server spawns");
+        let addr = server.addr();
+        let r = drive(Some("mcf"), &tiny(Transport::Connect(addr))).expect("drive completes");
+        // No local snapshot: verdicts are skipped, traffic still flows.
+        assert_eq!(r.benches[0].deterministic, None);
+        assert!(r.benches[0].frames > 0);
+        assert!(r.ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn renderers_are_stable() {
+        let r = drive(Some("mcf"), &tiny(Transport::InProc)).expect("drive completes");
+        let table = drive_table(&r);
+        assert!(table.contains("mcf") && table.contains("events/sec"));
+        let json_doc = drive_json(&r);
+        assert!(json_doc.contains("\"ok\":true"));
+        assert!(json_doc.contains("\"bench\":\"mcf\""));
+    }
+}

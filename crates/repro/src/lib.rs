@@ -32,6 +32,7 @@
 pub mod bench;
 pub mod chaos;
 pub mod degrade;
+pub mod drive;
 pub mod format;
 pub mod inspect;
 pub mod pipeline;
@@ -48,6 +49,9 @@ pub use chaos::{
     ChaosOutcome, ChaosVerdict,
 };
 pub use degrade::{ingest_guidance, DegradationEvent, DegradationReport, LadderRung};
+pub use drive::{
+    drive, drive_json, drive_table, serve, BenchDrive, DriveOptions, DriveReport, Transport,
+};
 pub use inspect::inspect_benchmark;
 pub use pipeline::{
     lint_benchmark, pipeline_configs, prepare_benchmark, run_benchmark, run_prepared,

@@ -1,12 +1,12 @@
 //! CLI entry: regenerate the paper's tables and figures.
 
-use ppp_repro::PipelineOptions;
 use ppp_repro::{
     all_reports, baseline_from_json, baseline_json, baseline_table, chaos_json, chaos_suite,
-    chaos_table, collect_baseline, compare_baselines, fig10, fig11, fig12, fig13, fig9,
-    inspect_benchmark, lint_benchmark, regressions_json, regressions_table, run_suite, table1,
-    table2, trace_benchmark, validate_benchmark,
+    chaos_table, collect_baseline, compare_baselines, drive, drive_json, drive_table, fig10, fig11,
+    fig12, fig13, fig9, inspect_benchmark, lint_benchmark, regressions_json, regressions_table,
+    run_suite, serve, table1, table2, trace_benchmark, validate_benchmark,
 };
+use ppp_repro::{DriveOptions, PipelineOptions, Transport};
 
 fn main() {
     // All diagnostics flow through the observation sink to stderr, so
@@ -25,7 +25,16 @@ fn main() {
     let mut validate: Option<Option<String>> = None;
     let mut chaos: Option<Option<String>> = None;
     let mut bench: Option<Option<String>> = None;
+    let mut drive_cmd: Option<Option<String>> = None;
+    let mut serve_cmd = false;
     let mut trace: Option<String> = None;
+    let mut addr = "127.0.0.1:7011".to_owned();
+    let mut max_conns: usize = 64;
+    let mut shards: usize = 4;
+    let mut repeats: usize = 2;
+    let mut connect: Option<String> = None;
+    let mut tcp = false;
+    let mut scale_arg: Option<f64> = None;
     let mut out: Option<String> = None;
     let mut compare: Option<String> = None;
     let mut against: Option<String> = None;
@@ -71,6 +80,60 @@ fn main() {
                     i += 1;
                 }
                 bench = Some(next);
+            }
+            "drive" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
+                if next.is_some() {
+                    i += 1;
+                }
+                drive_cmd = Some(next);
+            }
+            "serve" => serve_cmd = true,
+            "--addr" => {
+                i += 1;
+                addr = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--addr needs host:port"));
+            }
+            "--connect" => {
+                i += 1;
+                connect = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--connect needs host:port")),
+                );
+            }
+            "--tcp" => tcp = true,
+            "--workers" => {
+                i += 1;
+                options.workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--workers needs an integer"));
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| usage("--shards needs a positive integer"));
+            }
+            "--repeats" => {
+                i += 1;
+                repeats = args
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&r| r >= 1)
+                    .unwrap_or_else(|| usage("--repeats needs a positive integer"));
+            }
+            "--max-conns" => {
+                i += 1;
+                max_conns = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--max-conns needs an integer"));
             }
             "trace" => {
                 i += 1;
@@ -130,18 +193,52 @@ fn main() {
             }
             "--scale" => {
                 i += 1;
-                options.scale = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--scale needs a number"));
+                scale_arg = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a number")),
+                );
             }
-            "--quick" => options.scale = 0.1,
+            "--quick" => scale_arg = Some(0.1),
             "--no-ablations" => options.ablations = false,
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             report => wanted.push(report.to_owned()),
         }
         i += 1;
+    }
+    if let Some(scale) = scale_arg {
+        options.scale = scale;
+    }
+    if serve_cmd {
+        std::process::exit(run_serve(&addr, shards, max_conns));
+    }
+    if let Some(only) = drive_cmd {
+        let transport = match (&connect, tcp) {
+            (Some(addr), _) => match addr.parse() {
+                Ok(a) => Transport::Connect(a),
+                Err(_) => usage(&format!("--connect: bad address {addr:?}")),
+            },
+            (None, true) => Transport::Tcp,
+            (None, false) => Transport::InProc,
+        };
+        let drive_options = DriveOptions {
+            workers: options.workers.max(1),
+            shards,
+            repeats,
+            // The driver's sweet spot is lighter than the figure
+            // pipeline's: default to a small scale unless asked.
+            scale: scale_arg.unwrap_or(DriveOptions::default().scale),
+            seed,
+            transport,
+            ..DriveOptions::default()
+        };
+        std::process::exit(run_drive(
+            only.as_deref(),
+            &format,
+            out.as_deref(),
+            &drive_options,
+        ));
     }
     if let Some(only) = bench {
         // Benchmarks run PP/TPP/PPP only (the Figure 9–13 set); the
@@ -438,6 +535,48 @@ fn run_chaos(only: Option<&str>, seed: u64, format: &str, options: &PipelineOpti
     i32::from(outcomes.iter().any(|o| !o.ok()))
 }
 
+/// Hosts a standalone aggregation server until the process is killed;
+/// returns the exit code (2 = cannot bind).
+fn run_serve(addr: &str, shards: usize, max_conns: usize) -> i32 {
+    let server = match serve(addr, shards, max_conns) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    println!("ppp-agg listening on {} ({shards} shards)", server.addr());
+    // Serve until killed; the accept loop runs on its own thread.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Runs the parallel load driver; returns the exit code (0 = every
+/// checked snapshot byte-identical and lint-clean, 1 = a check failed,
+/// 2 = the drive itself failed).
+fn run_drive(only: Option<&str>, format: &str, out: Option<&str>, options: &DriveOptions) -> i32 {
+    let report = match drive(only, options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let doc = drive_json(&report);
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("error: cannot write {path}: {e}");
+            return 2;
+        }
+    }
+    match format {
+        "json" => println!("{doc}"),
+        _ => println!("{}", drive_table(&report)),
+    }
+    i32::from(!report.ok())
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
@@ -447,10 +586,13 @@ fn usage(err: &str) -> ! {
          [table1|table2|fig9|fig10|fig11|fig12|fig13|all] \
          | inspect <benchmark> | lint [benchmark] [--format text|json] \
          | validate [benchmark] [--format text|json] \
-         | chaos [benchmark] [--seed S] [--format text|json] \
+         | chaos [benchmark] [--seed S] [--workers N] [--format text|json] \
          | bench [benchmark] [--format text|json] [--out FILE] \
-         [--compare OLD.json [--against NEW.json]] [--threshold X] [--seed S] \
-         | trace <benchmark> [--seed S]"
+         [--compare OLD.json [--against NEW.json]] [--threshold X] [--seed S] [--workers N] \
+         | trace <benchmark> [--seed S] \
+         | drive [benchmark] [--workers N] [--shards K] [--repeats R] \
+         [--tcp | --connect HOST:PORT] [--seed S] [--out FILE] [--format text|json] \
+         | serve [--addr HOST:PORT] [--shards K] [--max-conns N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -70,6 +70,11 @@ pub struct PipelineOptions {
     /// VM seed (kept fixed across the whole pipeline: the paper's *self*
     /// advice setting, §7.2).
     pub seed: u64,
+    /// Worker threads for suite-level sweeps (`repro chaos --workers`,
+    /// `repro bench --workers`). `0` or `1` runs sequentially; any value
+    /// produces byte-identical output (results are collected in suite
+    /// order and each benchmark's work is seed-deterministic).
+    pub workers: usize,
 }
 
 impl Default for PipelineOptions {
@@ -80,6 +85,7 @@ impl Default for PipelineOptions {
             metric: FlowMetric::Branch,
             ablations: false,
             seed: 0x5EED,
+            workers: 1,
         }
     }
 }

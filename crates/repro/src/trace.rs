@@ -6,10 +6,75 @@
 //! context, replaying the run, and reconstructing the span tree from the
 //! captured records. The previous context (and its metrics) is restored
 //! afterwards.
+//!
+//! Besides the figure pipeline, the trace replays the benchmark once
+//! more with incremental delta export on and streams the deltas through
+//! a sharded aggregator (`agg.replay`), so the `ppp_agg_*` metrics —
+//! frames ingested, merge/snapshot timings, batch sizes — show up in
+//! the same dump as the VM and pipeline observables.
 
 use crate::pipeline::{run_benchmark, PipelineError, PipelineOptions};
+use ppp_agg::{AggClient, AggConfig, AggService, Hello, InProcSink};
 use ppp_obs::{ObsCtx, SpanTree};
-use ppp_workloads::SuiteEntry;
+use ppp_vm::RunOptions;
+use ppp_workloads::{generate, SuiteEntry};
+use std::sync::Arc;
+
+/// Replays the benchmark's delta stream through a 2-shard aggregator
+/// under `agg.replay` spans, purely so the aggregation metrics land in
+/// the trace dump. Failures are reported as events, never fatal: the
+/// trace's job is to show what happened.
+fn replay_aggregation(ctx: &ObsCtx, entry: &SuiteEntry, options: &PipelineOptions) {
+    let span = ctx.span("agg.replay");
+    let module = Arc::new(generate(&entry.spec.clone().scaled(options.scale)));
+    let run_options = RunOptions::default()
+        .traced()
+        .with_seed(options.seed)
+        .with_delta_interval(2048);
+    let result = match ppp_vm::run(&module, "main", &run_options) {
+        Ok(r) => r,
+        Err(e) => {
+            span.event(
+                ppp_obs::Level::Error,
+                "agg.replay_failed",
+                &[("error", ppp_obs::Value::from(e.to_string()))],
+            );
+            return;
+        }
+    };
+    let service = AggService::new(AggConfig {
+        shards: 2,
+        ..AggConfig::default()
+    });
+    let stream = || -> Result<(), String> {
+        let agg = service.register(&entry.spec.name, &module)?;
+        let hello = Hello {
+            bench: entry.spec.name.clone(),
+            funcs: module.functions.len(),
+            scale_bits: options.scale.to_bits(),
+            worker: 0,
+        };
+        let mut client = AggClient::open(
+            Arc::clone(&module),
+            InProcSink::new(Arc::clone(&agg)),
+            4,
+            &hello,
+        )?;
+        for d in &result.deltas {
+            client.push_delta(&d.edges, &d.paths)?;
+        }
+        client.finish()?;
+        let _ = agg.snapshot();
+        Ok(())
+    };
+    if let Err(e) = stream() {
+        span.event(
+            ppp_obs::Level::Error,
+            "agg.replay_failed",
+            &[("error", ppp_obs::Value::from(e))],
+        );
+    }
+}
 
 /// Replays `entry` with span collection enabled and renders the
 /// per-stage breakdown tree plus the run's metric dump.
@@ -25,6 +90,9 @@ pub fn trace_benchmark(
     let (ctx, collect) = ObsCtx::collecting();
     ppp_obs::install_global(ctx.clone());
     let outcome = run_benchmark(entry, options);
+    if outcome.is_ok() {
+        replay_aggregation(&ctx, entry, options);
+    }
     ppp_obs::install_global(previous);
     let run = outcome?;
 
@@ -68,5 +136,10 @@ mod tests {
             text.contains("profiler=\"PPP\""),
             "per-profiler labels present: {text}"
         );
+        // The aggregation replay contributes its stage and metrics too.
+        assert!(text.contains("agg.replay"), "{text}");
+        assert!(text.contains("ppp_agg_frames_ingested_total"), "{text}");
+        assert!(text.contains("ppp_agg_deltas_merged_total"), "{text}");
+        assert!(text.contains("ppp_agg_snapshot_micros"), "{text}");
     }
 }

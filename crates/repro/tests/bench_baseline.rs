@@ -20,6 +20,35 @@ fn tiny() -> PipelineOptions {
     }
 }
 
+/// `repro bench --workers N` changes wall-clock only: every gated
+/// quantity — and the artifact bytes once the machine-dependent
+/// `wall_ms` is masked — matches the sequential run exactly.
+#[test]
+fn parallel_baseline_matches_sequential() {
+    let sequential = PipelineOptions {
+        scale: 0.01,
+        workers: 1,
+        ..PipelineOptions::default()
+    };
+    let parallel = PipelineOptions {
+        workers: 4,
+        ..sequential
+    };
+    let mut a = collect_baseline(None, &sequential);
+    let mut b = collect_baseline(None, &parallel);
+    assert_eq!(b.benchmarks.len(), 18);
+    assert!(
+        compare_baselines(&a, &b, 0.0)
+            .expect("comparable")
+            .is_empty(),
+        "gated quantities must not move under --workers"
+    );
+    for r in a.benchmarks.iter_mut().chain(b.benchmarks.iter_mut()) {
+        r.wall_ms = 0.0;
+    }
+    assert_eq!(baseline_json(&a), baseline_json(&b));
+}
+
 /// `repro bench --format json` output (the artifact `baseline_json`
 /// prints verbatim) parses back and covers all 18 benchmarks with the
 /// Figure 9–13 quantities.

@@ -62,4 +62,4 @@ pub use cost::CostModel;
 pub use machine::{run, run_func, HaltReason, RunOptions, RunResult, VmError};
 pub use rng::SplitMix64;
 pub use storage::{CounterTable, ProfileStore};
-pub use trace::{EdgeClassifier, EdgeKind, PathCursor, TraceFaults, Tracer};
+pub use trace::{EdgeClassifier, EdgeKind, PathCursor, ProfileDelta, TraceFaults, Tracer};

@@ -70,6 +70,11 @@ pub struct RunOptions {
     /// Deterministic trace-event dropping (fault injection; only
     /// meaningful when `trace` is set).
     pub trace_faults: Option<TraceFaults>,
+    /// Cut an incremental [`ProfileDelta`](crate::trace::ProfileDelta) every this many trace events
+    /// (0 = keep the whole profile until exit; only meaningful when
+    /// `trace` is set). Merging a run's deltas reproduces its cumulative
+    /// profiles exactly.
+    pub delta_interval: u64,
 }
 
 impl Default for RunOptions {
@@ -83,6 +88,7 @@ impl Default for RunOptions {
             cost: CostModel::default(),
             max_call_depth: 512,
             trace_faults: None,
+            delta_interval: 0,
         }
     }
 }
@@ -111,6 +117,14 @@ impl RunOptions {
     /// nothing unless tracing is also enabled).
     pub fn with_trace_faults(mut self, faults: TraceFaults) -> Self {
         self.trace_faults = Some(faults);
+        self
+    }
+
+    /// Returns options that cut an incremental profile delta every
+    /// `interval` trace events (implies nothing unless tracing is
+    /// enabled).
+    pub fn with_delta_interval(mut self, interval: u64) -> Self {
+        self.delta_interval = interval;
         self
     }
 }
@@ -144,6 +158,10 @@ pub struct RunResult {
     /// `(edge events, path completions)` dropped by injected trace faults
     /// (always `(0, 0)` without [`RunOptions::trace_faults`]).
     pub trace_events_dropped: (u64, u64),
+    /// Incremental profile deltas cut during the run (empty without
+    /// [`RunOptions::delta_interval`]); merging them reproduces
+    /// `edge_profile`/`path_profile` exactly.
+    pub deltas: Vec<crate::trace::ProfileDelta>,
 }
 
 impl RunResult {
@@ -284,6 +302,9 @@ impl<'m> Interp<'m> {
                 if let Some(f) = opts.trace_faults {
                     t.inject_faults(f);
                 }
+                if opts.delta_interval > 0 {
+                    t.enable_deltas(module, opts.delta_interval);
+                }
                 t
             }),
             stack: Vec::new(),
@@ -314,14 +335,15 @@ impl<'m> Interp<'m> {
     fn run(mut self, entry: FuncId) -> RunResult {
         self.push_frame(entry, &[], None);
         let halt = self.exec_loop();
-        let (edge_profile, path_profile, path_sequence, trace_events_dropped) = match self.tracer {
-            Some(t) => {
-                let dropped = t.dropped_events();
-                let (e, p, s) = t.finish_with_sequence(self.module);
-                (Some(e), Some(p), s, dropped)
-            }
-            None => (None, None, Vec::new(), (0, 0)),
-        };
+        let (edge_profile, path_profile, path_sequence, trace_events_dropped, deltas) =
+            match self.tracer {
+                Some(t) => {
+                    let dropped = t.dropped_events();
+                    let (e, p, s, d) = t.finish_full(self.module);
+                    (Some(e), Some(p), s, dropped, d)
+                }
+                None => (None, None, Vec::new(), (0, 0), Vec::new()),
+            };
         RunResult {
             halt,
             checksum: self.checksum,
@@ -335,6 +357,7 @@ impl<'m> Interp<'m> {
             path_profile,
             path_sequence,
             trace_events_dropped,
+            deltas,
         }
     }
 

@@ -242,24 +242,32 @@ impl ProfileStore {
         self.tables.is_empty()
     }
 
-    /// Total lost paths across all tables.
+    /// Total lost paths across all tables (saturating, like every
+    /// counter total in the system: pinned tables must not wrap the sum).
     pub fn total_lost(&self) -> u64 {
-        self.tables.iter().map(CounterTable::lost).sum()
+        self.fold_tables(CounterTable::lost)
     }
 
-    /// Total poisoned paths across all tables.
+    /// Total poisoned paths across all tables (saturating).
     pub fn total_cold(&self) -> u64 {
-        self.tables.iter().map(CounterTable::cold).sum()
+        self.fold_tables(CounterTable::cold)
     }
 
-    /// Total hash-probe collisions across all tables.
+    /// Total hash-probe collisions across all tables (saturating).
     pub fn total_collisions(&self) -> u64 {
-        self.tables.iter().map(CounterTable::collisions).sum()
+        self.fold_tables(CounterTable::collisions)
     }
 
-    /// Total counters pinned at [`u64::MAX`] across all tables.
+    /// Total counters pinned at [`u64::MAX`] across all tables
+    /// (saturating).
     pub fn total_saturated(&self) -> u64 {
-        self.tables.iter().map(CounterTable::saturated_count).sum()
+        self.fold_tables(CounterTable::saturated_count)
+    }
+
+    fn fold_tables(&self, f: impl Fn(&CounterTable) -> u64) -> u64 {
+        self.tables
+            .iter()
+            .fold(0u64, |acc, t| acc.saturating_add(f(t)))
     }
 
     /// Iterates over the tables.

@@ -154,6 +154,79 @@ pub struct PathCursor {
     state: u32,
 }
 
+/// One cut of a traced run's incremental profile stream: the edge and
+/// path flow accumulated since the previous cut (or since the start of
+/// the run, for the first delta).
+///
+/// Deltas exist so N concurrent VM workers can stream partial profiles
+/// to an aggregation tier (`ppp-agg`) instead of holding a whole run's
+/// profile until exit. Merging every delta of a run — in any order,
+/// with saturating adds — reproduces exactly the profiles
+/// [`Tracer::finish`] returns; the VM tests pin that invariant.
+#[derive(Clone, Debug)]
+pub struct ProfileDelta {
+    /// Edge/block/entry flow since the previous cut.
+    pub edges: ModuleEdgeProfile,
+    /// Path completions since the previous cut.
+    pub paths: ModulePathProfile,
+}
+
+/// Incremental delta accumulation (armed by [`Tracer::enable_deltas`]).
+///
+/// Path completions are staged as `(trie state, count)` — states are
+/// only resolvable to [`PathKey`]s against the trie, so raw cuts are
+/// held until [`Tracer::finish`] sees the module.
+#[derive(Clone, Debug)]
+struct DeltaState {
+    /// Trace events (entries + edges + completions) per cut.
+    interval: u64,
+    /// Events recorded since the last cut.
+    tick: u64,
+    /// Edge flow since the last cut.
+    edges: ModuleEdgeProfile,
+    /// Per-function completed-path counts since the last cut, keyed by
+    /// trie state.
+    paths: Vec<HashMap<u32, u64>>,
+    /// Finished raw cuts, resolved at `finish`.
+    cuts: Vec<(ModuleEdgeProfile, Vec<HashMap<u32, u64>>)>,
+}
+
+impl DeltaState {
+    fn new(module: &Module, interval: u64) -> Self {
+        Self {
+            interval,
+            tick: 0,
+            edges: ModuleEdgeProfile::zeroed(module),
+            paths: vec![HashMap::new(); module.functions.len()],
+            cuts: Vec::new(),
+        }
+    }
+
+    /// `true` when anything accumulated since the last cut.
+    fn dirty(&self) -> bool {
+        self.tick > 0
+    }
+
+    fn cut(&mut self) {
+        let edges = self.edges.clone();
+        for f in &mut self.edges.funcs {
+            f.zero();
+        }
+        let n = self.paths.len();
+        let paths = std::mem::replace(&mut self.paths, vec![HashMap::new(); n]);
+        self.cuts.push((edges, paths));
+        self.tick = 0;
+    }
+
+    /// Counts one recorded event; cuts when the interval fills.
+    fn tick(&mut self) {
+        self.tick += 1;
+        if self.tick >= self.interval {
+            self.cut();
+        }
+    }
+}
+
 /// Deterministic trace-event fault injection (testing only).
 ///
 /// Real profile collectors lose events — ring buffers wrap, signals race,
@@ -188,6 +261,8 @@ pub struct Tracer {
     sequence: Option<Vec<(FuncId, u32)>>,
     /// Active fault-injection plan, if any.
     faults: Option<TraceFaults>,
+    /// Incremental delta accumulation, if armed.
+    delta: Option<DeltaState>,
     /// Edge events observed since the last edge drop.
     edge_tick: u64,
     /// Path completions observed since the last path drop.
@@ -207,6 +282,7 @@ impl Tracer {
             tries: vec![PathTrie::default(); module.functions.len()],
             sequence: None,
             faults: None,
+            delta: None,
             edge_tick: 0,
             path_tick: 0,
             dropped_edges: 0,
@@ -218,6 +294,18 @@ impl Tracer {
     /// (memory: one entry per dynamic path).
     pub fn record_sequence(&mut self) {
         self.sequence = Some(Vec::new());
+    }
+
+    /// Arms incremental delta export: every `interval` recorded trace
+    /// events (entries, edges, path completions) the accumulated flow is
+    /// cut into a [`ProfileDelta`], retrievable from
+    /// [`Tracer::finish_full`]. Fault-dropped events never reach a delta,
+    /// so merged deltas always equal the cumulative profiles — damaged
+    /// or not.
+    pub fn enable_deltas(&mut self, module: &Module, interval: u64) {
+        if interval > 0 {
+            self.delta = Some(DeltaState::new(module, interval));
+        }
     }
 
     /// Arms deterministic trace-event dropping (see [`TraceFaults`]).
@@ -275,6 +363,12 @@ impl Tracer {
         let p = self.edges.func_mut(func);
         p.bump_entry();
         p.bump_block(entry);
+        if let Some(d) = &mut self.delta {
+            let p = d.edges.func_mut(func);
+            p.bump_entry();
+            p.bump_block(entry);
+            d.tick();
+        }
         PathCursor {
             state: self.tries[func.index()].root(entry),
         }
@@ -296,6 +390,12 @@ impl Tracer {
             let prof = self.edges.func_mut(func);
             prof.bump_edge(e);
             prof.bump_block(target);
+            if let Some(d) = &mut self.delta {
+                let prof = d.edges.func_mut(func);
+                prof.bump_edge(e);
+                prof.bump_block(target);
+                d.tick();
+            }
         }
         let trie = &mut self.tries[func.index()];
         match self.classifiers[func.index()].kind(e) {
@@ -313,6 +413,7 @@ impl Tracer {
                     if let Some(seq) = &mut self.sequence {
                         seq.push((func, end_state));
                     }
+                    self.delta_path(func, end_state);
                 }
                 cursor.state = self.tries[func.index()].root(target);
             }
@@ -327,6 +428,16 @@ impl Tracer {
         self.tries[func.index()].end_path(cursor.state);
         if let Some(seq) = &mut self.sequence {
             seq.push((func, cursor.state));
+        }
+        self.delta_path(func, cursor.state);
+    }
+
+    /// Stages one path completion into the current delta cut.
+    fn delta_path(&mut self, func: FuncId, state: u32) {
+        if let Some(d) = &mut self.delta {
+            let c = d.paths[func.index()].entry(state).or_insert(0);
+            *c = c.saturating_add(1);
+            d.tick();
         }
     }
 
@@ -343,25 +454,66 @@ impl Tracer {
         self,
         module: &Module,
     ) -> (ModuleEdgeProfile, ModulePathProfile, Vec<(FuncId, PathKey)>) {
+        let (edges, paths, seq, _) = self.finish_full(module);
+        (edges, paths, seq)
+    }
+
+    /// Finishes tracing, returning everything the tracer accumulated:
+    /// cumulative profiles, the resolved path stream (empty unless
+    /// [`Tracer::record_sequence`] was called), and the delta stream
+    /// (empty unless [`Tracer::enable_deltas`] was called). Merging all
+    /// deltas reproduces the cumulative profiles exactly.
+    #[allow(clippy::type_complexity)]
+    pub fn finish_full(
+        mut self,
+        module: &Module,
+    ) -> (
+        ModuleEdgeProfile,
+        ModulePathProfile,
+        Vec<(FuncId, PathKey)>,
+        Vec<ProfileDelta>,
+    ) {
+        // Flush the tail of the delta stream before reconstructing.
+        if let Some(d) = &mut self.delta {
+            if d.dirty() {
+                d.cut();
+            }
+        }
         let mut paths = ModulePathProfile::with_capacity(module.functions.len());
         for (i, trie) in self.tries.iter().enumerate() {
             let func = FuncId::new(i);
             trie.reconstruct(module.function(func), paths.func_mut(func));
         }
+        // Cache state -> key resolution per function; shared by the
+        // sequence and the delta cuts.
+        let mut cache: Vec<HashMap<u32, PathKey>> = vec![HashMap::new(); self.tries.len()];
+        let mut resolve = |tries: &[PathTrie], fi: usize, state: u32| -> PathKey {
+            cache[fi]
+                .entry(state)
+                .or_insert_with(|| tries[fi].key_of(state))
+                .clone()
+        };
         let mut resolved = Vec::new();
-        if let Some(seq) = self.sequence {
-            // Cache state -> key resolution per function.
-            let mut cache: Vec<std::collections::HashMap<u32, PathKey>> =
-                vec![std::collections::HashMap::new(); self.tries.len()];
+        if let Some(seq) = self.sequence.take() {
             for (func, state) in seq {
-                let key = cache[func.index()]
-                    .entry(state)
-                    .or_insert_with(|| self.tries[func.index()].key_of(state))
-                    .clone();
-                resolved.push((func, key));
+                resolved.push((func, resolve(&self.tries, func.index(), state)));
             }
         }
-        (self.edges, paths, resolved)
+        let mut deltas = Vec::new();
+        if let Some(d) = self.delta.take() {
+            for (edges, raw_paths) in d.cuts {
+                let mut dp = ModulePathProfile::with_capacity(module.functions.len());
+                for (fi, states) in raw_paths.into_iter().enumerate() {
+                    let f = module.function(FuncId::new(fi));
+                    for (state, count) in states {
+                        let key = resolve(&self.tries, fi, state);
+                        dp.funcs[fi].record(f, key, count);
+                    }
+                }
+                deltas.push(ProfileDelta { edges, paths: dp });
+            }
+        }
+        (self.edges, paths, resolved, deltas)
     }
 }
 
@@ -491,6 +643,57 @@ mod tests {
         assert!(d1 > 0);
         assert_eq!(flow1 + d1, 11, "dropped paths are exactly the missing flow");
         assert_eq!((d1, flow1), (d2, flow2), "same seed, same losses");
+    }
+
+    #[test]
+    fn deltas_merge_back_to_cumulative_profiles() {
+        let m = looped();
+        // Tiny interval forces many cuts; the merged stream must equal a
+        // delta-free trace exactly.
+        for interval in [1u64, 3, 1000] {
+            let mut t = Tracer::new(&m);
+            t.enable_deltas(&m, interval);
+            run_looped_iters(&mut t, 10);
+            run_looped_iters(&mut t, 2);
+            let (edges, paths, _, deltas) = t.finish_full(&m);
+            if interval == 1 {
+                assert!(deltas.len() > 10, "interval 1 cuts per event");
+            }
+            let mut medges = ppp_ir::ModuleEdgeProfile::zeroed(&m);
+            let mut mpaths = ppp_ir::ModulePathProfile::with_capacity(m.functions.len());
+            for d in &deltas {
+                medges.merge(&d.edges);
+                mpaths.merge(&d.paths);
+            }
+            assert_eq!(medges, edges, "interval {interval}: edges");
+            assert_eq!(mpaths, paths, "interval {interval}: paths");
+            assert!(edges.is_flow_conservative(&m));
+        }
+    }
+
+    #[test]
+    fn deltas_mirror_fault_dropped_events() {
+        let m = looped();
+        let mut t = Tracer::new(&m);
+        t.enable_deltas(&m, 2);
+        t.inject_faults(TraceFaults {
+            drop_edge_every: 3,
+            drop_path_every: 4,
+            seed: 7,
+        });
+        run_looped_iters(&mut t, 10);
+        let (de, dp) = t.dropped_events();
+        assert!(de > 0 && dp > 0);
+        let (edges, paths, _, deltas) = t.finish_full(&m);
+        let mut medges = ppp_ir::ModuleEdgeProfile::zeroed(&m);
+        let mut mpaths = ppp_ir::ModulePathProfile::with_capacity(m.functions.len());
+        for d in &deltas {
+            medges.merge(&d.edges);
+            mpaths.merge(&d.paths);
+        }
+        // Dropped events are missing from *both* sides equally.
+        assert_eq!(medges, edges);
+        assert_eq!(mpaths, paths);
     }
 
     #[test]
