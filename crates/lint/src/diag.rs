@@ -11,6 +11,7 @@
 //! | `PPP1xx`  | instrumentation soundness (path semantics)   |
 //! | `PPP2xx`  | plan conformance (placement bookkeeping)     |
 //! | `PPP3xx`  | translation validation & profile consistency |
+//! | `PPP4xx`  | stale-profile matching & transfer (`ppp-match`) |
 
 use ppp_ir::{BlockId, FuncId};
 use std::fmt;
@@ -101,11 +102,27 @@ pub enum Code {
     /// `PPP308` — an edge profile violates Kirchhoff flow conservation
     /// (Σ in-edges = block frequency = Σ out-edges, modulo entry/exit).
     FlowConservation,
+    /// `PPP401` — a block of the old program version has no anchor and no
+    /// propagated match in the new version: its profile flow cannot be
+    /// transferred and is lost.
+    UnanchoredBlock,
+    /// `PPP402` — a block's anchor hash matches several candidate blocks
+    /// and dominator/loop structure cannot disambiguate them; matching it
+    /// would be a guess, so it stays unmatched.
+    AmbiguousAnchor,
+    /// `PPP403` — a region of the new version has no old counterpart but
+    /// sits between matched blocks (a split or merged region); its counts
+    /// are reconstructed from the surrounding matched flow.
+    SplitMergedRegion,
+    /// `PPP404` — a transferred profile violates Kirchhoff flow
+    /// conservation even after boundary renormalization; the function's
+    /// transferred counts are discarded (zeroed) rather than trusted.
+    NonConservativeTransfer,
 }
 
 impl Code {
     /// Every registered code, in code order.
-    pub const ALL: [Code; 20] = [
+    pub const ALL: [Code; 24] = [
         Code::UnreachableBlock,
         Code::UseBeforeInit,
         Code::DeadWrite,
@@ -126,6 +143,10 @@ impl Code {
         Code::InlineProtocol,
         Code::ProfileShape,
         Code::FlowConservation,
+        Code::UnanchoredBlock,
+        Code::AmbiguousAnchor,
+        Code::SplitMergedRegion,
+        Code::NonConservativeTransfer,
     ];
 
     /// The stable code string (`"PPP001"`, ...).
@@ -151,14 +172,23 @@ impl Code {
             Code::InlineProtocol => "PPP306",
             Code::ProfileShape => "PPP307",
             Code::FlowConservation => "PPP308",
+            Code::UnanchoredBlock => "PPP401",
+            Code::AmbiguousAnchor => "PPP402",
+            Code::SplitMergedRegion => "PPP403",
+            Code::NonConservativeTransfer => "PPP404",
         }
     }
 
     /// The severity every diagnostic with this code carries.
     pub fn severity(self) -> Severity {
         match self {
-            Code::UnreachableBlock | Code::DeadWrite | Code::MaybeUninit => Severity::Info,
-            Code::UseBeforeInit => Severity::Warning,
+            Code::UnreachableBlock
+            | Code::DeadWrite
+            | Code::MaybeUninit
+            | Code::SplitMergedRegion => Severity::Info,
+            Code::UseBeforeInit | Code::UnanchoredBlock | Code::AmbiguousAnchor => {
+                Severity::Warning
+            }
             Code::PathNumbering
             | Code::CounterBounds
             | Code::CountMultiplicity
@@ -174,7 +204,8 @@ impl Code {
             | Code::UnrollGuard
             | Code::InlineProtocol
             | Code::ProfileShape
-            | Code::FlowConservation => Severity::Error,
+            | Code::FlowConservation
+            | Code::NonConservativeTransfer => Severity::Error,
         }
     }
 
@@ -201,6 +232,10 @@ impl Code {
             Code::InlineProtocol => "inline splice violates the call protocol",
             Code::ProfileShape => "edge profile shape does not match the module",
             Code::FlowConservation => "edge profile violates flow conservation",
+            Code::UnanchoredBlock => "old block has no anchor or propagated match",
+            Code::AmbiguousAnchor => "anchor matches several candidates; structure cannot decide",
+            Code::SplitMergedRegion => "new region between matched blocks (split/merge)",
+            Code::NonConservativeTransfer => "transferred profile not conservative; zeroed",
         }
     }
 }

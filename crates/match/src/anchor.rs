@@ -1,0 +1,272 @@
+//! Hash-based block anchors.
+//!
+//! An *anchor* is a content fingerprint of a basic block that is stable
+//! across the edits a dynamic optimizer (or an ordinary code change)
+//! makes to *other* parts of the function: register renumbering, block
+//! renumbering, and control-flow rewiring elsewhere. Anchors deliberately
+//! exclude register numbers and successor block ids — only opcode shape,
+//! immediate constants, callee names, and terminator structure survive
+//! into the hash, following the spirit of Ayupov/Panchenko/Pupyrev's
+//! stale-profile matching.
+//!
+//! Each block gets four signatures of decreasing strength:
+//!
+//! * **strong** — the ordered opcode sequence with constants, operator
+//!   mnemonics, callee names, and the terminator kind/arity mixed in. Two
+//!   blocks with equal strong hashes are, for matching purposes, the same
+//!   code.
+//! * **weak** — the order-insensitive opcode multiset plus the terminator
+//!   kind/arity. Survives instruction scheduling.
+//! * **calls** — the ordered callee-name sequence (the call-site
+//!   signature). Calls are rare and near-unique, so this is a high-value
+//!   tiebreaker.
+//! * **branch** — the terminator kind and successor arity only (the
+//!   branch-structure signature), used as a last-resort compatibility
+//!   check during structural propagation.
+//!
+//! A whole-function fingerprint (FNV over the ordered strong hashes) is
+//! the *anchor identity* used to re-pair renamed functions at module
+//! level.
+
+use ppp_ir::{analyze_loops, Block, BlockId, Function, Inst, Module, Terminator};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a, the only hasher used by the anchor pass (stable
+/// across platforms and Rust versions, unlike `DefaultHasher`).
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn word(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn text(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+        self.byte(0xff); // delimiter so "ab"+"c" != "a"+"bc"
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Opcode tag for the multiset (weak) hash; register operands are
+/// ignored by design.
+fn inst_tag(inst: &Inst) -> u8 {
+    match inst {
+        Inst::Const { .. } => 0,
+        Inst::Copy { .. } => 1,
+        Inst::Unary { .. } => 2,
+        Inst::Binary { .. } => 3,
+        Inst::Load { .. } => 4,
+        Inst::Store { .. } => 5,
+        Inst::Rand { .. } => 6,
+        Inst::Call { .. } => 7,
+        Inst::Emit { .. } => 8,
+        Inst::Prof(_) => 9,
+    }
+}
+
+const TAG_COUNT: usize = 10;
+
+fn term_tag(term: &Terminator) -> u8 {
+    match term {
+        Terminator::Jump { .. } => 0,
+        Terminator::Branch { .. } => 1,
+        Terminator::Switch { .. } => 2,
+        Terminator::Return { .. } => 3,
+    }
+}
+
+/// Mixes one instruction's content (not its registers) into `h`.
+fn hash_inst(h: &mut Fnv, module: &Module, inst: &Inst) {
+    h.byte(inst_tag(inst));
+    match inst {
+        Inst::Const { value, .. } => h.word(*value as u64),
+        Inst::Unary { op, .. } => h.text(op.mnemonic()),
+        Inst::Binary { op, .. } => h.text(op.mnemonic()),
+        Inst::Call { dst, callee, args } => {
+            h.text(&module.function(*callee).name);
+            h.word(args.len() as u64);
+            h.byte(u8::from(dst.is_some()));
+        }
+        _ => {}
+    }
+}
+
+/// The four per-block signatures; see the module docs for their roles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockAnchor {
+    /// Ordered content hash: opcode sequence, constants, operators,
+    /// callee names, terminator kind and arity.
+    pub strong: u64,
+    /// Order-insensitive opcode multiset plus terminator kind/arity.
+    pub weak: u64,
+    /// Ordered callee-name sequence; [`NO_CALLS`](Self::NO_CALLS) when
+    /// the block makes no calls.
+    pub calls: u64,
+    /// Terminator kind and successor arity only.
+    pub branch: u64,
+}
+
+impl BlockAnchor {
+    /// The `calls` signature of a block without call instructions.
+    pub const NO_CALLS: u64 = 0;
+}
+
+fn anchor_block(module: &Module, block: &Block) -> BlockAnchor {
+    let mut strong = Fnv::new();
+    let mut calls = Fnv::new();
+    let mut counts = [0u32; TAG_COUNT];
+    let mut has_calls = false;
+    for inst in &block.insts {
+        hash_inst(&mut strong, module, inst);
+        counts[inst_tag(inst) as usize] += 1;
+        if let Inst::Call { callee, args, .. } = inst {
+            calls.text(&module.function(*callee).name);
+            calls.word(args.len() as u64);
+            has_calls = true;
+        }
+    }
+    let mut branch = Fnv::new();
+    branch.byte(term_tag(&block.term));
+    branch.word(block.term.successor_count() as u64);
+    let branch = branch.finish();
+
+    strong.byte(term_tag(&block.term));
+    strong.word(block.term.successor_count() as u64);
+
+    let mut weak = Fnv::new();
+    for c in counts {
+        weak.word(u64::from(c));
+    }
+    weak.byte(term_tag(&block.term));
+    weak.word(block.term.successor_count() as u64);
+
+    BlockAnchor {
+        strong: strong.finish(),
+        weak: weak.finish(),
+        calls: if has_calls {
+            calls.finish()
+        } else {
+            BlockAnchor::NO_CALLS
+        },
+        branch,
+    }
+}
+
+/// All anchors for one function, plus the dominator/loop context the
+/// matcher propagates over.
+#[derive(Clone, Debug)]
+pub struct AnchorSet {
+    /// Per-block signatures, indexed by [`BlockId`].
+    pub anchors: Vec<BlockAnchor>,
+    /// Loop-nesting depth of each block (0 outside any loop).
+    pub loop_depth: Vec<u32>,
+    /// Immediate dominator of each block (`None` for the entry and
+    /// unreachable blocks).
+    pub idom: Vec<Option<BlockId>>,
+    /// Whole-function anchor identity: FNV over arity, block count, and
+    /// the ordered strong hashes.
+    pub fingerprint: u64,
+}
+
+/// Computes anchors, loop depths, and idoms for every block of `f`.
+pub fn anchor_function(module: &Module, f: &Function) -> AnchorSet {
+    let (_cfg, dom, loops) = analyze_loops(f);
+    let anchors: Vec<BlockAnchor> = f.blocks.iter().map(|b| anchor_block(module, b)).collect();
+    let loop_depth: Vec<u32> = f.block_ids().map(|b| loops.depth(b)).collect();
+    let idom: Vec<Option<BlockId>> = f.block_ids().map(|b| dom.idom(b)).collect();
+    let mut fp = Fnv::new();
+    fp.word(u64::from(f.param_count));
+    fp.word(f.blocks.len() as u64);
+    for a in &anchors {
+        fp.word(a.strong);
+    }
+    AnchorSet {
+        anchors,
+        loop_depth,
+        idom,
+        fingerprint: fp.finish(),
+    }
+}
+
+/// The anchor identity of a whole function: equal fingerprints mean the
+/// functions are the same code block-for-block (names and register
+/// numbers aside). Used by module-level matching to re-pair renamed
+/// functions.
+pub fn function_fingerprint(module: &Module, f: &Function) -> u64 {
+    anchor_function(module, f).fingerprint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_ir::FunctionBuilder;
+
+    fn diamond(name: &str, k: i64) -> Function {
+        let mut b = FunctionBuilder::new(name, 1);
+        let c = b.constant(k);
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn identical_functions_identical_anchors() {
+        let mut m = Module::new();
+        m.add_function(diamond("a", 7));
+        m.add_function(diamond("b", 7));
+        let a = anchor_function(&m, m.function(ppp_ir::FuncId(0)));
+        let b = anchor_function(&m, m.function(ppp_ir::FuncId(1)));
+        assert_eq!(a.anchors, b.anchors);
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn constant_change_breaks_strong_keeps_weak() {
+        let mut m = Module::new();
+        m.add_function(diamond("a", 7));
+        m.add_function(diamond("b", 8));
+        let a = anchor_function(&m, m.function(ppp_ir::FuncId(0)));
+        let b = anchor_function(&m, m.function(ppp_ir::FuncId(1)));
+        assert_ne!(a.anchors[0].strong, b.anchors[0].strong);
+        assert_eq!(a.anchors[0].weak, b.anchors[0].weak);
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn duplicate_blocks_share_anchors() {
+        let m = {
+            let mut m = Module::new();
+            m.add_function(diamond("a", 7));
+            m
+        };
+        let a = anchor_function(&m, m.function(ppp_ir::FuncId(0)));
+        // The two `jump j` arms of the diamond are byte-identical.
+        assert_eq!(a.anchors[1].strong, a.anchors[2].strong);
+    }
+}

@@ -1,0 +1,410 @@
+//! Module-level matching and the matched-stale profile loaders.
+//!
+//! The persist-v2 stale loaders (PR 3) match sections to functions by
+//! *name* and drop everything that no longer fits. The matched-stale mode
+//! layered here goes two steps further:
+//!
+//! 1. functions are paired by name first and by **anchor identity**
+//!    second — a renamed-but-identical function (equal whole-function
+//!    fingerprint, unique on both sides) keeps its profile instead of
+//!    being dropped;
+//! 2. each paired function's profile is pushed through the CFG matcher
+//!    and [transferred](crate::transfer) onto the new CFG, renormalizing
+//!    at matched-region boundaries, so edits *inside* a function no
+//!    longer void its profile.
+//!
+//! Every transferred edge profile satisfies PPP308 flow conservation;
+//! an identity transfer (same program) is lossless and byte-identical.
+//!
+//! Loading emits `ppp_stale_*` / `ppp_match_*` metrics through the
+//! ambient [`ppp_obs`] context so silent profile drops are observable.
+
+use crate::anchor::function_fingerprint;
+use crate::matcher::{match_functions, MatchReport};
+use crate::transfer::{transfer_edge_profile, transfer_path_profile};
+use ppp_ir::{
+    read_edge_profile_stale, read_path_profile_stale, FuncId, Module, ModuleEdgeProfile,
+    ModulePathProfile, ProfileLoadError, StaleReport,
+};
+use ppp_lint::{Code, Diagnostic, LintReport, Severity};
+use std::collections::HashMap;
+
+/// How a function pair was discovered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PairMethod {
+    /// Same name in both modules.
+    Name,
+    /// Renamed, but unique equal anchor fingerprints on both sides.
+    Anchor,
+}
+
+/// One old→new function pairing with its block-level match.
+#[derive(Clone, Debug)]
+pub struct FuncPair {
+    /// Function id in the old module.
+    pub old: FuncId,
+    /// Function id in the new module.
+    pub new: FuncId,
+    /// How the pair was discovered.
+    pub method: PairMethod,
+    /// The block-level match between the two versions.
+    pub report: MatchReport,
+}
+
+/// The full old→new module correspondence.
+#[derive(Clone, Debug, Default)]
+pub struct ModuleMatch {
+    /// Matched function pairs, ordered by old function id.
+    pub pairs: Vec<FuncPair>,
+    /// Old functions with no counterpart (their profiles are dropped).
+    pub unmatched_old: Vec<FuncId>,
+    /// New functions with no pre-image (they start unprofiled).
+    pub unmatched_new: Vec<FuncId>,
+}
+
+impl ModuleMatch {
+    /// Number of pairs found by anchor identity rather than name.
+    pub fn anchor_paired(&self) -> usize {
+        self.pairs
+            .iter()
+            .filter(|p| p.method == PairMethod::Anchor)
+            .count()
+    }
+
+    /// `true` when every pair is a block-level identity and nothing went
+    /// unmatched on either side.
+    pub fn is_identity(&self) -> bool {
+        self.unmatched_old.is_empty()
+            && self.unmatched_new.is_empty()
+            && self.pairs.iter().all(|p| p.report.identity)
+    }
+}
+
+/// Pairs the functions of two module versions (by name, then by unique
+/// anchor identity) and matches each pair's CFGs.
+pub fn match_modules(old: &Module, new: &Module) -> ModuleMatch {
+    let mut paired_new = vec![false; new.functions.len()];
+    let mut pairs: Vec<(FuncId, FuncId, PairMethod)> = Vec::new();
+    let mut leftovers: Vec<FuncId> = Vec::new();
+    for old_id in old.func_ids() {
+        match new.function_by_name(&old.function(old_id).name) {
+            Some(new_id) => {
+                paired_new[new_id.index()] = true;
+                pairs.push((old_id, new_id, PairMethod::Name));
+            }
+            None => leftovers.push(old_id),
+        }
+    }
+    // Anchor-identity fallback: unique fingerprint on both sides.
+    let mut new_by_fp: HashMap<u64, Vec<FuncId>> = HashMap::new();
+    for new_id in new.func_ids() {
+        if !paired_new[new_id.index()] {
+            new_by_fp
+                .entry(function_fingerprint(new, new.function(new_id)))
+                .or_default()
+                .push(new_id);
+        }
+    }
+    let mut old_by_fp: HashMap<u64, Vec<FuncId>> = HashMap::new();
+    for &old_id in &leftovers {
+        old_by_fp
+            .entry(function_fingerprint(old, old.function(old_id)))
+            .or_default()
+            .push(old_id);
+    }
+    let mut unmatched_old = Vec::new();
+    for old_id in leftovers {
+        let fp = function_fingerprint(old, old.function(old_id));
+        let unique = old_by_fp[&fp].len() == 1;
+        match new_by_fp.get(&fp).map(Vec::as_slice) {
+            Some([new_id]) if unique && !paired_new[new_id.index()] => {
+                paired_new[new_id.index()] = true;
+                pairs.push((old_id, *new_id, PairMethod::Anchor));
+            }
+            _ => unmatched_old.push(old_id),
+        }
+    }
+    pairs.sort_by_key(|(o, _, _)| *o);
+    let pairs = pairs
+        .into_iter()
+        .map(|(o, n, method)| FuncPair {
+            old: o,
+            new: n,
+            method,
+            report: match_functions(
+                old,
+                old.function(o),
+                new,
+                new.function(n),
+                n,
+                &new.function(n).name,
+            ),
+        })
+        .collect();
+    let unmatched_new = new.func_ids().filter(|n| !paired_new[n.index()]).collect();
+    ModuleMatch {
+        pairs,
+        unmatched_old,
+        unmatched_new,
+    }
+}
+
+/// The outcome of a matched-stale load: the section-level stale report,
+/// the module correspondence summary, transfer quality, and the PPP4xx
+/// findings.
+#[derive(Clone, Debug)]
+pub struct MatchedStaleReport {
+    /// Section-level outcome from the underlying stale loader.
+    pub stale: StaleReport,
+    /// Function pairs transferred.
+    pub paired_funcs: usize,
+    /// Pairs found by anchor identity (renamed functions rescued).
+    pub anchor_paired: usize,
+    /// Names of old functions whose profiles had no destination.
+    pub unmatched_old: Vec<String>,
+    /// Names of new functions that start unprofiled.
+    pub unmatched_new: Vec<String>,
+    /// Old blocks matched onto the new CFG, across all pairs.
+    pub matched_blocks: usize,
+    /// Total old blocks across all pairs.
+    pub total_old_blocks: usize,
+    /// Functions whose transfer needed boundary renormalization.
+    pub renormalized_funcs: Vec<String>,
+    /// Functions zeroed because the transfer could not be made
+    /// flow-conservative (each also carries a PPP404 finding).
+    pub zeroed_funcs: Vec<String>,
+    /// Edge flow (or path frequency) dropped in transfer.
+    pub dropped_flow: u64,
+    /// All PPP4xx findings, sorted.
+    pub diagnostics: LintReport,
+    /// `true` when the load was a lossless identity transfer.
+    pub lossless: bool,
+}
+
+impl MatchedStaleReport {
+    /// `true` when nothing was dropped, renormalized, or zeroed anywhere:
+    /// the transferred profile is the old profile, bit for bit.
+    pub fn is_lossless(&self) -> bool {
+        self.lossless
+    }
+}
+
+fn record_metrics(r: &MatchedStaleReport, kind: &str) {
+    let obs = ppp_obs::global();
+    let m = obs.metrics();
+    let k = [("kind", kind)];
+    m.inc_by(
+        "ppp_stale_sections_total",
+        &[("kind", kind), ("outcome", "matched")],
+        r.stale.matched_funcs as u64,
+    );
+    m.inc_by(
+        "ppp_stale_sections_total",
+        &[("kind", kind), ("outcome", "unmatched")],
+        r.stale.unmatched_sections.len() as u64,
+    );
+    m.inc_by(
+        "ppp_stale_dropped_records_total",
+        &k,
+        r.stale.dropped_records,
+    );
+    m.inc_by(
+        "ppp_stale_section_faults_total",
+        &k,
+        r.stale.faults.len() as u64,
+    );
+    m.inc_by(
+        "ppp_match_funcs_total",
+        &[("kind", kind), ("method", "name")],
+        (r.paired_funcs - r.anchor_paired) as u64,
+    );
+    m.inc_by(
+        "ppp_match_funcs_total",
+        &[("kind", kind), ("method", "anchor")],
+        r.anchor_paired as u64,
+    );
+    m.inc_by(
+        "ppp_match_funcs_total",
+        &[("kind", kind), ("method", "unmatched")],
+        r.unmatched_old.len() as u64,
+    );
+    m.inc_by(
+        "ppp_match_blocks_total",
+        &[("kind", kind), ("outcome", "matched")],
+        r.matched_blocks as u64,
+    );
+    m.inc_by(
+        "ppp_match_blocks_total",
+        &[("kind", kind), ("outcome", "unmatched")],
+        (r.total_old_blocks - r.matched_blocks) as u64,
+    );
+    m.inc_by(
+        "ppp_match_transfer_funcs_total",
+        &[("kind", kind), ("outcome", "renormalized")],
+        r.renormalized_funcs.len() as u64,
+    );
+    m.inc_by(
+        "ppp_match_transfer_funcs_total",
+        &[("kind", kind), ("outcome", "zeroed")],
+        r.zeroed_funcs.len() as u64,
+    );
+    m.inc_by("ppp_match_dropped_flow_total", &k, r.dropped_flow);
+    for code in [
+        Code::UnanchoredBlock,
+        Code::AmbiguousAnchor,
+        Code::SplitMergedRegion,
+        Code::NonConservativeTransfer,
+    ] {
+        let n = r
+            .diagnostics
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == code)
+            .count();
+        if n > 0 {
+            m.inc_by(
+                "ppp_match_diagnostics_total",
+                &[("kind", kind), ("code", code.as_str())],
+                n as u64,
+            );
+        }
+    }
+}
+
+fn base_report(stale: StaleReport, old: &Module, mm: &ModuleMatch) -> MatchedStaleReport {
+    let mut diagnostics = LintReport::new();
+    let mut matched_blocks = 0;
+    let mut total_old_blocks = 0;
+    for pair in &mm.pairs {
+        matched_blocks += pair.report.matched_blocks();
+        total_old_blocks += old.function(pair.old).blocks.len();
+        diagnostics.extend(pair.report.diagnostics.iter().cloned());
+    }
+    MatchedStaleReport {
+        paired_funcs: mm.pairs.len(),
+        anchor_paired: mm.anchor_paired(),
+        unmatched_old: mm
+            .unmatched_old
+            .iter()
+            .map(|&f| old.function(f).name.clone())
+            .collect(),
+        unmatched_new: Vec::new(), // filled by caller (needs the new module)
+        matched_blocks,
+        total_old_blocks,
+        renormalized_funcs: Vec::new(),
+        zeroed_funcs: Vec::new(),
+        dropped_flow: 0,
+        diagnostics,
+        lossless: false,
+        stale,
+    }
+}
+
+fn finish_report(r: &mut MatchedStaleReport, new: &Module, mm: &ModuleMatch, kind: &str) {
+    r.unmatched_new = mm
+        .unmatched_new
+        .iter()
+        .map(|&f| new.function(f).name.clone())
+        .collect();
+    r.lossless = r.stale.is_exact()
+        && mm.is_identity()
+        && r.dropped_flow == 0
+        && r.renormalized_funcs.is_empty()
+        && r.zeroed_funcs.is_empty();
+    r.diagnostics.sort();
+    debug_assert!(
+        r.diagnostics.count(Severity::Error)
+            == r.diagnostics
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == Code::NonConservativeTransfer)
+                .count()
+    );
+    record_metrics(r, kind);
+}
+
+/// Loads a v2 edge profile written for an *older version* of the program
+/// and transfers it onto `new` through the CFG matcher. The artifact is
+/// first stale-loaded against `old` (the module it was written for), then
+/// each function pair's profile is remapped block-by-block.
+///
+/// The returned profile always satisfies PPP308 flow conservation for
+/// every function. When `old` and `new` are the same program the load is
+/// lossless: the profile round-trips byte-identically.
+///
+/// # Errors
+///
+/// Only container-level damage is fatal, as with
+/// [`read_edge_profile_stale`].
+pub fn read_edge_profile_matched(
+    old: &Module,
+    new: &Module,
+    bytes: &[u8],
+) -> Result<(ModuleEdgeProfile, MatchedStaleReport), ProfileLoadError> {
+    let (old_p, stale) = read_edge_profile_stale(old, bytes)?;
+    let mm = match_modules(old, new);
+    let mut report = base_report(stale, old, &mm);
+    let mut out = ModuleEdgeProfile::zeroed(new);
+    for pair in &mm.pairs {
+        let (old_f, new_f) = (old.function(pair.old), new.function(pair.new));
+        let (p, stats) = transfer_edge_profile(&pair.report, old_f, new_f, old_p.func(pair.old));
+        report.dropped_flow = report.dropped_flow.saturating_add(stats.dropped_flow);
+        if stats.renormalized && !stats.zeroed {
+            report.renormalized_funcs.push(new_f.name.clone());
+        }
+        if stats.zeroed {
+            report.zeroed_funcs.push(new_f.name.clone());
+            report.diagnostics.push(Diagnostic {
+                code: Code::NonConservativeTransfer,
+                func: pair.new,
+                func_name: new_f.name.clone(),
+                block: None,
+                message: "transferred profile could not be renormalized to flow \
+                          conservation; function profile zeroed"
+                    .to_string(),
+            });
+        }
+        debug_assert!(p.flow_violations(new_f).is_empty());
+        *out.func_mut(pair.new) = p;
+    }
+    for &f in &mm.unmatched_old {
+        let p = old_p.func(f);
+        report.dropped_flow = report
+            .dropped_flow
+            .saturating_add(p.total_edge_flow().saturating_add(p.entries()));
+    }
+    finish_report(&mut report, new, &mm, "edge");
+    Ok((out, report))
+}
+
+/// Loads a v2 path profile for an older program version and transfers it
+/// onto `new`; see [`read_edge_profile_matched`]. Paths that no longer
+/// chain through matched blocks are dropped and their frequency counted
+/// in `dropped_flow`.
+///
+/// # Errors
+///
+/// Only container-level damage is fatal.
+pub fn read_path_profile_matched(
+    old: &Module,
+    new: &Module,
+    bytes: &[u8],
+) -> Result<(ModulePathProfile, MatchedStaleReport), ProfileLoadError> {
+    let (old_p, stale) = read_path_profile_stale(old, bytes)?;
+    let mm = match_modules(old, new);
+    let mut report = base_report(stale, old, &mm);
+    let mut out = ModulePathProfile::with_capacity(new.functions.len());
+    for pair in &mm.pairs {
+        let (old_f, new_f) = (old.function(pair.old), new.function(pair.new));
+        let (p, dropped) = transfer_path_profile(&pair.report, old_f, new_f, old_p.func(pair.old));
+        report.dropped_flow = report.dropped_flow.saturating_add(dropped);
+        *out.func_mut(pair.new) = p;
+    }
+    for &f in &mm.unmatched_old {
+        report.dropped_flow = report
+            .dropped_flow
+            .saturating_add(old_p.func(f).total_unit_flow());
+    }
+    finish_report(&mut report, new, &mm, "path");
+    Ok((out, report))
+}

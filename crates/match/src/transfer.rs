@@ -1,0 +1,313 @@
+//! Profile transfer across a [`MatchReport`], with boundary
+//! renormalization.
+//!
+//! The raw transfer copies entries, matched block frequencies, and
+//! matched edge frequencies onto the new CFG. If the result already
+//! satisfies Kirchhoff flow conservation (the `PPP308` invariant) — as an
+//! identity transfer always does — it is returned untouched, so identity
+//! transfers are byte-identical on re-serialization.
+//!
+//! Otherwise a single reverse-postorder repair pass rebuilds the flow
+//! around the matched region:
+//!
+//! * retreating (loop back) edge weights are *frozen* at their
+//!   transferred values — they carry the loop trip counts, the most
+//!   valuable part of the old profile;
+//! * each block's frequency is recomputed as its inflow (entries for the
+//!   entry block, plus all in-edge weights — non-retreating in-edges are
+//!   final by RPO order, retreating ones are frozen);
+//! * non-retreating out-edges are rescaled to exactly `freq − retreating
+//!   out-flow` with a largest-remainder split, so every block balances
+//!   exactly.
+//!
+//! Because every reachable block then has `inflow = freq = outflow`, exit
+//! flow telescopes back to the entry count and the repaired profile is
+//! conservative in one pass — no fixpoint iteration, no geometric decay
+//! on loops. The pass can still fail: flow stranded on blocks that became
+//! unreachable, or a frozen retreating out-flow exceeding the block's
+//! inflow, cannot be repaired locally. Those functions are zeroed (the
+//! zero profile is trivially conservative) and flagged `PPP404`, so the
+//! invariant "every transferred profile passes PPP308" holds
+//! unconditionally.
+
+use crate::matcher::MatchReport;
+use ppp_ir::{Cfg, EdgeRef, FuncEdgeProfile, FuncPathProfile, Function, PathKey};
+
+/// What the transfer did to one function's profile.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Edge records copied onto the new CFG.
+    pub transferred_edges: usize,
+    /// Edge flow on old edges with no usable image in the new CFG.
+    pub dropped_flow: u64,
+    /// Total absolute block-frequency adjustment made by renormalization.
+    pub moved_flow: u64,
+    /// `true` when the raw transfer violated flow conservation and the
+    /// repair pass ran.
+    pub renormalized: bool,
+    /// `true` when repair failed and the function was zeroed (`PPP404`).
+    pub zeroed: bool,
+}
+
+impl TransferStats {
+    /// `true` when the transfer neither dropped, moved, nor zeroed any
+    /// flow: the profile came across bit-exact.
+    pub fn is_exact(&self) -> bool {
+        self.dropped_flow == 0 && !self.renormalized && !self.zeroed
+    }
+}
+
+/// Transfers an edge profile for one function pair. The result always
+/// satisfies `FuncEdgeProfile::flow_violations(new_f).is_empty()`.
+pub fn transfer_edge_profile(
+    report: &MatchReport,
+    old_f: &Function,
+    new_f: &Function,
+    old_p: &FuncEdgeProfile,
+) -> (FuncEdgeProfile, TransferStats) {
+    let mut stats = TransferStats::default();
+    let mut p = FuncEdgeProfile::zeroed(new_f);
+    if old_p.is_zero() {
+        return (p, stats);
+    }
+    p.set_entries(old_p.entries());
+    for b in old_f.block_ids() {
+        let Some(n) = report.map_block(b) else {
+            // Unmatched old block: its out-flow has nowhere to go.
+            for s in 0..old_f.block(b).term.successor_count() {
+                stats.dropped_flow = stats
+                    .dropped_flow
+                    .saturating_add(old_p.edge(EdgeRef::new(b, s)));
+            }
+            continue;
+        };
+        p.set_block(n, old_p.block(b));
+        for s in 0..old_f.block(b).term.successor_count() {
+            let e = EdgeRef::new(b, s);
+            match report.map_edge(old_f, new_f, e) {
+                Some(ne) => {
+                    p.set_edge(ne, old_p.edge(e));
+                    stats.transferred_edges += 1;
+                }
+                None => {
+                    stats.dropped_flow = stats.dropped_flow.saturating_add(old_p.edge(e));
+                }
+            }
+        }
+    }
+
+    if p.flow_violations(new_f).is_empty() {
+        return (p, stats);
+    }
+    stats.renormalized = true;
+    match renormalize(new_f, &mut p) {
+        Some(moved) => stats.moved_flow = moved,
+        None => {
+            p.zero();
+            stats.zeroed = true;
+        }
+    }
+    (p, stats)
+}
+
+/// One-pass RPO flow repair; returns the moved flow, or `None` when the
+/// profile cannot be made conservative (caller zeroes it).
+fn renormalize(f: &Function, p: &mut FuncEdgeProfile) -> Option<u64> {
+    let cfg = Cfg::new(f);
+    let rpo: Vec<_> = cfg.reverse_postorder().to_vec();
+    let mut moved: u64 = 0;
+    for &b in &rpo {
+        let mut inflow: u64 = if b == f.entry { p.entries() } else { 0 };
+        for &e in cfg.preds(b) {
+            inflow = inflow.saturating_add(p.edge(e));
+        }
+        moved = moved.saturating_add(p.block(b).abs_diff(inflow));
+        p.set_block(b, inflow);
+        let sc = f.block(b).term.successor_count();
+        if sc == 0 {
+            continue;
+        }
+        // Freeze retreating out-edges; budget the rest.
+        let mut frozen: u64 = 0;
+        let mut scalable: Vec<(EdgeRef, u64)> = Vec::new();
+        for s in 0..sc {
+            let e = EdgeRef::new(b, s);
+            let w = p.edge(e);
+            if cfg.is_retreating(b, f.edge_target(e)) {
+                frozen = frozen.saturating_add(w);
+            } else {
+                scalable.push((e, w));
+            }
+        }
+        if frozen > inflow {
+            return None; // loop back-flow exceeds what reaches the block
+        }
+        let budget = inflow - frozen;
+        let current: u64 = scalable.iter().map(|(_, w)| w).sum();
+        if current == budget {
+            continue;
+        }
+        if scalable.is_empty() {
+            return None; // all out-edges retreating, budget unplaceable
+        }
+        if current == 0 {
+            // No signal to scale: send the whole budget down the first
+            // non-retreating successor.
+            moved = moved.saturating_add(budget);
+            p.set_edge(scalable[0].0, budget);
+            continue;
+        }
+        // Largest-remainder proportional split: sums to budget exactly.
+        let mut assigned: u64 = 0;
+        let mut shares: Vec<(EdgeRef, u64, u128)> = Vec::new();
+        for &(e, w) in &scalable {
+            let num = u128::from(w) * u128::from(budget);
+            let q = (num / u128::from(current)) as u64;
+            let r = num % u128::from(current);
+            assigned = assigned.saturating_add(q);
+            shares.push((e, q, r));
+        }
+        let mut leftover = budget - assigned;
+        // Ties broken by successor index for determinism.
+        shares.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.succ.cmp(&b.0.succ)));
+        for share in shares.iter_mut() {
+            if leftover == 0 {
+                break;
+            }
+            share.1 += 1;
+            leftover -= 1;
+        }
+        for &(e, q, _) in &shares {
+            moved = moved.saturating_add(p.edge(e).abs_diff(q));
+            p.set_edge(e, q);
+        }
+    }
+    if p.flow_violations(f).is_empty() {
+        Some(moved)
+    } else {
+        None // e.g. flow stranded on blocks unreachable in the new CFG
+    }
+}
+
+/// Transfers a path profile: each old path is re-chained through the
+/// block map and kept only if it still walks a real path in the new CFG.
+/// Returns the profile and the total frequency of dropped paths.
+pub fn transfer_path_profile(
+    report: &MatchReport,
+    old_f: &Function,
+    new_f: &Function,
+    old_p: &FuncPathProfile,
+) -> (FuncPathProfile, u64) {
+    let mut out = FuncPathProfile::new();
+    let mut dropped: u64 = 0;
+    let mut keys: Vec<&PathKey> = old_p.paths.keys().collect();
+    keys.sort_by_key(|k| (k.start, k.edges.clone()));
+    for key in keys {
+        let freq = old_p.paths[key].freq;
+        match map_path(report, old_f, new_f, key) {
+            Some(new_key) => out.record(new_f, new_key, freq),
+            None => dropped = dropped.saturating_add(freq),
+        }
+    }
+    (out, dropped)
+}
+
+fn map_path(
+    report: &MatchReport,
+    old_f: &Function,
+    new_f: &Function,
+    key: &PathKey,
+) -> Option<PathKey> {
+    let start = report.map_block(key.start)?;
+    let mut cur = start;
+    let mut edges = Vec::with_capacity(key.edges.len());
+    for &e in &key.edges {
+        let ne = report.map_edge(old_f, new_f, e)?;
+        if ne.from != cur {
+            return None; // mapped edges no longer chain
+        }
+        cur = new_f.edge_target(ne);
+        edges.push(ne);
+    }
+    Some(PathKey { start, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::match_functions;
+    use ppp_ir::{BlockId, FuncId, FunctionBuilder, Module};
+
+    fn diamond(name: &str) -> Function {
+        let mut b = FunctionBuilder::new(name, 1);
+        let c = b.constant(1);
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    fn diamond_profile(f: &Function) -> FuncEdgeProfile {
+        let mut p = FuncEdgeProfile::zeroed(f);
+        p.set_entries(10);
+        p.set_block(BlockId(0), 10);
+        p.set_edge(EdgeRef::new(BlockId(0), 0), 7);
+        p.set_edge(EdgeRef::new(BlockId(0), 1), 3);
+        p.set_block(BlockId(1), 7);
+        p.set_edge(EdgeRef::new(BlockId(1), 0), 7);
+        p.set_block(BlockId(2), 3);
+        p.set_edge(EdgeRef::new(BlockId(2), 0), 3);
+        p.set_block(BlockId(3), 10);
+        p
+    }
+
+    #[test]
+    fn identity_transfer_is_bit_exact() {
+        let mut m = Module::new();
+        m.add_function(diamond("f"));
+        let f = m.function(FuncId(0));
+        let old = diamond_profile(f);
+        let r = match_functions(&m, f, &m, f, FuncId(0), "f");
+        let (new, stats) = transfer_edge_profile(&r, f, f, &old);
+        assert!(stats.is_exact());
+        assert_eq!(new, old);
+        assert!(new.flow_violations(f).is_empty());
+    }
+
+    #[test]
+    fn renormalization_repairs_dropped_arm() {
+        // New version changes one arm of the diamond so its flow is
+        // dropped; the repair pass must rebuild a conservative profile.
+        let mut m = Module::new();
+        m.add_function(diamond("f"));
+        let mut g = diamond("f");
+        // Make block 1 (then-arm) unrecognizable: add instructions.
+        let mut fb_block = g.block(BlockId(1)).clone();
+        fb_block.insts.push(ppp_ir::Inst::Const {
+            dst: ppp_ir::Reg(5),
+            value: 99,
+        });
+        fb_block.insts.push(ppp_ir::Inst::Emit {
+            src: ppp_ir::Reg(5),
+        });
+        *g.block_mut(BlockId(1)) = fb_block;
+        g.reg_count = g.reg_count.max(6);
+        let mut m2 = Module::new();
+        m2.add_function(g);
+
+        let old_f = m.function(FuncId(0));
+        let new_f = m2.function(FuncId(0));
+        let old = diamond_profile(old_f);
+        let r = match_functions(&m, old_f, &m2, new_f, FuncId(0), "f");
+        let (new, stats) = transfer_edge_profile(&r, old_f, new_f, &old);
+        assert!(new.flow_violations(new_f).is_empty());
+        assert_eq!(new.entries(), 10);
+        assert!(stats.renormalized || stats.is_exact());
+        assert!(!stats.zeroed);
+    }
+}

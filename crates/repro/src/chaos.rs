@@ -13,7 +13,7 @@
 //! 3. whatever guidance survives still passes the `ppp-lint` profile
 //!    checks (shape + Kirchhoff flow conservation, PPP308).
 
-use crate::degrade::{ingest_guidance, DegradationReport, LadderRung};
+use crate::degrade::{ingest_guidance, ingest_guidance_at, DegradationReport, LadderRung};
 use crate::format::Table;
 use crate::pipeline::{
     instrument_and_run, prepare_benchmark, PipelineError, PipelineOptions, PreparedBenchmark,
@@ -22,10 +22,10 @@ use ppp_agg::{AggConfig, Aggregator, Hello};
 use ppp_core::ProfilerConfig;
 use ppp_faults::{FaultPlan, FaultSite};
 use ppp_ir::{
-    encode_frame, read_edge_profile_stale, salvage_edge_profile, salvage_path_profile,
-    write_edge_profile_v2, write_path_profile_v2, FrameKind, Module, ModuleEdgeProfile,
-    SectionFault,
+    encode_frame, salvage_edge_profile, salvage_path_profile, write_edge_profile_v2,
+    write_path_profile_v2, FrameKind, Module, ModuleEdgeProfile, SectionFault,
 };
+use ppp_match::read_edge_profile_matched;
 use ppp_vm::{run, HaltReason, RunOptions};
 use ppp_workloads::spec2000_suite;
 use std::fmt;
@@ -397,32 +397,44 @@ pub fn chaos_scenario(
             wire_fault_scenario(prep, detail, &stream)
         }
         FaultSite::StaleShape => {
-            // Load the old artifact against a "newer build" whose
-            // function order changed; the stale loader matches by name.
+            // Load the old artifact against a "newer build": the function
+            // order rotated AND blocks were split, so naive name/shape
+            // matching cannot place the counters. The matched-stale
+            // loader (`ppp-match`) transfers them across the CFG change,
+            // and the ladder must land on (at least) the matched-stale
+            // rung — never silently on full-profile.
             let bytes = write_edge_profile_v2(module, &prep.edges).into_bytes();
             let mut stale = module.clone();
             stale.functions.rotate_left(1);
+            let mut rng = crate::drift::SplitMix64(seed ^ 0x57A1_E5AA);
+            crate::drift::split_blocks(&mut stale, &mut rng);
             let detail = format!(
-                "rotated the {}-function module under a persisted profile",
+                "rotated and block-split the {}-function module under a persisted profile",
                 stale.functions.len()
             );
-            match read_edge_profile_stale(&stale, &bytes) {
-                Ok((p, sr)) => {
-                    let harmless = sr.is_exact();
-                    let (g, mut report) = ingest_guidance(&stale, Some(p), None);
+            match read_edge_profile_matched(module, &stale, &bytes) {
+                Ok((p, msr)) => {
+                    let harmless = msr.is_lossless();
+                    let floor = if harmless {
+                        LadderRung::FullProfile
+                    } else {
+                        LadderRung::MatchedStale
+                    };
+                    let (g, mut report) = ingest_guidance_at(&stale, Some(p), None, floor);
                     if !harmless {
                         report.push(
                             "stale-shape",
                             format!(
-                                "{} of {} sections matched by name ({} renumbered, {} records dropped)",
-                                sr.matched_funcs,
-                                stale.functions.len(),
-                                sr.renumbered_funcs,
-                                sr.dropped_records
+                                "transferred {} of {} blocks across versions ({} funcs renormalized, {} zeroed, {} flow dropped)",
+                                msr.matched_blocks,
+                                msr.total_old_blocks,
+                                msr.renormalized_funcs.len(),
+                                msr.zeroed_funcs.len(),
+                                msr.dropped_flow
                             ),
                         );
                     }
-                    record_faults(&mut report, &sr.faults);
+                    record_faults(&mut report, &msr.stale.faults);
                     let lint = lint_ok(&stale, g.as_ref());
                     (detail, report, harmless, lint)
                 }
@@ -588,6 +600,19 @@ mod tests {
             .filter(|o| o.verdict == ChaosVerdict::Reported)
             .count();
         assert!(reported >= 5, "only {reported} scenarios took effect");
+        // The stale-shape site routes through the cross-version matcher:
+        // the CFG drift is real, so the ladder must report (at least)
+        // the matched-stale rung — never a silent full-profile claim.
+        let stale = outcomes
+            .iter()
+            .find(|o| o.site == FaultSite::StaleShape)
+            .unwrap();
+        assert_ne!(stale.verdict, ChaosVerdict::Silent);
+        assert!(
+            stale.report.rung() >= LadderRung::MatchedStale,
+            "stale-shape landed on {}",
+            stale.report.rung()
+        );
     }
 
     #[test]

@@ -9,14 +9,18 @@
 //! 1. **Full profile** — the edge profile matches the module's shape, no
 //!    counter saturated, and every function satisfies Kirchhoff flow
 //!    conservation. Used as-is.
-//! 2. **Salvaged functions** — functions whose counts violate flow
+//! 2. **Matched stale** — the profile was collected on an older program
+//!    version and transferred through the `ppp-match` CFG matcher
+//!    ([`ingest_guidance_at`] with a [`LadderRung::MatchedStale`] floor).
+//!    The counts are conservative but approximate.
+//! 3. **Salvaged functions** — functions whose counts violate flow
 //!    conservation (or saturated) are quarantined (zeroed — an all-zero
 //!    profile is trivially conservative); the rest keep their counts.
-//! 3. **Path-derived edges** — quarantined (or missing) edge counts are
+//! 4. **Path-derived edges** — quarantined (or missing) edge counts are
 //!    rebuilt from the surviving path profile via
 //!    [`ModuleEdgeProfile::from_paths`]; rebuilt functions that still
 //!    don't balance are quarantined for good.
-//! 4. **Static estimate** — no usable guidance at all: the instrumenter
+//! 5. **Static estimate** — no usable guidance at all: the instrumenter
 //!    runs with `None`, falling back to its static heuristics.
 //!
 //! The returned guidance is always safe to hand to the instrumenter:
@@ -30,6 +34,9 @@ use std::fmt;
 pub enum LadderRung {
     /// The profile is intact; used as-is.
     FullProfile,
+    /// The profile was transferred from an older program version through
+    /// the CFG matcher; conservative but approximate.
+    MatchedStale,
     /// Some functions quarantined, the rest kept.
     SalvagedFunctions,
     /// Some or all edge counts rebuilt from the path profile.
@@ -43,6 +50,7 @@ impl LadderRung {
     pub fn name(self) -> &'static str {
         match self {
             LadderRung::FullProfile => "full-profile",
+            LadderRung::MatchedStale => "matched-stale",
             LadderRung::SalvagedFunctions => "salvaged-functions",
             LadderRung::PathDerivedEdges => "path-derived-edges",
             LadderRung::StaticEstimate => "static-estimate",
@@ -215,6 +223,46 @@ fn untrusted_funcs(
 /// Guarantee: a `Some` result always shape-matches `module` and is flow
 /// conservative, so downstream consumers need no further checks.
 pub fn ingest_guidance(
+    module: &Module,
+    edges: Option<ModuleEdgeProfile>,
+    paths: Option<&ModulePathProfile>,
+) -> (Option<ModuleEdgeProfile>, DegradationReport) {
+    ingest_guidance_at(module, edges, paths, LadderRung::FullProfile)
+}
+
+/// [`ingest_guidance`] with a rung *floor*: the report never lands above
+/// `floor` while guidance is in play. Matched-stale loading passes
+/// [`LadderRung::MatchedStale`] for non-identity transfers, so a profile
+/// that was approximated across program versions is never reported as a
+/// pristine full profile — the ladder stays honest about provenance.
+///
+/// A floor above `FullProfile` also records a `stale-transfer` event, so
+/// the report is visibly degraded even when every count survived the
+/// transfer checks.
+pub fn ingest_guidance_at(
+    module: &Module,
+    edges: Option<ModuleEdgeProfile>,
+    paths: Option<&ModulePathProfile>,
+    floor: LadderRung,
+) -> (Option<ModuleEdgeProfile>, DegradationReport) {
+    let (guidance, mut report) = ingest_guidance_inner(module, edges, paths);
+    if floor > LadderRung::FullProfile && guidance.is_some() {
+        let rung = report.rung().max(floor);
+        if report.rung() < floor {
+            report.push(
+                "stale-transfer",
+                format!(
+                    "guidance transferred from an older program version; \
+                     floor raised to {rung}"
+                ),
+            );
+        }
+        report.final_rung = Some(rung);
+    }
+    (guidance, report)
+}
+
+fn ingest_guidance_inner(
     module: &Module,
     edges: Option<ModuleEdgeProfile>,
     paths: Option<&ModulePathProfile>,
@@ -454,6 +502,25 @@ mod tests {
         let (g, r) = ingest_guidance(&small, Some(other), None);
         assert!(g.is_none());
         assert!(r.events.iter().any(|ev| ev.cause == "shape-mismatch"));
+        assert_eq!(r.rung(), LadderRung::StaticEstimate);
+    }
+
+    #[test]
+    fn floor_raises_clean_profile_to_matched_stale() {
+        let m = sample();
+        let (g, r) = ingest_guidance_at(&m, Some(good_edges(&m)), None, LadderRung::MatchedStale);
+        assert_eq!(r.rung(), LadderRung::MatchedStale);
+        assert!(r.degraded(), "a transferred profile is never pristine");
+        assert!(r.events.iter().any(|ev| ev.cause == "stale-transfer"));
+        assert_eq!(g.expect("guidance"), good_edges(&m));
+        // A worse rung is not masked by the floor.
+        let mut e = good_edges(&m);
+        e.func_mut(FuncId(0)).bump_edge(EdgeRef::new(BlockId(0), 0));
+        let (_, r) = ingest_guidance_at(&m, Some(e), None, LadderRung::MatchedStale);
+        assert_eq!(r.rung(), LadderRung::SalvagedFunctions);
+        // No guidance at all: the floor is moot, rung 5 stands.
+        let (g, r) = ingest_guidance_at(&m, None, None, LadderRung::MatchedStale);
+        assert!(g.is_none());
         assert_eq!(r.rung(), LadderRung::StaticEstimate);
     }
 

@@ -32,6 +32,7 @@
 pub mod bench;
 pub mod chaos;
 pub mod degrade;
+pub mod drift;
 pub mod drive;
 pub mod format;
 pub mod inspect;
@@ -48,7 +49,13 @@ pub use chaos::{
     chaos_benchmark, chaos_json, chaos_prepared, chaos_scenario, chaos_suite, chaos_table,
     ChaosOutcome, ChaosVerdict,
 };
-pub use degrade::{ingest_guidance, DegradationEvent, DegradationReport, LadderRung};
+pub use degrade::{
+    ingest_guidance, ingest_guidance_at, DegradationEvent, DegradationReport, LadderRung,
+};
+pub use drift::{
+    drift_benchmark, drift_json, drift_suite, drift_table, DriftOutcome, DriftScenario,
+    DRIFT_SCENARIOS,
+};
 pub use drive::{
     drive, drive_json, drive_table, serve, BenchDrive, DriveOptions, DriveReport, Transport,
 };

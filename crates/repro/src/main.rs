@@ -2,9 +2,10 @@
 
 use ppp_repro::{
     all_reports, baseline_from_json, baseline_json, baseline_table, chaos_json, chaos_suite,
-    chaos_table, collect_baseline, compare_baselines, drive, drive_json, drive_table, fig10, fig11,
-    fig12, fig13, fig9, inspect_benchmark, lint_benchmark, regressions_json, regressions_table,
-    run_suite, serve, table1, table2, trace_benchmark, validate_benchmark,
+    chaos_table, collect_baseline, compare_baselines, drift_json, drift_suite, drift_table, drive,
+    drive_json, drive_table, fig10, fig11, fig12, fig13, fig9, inspect_benchmark, lint_benchmark,
+    regressions_json, regressions_table, run_suite, serve, table1, table2, trace_benchmark,
+    validate_benchmark,
 };
 use ppp_repro::{DriveOptions, PipelineOptions, Transport};
 
@@ -24,6 +25,7 @@ fn main() {
     let mut lint: Option<Option<String>> = None;
     let mut validate: Option<Option<String>> = None;
     let mut chaos: Option<Option<String>> = None;
+    let mut drift: Option<Option<String>> = None;
     let mut bench: Option<Option<String>> = None;
     let mut drive_cmd: Option<Option<String>> = None;
     let mut serve_cmd = false;
@@ -73,6 +75,13 @@ fn main() {
                     i += 1;
                 }
                 chaos = Some(next);
+            }
+            "drift" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
+                if next.is_some() {
+                    i += 1;
+                }
+                drift = Some(next);
             }
             "bench" => {
                 let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
@@ -275,6 +284,15 @@ fn main() {
     }
     if let Some(only) = chaos {
         std::process::exit(run_chaos(only.as_deref(), seed, &format, &options));
+    }
+    if let Some(only) = drift {
+        std::process::exit(run_drift(
+            only.as_deref(),
+            seed,
+            &format,
+            out.as_deref(),
+            &options,
+        ));
     }
     if let Some(name) = inspect {
         let suite = ppp_workloads::spec2000_suite();
@@ -535,6 +553,44 @@ fn run_chaos(only: Option<&str>, seed: u64, format: &str, options: &PipelineOpti
     i32::from(outcomes.iter().any(|o| !o.ok()))
 }
 
+/// Sweeps every version-drift scenario across the suite (or one
+/// benchmark), measuring accuracy/coverage decay of profiles transferred
+/// by `ppp-match`; returns the exit code (0 = every transfer
+/// flow-conservative and the identity scenario lossless).
+fn run_drift(
+    only: Option<&str>,
+    seed: u64,
+    format: &str,
+    out: Option<&str>,
+    options: &PipelineOptions,
+) -> i32 {
+    if let Some(name) = only {
+        let suite = ppp_workloads::spec2000_suite();
+        if !suite.iter().any(|e| e.spec.name == name) {
+            usage(&format!("unknown benchmark {name:?}"));
+        }
+    }
+    let outcomes = match drift_suite(only, seed, options) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let doc = drift_json(&outcomes, seed);
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("error: cannot write {path}: {e}");
+            return 2;
+        }
+    }
+    match format {
+        "json" => println!("{doc}"),
+        _ => println!("{}", drift_table(&outcomes)),
+    }
+    i32::from(outcomes.iter().any(|o| !o.ok()))
+}
+
 /// Hosts a standalone aggregation server until the process is killed;
 /// returns the exit code (2 = cannot bind).
 fn run_serve(addr: &str, shards: usize, max_conns: usize) -> i32 {
@@ -587,6 +643,7 @@ fn usage(err: &str) -> ! {
          | inspect <benchmark> | lint [benchmark] [--format text|json] \
          | validate [benchmark] [--format text|json] \
          | chaos [benchmark] [--seed S] [--workers N] [--format text|json] \
+         | drift [benchmark] [--seed S] [--workers N] [--format text|json] [--out FILE] \
          | bench [benchmark] [--format text|json] [--out FILE] \
          [--compare OLD.json [--against NEW.json]] [--threshold X] [--seed S] [--workers N] \
          | trace <benchmark> [--seed S] \

@@ -193,7 +193,7 @@ impl BenchmarkRun {
     }
 }
 
-fn traced(
+pub(crate) fn traced(
     module: &Module,
     seed: u64,
     benchmark: &str,
@@ -558,7 +558,10 @@ pub fn lint_benchmark(
         .collect())
 }
 
-fn estimate_options(truth: &ModulePathProfile, options: &PipelineOptions) -> EstimateOptions {
+pub(crate) fn estimate_options(
+    truth: &ModulePathProfile,
+    options: &PipelineOptions,
+) -> EstimateOptions {
     // Potential-flow reconstruction needs a cutoff to avoid exponential
     // enumeration; half the hot threshold keeps every candidate that
     // could enter the hot set while pruning the tail.

@@ -13,8 +13,11 @@
 //! frames ingested, merge/snapshot timings, batch sizes — show up in
 //! the same dump as the VM and pipeline observables.
 
+use crate::drift::{split_blocks, SplitMix64};
 use crate::pipeline::{run_benchmark, PipelineError, PipelineOptions};
 use ppp_agg::{AggClient, AggConfig, AggService, Hello, InProcSink};
+use ppp_ir::write_edge_profile_v2;
+use ppp_match::read_edge_profile_matched;
 use ppp_obs::{ObsCtx, SpanTree};
 use ppp_vm::RunOptions;
 use ppp_workloads::{generate, SuiteEntry};
@@ -76,6 +79,47 @@ fn replay_aggregation(ctx: &ObsCtx, entry: &SuiteEntry, options: &PipelineOption
     }
 }
 
+/// Replays the persisted edge profile through the cross-version matched
+/// loader against a block-split variant of the module (`match.replay`),
+/// so the `ppp_stale_*`/`ppp_match_*` metrics — sections matched,
+/// blocks transferred, flow dropped, PPP40x diagnostics — land in the
+/// trace dump alongside the VM and aggregation observables.
+fn replay_matched_stale(ctx: &ObsCtx, entry: &SuiteEntry, options: &PipelineOptions) {
+    let mut span = ctx.span("match.replay");
+    let module = generate(&entry.spec.clone().scaled(options.scale));
+    let run_options = RunOptions::default().traced().with_seed(options.seed);
+    let result = match ppp_vm::run(&module, "main", &run_options) {
+        Ok(r) => r,
+        Err(e) => {
+            span.event(
+                ppp_obs::Level::Error,
+                "match.replay_failed",
+                &[("error", ppp_obs::Value::from(e.to_string()))],
+            );
+            return;
+        }
+    };
+    let Some(edges) = result.edge_profile else {
+        span.event(ppp_obs::Level::Error, "match.replay_failed", &[]);
+        return;
+    };
+    let bytes = write_edge_profile_v2(&module, &edges);
+    let mut newer = module.clone();
+    split_blocks(&mut newer, &mut SplitMix64(options.seed ^ 0x7_1ACE));
+    match read_edge_profile_matched(&module, &newer, bytes.as_bytes()) {
+        Ok((_, msr)) => {
+            span.set("lossless", msr.is_lossless());
+            span.set("matched_blocks", msr.matched_blocks as u64);
+            span.set("dropped_flow", msr.dropped_flow);
+        }
+        Err(e) => span.event(
+            ppp_obs::Level::Error,
+            "match.replay_failed",
+            &[("error", ppp_obs::Value::from(e.to_string()))],
+        ),
+    }
+}
+
 /// Replays `entry` with span collection enabled and renders the
 /// per-stage breakdown tree plus the run's metric dump.
 ///
@@ -92,6 +136,7 @@ pub fn trace_benchmark(
     let outcome = run_benchmark(entry, options);
     if outcome.is_ok() {
         replay_aggregation(&ctx, entry, options);
+        replay_matched_stale(&ctx, entry, options);
     }
     ppp_obs::install_global(previous);
     let run = outcome?;
@@ -141,5 +186,10 @@ mod tests {
         assert!(text.contains("ppp_agg_frames_ingested_total"), "{text}");
         assert!(text.contains("ppp_agg_deltas_merged_total"), "{text}");
         assert!(text.contains("ppp_agg_snapshot_micros"), "{text}");
+        // …as does the cross-version matched-stale replay.
+        assert!(text.contains("match.replay"), "{text}");
+        assert!(text.contains("ppp_stale_sections_total"), "{text}");
+        assert!(text.contains("ppp_match_blocks_total"), "{text}");
+        assert!(text.contains("ppp_match_funcs_total"), "{text}");
     }
 }
