@@ -1,0 +1,190 @@
+//! Exact integerization of real-valued flow by path/cycle
+//! decomposition.
+//!
+//! Rounding each edge independently would break Kirchhoff conservation
+//! almost everywhere. Instead the real flow is decomposed into
+//! entry-to-return *paths* and *cycles* (the flow-decomposition
+//! theorem), each extracted component's weight is rounded once, and the
+//! integer profile is re-accumulated component-wise. Every component
+//! individually conserves flow at every block it visits, so the sum is
+//! conservative *by construction* — PPP308 holds with no repair pass
+//! and no failure mode.
+//!
+//! When the real flow itself is slightly non-conservative (a capped
+//! loop), the unextractable remainder is dropped and reported, so the
+//! integer profile is still exact.
+
+use crate::freq::FloatFlow;
+use ppp_ir::{Cfg, EdgeRef, FuncEdgeProfile, Function};
+
+/// Weights below half a count can never round to a positive integer;
+/// they terminate extraction.
+const EPS: f64 = 0.5;
+
+/// What the decomposition did, for diagnostics and metrics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DecompStats {
+    /// Entry-to-return paths extracted.
+    pub paths: u64,
+    /// Cycles extracted.
+    pub cycles: u64,
+    /// Real flow that could not be extracted into any component
+    /// (non-conservative remainder from capped loops), in counts.
+    pub discarded: u64,
+}
+
+/// Finds one cycle in the residual support graph (edges with weight
+/// ≥ [`EPS`]), by iterative DFS. Returns the cycle's edges in walk
+/// order, or `None` when the support is acyclic.
+fn find_cycle(f: &Function, resid: &[Vec<f64>]) -> Option<Vec<EdgeRef>> {
+    let n = f.blocks.len();
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state = vec![0u8; n];
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        // Stack of (block, next successor index to try).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start] = 1;
+        while let Some(&(b, s)) = stack.last() {
+            let row = &resid[b];
+            let mut advanced = false;
+            let mut si = s;
+            while si < row.len() {
+                let cur = si;
+                si += 1;
+                if row[cur] < EPS {
+                    continue;
+                }
+                let tgt = f.blocks[b].term.successor(cur).expect("in range").index();
+                if state[tgt] == 1 {
+                    // Found a cycle: unwind the stack back to `tgt`.
+                    // Each lower frame descended through successor
+                    // `next - 1` (`next` was bumped before the push).
+                    let mut cycle = vec![EdgeRef::new(ppp_ir::BlockId::new(b), cur)];
+                    for &(sb, ss) in stack.iter().rev().skip(1) {
+                        cycle.push(EdgeRef::new(ppp_ir::BlockId::new(sb), ss - 1));
+                        if sb == tgt {
+                            break;
+                        }
+                    }
+                    cycle.reverse();
+                    return Some(cycle);
+                }
+                if state[tgt] == 0 {
+                    state[tgt] = 1;
+                    stack.last_mut().expect("frame").1 = si;
+                    stack.push((tgt, 0));
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                state[b] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Decomposes `flow` into integer counts accumulated onto a zeroed
+/// [`FuncEdgeProfile`].
+pub fn integerize(
+    f: &Function,
+    cfg: &Cfg,
+    flow: &FloatFlow,
+    entry_flow: f64,
+) -> (FuncEdgeProfile, DecompStats) {
+    let mut resid: Vec<Vec<f64>> = flow.efreq.clone();
+    let mut profile = FuncEdgeProfile::zeroed(f);
+    let mut stats = DecompStats::default();
+    let mut discarded = 0.0;
+    let mut entries: u64 = 0;
+
+    let add = |profile: &mut FuncEdgeProfile, edges: &[EdgeRef], w: u64| {
+        for &e in edges {
+            profile.set_edge(e, profile.edge(e).saturating_add(w));
+        }
+    };
+
+    // Phase 1: cancel every cycle so the residual support is acyclic.
+    while let Some(cycle) = find_cycle(f, &resid) {
+        let w = cycle
+            .iter()
+            .map(|e| resid[e.from.index()][e.succ_index()])
+            .fold(f64::INFINITY, f64::min);
+        for e in &cycle {
+            resid[e.from.index()][e.succ_index()] -= w;
+        }
+        let iw = w.round() as u64;
+        if iw > 0 {
+            add(&mut profile, &cycle, iw);
+            stats.cycles += 1;
+        }
+    }
+
+    // Phase 2: peel entry-to-return paths off the acyclic residual,
+    // hottest successor first. A walk that dead-ends before a return is
+    // riding non-conservative remainder; its prefix is discarded.
+    let mut remaining = entry_flow;
+    while remaining >= EPS {
+        let mut path: Vec<EdgeRef> = Vec::new();
+        let mut b = cfg.entry();
+        let complete = loop {
+            if f.block(b).term.is_return() {
+                break true;
+            }
+            let row = &resid[b.index()];
+            let mut best: Option<(usize, f64)> = None;
+            for (s, &w) in row.iter().enumerate() {
+                if w >= EPS && best.is_none_or(|(_, bw)| w > bw) {
+                    best = Some((s, w));
+                }
+            }
+            let Some((s, _)) = best else { break false };
+            path.push(EdgeRef::new(b, s));
+            b = f.edge_target(EdgeRef::new(b, s));
+        };
+        let w = path
+            .iter()
+            .map(|e| resid[e.from.index()][e.succ_index()])
+            .fold(remaining, f64::min);
+        if w < EPS {
+            break;
+        }
+        for e in &path {
+            resid[e.from.index()][e.succ_index()] -= w;
+        }
+        remaining -= w;
+        if complete {
+            let iw = w.round() as u64;
+            if iw > 0 {
+                add(&mut profile, &path, iw);
+                entries = entries.saturating_add(iw);
+                stats.paths += 1;
+            }
+        } else {
+            discarded += w;
+            if path.is_empty() {
+                break;
+            }
+        }
+    }
+    discarded += remaining.max(0.0);
+
+    // Block frequencies follow from the accumulated edges: every
+    // component contributed equal in- and out-flow at every block it
+    // visited, so inflow is the frequency.
+    profile.set_entries(entries);
+    for (b, _) in f.iter_blocks() {
+        let mut inflow = if b == cfg.entry() { entries } else { 0 };
+        for e in cfg.preds(b) {
+            inflow = inflow.saturating_add(profile.edge(*e));
+        }
+        profile.set_block(b, inflow);
+    }
+    stats.discarded = discarded.round() as u64;
+    (profile, stats)
+}

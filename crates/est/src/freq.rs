@@ -1,0 +1,189 @@
+//! Loop-nest (interval) frequency propagation.
+//!
+//! Turns per-branch probabilities into real-valued block and edge
+//! frequencies, Wu–Larus style: loops are processed innermost-first,
+//! each loop's *cyclic probability* (the probability mass that flows
+//! from its header back to a back edge) is measured by propagating one
+//! unit of mass through the loop body, and the loop's trip multiplier
+//! `1 / (1 − cp)` amplifies whatever external flow reaches the header.
+//! A final pass over the whole function in reverse postorder assigns
+//! absolute frequencies, multiplying at each header.
+//!
+//! Divergences from Wu–Larus, forced by our exactness requirements:
+//!
+//! * edges into blocks that cannot reach a return get probability zero
+//!   (their siblings are renormalized) — flow parked in a non-exiting
+//!   region could never satisfy the Kirchhoff exit equation;
+//! * irreducible retreating edges get probability zero and a PPP501
+//!   diagnostic — without a dominating header there is no interval to
+//!   amplify, so the region is estimated as executing once;
+//! * cyclic probabilities are capped at `1 − 1/max_trip` (default 64
+//!   trips); the downstream integer decomposition repairs the small
+//!   conservation error a cap introduces (PPP503).
+
+use crate::heur::FuncPredictions;
+use ppp_ir::{BlockId, Cfg, Function, LoopForest};
+
+/// Real-valued flow, the intermediate between branch probabilities and
+/// the integer edge profile.
+#[derive(Clone, Debug)]
+pub struct FloatFlow {
+    /// Per-block frequency.
+    pub bfreq: Vec<f64>,
+    /// Per-edge frequency, indexed `[block][successor]`.
+    pub efreq: Vec<Vec<f64>>,
+    /// Post-masking branch probabilities actually propagated.
+    pub probs: Vec<Vec<f64>>,
+    /// Loops whose cyclic probability hit the trip cap.
+    pub trip_caps: u64,
+    /// Natural loops processed (multipliers computed).
+    pub loops: u64,
+    /// Propagation visits performed (cyclic-probability passes plus the
+    /// final absolute pass), for the `ppp_est_propagation_block_visits`
+    /// metric.
+    pub visits: u64,
+}
+
+/// Blocks from which some return block is reachable (reverse BFS over
+/// the full CFG).
+pub fn reaches_return(f: &Function, cfg: &Cfg) -> Vec<bool> {
+    let mut ok = vec![false; f.blocks.len()];
+    let mut work: Vec<BlockId> = f.return_blocks();
+    for &b in &work {
+        ok[b.index()] = true;
+    }
+    while let Some(b) = work.pop() {
+        for e in cfg.preds(b) {
+            if !ok[e.from.index()] {
+                ok[e.from.index()] = true;
+                work.push(e.from);
+            }
+        }
+    }
+    ok
+}
+
+/// Zeroes probabilities on edges that must carry no flow (targets that
+/// cannot reach a return; irreducible retreating edges) and renormalizes
+/// each row. Rows whose mass vanishes entirely are left at zero — no
+/// flow will be routed into them.
+fn mask_probs(
+    f: &Function,
+    loops: &LoopForest,
+    can_exit: &[bool],
+    preds: &FuncPredictions,
+) -> Vec<Vec<f64>> {
+    let mut probs = preds.probs.clone();
+    for e in loops.irreducible_edges() {
+        if let Some(p) = probs[e.from.index()].get_mut(e.succ_index()) {
+            *p = 0.0;
+        }
+    }
+    for (b, row) in probs.iter_mut().enumerate() {
+        for (s, p) in row.iter_mut().enumerate() {
+            let tgt = f.blocks[b].term.successor(s).expect("successor in range");
+            if !can_exit[tgt.index()] {
+                *p = 0.0;
+            }
+        }
+        let sum: f64 = row.iter().sum();
+        if sum > f64::EPSILON {
+            for p in row.iter_mut() {
+                *p /= sum;
+            }
+        }
+    }
+    probs
+}
+
+/// Propagates frequencies through `f` given masked branch
+/// probabilities. `entry_flow` seeds the entry block; `max_trip` bounds
+/// every loop's amplification.
+pub fn propagate(
+    f: &Function,
+    cfg: &Cfg,
+    loops: &LoopForest,
+    can_exit: &[bool],
+    preds: &FuncPredictions,
+    entry_flow: f64,
+    max_trip: f64,
+) -> FloatFlow {
+    let n = f.blocks.len();
+    let probs = mask_probs(f, loops, can_exit, preds);
+    let mut flow = FloatFlow {
+        bfreq: vec![0.0; n],
+        efreq: probs.iter().map(|row| vec![0.0; row.len()]).collect(),
+        probs,
+        trip_caps: 0,
+        loops: loops.loops().len() as u64,
+        visits: 0,
+    };
+
+    // Trip multiplier per loop, innermost-first so outer loops see the
+    // amplification of the loops they contain.
+    let cp_cap = 1.0 - 1.0 / max_trip.max(2.0);
+    let mut mult = vec![1.0; loops.loops().len()];
+    let mut order: Vec<usize> = (0..loops.loops().len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(loops.loops()[i].depth));
+    // Innermost loop each header starts (headers are unique per natural
+    // loop after back-edge merging).
+    let mut header_of = vec![usize::MAX; n];
+    for (i, l) in loops.loops().iter().enumerate() {
+        header_of[l.header.index()] = i;
+    }
+
+    for &li in &order {
+        let l = &loops.loops()[li];
+        let mut mass = vec![0.0; n];
+        let mut cp = 0.0;
+        for &b in cfg.reverse_postorder() {
+            if !l.contains(b) {
+                continue;
+            }
+            flow.visits += 1;
+            let mut m = if b == l.header {
+                1.0
+            } else {
+                cfg.preds(b)
+                    .iter()
+                    .filter(|e| l.contains(e.from) && !cfg.is_retreating(e.from, b))
+                    .map(|e| mass[e.from.index()] * flow.probs[e.from.index()][e.succ_index()])
+                    .sum()
+            };
+            if b != l.header && header_of[b.index()] != usize::MAX {
+                m *= mult[header_of[b.index()]];
+            }
+            mass[b.index()] = m;
+        }
+        for e in &l.back_edges {
+            cp += mass[e.from.index()] * flow.probs[e.from.index()][e.succ_index()];
+        }
+        if cp > cp_cap {
+            flow.trip_caps += 1;
+            cp = cp_cap;
+        }
+        mult[li] = 1.0 / (1.0 - cp.clamp(0.0, cp_cap));
+    }
+
+    // Absolute pass: forward edges feed inflow, headers amplify, back
+    // edges receive flow but are never read as inputs (their mass is
+    // what the multiplier accounts for).
+    for &b in cfg.reverse_postorder() {
+        flow.visits += 1;
+        let mut inflow = if b == cfg.entry() { entry_flow } else { 0.0 };
+        inflow += cfg
+            .preds(b)
+            .iter()
+            .filter(|e| !cfg.is_retreating(e.from, b))
+            .map(|e| flow.efreq[e.from.index()][e.succ_index()])
+            .sum::<f64>();
+        if header_of[b.index()] != usize::MAX {
+            inflow *= mult[header_of[b.index()]];
+        }
+        flow.bfreq[b.index()] = inflow;
+        for s in 0..flow.probs[b.index()].len() {
+            flow.efreq[b.index()][s] = inflow * flow.probs[b.index()][s];
+        }
+    }
+    flow
+}

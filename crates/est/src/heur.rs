@@ -1,0 +1,293 @@
+//! Ball–Larus-style syntactic branch heuristics and their
+//! Dempster–Shafer combination.
+//!
+//! Each heuristic inspects one two-way branch and, when its syntactic
+//! pattern applies, predicts a probability that the branch is *taken*
+//! (successor 0, the `then` arm). Independent predictions for the same
+//! branch are combined pairwise with the Dempster–Shafer rule
+//! `p = p1·p2 / (p1·p2 + (1−p1)(1−p2))` (Wu & Larus, MICRO-27), so
+//! agreeing evidence compounds and disagreeing evidence cancels toward
+//! 1/2. The combined probability is clamped to `[1/64, 63/64]` so no
+//! branch is ever statically certain.
+
+use ppp_ir::{BinOp, BlockId};
+use ppp_ir::{Cfg, Dominators, Function, Inst, LoopForest, Reg, Terminator};
+
+/// Stable heuristic names, in combination order. Indexes into
+/// [`FuncPredictions::fired`] and the `ppp_est_branches_total` metric's
+/// `heuristic` label.
+pub const HEURISTIC_NAMES: [&str; 8] = [
+    "loop-branch",
+    "loop-exit",
+    "loop-header",
+    "call",
+    "return",
+    "store",
+    "opcode",
+    "guard",
+];
+
+/// Probability mass a heuristic can never push a branch past: no branch
+/// is statically certain.
+pub const PROB_CLAMP: f64 = 1.0 / 64.0;
+
+/// Per-branch taken probabilities predicted for `then` arms:
+/// `loop-branch` 0.88, `loop-exit` 0.80 (to the non-exit arm),
+/// `loop-header` 0.75, `call` avoided at 0.78, `return` avoided at
+/// 0.72, `store` avoided at 0.55, `opcode` (Eq unlikely / Ne likely)
+/// 0.84, `guard` (compare against a literal zero) 0.88.
+const P_LOOP_BRANCH: f64 = 0.88;
+const P_LOOP_EXIT: f64 = 0.80;
+const P_LOOP_HEADER: f64 = 0.75;
+const P_CALL: f64 = 0.78;
+const P_RETURN: f64 = 0.72;
+const P_STORE: f64 = 0.55;
+const P_OPCODE: f64 = 0.84;
+const P_GUARD: f64 = 0.88;
+
+/// Branch-probability predictions for one function.
+#[derive(Clone, Debug)]
+pub struct FuncPredictions {
+    /// `probs[b][s]` = probability of taking successor `s` of block `b`.
+    /// Rows sum to 1 for blocks with successors; empty for returns.
+    pub probs: Vec<Vec<f64>>,
+    /// How many branches each heuristic fired on, indexed like
+    /// [`HEURISTIC_NAMES`].
+    pub fired: [u64; 8],
+    /// Two-way branches predicted (heuristic or default 1/2).
+    pub branches: u64,
+    /// Blocks where two heuristics disagreed strongly (one ≥ 0.65 taken,
+    /// another ≤ 0.35): the combined estimate carries little signal.
+    pub conflicts: Vec<BlockId>,
+}
+
+/// Dempster–Shafer combination of two independent taken-probabilities.
+fn combine(p1: f64, p2: f64) -> f64 {
+    let num = p1 * p2;
+    let den = num + (1.0 - p1) * (1.0 - p2);
+    if den <= f64::EPSILON {
+        0.5
+    } else {
+        num / den
+    }
+}
+
+/// Scans `block` backwards for the instruction defining `cond`; follows
+/// one level of `Copy`.
+fn defining_inst(f: &Function, b: BlockId, cond: Reg) -> Option<&Inst> {
+    let mut want = cond;
+    for inst in f.block(b).insts.iter().rev() {
+        if inst.def() == Some(want) {
+            if let Inst::Copy { src, .. } = inst {
+                want = *src;
+                continue;
+            }
+            return Some(inst);
+        }
+    }
+    None
+}
+
+/// `true` when `r` is defined by `Const { value: 0 }` inside `b` (a
+/// null/zero guard operand).
+fn is_zero_const(f: &Function, b: BlockId, r: Reg) -> bool {
+    matches!(defining_inst(f, b, r), Some(Inst::Const { value: 0, .. }))
+}
+
+fn has_call(f: &Function, b: BlockId) -> bool {
+    f.block(b)
+        .insts
+        .iter()
+        .any(|i| matches!(i, Inst::Call { .. }))
+}
+
+fn has_store(f: &Function, b: BlockId) -> bool {
+    f.block(b)
+        .insts
+        .iter()
+        .any(|i| matches!(i, Inst::Store { .. }))
+}
+
+/// Applies every applicable heuristic to the two-way branch terminating
+/// `b` and returns `(taken_probability, fired_mask)` plus whether the
+/// individual predictions conflicted.
+#[allow(clippy::too_many_arguments)]
+fn predict_branch(
+    f: &Function,
+    cfg: &Cfg,
+    dom: &Dominators,
+    loops: &LoopForest,
+    b: BlockId,
+    cond: Reg,
+    then_t: BlockId,
+    else_t: BlockId,
+) -> (f64, [bool; 8], bool) {
+    let mut votes: Vec<(usize, f64)> = Vec::new();
+
+    // Loop-branch: a back edge (retreating, header dominates source) is
+    // taken — loops iterate.
+    let back = |tgt: BlockId| cfg.is_retreating(b, tgt) && dom.dominates(tgt, b);
+    match (back(then_t), back(else_t)) {
+        (true, false) => votes.push((0, P_LOOP_BRANCH)),
+        (false, true) => votes.push((0, 1.0 - P_LOOP_BRANCH)),
+        _ => {}
+    }
+
+    // Loop-exit: the edge leaving the innermost loop of `b` is avoided.
+    if let Some(l) = loops.innermost(b) {
+        match (l.contains(then_t), l.contains(else_t)) {
+            (true, false) => votes.push((1, P_LOOP_EXIT)),
+            (false, true) => votes.push((1, 1.0 - P_LOOP_EXIT)),
+            _ => {}
+        }
+    }
+
+    // Loop-header: an edge into a loop the source is not part of is
+    // taken — code usually enters the loops it sits in front of.
+    let enters_loop = |tgt: BlockId| {
+        loops
+            .loops()
+            .iter()
+            .any(|l| l.header == tgt && !l.contains(b))
+    };
+    match (enters_loop(then_t), enters_loop(else_t)) {
+        (true, false) => votes.push((2, P_LOOP_HEADER)),
+        (false, true) => votes.push((2, 1.0 - P_LOOP_HEADER)),
+        _ => {}
+    }
+
+    // Call / return / store: successors doing those things are avoided
+    // (error paths call helpers, bail out, or spill state).
+    match (has_call(f, then_t), has_call(f, else_t)) {
+        (true, false) => votes.push((3, 1.0 - P_CALL)),
+        (false, true) => votes.push((3, P_CALL)),
+        _ => {}
+    }
+    let returns = |t: BlockId| f.block(t).term.is_return();
+    match (returns(then_t), returns(else_t)) {
+        (true, false) => votes.push((4, 1.0 - P_RETURN)),
+        (false, true) => votes.push((4, P_RETURN)),
+        _ => {}
+    }
+    match (has_store(f, then_t), has_store(f, else_t)) {
+        (true, false) => votes.push((5, 1.0 - P_STORE)),
+        (false, true) => votes.push((5, P_STORE)),
+        _ => {}
+    }
+
+    // Opcode & guard: trace the condition register to its defining
+    // instruction inside the branch block.
+    match defining_inst(f, b, cond) {
+        Some(Inst::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+            ..
+        }) => {
+            if is_zero_const(f, b, *lhs) || is_zero_const(f, b, *rhs) {
+                // `x == 0`: a null/zero guard, emphatically not taken.
+                votes.push((7, 1.0 - P_GUARD));
+            } else {
+                // Values are rarely equal.
+                votes.push((6, 1.0 - P_OPCODE));
+            }
+        }
+        Some(Inst::Binary {
+            op: BinOp::Ne,
+            lhs,
+            rhs,
+            ..
+        }) => {
+            if is_zero_const(f, b, *lhs) || is_zero_const(f, b, *rhs) {
+                votes.push((7, P_GUARD));
+            } else {
+                votes.push((6, P_OPCODE));
+            }
+        }
+        // A constant condition decides the branch outright (subject to
+        // the clamp): dead guards stay cold.
+        Some(Inst::Const { value, .. }) => {
+            votes.push((
+                6,
+                if *value != 0 {
+                    1.0 - PROB_CLAMP
+                } else {
+                    PROB_CLAMP
+                },
+            ));
+        }
+        _ => {}
+    }
+
+    let mut fired = [false; 8];
+    let mut p = 0.5;
+    for &(h, v) in &votes {
+        fired[h] = true;
+        p = combine(p, v);
+    }
+    let conflict = votes.iter().any(|&(_, v)| v >= 0.65) && votes.iter().any(|&(_, v)| v <= 0.35);
+    (p.clamp(PROB_CLAMP, 1.0 - PROB_CLAMP), fired, conflict)
+}
+
+/// Predicts a taken-probability for every branch of `f`.
+///
+/// `uniform` skips the heuristics and assigns every successor equal
+/// probability — the baseline `repro predict` compares against, run
+/// through the identical propagation machinery.
+pub fn predict_function(
+    f: &Function,
+    cfg: &Cfg,
+    dom: &Dominators,
+    loops: &LoopForest,
+    uniform: bool,
+) -> FuncPredictions {
+    let mut out = FuncPredictions {
+        probs: vec![Vec::new(); f.blocks.len()],
+        fired: [0; 8],
+        branches: 0,
+        conflicts: Vec::new(),
+    };
+    for (b, block) in f.iter_blocks() {
+        out.probs[b.index()] = match &block.term {
+            Terminator::Return { .. } => Vec::new(),
+            Terminator::Jump { .. } => vec![1.0],
+            Terminator::Branch {
+                cond,
+                then_target,
+                else_target,
+            } => {
+                out.branches += 1;
+                if uniform || then_target == else_target {
+                    vec![0.5, 0.5]
+                } else {
+                    let (p, fired, conflict) =
+                        predict_branch(f, cfg, dom, loops, b, *cond, *then_target, *else_target);
+                    for (h, &hit) in fired.iter().enumerate() {
+                        if hit {
+                            out.fired[h] += 1;
+                        }
+                    }
+                    if conflict {
+                        out.conflicts.push(b);
+                    }
+                    vec![p, 1.0 - p]
+                }
+            }
+            Terminator::Switch { targets, .. } => {
+                out.branches += 1;
+                // Uniform over explicit targets; the default arm gets
+                // half a share (it is usually the "none of the above"
+                // fallback).
+                let n = targets.len();
+                let total = n as f64 + 0.5;
+                let mut w = vec![1.0 / total; n];
+                w.push(0.5 / total);
+                if uniform {
+                    w = vec![1.0 / (n + 1) as f64; n + 1];
+                }
+                w
+            }
+        };
+    }
+    out
+}

@@ -1,0 +1,174 @@
+//! Fixture CFGs tripping each PPP5xx diagnostic code, plus shape
+//! checks on the estimates they produce.
+
+use ppp_est::{estimate_module, EstOptions};
+use ppp_ir::{BinOp, FuncId, FunctionBuilder, Module, Reg};
+use ppp_lint::Code;
+
+fn single(f: ppp_ir::Function) -> Module {
+    let mut m = Module::new();
+    m.add_function(f);
+    m
+}
+
+/// `PPP501`: a retreating edge whose target does not dominate its
+/// source (a classic two-entry irreducible region).
+#[test]
+fn irreducible_region_trips_ppp501() {
+    let mut b = FunctionBuilder::new("irr", 1);
+    let (a, c, exit) = (b.new_block(), b.new_block(), b.new_block());
+    b.branch(Reg(0), a, c); // entry reaches both region blocks
+    b.switch_to(a);
+    b.branch(Reg(0), c, exit);
+    b.switch_to(c);
+    b.jump(a); // retreating, and `a` does not dominate `c`
+    b.switch_to(exit);
+    b.ret(None);
+    let m = single(b.finish());
+    let (p, r) = estimate_module(&m, &EstOptions::default());
+    assert!(r.diagnostics.has(Code::IrreducibleRegionCapped), "{r:?}");
+    assert!(r.stats.irreducible_edges > 0);
+    assert!(p.is_flow_conservative(&m));
+    assert!(!p.func(FuncId(0)).is_zero());
+}
+
+/// `PPP502`: the call heuristic (avoid the calling arm) and the return
+/// heuristic (avoid the returning arm) pull the same branch in opposite
+/// directions.
+#[test]
+fn disagreeing_heuristics_trip_ppp502() {
+    let mut m = Module::new();
+    let mut leaf = FunctionBuilder::new("leaf", 0);
+    leaf.ret(None);
+    let leaf_id = m.add_function(leaf.finish());
+
+    let mut b = FunctionBuilder::new("torn", 1);
+    let (callside, retside, join) = (b.new_block(), b.new_block(), b.new_block());
+    b.branch(Reg(0), callside, retside);
+    b.switch_to(callside);
+    b.call_void(leaf_id, vec![]);
+    b.jump(join);
+    b.switch_to(retside);
+    b.ret(None);
+    b.switch_to(join);
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let (p, r) = estimate_module(&m, &EstOptions::default());
+    assert!(r.diagnostics.has(Code::HeuristicConflict), "{r:?}");
+    assert!(r.stats.conflicts > 0);
+    assert!(p.is_flow_conservative(&m));
+}
+
+/// `PPP503`: two back edges whose combined cyclic probability exceeds
+/// the trip cap; the capped real flow is slightly non-conservative and
+/// the decomposition must drop the remainder.
+#[test]
+fn capped_cyclic_probability_trips_ppp503() {
+    let mut b = FunctionBuilder::new("spin", 0);
+    let (h, latch, side, exit) = (b.new_block(), b.new_block(), b.new_block(), b.new_block());
+    b.jump(h);
+    b.switch_to(h);
+    let stay = b.constant(1); // constant-true: clamped to 63/64
+    b.branch(stay, latch, side);
+    b.switch_to(latch);
+    b.jump(h); // back edge carrying ~63/64
+    b.switch_to(side);
+    let leave = b.constant(0); // constant-false: exit arm gets 1/64
+    b.branch(leave, exit, h); // second back edge: total cp > 63/64
+    b.switch_to(exit);
+    b.ret(None);
+    let m = single(b.finish());
+    let (p, r) = estimate_module(&m, &EstOptions::default());
+    assert!(r.stats.trip_caps > 0, "cap never hit: {r:?}");
+    assert!(r.diagnostics.has(Code::EstimateRepaired), "{r:?}");
+    assert!(r.stats.discarded_flow > 0);
+    // The repair preserves exact conservation and a hot loop.
+    assert!(p.is_flow_conservative(&m));
+    let f = p.func(FuncId(0));
+    assert!(f.block(h) > f.entries().max(1) * 4, "loop went cold: {f:?}");
+}
+
+/// `PPP504`: no return block is reachable; the estimate is zeroed
+/// rather than fabricated.
+#[test]
+fn unreachable_return_trips_ppp504() {
+    let mut b = FunctionBuilder::new("forever", 0);
+    let spin = b.new_block();
+    b.jump(spin);
+    b.switch_to(spin);
+    b.jump(spin);
+    let m = single(b.finish());
+    let (p, r) = estimate_module(&m, &EstOptions::default());
+    assert!(r.diagnostics.has(Code::EstimateZeroed), "{r:?}");
+    assert_eq!(r.stats.zeroed_funcs, 1);
+    assert!(p.func(FuncId(0)).is_zero());
+    assert!(p.is_flow_conservative(&m));
+}
+
+/// The loop-header heuristic (index 2) fires on a branch whose `then`
+/// arm jumps straight into a foreign loop's header — a shape the
+/// workload generator never emits.
+#[test]
+fn branch_into_foreign_loop_fires_loop_header_heuristic() {
+    let mut b = FunctionBuilder::new("enter", 1);
+    let (h, body, skip, exit) = (b.new_block(), b.new_block(), b.new_block(), b.new_block());
+    b.branch(Reg(0), h, skip);
+    b.switch_to(h);
+    b.branch(Reg(0), body, exit);
+    b.switch_to(body);
+    b.jump(h);
+    b.switch_to(skip);
+    b.jump(exit);
+    b.switch_to(exit);
+    b.ret(None);
+    let m = single(b.finish());
+    let (p, r) = estimate_module(&m, &EstOptions::default());
+    assert!(r.stats.heuristic_fires[2] > 0, "loop-header silent: {r:?}");
+    assert!(p.is_flow_conservative(&m));
+    // Entering the loop is the predicted-likely arm, so the header runs
+    // hotter than the skip path.
+    let f = p.func(FuncId(0));
+    assert!(f.block(h) > f.block(skip), "{f:?}");
+}
+
+/// The guard heuristic (index 7) fires on an explicit compare against a
+/// literal zero; `x != 0` predicts the `then` arm taken.
+#[test]
+fn zero_compare_fires_guard_heuristic() {
+    let mut b = FunctionBuilder::new("guard", 1);
+    let (nonnull, null, exit) = (b.new_block(), b.new_block(), b.new_block());
+    let z = b.constant(0);
+    let c = b.binary(BinOp::Ne, Reg(0), z);
+    b.branch(c, nonnull, null);
+    b.switch_to(nonnull);
+    b.jump(exit);
+    b.switch_to(null);
+    b.jump(exit);
+    b.switch_to(exit);
+    b.ret(None);
+    let m = single(b.finish());
+    let (p, r) = estimate_module(&m, &EstOptions::default());
+    assert!(r.stats.heuristic_fires[7] > 0, "guard silent: {r:?}");
+    let f = p.func(FuncId(0));
+    assert!(f.block(nonnull) > f.block(null), "{f:?}");
+}
+
+/// The PPP5xx codes land in the registry with the documented strings.
+#[test]
+fn ppp5xx_band_is_registered() {
+    for (code, s) in [
+        (Code::IrreducibleRegionCapped, "PPP501"),
+        (Code::HeuristicConflict, "PPP502"),
+        (Code::EstimateRepaired, "PPP503"),
+        (Code::EstimateZeroed, "PPP504"),
+    ] {
+        assert_eq!(code.as_str(), s);
+        assert!(Code::ALL.contains(&code));
+    }
+    // Info/warning severities: estimation findings are advisory — an
+    // estimate is always produced — except zeroing, which is suspect.
+    use ppp_lint::Severity;
+    assert_eq!(Code::IrreducibleRegionCapped.severity(), Severity::Info);
+    assert_eq!(Code::EstimateZeroed.severity(), Severity::Warning);
+}

@@ -12,6 +12,7 @@
 //! | `PPP2xx`  | plan conformance (placement bookkeeping)     |
 //! | `PPP3xx`  | translation validation & profile consistency |
 //! | `PPP4xx`  | stale-profile matching & transfer (`ppp-match`) |
+//! | `PPP5xx`  | static branch prediction & frequency estimation (`ppp-est`) |
 
 use ppp_ir::{BlockId, FuncId};
 use std::fmt;
@@ -118,11 +119,28 @@ pub enum Code {
     /// conservation even after boundary renormalization; the function's
     /// transferred counts are discarded (zeroed) rather than trusted.
     NonConservativeTransfer,
+    /// `PPP501` — an irreducible region (retreating edge whose target
+    /// does not dominate its source) was found during static frequency
+    /// propagation; its retreating edges receive zero trip credit, so
+    /// flow through the region is estimated as if it executed once.
+    IrreducibleRegionCapped,
+    /// `PPP502` — independent branch heuristics gave strongly opposing
+    /// predictions for the same branch; the Dempster–Shafer combination
+    /// lands near 50/50 and the estimate carries little signal there.
+    HeuristicConflict,
+    /// `PPP503` — converting real-valued frequencies to integer counts
+    /// broke Kirchhoff conservation and a one-pass renormalization
+    /// repaired it; the repair preserves ratios to within one count.
+    EstimateRepaired,
+    /// `PPP504` — a function cannot be estimated (no return block is
+    /// reachable from entry, so no finite execution exists); its static
+    /// estimate is zeroed rather than fabricated.
+    EstimateZeroed,
 }
 
 impl Code {
     /// Every registered code, in code order.
-    pub const ALL: [Code; 24] = [
+    pub const ALL: [Code; 28] = [
         Code::UnreachableBlock,
         Code::UseBeforeInit,
         Code::DeadWrite,
@@ -147,6 +165,10 @@ impl Code {
         Code::AmbiguousAnchor,
         Code::SplitMergedRegion,
         Code::NonConservativeTransfer,
+        Code::IrreducibleRegionCapped,
+        Code::HeuristicConflict,
+        Code::EstimateRepaired,
+        Code::EstimateZeroed,
     ];
 
     /// The stable code string (`"PPP001"`, ...).
@@ -176,6 +198,10 @@ impl Code {
             Code::AmbiguousAnchor => "PPP402",
             Code::SplitMergedRegion => "PPP403",
             Code::NonConservativeTransfer => "PPP404",
+            Code::IrreducibleRegionCapped => "PPP501",
+            Code::HeuristicConflict => "PPP502",
+            Code::EstimateRepaired => "PPP503",
+            Code::EstimateZeroed => "PPP504",
         }
     }
 
@@ -185,10 +211,14 @@ impl Code {
             Code::UnreachableBlock
             | Code::DeadWrite
             | Code::MaybeUninit
-            | Code::SplitMergedRegion => Severity::Info,
-            Code::UseBeforeInit | Code::UnanchoredBlock | Code::AmbiguousAnchor => {
-                Severity::Warning
-            }
+            | Code::SplitMergedRegion
+            | Code::IrreducibleRegionCapped
+            | Code::HeuristicConflict
+            | Code::EstimateRepaired => Severity::Info,
+            Code::UseBeforeInit
+            | Code::UnanchoredBlock
+            | Code::AmbiguousAnchor
+            | Code::EstimateZeroed => Severity::Warning,
             Code::PathNumbering
             | Code::CounterBounds
             | Code::CountMultiplicity
@@ -236,6 +266,10 @@ impl Code {
             Code::AmbiguousAnchor => "anchor matches several candidates; structure cannot decide",
             Code::SplitMergedRegion => "new region between matched blocks (split/merge)",
             Code::NonConservativeTransfer => "transferred profile not conservative; zeroed",
+            Code::IrreducibleRegionCapped => "irreducible region: retreating edges get no trips",
+            Code::HeuristicConflict => "branch heuristics strongly disagree; weak estimate",
+            Code::EstimateRepaired => "integer rounding repaired to restore conservation",
+            Code::EstimateZeroed => "no reachable return; static estimate zeroed",
         }
     }
 }

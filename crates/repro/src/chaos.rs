@@ -77,6 +77,10 @@ pub struct ChaosOutcome {
     pub report: DegradationReport,
     /// Whether the surviving guidance passed `ppp_lint::check_profile`.
     pub lint_clean: bool,
+    /// Whether the static-estimate rung, if reached, supplied live
+    /// guidance: non-zero, PPP308-conservative, and a report event
+    /// naming the `ppp-est` estimator. Vacuously `true` on other rungs.
+    pub estimator_ok: bool,
     /// The gate verdict.
     pub verdict: ChaosVerdict,
 }
@@ -84,19 +88,20 @@ pub struct ChaosOutcome {
 impl ChaosOutcome {
     /// `true` when this scenario upholds the robustness contract.
     pub fn ok(&self) -> bool {
-        self.verdict != ChaosVerdict::Silent && self.lint_clean
+        self.verdict != ChaosVerdict::Silent && self.lint_clean && self.estimator_ok
     }
 
     /// Renders the outcome as a JSON object (stable keys).
     pub fn to_json(&self) -> String {
         format!(
             "{{\"benchmark\":\"{}\",\"site\":\"{}\",\"seed\":{},\"verdict\":\"{}\",\
-             \"lint_clean\":{},\"detail\":\"{}\",\"degradation\":{}}}",
+             \"lint_clean\":{},\"estimator_ok\":{},\"detail\":\"{}\",\"degradation\":{}}}",
             json_escape(&self.benchmark),
             self.site,
             self.seed,
             self.verdict,
             self.lint_clean,
+            self.estimator_ok,
             json_escape(&self.detail),
             self.report.to_json(),
         )
@@ -126,6 +131,26 @@ fn record_faults(report: &mut DegradationReport, faults: &[SectionFault]) {
 
 fn lint_ok(module: &Module, guidance: Option<&ModuleEdgeProfile>) -> bool {
     guidance.is_none_or(|g| ppp_lint::check_profile(module, g).is_empty())
+}
+
+/// The rung-5 contract: a scenario that bottoms out on the
+/// static-estimate rung must still hand back *live* guidance — non-zero
+/// somewhere, flow conservative — and its report must name the
+/// estimator, so cold starts are never silent `None`s. Vacuously true
+/// on every other rung.
+fn static_rung_ok(
+    module: &Module,
+    guidance: Option<&ModuleEdgeProfile>,
+    report: &DegradationReport,
+) -> bool {
+    if report.rung() != LadderRung::StaticEstimate {
+        return true;
+    }
+    let Some(g) = guidance else { return false };
+    g.shape_matches(module)
+        && g.is_flow_conservative(module)
+        && g.funcs.iter().any(|f| !f.is_zero())
+        && report.events.iter().any(|e| e.detail.contains("ppp-est"))
 }
 
 fn damage_bytes(plan: &FaultPlan, bytes: &mut Vec<u8>) -> String {
@@ -173,7 +198,7 @@ fn wire_fault_scenario(
     prep: &PreparedBenchmark,
     detail: String,
     stream: &[u8],
-) -> (String, DegradationReport, bool, bool) {
+) -> (String, DegradationReport, bool, bool, bool) {
     let module = &prep.module;
     let agg = Aggregator::new(
         &prep.name,
@@ -214,7 +239,8 @@ fn wire_fault_scenario(
         );
     }
     let lint = lint_ok(module, g.as_ref());
-    (detail, report, harmless, lint)
+    let est_ok = static_rung_ok(module, g.as_ref(), &report);
+    (detail, report, harmless, lint, est_ok)
 }
 
 /// Runs one fault scenario against a prepared benchmark.
@@ -230,8 +256,9 @@ pub fn chaos_scenario(
     let plan = FaultPlan::new(site, seed);
     let module = &prep.module;
     // Each arm yields: what the injection did, the surviving guidance,
-    // the ladder's report, and whether the damage was byte-benign.
-    let (detail, report, harmless, lint_clean) = match site {
+    // the ladder's report, whether the damage was byte-benign, and
+    // whether the static-estimate rung (if hit) held its contract.
+    let (detail, report, harmless, lint_clean, estimator_ok) = match site {
         FaultSite::TruncateEdgeBytes | FaultSite::CorruptEdgeBytes => {
             let mut bytes = write_edge_profile_v2(module, &prep.edges).into_bytes();
             let detail = damage_bytes(&plan, &mut bytes);
@@ -242,7 +269,8 @@ pub fn chaos_scenario(
                         ingest_guidance(module, Some(s.profile), Some(&prep.truth));
                     record_faults(&mut report, &s.faults);
                     let lint = lint_ok(module, g.as_ref());
-                    (detail, report, harmless, lint)
+                    let est = static_rung_ok(module, g.as_ref(), &report);
+                    (detail, report, harmless, lint, est)
                 }
                 Err(e) => {
                     // Container-level damage: the whole artifact is
@@ -250,7 +278,8 @@ pub fn chaos_scenario(
                     let (g, mut report) = ingest_guidance(module, None, Some(&prep.truth));
                     report.push("load-error", e.to_string());
                     let lint = lint_ok(module, g.as_ref());
-                    (detail, report, false, lint)
+                    let est = static_rung_ok(module, g.as_ref(), &report);
+                    (detail, report, false, lint, est)
                 }
             }
         }
@@ -265,13 +294,15 @@ pub fn chaos_scenario(
                     let (g, mut report) = ingest_guidance(module, None, Some(&s.profile));
                     record_faults(&mut report, &s.faults);
                     let lint = lint_ok(module, g.as_ref());
-                    (detail, report, harmless, lint)
+                    let est = static_rung_ok(module, g.as_ref(), &report);
+                    (detail, report, harmless, lint, est)
                 }
                 Err(e) => {
                     let (g, mut report) = ingest_guidance(module, None, None);
                     report.push("load-error", e.to_string());
                     let lint = lint_ok(module, g.as_ref());
-                    (detail, report, false, lint)
+                    let est = static_rung_ok(module, g.as_ref(), &report);
+                    (detail, report, false, lint, est)
                 }
             }
         }
@@ -284,7 +315,8 @@ pub fn chaos_scenario(
             };
             let (g, report) = ingest_guidance(module, Some(edges), Some(&prep.truth));
             let lint = lint_ok(module, g.as_ref());
-            (detail, report, hit.is_none(), lint)
+            let est = static_rung_ok(module, g.as_ref(), &report);
+            (detail, report, hit.is_none(), lint, est)
         }
         FaultSite::HashOverflow => {
             // Shrink the paper's 701×3 table to 7×3 and force hashing
@@ -303,7 +335,7 @@ pub fn chaos_scenario(
                 );
             }
             let detail = "ran PPP with a 7-slot hash table (hash threshold 0)".to_owned();
-            (detail, report, lost == 0, true)
+            (detail, report, lost == 0, true, true)
         }
         FaultSite::DropTraceEvents => {
             let tf = plan.trace_faults();
@@ -327,12 +359,14 @@ pub fn chaos_scenario(
                         );
                     }
                     let lint = lint_ok(module, g.as_ref());
-                    (detail, report, de + dp == 0, lint)
+                    let est = static_rung_ok(module, g.as_ref(), &report);
+                    (detail, report, de + dp == 0, lint, est)
                 }
                 Err(e) => {
-                    let (_, mut report) = ingest_guidance(module, None, None);
+                    let (g, mut report) = ingest_guidance(module, None, None);
                     report.push("vm-error", e.to_string());
-                    (detail, report, false, true)
+                    let est = static_rung_ok(module, g.as_ref(), &report);
+                    (detail, report, false, true, est)
                 }
             }
         }
@@ -358,12 +392,14 @@ pub fn chaos_scenario(
                         );
                     }
                     let lint = lint_ok(module, g.as_ref());
-                    (detail, report, !killed, lint)
+                    let est = static_rung_ok(module, g.as_ref(), &report);
+                    (detail, report, !killed, lint, est)
                 }
                 Err(e) => {
-                    let (_, mut report) = ingest_guidance(module, None, None);
+                    let (g, mut report) = ingest_guidance(module, None, None);
                     report.push("vm-error", e.to_string());
-                    (detail, report, false, true)
+                    let est = static_rung_ok(module, g.as_ref(), &report);
+                    (detail, report, false, true, est)
                 }
             }
         }
@@ -436,13 +472,15 @@ pub fn chaos_scenario(
                     }
                     record_faults(&mut report, &msr.stale.faults);
                     let lint = lint_ok(&stale, g.as_ref());
-                    (detail, report, harmless, lint)
+                    let est = static_rung_ok(&stale, g.as_ref(), &report);
+                    (detail, report, harmless, lint, est)
                 }
                 Err(e) => {
                     let (g, mut report) = ingest_guidance(&stale, None, None);
                     report.push("load-error", e.to_string());
                     let lint = lint_ok(&stale, g.as_ref());
-                    (detail, report, false, lint)
+                    let est = static_rung_ok(&stale, g.as_ref(), &report);
+                    (detail, report, false, lint, est)
                 }
             }
         }
@@ -461,6 +499,7 @@ pub fn chaos_scenario(
         detail,
         report,
         lint_clean,
+        estimator_ok,
         verdict,
     }
 }
@@ -613,6 +652,25 @@ mod tests {
             "stale-shape landed on {}",
             stale.report.rung()
         );
+    }
+
+    #[test]
+    fn static_estimate_rung_supplies_live_guidance() {
+        // Force total guidance loss, the way a load-error scenario does,
+        // and check the contract the sweep gates on: rung 5 yields a
+        // non-zero conservative estimate and names the estimator.
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == "mcf").unwrap();
+        let prep = prepare_benchmark(entry, &tiny()).expect("pipeline completes");
+        let (g, report) = ingest_guidance(&prep.module, None, None);
+        assert_eq!(report.rung(), LadderRung::StaticEstimate);
+        assert!(static_rung_ok(&prep.module, g.as_ref(), &report));
+        assert!(lint_ok(&prep.module, g.as_ref()));
+        // Dropping the guidance or the estimator event must fail it.
+        assert!(!static_rung_ok(&prep.module, None, &report));
+        let mut scrubbed = report.clone();
+        scrubbed.events.retain(|e| !e.detail.contains("ppp-est"));
+        assert!(!static_rung_ok(&prep.module, g.as_ref(), &scrubbed));
     }
 
     #[test]

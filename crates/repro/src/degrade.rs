@@ -20,11 +20,14 @@
 //!    rebuilt from the surviving path profile via
 //!    [`ModuleEdgeProfile::from_paths`]; rebuilt functions that still
 //!    don't balance are quarantined for good.
-//! 5. **Static estimate** — no usable guidance at all: the instrumenter
-//!    runs with `None`, falling back to its static heuristics.
+//! 5. **Static estimate** — no usable guidance at all: the `ppp-est`
+//!    analyzer synthesizes a profile from Ball–Larus branch heuristics
+//!    and loop-nest frequency propagation, so cold-start guidance is
+//!    real counts, not a `None` the instrumenter must special-case.
 //!
-//! The returned guidance is always safe to hand to the instrumenter:
-//! either `None`, or a shape-matching, flow-conservative profile.
+//! The returned guidance is always safe to hand to the instrumenter: a
+//! shape-matching, flow-conservative profile on every rung. `None` is
+//! reserved for the degenerate empty-module case.
 
 use ppp_ir::{FuncId, Module, ModuleEdgeProfile, ModulePathProfile};
 use std::fmt;
@@ -217,10 +220,12 @@ fn untrusted_funcs(
 ///
 /// `edges` is the (possibly damaged, possibly absent) guidance profile;
 /// `paths` is the surviving path profile, if any, used to rebuild
-/// quarantined functions. Returns the sanitized guidance — `None` means
-/// rung 4, instrument statically — plus the structured report.
+/// quarantined functions. Returns the sanitized guidance plus the
+/// structured report. When nothing usable survives, rung 5 synthesizes
+/// guidance with [`ppp_est::estimate_module`] instead of returning
+/// `None`.
 ///
-/// Guarantee: a `Some` result always shape-matches `module` and is flow
+/// Guarantee: the result always shape-matches `module` and is flow
 /// conservative, so downstream consumers need no further checks.
 pub fn ingest_guidance(
     module: &Module,
@@ -340,14 +345,26 @@ fn ingest_guidance_inner(
         );
     }
 
-    // Rung 4: if nothing usable survived, fall back to static estimation.
+    // Rung 5: nothing usable survived — synthesize guidance statically
+    // with ppp-est instead of handing the instrumenter `None`.
     if out.funcs.iter().all(|p| p.is_zero()) {
+        let (estimate, est_report) =
+            ppp_est::estimate_module(module, &ppp_est::EstOptions::default());
         report.push(
             "no-usable-guidance",
-            "every function quarantined; instrumenting from static estimates",
+            format!(
+                "every function quarantined; guidance synthesized by ppp-est \
+                 ({} function(s), {} branch(es) predicted, {} loop(s), \
+                 {} diagnostic(s))",
+                est_report.stats.funcs,
+                est_report.stats.branches,
+                est_report.stats.loops,
+                est_report.diagnostics.diagnostics.len(),
+            ),
         );
         report.final_rung = Some(LadderRung::StaticEstimate);
-        return (None, report);
+        debug_assert!(estimate.shape_matches(module) && estimate.is_flow_conservative(module));
+        return (Some(estimate), report);
     }
 
     debug_assert!(out.shape_matches(module) && out.is_flow_conservative(module));
@@ -487,12 +504,20 @@ mod tests {
     }
 
     #[test]
-    fn nothing_usable_falls_to_static() {
+    fn nothing_usable_falls_to_static_estimate() {
         let m = sample();
         let (g, r) = ingest_guidance(&m, None, None);
         assert_eq!(r.rung(), LadderRung::StaticEstimate);
-        assert!(g.is_none());
         assert!(r.degraded());
+        // Rung 5 is real guidance now: conservative, non-zero, and the
+        // report names the estimator.
+        let g = g.expect("static estimate");
+        assert!(g.shape_matches(&m) && g.is_flow_conservative(&m));
+        assert!(!g.func(FuncId(0)).is_zero(), "estimate is all-cold");
+        assert!(r
+            .events
+            .iter()
+            .any(|ev| ev.cause == "no-usable-guidance" && ev.detail.contains("ppp-est")));
         // Shape-mismatched profile without paths: same outcome.
         let other = ModuleEdgeProfile::zeroed(&sample());
         let mut small = Module::new();
@@ -500,9 +525,9 @@ mod tests {
         b.ret(None);
         small.add_function(b.finish());
         let (g, r) = ingest_guidance(&small, Some(other), None);
-        assert!(g.is_none());
         assert!(r.events.iter().any(|ev| ev.cause == "shape-mismatch"));
         assert_eq!(r.rung(), LadderRung::StaticEstimate);
+        assert!(g.expect("static estimate").is_flow_conservative(&small));
     }
 
     #[test]
@@ -518,9 +543,10 @@ mod tests {
         e.func_mut(FuncId(0)).bump_edge(EdgeRef::new(BlockId(0), 0));
         let (_, r) = ingest_guidance_at(&m, Some(e), None, LadderRung::MatchedStale);
         assert_eq!(r.rung(), LadderRung::SalvagedFunctions);
-        // No guidance at all: the floor is moot, rung 5 stands.
+        // No guidance at all: the floor is moot, rung 5 stands (with a
+        // synthesized estimate, not `None`).
         let (g, r) = ingest_guidance_at(&m, None, None, LadderRung::MatchedStale);
-        assert!(g.is_none());
+        assert!(g.expect("static estimate").is_flow_conservative(&m));
         assert_eq!(r.rung(), LadderRung::StaticEstimate);
     }
 

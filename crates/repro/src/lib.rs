@@ -37,6 +37,7 @@ pub mod drive;
 pub mod format;
 pub mod inspect;
 pub mod pipeline;
+pub mod predict;
 pub mod reports;
 pub mod trace;
 
@@ -64,6 +65,10 @@ pub use pipeline::{
     lint_benchmark, pipeline_configs, prepare_benchmark, run_benchmark, run_prepared,
     validate_benchmark, BenchmarkRun, PipelineError, PipelineOptions, PreparedBenchmark,
     ProfilerResult,
+};
+pub use predict::{
+    predict_benchmark, predict_gate, predict_json, predict_prepared, predict_suite, predict_table,
+    PredictOutcome, WINS_REQUIRED,
 };
 pub use reports::{all_reports, fig10, fig11, fig12, fig13, fig9, run_suite, table1, table2};
 pub use trace::trace_benchmark;

@@ -4,8 +4,8 @@ use ppp_repro::{
     all_reports, baseline_from_json, baseline_json, baseline_table, chaos_json, chaos_suite,
     chaos_table, collect_baseline, compare_baselines, drift_json, drift_suite, drift_table, drive,
     drive_json, drive_table, fig10, fig11, fig12, fig13, fig9, inspect_benchmark, lint_benchmark,
-    regressions_json, regressions_table, run_suite, serve, table1, table2, trace_benchmark,
-    validate_benchmark,
+    predict_json, predict_suite, predict_table, regressions_json, regressions_table, run_suite,
+    serve, table1, table2, trace_benchmark, validate_benchmark,
 };
 use ppp_repro::{DriveOptions, PipelineOptions, Transport};
 
@@ -26,6 +26,7 @@ fn main() {
     let mut validate: Option<Option<String>> = None;
     let mut chaos: Option<Option<String>> = None;
     let mut drift: Option<Option<String>> = None;
+    let mut predict: Option<Option<String>> = None;
     let mut bench: Option<Option<String>> = None;
     let mut drive_cmd: Option<Option<String>> = None;
     let mut serve_cmd = false;
@@ -82,6 +83,13 @@ fn main() {
                     i += 1;
                 }
                 drift = Some(next);
+            }
+            "predict" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
+                if next.is_some() {
+                    i += 1;
+                }
+                predict = Some(next);
             }
             "bench" => {
                 let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
@@ -287,6 +295,15 @@ fn main() {
     }
     if let Some(only) = drift {
         std::process::exit(run_drift(
+            only.as_deref(),
+            seed,
+            &format,
+            out.as_deref(),
+            &options,
+        ));
+    }
+    if let Some(only) = predict {
+        std::process::exit(run_predict(
             only.as_deref(),
             seed,
             &format,
@@ -591,6 +608,45 @@ fn run_drift(
     i32::from(outcomes.iter().any(|o| !o.ok()))
 }
 
+/// Scores `ppp-est` static estimates against measured profiles across
+/// the suite (or one benchmark); returns the exit code (0 = every
+/// estimate flow-conservative and the heuristics beat the uniform
+/// baseline on enough benchmarks).
+fn run_predict(
+    only: Option<&str>,
+    seed: u64,
+    format: &str,
+    out: Option<&str>,
+    options: &PipelineOptions,
+) -> i32 {
+    if let Some(name) = only {
+        let suite = ppp_workloads::spec2000_suite();
+        if !suite.iter().any(|e| e.spec.name == name) {
+            usage(&format!("unknown benchmark {name:?}"));
+        }
+    }
+    let predict_options = PipelineOptions { seed, ..*options };
+    let outcomes = match predict_suite(only, &predict_options) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let doc = predict_json(&outcomes, seed);
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("error: cannot write {path}: {e}");
+            return 2;
+        }
+    }
+    match format {
+        "json" => println!("{doc}"),
+        _ => println!("{}", predict_table(&outcomes)),
+    }
+    i32::from(!ppp_repro::predict_gate(&outcomes))
+}
+
 /// Hosts a standalone aggregation server until the process is killed;
 /// returns the exit code (2 = cannot bind).
 fn run_serve(addr: &str, shards: usize, max_conns: usize) -> i32 {
@@ -644,6 +700,7 @@ fn usage(err: &str) -> ! {
          | validate [benchmark] [--format text|json] \
          | chaos [benchmark] [--seed S] [--workers N] [--format text|json] \
          | drift [benchmark] [--seed S] [--workers N] [--format text|json] [--out FILE] \
+         | predict [benchmark] [--seed S] [--workers N] [--format text|json] [--out FILE] \
          | bench [benchmark] [--format text|json] [--out FILE] \
          [--compare OLD.json [--against NEW.json]] [--threshold X] [--seed S] [--workers N] \
          | trace <benchmark> [--seed S] \

@@ -589,8 +589,9 @@ fn run_profiler(
     let (module, truth) = (&prep.module, &prep.truth);
     // A guidance profile that violates Kirchhoff's law would silently
     // misdirect instrumentation placement. The degradation ladder
-    // (`ingest_guidance`) guarantees `guidance` is either None (static
-    // posture) or shape-matching and flow conservative.
+    // (`ingest_guidance`) guarantees `guidance` is shape-matching and
+    // flow conservative on every rung — rung 5 hands back a ppp-est
+    // static estimate, not `None`.
     debug_assert!(
         guidance.is_none_or(|g| g.shape_matches(module) && g.is_flow_conservative(module)),
         "{}: {} handed unsanitized guidance",

@@ -120,6 +120,21 @@ fn replay_matched_stale(ctx: &ObsCtx, entry: &SuiteEntry, options: &PipelineOpti
     }
 }
 
+/// Runs the `ppp-est` static estimator over the benchmark's module
+/// (`est.replay`), so the `ppp_est_*` metrics — branches predicted per
+/// heuristic, loops, trip caps, decomposition components, PPP50x
+/// diagnostics — land in the trace dump alongside the other stages.
+fn replay_static_estimate(ctx: &ObsCtx, entry: &SuiteEntry, options: &PipelineOptions) {
+    let mut span = ctx.span("est.replay");
+    let module = generate(&entry.spec.clone().scaled(options.scale));
+    let (estimate, report) = ppp_est::estimate_module(&module, &ppp_est::EstOptions::default());
+    span.set("funcs", report.stats.funcs);
+    span.set("branches", report.stats.branches);
+    span.set("loops", report.stats.loops);
+    span.set("diagnostics", report.diagnostics.diagnostics.len() as u64);
+    span.set("conservative", estimate.is_flow_conservative(&module));
+}
+
 /// Replays `entry` with span collection enabled and renders the
 /// per-stage breakdown tree plus the run's metric dump.
 ///
@@ -137,6 +152,7 @@ pub fn trace_benchmark(
     if outcome.is_ok() {
         replay_aggregation(&ctx, entry, options);
         replay_matched_stale(&ctx, entry, options);
+        replay_static_estimate(&ctx, entry, options);
     }
     ppp_obs::install_global(previous);
     let run = outcome?;
@@ -191,5 +207,10 @@ mod tests {
         assert!(text.contains("ppp_stale_sections_total"), "{text}");
         assert!(text.contains("ppp_match_blocks_total"), "{text}");
         assert!(text.contains("ppp_match_funcs_total"), "{text}");
+        // …and the static-estimator replay.
+        assert!(text.contains("est.replay"), "{text}");
+        assert!(text.contains("ppp_est_funcs_total"), "{text}");
+        assert!(text.contains("ppp_est_branches_total"), "{text}");
+        assert!(text.contains("ppp_est_loops_total"), "{text}");
     }
 }

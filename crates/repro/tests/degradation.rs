@@ -91,12 +91,18 @@ fn rung3_rebuilds_damaged_functions_from_paths() {
 }
 
 #[test]
-fn rung4_static_estimate_when_nothing_survives() {
+fn rung5_static_estimate_when_nothing_survives() {
     let (prep, _) = prep_mcf();
     let (g, r) = ingest_guidance(&prep.module, None, None);
     assert_eq!(r.rung(), LadderRung::StaticEstimate);
-    assert!(g.is_none());
     assert!(r.degraded());
+    // The bottom rung is no longer empty-handed: ppp-est synthesizes a
+    // shape-matching, flow-conservative, non-zero estimate.
+    let g = g.expect("ppp-est estimate");
+    assert!(g.shape_matches(&prep.module));
+    assert!(g.is_flow_conservative(&prep.module));
+    assert!(g.funcs.iter().any(|f| !f.is_zero()));
+    assert!(r.events.iter().any(|e| e.detail.contains("ppp-est")));
 }
 
 #[test]
