@@ -38,12 +38,18 @@
 
 pub mod pool;
 pub mod queue;
+pub mod recover;
 pub mod service;
 pub mod shard;
 pub mod tcp;
+pub mod wal;
 
 pub use pool::run_indexed;
 pub use queue::BoundedQueue;
-pub use service::{AggClient, AggService, FrameSink, Hello, InProcSink};
-pub use shard::{AggConfig, Aggregator, IngestError, StreamReport};
-pub use tcp::{read_frame, ModuleResolver, ServeOptions, Server, TcpSink};
+pub use recover::RecoveryReport;
+pub use service::{AggClient, AggService, FrameSink, Hello, InProcSink, RetryPolicy};
+pub use shard::{AggConfig, Aggregator, IngestError, IngestOutcome, StreamReport};
+pub use tcp::{
+    read_frame, ModuleResolver, ReadError, ResilientSink, ServeOptions, Server, TcpSink,
+};
+pub use wal::DurOptions;

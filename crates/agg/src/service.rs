@@ -14,12 +14,14 @@
 //! no socket is involved.
 
 use crate::shard::{AggConfig, Aggregator};
-use ppp_ir::wire::{encode_frame, FrameKind};
+use crate::wal::DurOptions;
+use ppp_ir::wire::{encode_frame, encode_seq_payload, FrameKind};
 use ppp_ir::{
     write_edge_profile_v2, write_path_profile_v2, Module, ModuleEdgeProfile, ModulePathProfile,
 };
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Contents of a `Hello` frame: which benchmark the following deltas
 /// belong to, from which worker.
@@ -103,6 +105,7 @@ impl Hello {
 pub struct AggService {
     config: AggConfig,
     aggs: Mutex<BTreeMap<String, Arc<Aggregator>>>,
+    durability: Option<DurOptions>,
 }
 
 impl AggService {
@@ -112,16 +115,37 @@ impl AggService {
         Arc::new(Self {
             config,
             aggs: Mutex::new(BTreeMap::new()),
+            durability: None,
         })
     }
 
+    /// Creates a *durable* service: every registered aggregator
+    /// checkpoints + WALs under `durability.dir`, and registration
+    /// recovers whatever state survives there — so restarting a
+    /// crashed service and re-registering a benchmark resumes from the
+    /// last durable cut instead of zero.
+    pub fn new_durable(config: AggConfig, durability: DurOptions) -> Arc<Self> {
+        Arc::new(Self {
+            config,
+            aggs: Mutex::new(BTreeMap::new()),
+            durability: Some(durability),
+        })
+    }
+
+    /// `true` when registrations recover from / persist to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
     /// Returns the aggregator for `bench`, spawning it on first use.
+    /// On a durable service, first use recovers checkpoint + WAL state
+    /// from the durability directory.
     ///
     /// # Errors
     ///
     /// Refuses re-registration under the same key with a different
     /// module shape (two workers disagreeing about the program must not
-    /// share an accumulator).
+    /// share an accumulator), and propagates recovery failures.
     pub fn register(&self, bench: &str, module: &Arc<Module>) -> Result<Arc<Aggregator>, String> {
         let mut aggs = self.aggs.lock().expect("service lock");
         if let Some(existing) = aggs.get(bench) {
@@ -134,9 +158,55 @@ impl AggService {
             }
             return Ok(Arc::clone(existing));
         }
-        let agg = Arc::new(Aggregator::new(bench, Arc::clone(module), self.config));
+        let agg = match &self.durability {
+            Some(dur) => {
+                let (agg, report) =
+                    Aggregator::recover(bench, Arc::clone(module), self.config, dur.clone())?;
+                if !report.cold_start() {
+                    ppp_obs::global().info(
+                        "agg.recovered",
+                        &[
+                            ("bench", ppp_obs::Value::from(bench)),
+                            ("summary", ppp_obs::Value::from(report.summary())),
+                        ],
+                    );
+                }
+                agg
+            }
+            None => Aggregator::new(bench, Arc::clone(module), self.config),
+        };
+        let agg = Arc::new(agg);
         aggs.insert(bench.to_owned(), Arc::clone(&agg));
         Ok(agg)
+    }
+
+    /// Checkpoints every registered durable aggregator (graceful
+    /// shutdown path). Returns the number checkpointed.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first failure after attempting every aggregator.
+    pub fn checkpoint_all(&self) -> Result<usize, String> {
+        let aggs: Vec<Arc<Aggregator>> = self
+            .aggs
+            .lock()
+            .expect("service lock")
+            .values()
+            .cloned()
+            .collect();
+        let mut written = 0;
+        let mut first_err = None;
+        for agg in aggs {
+            match agg.checkpoint() {
+                Ok(true) => written += 1,
+                Ok(false) => {}
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(written),
+        }
     }
 
     /// The aggregator registered for `bench`, if any.
@@ -192,7 +262,44 @@ impl FrameSink for InProcSink {
     }
 }
 
-/// The worker-side streaming client: batches deltas, ships frames.
+/// Deterministic, jitter-free retry schedule for resilient sinks:
+/// attempt `n` sleeps `min(base << n, cap)`. No randomness — the same
+/// failure sequence always produces the same schedule, which keeps
+/// chaos and drive runs reproducible.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Delivery attempts before giving up (min 1).
+    pub attempts: u32,
+    /// First backoff sleep.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 8,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(400),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let shift = attempt.min(16);
+        let exp = self.base.checked_mul(1u32 << shift).unwrap_or(self.cap);
+        exp.min(self.cap)
+    }
+}
+
+/// The worker-side streaming client: batches deltas, ships sequenced
+/// frames. Every delta frame carries `(client id, seq)` — the client
+/// id is the hello's `worker`, the sequence is strictly monotonic from
+/// 1 — so the server can drop retried duplicates and report an acked
+/// watermark for reconnect-and-resume.
 pub struct AggClient<S: FrameSink> {
     module: Arc<Module>,
     sink: S,
@@ -200,6 +307,10 @@ pub struct AggClient<S: FrameSink> {
     batch_edges: ModuleEdgeProfile,
     batch_paths: ModulePathProfile,
     batched: usize,
+    /// Client id carried in sequenced frames (the hello's `worker`).
+    client: u64,
+    /// Next sequence number to assign.
+    next_seq: u64,
     /// Frames sent, by kind (diagnostics).
     frames_sent: u64,
     /// Payload bytes sent.
@@ -227,6 +338,8 @@ impl<S: FrameSink> AggClient<S> {
             sink,
             max_batch: max_batch.max(1),
             batched: 0,
+            client: hello.worker,
+            next_seq: 1,
             frames_sent: 0,
             bytes_sent: 0,
             finished: false,
@@ -270,8 +383,12 @@ impl<S: FrameSink> AggClient<S> {
             .observe("ppp_agg_batch_deltas", &[], self.batched as u64);
         let edges = write_edge_profile_v2(&self.module, &self.batch_edges);
         let paths = write_path_profile_v2(&self.module, &self.batch_paths);
-        self.send(FrameKind::EdgeDelta, edges.as_bytes())?;
-        self.send(FrameKind::PathDelta, paths.as_bytes())?;
+        let seq_edges = encode_seq_payload(self.client, self.next_seq, edges.as_bytes());
+        let seq_paths = encode_seq_payload(self.client, self.next_seq + 1, paths.as_bytes());
+        self.send(FrameKind::SeqEdgeDelta, &seq_edges)?;
+        self.next_seq += 1;
+        self.send(FrameKind::SeqPathDelta, &seq_paths)?;
+        self.next_seq += 1;
         for f in &mut self.batch_edges.funcs {
             f.zero();
         }
@@ -300,6 +417,13 @@ impl<S: FrameSink> AggClient<S> {
     /// `(frames, payload bytes)` sent so far.
     pub fn sent(&self) -> (u64, u64) {
         (self.frames_sent, self.bytes_sent)
+    }
+
+    /// Highest sequence number assigned so far (0 before any flush).
+    /// After a clean `finish`, the server's acked watermark for this
+    /// client must equal this.
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
     }
 
     /// Consumes the client, returning its sink (e.g. to read a TCP ack).

@@ -18,10 +18,14 @@
 //! deltas.
 
 use crate::queue::BoundedQueue;
-use ppp_ir::wire::{decode_frame, Frame, FrameKind, WireError, FRAME_HEADER_LEN};
+use crate::wal::{self, DurOptions, Wal};
+use ppp_ir::wire::{
+    decode_frame, split_seq_payload, Frame, FrameKind, WireError, FRAME_HEADER_LEN,
+};
 use ppp_ir::{
     read_edge_profile_v2, read_path_profile_v2, Module, ModuleEdgeProfile, ModulePathProfile,
 };
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -64,6 +68,30 @@ impl fmt::Display for IngestError {
 }
 
 impl std::error::Error for IngestError {}
+
+/// What happened to an accepted frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IngestOutcome {
+    /// The frame's delta was merged (or the frame was control traffic).
+    Applied,
+    /// A sequenced frame at or below the client's watermark: dropped
+    /// without merging. This is the idempotent-retry path, not an
+    /// error — the client is resending an unacked window.
+    Duplicate,
+}
+
+/// The ingest "front" of an aggregator: per-client sequence
+/// watermarks plus the durability state (WAL handle, checkpoint
+/// cadence). Sequenced ingestion holds this lock across
+/// dedup → WAL append → fan-out, and [`Aggregator::checkpoint`] holds
+/// it across the flush gate, so a checkpoint's `(profiles,
+/// watermarks)` pair is always a consistent cut of the seq stream.
+pub(crate) struct Front {
+    pub(crate) watermarks: BTreeMap<u64, u64>,
+    pub(crate) since_checkpoint: u64,
+    pub(crate) wal: Option<Wal>,
+    pub(crate) dur: Option<DurOptions>,
+}
 
 /// What one shard has merged so far (module-shaped; only the shard's
 /// own functions ever carry flow).
@@ -124,6 +152,9 @@ pub struct StreamReport {
     pub saw_done: bool,
     /// Total payload bytes of accepted frames.
     pub bytes_accepted: u64,
+    /// Sequenced frames dropped as duplicates (retry replays). Not a
+    /// rejection: duplicates are the idempotence contract working.
+    pub duplicates: u64,
 }
 
 impl StreamReport {
@@ -158,6 +189,7 @@ pub struct Aggregator {
     states: Vec<Arc<Mutex<ShardState>>>,
     workers: Vec<JoinHandle<()>>,
     obs: ppp_obs::ObsCtx,
+    pub(crate) front: Mutex<Front>,
 }
 
 impl Aggregator {
@@ -196,6 +228,12 @@ impl Aggregator {
             states,
             workers,
             obs,
+            front: Mutex::new(Front {
+                watermarks: BTreeMap::new(),
+                since_checkpoint: 0,
+                wal: None,
+                dur: None,
+            }),
         }
     }
 
@@ -284,12 +322,14 @@ impl Aggregator {
     /// # Errors
     ///
     /// Refuses frames whose payload fails the strict persist_v2 loaders
-    /// or whose shape does not match the module. `Hello` payloads are
-    /// validated by the transport layer; here they are accepted as
+    /// or whose shape does not match the module, sequenced frames that
+    /// jump past the client's watermark (`seq-gap`), and server-side
+    /// frame kinds (`Ack`/`Reject`) arriving inbound. `Hello` payloads
+    /// are validated by the transport layer; here they are accepted as
     /// opaque.
-    pub fn ingest_frame(&self, frame: &Frame) -> Result<(), IngestError> {
+    pub fn ingest_frame(&self, frame: &Frame) -> Result<IngestOutcome, IngestError> {
         match frame.kind {
-            FrameKind::Hello | FrameKind::Done => Ok(()),
+            FrameKind::Hello | FrameKind::Done => Ok(IngestOutcome::Applied),
             FrameKind::EdgeDelta => {
                 let profile = read_edge_profile_v2(&self.module, &frame.payload).map_err(|e| {
                     IngestError {
@@ -297,7 +337,8 @@ impl Aggregator {
                         detail: format!("edge delta: {e}"),
                     }
                 })?;
-                self.submit_edges(profile)
+                self.submit_edges(profile)?;
+                Ok(IngestOutcome::Applied)
             }
             FrameKind::PathDelta => {
                 let profile = read_path_profile_v2(&self.module, &frame.payload).map_err(|e| {
@@ -306,9 +347,210 @@ impl Aggregator {
                         detail: format!("path delta: {e}"),
                     }
                 })?;
-                self.submit_paths(profile)
+                self.submit_paths(profile)?;
+                Ok(IngestOutcome::Applied)
+            }
+            FrameKind::SeqEdgeDelta | FrameKind::SeqPathDelta => self.apply_seq(frame, true),
+            FrameKind::Ack | FrameKind::Reject => Err(IngestError {
+                class: "protocol",
+                detail: format!("{} frames flow server-to-client only", frame.kind),
+            }),
+        }
+    }
+
+    /// Core of sequenced ingestion: dedup against the client watermark,
+    /// append to the WAL (when `log` — recovery replays with `log =
+    /// false`), then fan out, all under the front lock so a concurrent
+    /// checkpoint sees a consistent (profiles, watermarks) cut.
+    pub(crate) fn apply_seq(&self, frame: &Frame, log: bool) -> Result<IngestOutcome, IngestError> {
+        let (client, seq, container) =
+            split_seq_payload(&frame.payload).map_err(|e| IngestError {
+                class: "payload",
+                detail: format!("seq header: {e}"),
+            })?;
+        if seq == 0 {
+            return Err(IngestError {
+                class: "payload",
+                detail: format!("client {client} sent sequence 0 (sequences start at 1)"),
+            });
+        }
+        // Decode and shape-check the container before touching any
+        // durable state: a damaged payload must be refused, not logged.
+        let msg = match frame.kind {
+            FrameKind::SeqEdgeDelta => {
+                let profile =
+                    read_edge_profile_v2(&self.module, container).map_err(|e| IngestError {
+                        class: "payload",
+                        detail: format!("seq edge delta: {e}"),
+                    })?;
+                if !profile.shape_matches(&self.module) {
+                    return Err(IngestError {
+                        class: "shape-mismatch",
+                        detail: "seq edge delta shape does not match module".to_owned(),
+                    });
+                }
+                Msg::Edges(Arc::new(profile))
+            }
+            FrameKind::SeqPathDelta => {
+                let profile =
+                    read_path_profile_v2(&self.module, container).map_err(|e| IngestError {
+                        class: "payload",
+                        detail: format!("seq path delta: {e}"),
+                    })?;
+                Msg::Paths(Arc::new(profile))
+            }
+            other => {
+                return Err(IngestError {
+                    class: "protocol",
+                    detail: format!("{other} is not a sequenced delta"),
+                })
+            }
+        };
+        let mut front = self.front.lock().expect("front lock");
+        let watermark = front.watermarks.get(&client).copied().unwrap_or(0);
+        if seq <= watermark {
+            self.obs
+                .metrics()
+                .inc(ppp_obs::names::AGG_DUPLICATES, &[("bench", &self.bench)]);
+            return Ok(IngestOutcome::Duplicate);
+        }
+        if seq != watermark + 1 {
+            return Err(IngestError {
+                class: "seq-gap",
+                detail: format!(
+                    "client {client} jumped from watermark {watermark} to {seq}; \
+                     resend the gap first"
+                ),
+            });
+        }
+        if log {
+            if let Some(wal) = front.wal.as_mut() {
+                if let Err(e) = wal.append(&frame.encode()) {
+                    // Never apply what was not logged: losing the WAL
+                    // loses the durability contract, so the delta is
+                    // refused and the client retries (or fails loudly).
+                    self.obs.metrics().inc(
+                        ppp_obs::names::WAL_ERRORS,
+                        &[("bench", &self.bench), ("op", "append")],
+                    );
+                    return Err(IngestError {
+                        class: "wal",
+                        detail: format!("wal append failed: {e}"),
+                    });
+                }
             }
         }
+        front.watermarks.insert(client, seq);
+        front.since_checkpoint += 1;
+        let due = front.dur.as_ref().is_some_and(|d| {
+            d.checkpoint_every > 0 && front.since_checkpoint >= d.checkpoint_every
+        });
+        let fanned = self.fan_out(msg);
+        drop(front);
+        fanned?;
+        if due {
+            if let Err(e) = self.checkpoint() {
+                self.obs.metrics().inc(
+                    ppp_obs::names::WAL_ERRORS,
+                    &[("bench", &self.bench), ("op", "checkpoint")],
+                );
+                self.obs.warn(
+                    "agg.checkpoint_failed",
+                    &[("error", ppp_obs::Value::from(e))],
+                );
+            }
+        }
+        Ok(IngestOutcome::Applied)
+    }
+
+    /// The acked sequence watermark for `client` (0 when unseen).
+    pub fn watermark(&self, client: u64) -> u64 {
+        self.front
+            .lock()
+            .expect("front lock")
+            .watermarks
+            .get(&client)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All per-client watermarks.
+    pub fn watermarks(&self) -> BTreeMap<u64, u64> {
+        self.front.lock().expect("front lock").watermarks.clone()
+    }
+
+    /// Deepest shard queue right now — the admission-control signal for
+    /// load shedding.
+    pub fn max_queue_depth(&self) -> usize {
+        self.queues.iter().map(|q| q.depth()).max().unwrap_or(0)
+    }
+
+    /// Writes a checkpoint (profiles + watermarks in one consistent
+    /// cut) and truncates the WAL. Returns `false` for a
+    /// non-durable aggregator (nothing to do).
+    ///
+    /// Sequenced ingestion blocks for the duration — the price of the
+    /// exact cut that makes recovery byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint I/O failures. The WAL is only truncated
+    /// after the checkpoint rename lands, so a failure here never
+    /// loses logged deltas.
+    pub fn checkpoint(&self) -> Result<bool, String> {
+        let mut front = self.front.lock().expect("front lock");
+        let Some(dur) = front.dur.clone() else {
+            return Ok(false);
+        };
+        let gate = Arc::new(Gate::new(self.queues.len()));
+        for q in &self.queues {
+            if !q.push(Msg::Flush(Arc::clone(&gate))) {
+                gate.arrive();
+            }
+        }
+        gate.wait();
+        let profiles = self.shard_profiles();
+        wal::write_checkpoint(
+            &dur.dir,
+            &self.bench,
+            &self.module,
+            &front.watermarks,
+            &profiles,
+        )
+        .map_err(|e| format!("checkpoint write: {e}"))?;
+        if let Some(w) = front.wal.as_mut() {
+            w.reset().map_err(|e| format!("wal reset: {e}"))?;
+        }
+        front.since_checkpoint = 0;
+        Ok(true)
+    }
+
+    /// Installs the WAL handle and durability options (recovery calls
+    /// this after replay so replayed frames are not re-logged).
+    pub(crate) fn attach_durability(&self, wal_handle: Wal, dur: DurOptions) {
+        let mut front = self.front.lock().expect("front lock");
+        front.wal = Some(wal_handle);
+        front.dur = Some(dur);
+    }
+
+    /// One module-shaped (edge, path) pair per shard, each carrying
+    /// only that shard's owned functions. Callers must have flushed
+    /// first (see [`Aggregator::checkpoint`]).
+    fn shard_profiles(&self) -> Vec<(ModuleEdgeProfile, ModulePathProfile)> {
+        let shards = self.queues.len();
+        let funcs = self.module.functions.len();
+        let mut out = Vec::with_capacity(shards);
+        for (k, state) in self.states.iter().enumerate() {
+            let st = state.lock().expect("shard state lock");
+            let mut edges = ModuleEdgeProfile::zeroed(&self.module);
+            let mut paths = ModulePathProfile::with_capacity(funcs);
+            for fid in (k..funcs).step_by(shards) {
+                edges.funcs[fid] = st.edges.funcs[fid].clone();
+                paths.funcs[fid] = st.paths.funcs[fid].clone();
+            }
+            out.push((edges, paths));
+        }
+        out
     }
 
     /// Decodes a concatenated frame stream and ingests every decodable
@@ -325,7 +567,7 @@ impl Aggregator {
             match decode_frame(&bytes[pos..]) {
                 Ok((frame, used)) => {
                     match self.ingest_frame(&frame) {
-                        Ok(()) => {
+                        Ok(IngestOutcome::Applied) => {
                             report.bump(frame.kind);
                             report.bytes_accepted += frame.payload.len() as u64;
                             metrics.inc(
@@ -340,6 +582,9 @@ impl Aggregator {
                             if frame.kind == FrameKind::Done {
                                 report.saw_done = true;
                             }
+                        }
+                        Ok(IngestOutcome::Duplicate) => {
+                            report.duplicates += 1;
                         }
                         Err(e) => {
                             metrics.inc(

@@ -62,11 +62,24 @@ pub enum FaultSite {
     /// Kill a worker's aggregation connection after a seed-chosen
     /// number of frames: the stream simply stops, with no `Done`.
     KillConnection,
+    /// Crash the whole aggregation server after a seed-chosen number
+    /// of frames, then restart it over the same durability directory —
+    /// checkpoint + WAL recovery must lose nothing and double-count
+    /// nothing.
+    CrashRestart,
+    /// Stall a connection mid-frame (a slowloris peer): the server's
+    /// read deadline must fire with a typed `timed-out` rejection, not
+    /// a pinned thread.
+    StallConnection,
+    /// Overload the server so it sheds frames with `overloaded`
+    /// rejections; a retrying client resends and nothing is counted
+    /// twice.
+    ShedOverload,
 }
 
 impl FaultSite {
     /// Every fault site, in sweep order.
-    pub const ALL: [FaultSite; 12] = [
+    pub const ALL: [FaultSite; 15] = [
         FaultSite::TruncateEdgeBytes,
         FaultSite::CorruptEdgeBytes,
         FaultSite::TruncatePathBytes,
@@ -79,6 +92,9 @@ impl FaultSite {
         FaultSite::TruncateFrame,
         FaultSite::CorruptFrame,
         FaultSite::KillConnection,
+        FaultSite::CrashRestart,
+        FaultSite::StallConnection,
+        FaultSite::ShedOverload,
     ];
 
     /// Stable machine-readable name (used in chaos reports and CLI args).
@@ -96,6 +112,9 @@ impl FaultSite {
             FaultSite::TruncateFrame => "truncate-frame",
             FaultSite::CorruptFrame => "corrupt-frame",
             FaultSite::KillConnection => "kill-connection",
+            FaultSite::CrashRestart => "crash-restart",
+            FaultSite::StallConnection => "stall-connection",
+            FaultSite::ShedOverload => "shed-overload",
         }
     }
 
@@ -235,6 +254,28 @@ impl FaultPlan {
         }
         let mut rng = self.rng();
         (rng.next_u64() % total as u64) as usize
+    }
+
+    /// For a shedding server: which of `total` frames are refused with
+    /// an `overloaded` rejection (and must therefore be retried by the
+    /// client). Roughly one in three, seed-chosen, never the first —
+    /// shedding the hello would just be an admission refusal.
+    pub fn shed_mask(&self, total: usize) -> Vec<bool> {
+        let mut rng = self.rng();
+        (0..total)
+            .map(|i| i > 0 && rng.next_u64().is_multiple_of(3))
+            .collect()
+    }
+
+    /// For a stalled (slowloris) peer: how many bytes of its frame
+    /// arrive before the stall (at least one so the read starts, never
+    /// the full `len`).
+    pub fn stall_offset(&self, len: usize) -> usize {
+        if len <= 1 {
+            return len;
+        }
+        let mut rng = self.rng();
+        1 + (rng.next_u64() % (len as u64 - 1)) as usize
     }
 }
 

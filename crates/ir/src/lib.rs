@@ -88,8 +88,9 @@ pub use profile::{
 };
 pub use verify::{verify_module, VerifyError};
 pub use wire::{
-    decode_frame, decode_stream, encode_frame, Frame, FrameKind, WireError, FRAME_HEADER_LEN,
-    FRAME_MAGIC, MAX_FRAME_PAYLOAD,
+    decode_frame, decode_stream, encode_frame, encode_reject_payload, encode_seq_payload,
+    split_reject_payload, split_seq_payload, Frame, FrameKind, WireError, FRAME_HEADER_LEN,
+    FRAME_MAGIC, MAX_FRAME_PAYLOAD, SEQ_HEADER_LEN,
 };
 pub use witness::{
     InlineStep, InlineWitness, ScalarFuncWitness, ScalarWitness, TransformWitness, UnrollMode,

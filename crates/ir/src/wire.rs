@@ -32,6 +32,26 @@
 //! aggregator merges them with saturating adds, which are commutative
 //! and associative, so any arrival order yields byte-identical merged
 //! profiles.
+//!
+//! # Sequenced frames and idempotent retry
+//!
+//! [`FrameKind::SeqEdgeDelta`] / [`FrameKind::SeqPathDelta`] carry the
+//! same containers behind a 16-byte prefix ([`SEQ_HEADER_LEN`]):
+//!
+//! ```text
+//! | client id u64 LE | sequence u64 LE | v2 container ... |
+//! ```
+//!
+//! Sequence numbers are per-client and strictly monotonic starting at
+//! one. The aggregator keeps a watermark per client and drops any frame
+//! whose sequence is at or below it, so a client that retries after an
+//! ambiguous failure (crashed server, dead socket) can resend its whole
+//! unacked window without ever double-counting a delta. The server
+//! reports its watermark back in [`FrameKind::Ack`] frames (same
+//! 16-byte payload, container empty); [`FrameKind::Reject`] carries a
+//! `class\ndetail` text payload and is the never-silent refusal — an
+//! overloaded or timed-out server says so before closing, it never
+//! just hangs.
 
 use crate::persist_v2::crc32;
 use std::fmt;
@@ -60,15 +80,33 @@ pub enum FrameKind {
     /// Orderly end of stream; the receiver acknowledges after merging
     /// everything that came before.
     Done = 4,
+    /// An edge-profile delta with a `(client, seq)` prefix
+    /// ([`SEQ_HEADER_LEN`]); duplicates (seq at or below the client's
+    /// watermark) are dropped, making retry idempotent.
+    SeqEdgeDelta = 5,
+    /// A path-profile delta with a `(client, seq)` prefix.
+    SeqPathDelta = 6,
+    /// Server → client: the acked sequence watermark for a client
+    /// (`(client, watermark)` prefix, empty container). Sent after
+    /// `Hello` (resume point) and after `Done` (final receipt).
+    Ack = 7,
+    /// Server → client: a typed, never-silent refusal. Payload is
+    /// `class\ndetail` text (e.g. `overloaded`, `timed-out`); the
+    /// connection closes right after.
+    Reject = 8,
 }
 
 impl FrameKind {
     /// All frame kinds.
-    pub const ALL: [FrameKind; 4] = [
+    pub const ALL: [FrameKind; 8] = [
         FrameKind::Hello,
         FrameKind::EdgeDelta,
         FrameKind::PathDelta,
         FrameKind::Done,
+        FrameKind::SeqEdgeDelta,
+        FrameKind::SeqPathDelta,
+        FrameKind::Ack,
+        FrameKind::Reject,
     ];
 
     /// Stable machine-readable name (metric labels, reports).
@@ -78,6 +116,10 @@ impl FrameKind {
             FrameKind::EdgeDelta => "edge-delta",
             FrameKind::PathDelta => "path-delta",
             FrameKind::Done => "done",
+            FrameKind::SeqEdgeDelta => "seq-edge-delta",
+            FrameKind::SeqPathDelta => "seq-path-delta",
+            FrameKind::Ack => "ack",
+            FrameKind::Reject => "reject",
         }
     }
 
@@ -141,6 +183,10 @@ pub enum WireError {
         /// CRC of the bytes present.
         actual: u32,
     },
+    /// The peer stopped sending mid-frame and the read deadline fired
+    /// (slowloris). Raised by transports with `set_read_timeout`, not
+    /// by the in-memory decoders.
+    TimedOut,
 }
 
 impl fmt::Display for WireError {
@@ -167,6 +213,7 @@ impl fmt::Display for WireError {
                 f,
                 "frame checksum mismatch (recorded {expected:08x}, computed {actual:08x})"
             ),
+            WireError::TimedOut => write!(f, "read timed out mid-frame (stalled peer)"),
         }
     }
 }
@@ -182,7 +229,56 @@ impl WireError {
             WireError::Oversize { .. } => "oversize",
             WireError::Truncated { .. } => "truncated",
             WireError::ChecksumMismatch { .. } => "checksum",
+            WireError::TimedOut => "timed-out",
         }
+    }
+}
+
+/// Fixed size of the `(client, seq)` prefix on sequenced payloads.
+pub const SEQ_HEADER_LEN: usize = 16;
+
+/// Builds a sequenced payload: `client` + `seq` (both `u64` LE)
+/// followed by `container` (a v2 profile container, or empty for
+/// [`FrameKind::Ack`]).
+pub fn encode_seq_payload(client: u64, seq: u64, container: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEQ_HEADER_LEN + container.len());
+    out.extend_from_slice(&client.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(container);
+    out
+}
+
+/// Splits a sequenced payload into `(client, seq, container)`.
+///
+/// # Errors
+///
+/// A payload shorter than [`SEQ_HEADER_LEN`] is typed truncation.
+pub fn split_seq_payload(payload: &[u8]) -> Result<(u64, u64, &[u8]), WireError> {
+    if payload.len() < SEQ_HEADER_LEN {
+        return Err(WireError::Truncated {
+            expected: SEQ_HEADER_LEN,
+            available: payload.len(),
+        });
+    }
+    let client = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    let seq = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+    Ok((client, seq, &payload[SEQ_HEADER_LEN..]))
+}
+
+/// Builds a [`FrameKind::Reject`] payload: `class` on the first line,
+/// free-form detail after.
+pub fn encode_reject_payload(class: &str, detail: &str) -> Vec<u8> {
+    format!("{class}\n{detail}").into_bytes()
+}
+
+/// Splits a [`FrameKind::Reject`] payload into `(class, detail)`.
+/// Tolerant: a payload with no newline is all class, non-UTF-8 bytes
+/// are replaced.
+pub fn split_reject_payload(payload: &[u8]) -> (String, String) {
+    let text = String::from_utf8_lossy(payload);
+    match text.split_once('\n') {
+        Some((class, detail)) => (class.to_owned(), detail.to_owned()),
+        None => (text.into_owned(), String::new()),
     }
 }
 
@@ -364,6 +460,52 @@ mod tests {
             }
             .class(),
             "checksum"
+        );
+        assert_eq!(WireError::TimedOut.class(), "timed-out");
+    }
+
+    #[test]
+    fn seq_payload_roundtrip_and_truncation() {
+        let payload = encode_seq_payload(7, 42, b"container bytes");
+        let (client, seq, container) = split_seq_payload(&payload).expect("splits");
+        assert_eq!((client, seq), (7, 42));
+        assert_eq!(container, b"container bytes");
+
+        // An Ack-style payload has an empty container.
+        let ack = encode_seq_payload(3, 9, b"");
+        assert_eq!(ack.len(), SEQ_HEADER_LEN);
+        assert_eq!(split_seq_payload(&ack).expect("splits").2, b"");
+
+        assert!(matches!(
+            split_seq_payload(&payload[..SEQ_HEADER_LEN - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn seq_frames_survive_the_frame_codec() {
+        let payload = encode_seq_payload(1, 2, b"delta");
+        for kind in [FrameKind::SeqEdgeDelta, FrameKind::SeqPathDelta] {
+            let bytes = encode_frame(kind, &payload);
+            let (frame, _) = decode_frame(&bytes).expect("decodes");
+            assert_eq!(frame.kind, kind);
+            assert_eq!(split_seq_payload(&frame.payload).unwrap().1, 2);
+        }
+    }
+
+    #[test]
+    fn reject_payload_roundtrip() {
+        let p = encode_reject_payload("overloaded", "queue depth 64 over limit");
+        assert_eq!(
+            split_reject_payload(&p),
+            (
+                "overloaded".to_owned(),
+                "queue depth 64 over limit".to_owned()
+            )
+        );
+        assert_eq!(
+            split_reject_payload(b"timed-out"),
+            ("timed-out".to_owned(), String::new())
         );
     }
 }

@@ -47,6 +47,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod sink;
 pub mod span;
 

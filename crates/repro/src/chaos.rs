@@ -18,12 +18,13 @@ use crate::format::Table;
 use crate::pipeline::{
     instrument_and_run, prepare_benchmark, PipelineError, PipelineOptions, PreparedBenchmark,
 };
-use ppp_agg::{AggConfig, Aggregator, Hello};
+use ppp_agg::{AggConfig, Aggregator, DurOptions, Hello, IngestOutcome, ReadError};
 use ppp_core::ProfilerConfig;
 use ppp_faults::{FaultPlan, FaultSite};
 use ppp_ir::{
-    encode_frame, salvage_edge_profile, salvage_path_profile, write_edge_profile_v2,
-    write_path_profile_v2, FrameKind, Module, ModuleEdgeProfile, SectionFault,
+    encode_frame, encode_seq_payload, salvage_edge_profile, salvage_path_profile,
+    write_edge_profile_v2, write_path_profile_v2, Frame, FrameKind, Module, ModuleEdgeProfile,
+    SectionFault, WireError,
 };
 use ppp_match::read_edge_profile_matched;
 use ppp_vm::{run, HaltReason, RunOptions};
@@ -188,6 +189,96 @@ fn worker_frames(prep: &PreparedBenchmark) -> Vec<Vec<u8>> {
         ),
         encode_frame(FrameKind::Done, b""),
     ]
+}
+
+/// The sequenced (durable-protocol) frame stream one worker would
+/// send: `Hello`, a seq edge delta, a seq path delta, `Done`.
+fn seq_worker_frames(prep: &PreparedBenchmark) -> Vec<Frame> {
+    let hello = Hello {
+        bench: prep.name.clone(),
+        funcs: prep.module.functions.len(),
+        scale_bits: 0,
+        worker: 0,
+    };
+    vec![
+        Frame::new(FrameKind::Hello, hello.encode()),
+        Frame::new(
+            FrameKind::SeqEdgeDelta,
+            encode_seq_payload(
+                0,
+                1,
+                write_edge_profile_v2(&prep.module, &prep.edges).as_bytes(),
+            ),
+        ),
+        Frame::new(
+            FrameKind::SeqPathDelta,
+            encode_seq_payload(
+                0,
+                2,
+                write_path_profile_v2(&prep.module, &prep.truth).as_bytes(),
+            ),
+        ),
+        Frame::new(FrameKind::Done, b"".to_vec()),
+    ]
+}
+
+/// A reader that yields a fixed prefix of bytes, then times out — the
+/// in-memory model of a slowloris peer whose socket deadline fires.
+struct StallReader<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl std::io::Read for StallReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.at >= self.data.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "stalled peer",
+            ));
+        }
+        let n = buf.len().min(self.data.len() - self.at);
+        buf[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+        self.at += n;
+        Ok(n)
+    }
+}
+
+/// Scratch directory (inside `target/`) for one durable chaos
+/// scenario, wiped before use.
+fn chaos_scratch(prep: &PreparedBenchmark, site: FaultSite, seed: u64) -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/ppp-scratch/chaos")
+        .join(format!("{}-{}-{seed}", prep.name, site.name()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the merged snapshot of `agg` through the ingestion ladder with
+/// `extra` report entries attached.
+fn ladder_from_aggregator(
+    prep: &PreparedBenchmark,
+    detail: String,
+    agg: &Aggregator,
+    extra: Vec<(&str, String)>,
+    harmless: bool,
+    force_fail: bool,
+) -> (String, DegradationReport, bool, bool, bool) {
+    let module = &prep.module;
+    let (snap_edges, snap_paths) = agg.snapshot();
+    let have_edges = snap_edges.funcs.iter().any(|f| !f.is_zero());
+    let have_paths = snap_paths.funcs.iter().any(|fp| !fp.paths.is_empty());
+    let (g, mut report) = ingest_guidance(
+        module,
+        have_edges.then_some(snap_edges),
+        if have_paths { Some(&snap_paths) } else { None },
+    );
+    for (kind, d) in extra {
+        report.push(kind, d);
+    }
+    let lint = !force_fail && lint_ok(module, g.as_ref());
+    let est = static_rung_ok(module, g.as_ref(), &report);
+    (detail, report, harmless, lint, est)
 }
 
 /// Feeds a (possibly damaged) frame stream through a real 2-shard
@@ -431,6 +522,204 @@ pub fn chaos_scenario(
                 frames.len()
             );
             wire_fault_scenario(prep, detail, &stream)
+        }
+        FaultSite::CrashRestart => {
+            // Crash the durable aggregator after a seed-chosen prefix of
+            // sequenced frames — no drain, no final checkpoint — then
+            // recover from checkpoint + WAL and let the client replay
+            // its *entire* stream, as a resuming client would. Exactly
+            // the uncrashed snapshot must come out: nothing lost,
+            // nothing double-counted.
+            let dir = chaos_scratch(prep, site, seed);
+            let dur = DurOptions::new(&dir, 1);
+            let config = AggConfig {
+                shards: 2,
+                queue_cap: 8,
+            };
+            let module_arc = Arc::new(module.clone());
+            let frames = seq_worker_frames(prep);
+            let delivered = plan.frames_delivered(frames.len());
+            let mut entries: Vec<(&str, String)> = Vec::new();
+            let mut force_fail = false;
+            let crash_recover = || -> Result<(Aggregator, String), String> {
+                let (agg, _) =
+                    Aggregator::recover(&prep.name, Arc::clone(&module_arc), config, dur.clone())?;
+                for f in &frames[..delivered] {
+                    agg.ingest_frame(f).map_err(|e| e.to_string())?;
+                }
+                drop(agg); // the crash: WAL handle gone, no shutdown checkpoint
+                let (agg, rec) =
+                    Aggregator::recover(&prep.name, Arc::clone(&module_arc), config, dur)?;
+                for f in &frames {
+                    agg.ingest_frame(f).map_err(|e| e.to_string())?;
+                }
+                Ok((agg, rec.summary()))
+            };
+            match crash_recover() {
+                Ok((agg, recovery)) => {
+                    let (snap_edges, snap_paths) = agg.snapshot();
+                    let identical = write_edge_profile_v2(module, &snap_edges)
+                        == write_edge_profile_v2(module, &prep.edges)
+                        && write_path_profile_v2(module, &snap_paths)
+                            == write_path_profile_v2(module, &prep.truth);
+                    entries.push((
+                        "crash-restart",
+                        format!(
+                            "crashed after {delivered} of {} frames; recovery: {recovery}",
+                            frames.len()
+                        ),
+                    ));
+                    if !identical {
+                        entries.push((
+                            "recovery-mismatch",
+                            "recovered+replayed snapshot differs from the uncrashed one".to_owned(),
+                        ));
+                        force_fail = true;
+                    }
+                    let detail = format!(
+                        "crashed the durable aggregator after {delivered} of {} frames, recovered, replayed",
+                        frames.len()
+                    );
+                    ladder_from_aggregator(prep, detail, &agg, entries, false, force_fail)
+                }
+                Err(e) => {
+                    // Recovery itself failing is a contract failure.
+                    let (g, mut report) = ingest_guidance(module, None, None);
+                    report.push("recovery-error", e);
+                    let est = static_rung_ok(module, g.as_ref(), &report);
+                    let detail = "crash + recovery failed".to_owned();
+                    (detail, report, false, false, est)
+                }
+            }
+        }
+        FaultSite::StallConnection => {
+            // A slowloris peer: the byte stream stalls mid-frame. The
+            // frame reader must surface the typed `timed-out` error —
+            // never block forever, never mistake the stall for damage.
+            let stream: Vec<u8> = seq_worker_frames(prep)
+                .iter()
+                .flat_map(Frame::encode)
+                .collect();
+            let cut = plan.stall_offset(stream.len());
+            let mut reader = StallReader {
+                data: &stream[..cut],
+                at: 0,
+            };
+            let agg = Aggregator::new(
+                &prep.name,
+                Arc::new(module.clone()),
+                AggConfig {
+                    shards: 2,
+                    queue_cap: 8,
+                },
+            );
+            let mut accepted = 0usize;
+            let stall_error = loop {
+                match ppp_agg::read_frame(&mut reader) {
+                    Ok(Some(f)) => {
+                        if agg.ingest_frame(&f).is_ok() {
+                            accepted += 1;
+                        }
+                    }
+                    Ok(None) => break None,
+                    Err(e) => break Some(e),
+                }
+            };
+            let typed = matches!(stall_error, Some(ReadError::Wire(WireError::TimedOut)));
+            let mut entries: Vec<(&str, String)> = Vec::new();
+            let force_fail = !typed;
+            match &stall_error {
+                Some(e) => entries.push((
+                    "stalled-connection",
+                    format!(
+                        "peer stalled at byte {cut} of {}; read surfaced class {:?}: {e}",
+                        stream.len(),
+                        e.class()
+                    ),
+                )),
+                None => entries.push((
+                    "stalled-connection",
+                    format!("stall at byte {cut} landed on a frame boundary and read as EOF"),
+                )),
+            }
+            let detail = format!(
+                "stalled the connection at byte {cut} of {} ({accepted} whole frame(s) arrived)",
+                stream.len()
+            );
+            ladder_from_aggregator(prep, detail, &agg, entries, false, force_fail)
+        }
+        FaultSite::ShedOverload => {
+            // An overloaded server sheds seed-chosen delta frames with
+            // `overloaded` rejections; the client retries each one. The
+            // resend after an ambiguous failure is also modeled: every
+            // shed frame is delivered *twice* once the server accepts
+            // it, and the sequence-watermark dedup must count it once.
+            let agg = Aggregator::new(
+                &prep.name,
+                Arc::new(module.clone()),
+                AggConfig {
+                    shards: 2,
+                    queue_cap: 8,
+                },
+            );
+            let frames = seq_worker_frames(prep);
+            let mask = plan.shed_mask(frames.len());
+            let mut shed = 0u64;
+            let mut duplicates = 0u64;
+            let mut error = None;
+            for (i, f) in frames.iter().enumerate() {
+                let retried =
+                    mask[i] && matches!(f.kind, FrameKind::SeqEdgeDelta | FrameKind::SeqPathDelta);
+                // First delivery (post-shed retry) applies; the
+                // ambiguous resend must dedup.
+                let deliveries = if retried {
+                    shed += 1;
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..deliveries {
+                    match agg.ingest_frame(f) {
+                        Ok(IngestOutcome::Applied) => {}
+                        Ok(IngestOutcome::Duplicate) => duplicates += 1,
+                        Err(e) => error = Some(e.to_string()),
+                    }
+                }
+            }
+            let (snap_edges, _) = agg.snapshot();
+            let identical = write_edge_profile_v2(module, &snap_edges)
+                == write_edge_profile_v2(module, &prep.edges);
+            let mut entries: Vec<(&str, String)> = Vec::new();
+            let mut force_fail = false;
+            if shed > 0 {
+                entries.push((
+                    "shed-overload",
+                    format!(
+                        "{shed} frame(s) shed with overloaded rejections and resent; \
+                         {duplicates} ambiguous resend(s) dropped as duplicates"
+                    ),
+                ));
+            }
+            if let Some(e) = error {
+                entries.push(("shed-error", e));
+                force_fail = true;
+            }
+            if !identical || duplicates != shed {
+                entries.push((
+                    "shed-mismatch",
+                    format!(
+                        "snapshot identical={identical}, duplicates={duplicates} of {shed} resends — \
+                         a shed or resent delta was lost or double-counted"
+                    ),
+                ));
+                force_fail = true;
+            }
+            let harmless = shed == 0 && !force_fail;
+            let detail = format!(
+                "shed {shed} of {} frames under overload, retried each, resent each once more",
+                frames.len()
+            );
+            ladder_from_aggregator(prep, detail, &agg, entries, harmless, force_fail)
         }
         FaultSite::StaleShape => {
             // Load the old artifact against a "newer build": the function

@@ -16,8 +16,8 @@
 
 use crate::format::Table;
 use ppp_agg::{
-    run_indexed, AggClient, AggConfig, AggService, FrameSink, Hello, InProcSink, ServeOptions,
-    Server, TcpSink,
+    run_indexed, AggClient, AggConfig, AggService, DurOptions, FrameSink, Hello, InProcSink,
+    ResilientSink, RetryPolicy, ServeOptions, Server, TcpSink,
 };
 use ppp_ir::{
     write_edge_profile_v2, write_path_profile_v2, Module, ModuleEdgeProfile, ModulePathProfile,
@@ -26,8 +26,10 @@ use ppp_obs::json;
 use ppp_vm::{run, RunOptions};
 use ppp_workloads::{generate, spec2000_suite};
 use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How driver workers reach the aggregation service.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -45,7 +47,7 @@ pub enum Transport {
 }
 
 /// Load-driver configuration (`repro drive` flags).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DriveOptions {
     /// Parallel VM workers streaming deltas.
     pub workers: usize,
@@ -63,6 +65,17 @@ pub struct DriveOptions {
     pub batch: usize,
     /// How frames reach the service.
     pub transport: Transport,
+    /// Durability directory (`--checkpoint-dir`): the service
+    /// checkpoints and WALs under it, and recovers from it.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Deltas between automatic checkpoints (`--checkpoint-every`;
+    /// 0 = only explicit/shutdown checkpoints).
+    pub checkpoint_every: u64,
+    /// Kill the self-hosted TCP server abruptly after it accepts this
+    /// many frames, restart it over the same durability directory, and
+    /// let the resilient clients reconnect and resume. Requires
+    /// `--tcp` and `--checkpoint-dir`.
+    pub kill_after: Option<u64>,
 }
 
 impl Default for DriveOptions {
@@ -76,7 +89,18 @@ impl Default for DriveOptions {
             delta_interval: 2048,
             batch: 4,
             transport: Transport::InProc,
+            checkpoint_dir: None,
+            checkpoint_every: 64,
+            kill_after: None,
         }
+    }
+}
+
+impl DriveOptions {
+    fn durability(&self) -> Option<DurOptions> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|dir| DurOptions::new(dir, self.checkpoint_every))
     }
 }
 
@@ -120,6 +144,9 @@ pub struct DriveReport {
     /// Sustained VM events per second across all workers
     /// (machine-dependent; reported, never gated).
     pub events_per_sec: f64,
+    /// Mid-run server kills injected (`--kill-after`) that actually
+    /// fired. The determinism verdicts still have to hold across them.
+    pub kills: u64,
 }
 
 impl DriveReport {
@@ -146,6 +173,7 @@ impl DriveReport {
 enum DriveSink {
     InProc(InProcSink),
     Tcp(TcpSink),
+    Resilient(ResilientSink),
 }
 
 impl FrameSink for DriveSink {
@@ -153,6 +181,7 @@ impl FrameSink for DriveSink {
         match self {
             DriveSink::InProc(s) => s.send_frame(bytes),
             DriveSink::Tcp(s) => s.send_frame(bytes),
+            DriveSink::Resilient(s) => s.send_frame(bytes),
         }
     }
 }
@@ -195,35 +224,108 @@ pub fn drive(only: Option<&str>, options: &DriveOptions) -> Result<DriveReport, 
         })
         .collect();
 
-    // Local service + optional self-hosted server.
+    if options.kill_after.is_some() {
+        if options.transport != Transport::Tcp {
+            return Err("--kill-after needs the self-hosted --tcp transport".to_owned());
+        }
+        if options.checkpoint_dir.is_none() {
+            return Err(
+                "--kill-after needs --checkpoint-dir so the restarted server can recover"
+                    .to_owned(),
+            );
+        }
+    }
+
+    // Local service + optional self-hosted server. Both live in slots
+    // so the kill monitor can replace them mid-run.
     let config = AggConfig {
         shards: options.shards,
         ..AggConfig::default()
     };
-    let service = AggService::new(config);
-    let server = match options.transport {
-        Transport::Tcp => {
-            let resolve_map: Vec<(String, Arc<Module>)> = modules.clone();
-            let resolver: Arc<ppp_agg::ModuleResolver> = Arc::new(move |hello: &Hello| {
-                resolve_map
-                    .iter()
-                    .find(|(name, _)| *name == hello.bench)
-                    .map(|(_, m)| Arc::clone(m))
-            });
+    let durability = options.durability();
+    let make_service = {
+        let durability = durability.clone();
+        move || match &durability {
+            Some(dur) => AggService::new_durable(config, dur.clone()),
+            None => AggService::new(config),
+        }
+    };
+    let service_slot: Arc<Mutex<Arc<AggService>>> = Arc::new(Mutex::new(make_service()));
+    let resolver: Arc<ppp_agg::ModuleResolver> = {
+        let resolve_map: Vec<(String, Arc<Module>)> = modules.clone();
+        Arc::new(move |hello: &Hello| {
+            resolve_map
+                .iter()
+                .find(|(name, _)| *name == hello.bench)
+                .map(|(_, m)| Arc::clone(m))
+        })
+    };
+    let spawn_server = {
+        let resolver = Arc::clone(&resolver);
+        move |service: &Arc<AggService>| -> Result<Server, String> {
             let listener = TcpListener::bind(("127.0.0.1", 0))
                 .map_err(|e| format!("cannot bind loopback listener: {e}"))?;
-            Some(
-                Server::spawn(
-                    listener,
-                    Arc::clone(&service),
-                    resolver,
-                    ServeOptions::default(),
-                )
-                .map_err(|e| format!("cannot spawn server: {e}"))?,
+            Server::spawn(
+                listener,
+                Arc::clone(service),
+                Arc::clone(&resolver),
+                ServeOptions::default(),
             )
+            .map_err(|e| format!("cannot spawn server: {e}"))
         }
-        _ => None,
     };
+    let server_slot: Arc<Mutex<Option<Server>>> = Arc::new(Mutex::new(None));
+    let addr_slot: Arc<Mutex<SocketAddr>> =
+        Arc::new(Mutex::new("127.0.0.1:0".parse().expect("literal addr")));
+    if options.transport == Transport::Tcp {
+        let server = spawn_server(&service_slot.lock().expect("service slot"))?;
+        *addr_slot.lock().expect("addr slot") = server.addr();
+        *server_slot.lock().expect("server slot") = Some(server);
+    }
+
+    // The kill monitor: once the server has accepted `kill_after`
+    // frames, kill it abruptly (no drain, no acks, no final
+    // checkpoint), stand up a fresh service that recovers from the
+    // checkpoint + WAL, and repoint the shared address so the
+    // resilient clients reconnect and resume.
+    let drive_done = Arc::new(AtomicBool::new(false));
+    let mut kills = 0u64;
+    let monitor = options.kill_after.map(|kill_after| {
+        let server_slot = Arc::clone(&server_slot);
+        let service_slot = Arc::clone(&service_slot);
+        let addr_slot = Arc::clone(&addr_slot);
+        let drive_done = Arc::clone(&drive_done);
+        let make_service = make_service.clone();
+        let spawn_server = spawn_server.clone();
+        std::thread::spawn(move || -> Result<u64, String> {
+            while !drive_done.load(Ordering::SeqCst) {
+                let accepted = server_slot
+                    .lock()
+                    .expect("server slot")
+                    .as_ref()
+                    .map_or(0, Server::frames_accepted);
+                if accepted < kill_after {
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                let server = server_slot.lock().expect("server slot").take();
+                if let Some(server) = server {
+                    server.kill();
+                }
+                let fresh = make_service();
+                let server = spawn_server(&fresh)?;
+                *addr_slot.lock().expect("addr slot") = server.addr();
+                *service_slot.lock().expect("service slot") = fresh;
+                *server_slot.lock().expect("server slot") = Some(server);
+                ppp_obs::global().info(
+                    "drive.server_killed",
+                    &[("after_frames", ppp_obs::Value::from(accepted))],
+                );
+                return Ok(1);
+            }
+            Ok(0)
+        })
+    });
     let references: Vec<Reference> = modules.iter().map(|_| Mutex::new(None)).collect();
 
     // Fan the work units over the workers. Unit `u` is repeat `u / B`
@@ -256,14 +358,28 @@ pub fn drive(only: Option<&str>, options: &DriveOptions) -> Result<DriveReport, 
             }
         }
 
-        // Stream the deltas through the configured transport.
+        // Stream the deltas through the configured transport. Under
+        // --kill-after the sink must survive the server dying, so it
+        // is the retrying, resuming kind.
         let sink = match options.transport {
             Transport::InProc => {
+                let service = Arc::clone(&*service_slot.lock().expect("service slot"));
                 let agg = service.register(name, module)?;
                 DriveSink::InProc(InProcSink::new(agg))
             }
+            Transport::Tcp if options.kill_after.is_some() => {
+                DriveSink::Resilient(ResilientSink::new(
+                    Arc::clone(&addr_slot),
+                    RetryPolicy {
+                        attempts: 12,
+                        base: Duration::from_millis(10),
+                        cap: Duration::from_millis(200),
+                    },
+                    Duration::from_secs(5),
+                ))
+            }
             Transport::Tcp => {
-                let addr = server.as_ref().expect("self-hosted server").addr();
+                let addr = *addr_slot.lock().expect("addr slot");
                 DriveSink::Tcp(TcpSink::connect(addr).map_err(|e| format!("{name}: connect: {e}"))?)
             }
             Transport::Connect(addr) => DriveSink::Tcp(
@@ -287,8 +403,11 @@ pub fn drive(only: Option<&str>, options: &DriveOptions) -> Result<DriveReport, 
             .finish()
             .map_err(|e| format!("{name}: finish: {e}"))?;
         let (frames, bytes) = client.sent();
-        if let DriveSink::Tcp(mut s) = client.into_sink() {
-            s.wait_ack().map_err(|e| format!("{name}: ack: {e}"))?;
+        match client.into_sink() {
+            // The resilient sink verified the server's final watermark
+            // inside finish(); nothing more to wait for.
+            DriveSink::Tcp(mut s) => s.wait_ack().map_err(|e| format!("{name}: ack: {e}"))?,
+            DriveSink::InProc(_) | DriveSink::Resilient(_) => {}
         }
         Ok(UnitStats {
             bench,
@@ -299,6 +418,12 @@ pub fn drive(only: Option<&str>, options: &DriveOptions) -> Result<DriveReport, 
         })
     });
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    drive_done.store(true, Ordering::SeqCst);
+    if let Some(monitor) = monitor {
+        kills = monitor
+            .join()
+            .map_err(|_| "kill monitor panicked".to_owned())??;
+    }
 
     // Roll up per benchmark, then verify each snapshot where we can.
     let mut benches: Vec<BenchDrive> = modules
@@ -324,10 +449,18 @@ pub fn drive(only: Option<&str>, options: &DriveOptions) -> Result<DriveReport, 
         b.events += s.events;
     }
     if !matches!(options.transport, Transport::Connect(_)) {
+        let service = Arc::clone(&*service_slot.lock().expect("service slot"));
         for (i, (name, module)) in modules.iter().enumerate() {
-            let agg = service
-                .get(name)
-                .ok_or_else(|| format!("{name}: never registered"))?;
+            // After a mid-run kill the final service may never have
+            // seen a bench whose clients finished before the crash;
+            // registering a durable service recovers it from disk.
+            let agg = if durability.is_some() {
+                service.register(name, module)?
+            } else {
+                service
+                    .get(name)
+                    .ok_or_else(|| format!("{name}: never registered"))?
+            };
             let (snap_edges, snap_paths) = agg.snapshot();
             let guard = references[i].lock().expect("reference lock");
             let (re, rp) = guard.as_ref().expect("at least one run per benchmark");
@@ -338,7 +471,7 @@ pub fn drive(only: Option<&str>, options: &DriveOptions) -> Result<DriveReport, 
             benches[i].lint_clean = Some(ppp_lint::check_profile(module, &snap_edges).is_empty());
         }
     }
-    if let Some(server) = server {
+    if let Some(server) = server_slot.lock().expect("server slot").take() {
         server.shutdown();
     }
 
@@ -361,6 +494,7 @@ pub fn drive(only: Option<&str>, options: &DriveOptions) -> Result<DriveReport, 
         transport: transport_label(&options.transport),
         wall_ms,
         events_per_sec,
+        kills,
     })
 }
 
@@ -401,14 +535,20 @@ pub fn drive_table(r: &DriveReport) -> String {
             verdict(b.lint_clean, "clean", "DIRTY"),
         ]);
     }
+    let kills = if r.kills > 0 {
+        format!(" ({} mid-run server kill(s) recovered)", r.kills)
+    } else {
+        String::new()
+    };
     format!(
-        "drive: {} worker(s) x {} repeat(s) over {} benchmark(s), {} shard(s), {} transport\n\
+        "drive: {} worker(s) x {} repeat(s) over {} benchmark(s), {} shard(s), {} transport{}\n\
          {} frames, {} bytes in {:.0} ms -> {:.0} events/sec\n{}",
         r.workers,
         r.repeats,
         r.benches.len(),
         r.shards,
         r.transport,
+        kills,
         r.frames(),
         r.bytes(),
         r.wall_ms,
@@ -444,7 +584,7 @@ pub fn drive_json(r: &DriveReport) -> String {
         .join(",");
     format!(
         "{{\"workers\":{},\"shards\":{},\"repeats\":{},\"transport\":\"{}\",\
-         \"wall_ms\":{},\"events_per_sec\":{},\"frames\":{},\"bytes\":{},\"ok\":{},\
+         \"wall_ms\":{},\"events_per_sec\":{},\"frames\":{},\"bytes\":{},\"kills\":{},\"ok\":{},\
          \"benchmarks\":[{benches}]}}",
         r.workers,
         r.shards,
@@ -454,6 +594,7 @@ pub fn drive_json(r: &DriveReport) -> String {
         json::fmt_f64(r.events_per_sec),
         r.frames(),
         r.bytes(),
+        r.kills,
         r.ok(),
     )
 }
@@ -463,16 +604,29 @@ pub fn drive_json(r: &DriveReport) -> String {
 /// The resolver regenerates workload modules on demand from the
 /// benchmark name and the scale carried in each client's `Hello`, so
 /// any `repro drive --connect` at a matching scale can stream to it.
+/// With `durability` set the service checkpoints and WALs under the
+/// given directory — and *recovers from it on startup*, so restarting
+/// a crashed `repro serve` over the same directory loses nothing that
+/// was acked.
 ///
 /// # Errors
 ///
 /// Returns a message when the listener cannot bind.
-pub fn serve(addr: &str, shards: usize, max_conns: usize) -> Result<Server, String> {
+pub fn serve(
+    addr: &str,
+    shards: usize,
+    max_conns: usize,
+    durability: Option<DurOptions>,
+) -> Result<Server, String> {
     let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    let service = AggService::new(AggConfig {
+    let config = AggConfig {
         shards,
         ..AggConfig::default()
-    });
+    };
+    let service = match durability {
+        Some(dur) => AggService::new_durable(config, dur),
+        None => AggService::new(config),
+    };
     let resolver: Arc<ppp_agg::ModuleResolver> = Arc::new(|hello: &Hello| {
         let suite = spec2000_suite();
         let entry = suite.iter().find(|e| e.spec.name == hello.bench)?;
@@ -484,8 +638,16 @@ pub fn serve(addr: &str, shards: usize, max_conns: usize) -> Result<Server, Stri
         };
         Some(Arc::new(generate(&spec)))
     });
-    Server::spawn(listener, service, resolver, ServeOptions { max_conns })
-        .map_err(|e| format!("cannot spawn server: {e}"))
+    Server::spawn(
+        listener,
+        service,
+        resolver,
+        ServeOptions {
+            max_conns,
+            ..ServeOptions::default()
+        },
+    )
+    .map_err(|e| format!("cannot spawn server: {e}"))
 }
 
 #[cfg(test)]
@@ -524,9 +686,46 @@ mod tests {
         assert!(r.transport == "tcp");
     }
 
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/ppp-scratch/drive-unit")
+            .join(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn kill_after_recovers_byte_identically_with_no_double_counts() {
+        let mut options = tiny(Transport::Tcp);
+        options.checkpoint_dir = Some(scratch("kill-after"));
+        options.checkpoint_every = 4;
+        options.kill_after = Some(3);
+        let r = drive(Some("mcf"), &options).expect("drive completes");
+        assert_eq!(r.kills, 1, "the kill fired");
+        // The whole point: a mid-run crash + restart must still yield
+        // a snapshot byte-identical to the local reference merge (no
+        // lost deltas, no double counts from client resends).
+        assert_eq!(
+            r.benches[0].deterministic,
+            Some(true),
+            "{}",
+            drive_table(&r)
+        );
+        assert_eq!(r.benches[0].lint_clean, Some(true));
+    }
+
+    #[test]
+    fn kill_after_without_durability_is_refused() {
+        let mut options = tiny(Transport::Tcp);
+        options.kill_after = Some(1);
+        let err = drive(Some("mcf"), &options).expect_err("refused");
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+    }
+
     #[test]
     fn connect_mode_streams_to_an_external_server() {
-        let server = serve("127.0.0.1:0", 2, 8).expect("server spawns");
+        let server = serve("127.0.0.1:0", 2, 8, None).expect("server spawns");
         let addr = server.addr();
         let r = drive(Some("mcf"), &tiny(Transport::Connect(addr))).expect("drive completes");
         // No local snapshot: verdicts are skipped, traffic still flows.

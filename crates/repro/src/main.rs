@@ -33,6 +33,9 @@ fn main() {
     let mut trace: Option<String> = None;
     let mut addr = "127.0.0.1:7011".to_owned();
     let mut max_conns: usize = 64;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut checkpoint_every: u64 = 64;
+    let mut kill_after: Option<u64> = None;
     let mut shards: usize = 4;
     let mut repeats: usize = 2;
     let mut connect: Option<String> = None;
@@ -152,6 +155,29 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--max-conns needs an integer"));
             }
+            "--checkpoint-dir" => {
+                i += 1;
+                checkpoint_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--checkpoint-dir needs a directory path")),
+                );
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                checkpoint_every = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--checkpoint-every needs an integer"));
+            }
+            "--kill-after" => {
+                i += 1;
+                kill_after = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--kill-after needs a frame count")),
+                );
+            }
             "trace" => {
                 i += 1;
                 trace = Some(
@@ -227,8 +253,11 @@ fn main() {
     if let Some(scale) = scale_arg {
         options.scale = scale;
     }
+    let durability = checkpoint_dir
+        .as_ref()
+        .map(|dir| ppp_agg::DurOptions::new(dir, checkpoint_every));
     if serve_cmd {
-        std::process::exit(run_serve(&addr, shards, max_conns));
+        std::process::exit(run_serve(&addr, shards, max_conns, durability));
     }
     if let Some(only) = drive_cmd {
         let transport = match (&connect, tcp) {
@@ -248,6 +277,9 @@ fn main() {
             scale: scale_arg.unwrap_or(DriveOptions::default().scale),
             seed,
             transport,
+            checkpoint_dir: checkpoint_dir.as_ref().map(Into::into),
+            checkpoint_every,
+            kill_after,
             ..DriveOptions::default()
         };
         std::process::exit(run_drive(
@@ -649,15 +681,25 @@ fn run_predict(
 
 /// Hosts a standalone aggregation server until the process is killed;
 /// returns the exit code (2 = cannot bind).
-fn run_serve(addr: &str, shards: usize, max_conns: usize) -> i32 {
-    let server = match serve(addr, shards, max_conns) {
+fn run_serve(
+    addr: &str,
+    shards: usize,
+    max_conns: usize,
+    durability: Option<ppp_agg::DurOptions>,
+) -> i32 {
+    let durable = durability.is_some();
+    let server = match serve(addr, shards, max_conns, durability) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: {e}");
             return 2;
         }
     };
-    println!("ppp-agg listening on {} ({shards} shards)", server.addr());
+    println!(
+        "ppp-agg listening on {} ({shards} shards{})",
+        server.addr(),
+        if durable { ", durable" } else { "" }
+    );
     // Serve until killed; the accept loop runs on its own thread.
     loop {
         std::thread::park();
@@ -706,7 +748,9 @@ fn usage(err: &str) -> ! {
          | trace <benchmark> [--seed S] \
          | drive [benchmark] [--workers N] [--shards K] [--repeats R] \
          [--tcp | --connect HOST:PORT] [--seed S] [--out FILE] [--format text|json] \
-         | serve [--addr HOST:PORT] [--shards K] [--max-conns N]"
+         [--checkpoint-dir DIR] [--checkpoint-every N] [--kill-after FRAMES] \
+         | serve [--addr HOST:PORT] [--shards K] [--max-conns N] \
+         [--checkpoint-dir DIR] [--checkpoint-every N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

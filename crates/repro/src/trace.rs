@@ -15,7 +15,7 @@
 
 use crate::drift::{split_blocks, SplitMix64};
 use crate::pipeline::{run_benchmark, PipelineError, PipelineOptions};
-use ppp_agg::{AggClient, AggConfig, AggService, Hello, InProcSink};
+use ppp_agg::{AggClient, AggConfig, AggService, DurOptions, Hello, InProcSink};
 use ppp_ir::write_edge_profile_v2;
 use ppp_match::read_edge_profile_matched;
 use ppp_obs::{ObsCtx, SpanTree};
@@ -45,10 +45,19 @@ fn replay_aggregation(ctx: &ObsCtx, entry: &SuiteEntry, options: &PipelineOption
             return;
         }
     };
-    let service = AggService::new(AggConfig {
+    // The replay is durable on purpose: deltas append to a WAL under a
+    // scratch directory, a checkpoint is cut, and a second service
+    // recovers from the artifacts — so the `ppp_wal_*` durability
+    // metrics land in the trace dump alongside the rest.
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/ppp-scratch/trace")
+        .join(&entry.spec.name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = AggConfig {
         shards: 2,
         ..AggConfig::default()
-    });
+    };
+    let service = AggService::new_durable(config, DurOptions::new(&dir, 8));
     let stream = || -> Result<(), String> {
         let agg = service.register(&entry.spec.name, &module)?;
         let hello = Hello {
@@ -68,6 +77,9 @@ fn replay_aggregation(ctx: &ObsCtx, entry: &SuiteEntry, options: &PipelineOption
         }
         client.finish()?;
         let _ = agg.snapshot();
+        service.checkpoint_all()?;
+        let recovered = AggService::new_durable(config, DurOptions::new(&dir, 8));
+        recovered.register(&entry.spec.name, &module)?;
         Ok(())
     };
     if let Err(e) = stream() {
@@ -202,6 +214,10 @@ mod tests {
         assert!(text.contains("ppp_agg_frames_ingested_total"), "{text}");
         assert!(text.contains("ppp_agg_deltas_merged_total"), "{text}");
         assert!(text.contains("ppp_agg_snapshot_micros"), "{text}");
+        // The durable replay leaves WAL/checkpoint/recovery metrics.
+        assert!(text.contains("ppp_wal_appends_total"), "{text}");
+        assert!(text.contains("ppp_wal_checkpoints_total"), "{text}");
+        assert!(text.contains("ppp_wal_recoveries_total"), "{text}");
         // …as does the cross-version matched-stale replay.
         assert!(text.contains("match.replay"), "{text}");
         assert!(text.contains("ppp_stale_sections_total"), "{text}");
