@@ -50,6 +50,7 @@ pub use recover::RecoveryReport;
 pub use service::{AggClient, AggService, FrameSink, Hello, InProcSink, RetryPolicy};
 pub use shard::{AggConfig, Aggregator, IngestError, IngestOutcome, StreamReport};
 pub use tcp::{
-    read_frame, ModuleResolver, ReadError, ResilientSink, ServeOptions, Server, TcpSink,
+    fetch_stats, read_frame, ModuleResolver, ReadError, ResilientSink, ServeOptions, Server,
+    TcpSink, STATS_SCHEMA,
 };
 pub use wal::DurOptions;

@@ -15,7 +15,9 @@
 
 use crate::shard::{AggConfig, Aggregator};
 use crate::wal::DurOptions;
-use ppp_ir::wire::{encode_frame, encode_seq_payload, FrameKind};
+use ppp_ir::wire::{
+    encode_frame, encode_seq_payload, encode_seq_payload_traced, FrameKind, TraceContext,
+};
 use ppp_ir::{
     write_edge_profile_v2, write_path_profile_v2, Module, ModuleEdgeProfile, ModulePathProfile,
 };
@@ -316,6 +318,11 @@ pub struct AggClient<S: FrameSink> {
     /// Payload bytes sent.
     bytes_sent: u64,
     finished: bool,
+    /// When set, flushed frames carry a trace context (this trace id +
+    /// the send span's id) so server-side apply spans stitch under
+    /// this client's send spans. `None` keeps the wire bytes identical
+    /// to an untraced client.
+    trace_id: Option<u64>,
 }
 
 impl<S: FrameSink> AggClient<S> {
@@ -343,6 +350,7 @@ impl<S: FrameSink> AggClient<S> {
             frames_sent: 0,
             bytes_sent: 0,
             finished: false,
+            trace_id: None,
         };
         client.send(FrameKind::Hello, &hello.encode())?;
         Ok(client)
@@ -383,8 +391,34 @@ impl<S: FrameSink> AggClient<S> {
             .observe("ppp_agg_batch_deltas", &[], self.batched as u64);
         let edges = write_edge_profile_v2(&self.module, &self.batch_edges);
         let paths = write_path_profile_v2(&self.module, &self.batch_paths);
-        let seq_edges = encode_seq_payload(self.client, self.next_seq, edges.as_bytes());
-        let seq_paths = encode_seq_payload(self.client, self.next_seq + 1, paths.as_bytes());
+        // The send span's id rides inside the frames, so it must be
+        // open (and allocated) before the payloads are encoded; it
+        // closes when this flush returns, covering the delivery.
+        let send_span = self.trace_id.map(|tid| {
+            let mut s = ppp_obs::global().span("client.send");
+            s.set("trace_id", tid);
+            s.set("client", self.client);
+            s.set("first_seq", self.next_seq);
+            s
+        });
+        let (seq_edges, seq_paths) = match (&send_span, self.trace_id) {
+            (Some(span), Some(tid)) => {
+                let ctx = TraceContext::sampled(tid, span.id());
+                (
+                    encode_seq_payload_traced(self.client, self.next_seq, &ctx, edges.as_bytes()),
+                    encode_seq_payload_traced(
+                        self.client,
+                        self.next_seq + 1,
+                        &ctx,
+                        paths.as_bytes(),
+                    ),
+                )
+            }
+            _ => (
+                encode_seq_payload(self.client, self.next_seq, edges.as_bytes()),
+                encode_seq_payload(self.client, self.next_seq + 1, paths.as_bytes()),
+            ),
+        };
         self.send(FrameKind::SeqEdgeDelta, &seq_edges)?;
         self.next_seq += 1;
         self.send(FrameKind::SeqPathDelta, &seq_paths)?;
@@ -412,6 +446,13 @@ impl<S: FrameSink> AggClient<S> {
         self.send(FrameKind::Done, b"")?;
         self.finished = true;
         Ok(())
+    }
+
+    /// Enables distributed tracing for subsequent flushes: each frame
+    /// pair carries `(trace_id, send-span id)` so the server's
+    /// `shard.apply` span stitches under this client's `client.send`.
+    pub fn set_trace_id(&mut self, trace_id: u64) {
+        self.trace_id = Some(trace_id);
     }
 
     /// `(frames, payload bytes)` sent so far.
@@ -535,5 +576,62 @@ mod tests {
         let (edges, _) = agg.snapshot();
         assert_eq!(edges.funcs[1].entries(), 20);
         assert_eq!(edges.funcs[1].edge(EdgeRef::new(BlockId(0), 1)), 20);
+    }
+
+    #[test]
+    fn traced_client_stitches_send_and_apply_spans() {
+        let (ctx, collect) = ppp_obs::ObsCtx::collecting();
+        ppp_obs::install_global(ctx);
+        let m = test_module();
+        // Created after install_global so the aggregator observes into
+        // the collecting context.
+        let svc = AggService::new(AggConfig::default());
+        let agg = svc.register("traced", &m).expect("register");
+        let hello = Hello {
+            bench: "traced".to_owned(),
+            funcs: 3,
+            scale_bits: 0,
+            worker: 7,
+        };
+        let mut client =
+            AggClient::open(Arc::clone(&m), InProcSink::new(Arc::clone(&agg)), 1, &hello)
+                .expect("open");
+        client.set_trace_id(0xABCD);
+        client
+            .push_delta(
+                &ModuleEdgeProfile::zeroed(&m),
+                &ModulePathProfile::with_capacity(3),
+            )
+            .expect("push");
+        client.finish().expect("finish");
+        ppp_obs::install_global(ppp_obs::ObsCtx::noop());
+
+        // Partition the shared stream into the two "processes".
+        let recs = collect.records();
+        let local: Vec<_> = recs
+            .iter()
+            .filter(|r| r.name == "client.send")
+            .cloned()
+            .collect();
+        let remote: Vec<_> = recs
+            .iter()
+            .filter(|r| r.name == "shard.apply")
+            .cloned()
+            .collect();
+        assert!(!local.is_empty() && !remote.is_empty());
+
+        let tree = ppp_obs::SpanTree::stitch(&local, &remote);
+        assert_eq!(tree.roots.len(), 1, "one flush, one trace");
+        let send = &tree.roots[0];
+        assert_eq!(send.name, "client.send");
+        // One flush ships an edge + a path frame: two apply spans.
+        assert_eq!(send.children.len(), 2);
+        for apply in &send.children {
+            assert_eq!(apply.name, "shard.apply");
+            assert_eq!(
+                apply.fields.iter().find(|(k, _)| k == "trace_id"),
+                Some(&("trace_id".to_owned(), ppp_obs::Value::U64(0xABCD)))
+            );
+        }
     }
 }

@@ -20,7 +20,8 @@
 use crate::queue::BoundedQueue;
 use crate::wal::{self, DurOptions, Wal};
 use ppp_ir::wire::{
-    decode_frame, split_seq_payload, Frame, FrameKind, WireError, FRAME_HEADER_LEN,
+    decode_frame, split_seq_payload, split_trace_context, Frame, FrameKind, WireError,
+    FRAME_HEADER_LEN,
 };
 use ppp_ir::{
     read_edge_profile_v2, read_path_profile_v2, Module, ModuleEdgeProfile, ModulePathProfile,
@@ -100,10 +101,11 @@ struct ShardState {
     paths: ModulePathProfile,
 }
 
-/// One message through a shard queue.
+/// One message through a shard queue. Deltas carry their enqueue time
+/// so shards can account queue-wait latency.
 enum Msg {
-    Edges(Arc<ModuleEdgeProfile>),
-    Paths(Arc<ModulePathProfile>),
+    Edges(Arc<ModuleEdgeProfile>, Instant),
+    Paths(Arc<ModulePathProfile>, Instant),
     Flush(Arc<Gate>),
 }
 
@@ -270,7 +272,7 @@ impl Aggregator {
                 ),
             });
         }
-        self.fan_out(Msg::Edges(Arc::new(delta)))
+        self.fan_out(Msg::Edges(Arc::new(delta), Instant::now()))
     }
 
     /// Submits a path-profile delta for merging (same contract as
@@ -290,7 +292,7 @@ impl Aggregator {
                 ),
             });
         }
-        self.fan_out(Msg::Paths(Arc::new(delta)))
+        self.fan_out(Msg::Paths(Arc::new(delta), Instant::now()))
     }
 
     fn fan_out(&self, msg: Msg) -> Result<(), IngestError> {
@@ -303,8 +305,8 @@ impl Aggregator {
                 q.depth() as u64,
             );
             let m = match &msg {
-                Msg::Edges(e) => Msg::Edges(Arc::clone(e)),
-                Msg::Paths(p) => Msg::Paths(Arc::clone(p)),
+                Msg::Edges(e, at) => Msg::Edges(Arc::clone(e), *at),
+                Msg::Paths(p, at) => Msg::Paths(Arc::clone(p), *at),
                 Msg::Flush(_) => unreachable!("fan_out is for deltas"),
             };
             if !q.push(m) {
@@ -328,6 +330,17 @@ impl Aggregator {
     /// are validated by the transport layer; here they are accepted as
     /// opaque.
     pub fn ingest_frame(&self, frame: &Frame) -> Result<IngestOutcome, IngestError> {
+        let started = Instant::now();
+        let out = self.ingest_frame_inner(frame);
+        self.obs.metrics().observe(
+            ppp_obs::names::INGEST_MICROS,
+            &[("bench", &self.bench)],
+            started.elapsed().as_micros() as u64,
+        );
+        out
+    }
+
+    fn ingest_frame_inner(&self, frame: &Frame) -> Result<IngestOutcome, IngestError> {
         match frame.kind {
             FrameKind::Hello | FrameKind::Done => Ok(IngestOutcome::Applied),
             FrameKind::EdgeDelta => {
@@ -351,9 +364,15 @@ impl Aggregator {
                 Ok(IngestOutcome::Applied)
             }
             FrameKind::SeqEdgeDelta | FrameKind::SeqPathDelta => self.apply_seq(frame, true),
-            FrameKind::Ack | FrameKind::Reject => Err(IngestError {
+            FrameKind::Ack | FrameKind::Reject | FrameKind::StatsResponse => Err(IngestError {
                 class: "protocol",
                 detail: format!("{} frames flow server-to-client only", frame.kind),
+            }),
+            FrameKind::StatsRequest => Err(IngestError {
+                class: "protocol",
+                detail: "stats-request is answered by the transport tier, \
+                         not merged"
+                    .to_owned(),
             }),
         }
     }
@@ -374,6 +393,20 @@ impl Aggregator {
                 detail: format!("client {client} sent sequence 0 (sequences start at 1)"),
             });
         }
+        // A traced sender prefixes the container with a trace-context
+        // block. Strip it before decoding and open the server-side
+        // apply span carrying the sender's ids, so the client's send
+        // span and this apply stitch into one cross-process trace.
+        // Untraced (pre-trace) frames pass through unchanged.
+        let (trace, container) = split_trace_context(container);
+        let _apply_span = trace.map(|t| {
+            let mut s = self
+                .obs
+                .span_remote("shard.apply", t.trace_id, t.parent_span);
+            s.set("client", client);
+            s.set("seq", seq);
+            s
+        });
         // Decode and shape-check the container before touching any
         // durable state: a damaged payload must be refused, not logged.
         let msg = match frame.kind {
@@ -389,7 +422,7 @@ impl Aggregator {
                         detail: "seq edge delta shape does not match module".to_owned(),
                     });
                 }
-                Msg::Edges(Arc::new(profile))
+                Msg::Edges(Arc::new(profile), Instant::now())
             }
             FrameKind::SeqPathDelta => {
                 let profile =
@@ -397,7 +430,7 @@ impl Aggregator {
                         class: "payload",
                         detail: format!("seq path delta: {e}"),
                     })?;
-                Msg::Paths(Arc::new(profile))
+                Msg::Paths(Arc::new(profile), Instant::now())
             }
             other => {
                 return Err(IngestError {
@@ -483,6 +516,19 @@ impl Aggregator {
     /// load shedding.
     pub fn max_queue_depth(&self) -> usize {
         self.queues.iter().map(|q| q.depth()).max().unwrap_or(0)
+    }
+
+    /// Per-shard queue depths, in shard order — the live-introspection
+    /// view served by the `stats` wire frame.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.queues.iter().map(|q| q.depth()).collect()
+    }
+
+    /// Sequenced frames applied since the last checkpoint (the WAL's
+    /// replay depth if the process died right now). 0 for non-durable
+    /// aggregators.
+    pub fn frames_since_checkpoint(&self) -> u64 {
+        self.front.lock().expect("front lock").since_checkpoint
     }
 
     /// Writes a checkpoint (profiles + watermarks in one consistent
@@ -683,7 +729,8 @@ fn shard_loop(
     let shard_label = k.to_string();
     while let Some(msg) = queue.pop() {
         match msg {
-            Msg::Edges(delta) => {
+            Msg::Edges(delta, enqueued) => {
+                record_queue_wait(obs, bench, enqueued);
                 let started = Instant::now();
                 let mut st = state.lock().expect("shard state lock");
                 for fid in (k..delta.funcs.len()).step_by(shards) {
@@ -694,7 +741,8 @@ fn shard_loop(
                 drop(st);
                 record_merge(obs, bench, &shard_label, started);
             }
-            Msg::Paths(delta) => {
+            Msg::Paths(delta, enqueued) => {
+                record_queue_wait(obs, bench, enqueued);
                 let started = Instant::now();
                 let mut st = state.lock().expect("shard state lock");
                 for fid in (k..delta.funcs.len()).step_by(shards) {
@@ -708,6 +756,14 @@ fn shard_loop(
             Msg::Flush(gate) => gate.arrive(),
         }
     }
+}
+
+fn record_queue_wait(obs: &ppp_obs::ObsCtx, bench: &str, enqueued: Instant) {
+    obs.metrics().observe(
+        ppp_obs::names::QUEUE_WAIT_MICROS,
+        &[("bench", bench)],
+        enqueued.elapsed().as_micros() as u64,
+    );
 }
 
 fn record_merge(obs: &ppp_obs::ObsCtx, bench: &str, shard: &str, started: Instant) {

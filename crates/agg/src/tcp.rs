@@ -46,7 +46,11 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Schema tag of the live-introspection document served for a
+/// `StatsRequest` frame.
+pub const STATS_SCHEMA: &str = "ppp-stats/v1";
 
 /// Resolves the benchmark named by a `Hello` to its module. Returning
 /// `None` refuses the connection.
@@ -145,6 +149,7 @@ impl Server {
         let crash = Arc::new(AtomicBool::new(false));
         let frames = Arc::new(AtomicU64::new(0));
         let conns: Arc<Mutex<Vec<Option<TcpStream>>>> = Arc::new(Mutex::new(Vec::new()));
+        let started = Instant::now();
         let accept_thread = {
             let stop = Arc::clone(&stop);
             let crash = Arc::clone(&crash);
@@ -156,6 +161,7 @@ impl Server {
                 .spawn(move || {
                     accept_loop(
                         &listener, &service, &resolver, options, &stop, &crash, &frames, &conns,
+                        started,
                     );
                 })?
         };
@@ -205,6 +211,19 @@ impl Server {
     /// deliberately the worst case a client and the recovery path can
     /// face; `repro drive --kill-after` uses it.
     pub fn kill(mut self) {
+        // The kill event lands in the flight-recorder ring *before* the
+        // dump, so the post-mortem artifact records what died and how
+        // much it had accepted.
+        ppp_obs::global().warn(
+            "server.kill",
+            &[
+                ("addr", ppp_obs::Value::from(self.addr.to_string())),
+                (
+                    "frames_accepted",
+                    ppp_obs::Value::U64(self.frames_accepted()),
+                ),
+            ],
+        );
         self.crash.store(true, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
         for s in self.conns.lock().expect("conns lock").iter().flatten() {
@@ -214,6 +233,7 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        let _ = ppp_obs::flight_dump("server-kill");
     }
 }
 
@@ -237,6 +257,7 @@ fn accept_loop(
     crash: &Arc<AtomicBool>,
     frames: &Arc<AtomicU64>,
     conns: &Arc<Mutex<Vec<Option<TcpStream>>>>,
+    started: Instant,
 ) {
     let active = Arc::new(AtomicUsize::new(0));
     let handles: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
@@ -291,6 +312,7 @@ fn accept_loop(
                     &stop,
                     &crash,
                     &frames,
+                    started,
                 );
                 if let Some(i) = slot {
                     conns.lock().expect("conns lock")[i] = None;
@@ -368,10 +390,91 @@ fn send_ack(stream: &mut TcpStream, client: u64, watermark: u64) -> std::io::Res
 }
 
 fn send_reject(stream: &mut TcpStream, class: &str, detail: &str) -> std::io::Result<()> {
+    // A reject is an anomaly worth a post-mortem: dump the flight
+    // recorder (no-op when none is installed). The reason is
+    // class-deterministic so repeated rejects overwrite one artifact.
+    let _ = ppp_obs::flight_dump(&format!("reject-{class}"));
     stream.write_all(&encode_frame(
         FrameKind::Reject,
         &encode_reject_payload(class, detail),
     ))
+}
+
+/// Renders the `ppp-stats/v1` live-introspection document: uptime,
+/// frames accepted, per-bench shard queue depths and watermarks, and a
+/// full metrics-registry snapshot. Served without requiring a `Hello`,
+/// and without touching any shard queue — reading stats never disturbs
+/// ingestion.
+fn stats_json(service: &AggService, started: Instant, frames: u64) -> String {
+    let mut benches = Vec::new();
+    for key in service.keys() {
+        let Some(agg) = service.get(&key) else {
+            continue;
+        };
+        let depths = agg
+            .queue_depths()
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let watermarks = agg
+            .watermarks()
+            .iter()
+            .map(|(c, s)| format!("{{\"client\":{c},\"seq\":{s}}}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        benches.push(format!(
+            "{{\"bench\":\"{}\",\"shards\":{},\"queue_depths\":[{depths}],\
+             \"watermarks\":[{watermarks}],\"frames_since_checkpoint\":{},\
+             \"backpressure_stalls\":{}}}",
+            ppp_obs::json::escape(&key),
+            agg.shards(),
+            agg.frames_since_checkpoint(),
+            agg.backpressure_stalls(),
+        ));
+    }
+    format!(
+        "{{\"schema\":\"{STATS_SCHEMA}\",\"uptime_ms\":{},\"frames_accepted\":{frames},\
+         \"durable\":{},\"benches\":[{}],\"registry\":{}}}",
+        started.elapsed().as_millis(),
+        service.is_durable(),
+        benches.join(","),
+        ppp_obs::global().metrics().to_json(),
+    )
+}
+
+/// Requests one live-introspection document from the server at `addr`:
+/// a single empty `StatsRequest` frame, answered with a
+/// [`STATS_SCHEMA`] JSON text payload.
+///
+/// # Errors
+///
+/// Fails on connect/transport errors, a `Reject`, or a non-stats
+/// reply.
+pub fn fetch_stats(addr: SocketAddr, timeout: Duration) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(&encode_frame(FrameKind::StatsRequest, b""))
+        .map_err(|e| e.to_string())?;
+    match read_frame(&mut stream) {
+        Ok(Some(f)) if f.kind == FrameKind::StatsResponse => {
+            String::from_utf8(f.payload).map_err(|_| "stats payload is not utf-8".to_owned())
+        }
+        Ok(Some(f)) if f.kind == FrameKind::Reject => {
+            let (class, detail) = split_reject_payload(&f.payload);
+            Err(format!("server rejected: {class}: {detail}"))
+        }
+        Ok(Some(f)) => Err(format!("expected stats-response, got {} frame", f.kind)),
+        Ok(None) => Err("connection closed before stats response".to_owned()),
+        Err(e) => Err(format!("reading stats: {e}")),
+    }
 }
 
 /// Serves one connection to completion: hello (acked with the resume
@@ -383,6 +486,7 @@ fn send_reject(stream: &mut TcpStream, class: &str, detail: &str) -> std::io::Re
 ///
 /// Returns a description of the first protocol violation or transport
 /// failure; the caller just drops the connection.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: &mut TcpStream,
     service: &Arc<AggService>,
@@ -391,6 +495,7 @@ fn serve_connection(
     stop: &AtomicBool,
     crash: &AtomicBool,
     frames: &AtomicU64,
+    started: Instant,
 ) -> Result<(), String> {
     let mut agg: Option<Arc<Aggregator>> = None;
     let mut client_id = 0u64;
@@ -504,7 +609,18 @@ fn serve_connection(
                 record_tcp_frame(a, &frame);
                 send_ack(stream, client_id, a.watermark(client_id)).map_err(|e| e.to_string())?;
             }
-            FrameKind::Ack | FrameKind::Reject => {
+            FrameKind::StatsRequest => {
+                // Live introspection: served without a hello and
+                // without touching any shard queue.
+                let doc = stats_json(service, started, frames.load(Ordering::SeqCst));
+                ppp_obs::global()
+                    .metrics()
+                    .inc(ppp_obs::names::STATS_SERVED, &[]);
+                stream
+                    .write_all(&encode_frame(FrameKind::StatsResponse, doc.as_bytes()))
+                    .map_err(|e| e.to_string())?;
+            }
+            FrameKind::Ack | FrameKind::Reject | FrameKind::StatsResponse => {
                 let msg = format!("client sent a server-only {} frame", frame.kind);
                 let _ = send_reject(stream, "protocol", &msg);
                 return Err(msg);
@@ -1172,6 +1288,69 @@ mod tests {
         let agg = service2.register("tcp-test", &m).expect("recover");
         let (edges, _) = agg.snapshot();
         assert_eq!(edges.funcs[0].entries(), 4, "nothing acked was dropped");
+    }
+
+    #[test]
+    fn stats_frame_serves_live_introspection_without_disturbing_ingest() {
+        let m = test_module();
+        let (server, service) = start_server(&m);
+        let (delta, paths) = one_delta(&m);
+        let hello = Hello {
+            bench: "tcp-test".to_owned(),
+            funcs: 1,
+            scale_bits: 0,
+            worker: 4,
+        };
+        let sink = TcpSink::connect(server.addr()).expect("connect");
+        let mut client = AggClient::open(Arc::clone(&m), sink, 1, &hello).expect("open");
+        for _ in 0..3 {
+            client.push_delta(&delta, &paths).expect("push");
+        }
+
+        // Scrape stats over a separate connection, mid-session.
+        let doc = fetch_stats(server.addr(), Duration::from_secs(2)).expect("stats");
+        let v = ppp_obs::json::parse(&doc).expect("stats JSON parses");
+        assert_eq!(
+            v.get("schema").and_then(ppp_obs::json::Json::as_str),
+            Some(STATS_SCHEMA)
+        );
+        assert!(v
+            .get("uptime_ms")
+            .and_then(ppp_obs::json::Json::as_u64)
+            .is_some());
+        assert!(
+            v.get("frames_accepted")
+                .and_then(ppp_obs::json::Json::as_u64)
+                .expect("frames_accepted")
+                >= 6,
+            "3 flushed delta pairs visible"
+        );
+        let benches = v
+            .get("benches")
+            .and_then(ppp_obs::json::Json::as_arr)
+            .expect("benches");
+        let bench = benches
+            .iter()
+            .find(|b| b.get("bench").and_then(ppp_obs::json::Json::as_str) == Some("tcp-test"))
+            .expect("tcp-test listed");
+        assert_eq!(
+            bench
+                .get("queue_depths")
+                .and_then(ppp_obs::json::Json::as_arr)
+                .map(<[ppp_obs::json::Json]>::len),
+            Some(2),
+            "one depth per shard"
+        );
+        assert!(v.get("registry").is_some(), "metrics snapshot included");
+
+        // Ingestion was not disturbed: the session finishes cleanly and
+        // everything lands.
+        client.finish().expect("finish");
+        client.into_sink().wait_ack().expect("done ack");
+        let agg = service.get("tcp-test").expect("registered");
+        let (edges, _) = agg.snapshot();
+        assert_eq!(edges.funcs[0].entries(), 3);
+        server.shutdown();
     }
 
     #[test]

@@ -129,11 +129,17 @@ impl Wal {
     /// Propagates write failures; the caller must then refuse the
     /// delta (never apply what was not logged).
     pub fn append(&mut self, frame_bytes: &[u8]) -> std::io::Result<()> {
+        let started = std::time::Instant::now();
         self.file.write_all(frame_bytes)?;
         self.file.flush()?;
         self.len += frame_bytes.len() as u64;
         let obs = ppp_obs::global();
         let metrics = obs.metrics();
+        metrics.observe(
+            ppp_obs::names::WAL_FSYNC_MICROS,
+            &[("bench", &self.bench)],
+            started.elapsed().as_micros() as u64,
+        );
         metrics.inc(ppp_obs::names::WAL_APPENDS, &[("bench", &self.bench)]);
         metrics.inc_by(
             ppp_obs::names::WAL_BYTES,

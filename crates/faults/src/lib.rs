@@ -122,6 +122,17 @@ impl FaultSite {
     pub fn parse(s: &str) -> Option<FaultSite> {
         FaultSite::ALL.into_iter().find(|f| f.name() == s)
     }
+
+    /// `true` for the serve-tier sites whose chaos scenario must leave a
+    /// flight-recorder dump artifact behind (crash, stall, shed): the
+    /// operator debugging one of these needs the last-N-records ring,
+    /// not just the degradation report.
+    pub fn dumps_flight_recorder(self) -> bool {
+        matches!(
+            self,
+            FaultSite::CrashRestart | FaultSite::StallConnection | FaultSite::ShedOverload
+        )
+    }
 }
 
 impl fmt::Display for FaultSite {
@@ -289,6 +300,22 @@ mod tests {
             assert_eq!(FaultSite::parse(s.name()), Some(s));
         }
         assert_eq!(FaultSite::parse("nope"), None);
+    }
+
+    #[test]
+    fn flight_recorder_sites_are_the_serve_tier_trio() {
+        let dumping: Vec<_> = FaultSite::ALL
+            .into_iter()
+            .filter(|s| s.dumps_flight_recorder())
+            .collect();
+        assert_eq!(
+            dumping,
+            vec![
+                FaultSite::CrashRestart,
+                FaultSite::StallConnection,
+                FaultSite::ShedOverload
+            ]
+        );
     }
 
     #[test]

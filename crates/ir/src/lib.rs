@@ -89,8 +89,9 @@ pub use profile::{
 pub use verify::{verify_module, VerifyError};
 pub use wire::{
     decode_frame, decode_stream, encode_frame, encode_reject_payload, encode_seq_payload,
-    split_reject_payload, split_seq_payload, Frame, FrameKind, WireError, FRAME_HEADER_LEN,
-    FRAME_MAGIC, MAX_FRAME_PAYLOAD, SEQ_HEADER_LEN,
+    encode_seq_payload_traced, split_reject_payload, split_seq_payload, split_trace_context, Frame,
+    FrameKind, TraceContext, WireError, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_PAYLOAD,
+    SEQ_HEADER_LEN, TRACE_CONTEXT_LEN, TRACE_CONTEXT_MAGIC,
 };
 pub use witness::{
     InlineStep, InlineWitness, ScalarFuncWitness, ScalarWitness, TransformWitness, UnrollMode,

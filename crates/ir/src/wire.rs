@@ -94,11 +94,19 @@ pub enum FrameKind {
     /// `class\ndetail` text (e.g. `overloaded`, `timed-out`); the
     /// connection closes right after.
     Reject = 8,
+    /// Client → server: live-introspection request (empty payload).
+    /// Answering never disturbs ingestion — the server reads nothing
+    /// but its own counters.
+    StatsRequest = 9,
+    /// Server → client: the stats snapshot, a `ppp-stats/v1` JSON text
+    /// payload (uptime, frames, per-shard queue depths, watermarks,
+    /// metrics registry).
+    StatsResponse = 10,
 }
 
 impl FrameKind {
     /// All frame kinds.
-    pub const ALL: [FrameKind; 8] = [
+    pub const ALL: [FrameKind; 10] = [
         FrameKind::Hello,
         FrameKind::EdgeDelta,
         FrameKind::PathDelta,
@@ -107,6 +115,8 @@ impl FrameKind {
         FrameKind::SeqPathDelta,
         FrameKind::Ack,
         FrameKind::Reject,
+        FrameKind::StatsRequest,
+        FrameKind::StatsResponse,
     ];
 
     /// Stable machine-readable name (metric labels, reports).
@@ -120,6 +130,8 @@ impl FrameKind {
             FrameKind::SeqPathDelta => "seq-path-delta",
             FrameKind::Ack => "ack",
             FrameKind::Reject => "reject",
+            FrameKind::StatsRequest => "stats-request",
+            FrameKind::StatsResponse => "stats-response",
         }
     }
 
@@ -263,6 +275,102 @@ pub fn split_seq_payload(payload: &[u8]) -> Result<(u64, u64, &[u8]), WireError>
     let client = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
     let seq = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
     Ok((client, seq, &payload[SEQ_HEADER_LEN..]))
+}
+
+/// Magic bytes opening an optional trace-context block.
+pub const TRACE_CONTEXT_MAGIC: [u8; 4] = *b"TCX1";
+
+/// Fixed size of an encoded trace-context block (magic + trace id +
+/// parent span id + flags).
+pub const TRACE_CONTEXT_LEN: usize = 21;
+
+/// Cross-process trace context carried in sequenced delta frames.
+///
+/// When present, the block sits between the 16-byte `(client, seq)`
+/// prefix and the v2 profile container:
+///
+/// ```text
+/// | TCX1 | trace id u64 LE | parent span u64 LE | flags u8 |
+/// ```
+///
+/// `trace_id` names one logical client→server trace; `parent_span` is
+/// the sender's span id, so the receiver's apply span can attach under
+/// it when the two observation sinks are stitched into one tree. The
+/// block is *optional* and self-describing: a v2 profile container
+/// starts with the `ppp-profile` text magic and an `Ack` container is
+/// empty, so neither can alias [`TRACE_CONTEXT_MAGIC`] — frames written
+/// by older clients decode exactly as before.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceContext {
+    /// Trace identifier shared by every span of one distributed trace.
+    pub trace_id: u64,
+    /// Span id of the sending side's in-flight span.
+    pub parent_span: u64,
+    /// Bit 0: sampled (the receiver should open a span).
+    pub flags: u8,
+}
+
+impl TraceContext {
+    /// Flag bit marking the trace as sampled.
+    pub const FLAG_SAMPLED: u8 = 1;
+
+    /// Builds a sampled context.
+    pub fn sampled(trace_id: u64, parent_span: u64) -> Self {
+        Self {
+            trace_id,
+            parent_span,
+            flags: Self::FLAG_SAMPLED,
+        }
+    }
+
+    /// `true` when the sampled flag is set.
+    pub fn is_sampled(&self) -> bool {
+        self.flags & Self::FLAG_SAMPLED != 0
+    }
+
+    /// Encodes the block ([`TRACE_CONTEXT_LEN`] bytes).
+    pub fn encode(&self) -> [u8; TRACE_CONTEXT_LEN] {
+        let mut out = [0u8; TRACE_CONTEXT_LEN];
+        out[..4].copy_from_slice(&TRACE_CONTEXT_MAGIC);
+        out[4..12].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[12..20].copy_from_slice(&self.parent_span.to_le_bytes());
+        out[20] = self.flags;
+        out
+    }
+}
+
+/// Builds a sequenced payload with a trace-context block between the
+/// `(client, seq)` prefix and `container`.
+pub fn encode_seq_payload_traced(
+    client: u64,
+    seq: u64,
+    ctx: &TraceContext,
+    container: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEQ_HEADER_LEN + TRACE_CONTEXT_LEN + container.len());
+    out.extend_from_slice(&client.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&ctx.encode());
+    out.extend_from_slice(container);
+    out
+}
+
+/// Strips the optional trace-context block off the front of a
+/// sequenced payload's container part (the third element of
+/// [`split_seq_payload`]). Containers written without a block — every
+/// frame from a pre-trace client — come back unchanged with `None`.
+pub fn split_trace_context(container: &[u8]) -> (Option<TraceContext>, &[u8]) {
+    if container.len() < TRACE_CONTEXT_LEN || container[..4] != TRACE_CONTEXT_MAGIC {
+        return (None, container);
+    }
+    let trace_id = u64::from_le_bytes(container[4..12].try_into().expect("8 bytes"));
+    let parent_span = u64::from_le_bytes(container[12..20].try_into().expect("8 bytes"));
+    let ctx = TraceContext {
+        trace_id,
+        parent_span,
+        flags: container[20],
+    };
+    (Some(ctx), &container[TRACE_CONTEXT_LEN..])
 }
 
 /// Builds a [`FrameKind::Reject`] payload: `class` on the first line,
@@ -491,6 +599,100 @@ mod tests {
             assert_eq!(frame.kind, kind);
             assert_eq!(split_seq_payload(&frame.payload).unwrap().1, 2);
         }
+    }
+
+    #[test]
+    fn trace_context_roundtrip_through_the_frame_codec() {
+        let ctx = TraceContext::sampled(0xDEAD_BEEF_0BAD_F00D, 17);
+        let payload = encode_seq_payload_traced(3, 9, &ctx, b"ppp-profile v2 ...");
+        let bytes = encode_frame(FrameKind::SeqEdgeDelta, &payload);
+        let (frame, _) = decode_frame(&bytes).expect("decodes");
+        let (client, seq, container) = split_seq_payload(&frame.payload).expect("splits");
+        assert_eq!((client, seq), (3, 9));
+        let (got, rest) = split_trace_context(container);
+        assert_eq!(got, Some(ctx));
+        assert!(got.expect("present").is_sampled());
+        assert_eq!(rest, b"ppp-profile v2 ...");
+    }
+
+    #[test]
+    fn frames_without_trace_context_still_decode() {
+        // The PR 8 writer: no block. The container must come back
+        // byte-identical with no context.
+        let payload = encode_seq_payload(1, 4, b"ppp-profile v2 container");
+        let (_, _, container) = split_seq_payload(&payload).expect("splits");
+        let (ctx, rest) = split_trace_context(container);
+        assert_eq!(ctx, None);
+        assert_eq!(rest, b"ppp-profile v2 container");
+        // Ack payloads have empty containers — also context-free.
+        let (ctx, rest) = split_trace_context(b"");
+        assert_eq!(ctx, None);
+        assert!(rest.is_empty());
+    }
+
+    /// Property test: random trace ids/parents/flags through the full
+    /// encode → frame → decode path are identity, for both sequenced
+    /// delta kinds, and stripping is stable when the block is absent.
+    #[test]
+    fn trace_context_property_roundtrip() {
+        // SplitMix64: deterministic, dependency-free.
+        let mut state = 0x5CA1_AB1E_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in 0..200 {
+            let ctx = TraceContext {
+                trace_id: next(),
+                parent_span: next(),
+                flags: (next() & 0xFF) as u8,
+            };
+            let client = next();
+            let seq = next() | 1;
+            let container = format!("ppp-profile v2 synthetic {i}").into_bytes();
+            let kind = if i % 2 == 0 {
+                FrameKind::SeqEdgeDelta
+            } else {
+                FrameKind::SeqPathDelta
+            };
+            let traced = encode_seq_payload_traced(client, seq, &ctx, &container);
+            let bytes = encode_frame(kind, &traced);
+            let (frame, used) = decode_frame(&bytes).expect("decodes");
+            assert_eq!(used, bytes.len());
+            assert_eq!(frame.kind, kind);
+            let (c, s, rest) = split_seq_payload(&frame.payload).expect("splits");
+            assert_eq!((c, s), (client, seq));
+            let (got, body) = split_trace_context(rest);
+            assert_eq!(got, Some(ctx));
+            assert_eq!(body, &container[..]);
+
+            // The same payload without a block stays untouched.
+            let plain = encode_seq_payload(client, seq, &container);
+            let bytes = encode_frame(kind, &plain);
+            let (frame, _) = decode_frame(&bytes).expect("decodes");
+            let (_, _, rest) = split_seq_payload(&frame.payload).expect("splits");
+            let (got, body) = split_trace_context(rest);
+            assert_eq!(got, None);
+            assert_eq!(body, &container[..]);
+        }
+    }
+
+    #[test]
+    fn stats_frames_roundtrip_with_text_payloads() {
+        let req = encode_frame(FrameKind::StatsRequest, b"");
+        let (frame, _) = decode_frame(&req).expect("decodes");
+        assert_eq!(frame.kind, FrameKind::StatsRequest);
+        assert!(frame.payload.is_empty());
+        let body = br#"{"schema":"ppp-stats/v1"}"#;
+        let resp = encode_frame(FrameKind::StatsResponse, body);
+        let (frame, _) = decode_frame(&resp).expect("decodes");
+        assert_eq!(frame.kind, FrameKind::StatsResponse);
+        assert_eq!(frame.payload, body);
+        assert_eq!(FrameKind::from_byte(9), Some(FrameKind::StatsRequest));
+        assert_eq!(FrameKind::from_byte(10), Some(FrameKind::StatsResponse));
     }
 
     #[test]

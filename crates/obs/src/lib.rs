@@ -45,13 +45,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod names;
 pub mod sink;
 pub mod span;
 
-pub use metrics::{Histogram, MetricKey, MetricValue, Registry, HISTOGRAM_BUCKETS};
+pub use flight::{
+    flight_dump, flight_recorder, install_flight, FlightRecorder, TeeSink, DEFAULT_FLIGHT_CAPACITY,
+    FLIGHT_SCHEMA,
+};
+pub use metrics::{
+    Histogram, MetricKey, MetricValue, Registry, HISTOGRAM_BUCKETS, LABEL_OTHER,
+    MAX_LABEL_CARDINALITY,
+};
 pub use sink::{
     CollectSink, JsonLinesSink, Level, NoopSink, Obs, Record, RecordKind, TextSink, Value,
 };
@@ -146,6 +154,96 @@ impl SpanTree {
             }
         }
         tree
+    }
+
+    /// Stitches a cross-process trace: `remote` records (typically the
+    /// server side) are grafted into `local` records (the client side).
+    ///
+    /// Remote span/parent ids are offset past the local id range so the
+    /// two processes' independent allocators cannot collide; a remote
+    /// root span carrying a `remote_parent` field (see
+    /// [`ObsCtx::span_remote`]) whose value names a local span is
+    /// re-parented under it, reconstructing the client→server causality
+    /// from either side's sink.
+    pub fn stitch(local: &[Record], remote: &[Record]) -> Self {
+        let local_max = local
+            .iter()
+            .flat_map(|r| [r.span, r.parent])
+            .max()
+            .unwrap_or(0);
+        let local_spans: std::collections::BTreeSet<u64> = local
+            .iter()
+            .filter(|r| r.kind == RecordKind::SpanStart)
+            .map(|r| r.span)
+            .collect();
+        let mut combined: Vec<Record> = local.to_vec();
+        for rec in remote {
+            let mut rec = rec.clone();
+            if rec.span != 0 {
+                rec.span += local_max;
+            }
+            if rec.parent != 0 {
+                rec.parent += local_max;
+            } else if matches!(rec.kind, RecordKind::SpanStart | RecordKind::SpanEnd) {
+                let rp = match rec.field("remote_parent") {
+                    Some(Value::U64(rp)) => Some(*rp),
+                    _ => None,
+                };
+                if let Some(rp) = rp {
+                    if local_spans.contains(&rp) {
+                        rec.parent = rp;
+                    }
+                }
+            }
+            combined.push(rec);
+        }
+        Self::build(&combined)
+    }
+
+    /// Renders the tree as a JSON document (`roots` + `orphan_events`),
+    /// for `repro trace --format json` and machine consumers.
+    pub fn to_json(&self) -> String {
+        let roots = self
+            .roots
+            .iter()
+            .map(Self::node_to_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        let orphans = self
+            .orphan_events
+            .iter()
+            .map(Record::to_json_line)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"roots\":[{roots}],\"orphan_events\":[{orphans}]}}")
+    }
+
+    fn node_to_json(node: &SpanNode) -> String {
+        let fields = node
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json::escape(k), v.to_json()))
+            .collect::<Vec<_>>()
+            .join(",");
+        let events = node
+            .events
+            .iter()
+            .map(Record::to_json_line)
+            .collect::<Vec<_>>()
+            .join(",");
+        let children = node
+            .children
+            .iter()
+            .map(Self::node_to_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"name\":\"{}\",\"id\":{},\"elapsed_us\":{},\"fields\":{{{fields}}},\
+             \"events\":[{events}],\"children\":[{children}]}}",
+            json::escape(&node.name),
+            node.id,
+            node.elapsed_us,
+        )
     }
 
     /// Renders the tree as an indented per-stage breakdown. Each line
@@ -247,5 +345,90 @@ mod tests {
         let tree = SpanTree::build(&recs);
         assert_eq!(tree.roots.len(), 1);
         assert_eq!(tree.roots[0].name, "vm.run");
+    }
+
+    #[test]
+    fn stitch_grafts_remote_spans_under_the_local_sender() {
+        // Two independent contexts with overlapping span-id ranges —
+        // exactly what two processes produce.
+        let (client, client_sink) = ObsCtx::collecting();
+        let (server, server_sink) = ObsCtx::collecting();
+        let trace_id = 0xDEAD_BEEF_u64;
+        let send_id;
+        {
+            let send = client.span("client.send");
+            send_id = send.id();
+            // Server handles the frame carrying (trace_id, send_id).
+            let apply = server.span_remote("shard.apply", trace_id, send_id);
+            let _child = apply.child("shard.decode");
+        }
+        let local = client_sink.records();
+        let remote = server_sink.records();
+        // Both allocators started at 1, so ids overlap before stitching.
+        assert!(remote.iter().any(|r| r.span == local[0].span));
+
+        let tree = SpanTree::stitch(&local, &remote);
+        assert_eq!(tree.roots.len(), 1, "one stitched trace");
+        let root = &tree.roots[0];
+        assert_eq!(root.name, "client.send");
+        assert_eq!(root.children.len(), 1);
+        let apply = &root.children[0];
+        assert_eq!(apply.name, "shard.apply");
+        assert_eq!(
+            apply.fields.iter().find(|(k, _)| k == "trace_id"),
+            Some(&("trace_id".to_owned(), Value::U64(trace_id)))
+        );
+        assert_eq!(apply.children.len(), 1);
+        assert_eq!(apply.children[0].name, "shard.decode");
+    }
+
+    #[test]
+    fn stitch_keeps_unmatched_remote_roots_as_roots() {
+        let (client, client_sink) = ObsCtx::collecting();
+        let (server, server_sink) = ObsCtx::collecting();
+        drop(client.span("client.send"));
+        // Remote parent id 999 never appears locally.
+        drop(server.span_remote("shard.apply", 7, 999));
+        let tree = SpanTree::stitch(&client_sink.records(), &server_sink.records());
+        assert_eq!(tree.roots.len(), 2);
+    }
+
+    #[test]
+    fn span_tree_json_round_trips_through_the_parser() {
+        let (ctx, collect) = ObsCtx::collecting();
+        {
+            let mut root = ctx.span("pipeline.run");
+            root.set("bench", "mcf");
+            let inner = root.child("vm.run");
+            inner.event(Level::Warn, "vm.saturated", &[("n", Value::U64(2))]);
+        }
+        ctx.info("loose.event", &[]);
+        let tree = SpanTree::build(&collect.records());
+        let doc = tree.to_json();
+        let v = json::parse(&doc).expect("tree JSON parses");
+        let roots = v.get("roots").and_then(json::Json::as_arr).unwrap();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(
+            roots[0].get("name").and_then(json::Json::as_str),
+            Some("pipeline.run")
+        );
+        let children = roots[0]
+            .get("children")
+            .and_then(json::Json::as_arr)
+            .unwrap();
+        assert_eq!(children.len(), 1);
+        assert_eq!(
+            children[0]
+                .get("events")
+                .and_then(json::Json::as_arr)
+                .map(<[json::Json]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("orphan_events")
+                .and_then(json::Json::as_arr)
+                .map(<[json::Json]>::len),
+            Some(1)
+        );
     }
 }

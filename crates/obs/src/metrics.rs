@@ -137,13 +137,56 @@ impl Histogram {
             (1u64 << i) - 1
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) as the inclusive upper
+    /// bound of the bucket holding the rank-`⌈q·count⌉` observation —
+    /// a conservative (never-underestimating) tail-latency figure.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Folds `other` into `self` (bucket-wise add, saturating sum).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, c) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b = b.saturating_add(*c);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
 }
+
+/// Maximum distinct values accepted per `(metric name, label key)`
+/// pair; later values collapse into [`LABEL_OTHER`] so unbounded
+/// identifier spaces (client ids, worker ids) cannot grow the registry
+/// without bound.
+pub const MAX_LABEL_CARDINALITY: usize = 32;
+
+/// The collapse bucket label value for over-cardinality writes.
+pub const LABEL_OTHER: &str = "other";
 
 /// The metrics registry.
 #[derive(Default, Debug)]
 pub struct Registry {
     inner: Mutex<BTreeMap<MetricKey, MetricValue>>,
     conflicts: Mutex<u64>,
+    /// Distinct values seen per `(metric name, label key)`, capped at
+    /// [`MAX_LABEL_CARDINALITY`]. A short linear-scanned list: the set
+    /// of metric/label-key combinations is small and fixed, so lookups
+    /// stay allocation-free on the hot path.
+    cardinality: Mutex<Vec<(String, String, Vec<String>)>>,
+    collapsed: Mutex<u64>,
 }
 
 impl Registry {
@@ -152,9 +195,41 @@ impl Registry {
         Self::default()
     }
 
+    /// Caps label cardinality: a value past the per-key limit is
+    /// rewritten to [`LABEL_OTHER`] before keying the metric.
+    fn bounded<'a>(&self, name: &str, labels: &[(&'a str, &'a str)]) -> Vec<(&'a str, &'a str)> {
+        let mut card = self.cardinality.lock().expect("cardinality lock");
+        labels
+            .iter()
+            .map(|&(k, v)| {
+                if v == LABEL_OTHER {
+                    return (k, v);
+                }
+                let i = match card.iter().position(|(n, lk, _)| n == name && lk == k) {
+                    Some(i) => i,
+                    None => {
+                        card.push((name.to_owned(), k.to_owned(), Vec::new()));
+                        card.len() - 1
+                    }
+                };
+                let values = &mut card[i].2;
+                if values.iter().any(|x| x == v) {
+                    (k, v)
+                } else if values.len() < MAX_LABEL_CARDINALITY {
+                    values.push(v.to_owned());
+                    (k, v)
+                } else {
+                    *self.collapsed.lock().expect("collapsed lock") += 1;
+                    (k, LABEL_OTHER)
+                }
+            })
+            .collect()
+    }
+
     /// Adds `by` to the counter `name{labels}` (created at zero).
     pub fn inc_by(&self, name: &str, labels: &[(&str, &str)], by: u64) {
-        let key = MetricKey::new(name, labels);
+        let labels = self.bounded(name, labels);
+        let key = MetricKey::new(name, &labels);
         let mut m = self.inner.lock().expect("registry lock");
         match m.entry(key).or_insert(MetricValue::Counter(0)) {
             MetricValue::Counter(c) => *c = c.saturating_add(by),
@@ -169,7 +244,8 @@ impl Registry {
 
     /// Sets the gauge `name{labels}`.
     pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], v: f64) {
-        let key = MetricKey::new(name, labels);
+        let labels = self.bounded(name, labels);
+        let key = MetricKey::new(name, &labels);
         let mut m = self.inner.lock().expect("registry lock");
         match m.entry(key).or_insert(MetricValue::Gauge(0.0)) {
             MetricValue::Gauge(g) => *g = v,
@@ -179,7 +255,8 @@ impl Registry {
 
     /// Records `v` into the histogram `name{labels}`.
     pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: u64) {
-        let key = MetricKey::new(name, labels);
+        let labels = self.bounded(name, labels);
+        let key = MetricKey::new(name, &labels);
         let mut m = self.inner.lock().expect("registry lock");
         match m
             .entry(key)
@@ -197,6 +274,12 @@ impl Registry {
     /// How many writes were dropped due to a type conflict.
     pub fn type_conflicts(&self) -> u64 {
         *self.conflicts.lock().expect("conflict lock")
+    }
+
+    /// How many label values were collapsed into [`LABEL_OTHER`]
+    /// because their `(metric, label key)` hit the cardinality cap.
+    pub fn labels_collapsed(&self) -> u64 {
+        *self.collapsed.lock().expect("collapsed lock")
     }
 
     /// Current value of a counter (0 when absent).
@@ -233,6 +316,21 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
+    }
+
+    /// Merge of a histogram across all label sets sharing `name`
+    /// (`None` when no histogram by that name exists).
+    pub fn merged_histogram(&self, name: &str) -> Option<Histogram> {
+        let m = self.inner.lock().expect("registry lock");
+        let mut merged: Option<Histogram> = None;
+        for (k, v) in m.iter() {
+            if k.name == name {
+                if let MetricValue::Histogram(h) = v {
+                    merged.get_or_insert_with(Histogram::default).merge(h);
+                }
+            }
+        }
+        merged
     }
 
     /// Sum of a counter across all label sets sharing `name`.
@@ -545,6 +643,81 @@ mod tests {
         assert_eq!(r.snapshot(), back.snapshot());
         // And the round-tripped document is identical, too.
         assert_eq!(doc, back.to_json());
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+
+        let r = Registry::new();
+        // 90 fast observations (≤ 15µs), 9 medium, 1 slow.
+        for _ in 0..90 {
+            r.observe("lat", &[], 9);
+        }
+        for _ in 0..9 {
+            r.observe("lat", &[], 100);
+        }
+        r.observe("lat", &[], 5000);
+        let h = r.merged_histogram("lat").expect("histogram exists");
+        assert_eq!(h.quantile(0.5), 15); // bucket [8,16)
+        assert_eq!(h.quantile(0.95), 127); // bucket [64,128)
+        assert_eq!(h.quantile(0.99), 127);
+        assert_eq!(h.quantile(1.0), 8191); // bucket [4096,8192)
+        assert_eq!(h.quantile(0.0), 15, "q=0 clamps to the first rank");
+    }
+
+    #[test]
+    fn merged_histogram_spans_label_sets() {
+        let r = Registry::new();
+        r.observe("lat", &[("bench", "mcf")], 4);
+        r.observe("lat", &[("bench", "vpr")], 4);
+        r.inc("lat_total", &[]); // different name, different type
+        let h = r.merged_histogram("lat").expect("merged");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 8);
+        assert!(r.merged_histogram("missing").is_none());
+        assert!(r.merged_histogram("lat_total").is_none());
+    }
+
+    /// The cardinality regression test: 10k distinct clients must not
+    /// grow the registry past the per-key cap plus the `other` bucket.
+    #[test]
+    fn label_cardinality_is_bounded_under_10k_clients() {
+        let r = Registry::new();
+        for client in 0..10_000u64 {
+            let id = client.to_string();
+            r.inc("ppp_retry_resent_frames_total", &[("client", id.as_str())]);
+            r.observe("ppp_agg_ingest_micros", &[("client", id.as_str())], client);
+        }
+        let snap = r.snapshot();
+        let counters = snap
+            .iter()
+            .filter(|(k, _)| k.name == "ppp_retry_resent_frames_total")
+            .count();
+        assert_eq!(counters, MAX_LABEL_CARDINALITY + 1, "cap + other bucket");
+        let hists = snap
+            .iter()
+            .filter(|(k, _)| k.name == "ppp_agg_ingest_micros")
+            .count();
+        assert_eq!(hists, MAX_LABEL_CARDINALITY + 1);
+        // Nothing was dropped: the overflow landed in `other`.
+        assert_eq!(r.counter_total("ppp_retry_resent_frames_total"), 10_000);
+        assert_eq!(
+            r.counter_value("ppp_retry_resent_frames_total", &[("client", LABEL_OTHER)]),
+            10_000 - MAX_LABEL_CARDINALITY as u64
+        );
+        let h = r.merged_histogram("ppp_agg_ingest_micros").expect("merged");
+        assert_eq!(h.count, 10_000);
+        assert_eq!(
+            r.labels_collapsed(),
+            2 * (10_000 - MAX_LABEL_CARDINALITY as u64)
+        );
+        // Values inside the cap keep their identity.
+        assert_eq!(
+            r.counter_value("ppp_retry_resent_frames_total", &[("client", "0")]),
+            1
+        );
     }
 
     #[test]

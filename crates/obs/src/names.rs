@@ -38,6 +38,17 @@ pub const SHED_TOTAL: &str = "ppp_shed_total";
 /// `bench`).
 pub const AGG_DUPLICATES: &str = "ppp_agg_frames_duplicate_total";
 
+/// Per-frame ingest latency histogram, microseconds (label: `bench`).
+pub const INGEST_MICROS: &str = "ppp_agg_ingest_micros";
+/// Shard-queue wait latency histogram, microseconds (label: `bench`).
+pub const QUEUE_WAIT_MICROS: &str = "ppp_agg_queue_wait_micros";
+/// WAL append+flush latency histogram, microseconds (label: `bench`).
+pub const WAL_FSYNC_MICROS: &str = "ppp_wal_fsync_micros";
+/// Flight-recorder dump artifacts written (no labels).
+pub const FLIGHT_DUMPS: &str = "ppp_flight_dumps_total";
+/// Stats frames served by the TCP tier (no labels).
+pub const STATS_SERVED: &str = "ppp_stats_served_total";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -57,6 +68,11 @@ mod tests {
             super::RETRY_REJECTS,
             super::SHED_TOTAL,
             super::AGG_DUPLICATES,
+            super::INGEST_MICROS,
+            super::QUEUE_WAIT_MICROS,
+            super::WAL_FSYNC_MICROS,
+            super::FLIGHT_DUMPS,
+            super::STATS_SERVED,
         ];
         for name in all {
             assert!(name.starts_with("ppp_"), "{name}");

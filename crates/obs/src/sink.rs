@@ -88,7 +88,7 @@ pub enum Value {
 }
 
 impl Value {
-    fn to_json(&self) -> String {
+    pub(crate) fn to_json(&self) -> String {
         match self {
             Value::U64(v) => v.to_string(),
             Value::I64(v) => v.to_string(),

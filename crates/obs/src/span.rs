@@ -47,9 +47,26 @@ impl ObsCtx {
         (Self::new(Arc::new(sink.clone())), sink)
     }
 
+    /// A context sharing this one's registry, span-id allocator, and
+    /// epoch, but writing records to `sink` — how the flight recorder
+    /// tees into an already-installed context without resetting state.
+    pub fn with_sink(&self, sink: Arc<dyn Obs>) -> Self {
+        Self {
+            sink,
+            registry: Arc::clone(&self.registry),
+            next_id: Arc::clone(&self.next_id),
+            epoch: self.epoch,
+        }
+    }
+
     /// The metrics registry.
     pub fn metrics(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The underlying sink (shared).
+    pub(crate) fn sink(&self) -> Arc<dyn Obs> {
+        Arc::clone(&self.sink)
     }
 
     /// True when the sink would actually look at records.
@@ -66,7 +83,28 @@ impl ObsCtx {
         self.span_with_parent(name, 0)
     }
 
+    /// Opens a root span carrying a cross-process trace context: the
+    /// remote sender's trace id and in-flight span id land as
+    /// `trace_id` / `remote_parent` fields on both the opening and
+    /// closing records, so a stitched tree
+    /// ([`crate::SpanTree::stitch`]) can re-attach this span under the
+    /// sender's.
+    pub fn span_remote(&self, name: &str, trace_id: u64, remote_parent: u64) -> Span {
+        self.span_with_fields(
+            name,
+            0,
+            vec![
+                ("trace_id".to_owned(), Value::U64(trace_id)),
+                ("remote_parent".to_owned(), Value::U64(remote_parent)),
+            ],
+        )
+    }
+
     fn span_with_parent(&self, name: &str, parent: u64) -> Span {
+        self.span_with_fields(name, parent, Vec::new())
+    }
+
+    fn span_with_fields(&self, name: &str, parent: u64, fields: Vec<(String, Value)>) -> Span {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         if self.sink.enabled() {
             self.sink.record(&Record {
@@ -77,7 +115,7 @@ impl ObsCtx {
                 name: name.to_owned(),
                 at_us: self.now_us(),
                 elapsed_us: None,
-                fields: Vec::new(),
+                fields: fields.clone(),
             });
         }
         Span {
@@ -86,7 +124,7 @@ impl ObsCtx {
             parent,
             name: name.to_owned(),
             started: Instant::now(),
-            fields: Vec::new(),
+            fields,
         }
     }
 

@@ -84,6 +84,13 @@ pub struct ChaosOutcome {
     pub estimator_ok: bool,
     /// The gate verdict.
     pub verdict: ChaosVerdict,
+    /// Flight-recorder dump written for this scenario, when the site is
+    /// a serve-tier fault ([`FaultSite::dumps_flight_recorder`]) and a
+    /// recorder is installed (`ppp_obs::install_flight`). Deliberately
+    /// not serialized: the dump is a side artifact, and its ring
+    /// content is timing-dependent while [`ChaosOutcome::to_json`] must
+    /// stay byte-identical between sequential and parallel sweeps.
+    pub flight_dump: Option<std::path::PathBuf>,
 }
 
 impl ChaosOutcome {
@@ -781,6 +788,13 @@ pub fn chaos_scenario(
     } else {
         ChaosVerdict::Silent
     };
+    // Serve-tier faults leave a post-mortem: the scenario-keyed reason
+    // makes the filename deterministic, so parallel and sequential
+    // sweeps produce the same artifact set.
+    let flight_dump = site
+        .dumps_flight_recorder()
+        .then(|| ppp_obs::flight_dump(&format!("chaos-{}-{}-{seed}", prep.name, site.name())))
+        .flatten();
     ChaosOutcome {
         benchmark: prep.name.clone(),
         site,
@@ -790,6 +804,7 @@ pub fn chaos_scenario(
         lint_clean,
         estimator_ok,
         verdict,
+        flight_dump,
     }
 }
 
@@ -960,6 +975,44 @@ mod tests {
         let mut scrubbed = report.clone();
         scrubbed.events.retain(|e| !e.detail.contains("ppp-est"));
         assert!(!static_rung_ok(&prep.module, g.as_ref(), &scrubbed));
+    }
+
+    #[test]
+    fn serve_tier_faults_leave_flight_recorder_dumps() {
+        use ppp_obs::json::{self, Json};
+        let _obs = crate::obs_test_lock();
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/ppp-scratch/chaos-flight");
+        let _ = std::fs::remove_dir_all(&dir);
+        ppp_obs::install_flight(&dir, 128);
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == "mcf").unwrap();
+        let options = tiny();
+        let prep = prepare_benchmark(entry, &options).expect("pipeline completes");
+        for site in FaultSite::ALL
+            .into_iter()
+            .filter(|s| s.dumps_flight_recorder())
+        {
+            let o = chaos_scenario(&prep, site, 701, &options);
+            assert_ne!(o.verdict, ChaosVerdict::Silent, "{site}");
+            let path = o
+                .flight_dump
+                .unwrap_or_else(|| panic!("{site}: no dump artifact"));
+            let doc = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{site}: unreadable dump {path:?}: {e}"));
+            let v = json::parse(&doc).expect("dump parses");
+            assert_eq!(
+                v.get("schema").and_then(Json::as_str),
+                Some(ppp_obs::FLIGHT_SCHEMA)
+            );
+            assert_eq!(
+                v.get("reason").and_then(Json::as_str),
+                Some(format!("chaos-mcf-{}-701", site.name()).as_str())
+            );
+        }
+        // Sites outside the serve tier never write dumps.
+        let o = chaos_scenario(&prep, FaultSite::SaturateCounters, 701, &options);
+        assert_eq!(o.flight_dump, None);
     }
 
     #[test]

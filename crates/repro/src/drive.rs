@@ -22,7 +22,7 @@ use ppp_agg::{
 use ppp_ir::{
     write_edge_profile_v2, write_path_profile_v2, Module, ModuleEdgeProfile, ModulePathProfile,
 };
-use ppp_obs::json;
+use ppp_obs::{json, names, Histogram};
 use ppp_vm::{run, RunOptions};
 use ppp_workloads::{generate, spec2000_suite};
 use std::net::{SocketAddr, TcpListener};
@@ -147,6 +147,14 @@ pub struct DriveReport {
     /// Mid-run server kills injected (`--kill-after`) that actually
     /// fired. The determinism verdicts still have to hold across them.
     pub kills: u64,
+    /// Per-frame ingest latency quantiles (`ppp_agg_ingest_micros`)
+    /// over the drive window; `None` when nothing was observed.
+    pub ingest_latency: Option<Quantiles>,
+    /// Shard queue-wait quantiles (`ppp_agg_queue_wait_micros`).
+    pub queue_wait: Option<Quantiles>,
+    /// WAL fsync quantiles (`ppp_wal_fsync_micros`); `None` without
+    /// `--checkpoint-dir`.
+    pub wal_fsync: Option<Quantiles>,
 }
 
 impl DriveReport {
@@ -167,6 +175,56 @@ impl DriveReport {
             .iter()
             .all(|b| b.deterministic.unwrap_or(true) && b.lint_clean.unwrap_or(true))
     }
+}
+
+/// Conservative tail-latency quantiles for one latency histogram, in
+/// microseconds: the log2-bucket upper bound holding the rank, so p50
+/// /p95/p99 never underestimate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Quantiles {
+    /// Observations inside the drive window.
+    pub count: u64,
+    /// Median, microseconds (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile, microseconds.
+    pub p95: u64,
+    /// 99th percentile, microseconds.
+    pub p99: u64,
+}
+
+/// The latency histograms surfaced in the drive report, in field order
+/// (ingest, queue-wait, WAL fsync).
+const LATENCY_METRICS: [&str; 3] = [
+    names::INGEST_MICROS,
+    names::QUEUE_WAIT_MICROS,
+    names::WAL_FSYNC_MICROS,
+];
+
+impl Quantiles {
+    fn from_histogram(h: &Histogram) -> Self {
+        Self {
+            count: h.count,
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        }
+    }
+}
+
+/// Diffs a merged histogram across the drive window: `after` minus the
+/// pre-drive `before` snapshot, so a long-lived process (or a test
+/// harness running many drives) reports only this drive's
+/// observations. `None` when nothing was observed in the window.
+fn histogram_delta(before: Option<&Histogram>, after: Option<Histogram>) -> Option<Quantiles> {
+    let mut h = after?;
+    if let Some(b) = before {
+        for (x, y) in h.buckets.iter_mut().zip(&b.buckets) {
+            *x = x.saturating_sub(*y);
+        }
+        h.count = h.count.saturating_sub(b.count);
+        h.sum = h.sum.saturating_sub(b.sum);
+    }
+    (h.count > 0).then(|| Quantiles::from_histogram(&h))
 }
 
 /// One transport-agnostic frame sink handed to a worker's [`AggClient`].
@@ -328,6 +386,14 @@ pub fn drive(only: Option<&str>, options: &DriveOptions) -> Result<DriveReport, 
     });
     let references: Vec<Reference> = modules.iter().map(|_| Mutex::new(None)).collect();
 
+    // Latency histograms accumulate in the process-global registry;
+    // snapshot them up front so the report covers only this drive.
+    let obs = ppp_obs::global();
+    let lat_before: Vec<Option<Histogram>> = LATENCY_METRICS
+        .iter()
+        .map(|n| obs.metrics().merged_histogram(n))
+        .collect();
+
     // Fan the work units over the workers. Unit `u` is repeat `u / B`
     // of benchmark `u % B`, so every benchmark gets traffic early.
     let nbench = modules.len();
@@ -394,6 +460,15 @@ pub fn drive(only: Option<&str>, options: &DriveOptions) -> Result<DriveReport, 
         };
         let mut client = AggClient::open(Arc::clone(module), sink, options.batch.max(1), &hello)
             .map_err(|e| format!("{name}: hello: {e}"))?;
+        // Every worker's stream is trace-propagated: the send span's
+        // context rides inside the sequenced frames, so the server's
+        // apply spans stitch under it from either side's sink.
+        client.set_trace_id(
+            options
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u as u64 + 1),
+        );
         for d in &result.deltas {
             client
                 .push_delta(&d.edges, &d.paths)
@@ -486,6 +561,12 @@ pub fn drive(only: Option<&str>, options: &DriveOptions) -> Result<DriveReport, 
         &[("transport", transport_label(&options.transport).as_str())],
         events_per_sec,
     );
+    let quantiles = |i: usize| {
+        histogram_delta(
+            lat_before[i].as_ref(),
+            obs.metrics().merged_histogram(LATENCY_METRICS[i]),
+        )
+    };
     Ok(DriveReport {
         benches,
         workers: options.workers.max(1),
@@ -495,6 +576,9 @@ pub fn drive(only: Option<&str>, options: &DriveOptions) -> Result<DriveReport, 
         wall_ms,
         events_per_sec,
         kills,
+        ingest_latency: quantiles(0),
+        queue_wait: quantiles(1),
+        wal_fsync: quantiles(2),
     })
 }
 
@@ -540,9 +624,17 @@ pub fn drive_table(r: &DriveReport) -> String {
     } else {
         String::new()
     };
+    let lat = |label: &str, q: &Option<Quantiles>| match q {
+        Some(q) => format!(
+            "{label} us p50/p95/p99: {}/{}/{} (n={})",
+            q.p50, q.p95, q.p99, q.count
+        ),
+        None => format!("{label} us p50/p95/p99: -"),
+    };
     format!(
         "drive: {} worker(s) x {} repeat(s) over {} benchmark(s), {} shard(s), {} transport{}\n\
-         {} frames, {} bytes in {:.0} ms -> {:.0} events/sec\n{}",
+         {} frames, {} bytes in {:.0} ms -> {:.0} events/sec\n\
+         {}; {}; {}\n{}",
         r.workers,
         r.repeats,
         r.benches.len(),
@@ -553,6 +645,9 @@ pub fn drive_table(r: &DriveReport) -> String {
         r.bytes(),
         r.wall_ms,
         r.events_per_sec,
+        lat("ingest", &r.ingest_latency),
+        lat("queue-wait", &r.queue_wait),
+        lat("wal-fsync", &r.wal_fsync),
         t.render()
     )
 }
@@ -582,9 +677,17 @@ pub fn drive_json(r: &DriveReport) -> String {
         })
         .collect::<Vec<_>>()
         .join(",");
+    let quant = |q: &Option<Quantiles>| match q {
+        Some(q) => format!(
+            "{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            q.count, q.p50, q.p95, q.p99
+        ),
+        None => "null".to_owned(),
+    };
     format!(
         "{{\"workers\":{},\"shards\":{},\"repeats\":{},\"transport\":\"{}\",\
          \"wall_ms\":{},\"events_per_sec\":{},\"frames\":{},\"bytes\":{},\"kills\":{},\"ok\":{},\
+         \"latency\":{{\"ingest\":{},\"queue_wait\":{},\"wal_fsync\":{}}},\
          \"benchmarks\":[{benches}]}}",
         r.workers,
         r.shards,
@@ -596,6 +699,9 @@ pub fn drive_json(r: &DriveReport) -> String {
         r.bytes(),
         r.kills,
         r.ok(),
+        quant(&r.ingest_latency),
+        quant(&r.queue_wait),
+        quant(&r.wal_fsync),
     )
 }
 
@@ -668,6 +774,7 @@ mod tests {
 
     #[test]
     fn in_proc_drive_is_deterministic_and_lint_clean() {
+        let _obs = crate::obs_test_lock();
         let r = drive(Some("mcf"), &tiny(Transport::InProc)).expect("drive completes");
         assert!(r.ok(), "{}", drive_table(&r));
         assert_eq!(r.benches.len(), 1);
@@ -676,6 +783,13 @@ mod tests {
         assert!(b.frames > 0 && b.bytes > 0 && b.deltas > 0 && b.events > 0);
         assert_eq!(b.deterministic, Some(true));
         assert_eq!(b.lint_clean, Some(true));
+        // Tail-latency accounting: the ingest and queue-wait quantiles
+        // cover the drive window (WAL fsync needs --checkpoint-dir).
+        let ingest = r.ingest_latency.expect("ingest histogram observed");
+        assert!(ingest.count > 0, "{ingest:?}");
+        assert!(ingest.p50 <= ingest.p95 && ingest.p95 <= ingest.p99);
+        assert!(r.queue_wait.expect("queue-wait observed").count > 0);
+        assert_eq!(r.wal_fsync, None, "no durability configured");
     }
 
     #[test]
@@ -697,6 +811,7 @@ mod tests {
 
     #[test]
     fn kill_after_recovers_byte_identically_with_no_double_counts() {
+        let _obs = crate::obs_test_lock();
         let mut options = tiny(Transport::Tcp);
         options.checkpoint_dir = Some(scratch("kill-after"));
         options.checkpoint_every = 4;
@@ -713,6 +828,41 @@ mod tests {
             drive_table(&r)
         );
         assert_eq!(r.benches[0].lint_clean, Some(true));
+        // The durable transport observed WAL fsync latency too.
+        assert!(r.wal_fsync.expect("wal fsync observed").count > 0);
+    }
+
+    #[test]
+    fn killed_server_leaves_a_parseable_flight_recorder_dump() {
+        use ppp_obs::json::{self, Json};
+        let _obs = crate::obs_test_lock();
+        let dump_dir = scratch("flight-kill");
+        ppp_obs::install_flight(&dump_dir, 256);
+        let mut options = tiny(Transport::Tcp);
+        options.checkpoint_dir = Some(scratch("flight-kill-wal"));
+        options.checkpoint_every = 4;
+        options.kill_after = Some(3);
+        let r = drive(Some("mcf"), &options).expect("drive completes");
+        assert_eq!(r.kills, 1, "the kill fired");
+        let path = dump_dir.join("flight-server-kill.json");
+        let doc = std::fs::read_to_string(&path).expect("kill dump written");
+        let v = json::parse(&doc).expect("dump parses");
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some(ppp_obs::FLIGHT_SCHEMA)
+        );
+        assert_eq!(v.get("reason").and_then(Json::as_str), Some("server-kill"));
+        // The ring retained the pre-kill telemetry: the server's own
+        // kill event (frames accepted so far) made it into the dump.
+        let records = v.get("records").and_then(Json::as_arr).expect("records");
+        assert!(
+            records
+                .iter()
+                .any(|r| r.get("name").and_then(Json::as_str) == Some("server.kill")),
+            "dump carries the server.kill event: {doc}"
+        );
+        // …and the registry snapshot rode along.
+        assert!(v.get("registry").is_some());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod inspect;
 pub mod pipeline;
 pub mod predict;
 pub mod reports;
+pub mod top;
 pub mod trace;
 
 pub use bench::{
@@ -58,7 +59,8 @@ pub use drift::{
     DRIFT_SCENARIOS,
 };
 pub use drive::{
-    drive, drive_json, drive_table, serve, BenchDrive, DriveOptions, DriveReport, Transport,
+    drive, drive_json, drive_table, serve, BenchDrive, DriveOptions, DriveReport, Quantiles,
+    Transport,
 };
 pub use inspect::inspect_benchmark;
 pub use pipeline::{
@@ -71,4 +73,16 @@ pub use predict::{
     PredictOutcome, WINS_REQUIRED,
 };
 pub use reports::{all_reports, fig10, fig11, fig12, fig13, fig9, run_suite, table1, table2};
-pub use trace::trace_benchmark;
+pub use top::{render_stats, top, TopOptions};
+pub use trace::{trace_benchmark, trace_benchmark_json};
+
+/// Serializes tests that touch process-global observation state (the
+/// global context, its metrics registry, the flight recorder): one
+/// binary runs them on parallel threads, and a swap-install mid-drive
+/// would split records across registries.
+#[cfg(test)]
+pub(crate) fn obs_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

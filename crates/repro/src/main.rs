@@ -5,9 +5,10 @@ use ppp_repro::{
     chaos_table, collect_baseline, compare_baselines, drift_json, drift_suite, drift_table, drive,
     drive_json, drive_table, fig10, fig11, fig12, fig13, fig9, inspect_benchmark, lint_benchmark,
     predict_json, predict_suite, predict_table, regressions_json, regressions_table, run_suite,
-    serve, table1, table2, trace_benchmark, validate_benchmark,
+    serve, table1, table2, top, trace_benchmark, trace_benchmark_json, validate_benchmark,
 };
-use ppp_repro::{DriveOptions, PipelineOptions, Transport};
+use ppp_repro::{DriveOptions, PipelineOptions, TopOptions, Transport};
+use std::time::Duration;
 
 fn main() {
     // All diagnostics flow through the observation sink to stderr, so
@@ -31,6 +32,10 @@ fn main() {
     let mut drive_cmd: Option<Option<String>> = None;
     let mut serve_cmd = false;
     let mut trace: Option<String> = None;
+    let mut top_cmd: Option<String> = None;
+    let mut once = false;
+    let mut interval_ms: u64 = 1000;
+    let mut flight_dir = "target/ppp-flight".to_owned();
     let mut addr = "127.0.0.1:7011".to_owned();
     let mut max_conns: usize = 64;
     let mut checkpoint_dir: Option<String> = None;
@@ -109,6 +114,29 @@ fn main() {
                 drive_cmd = Some(next);
             }
             "serve" => serve_cmd = true,
+            "top" => {
+                i += 1;
+                top_cmd = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("top needs host:port")),
+                );
+            }
+            "--once" => once = true,
+            "--interval" => {
+                i += 1;
+                interval_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--interval needs milliseconds"));
+            }
+            "--flight-dir" => {
+                i += 1;
+                flight_dir = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--flight-dir needs a directory path"));
+            }
             "--addr" => {
                 i += 1;
                 addr = args
@@ -256,6 +284,34 @@ fn main() {
     let durability = checkpoint_dir
         .as_ref()
         .map(|dir| ppp_agg::DurOptions::new(dir, checkpoint_every));
+    // The serve-tier commands fly with a recorder: the last N records
+    // plus a metrics snapshot are dumped under --flight-dir on a panic,
+    // a wire reject, or an abrupt server kill.
+    if serve_cmd || drive_cmd.is_some() || chaos.is_some() {
+        ppp_obs::install_flight(&flight_dir, ppp_obs::DEFAULT_FLIGHT_CAPACITY);
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = ppp_obs::flight_dump("panic");
+            previous(info);
+        }));
+    }
+    if let Some(target) = top_cmd {
+        let target: std::net::SocketAddr = target
+            .parse()
+            .unwrap_or_else(|_| usage(&format!("top: bad address {target:?}")));
+        let top_options = TopOptions {
+            interval: Duration::from_millis(interval_ms.max(50)),
+            once,
+            ..TopOptions::default()
+        };
+        std::process::exit(match top(target, &top_options) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}");
+                2
+            }
+        });
+    }
     if serve_cmd {
         std::process::exit(run_serve(&addr, shards, max_conns, durability));
     }
@@ -314,7 +370,7 @@ fn main() {
             seed,
             ..options
         };
-        std::process::exit(run_trace(&name, &trace_options));
+        std::process::exit(run_trace(&name, &format, out.as_deref(), &trace_options));
     }
     if let Some(only) = lint {
         std::process::exit(run_lint(only.as_deref(), &format, &options));
@@ -452,16 +508,27 @@ fn run_bench(
     0
 }
 
-/// Replays one benchmark with spans on and prints the breakdown tree;
-/// returns the exit code.
-fn run_trace(name: &str, options: &PipelineOptions) -> i32 {
+/// Replays one benchmark with spans on and prints the breakdown — as a
+/// text tree or (`--format json`) a schema-versioned span+metric
+/// artifact, optionally written to `--out`; returns the exit code.
+fn run_trace(name: &str, format: &str, out: Option<&str>, options: &PipelineOptions) -> i32 {
     let suite = ppp_workloads::spec2000_suite();
     let entry = suite
         .iter()
         .find(|e| e.spec.name == name)
         .unwrap_or_else(|| usage(&format!("unknown benchmark {name:?}")));
-    match trace_benchmark(entry, options) {
+    let rendered = match format {
+        "json" => trace_benchmark_json(entry, options),
+        _ => trace_benchmark(entry, options),
+    };
+    match rendered {
         Ok(text) => {
+            if let Some(path) = out {
+                if let Err(e) = std::fs::write(path, format!("{text}\n")) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return 2;
+                }
+            }
             println!("{text}");
             0
         }
@@ -745,12 +812,14 @@ fn usage(err: &str) -> ! {
          | predict [benchmark] [--seed S] [--workers N] [--format text|json] [--out FILE] \
          | bench [benchmark] [--format text|json] [--out FILE] \
          [--compare OLD.json [--against NEW.json]] [--threshold X] [--seed S] [--workers N] \
-         | trace <benchmark> [--seed S] \
+         | trace <benchmark> [--seed S] [--format text|json] [--out FILE] \
          | drive [benchmark] [--workers N] [--shards K] [--repeats R] \
          [--tcp | --connect HOST:PORT] [--seed S] [--out FILE] [--format text|json] \
          [--checkpoint-dir DIR] [--checkpoint-every N] [--kill-after FRAMES] \
+         [--flight-dir DIR] \
          | serve [--addr HOST:PORT] [--shards K] [--max-conns N] \
-         [--checkpoint-dir DIR] [--checkpoint-every N]"
+         [--checkpoint-dir DIR] [--checkpoint-every N] [--flight-dir DIR] \
+         | top HOST:PORT [--once] [--interval MS]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

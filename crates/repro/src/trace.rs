@@ -147,16 +147,15 @@ fn replay_static_estimate(ctx: &ObsCtx, entry: &SuiteEntry, options: &PipelineOp
     span.set("conservative", estimate.is_flow_conservative(&module));
 }
 
-/// Replays `entry` with span collection enabled and renders the
-/// per-stage breakdown tree plus the run's metric dump.
-///
-/// # Errors
-///
-/// Propagates the pipeline's error when the benchmark cannot run.
-pub fn trace_benchmark(
+/// Schema tag of the JSON trace artifact (`repro trace --format json`).
+pub const TRACE_SCHEMA: &str = "ppp-trace/v1";
+
+/// Replays `entry` under a collecting context and returns the run, the
+/// reconstructed span tree, and the replay's private metric registry.
+fn trace_replay(
     entry: &SuiteEntry,
     options: &PipelineOptions,
-) -> Result<String, PipelineError> {
+) -> Result<(crate::pipeline::BenchmarkRun, SpanTree, ObsCtx), PipelineError> {
     let previous = ppp_obs::global();
     let (ctx, collect) = ObsCtx::collecting();
     ppp_obs::install_global(ctx.clone());
@@ -168,8 +167,21 @@ pub fn trace_benchmark(
     }
     ppp_obs::install_global(previous);
     let run = outcome?;
-
     let tree = SpanTree::build(&collect.records());
+    Ok((run, tree, ctx))
+}
+
+/// Replays `entry` with span collection enabled and renders the
+/// per-stage breakdown tree plus the run's metric dump.
+///
+/// # Errors
+///
+/// Propagates the pipeline's error when the benchmark cannot run.
+pub fn trace_benchmark(
+    entry: &SuiteEntry,
+    options: &PipelineOptions,
+) -> Result<String, PipelineError> {
+    let (run, tree, ctx) = trace_replay(entry, options)?;
     let mut out = String::new();
     out.push_str(&format!(
         "trace: {} ({} profilers, degradation rung {})\n\n",
@@ -183,6 +195,30 @@ pub fn trace_benchmark(
     Ok(out)
 }
 
+/// Replays `entry` like [`trace_benchmark`] but renders a
+/// machine-readable [`TRACE_SCHEMA`] document: the span tree as nested
+/// JSON plus the full metric registry snapshot.
+///
+/// # Errors
+///
+/// Propagates the pipeline's error when the benchmark cannot run.
+pub fn trace_benchmark_json(
+    entry: &SuiteEntry,
+    options: &PipelineOptions,
+) -> Result<String, PipelineError> {
+    let (run, tree, ctx) = trace_replay(entry, options)?;
+    Ok(format!(
+        "{{\"schema\":\"{}\",\"benchmark\":\"{}\",\"profilers\":{},\"rung\":\"{}\",\
+         \"spans\":{},\"metrics\":{}}}",
+        TRACE_SCHEMA,
+        ppp_obs::json::escape(&run.name),
+        run.profilers.len(),
+        run.degradation.rung().name(),
+        tree.to_json(),
+        ctx.metrics().to_json(),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +226,7 @@ mod tests {
 
     #[test]
     fn trace_renders_stage_tree_and_metrics() {
+        let _obs = crate::obs_test_lock();
         let suite = spec2000_suite();
         let entry = suite.iter().find(|e| e.spec.name == "mcf").unwrap();
         let options = PipelineOptions {
@@ -228,5 +265,32 @@ mod tests {
         assert!(text.contains("ppp_est_funcs_total"), "{text}");
         assert!(text.contains("ppp_est_branches_total"), "{text}");
         assert!(text.contains("ppp_est_loops_total"), "{text}");
+    }
+
+    #[test]
+    fn trace_json_is_a_parseable_schema_versioned_artifact() {
+        use ppp_obs::json::{self, Json};
+        let _obs = crate::obs_test_lock();
+        let suite = spec2000_suite();
+        let entry = suite.iter().find(|e| e.spec.name == "mcf").unwrap();
+        let options = PipelineOptions {
+            scale: 0.02,
+            ..PipelineOptions::default()
+        };
+        let doc = trace_benchmark_json(entry, &options).expect("trace completes");
+        let v = json::parse(&doc).expect("trace JSON parses");
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some(TRACE_SCHEMA));
+        assert_eq!(v.get("benchmark").and_then(Json::as_str), Some("mcf"));
+        let roots = v
+            .get("spans")
+            .and_then(|s| s.get("roots"))
+            .and_then(Json::as_arr)
+            .expect("span roots");
+        assert!(!roots.is_empty(), "{doc}");
+        // The same stages the text renderer shows are in the tree…
+        assert!(doc.contains("pipeline.prepare"), "{doc}");
+        assert!(doc.contains("agg.replay"), "{doc}");
+        // …and the metric snapshot rode along.
+        assert!(doc.contains("ppp_vm_cost_units_total"), "{doc}");
     }
 }
