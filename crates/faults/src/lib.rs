@@ -75,11 +75,19 @@ pub enum FaultSite {
     /// rejections; a retrying client resends and nothing is counted
     /// twice.
     ShedOverload,
+    /// The JIT loop re-optimizes off an aggregator snapshot taken while
+    /// the serving run was still streaming deltas: the profile is a
+    /// truthful prefix, not the full run.
+    StaleSnapshotMidReopt,
+    /// The host hot-swaps a re-optimized generation while a workload
+    /// run is in flight: the run completes on the old code and its
+    /// profile arrives against the new module's shape.
+    SwapDuringRun,
 }
 
 impl FaultSite {
     /// Every fault site, in sweep order.
-    pub const ALL: [FaultSite; 15] = [
+    pub const ALL: [FaultSite; 17] = [
         FaultSite::TruncateEdgeBytes,
         FaultSite::CorruptEdgeBytes,
         FaultSite::TruncatePathBytes,
@@ -95,6 +103,8 @@ impl FaultSite {
         FaultSite::CrashRestart,
         FaultSite::StallConnection,
         FaultSite::ShedOverload,
+        FaultSite::StaleSnapshotMidReopt,
+        FaultSite::SwapDuringRun,
     ];
 
     /// Stable machine-readable name (used in chaos reports and CLI args).
@@ -115,6 +125,8 @@ impl FaultSite {
             FaultSite::CrashRestart => "crash-restart",
             FaultSite::StallConnection => "stall-connection",
             FaultSite::ShedOverload => "shed-overload",
+            FaultSite::StaleSnapshotMidReopt => "stale-snapshot-mid-reopt",
+            FaultSite::SwapDuringRun => "swap-during-run",
         }
     }
 
@@ -123,14 +135,19 @@ impl FaultSite {
         FaultSite::ALL.into_iter().find(|f| f.name() == s)
     }
 
-    /// `true` for the serve-tier sites whose chaos scenario must leave a
-    /// flight-recorder dump artifact behind (crash, stall, shed): the
-    /// operator debugging one of these needs the last-N-records ring,
-    /// not just the degradation report.
+    /// `true` for the sites whose chaos scenario must leave a
+    /// flight-recorder dump artifact behind: the serve-tier trio
+    /// (crash, stall, shed) and the JIT-loop pair (stale snapshot,
+    /// mid-run swap). The operator debugging one of these needs the
+    /// last-N-records ring, not just the degradation report.
     pub fn dumps_flight_recorder(self) -> bool {
         matches!(
             self,
-            FaultSite::CrashRestart | FaultSite::StallConnection | FaultSite::ShedOverload
+            FaultSite::CrashRestart
+                | FaultSite::StallConnection
+                | FaultSite::ShedOverload
+                | FaultSite::StaleSnapshotMidReopt
+                | FaultSite::SwapDuringRun
         )
     }
 }
@@ -303,7 +320,7 @@ mod tests {
     }
 
     #[test]
-    fn flight_recorder_sites_are_the_serve_tier_trio() {
+    fn flight_recorder_sites_are_the_serve_tier_trio_plus_the_jit_pair() {
         let dumping: Vec<_> = FaultSite::ALL
             .into_iter()
             .filter(|s| s.dumps_flight_recorder())
@@ -313,7 +330,9 @@ mod tests {
             vec![
                 FaultSite::CrashRestart,
                 FaultSite::StallConnection,
-                FaultSite::ShedOverload
+                FaultSite::ShedOverload,
+                FaultSite::StaleSnapshotMidReopt,
+                FaultSite::SwapDuringRun,
             ]
         );
     }

@@ -1,0 +1,85 @@
+//! Folding an instrumented-module profile back onto the source module.
+//!
+//! PPP instrumentation only *adds* to a function's CFG: `split_edge`
+//! appends fresh mid blocks at the end of the block list and retargets
+//! existing edges through them, so every original block keeps its id,
+//! its execution count, and its successor arity, and every original edge
+//! `(B, k)` still exists (possibly now landing on a mid block). Combined
+//! with the VM's determinism guarantee — instrumented and uninstrumented
+//! runs of the same seed follow bit-identical control flow (the paper's
+//! *self advice* setting, §7.2) — the tracer profile of the instrumented
+//! module *contains* the exact profile of the original module as a
+//! prefix. [`fold_edge_profile`] extracts it.
+//!
+//! This is what lets the JIT loop's only workload execution per
+//! generation be the instrumented serving run: the aggregator snapshot
+//! folds back into precisely the profile a dedicated tracing run of the
+//! uninstrumented module would have produced.
+
+use ppp_ir::{EdgeRef, Module, ModuleEdgeProfile};
+
+/// Projects an edge profile collected on the *instrumented* clone of
+/// `orig` (same functions, original blocks as a prefix, mid blocks
+/// appended) back onto `orig`'s shape. Counts for original blocks and
+/// edges are copied bit-exact; mid-block rows are dropped.
+///
+/// The caller should gate the result with
+/// [`ppp_lint::check_profile`](ppp_lint) — on a profile that really came
+/// from an instrumented run of `orig`'s clone, the fold is exact and the
+/// gate passes.
+pub fn fold_edge_profile(orig: &Module, instr_profile: &ModuleEdgeProfile) -> ModuleEdgeProfile {
+    let mut out = ModuleEdgeProfile::zeroed(orig);
+    for fid in orig.func_ids() {
+        let f = orig.function(fid);
+        let ip = instr_profile.func(fid);
+        let op = out.func_mut(fid);
+        op.set_entries(ip.entries());
+        for b in f.block_ids() {
+            op.set_block(b, ip.block(b));
+            for s in 0..f.block(b).term.successor_count() {
+                let e = EdgeRef::new(b, s);
+                op.set_edge(e, ip.edge(e));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_core::{instrument_module, normalize_module, ProfilerConfig};
+    use ppp_ir::write_edge_profile_v2;
+    use ppp_vm::{run, RunOptions};
+    use ppp_workloads::{generate, spec2000_suite};
+
+    #[test]
+    fn folding_the_instrumented_profile_recovers_the_exact_tracer_profile() {
+        for entry in spec2000_suite().iter().take(4) {
+            let mut m = generate(&entry.spec.clone().scaled(0.05));
+            normalize_module(&mut m);
+            let seed = 0x5EED;
+            let reference = run(&m, "main", &RunOptions::default().with_seed(seed).traced())
+                .expect("plain traced run")
+                .edge_profile
+                .expect("traced");
+            let plan = instrument_module(&m, Some(&reference), &ProfilerConfig::ppp());
+            let instrumented = run(
+                &plan.module,
+                "main",
+                &RunOptions::default().with_seed(seed).traced(),
+            )
+            .expect("instrumented traced run")
+            .edge_profile
+            .expect("traced");
+            let folded = fold_edge_profile(&m, &instrumented);
+            assert_eq!(
+                write_edge_profile_v2(&m, &folded),
+                write_edge_profile_v2(&m, &reference),
+                "{}: fold-back must be byte-exact",
+                entry.spec.name
+            );
+            assert!(ppp_lint::check_profile(&m, &folded).is_empty());
+        }
+    }
+}

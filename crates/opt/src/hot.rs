@@ -1,0 +1,132 @@
+//! Hot-function selection off a live profile snapshot.
+//!
+//! A dynamic optimizer does not re-optimize the whole program every
+//! generation: it picks the functions carrying most of the observed flow
+//! and focuses the expensive transforms there. [`select_hot_functions`]
+//! ranks functions by their share of the module's dynamic flow and keeps
+//! those at or above a threshold; [`focus_profile`] then zeroes the cold
+//! functions' profiles so the profile-guided transforms (which treat
+//! zero-flow call sites and loops as not worth touching) skip them while
+//! the guidance stays shape-matching and flow-conservative.
+//!
+//! A threshold of `0.0` keeps every function and makes
+//! [`focus_profile`] the identity — the setting the one-shot pipeline
+//! equivalence property relies on.
+
+use ppp_ir::{FuncId, Module, ModuleEdgeProfile};
+
+/// A function's share of the module's dynamic flow. Entries are counted
+/// alongside edge flow so single-block functions (no internal edges)
+/// still register.
+fn func_flow(profile: &ModuleEdgeProfile, f: FuncId) -> u64 {
+    let p = profile.func(f);
+    p.total_edge_flow().saturating_add(p.entries())
+}
+
+/// Selects the functions whose share of total dynamic flow is at least
+/// `threshold` (a fraction in `[0, 1]`). With `threshold <= 0.0` every
+/// function is selected; if no function qualifies the result is empty
+/// and the focused profile is all-zero (nothing is hot enough to touch).
+pub fn select_hot_functions(
+    module: &Module,
+    profile: &ModuleEdgeProfile,
+    threshold: f64,
+) -> Vec<FuncId> {
+    if threshold <= 0.0 {
+        return module.func_ids().collect();
+    }
+    let total: u64 = module.func_ids().map(|f| func_flow(profile, f)).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    module
+        .func_ids()
+        .filter(|&f| func_flow(profile, f) as f64 / total as f64 >= threshold)
+        .collect()
+}
+
+/// Returns `profile` restricted to the `hot` functions: cold functions'
+/// profiles are zeroed (still shape-matching, trivially
+/// flow-conservative), hot functions' are copied bit-exact. With every
+/// function hot this is a plain clone.
+pub fn focus_profile(
+    module: &Module,
+    profile: &ModuleEdgeProfile,
+    hot: &[FuncId],
+) -> ModuleEdgeProfile {
+    let mut out = profile.clone();
+    for f in module.func_ids() {
+        if !hot.contains(&f) {
+            out.func_mut(f).zero();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_vm::{run, RunOptions};
+    use ppp_workloads::{generate, spec2000_suite};
+
+    fn profiled() -> (Module, ModuleEdgeProfile) {
+        let spec = spec2000_suite()[0].spec.clone().scaled(0.05);
+        let module = generate(&spec);
+        let r = run(
+            &module,
+            "main",
+            &RunOptions::default().with_seed(11).traced(),
+        )
+        .expect("benchmark runs");
+        let edges = r.edge_profile.expect("traced");
+        (module, edges)
+    }
+
+    #[test]
+    fn zero_threshold_selects_everything_and_focus_is_identity() {
+        let (module, edges) = profiled();
+        let hot = select_hot_functions(&module, &edges, 0.0);
+        assert_eq!(hot.len(), module.functions.len());
+        let focused = focus_profile(&module, &edges, &hot);
+        for f in module.func_ids() {
+            assert_eq!(focused.func(f).entries(), edges.func(f).entries());
+            assert_eq!(
+                focused.func(f).total_edge_flow(),
+                edges.func(f).total_edge_flow()
+            );
+        }
+    }
+
+    #[test]
+    fn a_mid_threshold_drops_cold_functions_but_stays_conservative() {
+        let (module, edges) = profiled();
+        let hot = select_hot_functions(&module, &edges, 0.05);
+        assert!(!hot.is_empty());
+        assert!(hot.len() < module.functions.len());
+        let focused = focus_profile(&module, &edges, &hot);
+        assert!(focused.shape_matches(&module));
+        assert!(focused.is_flow_conservative(&module));
+        for f in module.func_ids() {
+            if !hot.contains(&f) {
+                assert!(focused.func(f).is_zero());
+            }
+        }
+        // Selected functions really are the high-share ones.
+        let total: u64 = module.func_ids().map(|f| func_flow(&edges, f)).sum();
+        for f in module.func_ids() {
+            let share = func_flow(&edges, f) as f64 / total as f64;
+            assert_eq!(hot.contains(&f), share >= 0.05, "func {f:?} share {share}");
+        }
+    }
+
+    #[test]
+    fn an_impossible_threshold_selects_nothing() {
+        let (module, edges) = profiled();
+        assert!(select_hot_functions(&module, &edges, 1.1).is_empty());
+        let focused = focus_profile(&module, &edges, &[]);
+        assert!(focused.shape_matches(&module));
+        for f in module.func_ids() {
+            assert!(focused.func(f).is_zero());
+        }
+    }
+}

@@ -27,11 +27,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod callgraph;
+pub mod hot;
 pub mod inline;
 pub mod scalar;
 pub mod unroll;
 
 pub use callgraph::{CallGraph, CallSite};
+pub use hot::{focus_profile, select_hot_functions};
 pub use inline::{inline_module, inline_module_witnessed, InlineOptions, InlineReport};
 pub use scalar::{
     optimize_function, optimize_function_witnessed, optimize_module, optimize_module_witnessed,

@@ -780,6 +780,155 @@ pub fn chaos_scenario(
                 }
             }
         }
+        FaultSite::StaleSnapshotMidReopt => {
+            // The JIT loop re-optimizes off an aggregator snapshot taken
+            // while the serving run was still streaming deltas: replay
+            // the workload with delta streaming, deliver only a
+            // seed-chosen prefix of the stream, and snapshot. The
+            // snapshot is a truthful prefix — but an arbitrary delta
+            // boundary need not be flow-conservative, so the ladder must
+            // repair or degrade it, never consume it silently.
+            let r = run(
+                module,
+                "main",
+                &RunOptions::default()
+                    .with_seed(options.seed)
+                    .traced()
+                    .with_delta_interval(128),
+            );
+            match r {
+                Ok(r) => {
+                    let agg = Arc::new(Aggregator::new(
+                        &prep.name,
+                        Arc::new(module.clone()),
+                        AggConfig {
+                            shards: 2,
+                            queue_cap: 8,
+                        },
+                    ));
+                    let hello = Hello {
+                        bench: prep.name.clone(),
+                        funcs: module.functions.len(),
+                        scale_bits: 0,
+                        worker: 0,
+                    };
+                    let total = r.deltas.len();
+                    let delivered = plan.frames_delivered(total);
+                    let mut entries: Vec<(&str, String)> = Vec::new();
+                    let mut force_fail = false;
+                    match ppp_agg::AggClient::open(
+                        Arc::new(module.clone()),
+                        ppp_agg::InProcSink::new(Arc::clone(&agg)),
+                        4,
+                        &hello,
+                    ) {
+                        Ok(mut client) => {
+                            for d in r.deltas.iter().take(delivered) {
+                                if let Err(e) = client.push_delta(&d.edges, &d.paths) {
+                                    entries.push(("stream-error", e));
+                                    force_fail = true;
+                                    break;
+                                }
+                            }
+                            if let Err(e) = client.finish() {
+                                entries.push(("stream-error", e));
+                                force_fail = true;
+                            }
+                        }
+                        Err(e) => {
+                            entries.push(("stream-error", e));
+                            force_fail = true;
+                        }
+                    }
+                    let harmless = delivered == total && !force_fail;
+                    if !harmless {
+                        entries.push((
+                            "stale-snapshot",
+                            format!(
+                                "re-optimization consumed a snapshot at delta {delivered} of \
+                                 {total}; the serving run was still streaming"
+                            ),
+                        ));
+                    }
+                    let detail = format!(
+                        "snapshotted mid-serve at delta {delivered} of {total} before re-optimizing"
+                    );
+                    ladder_from_aggregator(prep, detail, &agg, entries, harmless, force_fail)
+                }
+                Err(e) => {
+                    let (g, mut report) = ingest_guidance(module, None, None);
+                    report.push("run-error", e.to_string());
+                    let lint = lint_ok(module, g.as_ref());
+                    let est = static_rung_ok(module, g.as_ref(), &report);
+                    ("serving run failed".to_owned(), report, false, lint, est)
+                }
+            }
+        }
+        FaultSite::SwapDuringRun => {
+            // The host hot-swaps a re-optimized generation while a
+            // workload run is in flight: the run completes on the old
+            // code (its checkout pins the old Arc), so its profile
+            // arrives against the *new* module's shape and must cross
+            // generations via ppp-match before it can guide anything.
+            let host = ppp_vm::VmHost::new(Arc::new(module.clone()));
+            let checkout = host.checkout();
+            let mut next_gen = module.clone();
+            let (inline_rep, _) = ppp_opt::inline_module_witnessed(
+                &mut next_gen,
+                &prep.edges,
+                &ppp_opt::InlineOptions::default(),
+            );
+            ppp_core::normalize_module(&mut next_gen);
+            host.swap(Arc::new(next_gen.clone()));
+            let detail = format!(
+                "swapped generation {} in while a generation-{} run was in flight \
+                 ({} call sites inlined)",
+                host.generation(),
+                checkout.generation,
+                inline_rep.inlined_sites
+            );
+            match run(
+                &checkout.module,
+                "main",
+                &RunOptions::default().with_seed(options.seed).traced(),
+            ) {
+                Ok(r) => {
+                    let old_edges = r.edge_profile.unwrap_or_else(|| prep.edges.clone());
+                    let (warm, summary) =
+                        ppp_jit::transfer_guidance(&checkout.module, &next_gen, &old_edges);
+                    let harmless = summary.identity && summary.dropped_flow == 0;
+                    let floor = if harmless {
+                        LadderRung::FullProfile
+                    } else {
+                        LadderRung::MatchedStale
+                    };
+                    let (g, mut report) = ingest_guidance_at(&next_gen, Some(warm), None, floor);
+                    if !harmless {
+                        report.push(
+                            "swap-during-run",
+                            format!(
+                                "in-flight run finished on stale code after the swap; \
+                                 transferred {} pairs ({} renormalized, {} zeroed, {} flow dropped)",
+                                summary.pairs,
+                                summary.renormalized_funcs,
+                                summary.zeroed_funcs,
+                                summary.dropped_flow
+                            ),
+                        );
+                    }
+                    let lint = lint_ok(&next_gen, g.as_ref());
+                    let est = static_rung_ok(&next_gen, g.as_ref(), &report);
+                    (detail, report, harmless, lint, est)
+                }
+                Err(e) => {
+                    let (g, mut report) = ingest_guidance(&next_gen, None, None);
+                    report.push("run-error", e.to_string());
+                    let lint = lint_ok(&next_gen, g.as_ref());
+                    let est = static_rung_ok(&next_gen, g.as_ref(), &report);
+                    (detail, report, false, lint, est)
+                }
+            }
+        }
     };
     let verdict = if harmless {
         ChaosVerdict::Harmless

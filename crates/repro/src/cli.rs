@@ -1,0 +1,150 @@
+//! Shared CLI flag parsing for the `ppp-repro` binary.
+//!
+//! Every subcommand hand-rolled the same three idioms — "take the next
+//! token as this flag's value", "parse it or die with a usage message",
+//! and "an optional trailing benchmark name is any next token that is
+//! not a flag". [`ArgCursor`] owns the token stream and provides each
+//! idiom exactly once; errors come back as the human-readable usage
+//! message (`"--seed needs an integer"`) so the binary can route every
+//! failure through its single `usage()` exit.
+
+use std::str::FromStr;
+
+/// A cursor over the CLI argument list.
+#[derive(Debug)]
+pub struct ArgCursor {
+    args: Vec<String>,
+    i: usize,
+}
+
+impl ArgCursor {
+    /// Wraps an argument list (without the program name).
+    #[must_use]
+    pub fn new(args: Vec<String>) -> Self {
+        Self { args, i: 0 }
+    }
+
+    /// Returns the next token and advances, or `None` at the end.
+    pub fn next_token(&mut self) -> Option<String> {
+        let tok = self.args.get(self.i).cloned();
+        if tok.is_some() {
+            self.i += 1;
+        }
+        tok
+    }
+
+    /// Consumes the next token as an optional positional name.
+    ///
+    /// Only a token that does not start with `-` is taken; a flag stays
+    /// in the stream for the main loop. This is the `lint [benchmark]`
+    /// idiom shared by every suite-sweep subcommand.
+    pub fn optional_name(&mut self) -> Option<String> {
+        let name = self.args.get(self.i).filter(|a| !a.starts_with('-'));
+        let name = name.cloned();
+        if name.is_some() {
+            self.i += 1;
+        }
+        name
+    }
+
+    /// Consumes the next token as `flag`'s value.
+    ///
+    /// # Errors
+    ///
+    /// `"{flag} needs {what}"` when the stream is exhausted.
+    pub fn value(&mut self, flag: &str, what: &str) -> Result<String, String> {
+        self.next_token()
+            .ok_or_else(|| format!("{flag} needs {what}"))
+    }
+
+    /// Consumes and parses the next token as `flag`'s value.
+    ///
+    /// # Errors
+    ///
+    /// `"{flag} needs {what}"` when the stream is exhausted or the
+    /// token does not parse as `T`.
+    pub fn parsed<T: FromStr>(&mut self, flag: &str, what: &str) -> Result<T, String> {
+        self.value(flag, what)?
+            .parse()
+            .map_err(|_| format!("{flag} needs {what}"))
+    }
+
+    /// Like [`parsed`](Self::parsed)`::<usize>` but additionally
+    /// requires the value to be at least 1 (worker/shard/repeat counts).
+    ///
+    /// # Errors
+    ///
+    /// `"{flag} needs a positive integer"` on a missing, unparsable, or
+    /// zero value.
+    pub fn positive(&mut self, flag: &str) -> Result<usize, String> {
+        match self.parsed::<usize>(flag, "a positive integer") {
+            Ok(0) => Err(format!("{flag} needs a positive integer")),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cursor(tokens: &[&str]) -> ArgCursor {
+        ArgCursor::new(tokens.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    #[test]
+    fn tokens_stream_in_order_and_end_with_none() {
+        let mut c = cursor(&["bench", "--seed", "7"]);
+        assert_eq!(c.next_token().as_deref(), Some("bench"));
+        assert_eq!(c.next_token().as_deref(), Some("--seed"));
+        assert_eq!(c.next_token().as_deref(), Some("7"));
+        assert_eq!(c.next_token(), None);
+        assert_eq!(c.next_token(), None);
+    }
+
+    #[test]
+    fn optional_name_takes_a_benchmark_but_leaves_flags_alone() {
+        let mut c = cursor(&["mcf", "--seed"]);
+        assert_eq!(c.optional_name().as_deref(), Some("mcf"));
+        assert_eq!(c.optional_name(), None, "a flag is not a name");
+        assert_eq!(c.next_token().as_deref(), Some("--seed"));
+        assert_eq!(c.optional_name(), None, "exhausted stream");
+    }
+
+    #[test]
+    fn value_consumes_or_reports_the_flag_that_wanted_it() {
+        let mut c = cursor(&["127.0.0.1:7011"]);
+        assert_eq!(
+            c.value("--addr", "host:port").as_deref(),
+            Ok("127.0.0.1:7011")
+        );
+        assert_eq!(
+            c.value("--addr", "host:port"),
+            Err("--addr needs host:port".to_owned())
+        );
+    }
+
+    #[test]
+    fn parsed_rejects_junk_with_the_usage_message() {
+        let mut c = cursor(&["42", "banana"]);
+        assert_eq!(c.parsed::<u64>("--seed", "an integer"), Ok(42));
+        assert_eq!(
+            c.parsed::<u64>("--seed", "an integer"),
+            Err("--seed needs an integer".to_owned())
+        );
+        assert_eq!(
+            c.parsed::<f64>("--scale", "a number"),
+            Err("--scale needs a number".to_owned())
+        );
+    }
+
+    #[test]
+    fn positive_rejects_zero() {
+        let mut c = cursor(&["4", "0"]);
+        assert_eq!(c.positive("--shards"), Ok(4));
+        assert_eq!(
+            c.positive("--shards"),
+            Err("--shards needs a positive integer".to_owned())
+        );
+    }
+}

@@ -31,11 +31,13 @@
 
 pub mod bench;
 pub mod chaos;
+pub mod cli;
 pub mod degrade;
 pub mod drift;
 pub mod drive;
 pub mod format;
 pub mod inspect;
+pub mod jit;
 pub mod pipeline;
 pub mod predict;
 pub mod reports;
@@ -44,13 +46,15 @@ pub mod trace;
 
 pub use bench::{
     baseline_from_json, baseline_json, baseline_table, collect_baseline, compare_baselines,
-    regressions_json, regressions_table, BenchBaseline, BenchProfilerRecord, BenchRecord,
-    Regression, BASELINE_KIND, BASELINE_SCHEMA_VERSION,
+    regressions_json, regressions_table, wall_trends, wall_trends_json, wall_trends_table,
+    BenchBaseline, BenchProfilerRecord, BenchRecord, Regression, WallTrend, BASELINE_KIND,
+    BASELINE_SCHEMA_VERSION,
 };
 pub use chaos::{
     chaos_benchmark, chaos_json, chaos_prepared, chaos_scenario, chaos_suite, chaos_table,
     ChaosOutcome, ChaosVerdict,
 };
+pub use cli::ArgCursor;
 pub use degrade::{
     ingest_guidance, ingest_guidance_at, DegradationEvent, DegradationReport, LadderRung,
 };
@@ -63,6 +67,9 @@ pub use drive::{
     Transport,
 };
 pub use inspect::inspect_benchmark;
+pub use jit::{
+    jit_gate, jit_json, jit_options, jit_suite, jit_table, JIT_KIND, JIT_SCHEMA_VERSION,
+};
 pub use pipeline::{
     lint_benchmark, pipeline_configs, prepare_benchmark, run_benchmark, run_prepared,
     validate_benchmark, BenchmarkRun, PipelineError, PipelineOptions, PreparedBenchmark,

@@ -3,11 +3,12 @@
 use ppp_repro::{
     all_reports, baseline_from_json, baseline_json, baseline_table, chaos_json, chaos_suite,
     chaos_table, collect_baseline, compare_baselines, drift_json, drift_suite, drift_table, drive,
-    drive_json, drive_table, fig10, fig11, fig12, fig13, fig9, inspect_benchmark, lint_benchmark,
-    predict_json, predict_suite, predict_table, regressions_json, regressions_table, run_suite,
-    serve, table1, table2, top, trace_benchmark, trace_benchmark_json, validate_benchmark,
+    drive_json, drive_table, fig10, fig11, fig12, fig13, fig9, inspect_benchmark, jit_gate,
+    jit_json, jit_options, jit_suite, jit_table, lint_benchmark, predict_json, predict_suite,
+    predict_table, regressions_json, regressions_table, run_suite, serve, table1, table2, top,
+    trace_benchmark, trace_benchmark_json, validate_benchmark, wall_trends, wall_trends_table,
 };
-use ppp_repro::{DriveOptions, PipelineOptions, TopOptions, Transport};
+use ppp_repro::{ArgCursor, DriveOptions, PipelineOptions, TopOptions, Transport};
 use std::time::Duration;
 
 fn main() {
@@ -29,6 +30,7 @@ fn main() {
     let mut drift: Option<Option<String>> = None;
     let mut predict: Option<Option<String>> = None;
     let mut bench: Option<Option<String>> = None;
+    let mut jit_cmd: Option<Option<String>> = None;
     let mut drive_cmd: Option<Option<String>> = None;
     let mut serve_cmd = false;
     let mut trace: Option<String> = None;
@@ -52,231 +54,65 @@ fn main() {
     let mut threshold: f64 = 0.10;
     let mut seed: u64 = 701;
     let mut format = "text".to_owned();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "inspect" => {
-                i += 1;
-                inspect = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| usage("inspect needs a benchmark name")),
-                );
-            }
-            "lint" => {
-                // Optional trailing benchmark name; default is the suite.
-                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
-                if next.is_some() {
-                    i += 1;
-                }
-                lint = Some(next);
-            }
-            "validate" => {
-                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
-                if next.is_some() {
-                    i += 1;
-                }
-                validate = Some(next);
-            }
-            "chaos" => {
-                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
-                if next.is_some() {
-                    i += 1;
-                }
-                chaos = Some(next);
-            }
-            "drift" => {
-                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
-                if next.is_some() {
-                    i += 1;
-                }
-                drift = Some(next);
-            }
-            "predict" => {
-                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
-                if next.is_some() {
-                    i += 1;
-                }
-                predict = Some(next);
-            }
-            "bench" => {
-                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
-                if next.is_some() {
-                    i += 1;
-                }
-                bench = Some(next);
-            }
-            "drive" => {
-                let next = args.get(i + 1).filter(|a| !a.starts_with('-')).cloned();
-                if next.is_some() {
-                    i += 1;
-                }
-                drive_cmd = Some(next);
-            }
+    let mut generations: usize = 8;
+    let mut hot_threshold: f64 = 0.0;
+    let mut epsilon: f64 = 0.01;
+    let mut cold = false;
+    let mut cur = ArgCursor::new(args);
+    while let Some(tok) = cur.next_token() {
+        match tok.as_str() {
+            "inspect" => inspect = Some(ok(cur.value("inspect", "a benchmark name"))),
+            // Optional trailing benchmark name; default is the suite.
+            "lint" => lint = Some(cur.optional_name()),
+            "validate" => validate = Some(cur.optional_name()),
+            "chaos" => chaos = Some(cur.optional_name()),
+            "drift" => drift = Some(cur.optional_name()),
+            "predict" => predict = Some(cur.optional_name()),
+            "bench" => bench = Some(cur.optional_name()),
+            "jit" => jit_cmd = Some(cur.optional_name()),
+            "drive" => drive_cmd = Some(cur.optional_name()),
             "serve" => serve_cmd = true,
-            "top" => {
-                i += 1;
-                top_cmd = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| usage("top needs host:port")),
-                );
-            }
+            "top" => top_cmd = Some(ok(cur.value("top", "host:port"))),
             "--once" => once = true,
-            "--interval" => {
-                i += 1;
-                interval_ms = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--interval needs milliseconds"));
-            }
-            "--flight-dir" => {
-                i += 1;
-                flight_dir = args
-                    .get(i)
-                    .cloned()
-                    .unwrap_or_else(|| usage("--flight-dir needs a directory path"));
-            }
-            "--addr" => {
-                i += 1;
-                addr = args
-                    .get(i)
-                    .cloned()
-                    .unwrap_or_else(|| usage("--addr needs host:port"));
-            }
-            "--connect" => {
-                i += 1;
-                connect = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| usage("--connect needs host:port")),
-                );
-            }
+            "--interval" => interval_ms = ok(cur.parsed("--interval", "milliseconds")),
+            "--flight-dir" => flight_dir = ok(cur.value("--flight-dir", "a directory path")),
+            "--addr" => addr = ok(cur.value("--addr", "host:port")),
+            "--connect" => connect = Some(ok(cur.value("--connect", "host:port"))),
             "--tcp" => tcp = true,
-            "--workers" => {
-                i += 1;
-                options.workers = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--workers needs an integer"));
-            }
-            "--shards" => {
-                i += 1;
-                shards = args
-                    .get(i)
-                    .and_then(|s| s.parse::<usize>().ok())
-                    .filter(|&k| k >= 1)
-                    .unwrap_or_else(|| usage("--shards needs a positive integer"));
-            }
-            "--repeats" => {
-                i += 1;
-                repeats = args
-                    .get(i)
-                    .and_then(|s| s.parse::<usize>().ok())
-                    .filter(|&r| r >= 1)
-                    .unwrap_or_else(|| usage("--repeats needs a positive integer"));
-            }
-            "--max-conns" => {
-                i += 1;
-                max_conns = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--max-conns needs an integer"));
-            }
+            "--workers" => options.workers = ok(cur.parsed("--workers", "an integer")),
+            "--shards" => shards = ok(cur.positive("--shards")),
+            "--repeats" => repeats = ok(cur.positive("--repeats")),
+            "--max-conns" => max_conns = ok(cur.parsed("--max-conns", "an integer")),
             "--checkpoint-dir" => {
-                i += 1;
-                checkpoint_dir = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| usage("--checkpoint-dir needs a directory path")),
-                );
+                checkpoint_dir = Some(ok(cur.value("--checkpoint-dir", "a directory path")));
             }
             "--checkpoint-every" => {
-                i += 1;
-                checkpoint_every = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--checkpoint-every needs an integer"));
+                checkpoint_every = ok(cur.parsed("--checkpoint-every", "an integer"));
             }
-            "--kill-after" => {
-                i += 1;
-                kill_after = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage("--kill-after needs a frame count")),
-                );
-            }
-            "trace" => {
-                i += 1;
-                trace = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| usage("trace needs a benchmark name")),
-                );
-            }
-            "--out" => {
-                i += 1;
-                out = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| usage("--out needs a file path")),
-                );
-            }
-            "--compare" => {
-                i += 1;
-                compare = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| usage("--compare needs a baseline file")),
-                );
-            }
-            "--against" => {
-                i += 1;
-                against = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| usage("--against needs a baseline file")),
-                );
-            }
-            "--threshold" => {
-                i += 1;
-                threshold = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--threshold needs a number"));
-            }
-            "--seed" => {
-                i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs an integer"));
-            }
+            "--kill-after" => kill_after = Some(ok(cur.parsed("--kill-after", "a frame count"))),
+            "trace" => trace = Some(ok(cur.value("trace", "a benchmark name"))),
+            "--out" => out = Some(ok(cur.value("--out", "a file path"))),
+            "--compare" => compare = Some(ok(cur.value("--compare", "a baseline file"))),
+            "--against" => against = Some(ok(cur.value("--against", "a baseline file"))),
+            "--threshold" => threshold = ok(cur.parsed("--threshold", "a number")),
+            "--seed" => seed = ok(cur.parsed("--seed", "an integer")),
             "--format" => {
-                i += 1;
-                format = args
-                    .get(i)
-                    .cloned()
-                    .unwrap_or_else(|| usage("--format needs text or json"));
+                format = ok(cur.value("--format", "text or json"));
                 if format != "text" && format != "json" {
                     usage(&format!("unknown format {format:?}"));
                 }
             }
-            "--scale" => {
-                i += 1;
-                scale_arg = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage("--scale needs a number")),
-                );
-            }
+            "--scale" => scale_arg = Some(ok(cur.parsed("--scale", "a number"))),
+            "--generations" => generations = ok(cur.positive("--generations")),
+            "--hot-threshold" => hot_threshold = ok(cur.parsed("--hot-threshold", "a number")),
+            "--epsilon" => epsilon = ok(cur.parsed("--epsilon", "a number")),
+            "--cold" => cold = true,
             "--quick" => scale_arg = Some(0.1),
             "--no-ablations" => options.ablations = false,
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             report => wanted.push(report.to_owned()),
         }
-        i += 1;
     }
     if let Some(scale) = scale_arg {
         options.scale = scale;
@@ -343,6 +179,23 @@ fn main() {
             &format,
             out.as_deref(),
             &drive_options,
+        ));
+    }
+    if let Some(only) = jit_cmd {
+        let jit_pipeline = PipelineOptions {
+            ablations: false,
+            seed,
+            ..options
+        };
+        let mut jopts = jit_options(&jit_pipeline, generations, hot_threshold);
+        jopts.epsilon = epsilon;
+        jopts.cold_start = cold;
+        std::process::exit(run_jit_cmd(
+            only.as_deref(),
+            &format,
+            out.as_deref(),
+            &jopts,
+            options.workers.max(1),
         ));
     }
     if let Some(only) = bench {
@@ -489,7 +342,16 @@ fn run_bench(
         };
         match format {
             "json" => println!("{}", regressions_json(&regs)),
-            _ => println!("{}", regressions_table(&regs)),
+            _ => {
+                println!("{}", regressions_table(&regs));
+                // Wall-clock movement is recorded and shown, never
+                // gated: the exit code below depends only on the
+                // cost-model regressions.
+                let trends = wall_trends(&old, &new);
+                if !trends.is_empty() {
+                    println!("\n{}", wall_trends_table(&trends));
+                }
+            }
         }
         return i32::from(!regs.is_empty());
     }
@@ -506,6 +368,53 @@ fn run_bench(
         _ => println!("{}", baseline_table(&baseline)),
     }
     0
+}
+
+/// Runs the closed re-optimization loop over the suite (or one
+/// benchmark); returns the exit code (0 = every benchmark reached
+/// steady state with monotone cost, witness-clean generations, and
+/// flow-conservative transfers; 1 = the convergence gate tripped; 2 =
+/// the loop itself failed).
+fn run_jit_cmd(
+    only: Option<&str>,
+    format: &str,
+    out: Option<&str>,
+    jopts: &ppp_jit::JitOptions,
+    workers: usize,
+) -> i32 {
+    if let Some(names) = only {
+        let suite = ppp_workloads::spec2000_suite();
+        for name in names.split(',') {
+            if !suite.iter().any(|e| e.spec.name == name) {
+                usage(&format!("unknown benchmark {name:?}"));
+            }
+        }
+    }
+    let outcomes = match jit_suite(only, jopts, workers) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let doc = jit_json(&outcomes, jopts);
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("error: cannot write {path}: {e}");
+            return 2;
+        }
+    }
+    match format {
+        "json" => println!("{doc}"),
+        _ => println!("{}", jit_table(&outcomes)),
+    }
+    match jit_gate(&outcomes) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: jit convergence gate: {e}");
+            1
+        }
+    }
 }
 
 /// Replays one benchmark with spans on and prints the breakdown — as a
@@ -798,6 +707,12 @@ fn run_drive(only: Option<&str>, format: &str, out: Option<&str>, options: &Driv
     i32::from(!report.ok())
 }
 
+/// Unwraps a parse result from the shared [`ArgCursor`]; the error
+/// message is the usage message.
+fn ok<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|e| usage(&e))
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
@@ -812,6 +727,8 @@ fn usage(err: &str) -> ! {
          | predict [benchmark] [--seed S] [--workers N] [--format text|json] [--out FILE] \
          | bench [benchmark] [--format text|json] [--out FILE] \
          [--compare OLD.json [--against NEW.json]] [--threshold X] [--seed S] [--workers N] \
+         | jit [bench[,bench...]] [--generations N] [--hot-threshold F] [--epsilon X] [--cold] \
+         [--seed S] [--workers N] [--format text|json] [--out FILE] \
          | trace <benchmark> [--seed S] [--format text|json] [--out FILE] \
          | drive [benchmark] [--workers N] [--shards K] [--repeats R] \
          [--tcp | --connect HOST:PORT] [--seed S] [--out FILE] [--format text|json] \

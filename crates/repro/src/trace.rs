@@ -11,7 +11,9 @@
 //! more with incremental delta export on and streams the deltas through
 //! a sharded aggregator (`agg.replay`), so the `ppp_agg_*` metrics —
 //! frames ingested, merge/snapshot timings, batch sizes — show up in
-//! the same dump as the VM and pipeline observables.
+//! the same dump as the VM and pipeline observables. A short
+//! `ppp-jit` loop (`jit.replay`) rides along too, putting the
+//! `jit.generation` spans and `ppp_jit_*` metrics in the same dump.
 
 use crate::drift::{split_blocks, SplitMix64};
 use crate::pipeline::{run_benchmark, PipelineError, PipelineOptions};
@@ -147,6 +149,34 @@ fn replay_static_estimate(ctx: &ObsCtx, entry: &SuiteEntry, options: &PipelineOp
     span.set("conservative", estimate.is_flow_conservative(&module));
 }
 
+/// Runs a short closed re-optimization loop over the benchmark
+/// (`jit.replay`), so the `jit.generation` spans and the `ppp_jit_*`
+/// metrics — generations, promotions, swaps, transferred-flow drops,
+/// steady states — land in the trace dump alongside the other stages.
+fn replay_jit_loop(ctx: &ObsCtx, entry: &SuiteEntry, options: &PipelineOptions) {
+    let mut span = ctx.span("jit.replay");
+    let module = generate(&entry.spec.clone().scaled(options.scale));
+    let jopts = ppp_jit::JitOptions {
+        generations: 2,
+        seed: options.seed,
+        scale: options.scale,
+        ..ppp_jit::JitOptions::default()
+    };
+    match ppp_jit::run_jit(&module, &entry.spec.name, &jopts) {
+        Ok(out) => {
+            span.set("generations", out.generations_run as u64);
+            span.set("steady_state", out.steady_state);
+            span.set("swaps", out.swaps);
+            span.set("final_cost", out.final_cost);
+        }
+        Err(e) => span.event(
+            ppp_obs::Level::Error,
+            "jit.replay_failed",
+            &[("error", ppp_obs::Value::from(e.to_string()))],
+        ),
+    }
+}
+
 /// Schema tag of the JSON trace artifact (`repro trace --format json`).
 pub const TRACE_SCHEMA: &str = "ppp-trace/v1";
 
@@ -164,6 +194,7 @@ fn trace_replay(
         replay_aggregation(&ctx, entry, options);
         replay_matched_stale(&ctx, entry, options);
         replay_static_estimate(&ctx, entry, options);
+        replay_jit_loop(&ctx, entry, options);
     }
     ppp_obs::install_global(previous);
     let run = outcome?;
@@ -265,6 +296,13 @@ mod tests {
         assert!(text.contains("ppp_est_funcs_total"), "{text}");
         assert!(text.contains("ppp_est_branches_total"), "{text}");
         assert!(text.contains("ppp_est_loops_total"), "{text}");
+        // …and the re-optimization loop replay with its generations.
+        assert!(text.contains("jit.replay"), "{text}");
+        assert!(text.contains("jit.generation"), "{text}");
+        assert!(text.contains("jit.serve"), "{text}");
+        assert!(text.contains("ppp_jit_generations_total"), "{text}");
+        assert!(text.contains("ppp_jit_swaps_total"), "{text}");
+        assert!(text.contains("ppp_jit_promotions_total"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! The module host: the piece of "VM" a dynamic optimizer talks to.
+//!
+//! A JIT loop (see `ppp-jit`) repeatedly re-optimizes the running
+//! program and swaps the new code in while workload runs are in flight.
+//! [`VmHost`] models that hand-off point: it owns the *current*
+//! (instrumented) module behind a lock, hands out [`Checkout`]s that pin
+//! one generation for the duration of a run, and atomically replaces the
+//! module on [`VmHost::swap`], bumping a generation counter.
+//!
+//! The crucial property is that a checkout taken *before* a swap keeps
+//! executing the old code to completion (the `Arc` keeps it alive), so
+//! its delta stream describes the old module's shape. Reconciling such a
+//! stale stream against the new generation is `ppp-match`'s job; the
+//! `swap-during-run` chaos scenario exercises exactly this seam.
+
+use ppp_ir::Module;
+use std::sync::{Arc, Mutex};
+
+use crate::machine::{run, RunOptions, RunResult, VmError};
+
+/// One generation of the running program, pinned for the duration of a
+/// workload run. Dropping the checkout releases the pin; a swap that
+/// happened in the meantime does not invalidate it.
+#[derive(Clone, Debug)]
+pub struct Checkout {
+    /// The module that was current when the checkout was taken.
+    pub module: Arc<Module>,
+    /// The generation counter at checkout time (0 = initial module).
+    pub generation: u64,
+}
+
+/// Holds the currently-served module and swaps re-optimized generations
+/// in atomically.
+#[derive(Debug)]
+pub struct VmHost {
+    current: Mutex<(Arc<Module>, u64)>,
+}
+
+impl VmHost {
+    /// Creates a host serving `module` as generation 0.
+    pub fn new(module: Arc<Module>) -> Self {
+        Self {
+            current: Mutex::new((module, 0)),
+        }
+    }
+
+    /// The current generation counter (number of swaps so far).
+    pub fn generation(&self) -> u64 {
+        self.current.lock().expect("host lock").1
+    }
+
+    /// The currently-served module.
+    pub fn current(&self) -> Arc<Module> {
+        Arc::clone(&self.current.lock().expect("host lock").0)
+    }
+
+    /// Pins the current module and generation for one workload run.
+    pub fn checkout(&self) -> Checkout {
+        let guard = self.current.lock().expect("host lock");
+        Checkout {
+            module: Arc::clone(&guard.0),
+            generation: guard.1,
+        }
+    }
+
+    /// Atomically replaces the served module with a new generation and
+    /// returns the new generation number. Checkouts taken before the
+    /// swap keep running the old module to completion.
+    pub fn swap(&self, module: Arc<Module>) -> u64 {
+        let mut guard = self.current.lock().expect("host lock");
+        guard.0 = module;
+        guard.1 += 1;
+        guard.1
+    }
+
+    /// Checks out the current module and runs `entry` on it. The result
+    /// is paired with the checkout so the caller knows *which*
+    /// generation produced the profile even if a swap raced the run.
+    pub fn run_current(
+        &self,
+        entry: &str,
+        opts: &RunOptions,
+    ) -> Result<(Checkout, RunResult), VmError> {
+        let checkout = self.checkout();
+        let result = run(&checkout.module, entry, opts)?;
+        Ok((checkout, result))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppp_ir::{BinOp, FunctionBuilder};
+
+    /// A program whose edge-profile shape differs with `blocks`: a
+    /// counted loop summing 0..n, padded with `blocks` extra blocks.
+    fn program(n: i64, blocks: usize) -> Module {
+        let mut b = FunctionBuilder::new("main", 0);
+        let ten = b.constant(n);
+        let i = b.copy(ten);
+        let acc = b.constant(0);
+        let (hdr, body, exit) = (b.new_block(), b.new_block(), b.new_block());
+        b.jump(hdr);
+        b.switch_to(hdr);
+        b.branch(i, body, exit);
+        b.switch_to(body);
+        let one = b.constant(1);
+        b.binary_to(acc, BinOp::Add, acc, i);
+        b.binary_to(i, BinOp::Sub, i, one);
+        b.jump(hdr);
+        b.switch_to(exit);
+        let mut cur = exit;
+        for _ in 0..blocks {
+            let next = b.new_block();
+            b.switch_to(cur);
+            b.jump(next);
+            cur = next;
+            b.switch_to(cur);
+        }
+        b.emit(acc);
+        b.ret(Some(acc));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn swap_bumps_the_generation_and_replaces_the_module() {
+        let host = VmHost::new(Arc::new(program(10, 0)));
+        assert_eq!(host.generation(), 0);
+        let before = host.current().function_by_name("main").is_some();
+        assert!(before);
+        assert_eq!(host.swap(Arc::new(program(10, 3))), 1);
+        assert_eq!(host.generation(), 1);
+        assert_eq!(host.current().function(ppp_ir::FuncId(0)).blocks.len(), 7);
+    }
+
+    #[test]
+    fn a_checkout_survives_a_swap_and_keeps_the_old_shape() {
+        let host = VmHost::new(Arc::new(program(10, 0)));
+        let checkout = host.checkout();
+        host.swap(Arc::new(program(10, 5)));
+        // The pinned module still runs, and its traced profile matches
+        // the OLD shape, not the newly-swapped generation.
+        let r = run(
+            &checkout.module,
+            "main",
+            &RunOptions::default().with_seed(7).traced(),
+        )
+        .expect("old generation runs");
+        let edges = r.edge_profile.expect("traced");
+        assert!(edges.shape_matches(&checkout.module));
+        assert!(!edges.shape_matches(&host.current()));
+        assert_eq!(checkout.generation, 0);
+        assert_eq!(host.generation(), 1);
+    }
+
+    #[test]
+    fn run_current_pairs_the_result_with_its_generation() {
+        let host = VmHost::new(Arc::new(program(4, 0)));
+        let baseline = run(&program(4, 0), "main", &RunOptions::default().with_seed(3))
+            .expect("plain run")
+            .checksum;
+        let (checkout, r) = host
+            .run_current("main", &RunOptions::default().with_seed(3))
+            .expect("hosted run");
+        assert_eq!(checkout.generation, 0);
+        assert_eq!(r.checksum, baseline);
+    }
+
+    #[test]
+    fn concurrent_checkouts_see_a_coherent_module_generation_pair() {
+        let host = Arc::new(VmHost::new(Arc::new(program(10, 0))));
+        let swapper = {
+            let host = Arc::clone(&host);
+            std::thread::spawn(move || {
+                for g in 1..=8usize {
+                    host.swap(Arc::new(program(10, g)));
+                }
+            })
+        };
+        for _ in 0..64 {
+            let c = host.checkout();
+            // Generation g serves the g-padded program: 4 + g blocks.
+            let blocks = c.module.function(ppp_ir::FuncId(0)).blocks.len() as u64;
+            assert_eq!(blocks, 4 + c.generation);
+        }
+        swapper.join().expect("swapper");
+        assert_eq!(host.generation(), 8);
+    }
+}

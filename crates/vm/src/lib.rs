@@ -53,12 +53,14 @@
 #![warn(rust_2018_idioms)]
 
 mod cost;
+mod host;
 mod machine;
 mod rng;
 mod storage;
 mod trace;
 
 pub use cost::CostModel;
+pub use host::{Checkout, VmHost};
 pub use machine::{run, run_func, HaltReason, RunOptions, RunResult, VmError};
 pub use rng::SplitMix64;
 pub use storage::{CounterTable, ProfileStore};
